@@ -1,0 +1,121 @@
+//! Engine micro-benchmarks: the hot operators of cackle-engine.
+
+use cackle_engine::prelude::*;
+use cackle_tpch::dbgen::{generate_catalog, DbGenConfig};
+use cackle_tpch::plans::{self, Par};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+fn join_inputs(rows: usize) -> (SchemaRef, Batch, Batch) {
+    let schema = Schema::shared(&[("k", DataType::I64), ("v", DataType::F64)]);
+    let build = Batch::new(
+        schema.clone(),
+        vec![
+            Column::from_i64((0..rows as i64).collect()),
+            Column::from_f64((0..rows).map(|x| x as f64).collect()),
+        ],
+    );
+    let probe = Batch::new(
+        schema.clone(),
+        vec![
+            Column::from_i64((0..rows as i64).map(|x| x % (rows as i64 / 2)).collect()),
+            Column::from_f64((0..rows).map(|x| x as f64 * 0.5).collect()),
+        ],
+    );
+    (schema, build, probe)
+}
+
+fn bench_hash_join(c: &mut Criterion) {
+    let (schema, build, probe) = join_inputs(65_536);
+    let out = Schema::shared(&[
+        ("pk", DataType::I64),
+        ("pv", DataType::F64),
+        ("bk", DataType::I64),
+        ("bv", DataType::F64),
+    ]);
+    let table = cackle_engine::ops::join::JoinHashTable::build(
+        schema,
+        &[build],
+        &[Expr::col(0)],
+    );
+    c.bench_function("hash_join_probe_64k", |b| {
+        b.iter(|| {
+            black_box(table.probe(
+                &probe,
+                &[Expr::col(0)],
+                JoinType::Inner,
+                out.clone(),
+            ))
+        })
+    });
+}
+
+fn bench_hash_aggregate(c: &mut Criterion) {
+    let schema = Schema::shared(&[("g", DataType::I64), ("v", DataType::F64)]);
+    let batch = Batch::new(
+        schema,
+        vec![
+            Column::from_i64((0..65_536i64).map(|x| x % 512).collect()),
+            Column::from_f64((0..65_536).map(|x| x as f64).collect()),
+        ],
+    );
+    let out = Schema::shared(&[("g", DataType::I64), ("s", DataType::F64)]);
+    c.bench_function("hash_aggregate_64k_512groups", |b| {
+        b.iter(|| {
+            black_box(cackle_engine::ops::aggregate::hash_aggregate(
+                std::slice::from_ref(&batch),
+                &[Expr::col(0)],
+                &[AggExpr::new(AggFunc::Sum, Expr::col(1))],
+                out.clone(),
+            ))
+        })
+    });
+}
+
+fn bench_codec_roundtrip(c: &mut Criterion) {
+    let schema = Schema::shared(&[
+        ("k", DataType::I64),
+        ("s", DataType::Str),
+        ("d", DataType::Date),
+    ]);
+    let batch = Batch::new(
+        schema.clone(),
+        vec![
+            Column::from_i64((0..16_384i64).collect()),
+            Column::from_str_vec((0..16_384).map(|x| format!("value-{x:08}")).collect()),
+            Column::from_date((0..16_384).collect()),
+        ],
+    );
+    c.bench_function("codec_roundtrip_16k", |b| {
+        b.iter(|| {
+            let bytes = cackle_engine::codec::encode_batch(&batch);
+            black_box(cackle_engine::codec::decode_batch(&bytes, schema.clone()))
+        })
+    });
+}
+
+fn bench_tpch_queries(c: &mut Criterion) {
+    let catalog = Arc::new(generate_catalog(&DbGenConfig {
+        scale_factor: 0.002,
+        rows_per_partition: 1024,
+        seed: 7,
+    }));
+    let par = Par { fact: 2, mid: 2, join: 2 };
+    for name in ["q01", "q06", "q18"] {
+        let dag = plans::plan(name, par);
+        let cat = Arc::clone(&catalog);
+        c.bench_function(&format!("tpch_{name}_sf0.002"), move |b| {
+            b.iter(|| {
+                let shuffle = MemoryShuffle::new();
+                black_box(execute_query(&dag, 1, &cat, &shuffle))
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_hash_join, bench_hash_aggregate, bench_codec_roundtrip, bench_tpch_queries
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Analytical-model and full-system benchmarks: how fast can the
+//! reproduction evaluate a workload?
+
+use cackle::model::{run_model, workload_curves, ModelOptions};
+use cackle::system::{run_system, SystemConfig};
+use cackle::{make_strategy, Env};
+use cackle_bench::hour_workload;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_curves(c: &mut Criterion) {
+    let w = hour_workload(1000, 1);
+    c.bench_function("workload_curves_1000q", |b| {
+        b.iter(|| black_box(workload_curves(&w)))
+    });
+}
+
+fn bench_model(c: &mut Criterion) {
+    let env = Env::default();
+    let w = hour_workload(500, 2);
+    let opts = ModelOptions { record_timeseries: false, compute_only: true };
+    for label in ["fixed_100", "mean_2", "predictive"] {
+        let wl = w.clone();
+        let e = env.clone();
+        c.bench_function(&format!("model_hour_500q_{label}"), move |b| {
+            b.iter(|| {
+                let mut s = make_strategy(label, &e);
+                black_box(run_model(&wl, s.as_mut(), &e, opts).compute.total())
+            })
+        });
+    }
+}
+
+fn bench_full_system(c: &mut Criterion) {
+    let cfg = SystemConfig::default();
+    let w = hour_workload(250, 3);
+    c.bench_function("full_system_hour_250q_mean2", |b| {
+        b.iter(|| {
+            let mut s = make_strategy("mean_2", &cfg.env);
+            black_box(run_system(&w, s.as_mut(), &cfg).total_cost())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_curves, bench_model, bench_full_system
+}
+criterion_main!(benches);

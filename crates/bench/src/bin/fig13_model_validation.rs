@@ -1,0 +1,48 @@
+//! Figure 13: analytical-model vs real-execution cost per query across
+//! hour-long workloads of 60-2000 queries, split into VM and elastic-pool
+//! components, with the oracle's best-case provisioning for comparison.
+
+use cackle::model::{run_model, workload_curves, ModelOptions};
+use cackle::oracle::oracle_cost;
+use cackle::system::{run_system, SystemConfig};
+use cackle::MetaStrategy;
+use cackle_bench::*;
+
+fn main() {
+    let cfg = SystemConfig::default();
+    let e = &cfg.env;
+    let mut t = ResultTable::new(
+        "Fig 13: cost per query ($): modeled vs real vs oracle (VM / pool split)",
+        &[
+            "queries",
+            "model_vm",
+            "model_pool",
+            "real_vm",
+            "real_pool",
+            "oracle_vm",
+            "oracle_pool",
+        ],
+    );
+    for n in [60usize, 250, 500, 750, 1000, 1500, 2000] {
+        let w = hour_workload(n, 13);
+        let nf = n as f64;
+        let mut model_dyn = MetaStrategy::new(e);
+        let opts = ModelOptions { record_timeseries: false, compute_only: true };
+        let model = run_model(&w, &mut model_dyn, e, opts);
+        let mut sys_dyn = MetaStrategy::new(e);
+        let real = run_system(&w, &mut sys_dyn, &cfg);
+        let curves = workload_curves(&w);
+        let oc = oracle_cost(&curves.demand.samples, e);
+        t.row_strings(vec![
+            n.to_string(),
+            usd4(model.compute.vm_cost / nf),
+            usd4(model.compute.pool_cost / nf),
+            usd4(real.compute.vm_cost / nf),
+            usd4(real.compute.pool_cost / nf),
+            usd4(oc.vm_cost / nf),
+            usd4(oc.pool_cost / nf),
+        ]);
+        eprintln!("  done n={n}");
+    }
+    t.emit("fig13_model_validation");
+}

@@ -1,0 +1,65 @@
+//! Figure 14: cost and latency stability across workload sizes — Cackle
+//! (full system, dynamic strategy, compute + shuffle cost) vs Databricks
+//! small/medium warehouses with fixed and autoscaling provisioning vs
+//! Redshift Serverless. Left panel: p90 query latency; right panel: cost
+//! per query.
+
+use cackle::system::{run_system, SystemConfig};
+use cackle::MetaStrategy;
+use cackle_bench::*;
+use cackle_comparators::{
+    run_databricks, run_redshift, DatabricksConfig, RedshiftConfig, WarehouseSize,
+};
+
+fn main() {
+    let cfg = SystemConfig::default();
+    let mut latency = ResultTable::new(
+        "Fig 14 (left): p90 query latency (s) vs number of queries",
+        &[
+            "queries",
+            "cackle",
+            "databricks_small_fixed5",
+            "databricks_small_auto8",
+            "databricks_medium_fixed3",
+            "databricks_medium_auto5",
+            "redshift_8rpu",
+        ],
+    );
+    let mut cost = ResultTable::new(
+        "Fig 14 (right): cost per query ($) vs number of queries",
+        &[
+            "queries",
+            "cackle",
+            "databricks_small_fixed5",
+            "databricks_small_auto8",
+            "databricks_medium_fixed3",
+            "databricks_medium_auto5",
+            "redshift_8rpu",
+        ],
+    );
+    for n in [60usize, 250, 500, 750, 1000, 1500, 2000] {
+        let w = hour_workload(n, 14);
+        let nf = n as f64;
+        let mut dynamic = MetaStrategy::new(&cfg.env);
+        let cackle_run = run_system(&w, &mut dynamic, &cfg);
+        let runs = [
+            cackle_run,
+            run_databricks(&w, &DatabricksConfig::fixed(WarehouseSize::Small, 5)),
+            run_databricks(&w, &DatabricksConfig::autoscaling(WarehouseSize::Small, 8)),
+            run_databricks(&w, &DatabricksConfig::fixed(WarehouseSize::Medium, 3)),
+            run_databricks(&w, &DatabricksConfig::autoscaling(WarehouseSize::Medium, 5)),
+            run_redshift(&w, &RedshiftConfig::default()),
+        ];
+        let mut lrow = vec![n.to_string()];
+        let mut crow = vec![n.to_string()];
+        for r in &runs {
+            lrow.push(secs(r.latency_percentile(90.0)));
+            crow.push(usd4(r.total_cost() / nf));
+        }
+        latency.row_strings(lrow);
+        cost.row_strings(crow);
+        eprintln!("  done n={n}");
+    }
+    latency.emit("fig14_latency");
+    cost.emit("fig14_cost");
+}

@@ -1,0 +1,140 @@
+//! A small deterministic discrete-event simulation core.
+//!
+//! Events are ordered by `(time, sequence)`, where the sequence number is
+//! assigned at insertion. Two events scheduled for the same instant fire in
+//! insertion order, which makes every simulation in this workspace fully
+//! deterministic for a given seed.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A deterministic time-ordered event queue.
+///
+/// `E` is the event payload; it does not need to implement `Ord` — ordering
+/// is entirely by schedule time and insertion sequence.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    key: Reverse<(SimTime, u64)>,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue positioned at time zero.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+    }
+
+    /// The time of the most recently popped event (the simulation clock).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` to fire at `at`. Scheduling in the past is clamped
+    /// to the current clock so simulations can never move backwards.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        self.heap.push(Entry { key: Reverse((at, self.seq)), event });
+        self.seq += 1;
+    }
+
+    /// Pop the next event, advancing the clock to its fire time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| {
+            let (at, _) = e.key.0;
+            self.now = at;
+            (at, e.event)
+        })
+    }
+
+    /// Time of the next scheduled event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.key.0 .0)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), "c");
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(3), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime::from_secs(7), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_and_past_scheduling_clamps() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), "late");
+        assert_eq!(q.pop().unwrap().0, SimTime::from_secs(10));
+        assert_eq!(q.now(), SimTime::from_secs(10));
+        // Scheduling before `now` clamps to `now`.
+        q.schedule(SimTime::from_secs(2), "clamped");
+        assert_eq!(q.pop().unwrap().0, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(4), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(4)));
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

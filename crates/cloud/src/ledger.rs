@@ -1,0 +1,197 @@
+//! Itemized cost accounting.
+//!
+//! Every billable action in the simulated cloud lands in a [`CostLedger`],
+//! broken down by [`CostCategory`] so experiments can report the VM / pool /
+//! shuffle / S3 split exactly as the paper's Figure 13 does.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Where a charge came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CostCategory {
+    /// Provisioned execution-layer VMs.
+    VmCompute,
+    /// Elastic-pool (cloud function) compute.
+    ElasticPool,
+    /// Object-store PUT requests.
+    S3Put,
+    /// Object-store GET requests.
+    S3Get,
+    /// Provisioned shuffle nodes.
+    ShuffleNode,
+    /// The always-on coordinator instance.
+    Coordinator,
+}
+
+impl CostCategory {
+    /// All categories, in report order.
+    pub const ALL: [CostCategory; 6] = [
+        CostCategory::VmCompute,
+        CostCategory::ElasticPool,
+        CostCategory::S3Put,
+        CostCategory::S3Get,
+        CostCategory::ShuffleNode,
+        CostCategory::Coordinator,
+    ];
+}
+
+impl fmt::Display for CostCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CostCategory::VmCompute => "vm_compute",
+            CostCategory::ElasticPool => "elastic_pool",
+            CostCategory::S3Put => "s3_put",
+            CostCategory::S3Get => "s3_get",
+            CostCategory::ShuffleNode => "shuffle_node",
+            CostCategory::Coordinator => "coordinator",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Accumulated dollars and usage counters for one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostLedger {
+    dollars: [f64; 6],
+    /// Billed VM-seconds on the execution layer.
+    pub vm_seconds: f64,
+    /// Billed elastic-pool slot-seconds.
+    pub pool_seconds: f64,
+    /// Billed shuffle-node seconds.
+    pub shuffle_seconds: f64,
+    /// Object-store PUT request count.
+    pub put_requests: u64,
+    /// Object-store GET request count.
+    pub get_requests: u64,
+    /// Bytes written to the object store.
+    pub bytes_put: u64,
+    /// Bytes read from the object store.
+    pub bytes_get: u64,
+}
+
+fn idx(c: CostCategory) -> usize {
+    match c {
+        CostCategory::VmCompute => 0,
+        CostCategory::ElasticPool => 1,
+        CostCategory::S3Put => 2,
+        CostCategory::S3Get => 3,
+        CostCategory::ShuffleNode => 4,
+        CostCategory::Coordinator => 5,
+    }
+}
+
+impl CostLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a charge of `dollars` against `category`.
+    pub fn charge(&mut self, category: CostCategory, dollars: f64) {
+        debug_assert!(dollars >= 0.0, "negative charge {dollars} on {category}");
+        self.dollars[idx(category)] += dollars;
+    }
+
+    /// Dollars accumulated against one category.
+    pub fn category(&self, category: CostCategory) -> f64 {
+        self.dollars[idx(category)]
+    }
+
+    /// Total dollars across all categories.
+    pub fn total(&self) -> f64 {
+        self.dollars.iter().sum()
+    }
+
+    /// Total compute dollars (VM + elastic pool), the quantity most of the
+    /// paper's strategy figures report.
+    pub fn compute_total(&self) -> f64 {
+        self.category(CostCategory::VmCompute) + self.category(CostCategory::ElasticPool)
+    }
+
+    /// Total shuffle-layer dollars (shuffle nodes + S3 requests).
+    pub fn shuffle_total(&self) -> f64 {
+        self.category(CostCategory::ShuffleNode)
+            + self.category(CostCategory::S3Put)
+            + self.category(CostCategory::S3Get)
+    }
+
+    /// Merge another ledger into this one.
+    pub fn merge(&mut self, other: &CostLedger) {
+        for (a, b) in self.dollars.iter_mut().zip(other.dollars.iter()) {
+            *a += b;
+        }
+        self.vm_seconds += other.vm_seconds;
+        self.pool_seconds += other.pool_seconds;
+        self.shuffle_seconds += other.shuffle_seconds;
+        self.put_requests += other.put_requests;
+        self.get_requests += other.get_requests;
+        self.bytes_put += other.bytes_put;
+        self.bytes_get += other.bytes_get;
+    }
+}
+
+impl fmt::Display for CostLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in CostCategory::ALL {
+            let d = self.category(c);
+            if d > 0.0 {
+                writeln!(f, "  {:<14} ${:>10.4}", c.to_string(), d)?;
+            }
+        }
+        write!(f, "  {:<14} ${:>10.4}", "total", self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_per_category() {
+        let mut l = CostLedger::new();
+        l.charge(CostCategory::VmCompute, 1.5);
+        l.charge(CostCategory::VmCompute, 0.5);
+        l.charge(CostCategory::ElasticPool, 3.0);
+        assert_eq!(l.category(CostCategory::VmCompute), 2.0);
+        assert_eq!(l.compute_total(), 5.0);
+        assert_eq!(l.total(), 5.0);
+    }
+
+    #[test]
+    fn shuffle_total_covers_nodes_and_requests() {
+        let mut l = CostLedger::new();
+        l.charge(CostCategory::ShuffleNode, 1.0);
+        l.charge(CostCategory::S3Put, 0.25);
+        l.charge(CostCategory::S3Get, 0.125);
+        assert_eq!(l.shuffle_total(), 1.375);
+        assert_eq!(l.compute_total(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = CostLedger::new();
+        a.charge(CostCategory::VmCompute, 1.0);
+        a.put_requests = 3;
+        a.vm_seconds = 10.0;
+        let mut b = CostLedger::new();
+        b.charge(CostCategory::VmCompute, 2.0);
+        b.charge(CostCategory::Coordinator, 0.5);
+        b.put_requests = 4;
+        b.vm_seconds = 5.0;
+        a.merge(&b);
+        assert_eq!(a.category(CostCategory::VmCompute), 3.0);
+        assert_eq!(a.total(), 3.5);
+        assert_eq!(a.put_requests, 7);
+        assert_eq!(a.vm_seconds, 15.0);
+    }
+
+    #[test]
+    fn display_includes_total() {
+        let mut l = CostLedger::new();
+        l.charge(CostCategory::S3Get, 0.2);
+        let s = l.to_string();
+        assert!(s.contains("s3_get"));
+        assert!(s.contains("total"));
+    }
+}

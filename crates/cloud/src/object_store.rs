@@ -1,0 +1,163 @@
+//! A simulated cloud object store (Amazon S3).
+//!
+//! Stores real bytes (the engine shuffles actual data through it) and bills
+//! per request, which is the property that makes exclusive S3 shuffling
+//! expensive at high query volumes (§7.1.3): a 128×128 shuffle costs 256
+//! PUTs and 128 GETs-per-task, and those request charges can reach half of
+//! total query cost.
+//!
+//! The store is internally synchronized so it can be shared (`Arc`) between
+//! the coordinator and concurrently executing tasks.
+
+use crate::ledger::{CostCategory, CostLedger};
+use crate::pricing::Pricing;
+use bytes_shim::Bytes;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+
+// A tiny indirection so the engine crate (which also uses `bytes`) and this
+// crate agree on the payload type without a cross-crate dependency.
+mod bytes_shim {
+    /// Immutable shared byte payloads stored in the object store.
+    pub type Bytes = std::sync::Arc<[u8]>;
+}
+
+/// A shared, internally synchronized object store with request billing.
+#[derive(Debug)]
+pub struct ObjectStore {
+    pricing: Pricing,
+    objects: RwLock<HashMap<String, Bytes>>,
+    ledger: Mutex<CostLedger>,
+}
+
+impl ObjectStore {
+    /// Create an empty store.
+    pub fn new(pricing: Pricing) -> Self {
+        ObjectStore {
+            pricing,
+            objects: RwLock::new(HashMap::new()),
+            ledger: Mutex::new(CostLedger::new()),
+        }
+    }
+
+    /// PUT an object, billing one request.
+    pub fn put(&self, key: &str, data: Vec<u8>) {
+        let len = data.len() as u64;
+        self.objects.write().insert(key.to_string(), Bytes::from(data));
+        let mut l = self.ledger.lock();
+        l.charge(CostCategory::S3Put, self.pricing.s3_put);
+        l.put_requests += 1;
+        l.bytes_put += len;
+    }
+
+    /// GET an object, billing one request. Returns `None` (still billed,
+    /// as S3 bills failed GETs) when the key does not exist.
+    pub fn get(&self, key: &str) -> Option<Bytes> {
+        let out = self.objects.read().get(key).cloned();
+        let mut l = self.ledger.lock();
+        l.charge(CostCategory::S3Get, self.pricing.s3_get);
+        l.get_requests += 1;
+        if let Some(b) = &out {
+            l.bytes_get += b.len() as u64;
+        }
+        out
+    }
+
+    /// DELETE an object. S3 DELETE requests are free.
+    pub fn delete(&self, key: &str) -> bool {
+        self.objects.write().remove(key).is_some()
+    }
+
+    /// Delete every object whose key starts with `prefix` (used to clean up
+    /// a query's shuffle outputs). DELETEs are free.
+    pub fn delete_prefix(&self, prefix: &str) -> usize {
+        let mut objs = self.objects.write();
+        let keys: Vec<String> =
+            objs.keys().filter(|k| k.starts_with(prefix)).cloned().collect();
+        for k in &keys {
+            objs.remove(k);
+        }
+        keys.len()
+    }
+
+    /// Number of stored objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// Total stored bytes.
+    pub fn stored_bytes(&self) -> u64 {
+        self.objects.read().values().map(|b| b.len() as u64).sum()
+    }
+
+    /// Snapshot of the accumulated billing ledger.
+    pub fn ledger(&self) -> CostLedger {
+        self.ledger.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip_and_billing() {
+        let s = ObjectStore::new(Pricing::default());
+        s.put("q1/s0/t0/p3", vec![1, 2, 3]);
+        let got = s.get("q1/s0/t0/p3").unwrap();
+        assert_eq!(&got[..], &[1, 2, 3]);
+        let l = s.ledger();
+        assert_eq!(l.put_requests, 1);
+        assert_eq!(l.get_requests, 1);
+        assert_eq!(l.bytes_put, 3);
+        assert_eq!(l.bytes_get, 3);
+        let expected = 5.0e-6 + 4.0e-7;
+        assert!((l.total() - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn missing_get_is_still_billed() {
+        let s = ObjectStore::new(Pricing::default());
+        assert!(s.get("nope").is_none());
+        let l = s.ledger();
+        assert_eq!(l.get_requests, 1);
+        assert_eq!(l.bytes_get, 0);
+        assert!(l.total() > 0.0);
+    }
+
+    #[test]
+    fn delete_prefix_cleans_query_outputs() {
+        let s = ObjectStore::new(Pricing::default());
+        for t in 0..4 {
+            s.put(&format!("q7/s1/t{t}"), vec![0; 10]);
+        }
+        s.put("q8/s1/t0", vec![0; 10]);
+        assert_eq!(s.delete_prefix("q7/"), 4);
+        assert_eq!(s.object_count(), 1);
+        assert_eq!(s.stored_bytes(), 10);
+        // Deletes added no request charges beyond the 5 PUTs.
+        assert_eq!(s.ledger().put_requests, 5);
+        assert_eq!(s.ledger().get_requests, 0);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        use std::sync::Arc;
+        let s = Arc::new(ObjectStore::new(Pricing::default()));
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for j in 0..50 {
+                        s.put(&format!("t{i}/o{j}"), vec![i as u8; 16]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.object_count(), 400);
+        assert_eq!(s.ledger().put_requests, 400);
+    }
+}

@@ -1,0 +1,136 @@
+//! The elastic compute pool (AWS Lambda in the paper).
+//!
+//! The pool grants effectively unlimited slots with a small invocation
+//! latency and bills actual usage at millisecond granularity with no
+//! minimum — the two properties §2.2 requires — at a per-hour price that is
+//! a multiple of the equivalent VM.
+
+use crate::ledger::{CostCategory, CostLedger};
+use crate::pricing::Pricing;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of one elastic-pool invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InvocationId(pub u64);
+
+/// A simulated elastic pool with unbounded capacity.
+#[derive(Debug)]
+pub struct ElasticPool {
+    pricing: Pricing,
+    next_id: u64,
+    active: HashMap<InvocationId, SimTime>,
+    ledger: CostLedger,
+    invocations_total: u64,
+    peak_concurrency: usize,
+}
+
+impl ElasticPool {
+    /// Create an empty pool.
+    pub fn new(pricing: Pricing) -> Self {
+        ElasticPool {
+            pricing,
+            next_id: 0,
+            active: HashMap::new(),
+            ledger: CostLedger::new(),
+            invocations_total: 0,
+            peak_concurrency: 0,
+        }
+    }
+
+    /// Request a slot at `now`. Returns the invocation id and the time the
+    /// slot is actually able to begin work (after the invoke latency).
+    pub fn invoke(&mut self, now: SimTime) -> (InvocationId, SimTime) {
+        let id = InvocationId(self.next_id);
+        self.next_id += 1;
+        let start = now + self.pricing.pool_invoke_latency;
+        self.active.insert(id, start);
+        self.invocations_total += 1;
+        self.peak_concurrency = self.peak_concurrency.max(self.active.len());
+        (id, start)
+    }
+
+    /// Complete an invocation at `now`, billing its actual runtime at
+    /// millisecond granularity. Returns the billed duration.
+    pub fn complete(&mut self, now: SimTime, id: InvocationId) -> SimDuration {
+        let start = self.active.remove(&id).expect("completed unknown invocation");
+        let ran = now - start;
+        self.ledger.charge(CostCategory::ElasticPool, self.pricing.pool_cost(ran));
+        self.ledger.pool_seconds += ran.as_secs_f64();
+        ran
+    }
+
+    /// Number of currently active invocations.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Highest concurrency observed so far.
+    pub fn peak_concurrency(&self) -> usize {
+        self.peak_concurrency
+    }
+
+    /// Total invocations over the pool's lifetime.
+    pub fn invocations_total(&self) -> u64 {
+        self.invocations_total
+    }
+
+    /// The accumulated billing ledger.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invoke_latency_delays_start() {
+        let mut p = ElasticPool::new(Pricing::default());
+        let (_, start) = p.invoke(SimTime::from_secs(10));
+        assert_eq!(start, SimTime::from_secs(10) + SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn bills_millisecond_granularity_no_minimum() {
+        let mut p = ElasticPool::new(Pricing::default());
+        let (id, start) = p.invoke(SimTime::ZERO);
+        let end = start + SimDuration::from_millis(250);
+        let ran = p.complete(end, id);
+        assert_eq!(ran, SimDuration::from_millis(250));
+        let expected = 0.18 * (0.250 / 3600.0);
+        assert!((p.ledger().total() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracks_concurrency_and_totals() {
+        let mut p = ElasticPool::new(Pricing::default());
+        let (a, sa) = p.invoke(SimTime::ZERO);
+        let (b, _sb) = p.invoke(SimTime::ZERO);
+        assert_eq!(p.active_count(), 2);
+        p.complete(sa + SimDuration::from_secs(1), a);
+        assert_eq!(p.active_count(), 1);
+        let (_c, _) = p.invoke(SimTime::from_secs(2));
+        p.complete(SimTime::from_secs(5), b);
+        assert_eq!(p.peak_concurrency(), 2);
+        assert_eq!(p.invocations_total(), 3);
+    }
+
+    #[test]
+    fn thousand_one_second_slots_cost_matches_closed_form() {
+        let mut p = ElasticPool::new(Pricing::default());
+        let mut ids = Vec::new();
+        for _ in 0..1000 {
+            ids.push(p.invoke(SimTime::ZERO));
+        }
+        for (id, start) in ids {
+            p.complete(start + SimDuration::from_secs(1), id);
+        }
+        // 1000 slot-seconds at $0.18/hour.
+        let expected = 1000.0 * 0.18 / 3600.0;
+        assert!((p.ledger().total() - expected).abs() < 1e-9);
+        assert!((p.ledger().pool_seconds - 1000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,368 @@
+//! Provisioned virtual-machine fleet simulator.
+//!
+//! Models EC2 spot-request semantics as assumed by the paper (§4.1):
+//!
+//! * Changing the provisioning target is a *spot request modification*: the
+//!   fleet requests new instances (which become usable after the startup
+//!   latency) or releases instances.
+//! * Not-yet-started requests are cancelled for free when the target drops.
+//! * Running instances are terminated **only once idle**, and each billed
+//!   `max(runtime, min_billing)` — AWS's one-minute minimum.
+//! * Termination picks the **oldest** idle VM first, since old VMs have
+//!   already amortized their minimum billing charge while a freshly started
+//!   VM would forfeit the remainder of its first minute.
+//!
+//! Each VM executes one task at a time (demand and allocation are both
+//! measured in task-sized slots throughout the paper).
+
+use crate::ledger::{CostCategory, CostLedger};
+use crate::pricing::Pricing;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Identifier of a provisioned VM, unique within one fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VmId(pub u64);
+
+#[derive(Debug, Clone)]
+struct RunningVm {
+    started_at: SimTime,
+    busy: bool,
+}
+
+/// A simulated fleet of provisioned VMs.
+#[derive(Debug)]
+pub struct VmFleet {
+    pricing: Pricing,
+    category: CostCategory,
+    next_id: u64,
+    /// Requested instances that have not yet started, with their ready times
+    /// (FIFO in request order, so ready times are non-decreasing).
+    pending: VecDeque<(VmId, SimTime)>,
+    running: BTreeMap<VmId, RunningVm>,
+    target: usize,
+    ledger: CostLedger,
+    /// Lifetime counters for reporting.
+    started_total: u64,
+    terminated_total: u64,
+}
+
+impl VmFleet {
+    /// Create an empty fleet billed as execution-layer VMs.
+    pub fn new(pricing: Pricing) -> Self {
+        Self::with_category(pricing, CostCategory::VmCompute)
+    }
+
+    /// Create a fleet billed against an arbitrary category (the shuffle
+    /// layer reuses this fleet logic with [`CostCategory::ShuffleNode`]).
+    pub fn with_category(pricing: Pricing, category: CostCategory) -> Self {
+        VmFleet {
+            pricing,
+            category,
+            next_id: 0,
+            pending: VecDeque::new(),
+            running: BTreeMap::new(),
+            target: 0,
+            ledger: CostLedger::new(),
+            started_total: 0,
+            terminated_total: 0,
+        }
+    }
+
+    fn startup(&self) -> SimDuration {
+        self.pricing.vm_startup
+    }
+
+    fn rate_per_hour(&self) -> f64 {
+        match self.category {
+            CostCategory::ShuffleNode => self.pricing.shuffle_node_per_hour,
+            _ => self.pricing.vm_per_hour,
+        }
+    }
+
+    fn min_billing(&self) -> SimDuration {
+        match self.category {
+            CostCategory::ShuffleNode => self.pricing.shuffle_min_billing,
+            _ => self.pricing.vm_min_billing,
+        }
+    }
+
+    /// The current provisioning target.
+    pub fn target(&self) -> usize {
+        self.target
+    }
+
+    /// Number of instances that are started and able to run tasks.
+    pub fn running_count(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Number of requested instances that have not yet started.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of running instances currently executing a task.
+    pub fn busy_count(&self) -> usize {
+        self.running.values().filter(|v| v.busy).count()
+    }
+
+    /// Number of running instances idle and ready for a task.
+    pub fn idle_count(&self) -> usize {
+        self.running.len() - self.busy_count()
+    }
+
+    /// Instances started over the fleet's lifetime.
+    pub fn started_total(&self) -> u64 {
+        self.started_total
+    }
+
+    /// Instances terminated over the fleet's lifetime.
+    pub fn terminated_total(&self) -> u64 {
+        self.terminated_total
+    }
+
+    /// The accumulated billing ledger.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// Modify the spot request to aim for `target` instances, requesting or
+    /// releasing as needed. Running busy instances in excess of the target
+    /// are terminated lazily as they become idle (see [`VmFleet::release`]).
+    pub fn set_target(&mut self, now: SimTime, target: usize) {
+        self.target = target;
+        let total = self.running.len() + self.pending.len();
+        if target > total {
+            for _ in 0..(target - total) {
+                let id = VmId(self.next_id);
+                self.next_id += 1;
+                self.pending.push_back((id, now + self.startup()));
+            }
+        } else if target < total {
+            let mut excess = total - target;
+            // Cancel pending requests first: they are free to cancel.
+            while excess > 0 && !self.pending.is_empty() {
+                self.pending.pop_back();
+                excess -= 1;
+            }
+            // Terminate idle running VMs, oldest first.
+            while excess > 0 {
+                let oldest_idle = self
+                    .running
+                    .iter()
+                    .filter(|(_, v)| !v.busy)
+                    .min_by_key(|(id, v)| (v.started_at, **id))
+                    .map(|(id, _)| *id);
+                match oldest_idle {
+                    Some(id) => {
+                        self.terminate(now, id);
+                        excess -= 1;
+                    }
+                    None => break, // all remaining are busy; trimmed on release
+                }
+            }
+        }
+    }
+
+    /// Move pending instances whose startup latency has elapsed into the
+    /// running set. Returns the ids of newly started instances.
+    pub fn poll(&mut self, now: SimTime) -> Vec<VmId> {
+        let mut started = Vec::new();
+        while let Some(&(id, ready_at)) = self.pending.front() {
+            if ready_at > now {
+                break;
+            }
+            self.pending.pop_front();
+            self.running.insert(id, RunningVm { started_at: now.max(ready_at), busy: false });
+            self.started_total += 1;
+            started.push(id);
+        }
+        started
+    }
+
+    /// Time at which the next pending instance becomes available, if any.
+    pub fn next_start_time(&self) -> Option<SimTime> {
+        self.pending.front().map(|&(_, t)| t)
+    }
+
+    /// Claim an idle VM for a task. Prefers the most recently started idle
+    /// instance, leaving the oldest idle (and min-billing-amortized)
+    /// instances free to be terminated if the target drops.
+    pub fn try_assign(&mut self, _now: SimTime) -> Option<VmId> {
+        let id = self
+            .running
+            .iter()
+            .filter(|(_, v)| !v.busy)
+            .max_by_key(|(id, v)| (v.started_at, **id))
+            .map(|(id, _)| *id)?;
+        self.running.get_mut(&id).expect("vm exists").busy = true;
+        Some(id)
+    }
+
+    /// Return a VM to the idle set after its task completes. If the fleet is
+    /// above target, the instance is terminated immediately instead.
+    pub fn release(&mut self, now: SimTime, id: VmId) {
+        let vm = self.running.get_mut(&id).expect("released unknown VM");
+        debug_assert!(vm.busy, "released an idle VM");
+        vm.busy = false;
+        if self.running.len() + self.pending.len() > self.target {
+            self.terminate(now, id);
+        }
+    }
+
+    /// Spot interruption: the provider reclaims a (possibly busy) VM.
+    /// The instance bills like a normal termination; the caller is
+    /// responsible for rescheduling whatever task it was running.
+    pub fn reclaim(&mut self, now: SimTime, id: VmId) {
+        if let Some(vm) = self.running.get_mut(&id) {
+            vm.busy = false;
+            self.terminate(now, id);
+        }
+    }
+
+    fn terminate(&mut self, now: SimTime, id: VmId) {
+        let vm = self.running.remove(&id).expect("terminated unknown VM");
+        debug_assert!(!vm.busy, "terminated a busy VM");
+        let billed = (now - vm.started_at).max(self.min_billing());
+        self.ledger.charge(self.category, self.rate_per_hour() * billed.as_hours_f64());
+        let secs = billed.as_secs_f64();
+        match self.category {
+            CostCategory::ShuffleNode => self.ledger.shuffle_seconds += secs,
+            _ => self.ledger.vm_seconds += secs,
+        }
+        self.terminated_total += 1;
+    }
+
+    /// End of workload: terminate every instance (idle or not) and bill it,
+    /// cancelling all pending requests for free.
+    pub fn finalize(&mut self, now: SimTime) {
+        self.pending.clear();
+        self.target = 0;
+        let ids: Vec<VmId> = self.running.keys().copied().collect();
+        for id in ids {
+            if let Some(vm) = self.running.get_mut(&id) {
+                vm.busy = false;
+            }
+            self.terminate(now, id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet() -> VmFleet {
+        VmFleet::new(Pricing::default())
+    }
+
+    #[test]
+    fn startup_latency_gates_availability() {
+        let mut f = fleet();
+        f.set_target(SimTime::ZERO, 3);
+        assert_eq!(f.pending_count(), 3);
+        assert!(f.poll(SimTime::from_secs(179)).is_empty());
+        let started = f.poll(SimTime::from_secs(180));
+        assert_eq!(started.len(), 3);
+        assert_eq!(f.running_count(), 3);
+        assert_eq!(f.idle_count(), 3);
+    }
+
+    #[test]
+    fn cancelling_pending_is_free() {
+        let mut f = fleet();
+        f.set_target(SimTime::ZERO, 10);
+        f.set_target(SimTime::from_secs(1), 0);
+        assert_eq!(f.pending_count(), 0);
+        f.poll(SimTime::from_secs(600));
+        assert_eq!(f.running_count(), 0);
+        assert_eq!(f.ledger().total(), 0.0);
+    }
+
+    #[test]
+    fn min_billing_charged_on_quick_terminate() {
+        let mut f = fleet();
+        f.set_target(SimTime::ZERO, 1);
+        f.poll(SimTime::from_secs(180));
+        // Terminate after running only 10 s: billed the full minimum minute.
+        f.set_target(SimTime::from_secs(190), 0);
+        let expected = Pricing::default().vm_billed(SimDuration::from_secs(10));
+        assert!((f.ledger().total() - expected).abs() < 1e-12);
+        assert!((f.ledger().vm_seconds - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_vms_terminate_lazily_on_release() {
+        let mut f = fleet();
+        f.set_target(SimTime::ZERO, 1);
+        f.poll(SimTime::from_secs(180));
+        let vm = f.try_assign(SimTime::from_secs(180)).unwrap();
+        // Target drops while the VM is busy: nothing terminates yet.
+        f.set_target(SimTime::from_secs(200), 0);
+        assert_eq!(f.running_count(), 1);
+        // On release the excess VM terminates immediately.
+        f.release(SimTime::from_secs(400), vm);
+        assert_eq!(f.running_count(), 0);
+        let expected = Pricing::default().vm_billed(SimDuration::from_secs(220));
+        assert!((f.ledger().total() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assign_prefers_newest_terminate_prefers_oldest() {
+        let mut f = fleet();
+        f.set_target(SimTime::ZERO, 1);
+        f.poll(SimTime::from_secs(180));
+        f.set_target(SimTime::from_secs(300), 2);
+        f.poll(SimTime::from_secs(480));
+        assert_eq!(f.running_count(), 2);
+        // Newest VM (id 1, started at 480) is assigned first.
+        let assigned = f.try_assign(SimTime::from_secs(480)).unwrap();
+        assert_eq!(assigned, VmId(1));
+        // Dropping the target terminates the idle oldest VM (id 0).
+        f.set_target(SimTime::from_secs(500), 1);
+        assert_eq!(f.running_count(), 1);
+        assert!(f.running.contains_key(&VmId(1)));
+    }
+
+    #[test]
+    fn finalize_bills_everything() {
+        let mut f = fleet();
+        f.set_target(SimTime::ZERO, 2);
+        f.poll(SimTime::from_secs(180));
+        f.try_assign(SimTime::from_secs(180)).unwrap();
+        f.finalize(SimTime::from_secs(180 + 3600));
+        assert_eq!(f.running_count(), 0);
+        assert_eq!(f.pending_count(), 0);
+        // Two VMs, one hour each at $0.03/hour.
+        assert!((f.ledger().total() - 0.06).abs() < 1e-12);
+        assert_eq!(f.terminated_total(), 2);
+    }
+
+    #[test]
+    fn reclaim_interrupts_busy_vms() {
+        let mut f = fleet();
+        f.set_target(SimTime::ZERO, 1);
+        f.poll(SimTime::from_secs(180));
+        let vm = f.try_assign(SimTime::from_secs(180)).unwrap();
+        // Spot reclaim mid-task: the busy VM disappears and bills normally.
+        f.reclaim(SimTime::from_secs(400), vm);
+        assert_eq!(f.running_count(), 0);
+        let expected = Pricing::default().vm_billed(SimDuration::from_secs(220));
+        assert!((f.ledger().total() - expected).abs() < 1e-12);
+        // Reclaiming an unknown id is a no-op.
+        f.reclaim(SimTime::from_secs(401), vm);
+        assert_eq!(f.terminated_total(), 1);
+    }
+
+    #[test]
+    fn shuffle_category_uses_shuffle_rate() {
+        let mut f = VmFleet::with_category(Pricing::default(), CostCategory::ShuffleNode);
+        f.set_target(SimTime::ZERO, 1);
+        f.poll(SimTime::from_secs(180));
+        f.finalize(SimTime::from_secs(180 + 3600));
+        assert!((f.ledger().category(CostCategory::ShuffleNode) - 0.08).abs() < 1e-12);
+        assert!((f.ledger().shuffle_seconds - 3600.0).abs() < 1e-9);
+    }
+}

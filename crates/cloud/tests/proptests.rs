@@ -1,0 +1,118 @@
+//! Property-based tests for the cloud substrate: event-queue ordering, VM
+//! fleet billing invariants, and elastic-pool accounting.
+
+use cackle_cloud::{
+    CostCategory, ElasticPool, EventQueue, Pricing, SimDuration, SimTime, VmFleet,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Events pop in non-decreasing time order with FIFO ties, no matter
+    /// the insertion order.
+    #[test]
+    fn event_queue_total_order(times in proptest::collection::vec(0u64..1_000, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_secs(t), i);
+        }
+        let mut last = (SimTime::ZERO, 0usize);
+        let mut popped = 0;
+        while let Some((at, idx)) = q.pop() {
+            prop_assert!(at >= last.0, "time went backwards");
+            if at == last.0 && popped > 0 {
+                prop_assert!(idx > last.1, "FIFO tie-break violated");
+            }
+            prop_assert_eq!(SimTime::from_secs(times[idx]), at);
+            last = (at, idx);
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Whatever sequence of target changes is applied, the fleet bills at
+    /// least the minimum time per started VM and never bills cancelled
+    /// pending requests.
+    #[test]
+    fn fleet_billing_invariants(
+        targets in proptest::collection::vec(0usize..12, 1..60),
+        step_s in 1u64..240,
+    ) {
+        let pricing = Pricing::default();
+        let mut fleet = VmFleet::new(pricing.clone());
+        let mut now = SimTime::ZERO;
+        for &t in &targets {
+            fleet.poll(now);
+            fleet.set_target(now, t);
+            now += SimDuration::from_secs(step_s);
+        }
+        // Let stragglers start, then tear down.
+        now += SimDuration::from_secs(300);
+        fleet.poll(now);
+        fleet.finalize(now);
+        let started = fleet.started_total();
+        prop_assert_eq!(fleet.terminated_total(), started, "all started VMs terminate");
+        let min_cost =
+            started as f64 * pricing.vm_billed(SimDuration::from_secs(1));
+        prop_assert!(
+            fleet.ledger().category(CostCategory::VmCompute) >= min_cost - 1e-12,
+            "billed below the per-VM minimum"
+        );
+        // Billed seconds consistent with dollars.
+        let dollars = fleet.ledger().category(CostCategory::VmCompute);
+        let expect = fleet.ledger().vm_seconds / 3600.0 * pricing.vm_per_hour;
+        prop_assert!((dollars - expect).abs() < 1e-9);
+    }
+
+    /// Pool dollars equal slot-seconds × rate exactly, for any interleaving
+    /// of invocations and completions.
+    #[test]
+    fn pool_accounting_exact(
+        durations_ms in proptest::collection::vec(1u64..100_000, 1..50),
+    ) {
+        let pricing = Pricing::default();
+        let mut pool = ElasticPool::new(pricing.clone());
+        let mut handles = Vec::new();
+        for (i, &d) in durations_ms.iter().enumerate() {
+            let (id, start) = pool.invoke(SimTime::from_millis(i as u64 * 37));
+            handles.push((id, start, d));
+        }
+        let mut total_s = 0.0;
+        for (id, start, d) in handles {
+            let ran = pool.complete(start + SimDuration::from_millis(d), id);
+            total_s += ran.as_secs_f64();
+        }
+        prop_assert_eq!(pool.active_count(), 0);
+        let expect = total_s / 3600.0 * pricing.pool_per_hour;
+        let got = pool.ledger().category(CostCategory::ElasticPool);
+        prop_assert!((got - expect).abs() < 1e-9, "{} vs {}", got, expect);
+        prop_assert_eq!(pool.invocations_total(), durations_ms.len() as u64);
+    }
+
+    /// Assign/release cycles never lose VMs: the fleet's running count is
+    /// conserved and a released VM is terminated only when above target.
+    #[test]
+    fn assign_release_conserves_fleet(
+        ops in proptest::collection::vec(any::<bool>(), 1..80),
+    ) {
+        let mut fleet = VmFleet::new(Pricing::default());
+        let now = SimTime::from_secs(200);
+        fleet.set_target(SimTime::ZERO, 6);
+        fleet.poll(now);
+        prop_assert_eq!(fleet.running_count(), 6);
+        let mut held = Vec::new();
+        for (i, &assign) in ops.iter().enumerate() {
+            let t = now + SimDuration::from_secs(i as u64);
+            if assign {
+                if let Some(id) = fleet.try_assign(t) {
+                    held.push(id);
+                }
+            } else if let Some(id) = held.pop() {
+                fleet.release(t, id);
+            }
+            prop_assert_eq!(fleet.running_count(), 6, "target never changed");
+            prop_assert_eq!(fleet.busy_count(), held.len());
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # cackle-comparators — baseline system models
+//!
+//! Models of the commercial systems the paper compares against (§7.1.7,
+//! §7.1.8), built on the same workload/profile representation as the
+//! Cackle model so all systems run identical workloads:
+//!
+//! * [`databricks`] — warehouse of clusters with bounded admission,
+//!   queue-triggered add-a-cluster autoscaling, slow release, DBU billing.
+//! * [`redshift`] — RPU-based serverless endpoint billed only while active
+//!   (60 s minimum), with queue-triggered capacity scaling.
+//!
+//! The work-delaying fixed-provisioning baseline lives in
+//! [`cackle::delaying`].
+
+pub mod databricks;
+pub mod redshift;
+
+pub use databricks::{run_databricks, DatabricksConfig, WarehouseSize};
+pub use redshift::{run_redshift, RedshiftConfig};

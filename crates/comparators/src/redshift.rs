@@ -1,0 +1,289 @@
+//! A Redshift-Serverless-style model (§7.1.8).
+//!
+//! Base capacity in RPUs; users are charged only while queries run, with a
+//! 60-second minimum per active period. Capacity can scale up when usage is
+//! sustained, after a provisioning delay — but like the other warehouse
+//! products, scaling happens only after work has queued.
+
+use cackle::model::QueryArrival;
+use cackle::report::{ComputeCost, RunResult};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Redshift Serverless configuration.
+#[derive(Debug, Clone)]
+pub struct RedshiftConfig {
+    /// Base capacity in RPUs (8 in the paper).
+    pub base_rpus: u32,
+    /// Task slots per RPU.
+    pub slots_per_rpu: u32,
+    /// Dollars per RPU-hour ($0.36 in the paper).
+    pub dollars_per_rpu_hour: f64,
+    /// Minimum billed seconds per active period.
+    pub min_billing_s: u64,
+    /// Maximum scale-up factor over base capacity.
+    pub max_scale: u32,
+    /// Seconds of sustained queueing before capacity doubles.
+    pub scale_trigger_s: u64,
+    /// Delay for added capacity to arrive.
+    pub scale_delay_s: u64,
+    /// Queries on warm Redshift run this factor faster than the profile.
+    pub warm_speedup: f64,
+}
+
+impl Default for RedshiftConfig {
+    fn default() -> Self {
+        RedshiftConfig {
+            base_rpus: 8,
+            slots_per_rpu: 16,
+            dollars_per_rpu_hour: 0.36,
+            min_billing_s: 60,
+            max_scale: 4,
+            scale_trigger_s: 30,
+            scale_delay_s: 120,
+            warm_speedup: 8.0,
+        }
+    }
+}
+
+/// Run a workload on the modelled Redshift Serverless endpoint.
+pub fn run_redshift(workload: &[QueryArrival], cfg: &RedshiftConfig) -> RunResult {
+    let mut completions: BinaryHeap<Reverse<(u64, usize, usize)>> = BinaryHeap::new();
+    let mut ready: BinaryHeap<Reverse<(u64, usize, usize, u32)>> = BinaryHeap::new();
+    let mut arrivals: Vec<(u64, usize)> =
+        workload.iter().enumerate().map(|(i, q)| (q.at_s, i)).collect();
+    arrivals.sort_unstable();
+    let mut next_arrival = 0usize;
+
+    let mut remaining: Vec<Vec<u32>> = workload
+        .iter()
+        .map(|q| q.profile.stages.iter().map(|s| s.tasks).collect())
+        .collect();
+    let mut unfinished_deps: Vec<Vec<usize>> = workload
+        .iter()
+        .map(|q| q.profile.stages.iter().map(|s| s.deps.len()).collect())
+        .collect();
+    let mut stages_left: Vec<usize> =
+        workload.iter().map(|q| q.profile.stages.len()).collect();
+    let mut latencies = vec![0.0f64; workload.len()];
+    let mut done = 0usize;
+
+    let mut rpus = cfg.base_rpus;
+    let mut free_slots = rpus * cfg.slots_per_rpu;
+    let mut queue_since: Option<u64> = None;
+    let mut scale_arrives: Option<(u64, u32)> = None;
+
+    // Billing: active periods of the endpoint.
+    let mut active_since: Option<u64> = None;
+    let mut billed_rpu_seconds = 0f64;
+    let mut running_tasks = 0u64;
+    let mut now = 0u64;
+    let mut makespan = 0u64;
+
+    let task_secs = |q: usize, s: usize| -> u64 {
+        (workload[q].profile.stages[s].task_seconds as f64 / cfg.warm_speedup).ceil()
+            as u64
+    };
+
+    loop {
+        while next_arrival < arrivals.len() && arrivals[next_arrival].0 <= now {
+            let (_, q) = arrivals[next_arrival];
+            next_arrival += 1;
+            for (s, st) in workload[q].profile.stages.iter().enumerate() {
+                if st.deps.is_empty() {
+                    ready.push(Reverse((workload[q].at_s, q, s, st.tasks)));
+                }
+            }
+        }
+        while completions.peek().is_some_and(|Reverse((t, _, _))| *t <= now) {
+            let Reverse((_, q, s)) = completions.pop().expect("peeked");
+            free_slots += 1;
+            running_tasks -= 1;
+            remaining[q][s] -= 1;
+            if remaining[q][s] == 0 {
+                stages_left[q] -= 1;
+                if stages_left[q] == 0 {
+                    latencies[q] = (now - workload[q].at_s) as f64;
+                    makespan = makespan.max(now);
+                    done += 1;
+                } else {
+                    #[allow(clippy::needless_range_loop)] // parallel index into dep tables
+                    for si in 0..workload[q].profile.stages.len() {
+                        if workload[q].profile.stages[si].deps.contains(&s) {
+                            unfinished_deps[q][si] -= 1;
+                            if unfinished_deps[q][si] == 0 {
+                                let tasks = workload[q].profile.stages[si].tasks;
+                                ready.push(Reverse((workload[q].at_s, q, si, tasks)));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Scale-up arrival.
+        if let Some((t, add)) = scale_arrives {
+            if t <= now {
+                rpus += add;
+                free_slots += add * cfg.slots_per_rpu;
+                scale_arrives = None;
+            }
+        }
+        // Schedule ready tasks.
+        while free_slots > 0 {
+            let Some(Reverse((key, q, s, count))) = ready.pop() else { break };
+            let launch = count.min(free_slots);
+            free_slots -= launch;
+            running_tasks += launch as u64;
+            if active_since.is_none() {
+                active_since = Some(now);
+            }
+            for _ in 0..launch {
+                completions.push(Reverse((now + task_secs(q, s), q, s)));
+            }
+            if count > launch {
+                ready.push(Reverse((key, q, s, count - launch)));
+            }
+        }
+        // Billing: close the active period when nothing runs.
+        if running_tasks == 0 {
+            if let Some(since) = active_since.take() {
+                let period = (now - since).max(cfg.min_billing_s);
+                billed_rpu_seconds += period as f64 * rpus as f64;
+            }
+        }
+        // Queue-triggered capacity scaling.
+        if !ready.is_empty() {
+            let since = *queue_since.get_or_insert(now);
+            if now - since >= cfg.scale_trigger_s
+                && scale_arrives.is_none()
+                && rpus < cfg.base_rpus * cfg.max_scale
+            {
+                let add = rpus.min(cfg.base_rpus * cfg.max_scale - rpus);
+                scale_arrives = Some((now + cfg.scale_delay_s, add));
+            }
+        } else {
+            queue_since = None;
+            // Shed scaled-up capacity when the queue clears and slots idle.
+            if rpus > cfg.base_rpus && running_tasks == 0 {
+                free_slots -= (rpus - cfg.base_rpus) * cfg.slots_per_rpu;
+                rpus = cfg.base_rpus;
+            }
+        }
+        // Advance.
+        let next = [
+            arrivals.get(next_arrival).map(|&(t, _)| t),
+            completions.peek().map(|Reverse((t, _, _))| *t),
+            scale_arrives.map(|(t, _)| t),
+        ]
+        .into_iter()
+        .flatten()
+        .min();
+        match next {
+            Some(t) if t > now => now = t,
+            Some(_) if done < workload.len() => now += 1,
+            _ => break,
+        }
+    }
+    if let Some(since) = active_since.take() {
+        let period = (makespan.max(since) - since).max(cfg.min_billing_s);
+        billed_rpu_seconds += period as f64 * rpus as f64;
+    }
+
+    RunResult {
+        compute: ComputeCost {
+            vm_cost: billed_rpu_seconds / 3600.0 * cfg.dollars_per_rpu_hour,
+            pool_cost: 0.0,
+            vm_seconds: billed_rpu_seconds,
+            pool_seconds: 0.0,
+        },
+        shuffle: Default::default(),
+        latencies,
+        timeseries: None,
+        duration_s: makespan,
+        strategy: format!("redshift_serverless_{}rpu", cfg.base_rpus),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cackle_workload::profile::{QueryProfile, StageProfile};
+    use std::sync::Arc;
+
+    fn profile(tasks: u32, secs: u32) -> Arc<QueryProfile> {
+        Arc::new(QueryProfile::new(
+            "q",
+            vec![StageProfile {
+                tasks,
+                task_seconds: secs,
+                shuffle_bytes: 0,
+                shuffle_writes: 0,
+                shuffle_reads: 0,
+                deps: vec![],
+            }],
+        ))
+    }
+
+    #[test]
+    fn idle_time_is_not_billed() {
+        // Two short queries an hour apart: billing covers two active
+        // periods (60 s minimum each), not the idle hour.
+        let w = vec![
+            QueryArrival { at_s: 0, profile: profile(8, 10) },
+            QueryArrival { at_s: 3600, profile: profile(8, 10) },
+        ];
+        let cfg = RedshiftConfig::default();
+        let r = run_redshift(&w, &cfg);
+        // 2 periods × 60 s × 8 RPU = 960 RPU-seconds.
+        assert!(
+            (r.compute.vm_seconds - 960.0).abs() < 1e-9,
+            "rpu-seconds {}",
+            r.compute.vm_seconds
+        );
+    }
+
+    #[test]
+    fn saturation_queues_and_degrades_latency() {
+        // 128 slots at base capacity; 80 queries × 16 tasks at once swamp it.
+        let w: Vec<QueryArrival> =
+            (0..80).map(|_| QueryArrival { at_s: 0, profile: profile(16, 15) }).collect();
+        let r = run_redshift(&w, &RedshiftConfig::default());
+        let solo = run_redshift(
+            &[QueryArrival { at_s: 0, profile: profile(16, 15) }],
+            &RedshiftConfig::default(),
+        );
+        assert!(
+            r.latency_percentile(90.0) > solo.latencies[0] * 3.0,
+            "p90 {} vs solo {}",
+            r.latency_percentile(90.0),
+            solo.latencies[0]
+        );
+    }
+
+    #[test]
+    fn capacity_scaling_kicks_in_after_queueing() {
+        let w: Vec<QueryArrival> = (0..600)
+            .map(|i| QueryArrival { at_s: i / 8, profile: profile(16, 80) })
+            .collect();
+        let scaled = run_redshift(&w, &RedshiftConfig::default());
+        let unscaled =
+            run_redshift(&w, &RedshiftConfig { max_scale: 1, ..Default::default() });
+        assert!(
+            scaled.latency_percentile(95.0) < unscaled.latency_percentile(95.0),
+            "scaling should relieve the queue: {} vs {}",
+            scaled.latency_percentile(95.0),
+            unscaled.latency_percentile(95.0)
+        );
+    }
+
+    #[test]
+    fn all_finish_deterministically() {
+        let w: Vec<QueryArrival> = (0..100)
+            .map(|i| QueryArrival { at_s: i * 2, profile: profile(8, 10) })
+            .collect();
+        let a = run_redshift(&w, &RedshiftConfig::default());
+        let b = run_redshift(&w, &RedshiftConfig::default());
+        assert_eq!(a.latencies, b.latencies);
+        assert!(a.latencies.iter().all(|&l| l > 0.0));
+    }
+}

@@ -1,0 +1,57 @@
+//! Construct strategies from the labels used throughout the paper's plots
+//! (`fixed_500`, `mean_2`, `predictive`, `dynamic`).
+
+use crate::config::Env;
+use crate::meta::MetaStrategy;
+use crate::strategy::{
+    FixedStrategy, MeanStrategy, PredictiveStrategy, ProvisioningStrategy,
+};
+
+/// Build a strategy from its label.
+///
+/// * `fixed_N` — fixed N VMs (N ≥ 0)
+/// * `mean_Y` — 5-minute mean × Y (Y may be fractional)
+/// * `predictive` — 5-minute linear regression
+/// * `dynamic` — the multiplicative-weights meta-strategy (paper family)
+pub fn make_strategy(label: &str, env: &Env) -> Box<dyn ProvisioningStrategy> {
+    if let Some(n) = label.strip_prefix("fixed_") {
+        let vms: u32 = n.parse().unwrap_or_else(|_| panic!("bad fixed label '{label}'"));
+        return Box::new(FixedStrategy { vms });
+    }
+    if let Some(m) = label.strip_prefix("mean_") {
+        let mult: f64 = m.parse().unwrap_or_else(|_| panic!("bad mean label '{label}'"));
+        return Box::new(MeanStrategy::times(mult));
+    }
+    match label {
+        "predictive" => Box::new(PredictiveStrategy::new()),
+        "dynamic" => Box::new(MetaStrategy::new(env)),
+        other => panic!("unknown strategy label '{other}'"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_roundtrip() {
+        let env = Env::default();
+        for label in ["fixed_0", "fixed_500", "mean_1", "mean_2", "predictive", "dynamic"]
+        {
+            let s = make_strategy(label, &env);
+            assert_eq!(s.name(), label, "label {label}");
+        }
+    }
+
+    #[test]
+    fn fractional_mean() {
+        let s = make_strategy("mean_1.5", &Env::default());
+        assert_eq!(s.name(), "mean_1.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown strategy")]
+    fn unknown_label_panics() {
+        make_strategy("nonsense", &Env::default());
+    }
+}

@@ -1,0 +1,229 @@
+//! The workload history (§4.4.1) and an order-statistics structure for
+//! evaluating hundreds of percentile experts cheaply.
+
+use cackle_workload::demand::percentile_of_sorted;
+
+/// Per-second record of the maximum number of concurrently requested task
+/// slots. Grows by one sample per second; strategies only ever look back,
+/// never forward.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadHistory {
+    samples: Vec<u32>,
+}
+
+impl WorkloadHistory {
+    /// Empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the demand sample for the next second.
+    pub fn push(&mut self, demand: u32) {
+        self.samples.push(demand);
+    }
+
+    /// Number of recorded seconds.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing is recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Demand at absolute second `t` (0 if unrecorded).
+    pub fn at(&self, t: u64) -> u32 {
+        self.samples.get(t as usize).copied().unwrap_or(0)
+    }
+
+    /// The most recent sample.
+    pub fn latest(&self) -> u32 {
+        self.samples.last().copied().unwrap_or(0)
+    }
+
+    /// The last `lookback` seconds (shorter if the history is young).
+    pub fn window(&self, lookback: usize) -> &[u32] {
+        let n = self.samples.len();
+        &self.samples[n.saturating_sub(lookback)..]
+    }
+
+    /// Nearest-rank percentile over the last `lookback` seconds.
+    pub fn percentile(&self, lookback: usize, pct: u8) -> u32 {
+        let mut w = self.window(lookback).to_vec();
+        w.sort_unstable();
+        percentile_of_sorted(&w, pct)
+    }
+
+    /// Mean over the last `lookback` seconds.
+    pub fn mean(&self, lookback: usize) -> f64 {
+        let w = self.window(lookback);
+        if w.is_empty() {
+            return 0.0;
+        }
+        w.iter().map(|&x| x as f64).sum::<f64>() / w.len() as f64
+    }
+
+    /// All samples.
+    pub fn samples(&self) -> &[u32] {
+        &self.samples
+    }
+}
+
+/// Maximum demand value tracked exactly by [`SlidingQuantile`]; larger
+/// samples clamp (the Fenwick tree is sized to this domain).
+pub const QUANTILE_DOMAIN: u32 = 1 << 16;
+
+/// A sliding-window order-statistics structure: push one sample per second,
+/// query any percentile in `O(log D)`. This is what lets the meta-strategy
+/// evaluate 100 percentile experts per lookback without re-sorting.
+#[derive(Debug, Clone)]
+pub struct SlidingQuantile {
+    capacity: usize,
+    window: std::collections::VecDeque<u32>,
+    /// Fenwick tree over the value domain, counts per value.
+    tree: Vec<u32>,
+}
+
+impl SlidingQuantile {
+    /// A window holding the last `capacity` samples.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        SlidingQuantile {
+            capacity,
+            window: std::collections::VecDeque::with_capacity(capacity + 1),
+            tree: vec![0; QUANTILE_DOMAIN as usize + 1],
+        }
+    }
+
+    fn add(&mut self, v: u32, delta: i32) {
+        let mut i = v as usize + 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + delta as i64) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Push the next sample, evicting the oldest when full.
+    pub fn push(&mut self, v: u32) {
+        let v = v.min(QUANTILE_DOMAIN - 1);
+        self.window.push_back(v);
+        self.add(v, 1);
+        if self.window.len() > self.capacity {
+            let old = self.window.pop_front().expect("non-empty");
+            self.add(old, -1);
+        }
+    }
+
+    /// Samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// True when no samples are held.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// The `k`-th smallest sample (1-based). Panics if `k` is out of range.
+    pub fn kth(&self, k: usize) -> u32 {
+        assert!(k >= 1 && k <= self.window.len(), "k={k} of {}", self.window.len());
+        let mut remaining = k as u32;
+        let mut pos = 0usize;
+        let mut bit = (self.tree.len() - 1).next_power_of_two() / 2;
+        while bit > 0 {
+            let next = pos + bit;
+            if next < self.tree.len() && self.tree[next] < remaining {
+                remaining -= self.tree[next];
+                pos = next;
+            }
+            bit /= 2;
+        }
+        pos as u32
+    }
+
+    /// Nearest-rank percentile (1–100) of the current window; 0 if empty.
+    pub fn percentile(&self, pct: u8) -> u32 {
+        if self.window.is_empty() {
+            return 0;
+        }
+        let pct = pct.clamp(1, 100) as usize;
+        let rank = (pct * self.window.len()).div_ceil(100);
+        self.kth(rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn history_window_and_percentile() {
+        let mut h = WorkloadHistory::new();
+        for v in [5u32, 1, 9, 3, 7] {
+            h.push(v);
+        }
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.latest(), 7);
+        assert_eq!(h.window(3), &[9, 3, 7]);
+        assert_eq!(h.window(100).len(), 5);
+        assert_eq!(h.percentile(5, 100), 9);
+        assert_eq!(h.percentile(5, 1), 1);
+        assert!((h.mean(5) - 5.0).abs() < 1e-12);
+        assert_eq!(h.at(2), 9);
+        assert_eq!(h.at(99), 0);
+    }
+
+    #[test]
+    fn sliding_quantile_matches_sorting() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sq = SlidingQuantile::new(50);
+        let mut all: Vec<u32> = Vec::new();
+        for i in 0..500 {
+            let v = rng.gen_range(0..1000);
+            sq.push(v);
+            all.push(v);
+            if i % 17 == 0 {
+                let start = all.len().saturating_sub(50);
+                let mut w = all[start..].to_vec();
+                w.sort_unstable();
+                for pct in [1u8, 25, 50, 80, 99, 100] {
+                    assert_eq!(
+                        sq.percentile(pct),
+                        percentile_of_sorted(&w, pct),
+                        "pct {pct} at step {i}"
+                    );
+                }
+            }
+        }
+        assert_eq!(sq.len(), 50);
+    }
+
+    #[test]
+    fn sliding_quantile_eviction() {
+        let mut sq = SlidingQuantile::new(3);
+        for v in [10, 20, 30, 40] {
+            sq.push(v);
+        }
+        // 10 evicted.
+        assert_eq!(sq.kth(1), 20);
+        assert_eq!(sq.kth(3), 40);
+        assert_eq!(sq.percentile(100), 40);
+    }
+
+    #[test]
+    fn domain_clamping() {
+        let mut sq = SlidingQuantile::new(2);
+        sq.push(10_000_000);
+        assert_eq!(sq.percentile(100), QUANTILE_DOMAIN - 1);
+    }
+
+    #[test]
+    fn empty_quantile_is_zero() {
+        let sq = SlidingQuantile::new(4);
+        assert_eq!(sq.percentile(50), 0);
+        assert!(sq.is_empty());
+    }
+}

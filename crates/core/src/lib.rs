@@ -1,0 +1,54 @@
+//! # cackle — hybrid elastic-pool provisioning (the paper's contribution)
+//!
+//! Cackle serves persistent demand with cheap, slow-to-start provisioned
+//! VMs and absorbs spikes with an expensive but instantly available elastic
+//! pool. The crate provides:
+//!
+//! * [`history`] — the per-second workload history (§4.4.1) and sliding
+//!   order statistics.
+//! * [`strategy`] — fixed / mean / percentile / predictive strategies
+//!   (§4.2–§4.3).
+//! * [`allocsim`] — target-history → allocation-history prediction and the
+//!   cost calculation (§4.4.2–§4.4.3).
+//! * [`meta`] — the multiplicative-weights meta-strategy (§4.4.4–§4.4.6).
+//! * [`oracle`] — the exact offline optimum via per-demand-level interval
+//!   DP (§5.1's `oracle`), with and without the elastic pool.
+//! * [`shuffleprov`] — the §5.6 shuffle-node provisioner.
+//! * [`model`] — the §5.1 analytical model over query profiles.
+//! * [`delaying`] — the §5.5 work-delaying comparison system.
+//! * [`system`] — the full event-driven Cackle system: coordinator,
+//!   VM fleet + elastic pool, shuffle placement with S3 fallback, runtime
+//!   noise — the "real execution" side of Figures 12–14.
+
+pub mod allocsim;
+pub mod factory;
+pub mod config;
+pub mod delaying;
+pub mod history;
+pub mod live;
+pub mod meta;
+pub mod model;
+pub mod oracle;
+pub mod prices;
+pub mod report;
+pub mod shuffleprov;
+pub mod strategy;
+pub mod system;
+pub mod transport;
+
+pub use allocsim::{cost_of_target_history, AllocationSim};
+pub use factory::make_strategy;
+pub use config::Env;
+pub use history::WorkloadHistory;
+pub use live::{run_live, LiveConfig, LiveQuery, LiveResult};
+pub use meta::{FamilyConfig, MetaStrategy};
+pub use model::{build_workload, run_model, ModelOptions, QueryArrival};
+pub use oracle::{oracle_cost, oracle_cost_without_pool, OracleCost};
+pub use prices::PriceTimeline;
+pub use report::{ComputeCost, RunResult, ShuffleCost, Timeseries};
+pub use system::{run_system, SystemConfig};
+pub use transport::HybridShuffle;
+pub use strategy::{
+    FixedStrategy, MeanStrategy, PercentileStrategy, PredictiveStrategy,
+    ProvisioningStrategy,
+};

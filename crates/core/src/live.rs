@@ -1,0 +1,368 @@
+//! Live-engine execution: the full Cackle system running **real queries**.
+//!
+//! Where [`crate::system`] replays pre-measured profiles, this module runs
+//! actual `cackle-engine` plans over generated data: every task executes
+//! its operator pipeline, intermediate bytes travel through the
+//! [`HybridShuffle`] (capacity-limited shuffle nodes with billed
+//! object-store fallback), and each task's *simulated* duration is derived
+//! from the rows it actually processed at the calibrated task throughput —
+//! so the demand curve, the shuffle pressure, and therefore the strategy's
+//! behaviour all emerge from genuine execution rather than from a profile.
+//!
+//! This is the closest analogue of the paper's §7.1 implementation: the
+//! same coordinator/compute/shuffle split, with the cloud simulated and
+//! the relational work real.
+
+use crate::config::Env;
+use crate::history::WorkloadHistory;
+use crate::report::{ComputeCost, RunResult, ShuffleCost, Timeseries};
+use crate::shuffleprov::ShuffleProvisioner;
+use crate::strategy::ProvisioningStrategy;
+use crate::transport::HybridShuffle;
+use cackle_cloud::{
+    CostCategory, ElasticPool, EventQueue, InvocationId, ObjectStore, SimDuration, SimTime,
+    VmFleet, VmId,
+};
+use cackle_engine::batch::Batch;
+use cackle_engine::plan::StageDag;
+use cackle_engine::shuffle::ShuffleTransport;
+use cackle_engine::table::Catalog;
+use cackle_engine::task::{execute_task, TaskContext};
+use std::sync::Arc;
+
+/// A query to run live: arrival time plus its physical plan.
+#[derive(Clone)]
+pub struct LiveQuery {
+    /// Arrival second.
+    pub at_s: u64,
+    /// The plan to execute.
+    pub plan: Arc<StageDag>,
+}
+
+/// Configuration for a live run.
+pub struct LiveConfig {
+    /// Cloud environment.
+    pub env: Env,
+    /// Rows one task processes per simulated second (matches
+    /// `cackle_tpch::profiles::ROWS_PER_TASK_SECOND` by default).
+    pub rows_per_task_second: f64,
+    /// Pool tasks run this factor slower than VM tasks (§7.1.2).
+    pub pool_slowdown: f64,
+    /// Keep gathered query results (memory-heavy for big workloads).
+    pub keep_results: bool,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            env: Env::default(),
+            rows_per_task_second: 400_000.0,
+            pool_slowdown: 1.25,
+            keep_results: false,
+        }
+    }
+}
+
+/// Result of a live run: the usual [`RunResult`] plus gathered query
+/// outputs (when requested).
+pub struct LiveResult {
+    /// Costs, latencies, series.
+    pub run: RunResult,
+    /// Final gathered batches per query (empty unless `keep_results`).
+    pub results: Vec<Vec<Batch>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    Vm(VmId),
+    Pool(InvocationId),
+}
+
+enum Ev {
+    Arrive(usize),
+    TaskDone { query: usize, stage: usize, slot: Slot },
+    Second,
+    Tick,
+}
+
+struct QueryState {
+    arrival: SimTime,
+    remaining_tasks: Vec<u32>,
+    unfinished_deps: Vec<usize>,
+    stages_left: usize,
+}
+
+/// Execute a live workload on the full system.
+///
+/// Single-process: engine tasks run inline at event-processing time (their
+/// wall time is irrelevant — simulated durations come from processed
+/// rows), which keeps the run deterministic.
+pub fn run_live(
+    workload: &[LiveQuery],
+    catalog: &Catalog,
+    strategy: &mut dyn ProvisioningStrategy,
+    cfg: &LiveConfig,
+) -> LiveResult {
+    let env = &cfg.env;
+    let pricing = env.pricing.clone();
+    let store = Arc::new(ObjectStore::new(pricing.clone()));
+    // Shuffle nodes sized by the provisioner's floor; the node count is
+    // refreshed each second from the resident-state window like the
+    // simulated system. For placement we rebuild capacity by adjusting a
+    // target on the hybrid's node list — the transport is recreated is
+    // avoided by sizing to the floor (nodes beyond it only reduce S3
+    // traffic further, which keeps the cost accounting conservative).
+    let floor_nodes =
+        (env.shuffle_min_bytes / pricing.shuffle_node_capacity_bytes).max(1) as usize;
+    let shuffle =
+        HybridShuffle::new(floor_nodes, pricing.shuffle_node_capacity_bytes, store.clone());
+
+    let mut events: EventQueue<Ev> = EventQueue::new();
+    let mut fleet = VmFleet::new(pricing.clone());
+    let mut pool = ElasticPool::new(pricing.clone());
+    let mut shuffle_fleet =
+        VmFleet::with_category(pricing.clone(), CostCategory::ShuffleNode);
+    let mut shuffle_prov = ShuffleProvisioner::new(env);
+    let mut history = WorkloadHistory::new();
+    let mut ts = Timeseries::default();
+
+    let mut queries: Vec<QueryState> = workload
+        .iter()
+        .map(|q| QueryState {
+            arrival: SimTime::from_secs(q.at_s),
+            remaining_tasks: q.plan.stages.iter().map(|s| s.tasks).collect(),
+            unfinished_deps: q.plan.stages.iter().map(|s| s.dependencies().len()).collect(),
+            stages_left: q.plan.stages.len(),
+        })
+        .collect();
+    let mut latencies = vec![0.0f64; workload.len()];
+    let mut results: Vec<Vec<Batch>> = vec![Vec::new(); workload.len()];
+    let mut done = 0usize;
+    let mut running = 0u32;
+    let mut max_since = 0u32;
+    let mut target = 0u32;
+
+    for (i, q) in workload.iter().enumerate() {
+        events.schedule(SimTime::from_secs(q.at_s), Ev::Arrive(i));
+    }
+    if !workload.is_empty() {
+        events.schedule(SimTime::ZERO, Ev::Second);
+        events.schedule(SimTime::ZERO, Ev::Tick);
+    }
+
+    // Launch every task of a stage: execute the engine task NOW (bytes move
+    // through the shuffle immediately) but schedule its completion at the
+    // simulated time its row count implies.
+    macro_rules! launch_stage {
+        ($now:expr, $qi:expr, $si:expr) => {{
+            let plan = &workload[$qi].plan;
+            let tasks = plan.stages[$si].tasks;
+            for task in 0..tasks {
+                let ctx = TaskContext {
+                    dag: plan,
+                    stage_id: $si,
+                    task,
+                    query_id: $qi as u64,
+                    catalog,
+                    shuffle: &shuffle,
+                };
+                let r = execute_task(&ctx);
+                if let Some(batches) = r.output {
+                    if cfg.keep_results {
+                        results[$qi].extend(batches);
+                    }
+                }
+                let work_s =
+                    (r.rows_in.max(1) as f64 / cfg.rows_per_task_second).max(0.2);
+                let (slot, start, dur) = match fleet.try_assign($now) {
+                    Some(id) => (Slot::Vm(id), $now, work_s),
+                    None => {
+                        let (id, start) = pool.invoke($now);
+                        (Slot::Pool(id), start, work_s * cfg.pool_slowdown)
+                    }
+                };
+                running += 1;
+                max_since = max_since.max(running);
+                events.schedule(
+                    start + SimDuration::from_secs_f64(dur),
+                    Ev::TaskDone { query: $qi, stage: $si, slot },
+                );
+            }
+        }};
+    }
+
+    while let Some((now, ev)) = events.pop() {
+        match ev {
+            Ev::Arrive(qi) => {
+                let plan = workload[qi].plan.clone();
+                for si in 0..plan.stages.len() {
+                    if plan.stages[si].dependencies().is_empty() {
+                        launch_stage!(now, qi, si);
+                    }
+                }
+            }
+            Ev::TaskDone { query, stage, slot } => {
+                match slot {
+                    Slot::Vm(id) => fleet.release(now, id),
+                    Slot::Pool(id) => {
+                        pool.complete(now, id);
+                    }
+                }
+                running -= 1;
+                queries[query].remaining_tasks[stage] -= 1;
+                if queries[query].remaining_tasks[stage] == 0 {
+                    queries[query].stages_left -= 1;
+                    if queries[query].stages_left == 0 {
+                        latencies[query] = (now - queries[query].arrival).as_secs_f64();
+                        shuffle.delete_query(query as u64);
+                        done += 1;
+                    } else {
+                        let plan = workload[query].plan.clone();
+                        for si in 0..plan.stages.len() {
+                            if plan.stages[si].dependencies().contains(&stage) {
+                                queries[query].unfinished_deps[si] -= 1;
+                                if queries[query].unfinished_deps[si] == 0 {
+                                    launch_stage!(now, query, si);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Ev::Second => {
+                fleet.poll(now);
+                shuffle_fleet.poll(now);
+                history.push(max_since.max(running));
+                max_since = running;
+                // Shuffle-node billing tracks the provisioner target driven
+                // by *real* resident bytes on the transport.
+                let st = shuffle_prov.target_nodes(shuffle.node_resident_bytes());
+                shuffle_fleet.set_target(now, st as usize);
+                ts.demand.push(history.latest());
+                ts.target.push(target);
+                ts.active.push(fleet.running_count() as u32);
+                if done < workload.len() || running > 0 {
+                    events.schedule(now + SimDuration::from_secs(1), Ev::Second);
+                } else {
+                    fleet.set_target(now, 0);
+                    shuffle_fleet.set_target(now, 0);
+                }
+            }
+            Ev::Tick => {
+                target = strategy.target(now.as_secs(), &history, env);
+                fleet.set_target(now, target as usize);
+                fleet.poll(now);
+                if done < workload.len() || running > 0 {
+                    events.schedule(now + env.strategy_tick, Ev::Tick);
+                }
+            }
+        }
+    }
+
+    let end = SimTime::from_secs(history.len() as u64);
+    fleet.set_target(end, 0);
+    fleet.finalize(end);
+    shuffle_fleet.finalize(end);
+    let store_ledger = store.ledger();
+
+    LiveResult {
+        run: RunResult {
+            compute: ComputeCost {
+                vm_cost: fleet.ledger().category(CostCategory::VmCompute),
+                pool_cost: pool.ledger().category(CostCategory::ElasticPool),
+                vm_seconds: fleet.ledger().vm_seconds,
+                pool_seconds: pool.ledger().pool_seconds,
+            },
+            shuffle: ShuffleCost {
+                node_cost: shuffle_fleet.ledger().category(CostCategory::ShuffleNode),
+                s3_put_cost: store_ledger.category(CostCategory::S3Put),
+                s3_get_cost: store_ledger.category(CostCategory::S3Get),
+                puts: store_ledger.put_requests,
+                gets: store_ledger.get_requests,
+            },
+            latencies,
+            timeseries: Some(ts),
+            duration_s: history.len() as u64,
+            strategy: strategy.name(),
+        },
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::FixedStrategy;
+    use cackle_tpch::dbgen::{generate_catalog, DbGenConfig};
+    use cackle_tpch::plans::{self, Par};
+
+    fn tiny_catalog() -> Catalog {
+        generate_catalog(&DbGenConfig {
+            scale_factor: 0.002,
+            rows_per_partition: 512,
+            seed: 7,
+        })
+    }
+
+    fn live_workload(names: &[(&str, u64)]) -> Vec<LiveQuery> {
+        let par = Par { fact: 3, mid: 2, join: 2 };
+        names
+            .iter()
+            .map(|&(n, at)| LiveQuery { at_s: at, plan: Arc::new(plans::plan(n, par)) })
+            .collect()
+    }
+
+    #[test]
+    fn real_queries_execute_and_bill() {
+        let catalog = tiny_catalog();
+        let w = live_workload(&[("q01", 0), ("q06", 5), ("q03", 10), ("q13", 15)]);
+        let mut strategy = FixedStrategy { vms: 0 };
+        let cfg = LiveConfig {
+            rows_per_task_second: 5_000.0, // tiny data: stretch durations
+            keep_results: true,
+            ..Default::default()
+        };
+        let r = run_live(&w, &catalog, &mut strategy, &cfg);
+        assert_eq!(r.run.latencies.len(), 4);
+        assert!(r.run.latencies.iter().all(|&l| l > 0.0));
+        // Pool-only: every task billed on the pool.
+        assert_eq!(r.run.compute.vm_seconds, 0.0);
+        assert!(r.run.compute.pool_cost > 0.0);
+        // Real results were gathered.
+        assert!(r.results.iter().all(|b| !b.is_empty()));
+        // q01 produced its 3 pricing-summary groups.
+        let q01_rows: usize = r.results[0].iter().map(|b| b.num_rows()).sum();
+        assert_eq!(q01_rows, 3);
+    }
+
+    #[test]
+    fn live_results_match_direct_execution() {
+        use cackle_engine::shuffle::MemoryShuffle;
+        use cackle_engine::task::execute_query;
+        let catalog = tiny_catalog();
+        let par = Par { fact: 3, mid: 2, join: 2 };
+        let w = live_workload(&[("q04", 0)]);
+        let mut strategy = FixedStrategy { vms: 2 };
+        let cfg = LiveConfig { keep_results: true, ..Default::default() };
+        let live = run_live(&w, &catalog, &mut strategy, &cfg);
+        let dag = plans::plan("q04", par);
+        let direct = execute_query(&dag, 1, &catalog, &MemoryShuffle::new());
+        let gathered =
+            Batch::concat(dag.final_stage().output_schema.clone(), &live.results[0]);
+        assert_eq!(gathered, direct, "live system must compute the same answer");
+    }
+
+    #[test]
+    fn vms_pick_up_work_once_started() {
+        let catalog = tiny_catalog();
+        // Enough queries spread out that VMs (180 s startup) see work.
+        let w: Vec<LiveQuery> = (0..20)
+            .flat_map(|i| live_workload(&[("q06", i * 30)]))
+            .collect();
+        let mut strategy = FixedStrategy { vms: 4 };
+        let cfg = LiveConfig { rows_per_task_second: 2_000.0, ..Default::default() };
+        let r = run_live(&w, &catalog, &mut strategy, &cfg);
+        assert!(r.run.compute.vm_seconds > 0.0, "VMs should run tasks");
+        assert!(r.run.compute.pool_seconds > 0.0, "cold start uses the pool");
+    }
+}

@@ -1,0 +1,107 @@
+//! Time-varying prices (§5.3).
+//!
+//! The paper motivates cost sensitivity with a real swing: between January
+//! and March 2023 the spot price of a c5a.large nearly doubled while
+//! Lambda's price held, shrinking the pool premium from 7× to 3.6×. A
+//! [`PriceTimeline`] is a step function of `(vm, pool)` per-second rates;
+//! the §4.4.3 machinery re-prices every expert's accruals from the moment
+//! conditions change, so the meta-strategy re-ranks its family mid-run
+//! without being told anything happened.
+
+use crate::config::Env;
+
+/// A step function of per-second prices over the workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriceTimeline {
+    /// `(from_second, vm_per_sec, pool_per_sec)`, sorted by time, first
+    /// entry at second 0.
+    steps: Vec<(u64, f64, f64)>,
+}
+
+impl PriceTimeline {
+    /// Constant prices from the environment.
+    pub fn constant(env: &Env) -> Self {
+        PriceTimeline {
+            steps: vec![(0, env.pricing.vm_per_sec(), env.pricing.pool_per_sec())],
+        }
+    }
+
+    /// Start from the environment's prices and append a change at `at_s`.
+    /// Later calls must use non-decreasing times.
+    pub fn then(mut self, at_s: u64, vm_per_hour: f64, pool_per_hour: f64) -> Self {
+        let last = self.steps.last().expect("non-empty").0;
+        assert!(at_s >= last, "price steps must be time-ordered");
+        self.steps.push((at_s, vm_per_hour / 3600.0, pool_per_hour / 3600.0));
+        self
+    }
+
+    /// The §5.3 scenario: VM spot price jumps by `vm_factor` at `at_s`
+    /// while the pool price holds (premium shrinks).
+    pub fn spot_spike(env: &Env, at_s: u64, vm_factor: f64) -> Self {
+        Self::constant(env).then(
+            at_s,
+            env.pricing.vm_per_hour * vm_factor,
+            env.pricing.pool_per_hour,
+        )
+    }
+
+    /// `(vm_per_sec, pool_per_sec)` in force at second `t`.
+    pub fn rates_at(&self, t: u64) -> (f64, f64) {
+        let mut current = (self.steps[0].1, self.steps[0].2);
+        for &(from, vm, pool) in &self.steps {
+            if from > t {
+                break;
+            }
+            current = (vm, pool);
+        }
+        current
+    }
+
+    /// Seconds at which prices change (excluding second 0).
+    pub fn change_points(&self) -> Vec<u64> {
+        self.steps.iter().skip(1).map(|&(t, _, _)| t).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_timeline_matches_env() {
+        let env = Env::default();
+        let t = PriceTimeline::constant(&env);
+        assert_eq!(t.rates_at(0), (env.pricing.vm_per_sec(), env.pricing.pool_per_sec()));
+        assert_eq!(t.rates_at(1_000_000), t.rates_at(0));
+        assert!(t.change_points().is_empty());
+    }
+
+    #[test]
+    fn steps_apply_from_their_time() {
+        let env = Env::default();
+        let t = PriceTimeline::constant(&env).then(100, 0.06, 0.18);
+        let before = t.rates_at(99);
+        let after = t.rates_at(100);
+        assert_eq!(before.0, 0.03 / 3600.0);
+        assert!((after.0 - 0.06 / 3600.0).abs() < 1e-15);
+        assert_eq!(before.1, after.1);
+        assert_eq!(t.change_points(), vec![100]);
+    }
+
+    #[test]
+    fn spot_spike_halves_premium() {
+        let env = Env::default();
+        let t = PriceTimeline::spot_spike(&env, 3600, 2.0);
+        let (vm0, pool0) = t.rates_at(0);
+        let (vm1, pool1) = t.rates_at(3600);
+        assert!((pool0 / vm0 - 6.0).abs() < 1e-9);
+        assert!((pool1 / vm1 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_steps_rejected() {
+        let env = Env::default();
+        let _ = PriceTimeline::constant(&env).then(100, 0.06, 0.18).then(50, 0.03, 0.18);
+    }
+}

@@ -1,0 +1,139 @@
+//! Result types shared by the analytical model and the full system.
+
+use cackle_workload::demand::percentile_f64;
+use serde::{Deserialize, Serialize};
+
+/// Compute-layer cost split.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ComputeCost {
+    /// Dollars on provisioned VMs.
+    pub vm_cost: f64,
+    /// Dollars on the elastic pool.
+    pub pool_cost: f64,
+    /// Billed VM seconds.
+    pub vm_seconds: f64,
+    /// Pool slot-seconds.
+    pub pool_seconds: f64,
+}
+
+impl ComputeCost {
+    /// Total compute dollars.
+    pub fn total(&self) -> f64 {
+        self.vm_cost + self.pool_cost
+    }
+}
+
+/// Shuffle-layer cost split (§5.6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShuffleCost {
+    /// Dollars on provisioned shuffle nodes.
+    pub node_cost: f64,
+    /// Dollars on object-store PUTs.
+    pub s3_put_cost: f64,
+    /// Dollars on object-store GETs.
+    pub s3_get_cost: f64,
+    /// PUT request count.
+    pub puts: u64,
+    /// GET request count.
+    pub gets: u64,
+}
+
+impl ShuffleCost {
+    /// Total shuffle dollars.
+    pub fn total(&self) -> f64 {
+        self.node_cost + self.s3_put_cost + self.s3_get_cost
+    }
+}
+
+/// Per-second series recorded during a run (Figure 12).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Timeseries {
+    /// Task demand.
+    pub demand: Vec<u32>,
+    /// Strategy's VM target.
+    pub target: Vec<u32>,
+    /// Active (started, not terminated) VMs.
+    pub active: Vec<u32>,
+}
+
+/// Result of one workload run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Compute-layer costs.
+    pub compute: ComputeCost,
+    /// Shuffle-layer costs.
+    pub shuffle: ShuffleCost,
+    /// Per-query latencies in seconds.
+    pub latencies: Vec<f64>,
+    /// Recorded series, when requested.
+    pub timeseries: Option<Timeseries>,
+    /// Simulated workload span in seconds.
+    pub duration_s: u64,
+    /// Label of the strategy that produced this run.
+    pub strategy: String,
+}
+
+impl RunResult {
+    /// Total dollars (compute + shuffle).
+    pub fn total_cost(&self) -> f64 {
+        self.compute.total() + self.shuffle.total()
+    }
+
+    /// Cost per query in dollars.
+    pub fn cost_per_query(&self) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        self.total_cost() / self.latencies.len() as f64
+    }
+
+    /// The `pct`-th latency percentile in seconds.
+    pub fn latency_percentile(&self, pct: f64) -> f64 {
+        percentile_f64(&self.latencies, pct)
+    }
+
+    /// Mean latency in seconds.
+    pub fn mean_latency(&self) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        self.latencies.iter().sum::<f64>() / self.latencies.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_percentiles() {
+        let r = RunResult {
+            compute: ComputeCost { vm_cost: 3.0, pool_cost: 1.0, ..Default::default() },
+            shuffle: ShuffleCost {
+                node_cost: 0.5,
+                s3_put_cost: 0.25,
+                s3_get_cost: 0.25,
+                puts: 10,
+                gets: 20,
+            },
+            latencies: (1..=100).map(|x| x as f64).collect(),
+            timeseries: None,
+            duration_s: 3600,
+            strategy: "test".into(),
+        };
+        assert!((r.total_cost() - 5.0).abs() < 1e-12);
+        assert!((r.cost_per_query() - 0.05).abs() < 1e-12);
+        assert_eq!(r.latency_percentile(95.0), 95.0);
+        assert_eq!(r.latency_percentile(50.0), 50.0);
+        assert!((r.mean_latency() - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_is_zero() {
+        let r = RunResult::default();
+        assert_eq!(r.total_cost(), 0.0);
+        assert_eq!(r.cost_per_query(), 0.0);
+        assert_eq!(r.latency_percentile(99.0), 0.0);
+        assert_eq!(r.mean_latency(), 0.0);
+    }
+}

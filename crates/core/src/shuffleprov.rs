@@ -1,0 +1,119 @@
+//! Shuffle-node provisioning (§5.6).
+//!
+//! Because S3 requests are so expensive relative to shuffle-node time, it
+//! is almost always cheaper to over-provision the shuffle tier, so instead
+//! of the cost-based meta-strategy the provisioner simply targets enough
+//! node memory for the **maximum intermediate state seen in the last 20
+//! minutes**, and never less than 16 GB.
+
+use crate::config::Env;
+use std::collections::VecDeque;
+
+/// Sliding-window maximum via a monotonic deque: O(1) amortized per push.
+#[derive(Debug, Clone)]
+pub struct SlidingMax {
+    window_s: u64,
+    /// (second, value), values strictly decreasing front to back.
+    deque: VecDeque<(u64, u64)>,
+    now: u64,
+}
+
+impl SlidingMax {
+    /// A window over the last `window_s` seconds.
+    pub fn new(window_s: u64) -> Self {
+        SlidingMax { window_s: window_s.max(1), deque: VecDeque::new(), now: 0 }
+    }
+
+    /// Push the sample for the next second and return the window maximum.
+    pub fn push(&mut self, value: u64) -> u64 {
+        while self.deque.back().is_some_and(|&(_, v)| v <= value) {
+            self.deque.pop_back();
+        }
+        self.deque.push_back((self.now, value));
+        let cutoff = self.now.saturating_sub(self.window_s - 1);
+        while self.deque.front().is_some_and(|&(t, _)| t < cutoff) {
+            self.deque.pop_front();
+        }
+        self.now += 1;
+        self.deque.front().map(|&(_, v)| v).unwrap_or(0)
+    }
+}
+
+/// The §5.6 shuffle-node provisioner. Call once per second.
+#[derive(Debug, Clone)]
+pub struct ShuffleProvisioner {
+    max_tracker: SlidingMax,
+    node_capacity_bytes: u64,
+    min_bytes: u64,
+}
+
+impl ShuffleProvisioner {
+    /// Build from the environment.
+    pub fn new(env: &Env) -> Self {
+        ShuffleProvisioner {
+            max_tracker: SlidingMax::new(env.shuffle_lookback.as_secs()),
+            node_capacity_bytes: env.pricing.shuffle_node_capacity_bytes,
+            min_bytes: env.shuffle_min_bytes,
+        }
+    }
+
+    /// Record this second's resident intermediate state and return the
+    /// target shuffle-node count.
+    pub fn target_nodes(&mut self, resident_bytes: u64) -> u32 {
+        let window_max = self.max_tracker.push(resident_bytes);
+        let needed = window_max.max(self.min_bytes);
+        needed.div_ceil(self.node_capacity_bytes) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sliding_max_window_semantics() {
+        let mut m = SlidingMax::new(3);
+        assert_eq!(m.push(5), 5);
+        assert_eq!(m.push(3), 5);
+        assert_eq!(m.push(1), 5);
+        // The 5 from three seconds ago falls out of the window.
+        assert_eq!(m.push(2), 3);
+        assert_eq!(m.push(0), 2);
+        assert_eq!(m.push(0), 2);
+        assert_eq!(m.push(0), 0);
+    }
+
+    #[test]
+    fn floor_of_sixteen_gib() {
+        let env = Env::default();
+        let mut p = ShuffleProvisioner::new(&env);
+        // Nothing resident: still two 8 GB nodes (16 GB floor).
+        assert_eq!(p.target_nodes(0), 2);
+        assert_eq!(p.target_nodes(1 << 20), 2);
+    }
+
+    #[test]
+    fn scales_with_window_max_and_decays() {
+        let env = Env {
+            shuffle_lookback: cackle_cloud::SimDuration::from_secs(5),
+            ..Default::default()
+        };
+        let mut p = ShuffleProvisioner::new(&env);
+        // 40 GB resident -> 5 nodes.
+        assert_eq!(p.target_nodes(40 << 30), 5);
+        // Stays at 5 while the spike is inside the 5 s lookback...
+        for _ in 0..4 {
+            assert_eq!(p.target_nodes(0), 5);
+        }
+        // ...then decays to the floor.
+        assert_eq!(p.target_nodes(0), 2);
+    }
+
+    #[test]
+    fn partial_nodes_round_up() {
+        let env = Env::default();
+        let mut p = ShuffleProvisioner::new(&env);
+        // 17 GB needs 3 nodes of 8 GB.
+        assert_eq!(p.target_nodes(17 << 30), 3);
+    }
+}

@@ -1,0 +1,499 @@
+//! The full Cackle system (§3, §7.1): an event-driven execution of a query
+//! workload on the simulated cloud substrate.
+//!
+//! Unlike the analytical model — which replays profiles against a
+//! strategy-independent demand curve — this is the "real" system: the
+//! coordinator schedules individual tasks onto a [`VmFleet`] first and the
+//! [`ElasticPool`] as overflow, VMs start after real startup latency and
+//! bill with a minimum, the dynamic strategy runs in the loop off the
+//! history the system itself records, intermediate results go to shuffle
+//! nodes with object-store fallback, and task runtimes carry noise: pool
+//! tasks run ~25 % slower than VM tasks (§7.1.2) with lognormal jitter.
+//! Figures 12–13 validate the analytical model against exactly this gap.
+
+use crate::config::Env;
+use crate::history::WorkloadHistory;
+use crate::model::QueryArrival;
+use crate::report::{ComputeCost, RunResult, ShuffleCost, Timeseries};
+use crate::shuffleprov::ShuffleProvisioner;
+use crate::strategy::ProvisioningStrategy;
+use cackle_cloud::{
+    CostCategory, ElasticPool, EventQueue, InvocationId, Pricing, SimDuration, SimTime,
+    VmFleet, VmId,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Where a task ran.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    Vm(VmId),
+    Pool(InvocationId),
+}
+
+#[derive(Debug)]
+enum Ev {
+    Arrive(usize),
+    TaskDone { query: usize, stage: usize, slot: Slot },
+    /// A spot VM is reclaimed mid-task; the task restarts on the pool.
+    Interrupted { query: usize, stage: usize, vm: VmId },
+    Second,
+    Tick,
+}
+
+/// System knobs beyond the environment.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Cloud environment.
+    pub env: Env,
+    /// Runtime-noise seed.
+    pub seed: u64,
+    /// Pool tasks run this factor slower than the profile duration
+    /// (§7.1.2: VMs execute tasks ~25 % faster than Lambda).
+    pub pool_slowdown: f64,
+    /// Magnitude of per-task duration jitter (0 disables).
+    pub duration_jitter: f64,
+    /// Spot-interruption rate: expected reclamations per VM-hour (0
+    /// disables). An interrupted task restarts from scratch on the elastic
+    /// pool — an extension beyond the paper, which runs on spot instances
+    /// but never models reclamation.
+    pub spot_interruptions_per_vm_hour: f64,
+    /// Record demand/target/active series.
+    pub record_timeseries: bool,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            env: Env::default(),
+            seed: 42,
+            pool_slowdown: 1.25,
+            duration_jitter: 0.08,
+            spot_interruptions_per_vm_hour: 0.0,
+            record_timeseries: false,
+        }
+    }
+}
+
+struct QueryState {
+    arrival: SimTime,
+    remaining_tasks: Vec<u32>,
+    unfinished_deps: Vec<usize>,
+    stages_left: usize,
+    resident_bytes: u64,
+}
+
+struct SystemState<'a> {
+    cfg: &'a SystemConfig,
+    rng: StdRng,
+    fleet: VmFleet,
+    pool: ElasticPool,
+    shuffle_fleet: VmFleet,
+    running: u32,
+    max_since_sample: u32,
+    resident_total: u64,
+    puts: u64,
+    gets: u64,
+}
+
+impl SystemState<'_> {
+    /// Fraction of shuffle requests that miss the node tier right now.
+    fn overflow_fraction(&self) -> f64 {
+        let cap = self.shuffle_fleet.running_count() as u64
+            * self.cfg.env.pricing.shuffle_node_capacity_bytes;
+        if self.resident_total > cap && self.resident_total > 0 {
+            (self.resident_total - cap) as f64 / self.resident_total as f64
+        } else {
+            0.0
+        }
+    }
+
+    fn launch_stage(
+        &mut self,
+        events: &mut EventQueue<Ev>,
+        now: SimTime,
+        workload: &[QueryArrival],
+        qi: usize,
+        si: usize,
+    ) {
+        let stage = &workload[qi].profile.stages[si];
+        // Reads happen at stage start; the node tier serves what fits.
+        let f = self.overflow_fraction();
+        self.gets += (stage.shuffle_reads as f64 * f).round() as u64;
+        for _ in 0..stage.tasks {
+            let base = stage.task_seconds as f64;
+            let jitter = if self.cfg.duration_jitter > 0.0 {
+                let u: f64 = self.rng.gen_range(-1.0..1.0);
+                (u * self.cfg.duration_jitter).exp()
+            } else {
+                1.0
+            };
+            let (slot, start, dur_s) = match self.fleet.try_assign(now) {
+                Some(id) => (Slot::Vm(id), now, base * jitter),
+                None => {
+                    let (id, start) = self.pool.invoke(now);
+                    (Slot::Pool(id), start, base * self.cfg.pool_slowdown * jitter)
+                }
+            };
+            self.running += 1;
+            self.max_since_sample = self.max_since_sample.max(self.running);
+            // Spot interruptions: a VM task survives its duration with
+            // probability exp(-rate × duration); otherwise the VM is
+            // reclaimed at a uniformly random point through the task.
+            if let Slot::Vm(id) = slot {
+                let rate = self.cfg.spot_interruptions_per_vm_hour;
+                if rate > 0.0 {
+                    let p_interrupt = 1.0 - (-rate * dur_s / 3600.0).exp();
+                    if self.rng.gen_bool(p_interrupt.clamp(0.0, 1.0)) {
+                        let frac: f64 = self.rng.gen_range(0.0..1.0);
+                        events.schedule(
+                            start + SimDuration::from_secs_f64(dur_s * frac),
+                            Ev::Interrupted { query: qi, stage: si, vm: id },
+                        );
+                        continue;
+                    }
+                }
+            }
+            events.schedule(
+                start + SimDuration::from_secs_f64(dur_s),
+                Ev::TaskDone { query: qi, stage: si, slot },
+            );
+        }
+    }
+}
+
+/// Run the full system over a workload.
+pub fn run_system(
+    workload: &[QueryArrival],
+    strategy: &mut dyn ProvisioningStrategy,
+    cfg: &SystemConfig,
+) -> RunResult {
+    let env = &cfg.env;
+    let pricing: Pricing = env.pricing.clone();
+    let mut events: EventQueue<Ev> = EventQueue::new();
+    let mut st = SystemState {
+        cfg,
+        rng: StdRng::seed_from_u64(cfg.seed),
+        fleet: VmFleet::new(pricing.clone()),
+        pool: ElasticPool::new(pricing.clone()),
+        shuffle_fleet: VmFleet::with_category(pricing.clone(), CostCategory::ShuffleNode),
+        running: 0,
+        max_since_sample: 0,
+        resident_total: 0,
+        puts: 0,
+        gets: 0,
+    };
+    let mut shuffle_prov = ShuffleProvisioner::new(env);
+    let mut history = WorkloadHistory::new();
+    let mut ts = Timeseries::default();
+
+    let mut queries: Vec<QueryState> = workload
+        .iter()
+        .map(|q| QueryState {
+            arrival: SimTime::from_secs(q.at_s),
+            remaining_tasks: q.profile.stages.iter().map(|s| s.tasks).collect(),
+            unfinished_deps: q.profile.stages.iter().map(|s| s.deps.len()).collect(),
+            stages_left: q.profile.stages.len(),
+            resident_bytes: 0,
+        })
+        .collect();
+    let mut latencies = vec![0.0f64; workload.len()];
+    let mut done = 0usize;
+
+    for (i, q) in workload.iter().enumerate() {
+        events.schedule(SimTime::from_secs(q.at_s), Ev::Arrive(i));
+    }
+    if !workload.is_empty() {
+        events.schedule(SimTime::ZERO, Ev::Second);
+        events.schedule(SimTime::ZERO, Ev::Tick);
+    }
+
+    let mut target = 0u32;
+    let tick = env.strategy_tick;
+
+    while let Some((now, ev)) = events.pop() {
+        match ev {
+            Ev::Arrive(qi) => {
+                let profile = &workload[qi].profile;
+                for si in 0..profile.stages.len() {
+                    if profile.stages[si].deps.is_empty() {
+                        st.launch_stage(&mut events, now, workload, qi, si);
+                    }
+                }
+            }
+            Ev::TaskDone { query, stage, slot } => {
+                match slot {
+                    Slot::Vm(id) => st.fleet.release(now, id),
+                    Slot::Pool(id) => {
+                        st.pool.complete(now, id);
+                    }
+                }
+                st.running -= 1;
+                queries[query].remaining_tasks[stage] -= 1;
+                if queries[query].remaining_tasks[stage] == 0 {
+                    let profile = workload[query].profile.clone();
+                    // Stage output lands in the shuffle tier.
+                    let bytes = profile.stages[stage].shuffle_bytes;
+                    queries[query].resident_bytes += bytes;
+                    st.resident_total += bytes;
+                    let f = st.overflow_fraction();
+                    st.puts +=
+                        (profile.stages[stage].shuffle_writes as f64 * f).round() as u64;
+                    queries[query].stages_left -= 1;
+                    if queries[query].stages_left == 0 {
+                        latencies[query] = (now - queries[query].arrival).as_secs_f64();
+                        st.resident_total -= queries[query].resident_bytes;
+                        queries[query].resident_bytes = 0;
+                        done += 1;
+                    } else {
+                        for si in 0..profile.stages.len() {
+                            if profile.stages[si].deps.contains(&stage) {
+                                queries[query].unfinished_deps[si] -= 1;
+                                if queries[query].unfinished_deps[si] == 0 {
+                                    st.launch_stage(&mut events, now, workload, query, si);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Ev::Interrupted { query, stage, vm } => {
+                // The provider reclaims the VM; the task restarts from
+                // scratch on the elastic pool (run-to-completion tasks
+                // have no partial progress to save).
+                st.fleet.reclaim(now, vm);
+                let base = workload[query].profile.stages[stage].task_seconds as f64;
+                let (id, start) = st.pool.invoke(now);
+                events.schedule(
+                    start + SimDuration::from_secs_f64(base * cfg.pool_slowdown),
+                    Ev::TaskDone { query, stage, slot: Slot::Pool(id) },
+                );
+            }
+            Ev::Second => {
+                st.fleet.poll(now);
+                st.shuffle_fleet.poll(now);
+                history.push(st.max_since_sample.max(st.running));
+                st.max_since_sample = st.running;
+                let shuffle_target = shuffle_prov.target_nodes(st.resident_total);
+                st.shuffle_fleet.set_target(now, shuffle_target as usize);
+                if cfg.record_timeseries {
+                    ts.demand.push(history.latest());
+                    ts.target.push(target);
+                    ts.active.push(st.fleet.running_count() as u32);
+                }
+                if done < workload.len() || st.running > 0 {
+                    events.schedule(now + SimDuration::from_secs(1), Ev::Second);
+                } else {
+                    st.fleet.set_target(now, 0);
+                    st.shuffle_fleet.set_target(now, 0);
+                }
+            }
+            Ev::Tick => {
+                target = strategy.target(now.as_secs(), &history, env);
+                st.fleet.set_target(now, target as usize);
+                st.fleet.poll(now);
+                if done < workload.len() || st.running > 0 {
+                    events.schedule(now + tick, Ev::Tick);
+                }
+            }
+        }
+    }
+
+    let end = SimTime::from_secs(history.len() as u64);
+    st.fleet.set_target(end, 0);
+    st.fleet.finalize(end);
+    st.shuffle_fleet.finalize(end);
+    let vm_ledger = st.fleet.ledger();
+    let pool_ledger = st.pool.ledger();
+    let sh_ledger = st.shuffle_fleet.ledger();
+
+    RunResult {
+        compute: ComputeCost {
+            vm_cost: vm_ledger.category(CostCategory::VmCompute),
+            pool_cost: pool_ledger.category(CostCategory::ElasticPool),
+            vm_seconds: vm_ledger.vm_seconds,
+            pool_seconds: pool_ledger.pool_seconds,
+        },
+        shuffle: ShuffleCost {
+            node_cost: sh_ledger.category(CostCategory::ShuffleNode),
+            s3_put_cost: st.puts as f64 * pricing.s3_put,
+            s3_get_cost: st.gets as f64 * pricing.s3_get,
+            puts: st.puts,
+            gets: st.gets,
+        },
+        latencies,
+        timeseries: cfg.record_timeseries.then_some(ts),
+        duration_s: history.len() as u64,
+        strategy: strategy.name(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::FixedStrategy;
+    use cackle_workload::profile::{QueryProfile, StageProfile};
+    use std::sync::Arc;
+
+    fn profile(tasks: u32, secs: u32) -> Arc<QueryProfile> {
+        Arc::new(QueryProfile::new(
+            "p",
+            vec![
+                StageProfile {
+                    tasks,
+                    task_seconds: secs,
+                    shuffle_bytes: 32 << 20,
+                    shuffle_writes: 2 * tasks as u64,
+                    shuffle_reads: 0,
+                    deps: vec![],
+                },
+                StageProfile {
+                    tasks: 1,
+                    task_seconds: 2,
+                    shuffle_bytes: 0,
+                    shuffle_writes: 0,
+                    shuffle_reads: tasks as u64,
+                    deps: vec![0],
+                },
+            ],
+        ))
+    }
+
+    fn noiseless() -> SystemConfig {
+        SystemConfig { pool_slowdown: 1.0, duration_jitter: 0.0, ..Default::default() }
+    }
+
+    #[test]
+    fn pool_only_latency_is_critical_path_plus_invoke() {
+        let w = vec![QueryArrival { at_s: 0, profile: profile(8, 10) }];
+        let cfg = noiseless();
+        let mut s = FixedStrategy { vms: 0 };
+        let r = run_system(&w, &mut s, &cfg);
+        // 10 s + 2 s + two 100 ms invoke latencies.
+        assert!((r.latencies[0] - 12.2).abs() < 0.01, "latency {}", r.latencies[0]);
+        assert_eq!(r.compute.vm_seconds, 0.0);
+        assert!((r.compute.pool_seconds - 82.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn vm_fleet_reduces_latency_once_started() {
+        let w: Vec<QueryArrival> =
+            (0..30).map(|i| QueryArrival { at_s: i * 30, profile: profile(4, 10) }).collect();
+        let base = SystemConfig::default();
+        let mut s0 = FixedStrategy { vms: 0 };
+        let pool_run = run_system(&w, &mut s0, &base);
+        let mut s8 = FixedStrategy { vms: 8 };
+        let vm_run = run_system(&w, &mut s8, &base);
+        // Once VMs are up (query 10 onward), latency beats the pool-only
+        // run (pool tasks run 1.25× slower).
+        let late_vm: f64 = vm_run.latencies[10..].iter().sum::<f64>() / 20.0;
+        let late_pool: f64 = pool_run.latencies[10..].iter().sum::<f64>() / 20.0;
+        assert!(late_vm < late_pool, "vm {late_vm} vs pool {late_pool}");
+    }
+
+    #[test]
+    fn vms_start_after_latency_and_get_used() {
+        let w: Vec<QueryArrival> = (0..50)
+            .map(|i| QueryArrival { at_s: i * 12, profile: profile(4, 10) })
+            .collect();
+        let cfg = noiseless();
+        let mut s = FixedStrategy { vms: 4 };
+        let r = run_system(&w, &mut s, &cfg);
+        assert!(r.compute.vm_seconds > 0.0, "VMs never used");
+        assert!(r.compute.pool_seconds > 0.0, "early tasks must use the pool");
+        // The fixed fleet stays up from ~180 s to the end.
+        assert!(r.compute.vm_seconds >= 4.0 * (r.duration_s as f64 - 220.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let w: Vec<QueryArrival> =
+            (0..20).map(|i| QueryArrival { at_s: i * 7, profile: profile(3, 5) }).collect();
+        let cfg = SystemConfig::default();
+        let mut s1 = FixedStrategy { vms: 2 };
+        let a = run_system(&w, &mut s1, &cfg);
+        let mut s2 = FixedStrategy { vms: 2 };
+        let b = run_system(&w, &mut s2, &cfg);
+        assert_eq!(a.latencies, b.latencies);
+        assert!((a.total_cost() - b.total_cost()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeseries_tracks_fleet() {
+        let w = vec![QueryArrival { at_s: 0, profile: profile(6, 300) }];
+        let mut cfg = noiseless();
+        cfg.record_timeseries = true;
+        let mut s = FixedStrategy { vms: 3 };
+        let r = run_system(&w, &mut s, &cfg);
+        let ts = r.timeseries.expect("requested");
+        assert!(ts.demand.iter().take(100).any(|&d| d == 6));
+        // Active VMs reach the target after the 180 s startup.
+        assert_eq!(ts.active[250.min(ts.active.len() - 1)], 3);
+        assert!(ts.active[..170].iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn dynamic_strategy_runs_in_the_loop() {
+        use crate::meta::{FamilyConfig, MetaStrategy};
+        let w: Vec<QueryArrival> = (0..120)
+            .map(|i| QueryArrival { at_s: i * 10, profile: profile(4, 8) })
+            .collect();
+        let cfg = SystemConfig::default();
+        let mut dynamic = MetaStrategy::with_family(FamilyConfig::small(), &cfg.env);
+        let r = run_system(&w, &mut dynamic, &cfg);
+        assert_eq!(r.latencies.len(), 120);
+        assert!(r.latencies.iter().all(|&l| l > 0.0));
+        assert!(r.total_cost() > 0.0);
+        assert_eq!(r.strategy, "dynamic");
+    }
+
+    #[test]
+    fn spot_interruptions_restart_tasks_on_the_pool() {
+        let w: Vec<QueryArrival> = (0..40)
+            .map(|i| QueryArrival { at_s: i * 20, profile: profile(4, 30) })
+            .collect();
+        let mut cfg = noiseless();
+        // Absurdly high rate so interruptions certainly occur.
+        cfg.spot_interruptions_per_vm_hour = 60.0;
+        let mut s = FixedStrategy { vms: 6 };
+        let interrupted = run_system(&w, &mut s, &cfg);
+        let mut s2 = FixedStrategy { vms: 6 };
+        let calm = run_system(&w, &mut s2, &noiseless());
+        // Every query still completes...
+        assert_eq!(interrupted.latencies.len(), 40);
+        assert!(interrupted.latencies.iter().all(|&l| l > 0.0));
+        // ...but restarts push work to the pool and stretch latency.
+        assert!(
+            interrupted.compute.pool_seconds > calm.compute.pool_seconds,
+            "restarts must hit the pool"
+        );
+        assert!(
+            interrupted.mean_latency() > calm.mean_latency(),
+            "interruptions should cost latency: {} vs {}",
+            interrupted.mean_latency(),
+            calm.mean_latency()
+        );
+    }
+
+    #[test]
+    fn shuffle_overflow_hits_s3_before_nodes_start() {
+        // Heavy intermediate state right at workload start: nodes are still
+        // provisioning, so writes overflow to the object store.
+        let big = Arc::new(QueryProfile::new(
+            "big",
+            vec![StageProfile {
+                tasks: 4,
+                task_seconds: 5,
+                shuffle_bytes: 64 << 30,
+                shuffle_writes: 100,
+                shuffle_reads: 0,
+                deps: vec![],
+            }],
+        ));
+        let w = vec![QueryArrival { at_s: 0, profile: big }];
+        let cfg = noiseless();
+        let mut s = FixedStrategy { vms: 0 };
+        let r = run_system(&w, &mut s, &cfg);
+        assert!(r.shuffle.puts > 0, "expected S3 fallback puts");
+    }
+}

@@ -1,0 +1,204 @@
+//! Record batches: the unit of vectorized execution.
+
+use crate::column::Column;
+use crate::schema::SchemaRef;
+use crate::types::Value;
+
+/// The number of rows an operator processes per batch. 4 K keeps working
+/// sets cache-resident while amortizing per-batch overhead.
+pub const BATCH_SIZE: usize = 4096;
+
+/// A horizontal slice of rows for a fixed schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// Schema shared by all batches of the same stream.
+    pub schema: SchemaRef,
+    /// One column per schema field, all the same length.
+    pub columns: Vec<Column>,
+}
+
+impl Batch {
+    /// Build a batch, checking column count and row-length agreement.
+    pub fn new(schema: SchemaRef, columns: Vec<Column>) -> Self {
+        assert_eq!(schema.len(), columns.len(), "column count != schema width");
+        if let Some(first) = columns.first() {
+            for (i, c) in columns.iter().enumerate() {
+                assert_eq!(c.len(), first.len(), "column {i} length mismatch");
+                debug_assert_eq!(
+                    c.data_type(),
+                    schema.field(i).dtype,
+                    "column {i} type mismatch with schema"
+                );
+            }
+        }
+        Batch { schema, columns }
+    }
+
+    /// An empty batch for a schema.
+    pub fn empty(schema: SchemaRef) -> Self {
+        let columns = schema
+            .fields
+            .iter()
+            .map(|f| Column::nulls(f.dtype, 0))
+            .collect();
+        Batch { schema, columns }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, |c| c.len())
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The column with the given schema name.
+    pub fn column_by_name(&self, name: &str) -> &Column {
+        &self.columns[self.schema.index_of(name)]
+    }
+
+    /// The full row at `i` as owned values (for result rendering and tests).
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value(i)).collect()
+    }
+
+    /// Keep rows where `mask` is true.
+    pub fn filter(&self, mask: &[bool]) -> Batch {
+        Batch {
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.filter(mask)).collect(),
+        }
+    }
+
+    /// Gather rows at `indices`.
+    pub fn take(&self, indices: &[usize]) -> Batch {
+        Batch {
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.take(indices)).collect(),
+        }
+    }
+
+    /// Concatenate batches sharing a schema. Returns an empty batch with
+    /// `schema` if `parts` is empty.
+    pub fn concat(schema: SchemaRef, parts: &[Batch]) -> Batch {
+        if parts.is_empty() {
+            return Batch::empty(schema);
+        }
+        let ncols = parts[0].num_columns();
+        let columns = (0..ncols)
+            .map(|ci| {
+                let cols: Vec<Column> = parts.iter().map(|b| b.columns[ci].clone()).collect();
+                Column::concat(&cols)
+            })
+            .collect();
+        Batch { schema, columns }
+    }
+
+    /// Approximate in-memory footprint in bytes, used for shuffle volume
+    /// accounting and shuffle-node capacity decisions.
+    pub fn byte_size(&self) -> u64 {
+        use crate::column::ColumnData;
+        self.columns
+            .iter()
+            .map(|c| {
+                let data: u64 = match &c.data {
+                    ColumnData::I64(v) => (v.len() * 8) as u64,
+                    ColumnData::F64(v) => (v.len() * 8) as u64,
+                    ColumnData::Date(v) => (v.len() * 4) as u64,
+                    ColumnData::Bool(v) => v.len() as u64,
+                    ColumnData::Str(v) => v.iter().map(|s| s.len() as u64 + 4).sum(),
+                };
+                data + c.validity.as_ref().map_or(0, |m| m.len() as u64 / 8 + 1)
+            })
+            .sum()
+    }
+
+    /// Split into chunks of at most `chunk_rows` rows each.
+    pub fn chunks(&self, chunk_rows: usize) -> Vec<Batch> {
+        assert!(chunk_rows > 0, "chunk_rows must be positive");
+        let n = self.num_rows();
+        if n <= chunk_rows {
+            return vec![self.clone()];
+        }
+        let mut out = Vec::with_capacity(n.div_ceil(chunk_rows));
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk_rows).min(n);
+            let idx: Vec<usize> = (start..end).collect();
+            out.push(self.take(&idx));
+            start = end;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::types::DataType;
+
+    fn sample() -> Batch {
+        let schema = Schema::shared(&[("k", DataType::I64), ("v", DataType::F64)]);
+        Batch::new(
+            schema,
+            vec![Column::from_i64(vec![1, 2, 3]), Column::from_f64(vec![0.5, 1.5, 2.5])],
+        )
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let b = sample();
+        assert_eq!(b.num_rows(), 3);
+        assert_eq!(b.num_columns(), 2);
+        assert_eq!(b.column_by_name("v").f64s()[1], 1.5);
+        assert_eq!(b.row(2), vec![Value::I64(3), Value::F64(2.5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn ragged_columns_rejected() {
+        let schema = Schema::shared(&[("a", DataType::I64), ("b", DataType::I64)]);
+        Batch::new(schema, vec![Column::from_i64(vec![1]), Column::from_i64(vec![1, 2])]);
+    }
+
+    #[test]
+    fn filter_take_concat() {
+        let b = sample();
+        let f = b.filter(&[true, false, true]);
+        assert_eq!(f.num_rows(), 2);
+        assert_eq!(f.columns[0].i64s(), &[1, 3]);
+        let t = b.take(&[2, 2]);
+        assert_eq!(t.columns[1].f64s(), &[2.5, 2.5]);
+        let c = Batch::concat(b.schema.clone(), &[f, t]);
+        assert_eq!(c.num_rows(), 4);
+        assert_eq!(c.columns[0].i64s(), &[1, 3, 3, 3]);
+    }
+
+    #[test]
+    fn concat_empty_gives_empty() {
+        let schema = Schema::shared(&[("a", DataType::Str)]);
+        let c = Batch::concat(schema.clone(), &[]);
+        assert_eq!(c.num_rows(), 0);
+        assert_eq!(c.num_columns(), 1);
+    }
+
+    #[test]
+    fn chunking() {
+        let b = sample();
+        let chunks = b.chunks(2);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].num_rows(), 2);
+        assert_eq!(chunks[1].num_rows(), 1);
+        assert_eq!(chunks[1].columns[0].i64s(), &[3]);
+    }
+
+    #[test]
+    fn byte_size_counts_payload() {
+        let b = sample();
+        // 3*8 (i64) + 3*8 (f64)
+        assert_eq!(b.byte_size(), 48);
+    }
+}

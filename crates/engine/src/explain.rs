@@ -1,0 +1,243 @@
+//! Plan pretty-printing (`EXPLAIN`).
+
+use crate::expr::{BinOp, Expr, LikePattern};
+use crate::ops::aggregate::AggFunc;
+use crate::plan::{ExchangeMode, PlanNode, Stage, StageDag};
+use crate::schema::SchemaRef;
+use std::fmt::Write;
+
+/// Render an expression against its input schema's column names.
+pub fn explain_expr(e: &Expr, schema: &SchemaRef) -> String {
+    match e {
+        Expr::Col(i) => schema
+            .fields
+            .get(*i)
+            .map(|f| f.name.clone())
+            .unwrap_or_else(|| format!("#{i}")),
+        Expr::Lit(v) => format!("{v}"),
+        Expr::Binary { op, lhs, rhs } => {
+            let o = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Mod => "%",
+                BinOp::Eq => "=",
+                BinOp::Neq => "<>",
+                BinOp::Lt => "<",
+                BinOp::LtEq => "<=",
+                BinOp::Gt => ">",
+                BinOp::GtEq => ">=",
+                BinOp::And => "AND",
+                BinOp::Or => "OR",
+            };
+            format!("({} {o} {})", explain_expr(lhs, schema), explain_expr(rhs, schema))
+        }
+        Expr::Not(x) => format!("NOT {}", explain_expr(x, schema)),
+        Expr::IsNull(x) => format!("{} IS NULL", explain_expr(x, schema)),
+        Expr::Case { branches, else_expr } => {
+            let mut s = String::from("CASE");
+            for (c, r) in branches {
+                write!(
+                    s,
+                    " WHEN {} THEN {}",
+                    explain_expr(c, schema),
+                    explain_expr(r, schema)
+                )
+                .expect("write to string");
+            }
+            if let Some(e) = else_expr {
+                write!(s, " ELSE {}", explain_expr(e, schema)).expect("write to string");
+            }
+            s.push_str(" END");
+            s
+        }
+        Expr::Like { input, pattern, negated } => {
+            let p = match pattern {
+                LikePattern::Prefix(x) => format!("'{x}%'"),
+                LikePattern::Suffix(x) => format!("'%{x}'"),
+                LikePattern::Contains(x) => format!("'%{x}%'"),
+                LikePattern::ContainsInOrder(xs) => format!("'%{}%'", xs.join("%")),
+            };
+            format!(
+                "{} {}LIKE {p}",
+                explain_expr(input, schema),
+                if *negated { "NOT " } else { "" }
+            )
+        }
+        Expr::InList { input, list } => {
+            let items: Vec<String> = list.iter().map(|v| v.to_string()).collect();
+            format!("{} IN ({})", explain_expr(input, schema), items.join(", "))
+        }
+        Expr::ExtractYear(x) => format!("EXTRACT(YEAR FROM {})", explain_expr(x, schema)),
+        Expr::Substr { input, start, len } => {
+            format!("SUBSTRING({} FROM {start} FOR {len})", explain_expr(input, schema))
+        }
+        Expr::Coalesce(xs) => {
+            let items: Vec<String> = xs.iter().map(|x| explain_expr(x, schema)).collect();
+            format!("COALESCE({})", items.join(", "))
+        }
+        Expr::Cast { input, to } => format!("CAST({} AS {to})", explain_expr(input, schema)),
+    }
+}
+
+fn agg_name(f: AggFunc) -> &'static str {
+    match f {
+        AggFunc::Sum => "SUM",
+        AggFunc::Min => "MIN",
+        AggFunc::Max => "MAX",
+        AggFunc::Count => "COUNT",
+        AggFunc::CountStar => "COUNT(*)",
+        AggFunc::Avg => "AVG",
+        AggFunc::CountDistinct => "COUNT(DISTINCT)",
+    }
+}
+
+fn explain_node(node: &PlanNode, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match node {
+        PlanNode::Scan { table, filter, projection } => {
+            let _ = write!(out, "{pad}Scan {table}");
+            if let Some(p) = projection {
+                let _ = write!(out, " [{} cols]", p.len());
+            }
+            if filter.is_some() {
+                let _ = write!(out, " (filtered)");
+            }
+            let _ = writeln!(out);
+        }
+        PlanNode::ShuffleRead { stage } => {
+            let _ = writeln!(out, "{pad}ShuffleRead <- stage {stage}");
+        }
+        PlanNode::BroadcastRead { stage } => {
+            let _ = writeln!(out, "{pad}BroadcastRead <- stage {stage}");
+        }
+        PlanNode::Filter { input, .. } => {
+            let _ = writeln!(out, "{pad}Filter");
+            explain_node(input, indent + 1, out);
+        }
+        PlanNode::Project { input, exprs, .. } => {
+            let _ = writeln!(out, "{pad}Project [{} exprs]", exprs.len());
+            explain_node(input, indent + 1, out);
+        }
+        PlanNode::HashAggregate { input, group_by, aggs, .. } => {
+            let fns: Vec<&str> = aggs.iter().map(|a| agg_name(a.func)).collect();
+            let _ = writeln!(
+                out,
+                "{pad}HashAggregate [{} keys] {}",
+                group_by.len(),
+                fns.join(", ")
+            );
+            explain_node(input, indent + 1, out);
+        }
+        PlanNode::HashJoin { build, probe, join_type, .. } => {
+            let _ = writeln!(out, "{pad}HashJoin {join_type:?}");
+            let _ = writeln!(out, "{pad}  build:");
+            explain_node(build, indent + 2, out);
+            let _ = writeln!(out, "{pad}  probe:");
+            explain_node(probe, indent + 2, out);
+        }
+        PlanNode::Sort { input, keys, limit } => {
+            let _ = write!(out, "{pad}Sort [{} keys]", keys.len());
+            if let Some(l) = limit {
+                let _ = write!(out, " LIMIT {l}");
+            }
+            let _ = writeln!(out);
+            explain_node(input, indent + 1, out);
+        }
+        PlanNode::Union { inputs } => {
+            let _ = writeln!(out, "{pad}Union [{} inputs]", inputs.len());
+            for i in inputs {
+                explain_node(i, indent + 1, out);
+            }
+        }
+    }
+}
+
+fn explain_stage(stage: &Stage, out: &mut String) {
+    let exch = match &stage.exchange {
+        ExchangeMode::Hash { keys, partitions } => {
+            format!("hash[{} keys] -> {partitions} partitions", keys.len())
+        }
+        ExchangeMode::Broadcast => "broadcast".to_string(),
+        ExchangeMode::Gather => "gather".to_string(),
+    };
+    let _ = writeln!(out, "Stage {} ({} tasks, exchange: {exch})", stage.id, stage.tasks);
+    explain_node(&stage.root, 1, out);
+}
+
+/// Render a whole plan as indented text.
+pub fn explain(dag: &StageDag) -> String {
+    let mut out = format!("== Plan: {} ==\n", dag.name);
+    for s in &dag.stages {
+        explain_stage(s, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::types::DataType;
+
+    #[test]
+    fn expressions_render_readably() {
+        let schema = Schema::shared(&[("a", DataType::I64), ("b", DataType::F64)]);
+        let e = Expr::col(0).add(Expr::lit_i64(1)).gt(Expr::col(1));
+        assert_eq!(explain_expr(&e, &schema), "((a + 1) > b)");
+        let e = Expr::Like {
+            input: Box::new(Expr::col(0)),
+            pattern: LikePattern::Prefix("PROMO".into()),
+            negated: true,
+        };
+        assert_eq!(explain_expr(&e, &schema), "a NOT LIKE 'PROMO%'");
+        let e = Expr::Case {
+            branches: vec![(Expr::col(0).eq(Expr::lit_i64(1)), Expr::lit_str("one"))],
+            else_expr: Some(Box::new(Expr::lit_str("other"))),
+        };
+        assert_eq!(
+            explain_expr(&e, &schema),
+            "CASE WHEN (a = 1) THEN one ELSE other END"
+        );
+    }
+
+    #[test]
+    fn plan_explains_every_stage() {
+        use crate::plan::{ExchangeMode, PlanNode, Stage, StageDag};
+        let schema = Schema::shared(&[("k", DataType::I64)]);
+        let dag = StageDag::new(
+            "demo",
+            vec![
+                Stage {
+                    id: 0,
+                    root: PlanNode::Scan {
+                        table: "t".into(),
+                        filter: Some(Expr::col(0).gt(Expr::lit_i64(0))),
+                        projection: None,
+                    },
+                    tasks: 4,
+                    exchange: ExchangeMode::Hash { keys: vec![Expr::col(0)], partitions: 2 },
+                    output_schema: schema.clone(),
+                },
+                Stage {
+                    id: 1,
+                    root: PlanNode::Sort {
+                        input: Box::new(PlanNode::ShuffleRead { stage: 0 }),
+                        keys: vec![crate::ops::sort::SortKey::asc(Expr::col(0))],
+                        limit: Some(10),
+                    },
+                    tasks: 2,
+                    exchange: ExchangeMode::Gather,
+                    output_schema: schema,
+                },
+            ],
+        );
+        let s = explain(&dag);
+        assert!(s.contains("== Plan: demo =="));
+        assert!(s.contains("Stage 0 (4 tasks, exchange: hash[1 keys] -> 2 partitions)"));
+        assert!(s.contains("Scan t (filtered)"));
+        assert!(s.contains("Sort [1 keys] LIMIT 10"));
+        assert!(s.contains("ShuffleRead <- stage 0"));
+    }
+}

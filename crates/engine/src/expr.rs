@@ -1,0 +1,735 @@
+//! Scalar expressions evaluated vectorized over batches.
+//!
+//! Expressions reference input columns by ordinal (plan builders resolve
+//! names against the stage's input schema at plan-construction time).
+//! Null semantics follow SQL: arithmetic and comparisons propagate null,
+//! `AND`/`OR` use Kleene three-valued logic, and filters keep only rows
+//! whose predicate is valid *and* true.
+
+use crate::batch::Batch;
+use crate::column::{Column, ColumnData};
+use crate::types::{date, DataType, Value};
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition (numeric, or date + days).
+    Add,
+    /// Subtraction (numeric, or date - days).
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division; always produces f64.
+    Div,
+    /// Modulo on integers.
+    Mod,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Neq,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    LtEq,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    GtEq,
+    /// Kleene AND.
+    And,
+    /// Kleene OR.
+    Or,
+}
+
+/// Restricted LIKE patterns covering every pattern in TPC-H.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LikePattern {
+    /// `'prefix%'`
+    Prefix(String),
+    /// `'%suffix'`
+    Suffix(String),
+    /// `'%needle%'`
+    Contains(String),
+    /// `'%a%b%'` — all needles appear in order.
+    ContainsInOrder(Vec<String>),
+}
+
+impl LikePattern {
+    /// Match a string against the pattern.
+    pub fn matches(&self, s: &str) -> bool {
+        match self {
+            LikePattern::Prefix(p) => s.starts_with(p.as_str()),
+            LikePattern::Suffix(p) => s.ends_with(p.as_str()),
+            LikePattern::Contains(p) => s.contains(p.as_str()),
+            LikePattern::ContainsInOrder(parts) => {
+                let mut rest = s;
+                for p in parts {
+                    match rest.find(p.as_str()) {
+                        Some(pos) => rest = &rest[pos + p.len()..],
+                        None => return false,
+                    }
+                }
+                true
+            }
+        }
+    }
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Input column by ordinal.
+    Col(usize),
+    /// A literal value.
+    Lit(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Logical negation (null stays null).
+    Not(Box<Expr>),
+    /// True where the operand is null (never null itself).
+    IsNull(Box<Expr>),
+    /// Searched CASE: first branch whose condition is true wins.
+    Case {
+        /// `(condition, result)` branches.
+        branches: Vec<(Expr, Expr)>,
+        /// Value when no branch matches (null if absent).
+        else_expr: Option<Box<Expr>>,
+    },
+    /// LIKE against a restricted pattern.
+    Like {
+        /// String operand.
+        input: Box<Expr>,
+        /// The pattern.
+        pattern: LikePattern,
+        /// Invert the result (NOT LIKE).
+        negated: bool,
+    },
+    /// `value IN (list)` over literal values.
+    InList {
+        /// Probe operand.
+        input: Box<Expr>,
+        /// The literal list.
+        list: Vec<Value>,
+    },
+    /// EXTRACT(YEAR FROM date) as i64.
+    ExtractYear(Box<Expr>),
+    /// SUBSTRING(input FROM start FOR len), 1-based as in SQL.
+    Substr {
+        /// String operand.
+        input: Box<Expr>,
+        /// 1-based start position.
+        start: usize,
+        /// Length in characters.
+        len: usize,
+    },
+    /// First non-null operand.
+    Coalesce(Vec<Expr>),
+    /// Cast to a type (only numeric widenings are supported).
+    Cast {
+        /// Operand.
+        input: Box<Expr>,
+        /// Target type.
+        to: DataType,
+    },
+}
+
+#[allow(clippy::should_implement_trait)] // the DSL mirrors SQL operator names
+impl Expr {
+    /// Shorthand: input column reference.
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+    /// Shorthand: i64 literal.
+    pub fn lit_i64(v: i64) -> Expr {
+        Expr::Lit(Value::I64(v))
+    }
+    /// Shorthand: f64 literal.
+    pub fn lit_f64(v: f64) -> Expr {
+        Expr::Lit(Value::F64(v))
+    }
+    /// Shorthand: string literal.
+    pub fn lit_str(v: &str) -> Expr {
+        Expr::Lit(Value::Str(v.to_string()))
+    }
+    /// Shorthand: date literal from `YYYY-MM-DD`.
+    pub fn lit_date(v: &str) -> Expr {
+        Expr::Lit(Value::Date(date::parse(v)))
+    }
+
+    fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    /// `self + rhs`
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Add, self, rhs)
+    }
+    /// `self - rhs`
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, self, rhs)
+    }
+    /// `self * rhs`
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, self, rhs)
+    }
+    /// `self / rhs`
+    pub fn div(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Div, self, rhs)
+    }
+    /// `self = rhs`
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Eq, self, rhs)
+    }
+    /// `self <> rhs`
+    pub fn neq(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Neq, self, rhs)
+    }
+    /// `self < rhs`
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Lt, self, rhs)
+    }
+    /// `self <= rhs`
+    pub fn lt_eq(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::LtEq, self, rhs)
+    }
+    /// `self > rhs`
+    pub fn gt(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Gt, self, rhs)
+    }
+    /// `self >= rhs`
+    pub fn gt_eq(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::GtEq, self, rhs)
+    }
+    /// `self AND rhs`
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::And, self, rhs)
+    }
+    /// `self OR rhs`
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Or, self, rhs)
+    }
+
+    /// Evaluate over a batch, producing a column of `batch.num_rows()` rows.
+    pub fn eval(&self, batch: &Batch) -> Column {
+        let n = batch.num_rows();
+        match self {
+            Expr::Col(i) => batch.columns[*i].clone(),
+            Expr::Lit(v) => broadcast_literal(v, n),
+            Expr::Binary { op, lhs, rhs } => {
+                let l = lhs.eval(batch);
+                let r = rhs.eval(batch);
+                eval_binary(*op, &l, &r)
+            }
+            Expr::Not(e) => {
+                let c = e.eval(batch);
+                let vals = c.bools().iter().map(|b| !b).collect();
+                Column { data: ColumnData::Bool(vals), validity: c.validity.clone() }
+            }
+            Expr::IsNull(e) => {
+                let c = e.eval(batch);
+                let vals = (0..n).map(|i| !c.is_valid(i)).collect();
+                Column::from_bool(vals)
+            }
+            Expr::Case { branches, else_expr } => eval_case(batch, branches, else_expr),
+            Expr::Like { input, pattern, negated } => {
+                let c = input.eval(batch);
+                let strs = c.strs();
+                let vals =
+                    strs.iter().map(|s| pattern.matches(s) != *negated).collect();
+                Column { data: ColumnData::Bool(vals), validity: c.validity.clone() }
+            }
+            Expr::InList { input, list } => {
+                let c = input.eval(batch);
+                let vals = (0..n)
+                    .map(|i| {
+                        let v = c.value(i);
+                        list.iter().any(|item| {
+                            v.sql_cmp(item) == Some(std::cmp::Ordering::Equal)
+                        })
+                    })
+                    .collect();
+                Column { data: ColumnData::Bool(vals), validity: c.validity.clone() }
+            }
+            Expr::ExtractYear(e) => {
+                let c = e.eval(batch);
+                let vals = c.dates().iter().map(|&d| date::year_of(d) as i64).collect();
+                Column { data: ColumnData::I64(vals), validity: c.validity.clone() }
+            }
+            Expr::Substr { input, start, len } => {
+                let c = input.eval(batch);
+                let vals = c
+                    .strs()
+                    .iter()
+                    .map(|s| {
+                        let from = (start - 1).min(s.len());
+                        let to = (from + len).min(s.len());
+                        s[from..to].to_string()
+                    })
+                    .collect();
+                Column { data: ColumnData::Str(vals), validity: c.validity.clone() }
+            }
+            Expr::Coalesce(exprs) => {
+                assert!(!exprs.is_empty(), "COALESCE of nothing");
+                let cols: Vec<Column> = exprs.iter().map(|e| e.eval(batch)).collect();
+                let mut out = cols[0].clone();
+                for alt in &cols[1..] {
+                    if out.validity.is_none() {
+                        break;
+                    }
+                    let indices: Vec<usize> = (0..n).collect();
+                    let mut data = out.data.clone();
+                    let mut validity =
+                        out.validity.clone().unwrap_or_else(|| vec![true; n]);
+                    for &i in &indices {
+                        if !validity[i] && alt.is_valid(i) {
+                            copy_row(&mut data, alt, i);
+                            validity[i] = true;
+                        }
+                    }
+                    out = Column::with_validity(data, validity);
+                }
+                out
+            }
+            Expr::Cast { input, to } => {
+                let c = input.eval(batch);
+                cast_column(&c, *to)
+            }
+        }
+    }
+}
+
+fn copy_row(dst: &mut ColumnData, src: &Column, i: usize) {
+    match (dst, &src.data) {
+        (ColumnData::I64(d), ColumnData::I64(s)) => d[i] = s[i],
+        (ColumnData::F64(d), ColumnData::F64(s)) => d[i] = s[i],
+        (ColumnData::Str(d), ColumnData::Str(s)) => d[i] = s[i].clone(),
+        (ColumnData::Date(d), ColumnData::Date(s)) => d[i] = s[i],
+        (ColumnData::Bool(d), ColumnData::Bool(s)) => d[i] = s[i],
+        (d, s) => panic!("COALESCE type mismatch {} vs {}", d.data_type(), s.data_type()),
+    }
+}
+
+fn broadcast_literal(v: &Value, n: usize) -> Column {
+    match v {
+        Value::Null => Column::nulls(DataType::I64, n),
+        Value::I64(x) => Column::from_i64(vec![*x; n]),
+        Value::F64(x) => Column::from_f64(vec![*x; n]),
+        Value::Str(x) => Column::from_str_vec(vec![x.clone(); n]),
+        Value::Date(x) => Column::from_date(vec![*x; n]),
+        Value::Bool(x) => Column::from_bool(vec![*x; n]),
+    }
+}
+
+fn merged_validity(l: &Column, r: &Column) -> Option<Vec<bool>> {
+    match (&l.validity, &r.validity) {
+        (None, None) => None,
+        (Some(a), None) => Some(a.clone()),
+        (None, Some(b)) => Some(b.clone()),
+        (Some(a), Some(b)) => Some(a.iter().zip(b).map(|(x, y)| *x && *y).collect()),
+    }
+}
+
+fn eval_binary(op: BinOp, l: &Column, r: &Column) -> Column {
+    use BinOp::*;
+    match op {
+        And | Or => eval_kleene(op, l, r),
+        Add | Sub | Mul | Div | Mod => eval_arith(op, l, r),
+        Eq | Neq | Lt | LtEq | Gt | GtEq => eval_cmp(op, l, r),
+    }
+}
+
+fn eval_kleene(op: BinOp, l: &Column, r: &Column) -> Column {
+    let lb = l.bools();
+    let rb = r.bools();
+    let n = lb.len();
+    let mut vals = Vec::with_capacity(n);
+    let mut validity = Vec::with_capacity(n);
+    for i in 0..n {
+        let lv = l.is_valid(i);
+        let rv = r.is_valid(i);
+        // Kleene: false AND x = false; true OR x = true, even with nulls.
+        let (out, valid) = match op {
+            BinOp::And => {
+                if (lv && !lb[i]) || (rv && !rb[i]) {
+                    (false, true)
+                } else if lv && rv {
+                    (lb[i] && rb[i], true)
+                } else {
+                    (false, false)
+                }
+            }
+            BinOp::Or => {
+                if (lv && lb[i]) || (rv && rb[i]) {
+                    (true, true)
+                } else if lv && rv {
+                    (lb[i] || rb[i], true)
+                } else {
+                    (false, false)
+                }
+            }
+            _ => unreachable!(),
+        };
+        vals.push(out);
+        validity.push(valid);
+    }
+    Column::with_validity(ColumnData::Bool(vals), validity)
+}
+
+fn eval_arith(op: BinOp, l: &Column, r: &Column) -> Column {
+    let validity = merged_validity(l, r);
+    let data = match (&l.data, &r.data, op) {
+        // Division always goes to f64, SQL-decimal style.
+        (ColumnData::I64(a), ColumnData::I64(b), BinOp::Div) => ColumnData::F64(
+            a.iter().zip(b).map(|(x, y)| *x as f64 / *y as f64).collect(),
+        ),
+        (ColumnData::I64(a), ColumnData::I64(b), BinOp::Mod) => {
+            ColumnData::I64(a.iter().zip(b).map(|(x, y)| x % y).collect())
+        }
+        (ColumnData::I64(a), ColumnData::I64(b), _) => ColumnData::I64(
+            a.iter().zip(b).map(|(x, y)| apply_i64(op, *x, *y)).collect(),
+        ),
+        (ColumnData::Date(a), ColumnData::I64(b), BinOp::Add) => {
+            ColumnData::Date(a.iter().zip(b).map(|(x, y)| x + *y as i32).collect())
+        }
+        (ColumnData::Date(a), ColumnData::I64(b), BinOp::Sub) => {
+            ColumnData::Date(a.iter().zip(b).map(|(x, y)| x - *y as i32).collect())
+        }
+        (a, b, _) => {
+            // Everything else coerces to f64.
+            let af = to_f64_vec(a);
+            let bf = to_f64_vec(b);
+            ColumnData::F64(
+                af.iter().zip(&bf).map(|(x, y)| apply_f64(op, *x, *y)).collect(),
+            )
+        }
+    };
+    match validity {
+        Some(v) => Column::with_validity(data, v),
+        None => Column::new(data),
+    }
+}
+
+fn apply_i64(op: BinOp, x: i64, y: i64) -> i64 {
+    match op {
+        BinOp::Add => x + y,
+        BinOp::Sub => x - y,
+        BinOp::Mul => x * y,
+        _ => unreachable!(),
+    }
+}
+
+fn apply_f64(op: BinOp, x: f64, y: f64) -> f64 {
+    match op {
+        BinOp::Add => x + y,
+        BinOp::Sub => x - y,
+        BinOp::Mul => x * y,
+        BinOp::Div => x / y,
+        BinOp::Mod => x % y,
+        _ => unreachable!(),
+    }
+}
+
+fn to_f64_vec(d: &ColumnData) -> Vec<f64> {
+    match d {
+        ColumnData::I64(v) => v.iter().map(|&x| x as f64).collect(),
+        ColumnData::F64(v) => v.clone(),
+        ColumnData::Date(v) => v.iter().map(|&x| x as f64).collect(),
+        other => panic!("cannot coerce {} to f64", other.data_type()),
+    }
+}
+
+fn eval_cmp(op: BinOp, l: &Column, r: &Column) -> Column {
+    use std::cmp::Ordering;
+    let n = l.len();
+    let validity = merged_validity(l, r);
+    let want = |o: Ordering| match op {
+        BinOp::Eq => o == Ordering::Equal,
+        BinOp::Neq => o != Ordering::Equal,
+        BinOp::Lt => o == Ordering::Less,
+        BinOp::LtEq => o != Ordering::Greater,
+        BinOp::Gt => o == Ordering::Greater,
+        BinOp::GtEq => o != Ordering::Less,
+        _ => unreachable!(),
+    };
+    let vals: Vec<bool> = match (&l.data, &r.data) {
+        (ColumnData::I64(a), ColumnData::I64(b)) => {
+            a.iter().zip(b).map(|(x, y)| want(x.cmp(y))).collect()
+        }
+        (ColumnData::Date(a), ColumnData::Date(b)) => {
+            a.iter().zip(b).map(|(x, y)| want(x.cmp(y))).collect()
+        }
+        (ColumnData::F64(a), ColumnData::F64(b)) => a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| x.partial_cmp(y).is_some_and(&want))
+            .collect(),
+        (ColumnData::Str(a), ColumnData::Str(b)) => {
+            a.iter().zip(b).map(|(x, y)| want(x.cmp(y))).collect()
+        }
+        (ColumnData::Bool(a), ColumnData::Bool(b)) => {
+            a.iter().zip(b).map(|(x, y)| want(x.cmp(y))).collect()
+        }
+        (a, b) => {
+            let af = to_f64_vec(a);
+            let bf = to_f64_vec(b);
+            af.iter()
+                .zip(&bf)
+                .map(|(x, y)| x.partial_cmp(y).is_some_and(&want))
+                .collect()
+        }
+    };
+    let _ = n;
+    match validity {
+        Some(v) => Column::with_validity(ColumnData::Bool(vals), v),
+        None => Column::new(ColumnData::Bool(vals)),
+    }
+}
+
+fn eval_case(batch: &Batch, branches: &[(Expr, Expr)], else_expr: &Option<Box<Expr>>) -> Column {
+    let n = batch.num_rows();
+    let results: Vec<(Column, Column)> = branches
+        .iter()
+        .map(|(c, r)| (c.eval(batch), r.eval(batch)))
+        .collect();
+    let else_col = else_expr.as_ref().map(|e| e.eval(batch));
+    // Determine output type from the first result column.
+    let proto = &results.first().expect("CASE with no branches").1;
+    let mut data = match &proto.data {
+        ColumnData::I64(_) => ColumnData::I64(vec![0; n]),
+        ColumnData::F64(_) => ColumnData::F64(vec![0.0; n]),
+        ColumnData::Str(_) => ColumnData::Str(vec![String::new(); n]),
+        ColumnData::Date(_) => ColumnData::Date(vec![0; n]),
+        ColumnData::Bool(_) => ColumnData::Bool(vec![false; n]),
+    };
+    let mut validity = vec![false; n];
+    #[allow(clippy::needless_range_loop)] // indexes three parallel structures
+    for i in 0..n {
+        let mut matched = false;
+        for (cond, res) in &results {
+            if cond.is_valid(i) && cond.bools()[i] {
+                if res.is_valid(i) {
+                    copy_row(&mut data, res, i);
+                    validity[i] = true;
+                }
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            if let Some(e) = &else_col {
+                if e.is_valid(i) {
+                    copy_row(&mut data, e, i);
+                    validity[i] = true;
+                }
+            }
+        }
+    }
+    Column::with_validity(data, validity)
+}
+
+fn cast_column(c: &Column, to: DataType) -> Column {
+    if c.data_type() == to {
+        return c.clone();
+    }
+    let data = match (&c.data, to) {
+        (ColumnData::I64(v), DataType::F64) => {
+            ColumnData::F64(v.iter().map(|&x| x as f64).collect())
+        }
+        (ColumnData::F64(v), DataType::I64) => {
+            ColumnData::I64(v.iter().map(|&x| x as i64).collect())
+        }
+        (ColumnData::Date(v), DataType::I64) => {
+            ColumnData::I64(v.iter().map(|&x| x as i64).collect())
+        }
+        (ColumnData::Bool(v), DataType::I64) => {
+            ColumnData::I64(v.iter().map(|&x| x as i64).collect())
+        }
+        (from, to) => panic!("unsupported cast {} -> {to}", from.data_type()),
+    };
+    Column { data, validity: c.validity.clone() }
+}
+
+/// Evaluate a predicate over a batch and return the keep-mask:
+/// valid AND true.
+pub fn predicate_mask(pred: &Expr, batch: &Batch) -> Vec<bool> {
+    let c = pred.eval(batch);
+    let bools = c.bools();
+    (0..batch.num_rows()).map(|i| c.is_valid(i) && bools[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn batch() -> Batch {
+        let schema = Schema::shared(&[
+            ("k", DataType::I64),
+            ("x", DataType::F64),
+            ("s", DataType::Str),
+            ("d", DataType::Date),
+        ]);
+        Batch::new(
+            schema,
+            vec![
+                Column::from_i64(vec![1, 2, 3, 4]),
+                Column::from_f64(vec![0.5, 1.0, 1.5, 2.0]),
+                Column::from_str_vec(vec![
+                    "PROMO ANODIZED".into(),
+                    "STANDARD BRASS".into(),
+                    "PROMO BURNISHED".into(),
+                    "ECONOMY".into(),
+                ]),
+                Column::from_date(vec![
+                    date::parse("1994-01-01"),
+                    date::parse("1995-06-15"),
+                    date::parse("1996-12-31"),
+                    date::parse("1997-03-01"),
+                ]),
+            ],
+        )
+    }
+
+    #[test]
+    fn arithmetic_types() {
+        let b = batch();
+        let c = Expr::col(0).add(Expr::lit_i64(10)).eval(&b);
+        assert_eq!(c.i64s(), &[11, 12, 13, 14]);
+        let c = Expr::col(0).mul(Expr::col(1)).eval(&b);
+        assert_eq!(c.f64s(), &[0.5, 2.0, 4.5, 8.0]);
+        let c = Expr::col(0).div(Expr::lit_i64(2)).eval(&b);
+        assert_eq!(c.f64s(), &[0.5, 1.0, 1.5, 2.0]);
+        // TPC-H Q1 style: x * (1 - x).
+        let one_minus = Expr::lit_f64(1.0).sub(Expr::col(1));
+        let c = Expr::col(1).mul(one_minus).eval(&b);
+        assert_eq!(c.f64s()[0], 0.25);
+    }
+
+    #[test]
+    fn date_comparison_and_arith() {
+        let b = batch();
+        let pred = Expr::col(3).lt(Expr::lit_date("1996-01-01"));
+        let mask = predicate_mask(&pred, &b);
+        assert_eq!(mask, vec![true, true, false, false]);
+        let shifted = Expr::col(3).add(Expr::lit_i64(90)).eval(&b);
+        assert_eq!(shifted.dates()[0], date::parse("1994-04-01"));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(LikePattern::Prefix("PROMO".into()).matches("PROMO BRASS"));
+        assert!(!LikePattern::Prefix("PROMO".into()).matches("XPROMO"));
+        assert!(LikePattern::Suffix("BRASS".into()).matches("LARGE BRASS"));
+        assert!(LikePattern::Contains("green".into()).matches("dim green lace"));
+        let p = LikePattern::ContainsInOrder(vec!["a".into(), "b".into()]);
+        assert!(p.matches("xaxbx"));
+        assert!(!p.matches("xbxax"));
+        let b = batch();
+        let e = Expr::Like {
+            input: Box::new(Expr::col(2)),
+            pattern: LikePattern::Prefix("PROMO".into()),
+            negated: false,
+        };
+        assert_eq!(e.eval(&b).bools(), &[true, false, true, false]);
+    }
+
+    #[test]
+    fn in_list_and_case() {
+        let b = batch();
+        let e = Expr::InList {
+            input: Box::new(Expr::col(0)),
+            list: vec![Value::I64(2), Value::I64(4)],
+        };
+        assert_eq!(e.eval(&b).bools(), &[false, true, false, true]);
+
+        // CASE WHEN s LIKE 'PROMO%' THEN x ELSE 0.0 END (the Q14 pattern).
+        let e = Expr::Case {
+            branches: vec![(
+                Expr::Like {
+                    input: Box::new(Expr::col(2)),
+                    pattern: LikePattern::Prefix("PROMO".into()),
+                    negated: false,
+                },
+                Expr::col(1),
+            )],
+            else_expr: Some(Box::new(Expr::lit_f64(0.0))),
+        };
+        let c = e.eval(&b);
+        assert_eq!(c.f64s(), &[0.5, 0.0, 1.5, 0.0]);
+        assert_eq!(c.null_count(), 0);
+    }
+
+    #[test]
+    fn kleene_logic_with_nulls() {
+        let schema = Schema::shared(&[("a", DataType::Bool), ("b", DataType::Bool)]);
+        let b = Batch::new(
+            schema,
+            vec![
+                Column::with_validity(
+                    ColumnData::Bool(vec![true, false, false, true]),
+                    vec![true, true, false, false],
+                ),
+                Column::from_bool(vec![false, true, false, true]),
+            ],
+        );
+        // a AND b: null AND false = false; null AND true = null.
+        let c = Expr::col(0).and(Expr::col(1)).eval(&b);
+        assert!(c.is_valid(0) && !c.bools()[0]);
+        assert!(c.is_valid(1) && !c.bools()[1]);
+        assert!(c.is_valid(2) && !c.bools()[2]); // null AND false = false
+        assert!(!c.is_valid(3)); // null AND true = null
+        // a OR b: null OR true = true; null OR false = null.
+        let c = Expr::col(0).or(Expr::col(1)).eval(&b);
+        assert!(c.is_valid(3) && c.bools()[3]);
+        assert!(!c.is_valid(2));
+    }
+
+    #[test]
+    fn extract_year_substr_coalesce() {
+        let b = batch();
+        let y = Expr::ExtractYear(Box::new(Expr::col(3))).eval(&b);
+        assert_eq!(y.i64s(), &[1994, 1995, 1996, 1997]);
+        let s = Expr::Substr { input: Box::new(Expr::col(2)), start: 1, len: 5 }.eval(&b);
+        assert_eq!(s.strs()[0], "PROMO");
+        assert_eq!(s.strs()[3], "ECONO");
+
+        let schema = Schema::shared(&[("a", DataType::I64)]);
+        let nb = Batch::new(
+            schema,
+            vec![Column::with_validity(ColumnData::I64(vec![7, 0]), vec![true, false])],
+        );
+        let c = Expr::Coalesce(vec![Expr::col(0), Expr::lit_i64(-1)]).eval(&nb);
+        assert_eq!(c.i64s(), &[7, -1]);
+        assert_eq!(c.null_count(), 0);
+    }
+
+    #[test]
+    fn null_propagation_in_arith_and_cmp() {
+        let schema = Schema::shared(&[("a", DataType::I64)]);
+        let b = Batch::new(
+            schema,
+            vec![Column::with_validity(ColumnData::I64(vec![1, 2]), vec![false, true])],
+        );
+        let c = Expr::col(0).add(Expr::lit_i64(1)).eval(&b);
+        assert!(!c.is_valid(0));
+        assert_eq!(c.value(1), Value::I64(3));
+        let m = predicate_mask(&Expr::col(0).gt(Expr::lit_i64(0)), &b);
+        assert_eq!(m, vec![false, true]); // null comparison filtered out
+        let isn = Expr::IsNull(Box::new(Expr::col(0))).eval(&b);
+        assert_eq!(isn.bools(), &[true, false]);
+    }
+
+    #[test]
+    fn cast_widening() {
+        let b = batch();
+        let c = Expr::Cast { input: Box::new(Expr::col(0)), to: DataType::F64 }.eval(&b);
+        assert_eq!(c.f64s(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+}

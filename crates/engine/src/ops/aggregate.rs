@@ -1,0 +1,472 @@
+//! Hash aggregation: grouped and global, with SQL null semantics
+//! (aggregates skip null inputs; `COUNT(*)` counts rows).
+
+use crate::batch::Batch;
+use crate::column::{Column, ColumnData};
+use crate::expr::Expr;
+use crate::rowkey::encode_row;
+use crate::schema::SchemaRef;
+use crate::types::{DataType, Value};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// SUM(expr), skipping nulls. Output type matches the input type.
+    Sum,
+    /// MIN(expr).
+    Min,
+    /// MAX(expr).
+    Max,
+    /// COUNT(expr) — non-null rows.
+    Count,
+    /// COUNT(*) — all rows (use with any input expression).
+    CountStar,
+    /// AVG(expr) as f64.
+    Avg,
+    /// COUNT(DISTINCT expr).
+    CountDistinct,
+}
+
+/// One aggregate to compute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    /// The function.
+    pub func: AggFunc,
+    /// The input expression.
+    pub input: Expr,
+}
+
+impl AggExpr {
+    /// Build an aggregate expression.
+    pub fn new(func: AggFunc, input: Expr) -> Self {
+        AggExpr { func, input }
+    }
+
+    /// The output type given the input type.
+    pub fn output_type(&self, input_type: DataType) -> DataType {
+        match self.func {
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => input_type,
+            AggFunc::Count | AggFunc::CountStar | AggFunc::CountDistinct => DataType::I64,
+            AggFunc::Avg => DataType::F64,
+        }
+    }
+}
+
+/// Accumulator state for one (group, aggregate) pair.
+#[derive(Debug, Clone)]
+enum AggState {
+    SumI64 { sum: i64, seen: bool },
+    SumF64 { sum: f64, seen: bool },
+    MinMax { best: Option<Value>, is_min: bool },
+    Count(i64),
+    Avg { sum: f64, count: i64 },
+    Distinct(HashSet<Vec<u8>>),
+}
+
+impl AggState {
+    fn new(func: AggFunc, input_type: DataType) -> AggState {
+        match func {
+            AggFunc::Sum => match input_type {
+                DataType::I64 => AggState::SumI64 { sum: 0, seen: false },
+                _ => AggState::SumF64 { sum: 0.0, seen: false },
+            },
+            AggFunc::Min => AggState::MinMax { best: None, is_min: true },
+            AggFunc::Max => AggState::MinMax { best: None, is_min: false },
+            AggFunc::Count | AggFunc::CountStar => AggState::Count(0),
+            AggFunc::Avg => AggState::Avg { sum: 0.0, count: 0 },
+            AggFunc::CountDistinct => AggState::Distinct(HashSet::new()),
+        }
+    }
+
+    fn update(&mut self, func: AggFunc, col: &Column, row: usize) {
+        let valid = col.is_valid(row);
+        match self {
+            AggState::Count(c) => {
+                if func == AggFunc::CountStar || valid {
+                    *c += 1;
+                }
+            }
+            AggState::SumI64 { sum, seen } => {
+                if valid {
+                    *sum += col.i64s()[row];
+                    *seen = true;
+                }
+            }
+            AggState::SumF64 { sum, seen } => {
+                if valid {
+                    *sum += match &col.data {
+                        ColumnData::F64(v) => v[row],
+                        ColumnData::I64(v) => v[row] as f64,
+                        other => panic!("cannot SUM {}", other.data_type()),
+                    };
+                    *seen = true;
+                }
+            }
+            AggState::MinMax { best, is_min } => {
+                if valid {
+                    let v = col.value(row);
+                    let replace = match best {
+                        None => true,
+                        Some(b) => {
+                            let ord = v.sql_cmp(b).expect("comparable agg inputs");
+                            if *is_min {
+                                ord == std::cmp::Ordering::Less
+                            } else {
+                                ord == std::cmp::Ordering::Greater
+                            }
+                        }
+                    };
+                    if replace {
+                        *best = Some(v);
+                    }
+                }
+            }
+            AggState::Avg { sum, count } => {
+                if valid {
+                    *sum += match &col.data {
+                        ColumnData::F64(v) => v[row],
+                        ColumnData::I64(v) => v[row] as f64,
+                        other => panic!("cannot AVG {}", other.data_type()),
+                    };
+                    *count += 1;
+                }
+            }
+            AggState::Distinct(set) => {
+                if valid {
+                    set.insert(encode_row(&[col], row));
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(c) => Value::I64(c),
+            AggState::SumI64 { sum, seen } => {
+                if seen {
+                    Value::I64(sum)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::SumF64 { sum, seen } => {
+                if seen {
+                    Value::F64(sum)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::MinMax { best, .. } => best.unwrap_or(Value::Null),
+            AggState::Avg { sum, count } => {
+                if count > 0 {
+                    Value::F64(sum / count as f64)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::Distinct(set) => Value::I64(set.len() as i64),
+        }
+    }
+}
+
+/// Hash-aggregate `batches`, grouping by `group_by` and computing `aggs`.
+///
+/// The output schema must list the group columns first (in `group_by`
+/// order) followed by one column per aggregate; groups appear in
+/// first-encounter order, making single-task output deterministic.
+/// With an empty `group_by` this is a global aggregation producing exactly
+/// one row (even over zero input rows, per SQL).
+pub fn hash_aggregate(
+    batches: &[Batch],
+    group_by: &[Expr],
+    aggs: &[AggExpr],
+    output: SchemaRef,
+) -> Batch {
+    assert_eq!(output.len(), group_by.len() + aggs.len(), "aggregate schema width");
+    // group key bytes -> (group ordinal)
+    let mut groups: HashMap<Vec<u8>, usize> = HashMap::new();
+    let mut group_rows: Vec<(usize, usize)> = Vec::new(); // (batch, row) exemplar per group
+    let mut states: Vec<Vec<AggState>> = Vec::new();
+    let global = group_by.is_empty();
+    if global {
+        groups.insert(Vec::new(), 0);
+        group_rows.push((usize::MAX, 0));
+        states.push(make_states(aggs, batches, &output));
+    }
+
+    let mut key_cols_per_batch: Vec<Vec<Column>> = Vec::with_capacity(batches.len());
+    let mut agg_cols_per_batch: Vec<Vec<Column>> = Vec::with_capacity(batches.len());
+    for b in batches {
+        key_cols_per_batch.push(group_by.iter().map(|e| e.eval(b)).collect());
+        agg_cols_per_batch.push(aggs.iter().map(|a| a.input.eval(b)).collect());
+    }
+
+    for (bi, b) in batches.iter().enumerate() {
+        let key_cols: Vec<&Column> = key_cols_per_batch[bi].iter().collect();
+        let agg_cols = &agg_cols_per_batch[bi];
+        for row in 0..b.num_rows() {
+            let gi = if global {
+                0
+            } else {
+                let key = encode_row(&key_cols, row);
+                match groups.entry(key) {
+                    Entry::Occupied(o) => *o.get(),
+                    Entry::Vacant(v) => {
+                        let gi = states.len();
+                        v.insert(gi);
+                        group_rows.push((bi, row));
+                        states.push(make_states(aggs, batches, &output));
+                        gi
+                    }
+                }
+            };
+            for (ai, agg) in aggs.iter().enumerate() {
+                states[gi][ai].update(agg.func, &agg_cols[ai], row);
+            }
+        }
+    }
+
+    // Materialize output columns.
+    let ngroups = states.len();
+    let mut out_cols: Vec<Column> = Vec::with_capacity(output.len());
+    for (ci, _) in group_by.iter().enumerate() {
+        let values: Vec<Value> = group_rows
+            .iter()
+            .map(|&(bi, row)| key_cols_per_batch[bi][ci].value(row))
+            .collect();
+        out_cols.push(values_to_column(&values, output.field(ci).dtype));
+    }
+    let mut per_agg: Vec<Vec<Value>> = vec![Vec::with_capacity(ngroups); aggs.len()];
+    for group_states in states {
+        for (ai, st) in group_states.into_iter().enumerate() {
+            per_agg[ai].push(st.finish());
+        }
+    }
+    for (ai, values) in per_agg.into_iter().enumerate() {
+        let dtype = output.field(group_by.len() + ai).dtype;
+        out_cols.push(values_to_column(&values, dtype));
+    }
+    Batch::new(output, out_cols)
+}
+
+fn make_states(aggs: &[AggExpr], batches: &[Batch], output: &SchemaRef) -> Vec<AggState> {
+    let ngroup = output.len() - aggs.len();
+    aggs.iter()
+        .enumerate()
+        .map(|(ai, a)| {
+            // Infer the input type from the output schema (exact for Sum /
+            // Min / Max; the others don't depend on it).
+            let out_t = output.field(ngroup + ai).dtype;
+            let _ = batches;
+            AggState::new(a.func, out_t)
+        })
+        .collect()
+}
+
+/// Build a column of `dtype` from owned values (nulls allowed).
+pub fn values_to_column(values: &[Value], dtype: DataType) -> Column {
+    let n = values.len();
+    let mut validity = vec![true; n];
+    let data = match dtype {
+        DataType::I64 => {
+            let mut v = vec![0i64; n];
+            for (i, val) in values.iter().enumerate() {
+                match val {
+                    Value::I64(x) => v[i] = *x,
+                    Value::Null => validity[i] = false,
+                    other => panic!("expected i64 value, got {other:?}"),
+                }
+            }
+            ColumnData::I64(v)
+        }
+        DataType::F64 => {
+            let mut v = vec![0f64; n];
+            for (i, val) in values.iter().enumerate() {
+                match val {
+                    Value::F64(x) => v[i] = *x,
+                    Value::I64(x) => v[i] = *x as f64,
+                    Value::Null => validity[i] = false,
+                    other => panic!("expected f64 value, got {other:?}"),
+                }
+            }
+            ColumnData::F64(v)
+        }
+        DataType::Str => {
+            let mut v = vec![String::new(); n];
+            for (i, val) in values.iter().enumerate() {
+                match val {
+                    Value::Str(x) => v[i] = x.clone(),
+                    Value::Null => validity[i] = false,
+                    other => panic!("expected str value, got {other:?}"),
+                }
+            }
+            ColumnData::Str(v)
+        }
+        DataType::Date => {
+            let mut v = vec![0i32; n];
+            for (i, val) in values.iter().enumerate() {
+                match val {
+                    Value::Date(x) => v[i] = *x,
+                    Value::Null => validity[i] = false,
+                    other => panic!("expected date value, got {other:?}"),
+                }
+            }
+            ColumnData::Date(v)
+        }
+        DataType::Bool => {
+            let mut v = vec![false; n];
+            for (i, val) in values.iter().enumerate() {
+                match val {
+                    Value::Bool(x) => v[i] = *x,
+                    Value::Null => validity[i] = false,
+                    other => panic!("expected bool value, got {other:?}"),
+                }
+            }
+            ColumnData::Bool(v)
+        }
+    };
+    Column::with_validity(data, validity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn lineitem_like() -> Vec<Batch> {
+        let schema = Schema::shared(&[
+            ("flag", DataType::Str),
+            ("qty", DataType::I64),
+            ("price", DataType::F64),
+        ]);
+        vec![
+            Batch::new(
+                schema.clone(),
+                vec![
+                    Column::from_str_vec(vec!["A".into(), "B".into(), "A".into()]),
+                    Column::from_i64(vec![10, 20, 30]),
+                    Column::from_f64(vec![1.0, 2.0, 3.0]),
+                ],
+            ),
+            Batch::new(
+                schema,
+                vec![
+                    Column::from_str_vec(vec!["B".into(), "A".into()]),
+                    Column::from_i64(vec![40, 50]),
+                    Column::from_f64(vec![4.0, 5.0]),
+                ],
+            ),
+        ]
+    }
+
+    #[test]
+    fn grouped_sum_count_avg() {
+        let out = Schema::shared(&[
+            ("flag", DataType::Str),
+            ("sum_qty", DataType::I64),
+            ("avg_price", DataType::F64),
+            ("cnt", DataType::I64),
+        ]);
+        let b = hash_aggregate(
+            &lineitem_like(),
+            &[Expr::col(0)],
+            &[
+                AggExpr::new(AggFunc::Sum, Expr::col(1)),
+                AggExpr::new(AggFunc::Avg, Expr::col(2)),
+                AggExpr::new(AggFunc::CountStar, Expr::lit_i64(1)),
+            ],
+            out,
+        );
+        assert_eq!(b.num_rows(), 2);
+        // Group order is first-encounter: A then B.
+        assert_eq!(b.columns[0].strs(), &["A".to_string(), "B".to_string()]);
+        assert_eq!(b.columns[1].i64s(), &[90, 60]);
+        assert_eq!(b.columns[2].f64s(), &[3.0, 3.0]);
+        assert_eq!(b.columns[3].i64s(), &[3, 2]);
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input() {
+        let schema = Schema::shared(&[("x", DataType::F64)]);
+        let out = Schema::shared(&[("sum", DataType::F64), ("cnt", DataType::I64)]);
+        let b = hash_aggregate(
+            &[Batch::empty(schema)],
+            &[],
+            &[
+                AggExpr::new(AggFunc::Sum, Expr::col(0)),
+                AggExpr::new(AggFunc::CountStar, Expr::lit_i64(1)),
+            ],
+            out,
+        );
+        assert_eq!(b.num_rows(), 1);
+        assert_eq!(b.columns[0].value(0), Value::Null); // SUM of nothing is NULL
+        assert_eq!(b.columns[1].value(0), Value::I64(0)); // COUNT(*) is 0
+    }
+
+    #[test]
+    fn count_skips_nulls_count_star_does_not() {
+        let schema = Schema::shared(&[("x", DataType::I64)]);
+        let input = Batch::new(
+            schema,
+            vec![Column::with_validity(
+                ColumnData::I64(vec![1, 2, 3]),
+                vec![true, false, true],
+            )],
+        );
+        let out = Schema::shared(&[("c", DataType::I64), ("cs", DataType::I64)]);
+        let b = hash_aggregate(
+            &[input],
+            &[],
+            &[
+                AggExpr::new(AggFunc::Count, Expr::col(0)),
+                AggExpr::new(AggFunc::CountStar, Expr::col(0)),
+            ],
+            out,
+        );
+        assert_eq!(b.columns[0].i64s(), &[2]);
+        assert_eq!(b.columns[1].i64s(), &[3]);
+    }
+
+    #[test]
+    fn min_max_and_count_distinct() {
+        let out = Schema::shared(&[
+            ("flag", DataType::Str),
+            ("mn", DataType::I64),
+            ("mx", DataType::I64),
+            ("nd", DataType::I64),
+        ]);
+        let b = hash_aggregate(
+            &lineitem_like(),
+            &[Expr::col(0)],
+            &[
+                AggExpr::new(AggFunc::Min, Expr::col(1)),
+                AggExpr::new(AggFunc::Max, Expr::col(1)),
+                AggExpr::new(AggFunc::CountDistinct, Expr::col(0)),
+            ],
+            out,
+        );
+        assert_eq!(b.columns[1].i64s(), &[10, 20]);
+        assert_eq!(b.columns[2].i64s(), &[50, 40]);
+        assert_eq!(b.columns[3].i64s(), &[1, 1]);
+    }
+
+    #[test]
+    fn expression_group_keys() {
+        // GROUP BY qty % 2.
+        let out = Schema::shared(&[("parity", DataType::I64), ("cnt", DataType::I64)]);
+        let b = hash_aggregate(
+            &lineitem_like(),
+            &[Expr::Binary {
+                op: crate::expr::BinOp::Mod,
+                lhs: Box::new(Expr::col(1)),
+                rhs: Box::new(Expr::lit_i64(2)),
+            }],
+            &[AggExpr::new(AggFunc::CountStar, Expr::lit_i64(1))],
+            out,
+        );
+        assert_eq!(b.num_rows(), 1); // all quantities are even
+        assert_eq!(b.columns[1].i64s(), &[5]);
+    }
+}

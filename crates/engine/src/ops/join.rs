@@ -1,0 +1,349 @@
+//! Hash joins.
+//!
+//! The engine supports the join shapes Cackle's plans use (§7.1.4: all
+//! joins are either broadcast or partitioned hash joins — the broadcast vs
+//! partitioned distinction lives in the *plan* via exchange modes; this
+//! operator only sees a build side and a probe side).
+//!
+//! Output column order is **probe columns followed by build columns** for
+//! `Inner`/`Left`; `Semi`/`Anti` emit probe columns only.
+
+use crate::batch::Batch;
+use crate::column::Column;
+use crate::expr::Expr;
+use crate::rowkey::encode_row;
+use crate::schema::SchemaRef;
+use std::collections::HashMap;
+
+/// Supported join types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// Matching pairs only.
+    Inner,
+    /// Every probe row; build columns null when unmatched
+    /// (`probe LEFT OUTER JOIN build`).
+    Left,
+    /// Probe rows with at least one match (EXISTS).
+    Semi,
+    /// Probe rows with no match (NOT EXISTS).
+    Anti,
+}
+
+/// A materialized hash table over the build side, reusable across many
+/// probe batches (and across tasks for broadcast joins).
+pub struct JoinHashTable {
+    /// key bytes -> rows (flattened into the concatenated build batch).
+    index: HashMap<Vec<u8>, Vec<u32>>,
+    /// The concatenated build side.
+    build: Batch,
+}
+
+impl JoinHashTable {
+    /// Build the table: concatenate `build` batches and index them by
+    /// `build_keys`. Rows with a null key are excluded (SQL join semantics:
+    /// null keys match nothing).
+    pub fn build(build_schema: SchemaRef, build: &[Batch], build_keys: &[Expr]) -> Self {
+        let build = Batch::concat(build_schema, build);
+        let key_cols: Vec<Column> = build_keys.iter().map(|e| e.eval(&build)).collect();
+        let key_refs: Vec<&Column> = key_cols.iter().collect();
+        let mut index: HashMap<Vec<u8>, Vec<u32>> = HashMap::new();
+        'rows: for row in 0..build.num_rows() {
+            for k in &key_refs {
+                if !k.is_valid(row) {
+                    continue 'rows;
+                }
+            }
+            index.entry(encode_row(&key_refs, row)).or_default().push(row as u32);
+        }
+        JoinHashTable { index, build }
+    }
+
+    /// Number of indexed build rows.
+    pub fn build_rows(&self) -> usize {
+        self.build.num_rows()
+    }
+
+    /// Probe with one batch. `output` must match the documented column
+    /// order for the join type.
+    pub fn probe(
+        &self,
+        probe: &Batch,
+        probe_keys: &[Expr],
+        join_type: JoinType,
+        output: SchemaRef,
+    ) -> Batch {
+        let key_cols: Vec<Column> = probe_keys.iter().map(|e| e.eval(probe)).collect();
+        let key_refs: Vec<&Column> = key_cols.iter().collect();
+        let n = probe.num_rows();
+
+        match join_type {
+            JoinType::Semi | JoinType::Anti => {
+                let want_match = join_type == JoinType::Semi;
+                let mask: Vec<bool> = (0..n)
+                    .map(|row| {
+                        let valid = key_refs.iter().all(|k| k.is_valid(row));
+                        let matched =
+                            valid && self.index.contains_key(&encode_row(&key_refs, row));
+                        matched == want_match
+                    })
+                    .collect();
+                let filtered = probe.filter(&mask);
+                Batch::new(output, filtered.columns)
+            }
+            JoinType::Inner | JoinType::Left => {
+                let mut probe_idx: Vec<usize> = Vec::new();
+                let mut build_idx: Vec<usize> = Vec::new();
+                // For Left, rows with no match pair with a sentinel.
+                let mut unmatched: Vec<usize> = Vec::new();
+                for row in 0..n {
+                    let valid = key_refs.iter().all(|k| k.is_valid(row));
+                    let hits = if valid {
+                        self.index.get(&encode_row(&key_refs, row))
+                    } else {
+                        None
+                    };
+                    match hits {
+                        Some(rows) => {
+                            for &b in rows {
+                                probe_idx.push(row);
+                                build_idx.push(b as usize);
+                            }
+                        }
+                        None => {
+                            if join_type == JoinType::Left {
+                                unmatched.push(row);
+                            }
+                        }
+                    }
+                }
+                let matched_probe = probe.take(&probe_idx);
+                let matched_build = self.build.take(&build_idx);
+                let mut columns: Vec<Column> = matched_probe
+                    .columns
+                    .into_iter()
+                    .chain(matched_build.columns)
+                    .collect();
+                if join_type == JoinType::Left && !unmatched.is_empty() {
+                    let extra_probe = probe.take(&unmatched);
+                    let nulls: Vec<Column> = self
+                        .build
+                        .schema
+                        .fields
+                        .iter()
+                        .map(|f| Column::nulls(f.dtype, unmatched.len()))
+                        .collect();
+                    let extras: Vec<Column> =
+                        extra_probe.columns.into_iter().chain(nulls).collect();
+                    columns = columns
+                        .into_iter()
+                        .zip(extras)
+                        .map(|(a, b)| Column::concat(&[a, b]))
+                        .collect();
+                }
+                Batch::new(output, columns)
+            }
+        }
+    }
+}
+
+/// One-shot join over fully materialized inputs.
+pub fn hash_join(
+    build_schema: SchemaRef,
+    build: &[Batch],
+    probe: &[Batch],
+    build_keys: &[Expr],
+    probe_keys: &[Expr],
+    join_type: JoinType,
+    output: SchemaRef,
+) -> Vec<Batch> {
+    let table = JoinHashTable::build(build_schema, build, build_keys);
+    probe
+        .iter()
+        .map(|p| table.probe(p, probe_keys, join_type, output.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::types::{DataType, Value};
+
+    fn orders() -> (SchemaRef, Vec<Batch>) {
+        let schema = Schema::shared(&[("o_key", DataType::I64), ("o_cust", DataType::I64)]);
+        let b = Batch::new(
+            schema.clone(),
+            vec![
+                Column::from_i64(vec![100, 101, 102, 103]),
+                Column::from_i64(vec![1, 2, 1, 3]),
+            ],
+        );
+        (schema, vec![b])
+    }
+
+    fn customers() -> (SchemaRef, Vec<Batch>) {
+        let schema = Schema::shared(&[("c_key", DataType::I64), ("c_name", DataType::Str)]);
+        let b = Batch::new(
+            schema.clone(),
+            vec![
+                Column::from_i64(vec![1, 2, 4]),
+                Column::from_str_vec(vec!["alice".into(), "bob".into(), "dana".into()]),
+            ],
+        );
+        (schema, vec![b])
+    }
+
+    #[test]
+    fn inner_join_matches_pairs() {
+        let (cs, cust) = customers();
+        let (_, ord) = orders();
+        let out = Schema::shared(&[
+            ("o_key", DataType::I64),
+            ("o_cust", DataType::I64),
+            ("c_key", DataType::I64),
+            ("c_name", DataType::Str),
+        ]);
+        // build = customers, probe = orders.
+        let res = hash_join(
+            cs,
+            &cust,
+            &ord,
+            &[Expr::col(0)],
+            &[Expr::col(1)],
+            JoinType::Inner,
+            out,
+        );
+        let b = &res[0];
+        assert_eq!(b.num_rows(), 3); // orders 100,101,102 match; 103 (cust 3) doesn't
+        assert_eq!(b.columns[0].i64s(), &[100, 101, 102]);
+        assert_eq!(b.columns[3].strs()[0], "alice");
+    }
+
+    #[test]
+    fn left_join_fills_nulls() {
+        let (cs, cust) = customers();
+        let (os, ord) = orders();
+        // customers LEFT JOIN orders: probe = customers, build = orders.
+        let out = Schema::shared(&[
+            ("c_key", DataType::I64),
+            ("c_name", DataType::Str),
+            ("o_key", DataType::I64),
+            ("o_cust", DataType::I64),
+        ]);
+        let res = hash_join(
+            os,
+            &ord,
+            &cust,
+            &[Expr::col(1)],
+            &[Expr::col(0)],
+            JoinType::Left,
+            out,
+        );
+        let b = &res[0];
+        // alice×2 orders + bob×1 + dana (no orders, null-filled) = 4 rows.
+        assert_eq!(b.num_rows(), 4);
+        let dana_row = (0..4).find(|&i| b.columns[1].strs()[i] == "dana").unwrap();
+        assert_eq!(b.columns[2].value(dana_row), Value::Null);
+        assert_eq!(b.columns[0].value(dana_row), Value::I64(4));
+        let _ = cs;
+    }
+
+    #[test]
+    fn semi_and_anti() {
+        let (cs, cust) = customers();
+        let (_, ord) = orders();
+        let out_semi = Schema::shared(&[("c_key", DataType::I64), ("c_name", DataType::Str)]);
+        // customers WHERE EXISTS order.
+        let (os, _) = orders();
+        let res = hash_join(
+            os.clone(),
+            &ord,
+            &cust,
+            &[Expr::col(1)],
+            &[Expr::col(0)],
+            JoinType::Semi,
+            out_semi.clone(),
+        );
+        assert_eq!(res[0].num_rows(), 2); // alice, bob
+        let res = hash_join(
+            os,
+            &ord,
+            &cust,
+            &[Expr::col(1)],
+            &[Expr::col(0)],
+            JoinType::Anti,
+            out_semi,
+        );
+        assert_eq!(res[0].num_rows(), 1); // dana
+        assert_eq!(res[0].columns[1].strs()[0], "dana");
+        let _ = cs;
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let schema = Schema::shared(&[("k", DataType::I64)]);
+        let build = Batch::new(
+            schema.clone(),
+            vec![Column::with_validity(
+                crate::column::ColumnData::I64(vec![1, 0]),
+                vec![true, false],
+            )],
+        );
+        let probe = Batch::new(
+            schema.clone(),
+            vec![Column::with_validity(
+                crate::column::ColumnData::I64(vec![1, 0]),
+                vec![true, false],
+            )],
+        );
+        let out = Schema::shared(&[("pk", DataType::I64), ("bk", DataType::I64)]);
+        let res = hash_join(
+            schema,
+            &[build],
+            &[probe],
+            &[Expr::col(0)],
+            &[Expr::col(0)],
+            JoinType::Inner,
+            out,
+        );
+        // Only the valid 1=1 pair: null keys on either side match nothing.
+        assert_eq!(res[0].num_rows(), 1);
+        assert_eq!(res[0].columns[0].i64s(), &[1]);
+    }
+
+    #[test]
+    fn duplicate_build_keys_multiply() {
+        let schema = Schema::shared(&[("k", DataType::I64)]);
+        let build =
+            Batch::new(schema.clone(), vec![Column::from_i64(vec![5, 5, 5])]);
+        let probe = Batch::new(schema.clone(), vec![Column::from_i64(vec![5, 6])]);
+        let out = Schema::shared(&[("pk", DataType::I64), ("bk", DataType::I64)]);
+        let res = hash_join(
+            schema,
+            &[build],
+            &[probe],
+            &[Expr::col(0)],
+            &[Expr::col(0)],
+            JoinType::Inner,
+            out,
+        );
+        assert_eq!(res[0].num_rows(), 3);
+    }
+
+    #[test]
+    fn reusable_table_across_probes() {
+        let (cs, cust) = customers();
+        let table = JoinHashTable::build(cs, &cust, &[Expr::col(0)]);
+        assert_eq!(table.build_rows(), 3);
+        let (_, ord) = orders();
+        let out = Schema::shared(&[
+            ("o_key", DataType::I64),
+            ("o_cust", DataType::I64),
+            ("c_key", DataType::I64),
+            ("c_name", DataType::Str),
+        ]);
+        let r1 = table.probe(&ord[0], &[Expr::col(1)], JoinType::Inner, out.clone());
+        let r2 = table.probe(&ord[0], &[Expr::col(1)], JoinType::Inner, out);
+        assert_eq!(r1, r2);
+    }
+}

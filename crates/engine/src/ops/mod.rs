@@ -1,0 +1,5 @@
+//! Relational operators.
+
+pub mod aggregate;
+pub mod join;
+pub mod sort;

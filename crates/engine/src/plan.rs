@@ -1,0 +1,392 @@
+//! Physical plans: DAGs of stages.
+//!
+//! Following Starling's execution model (§3 of the paper): a query is a DAG
+//! of *stages*; each stage runs as one or more *tasks* that execute to
+//! completion; a stage becomes runnable only when every upstream stage has
+//! finished; data crosses stage boundaries through a shuffle exchange
+//! (hash-partitioned, broadcast, or gathered to the coordinator). There is
+//! no pipelining between stages (§7.1.4).
+
+use crate::expr::Expr;
+use crate::ops::aggregate::AggExpr;
+use crate::ops::join::JoinType;
+use crate::ops::sort::SortKey;
+use crate::schema::SchemaRef;
+
+/// Stage identifier, an index into [`StageDag::stages`].
+pub type StageId = usize;
+
+/// An operator tree executed within one task.
+#[derive(Debug, Clone)]
+pub enum PlanNode {
+    /// Scan a base table: optional pushed-down filter (resolved against the
+    /// full table schema) then optional projection by column index.
+    Scan {
+        /// Catalog table name.
+        table: String,
+        /// Pushed-down predicate over the full table schema.
+        filter: Option<Expr>,
+        /// Kept column indices, in output order.
+        projection: Option<Vec<usize>>,
+    },
+    /// Read this task's hash partition of an upstream stage's output.
+    ShuffleRead {
+        /// Upstream stage.
+        stage: StageId,
+    },
+    /// Read the whole (broadcast) output of an upstream stage.
+    BroadcastRead {
+        /// Upstream stage.
+        stage: StageId,
+    },
+    /// Keep rows satisfying a predicate.
+    Filter {
+        /// Input operator.
+        input: Box<PlanNode>,
+        /// The predicate.
+        predicate: Expr,
+    },
+    /// Compute expressions into a new schema.
+    Project {
+        /// Input operator.
+        input: Box<PlanNode>,
+        /// One expression per output column.
+        exprs: Vec<Expr>,
+        /// Output schema (names + types for the computed columns).
+        schema: SchemaRef,
+    },
+    /// Hash aggregation (grouped or global).
+    HashAggregate {
+        /// Input operator.
+        input: Box<PlanNode>,
+        /// Group-key expressions (empty = global).
+        group_by: Vec<Expr>,
+        /// Aggregates.
+        aggs: Vec<AggExpr>,
+        /// Output schema: group columns then aggregate columns.
+        schema: SchemaRef,
+    },
+    /// Hash join; output is probe columns then build columns
+    /// (probe only for semi/anti).
+    HashJoin {
+        /// Build (hash-table) side.
+        build: Box<PlanNode>,
+        /// Probe side.
+        probe: Box<PlanNode>,
+        /// Build-side key expressions.
+        build_keys: Vec<Expr>,
+        /// Probe-side key expressions.
+        probe_keys: Vec<Expr>,
+        /// Join type.
+        join_type: JoinType,
+        /// Output schema.
+        schema: SchemaRef,
+    },
+    /// Sort (optionally top-k).
+    Sort {
+        /// Input operator.
+        input: Box<PlanNode>,
+        /// Sort keys.
+        keys: Vec<SortKey>,
+        /// Keep only the first `limit` rows when set.
+        limit: Option<usize>,
+    },
+    /// Concatenate inputs that share a schema.
+    Union {
+        /// Input operators.
+        inputs: Vec<PlanNode>,
+    },
+}
+
+impl PlanNode {
+    /// Upstream stages this operator tree reads, in discovery order.
+    pub fn upstream_stages(&self, out: &mut Vec<StageId>) {
+        match self {
+            PlanNode::Scan { .. } => {}
+            PlanNode::ShuffleRead { stage } | PlanNode::BroadcastRead { stage } => {
+                if !out.contains(stage) {
+                    out.push(*stage);
+                }
+            }
+            PlanNode::Filter { input, .. }
+            | PlanNode::Project { input, .. }
+            | PlanNode::HashAggregate { input, .. }
+            | PlanNode::Sort { input, .. } => input.upstream_stages(out),
+            PlanNode::HashJoin { build, probe, .. } => {
+                build.upstream_stages(out);
+                probe.upstream_stages(out);
+            }
+            PlanNode::Union { inputs } => {
+                for i in inputs {
+                    i.upstream_stages(out);
+                }
+            }
+        }
+    }
+
+    /// Table names scanned by this operator tree.
+    pub fn scanned_tables(&self, out: &mut Vec<String>) {
+        match self {
+            PlanNode::Scan { table, .. } => {
+                if !out.contains(table) {
+                    out.push(table.clone());
+                }
+            }
+            PlanNode::ShuffleRead { .. } | PlanNode::BroadcastRead { .. } => {}
+            PlanNode::Filter { input, .. }
+            | PlanNode::Project { input, .. }
+            | PlanNode::HashAggregate { input, .. }
+            | PlanNode::Sort { input, .. } => input.scanned_tables(out),
+            PlanNode::HashJoin { build, probe, .. } => {
+                build.scanned_tables(out);
+                probe.scanned_tables(out);
+            }
+            PlanNode::Union { inputs } => {
+                for i in inputs {
+                    i.scanned_tables(out);
+                }
+            }
+        }
+    }
+}
+
+/// How a stage's output leaves the stage.
+#[derive(Debug, Clone)]
+pub enum ExchangeMode {
+    /// Hash-partition rows by key into `partitions` partitions (one per
+    /// consuming task).
+    Hash {
+        /// Partitioning key expressions over the stage's output schema.
+        keys: Vec<Expr>,
+        /// Number of output partitions.
+        partitions: u32,
+    },
+    /// Single partition read in full by every consuming task.
+    Broadcast,
+    /// Return batches to the coordinator (final stage only).
+    Gather,
+}
+
+/// One stage of a query plan.
+#[derive(Debug, Clone)]
+pub struct Stage {
+    /// Stage id (must equal its index in the DAG).
+    pub id: StageId,
+    /// The operator tree each task executes.
+    pub root: PlanNode,
+    /// Degree of parallelism.
+    pub tasks: u32,
+    /// Output exchange.
+    pub exchange: ExchangeMode,
+    /// Schema of the stage's output rows.
+    pub output_schema: SchemaRef,
+}
+
+impl Stage {
+    /// Stages this stage depends on.
+    pub fn dependencies(&self) -> Vec<StageId> {
+        let mut deps = Vec::new();
+        self.root.upstream_stages(&mut deps);
+        deps
+    }
+}
+
+/// A complete physical plan: topologically ordered stages, the last of
+/// which gathers the query result.
+#[derive(Debug, Clone)]
+pub struct StageDag {
+    /// Query name (e.g. `"q01"`), used for diagnostics.
+    pub name: String,
+    /// Stages in topological order.
+    pub stages: Vec<Stage>,
+}
+
+impl StageDag {
+    /// Build and validate a DAG: ids match indices, dependencies point
+    /// backwards (topological order), only the last stage gathers, and
+    /// hash-exchange partition counts equal their consumers' task counts.
+    pub fn new(name: impl Into<String>, stages: Vec<Stage>) -> Self {
+        let dag = StageDag { name: name.into(), stages };
+        dag.validate();
+        dag
+    }
+
+    fn validate(&self) {
+        assert!(!self.stages.is_empty(), "{}: empty plan", self.name);
+        for (i, s) in self.stages.iter().enumerate() {
+            assert_eq!(s.id, i, "{}: stage {i} has id {}", self.name, s.id);
+            assert!(s.tasks > 0, "{}: stage {i} has zero tasks", self.name);
+            for d in s.dependencies() {
+                assert!(d < i, "{}: stage {i} depends on later stage {d}", self.name);
+            }
+            // Read kinds must match the upstream exchange: a ShuffleRead of
+            // a broadcast stage would read partition `task` of a single-
+            // partition output, and a BroadcastRead of a hash stage would
+            // read only partition 0 — both silently lose data.
+            Self::validate_reads(&s.root, &self.stages, &self.name, i);
+            let is_last = i == self.stages.len() - 1;
+            match &s.exchange {
+                ExchangeMode::Gather => {
+                    assert!(is_last, "{}: inner stage {i} gathers", self.name)
+                }
+                ExchangeMode::Hash { partitions, .. } => {
+                    assert!(!is_last, "{}: final stage must gather", self.name);
+                    // Every consumer that ShuffleReads this stage must have
+                    // `tasks == partitions`.
+                    for c in &self.stages {
+                        if Self::reads_via_shuffle(&c.root, i) {
+                            assert_eq!(
+                                c.tasks, *partitions,
+                                "{}: stage {} reads stage {i} but tasks != partitions",
+                                self.name, c.id
+                            );
+                        }
+                    }
+                }
+                ExchangeMode::Broadcast => {
+                    assert!(!is_last, "{}: final stage must gather", self.name)
+                }
+            }
+        }
+    }
+
+    fn validate_reads(node: &PlanNode, stages: &[Stage], name: &str, reader: usize) {
+        match node {
+            PlanNode::ShuffleRead { stage } => {
+                assert!(
+                    matches!(stages[*stage].exchange, ExchangeMode::Hash { .. }),
+                    "{name}: stage {reader} ShuffleReads stage {stage}, which does not hash-exchange"
+                );
+            }
+            PlanNode::BroadcastRead { stage } => {
+                assert!(
+                    matches!(stages[*stage].exchange, ExchangeMode::Broadcast),
+                    "{name}: stage {reader} BroadcastReads stage {stage}, which does not broadcast"
+                );
+            }
+            PlanNode::Scan { .. } => {}
+            PlanNode::Filter { input, .. }
+            | PlanNode::Project { input, .. }
+            | PlanNode::HashAggregate { input, .. }
+            | PlanNode::Sort { input, .. } => Self::validate_reads(input, stages, name, reader),
+            PlanNode::HashJoin { build, probe, .. } => {
+                Self::validate_reads(build, stages, name, reader);
+                Self::validate_reads(probe, stages, name, reader);
+            }
+            PlanNode::Union { inputs } => {
+                for i in inputs {
+                    Self::validate_reads(i, stages, name, reader);
+                }
+            }
+        }
+    }
+
+    fn reads_via_shuffle(node: &PlanNode, stage: StageId) -> bool {
+        match node {
+            PlanNode::ShuffleRead { stage: s } => *s == stage,
+            PlanNode::BroadcastRead { .. } | PlanNode::Scan { .. } => false,
+            PlanNode::Filter { input, .. }
+            | PlanNode::Project { input, .. }
+            | PlanNode::HashAggregate { input, .. }
+            | PlanNode::Sort { input, .. } => Self::reads_via_shuffle(input, stage),
+            PlanNode::HashJoin { build, probe, .. } => {
+                Self::reads_via_shuffle(build, stage) || Self::reads_via_shuffle(probe, stage)
+            }
+            PlanNode::Union { inputs } => {
+                inputs.iter().any(|i| Self::reads_via_shuffle(i, stage))
+            }
+        }
+    }
+
+    /// The final (gather) stage.
+    pub fn final_stage(&self) -> &Stage {
+        self.stages.last().expect("validated non-empty")
+    }
+
+    /// Total task count across all stages.
+    pub fn total_tasks(&self) -> u32 {
+        self.stages.iter().map(|s| s.tasks).sum()
+    }
+
+    /// All base tables referenced by the plan.
+    pub fn tables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for s in &self.stages {
+            s.root.scanned_tables(&mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::types::DataType;
+
+    fn scan_stage(id: StageId, tasks: u32, partitions: u32) -> Stage {
+        Stage {
+            id,
+            root: PlanNode::Scan { table: "t".into(), filter: None, projection: None },
+            tasks,
+            exchange: ExchangeMode::Hash { keys: vec![Expr::col(0)], partitions },
+            output_schema: Schema::shared(&[("k", DataType::I64)]),
+        }
+    }
+
+    fn gather_stage(id: StageId, tasks: u32, from: StageId) -> Stage {
+        Stage {
+            id,
+            root: PlanNode::ShuffleRead { stage: from },
+            tasks,
+            exchange: ExchangeMode::Gather,
+            output_schema: Schema::shared(&[("k", DataType::I64)]),
+        }
+    }
+
+    #[test]
+    fn valid_two_stage_plan() {
+        let dag = StageDag::new("t", vec![scan_stage(0, 4, 2), gather_stage(1, 2, 0)]);
+        assert_eq!(dag.final_stage().id, 1);
+        assert_eq!(dag.total_tasks(), 6);
+        assert_eq!(dag.stages[1].dependencies(), vec![0]);
+        assert_eq!(dag.tables(), vec!["t".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "tasks != partitions")]
+    fn partition_task_mismatch_rejected() {
+        StageDag::new("t", vec![scan_stage(0, 4, 3), gather_stage(1, 2, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "depends on later stage")]
+    fn forward_dependency_rejected() {
+        let mut g = gather_stage(0, 2, 1);
+        g.exchange = ExchangeMode::Gather;
+        let s = scan_stage(1, 4, 2);
+        // gather depends on stage 1 which comes later.
+        StageDag::new("t", vec![g, Stage { exchange: ExchangeMode::Gather, ..s }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "final stage must gather")]
+    fn final_stage_must_gather() {
+        StageDag::new("t", vec![scan_stage(0, 4, 4)]);
+    }
+
+    #[test]
+    fn upstream_discovery_through_joins() {
+        let join = PlanNode::HashJoin {
+            build: Box::new(PlanNode::BroadcastRead { stage: 0 }),
+            probe: Box::new(PlanNode::ShuffleRead { stage: 1 }),
+            build_keys: vec![Expr::col(0)],
+            probe_keys: vec![Expr::col(0)],
+            join_type: JoinType::Inner,
+            schema: Schema::shared(&[("a", DataType::I64), ("b", DataType::I64)]),
+        };
+        let mut deps = Vec::new();
+        join.upstream_stages(&mut deps);
+        assert_eq!(deps, vec![0, 1]);
+    }
+}

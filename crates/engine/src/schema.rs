@@ -1,0 +1,102 @@
+//! Schemas: named, typed field lists shared by batches and tables.
+
+use crate::types::DataType;
+use std::sync::Arc;
+
+/// A named, typed field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Build a field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field { name: name.into(), dtype }
+    }
+}
+
+/// An ordered list of fields. Shared via `Arc` between all batches of a
+/// table or stage output.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    /// The fields in column order.
+    pub fields: Vec<Field>,
+}
+
+/// Shared schema handle.
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    /// Build a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// Build a shared schema from `(name, type)` pairs.
+    pub fn shared(pairs: &[(&str, DataType)]) -> SchemaRef {
+        Arc::new(Schema::new(
+            pairs.iter().map(|(n, t)| Field::new(*n, *t)).collect(),
+        ))
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the field named `name`, panicking with a helpful message if
+    /// absent (plan construction is static, so absence is a programming bug).
+    pub fn index_of(&self, name: &str) -> usize {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .unwrap_or_else(|| {
+                let names: Vec<&str> = self.fields.iter().map(|f| f.name.as_str()).collect();
+                panic!("no column '{name}' in schema {names:?}")
+            })
+    }
+
+    /// The field at `idx`.
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    /// Project a subset of fields by index.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema::new(indices.iter().map(|&i| self.fields[i].clone()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_and_project() {
+        let s = Schema::shared(&[
+            ("l_orderkey", DataType::I64),
+            ("l_quantity", DataType::F64),
+            ("l_shipdate", DataType::Date),
+        ]);
+        assert_eq!(s.index_of("l_quantity"), 1);
+        assert_eq!(s.len(), 3);
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.fields[0].name, "l_shipdate");
+        assert_eq!(p.fields[1].dtype, DataType::I64);
+    }
+
+    #[test]
+    #[should_panic(expected = "no column 'missing'")]
+    fn missing_column_panics_with_name() {
+        Schema::shared(&[("a", DataType::I64)]).index_of("missing");
+    }
+}

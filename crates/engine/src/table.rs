@@ -1,0 +1,136 @@
+//! In-memory tables and the catalog.
+//!
+//! Base tables live in memory as partitioned batch lists — the stand-in for
+//! the paper's ORC files in S3 (the 100 MB-chunk layout maps to our
+//! partitions; scan tasks divide partitions round-robin).
+
+use crate::batch::Batch;
+use crate::schema::SchemaRef;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A named, partitioned, immutable table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    /// Schema.
+    pub schema: SchemaRef,
+    /// Horizontal partitions (the unit of scan parallelism).
+    pub partitions: Vec<Batch>,
+}
+
+impl Table {
+    /// Build a table, validating partition schemas.
+    pub fn new(name: impl Into<String>, schema: SchemaRef, partitions: Vec<Batch>) -> Self {
+        for (i, p) in partitions.iter().enumerate() {
+            assert_eq!(p.schema, schema, "partition {i} schema mismatch");
+        }
+        Table { name: name.into(), schema, partitions }
+    }
+
+    /// Total row count.
+    pub fn num_rows(&self) -> usize {
+        self.partitions.iter().map(|p| p.num_rows()).sum()
+    }
+
+    /// Approximate size in bytes.
+    pub fn byte_size(&self) -> u64 {
+        self.partitions.iter().map(|p| p.byte_size()).sum()
+    }
+
+    /// The partitions scan task `task` of `num_tasks` is responsible for
+    /// (round-robin assignment).
+    pub fn partitions_for_task(&self, task: u32, num_tasks: u32) -> Vec<&Batch> {
+        self.partitions
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (*i as u32) % num_tasks == task)
+            .map(|(_, b)| b)
+            .collect()
+    }
+}
+
+/// A shared, thread-safe name → table map.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a table.
+    pub fn register(&self, table: Table) {
+        self.tables.write().insert(table.name.clone(), Arc::new(table));
+    }
+
+    /// Look up a table, panicking with a clear message if missing (plans
+    /// reference tables statically).
+    pub fn get(&self, name: &str) -> Arc<Table> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| panic!("table '{name}' not registered"))
+    }
+
+    /// Does the catalog contain `name`?
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.read().contains_key(name)
+    }
+
+    /// Registered table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::schema::Schema;
+    use crate::types::DataType;
+
+    fn table() -> Table {
+        let schema = Schema::shared(&[("k", DataType::I64)]);
+        let parts = (0..5)
+            .map(|i| Batch::new(schema.clone(), vec![Column::from_i64(vec![i, i + 10])]))
+            .collect();
+        Table::new("t", schema, parts)
+    }
+
+    #[test]
+    fn round_robin_partition_assignment() {
+        let t = table();
+        assert_eq!(t.num_rows(), 10);
+        let t0 = t.partitions_for_task(0, 2);
+        let t1 = t.partitions_for_task(1, 2);
+        assert_eq!(t0.len(), 3); // partitions 0, 2, 4
+        assert_eq!(t1.len(), 2); // partitions 1, 3
+        // More tasks than partitions: extra tasks get nothing.
+        assert!(t.partitions_for_task(7, 8).is_empty());
+    }
+
+    #[test]
+    fn catalog_roundtrip() {
+        let c = Catalog::new();
+        c.register(table());
+        assert!(c.contains("t"));
+        assert_eq!(c.get("t").num_rows(), 10);
+        assert_eq!(c.table_names(), vec!["t".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn missing_table_panics() {
+        Catalog::new().get("nope");
+    }
+}

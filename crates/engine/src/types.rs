@@ -1,0 +1,295 @@
+//! Scalar types and values.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The data types the engine supports. TPC-H needs exactly these: integers
+/// (keys, quantities), decimals (modelled as f64 like many analytical
+/// engines' intermediate math), strings, dates (days since 1970-01-01), and
+/// booleans for predicate results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    I64,
+    /// 64-bit float (used for DECIMAL columns).
+    F64,
+    /// UTF-8 string.
+    Str,
+    /// Date as days since the Unix epoch.
+    Date,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::I64 => "i64",
+            DataType::F64 => "f64",
+            DataType::Str => "str",
+            DataType::Date => "date",
+            DataType::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single scalar value, possibly null.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Null of any type.
+    Null,
+    /// 64-bit integer.
+    I64(i64),
+    /// 64-bit float.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Date (days since epoch).
+    Date(i32),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// The value's data type, or `None` for null.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::I64(_) => Some(DataType::I64),
+            Value::F64(_) => Some(DataType::F64),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Date(_) => Some(DataType::Date),
+            Value::Bool(_) => Some(DataType::Bool),
+        }
+    }
+
+    /// True when the value is null.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Extract an i64, panicking on type mismatch (engine-internal use).
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            Value::I64(v) => *v,
+            other => panic!("expected i64, got {other:?}"),
+        }
+    }
+
+    /// Extract an f64, coercing from i64.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::F64(v) => *v,
+            Value::I64(v) => *v as f64,
+            other => panic!("expected f64, got {other:?}"),
+        }
+    }
+
+    /// Extract a string slice.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Value::Str(v) => v,
+            other => panic!("expected str, got {other:?}"),
+        }
+    }
+
+    /// Extract a bool.
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(v) => *v,
+            other => panic!("expected bool, got {other:?}"),
+        }
+    }
+
+    /// SQL-style comparison: returns `None` if either side is null.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::I64(a), Value::I64(b)) => Some(a.cmp(b)),
+            (Value::Date(a), Value::Date(b)) => Some(a.cmp(b)),
+            (Value::F64(a), Value::F64(b)) => a.partial_cmp(b),
+            (Value::I64(a), Value::F64(b)) => (*a as f64).partial_cmp(b),
+            (Value::F64(a), Value::I64(b)) => a.partial_cmp(&(*b as f64)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (a, b) => panic!("incomparable values {a:?} vs {b:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v:.4}"),
+            Value::Str(v) => write!(f, "{v}"),
+            Value::Date(v) => write!(f, "{}", date::format_days(*v)),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Date arithmetic on days-since-epoch, proleptic Gregorian.
+pub mod date {
+    /// True for Gregorian leap years.
+    pub fn is_leap(year: i32) -> bool {
+        (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+    }
+
+    const DAYS_IN_MONTH: [i32; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+    fn days_in_month(year: i32, month: u32) -> i32 {
+        if month == 2 && is_leap(year) {
+            29
+        } else {
+            DAYS_IN_MONTH[(month - 1) as usize]
+        }
+    }
+
+    fn days_in_year(year: i32) -> i32 {
+        if is_leap(year) {
+            366
+        } else {
+            365
+        }
+    }
+
+    /// Convert a calendar date to days since 1970-01-01.
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> i32 {
+        assert!((1..=12).contains(&month), "bad month {month}");
+        assert!(day >= 1 && (day as i32) <= days_in_month(year, month), "bad day {day}");
+        let mut days: i32 = 0;
+        if year >= 1970 {
+            for y in 1970..year {
+                days += days_in_year(y);
+            }
+        } else {
+            for y in year..1970 {
+                days -= days_in_year(y);
+            }
+        }
+        for m in 1..month {
+            days += days_in_month(year, m);
+        }
+        days + day as i32 - 1
+    }
+
+    /// Convert days since epoch back to (year, month, day).
+    pub fn to_ymd(mut days: i32) -> (i32, u32, u32) {
+        let mut year = 1970;
+        while days < 0 {
+            year -= 1;
+            days += days_in_year(year);
+        }
+        while days >= days_in_year(year) {
+            days -= days_in_year(year);
+            year += 1;
+        }
+        let mut month = 1u32;
+        while days >= days_in_month(year, month) {
+            days -= days_in_month(year, month);
+            month += 1;
+        }
+        (year, month, days as u32 + 1)
+    }
+
+    /// Parse `YYYY-MM-DD` into days since epoch.
+    pub fn parse(s: &str) -> i32 {
+        let mut it = s.split('-');
+        let y: i32 = it.next().expect("year").parse().expect("year digits");
+        let m: u32 = it.next().expect("month").parse().expect("month digits");
+        let d: u32 = it.next().expect("day").parse().expect("day digits");
+        from_ymd(y, m, d)
+    }
+
+    /// Format days since epoch as `YYYY-MM-DD`.
+    pub fn format_days(days: i32) -> String {
+        let (y, m, d) = to_ymd(days);
+        format!("{y:04}-{m:02}-{d:02}")
+    }
+
+    /// The year component of a days-since-epoch date.
+    pub fn year_of(days: i32) -> i32 {
+        to_ymd(days).0
+    }
+
+    /// Add `months` calendar months, clamping the day-of-month.
+    pub fn add_months(days: i32, months: i32) -> i32 {
+        let (y, m, d) = to_ymd(days);
+        let total = y * 12 + (m as i32 - 1) + months;
+        let ny = total.div_euclid(12);
+        let nm = (total.rem_euclid(12) + 1) as u32;
+        let nd = d.min(days_in_month(ny, nm) as u32);
+        from_ymd(ny, nm, nd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::date::*;
+    use super::*;
+
+    #[test]
+    fn date_roundtrip_epoch_region() {
+        for days in [-365, -1, 0, 1, 59, 60, 365, 10_000, 20_000] {
+            let (y, m, d) = to_ymd(days);
+            assert_eq!(from_ymd(y, m, d), days, "roundtrip {days} -> {y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn known_dates() {
+        assert_eq!(from_ymd(1970, 1, 1), 0);
+        assert_eq!(from_ymd(1970, 1, 2), 1);
+        assert_eq!(parse("1992-01-01"), from_ymd(1992, 1, 1));
+        assert_eq!(format_days(parse("1998-12-01")), "1998-12-01");
+        // Leap-day handling.
+        assert_eq!(to_ymd(from_ymd(1996, 2, 29)), (1996, 2, 29));
+        assert!(is_leap(2000));
+        assert!(!is_leap(1900));
+        assert!(!is_leap(1995));
+    }
+
+    #[test]
+    fn tpch_date_interval_arithmetic() {
+        // TPC-H Q1: date '1998-12-01' - interval '90' day.
+        assert_eq!(parse("1998-12-01") - 90, parse("1998-09-02"));
+        // Q4/Q5-style: date + interval '3' month.
+        assert_eq!(add_months(parse("1993-07-01"), 3), parse("1993-10-01"));
+        assert_eq!(add_months(parse("1994-01-01"), 12), parse("1995-01-01"));
+        // Day clamping.
+        assert_eq!(add_months(parse("1993-01-31"), 1), parse("1993-02-28"));
+    }
+
+    #[test]
+    fn year_extraction() {
+        assert_eq!(year_of(parse("1995-06-17")), 1995);
+        assert_eq!(year_of(parse("1970-01-01")), 1970);
+    }
+
+    #[test]
+    fn sql_cmp_null_propagates() {
+        assert_eq!(Value::Null.sql_cmp(&Value::I64(1)), None);
+        assert_eq!(Value::I64(1).sql_cmp(&Value::Null), None);
+        assert_eq!(Value::I64(2).sql_cmp(&Value::I64(3)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Str("b".into()).sql_cmp(&Value::Str("a".into())),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(Value::I64(2).sql_cmp(&Value::F64(2.0)), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::I64(7).as_i64(), 7);
+        assert_eq!(Value::I64(7).as_f64(), 7.0);
+        assert_eq!(Value::F64(1.5).as_f64(), 1.5);
+        assert_eq!(Value::Str("x".into()).as_str(), "x");
+        assert!(Value::Bool(true).as_bool());
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Date(0).data_type(), Some(DataType::Date));
+        assert_eq!(Value::Null.data_type(), None);
+    }
+}

@@ -1,0 +1,15 @@
+//! # cackle-tpch — TPC-H substrate
+//!
+//! * [`schema`] — the eight standard table schemas.
+//! * [`dbgen`] — a from-scratch, deterministic TPC-H data generator.
+//! * [`plans`] — hand-built physical stage-DAG plans for TPC-H Q1–Q22 plus
+//!   three TPC-DS-style queries (§7.1.6), executable on `cackle-engine`.
+//! * [`profiles`] — per-query execution profiles (calibrated static tables
+//!   and live measurement) consumed by Cackle's analytical model.
+
+pub mod dbgen;
+pub mod plans;
+pub mod profiles;
+pub mod schema;
+
+pub use dbgen::{generate_catalog, DbGenConfig};

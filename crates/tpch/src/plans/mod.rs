@@ -1,0 +1,101 @@
+//! Physical plans for the evaluation query mix: TPC-H Q1–Q22 plus three
+//! TPC-DS-style queries (§7.1.6).
+
+pub mod builder;
+mod q01_06;
+mod q07_11;
+mod q12_17;
+mod q18_22;
+mod tpcds;
+
+pub use builder::{Cols, DagBuilder, Node, Par};
+pub use q01_06::{q01, q02, q03, q04, q05, q06};
+pub use q07_11::{q07, q08, q09, q10, q11};
+pub use q12_17::{q12, q13, q14, q15, q16, q17};
+pub use q18_22::{q18, q19, q20, q21, q22};
+pub use tpcds::{ds24_iterative, ds58_reporting, ds81_multifact};
+
+use cackle_engine::plan::StageDag;
+
+/// Names of every query in the evaluation mix.
+pub const QUERY_NAMES: [&str; 25] = [
+    "q01", "q02", "q03", "q04", "q05", "q06", "q07", "q08", "q09", "q10", "q11", "q12",
+    "q13", "q14", "q15", "q16", "q17", "q18", "q19", "q20", "q21", "q22", "ds24", "ds58",
+    "ds81",
+];
+
+/// Build the plan for a query by name.
+pub fn plan(name: &str, par: Par) -> StageDag {
+    match name {
+        "q01" => q01(par),
+        "q02" => q02(par),
+        "q03" => q03(par),
+        "q04" => q04(par),
+        "q05" => q05(par),
+        "q06" => q06(par),
+        "q07" => q07(par),
+        "q08" => q08(par),
+        "q09" => q09(par),
+        "q10" => q10(par),
+        "q11" => q11(par),
+        "q12" => q12(par),
+        "q13" => q13(par),
+        "q14" => q14(par),
+        "q15" => q15(par),
+        "q16" => q16(par),
+        "q17" => q17(par),
+        "q18" => q18(par),
+        "q19" => q19(par),
+        "q20" => q20(par),
+        "q21" => q21(par),
+        "q22" => q22(par),
+        "ds24" => ds24_iterative(par),
+        "ds58" => ds58_reporting(par),
+        "ds81" => ds81_multifact(par),
+        other => panic!("unknown query '{other}'"),
+    }
+}
+
+/// Build every plan in the mix.
+pub fn all_plans(par: Par) -> Vec<StageDag> {
+    QUERY_NAMES.iter().map(|n| plan(n, par)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_plans_validate_at_multiple_scales() {
+        // StageDag::new validates topology, exchange/task consistency, and
+        // gather placement; building is the test.
+        for par in [Par::for_scale(0.01), Par::for_scale(10.0), Par::for_scale(100.0)] {
+            let plans = all_plans(par);
+            assert_eq!(plans.len(), 25);
+            for p in &plans {
+                assert!(p.stages.len() >= 2, "{} suspiciously small", p.name);
+                assert!(p.total_tasks() >= p.stages.len() as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_names_match_registry() {
+        for name in QUERY_NAMES {
+            assert_eq!(plan(name, Par::for_scale(1.0)).name, name);
+        }
+    }
+
+    #[test]
+    fn fact_heavy_plans_scale_tasks_with_sf() {
+        let small = q01(Par::for_scale(1.0));
+        let large = q01(Par::for_scale(100.0));
+        assert!(large.total_tasks() > small.total_tasks() * 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown query")]
+    fn unknown_query_panics() {
+        plan("q99", Par::for_scale(1.0));
+    }
+}

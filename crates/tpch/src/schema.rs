@@ -1,0 +1,143 @@
+//! TPC-H table schemas (all eight tables, full standard column sets).
+
+use cackle_engine::schema::{Schema, SchemaRef};
+use cackle_engine::types::DataType::{Date, F64, Str, I64};
+
+/// `region` schema.
+pub fn region() -> SchemaRef {
+    Schema::shared(&[
+        ("r_regionkey", I64),
+        ("r_name", Str),
+        ("r_comment", Str),
+    ])
+}
+
+/// `nation` schema.
+pub fn nation() -> SchemaRef {
+    Schema::shared(&[
+        ("n_nationkey", I64),
+        ("n_name", Str),
+        ("n_regionkey", I64),
+        ("n_comment", Str),
+    ])
+}
+
+/// `supplier` schema.
+pub fn supplier() -> SchemaRef {
+    Schema::shared(&[
+        ("s_suppkey", I64),
+        ("s_name", Str),
+        ("s_address", Str),
+        ("s_nationkey", I64),
+        ("s_phone", Str),
+        ("s_acctbal", F64),
+        ("s_comment", Str),
+    ])
+}
+
+/// `customer` schema.
+pub fn customer() -> SchemaRef {
+    Schema::shared(&[
+        ("c_custkey", I64),
+        ("c_name", Str),
+        ("c_address", Str),
+        ("c_nationkey", I64),
+        ("c_phone", Str),
+        ("c_acctbal", F64),
+        ("c_mktsegment", Str),
+        ("c_comment", Str),
+    ])
+}
+
+/// `part` schema.
+pub fn part() -> SchemaRef {
+    Schema::shared(&[
+        ("p_partkey", I64),
+        ("p_name", Str),
+        ("p_mfgr", Str),
+        ("p_brand", Str),
+        ("p_type", Str),
+        ("p_size", I64),
+        ("p_container", Str),
+        ("p_retailprice", F64),
+        ("p_comment", Str),
+    ])
+}
+
+/// `partsupp` schema.
+pub fn partsupp() -> SchemaRef {
+    Schema::shared(&[
+        ("ps_partkey", I64),
+        ("ps_suppkey", I64),
+        ("ps_availqty", I64),
+        ("ps_supplycost", F64),
+        ("ps_comment", Str),
+    ])
+}
+
+/// `orders` schema.
+pub fn orders() -> SchemaRef {
+    Schema::shared(&[
+        ("o_orderkey", I64),
+        ("o_custkey", I64),
+        ("o_orderstatus", Str),
+        ("o_totalprice", F64),
+        ("o_orderdate", Date),
+        ("o_orderpriority", Str),
+        ("o_clerk", Str),
+        ("o_shippriority", I64),
+        ("o_comment", Str),
+    ])
+}
+
+/// `lineitem` schema.
+pub fn lineitem() -> SchemaRef {
+    Schema::shared(&[
+        ("l_orderkey", I64),
+        ("l_partkey", I64),
+        ("l_suppkey", I64),
+        ("l_linenumber", I64),
+        ("l_quantity", F64),
+        ("l_extendedprice", F64),
+        ("l_discount", F64),
+        ("l_tax", F64),
+        ("l_returnflag", Str),
+        ("l_linestatus", Str),
+        ("l_shipdate", Date),
+        ("l_commitdate", Date),
+        ("l_receiptdate", Date),
+        ("l_shipinstruct", Str),
+        ("l_shipmode", Str),
+        ("l_comment", Str),
+    ])
+}
+
+/// All eight table names in generation order.
+pub const TABLE_NAMES: [&str; 8] = [
+    "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_match_tpch_spec() {
+        assert_eq!(region().len(), 3);
+        assert_eq!(nation().len(), 4);
+        assert_eq!(supplier().len(), 7);
+        assert_eq!(customer().len(), 8);
+        assert_eq!(part().len(), 9);
+        assert_eq!(partsupp().len(), 5);
+        assert_eq!(orders().len(), 9);
+        assert_eq!(lineitem().len(), 16);
+    }
+
+    #[test]
+    fn key_columns_resolve() {
+        assert_eq!(lineitem().index_of("l_orderkey"), 0);
+        assert_eq!(lineitem().index_of("l_shipdate"), 10);
+        assert_eq!(orders().index_of("o_orderdate"), 4);
+        assert_eq!(customer().index_of("c_mktsegment"), 6);
+    }
+}

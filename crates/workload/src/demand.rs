@@ -1,0 +1,174 @@
+//! Demand curves: per-second resource demand series.
+//!
+//! The workload history Cackle's strategies consume (§4.4.1) is exactly
+//! this: the number of concurrent task-slots requested at a
+//! second-by-second granularity.
+
+use serde::{Deserialize, Serialize};
+
+/// A per-second demand series (index = seconds since workload start).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DemandCurve {
+    /// Demand at each second.
+    pub samples: Vec<u32>,
+}
+
+impl DemandCurve {
+    /// A zero curve of `seconds` length.
+    pub fn zeros(seconds: usize) -> Self {
+        DemandCurve { samples: vec![0; seconds] }
+    }
+
+    /// Wrap an existing series.
+    pub fn from_samples(samples: Vec<u32>) -> Self {
+        DemandCurve { samples }
+    }
+
+    /// Length in seconds.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Demand at second `t` (0 beyond the end).
+    pub fn at(&self, t: usize) -> u32 {
+        self.samples.get(t).copied().unwrap_or(0)
+    }
+
+    /// Add `count` units of demand over `[start, end)` seconds, growing the
+    /// curve as needed.
+    pub fn add_interval(&mut self, start: usize, end: usize, count: u32) {
+        if end > self.samples.len() {
+            self.samples.resize(end, 0);
+        }
+        for s in &mut self.samples[start..end] {
+            *s += count;
+        }
+    }
+
+    /// Peak demand.
+    pub fn peak(&self) -> u32 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean demand.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|&x| x as f64).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Total demand in slot-seconds.
+    pub fn total_slot_seconds(&self) -> u64 {
+        self.samples.iter().map(|&x| x as u64).sum()
+    }
+
+    /// The `pct`-th percentile (1–100) of the series, by the nearest-rank
+    /// method over a sorted copy.
+    pub fn percentile(&self, pct: u8) -> u32 {
+        percentile_of(&self.samples, pct)
+    }
+
+    /// Downsample by taking the max over non-overlapping `window`-second
+    /// buckets (used to render long traces compactly).
+    pub fn downsample_max(&self, window: usize) -> Vec<u32> {
+        assert!(window > 0);
+        self.samples
+            .chunks(window)
+            .map(|c| c.iter().copied().max().unwrap_or(0))
+            .collect()
+    }
+
+    /// Scale every sample by `factor`, rounding to nearest.
+    pub fn scale(&self, factor: f64) -> DemandCurve {
+        DemandCurve {
+            samples: self
+                .samples
+                .iter()
+                .map(|&x| (x as f64 * factor).round() as u32)
+                .collect(),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an unsorted slice (`pct` in 1–100; 0 is
+/// treated as 1). Returns 0 for an empty slice.
+pub fn percentile_of(samples: &[u32], pct: u8) -> u32 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    percentile_of_sorted(&sorted, pct)
+}
+
+/// Nearest-rank percentile of an already sorted slice.
+pub fn percentile_of_sorted(sorted: &[u32], pct: u8) -> u32 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let pct = pct.clamp(1, 100) as usize;
+    let rank = (pct * sorted.len()).div_ceil(100);
+    sorted[rank - 1]
+}
+
+/// Nearest-rank percentile for f64 samples (latency reporting).
+pub fn percentile_f64(samples: &[f64], pct: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+    let pct = pct.clamp(0.01, 100.0);
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_addition_grows() {
+        let mut c = DemandCurve::zeros(2);
+        c.add_interval(1, 4, 3);
+        c.add_interval(2, 3, 2);
+        assert_eq!(c.samples, vec![0, 3, 5, 3]);
+        assert_eq!(c.peak(), 5);
+        assert_eq!(c.at(10), 0);
+        assert_eq!(c.total_slot_seconds(), 11);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<u32> = (1..=100).collect();
+        assert_eq!(percentile_of(&v, 50), 50);
+        assert_eq!(percentile_of(&v, 1), 1);
+        assert_eq!(percentile_of(&v, 100), 100);
+        assert_eq!(percentile_of(&v, 99), 99);
+        assert_eq!(percentile_of(&[], 50), 0);
+        assert_eq!(percentile_of(&[7], 80), 7);
+    }
+
+    #[test]
+    fn percentile_f64_latencies() {
+        let lat: Vec<f64> = (1..=10).map(|x| x as f64).collect();
+        assert_eq!(percentile_f64(&lat, 95.0), 10.0);
+        assert_eq!(percentile_f64(&lat, 90.0), 9.0);
+        assert_eq!(percentile_f64(&lat, 50.0), 5.0);
+        assert_eq!(percentile_f64(&[], 95.0), 0.0);
+    }
+
+    #[test]
+    fn downsample_and_scale() {
+        let c = DemandCurve::from_samples(vec![1, 5, 2, 8, 3]);
+        assert_eq!(c.downsample_max(2), vec![5, 8, 3]);
+        assert_eq!(c.scale(2.0).samples, vec![2, 10, 4, 16, 6]);
+        assert!((c.mean() - 3.8).abs() < 1e-12);
+    }
+}

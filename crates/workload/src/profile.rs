@@ -1,0 +1,200 @@
+//! Query execution profiles.
+//!
+//! The paper's analytical model (§5.1) does not execute queries; it replays
+//! per-query *profiles* collected from real runs: the stage DAG, the number
+//! of tasks per stage, per-task durations (rounded to whole seconds, minimum
+//! one), the volume of data shuffled, and the number of storage requests.
+//! [`QueryProfile`] is that record. `cackle-tpch` produces profiles both
+//! from calibrated static tables and by measuring real engine runs.
+
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Profile of one stage of a query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageProfile {
+    /// Number of parallel tasks.
+    pub tasks: u32,
+    /// Runtime of each task in seconds (rounded to ≥ 1 s, as the paper
+    /// rounds task durations to the nearest second with a 1 s minimum).
+    pub task_seconds: u32,
+    /// Total bytes the stage writes to the shuffle layer.
+    pub shuffle_bytes: u64,
+    /// Shuffle chunk writes the stage performs (PUTs if routed to S3).
+    pub shuffle_writes: u64,
+    /// Shuffle chunk reads performed by the stage (GETs if from S3).
+    pub shuffle_reads: u64,
+    /// Upstream stage indices that must finish before this stage starts.
+    pub deps: Vec<usize>,
+}
+
+/// Profile of a complete query: stages in topological order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryProfile {
+    /// Query name, e.g. `"q01_sf100"`.
+    pub name: String,
+    /// Stage profiles in topological order.
+    pub stages: Vec<StageProfile>,
+}
+
+/// Shared handle: workloads reference the same profile many times.
+pub type ProfileRef = Arc<QueryProfile>;
+
+impl QueryProfile {
+    /// Build and validate (deps must point backwards).
+    pub fn new(name: impl Into<String>, stages: Vec<StageProfile>) -> Self {
+        let p = QueryProfile { name: name.into(), stages };
+        for (i, s) in p.stages.iter().enumerate() {
+            assert!(s.tasks > 0, "{}: stage {i} has zero tasks", p.name);
+            assert!(s.task_seconds > 0, "{}: stage {i} has zero duration", p.name);
+            for &d in &s.deps {
+                assert!(d < i, "{}: stage {i} depends on later stage {d}", p.name);
+            }
+        }
+        p
+    }
+
+    /// Earliest start offset (seconds) of each stage assuming tasks start
+    /// the moment dependencies complete (Cackle never queues tasks).
+    pub fn stage_start_offsets(&self) -> Vec<u32> {
+        let mut finish = vec![0u32; self.stages.len()];
+        let mut start = vec![0u32; self.stages.len()];
+        for (i, s) in self.stages.iter().enumerate() {
+            let begin = s.deps.iter().map(|&d| finish[d]).max().unwrap_or(0);
+            start[i] = begin;
+            finish[i] = begin + s.task_seconds;
+        }
+        start
+    }
+
+    /// Query latency in seconds on unconstrained resources (the critical
+    /// path through the stage DAG).
+    pub fn critical_path_seconds(&self) -> u32 {
+        let starts = self.stage_start_offsets();
+        self.stages
+            .iter()
+            .zip(&starts)
+            .map(|(s, &b)| b + s.task_seconds)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total compute demand in task-seconds.
+    pub fn total_task_seconds(&self) -> u64 {
+        self.stages
+            .iter()
+            .map(|s| s.tasks as u64 * s.task_seconds as u64)
+            .sum()
+    }
+
+    /// Peak number of concurrently running tasks (on unconstrained
+    /// resources).
+    pub fn peak_concurrency(&self) -> u32 {
+        let starts = self.stage_start_offsets();
+        let horizon = self.critical_path_seconds();
+        let mut demand = vec![0u32; horizon as usize];
+        for (s, &b) in self.stages.iter().zip(&starts) {
+            for t in b..b + s.task_seconds {
+                demand[t as usize] += s.tasks;
+            }
+        }
+        demand.into_iter().max().unwrap_or(0)
+    }
+
+    /// Total bytes shuffled.
+    pub fn total_shuffle_bytes(&self) -> u64 {
+        self.stages.iter().map(|s| s.shuffle_bytes).sum()
+    }
+
+    /// Total shuffle (write, read) request counts.
+    pub fn total_shuffle_requests(&self) -> (u64, u64) {
+        (
+            self.stages.iter().map(|s| s.shuffle_writes).sum(),
+            self.stages.iter().map(|s| s.shuffle_reads).sum(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> QueryProfile {
+        // 0 -> {1, 2} -> 3
+        QueryProfile::new(
+            "diamond",
+            vec![
+                StageProfile {
+                    tasks: 8,
+                    task_seconds: 2,
+                    shuffle_bytes: 1000,
+                    shuffle_writes: 16,
+                    shuffle_reads: 0,
+                    deps: vec![],
+                },
+                StageProfile {
+                    tasks: 4,
+                    task_seconds: 5,
+                    shuffle_bytes: 500,
+                    shuffle_writes: 8,
+                    shuffle_reads: 8,
+                    deps: vec![0],
+                },
+                StageProfile {
+                    tasks: 2,
+                    task_seconds: 1,
+                    shuffle_bytes: 100,
+                    shuffle_writes: 2,
+                    shuffle_reads: 8,
+                    deps: vec![0],
+                },
+                StageProfile {
+                    tasks: 1,
+                    task_seconds: 3,
+                    shuffle_bytes: 0,
+                    shuffle_writes: 0,
+                    shuffle_reads: 10,
+                    deps: vec![1, 2],
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn critical_path_and_starts() {
+        let p = diamond();
+        assert_eq!(p.stage_start_offsets(), vec![0, 2, 2, 7]);
+        assert_eq!(p.critical_path_seconds(), 10);
+    }
+
+    #[test]
+    fn totals() {
+        let p = diamond();
+        assert_eq!(p.total_task_seconds(), 16 + 20 + 2 + 3);
+        assert_eq!(p.total_shuffle_bytes(), 1600);
+        assert_eq!(p.total_shuffle_requests(), (26, 26));
+    }
+
+    #[test]
+    fn peak_concurrency_overlapping_branches() {
+        let p = diamond();
+        // At t=2, stages 1 (4 tasks) and 2 (2 tasks) overlap.
+        assert_eq!(p.peak_concurrency(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "depends on later stage")]
+    fn forward_dep_rejected() {
+        QueryProfile::new(
+            "bad",
+            vec![StageProfile {
+                tasks: 1,
+                task_seconds: 1,
+                shuffle_bytes: 0,
+                shuffle_writes: 0,
+                shuffle_reads: 0,
+                deps: vec![5],
+            }],
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for workload generation and demand curves.
+
+use cackle_workload::arrivals::WorkloadSpec;
+use cackle_workload::demand::{percentile_of, DemandCurve};
+use cackle_workload::profile::{QueryProfile, StageProfile};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arrival generation always yields exactly N sorted samples inside
+    /// the window, for any parameter combination.
+    #[test]
+    fn arrivals_well_formed(
+        duration in 10u64..5_000,
+        n in 1usize..500,
+        baseline in 0.0f64..=1.0,
+        period in 1u64..5_000,
+        seed in any::<u64>(),
+    ) {
+        let spec = WorkloadSpec {
+            duration_s: duration,
+            num_queries: n,
+            baseline_load: baseline,
+            period_s: period,
+            seed,
+        };
+        let a = spec.generate_arrivals();
+        prop_assert_eq!(a.len(), n);
+        prop_assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(a.iter().all(|&t| t < duration));
+    }
+
+    /// add_interval is additive: total slot-seconds equals the sum of
+    /// interval areas regardless of insertion order.
+    #[test]
+    fn demand_curve_additive(
+        intervals in proptest::collection::vec((0usize..200, 1usize..50, 1u32..10), 0..30),
+    ) {
+        let mut forward = DemandCurve::default();
+        let mut backward = DemandCurve::default();
+        let mut area = 0u64;
+        for &(start, len, count) in &intervals {
+            forward.add_interval(start, start + len, count);
+            area += (len as u64) * count as u64;
+        }
+        for &(start, len, count) in intervals.iter().rev() {
+            backward.add_interval(start, start + len, count);
+        }
+        prop_assert_eq!(forward.total_slot_seconds(), area);
+        prop_assert_eq!(forward.samples, backward.samples);
+    }
+
+    /// Percentiles are monotone in the percentile and bounded by min/max.
+    #[test]
+    fn percentile_monotone(values in proptest::collection::vec(0u32..10_000, 1..200)) {
+        let mut prev = 0;
+        for pct in 1u8..=100 {
+            let p = percentile_of(&values, pct);
+            prop_assert!(p >= prev, "pct {} decreased", pct);
+            prev = p;
+        }
+        prop_assert_eq!(percentile_of(&values, 100), *values.iter().max().unwrap());
+        prop_assert!(percentile_of(&values, 1) >= *values.iter().min().unwrap());
+    }
+
+    /// Profile timing invariants: the critical path is at least the
+    /// longest stage and at most the sum of all stage durations, and peak
+    /// concurrency is at least the widest stage.
+    #[test]
+    fn profile_timing_bounds(
+        stage_specs in proptest::collection::vec((1u32..20, 1u32..30), 1..8),
+        chain in any::<bool>(),
+    ) {
+        let stages: Vec<StageProfile> = stage_specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(tasks, secs))| StageProfile {
+                tasks,
+                task_seconds: secs,
+                shuffle_bytes: 0,
+                shuffle_writes: 0,
+                shuffle_reads: 0,
+                deps: if chain && i > 0 { vec![i - 1] } else { vec![] },
+            })
+            .collect();
+        let p = QueryProfile::new("prop", stages);
+        let longest = stage_specs.iter().map(|&(_, s)| s).max().unwrap();
+        let total: u32 = stage_specs.iter().map(|&(_, s)| s).sum();
+        let cp = p.critical_path_seconds();
+        prop_assert!(cp >= longest && cp <= total);
+        if chain {
+            prop_assert_eq!(cp, total);
+        }
+        let widest = stage_specs.iter().map(|&(t, _)| t).max().unwrap();
+        prop_assert!(p.peak_concurrency() >= widest);
+    }
+
+    /// Downsampling by max never loses the peak.
+    #[test]
+    fn downsample_preserves_peak(
+        samples in proptest::collection::vec(0u32..1_000, 1..300),
+        window in 1usize..50,
+    ) {
+        let c = DemandCurve::from_samples(samples);
+        let down = c.downsample_max(window);
+        prop_assert_eq!(down.iter().copied().max().unwrap_or(0), c.peak());
+    }
+}

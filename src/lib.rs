@@ -1,0 +1,8 @@
+//! Umbrella crate for the Cackle reproduction: re-exports the workspace
+//! crates so examples and integration tests can use one import root.
+pub use cackle;
+pub use cackle_cloud as cloud;
+pub use cackle_comparators as comparators;
+pub use cackle_engine as engine;
+pub use cackle_tpch as tpch;
+pub use cackle_workload as workload;
