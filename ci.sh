@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Offline CI gate: formatting, determinism/cost-hygiene lints, release
+# build, full test suite. No network access required at any step.
+set -eu
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cackle-lint"
+cargo run -q -p cackle-lint -- . --baseline lint-baseline.txt
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "CI gate passed."

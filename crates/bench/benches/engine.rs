@@ -1,9 +1,12 @@
-//! Engine micro-benchmarks: the hot operators of cackle-engine.
+//! Engine micro-benchmarks: the hot operators of cackle-engine. Plain
+//! wall-clock harness (`harness = false`) — run with
+//! `cargo bench -p cackle-bench`.
 
+use cackle_bench::bench_wall;
 use cackle_engine::prelude::*;
 use cackle_tpch::dbgen::{generate_catalog, DbGenConfig};
 use cackle_tpch::plans::{self, Par};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 use std::sync::Arc;
 
 fn join_inputs(rows: usize) -> (SchemaRef, Batch, Batch) {
@@ -25,7 +28,7 @@ fn join_inputs(rows: usize) -> (SchemaRef, Batch, Batch) {
     (schema, build, probe)
 }
 
-fn bench_hash_join(c: &mut Criterion) {
+fn main() {
     let (schema, build, probe) = join_inputs(65_536);
     let out = Schema::shared(&[
         ("pk", DataType::I64),
@@ -33,24 +36,11 @@ fn bench_hash_join(c: &mut Criterion) {
         ("bk", DataType::I64),
         ("bv", DataType::F64),
     ]);
-    let table = cackle_engine::ops::join::JoinHashTable::build(
-        schema,
-        &[build],
-        &[Expr::col(0)],
-    );
-    c.bench_function("hash_join_probe_64k", |b| {
-        b.iter(|| {
-            black_box(table.probe(
-                &probe,
-                &[Expr::col(0)],
-                JoinType::Inner,
-                out.clone(),
-            ))
-        })
+    let table = cackle_engine::ops::join::JoinHashTable::build(schema, &[build], &[Expr::col(0)]);
+    bench_wall("hash_join_probe_64k", 20, || {
+        black_box(table.probe(&probe, &[Expr::col(0)], JoinType::Inner, out.clone()))
     });
-}
 
-fn bench_hash_aggregate(c: &mut Criterion) {
     let schema = Schema::shared(&[("g", DataType::I64), ("v", DataType::F64)]);
     let batch = Batch::new(
         schema,
@@ -59,20 +49,16 @@ fn bench_hash_aggregate(c: &mut Criterion) {
             Column::from_f64((0..65_536).map(|x| x as f64).collect()),
         ],
     );
-    let out = Schema::shared(&[("g", DataType::I64), ("s", DataType::F64)]);
-    c.bench_function("hash_aggregate_64k_512groups", |b| {
-        b.iter(|| {
-            black_box(cackle_engine::ops::aggregate::hash_aggregate(
-                std::slice::from_ref(&batch),
-                &[Expr::col(0)],
-                &[AggExpr::new(AggFunc::Sum, Expr::col(1))],
-                out.clone(),
-            ))
-        })
+    let agg_out = Schema::shared(&[("g", DataType::I64), ("s", DataType::F64)]);
+    bench_wall("hash_aggregate_64k_512groups", 20, || {
+        black_box(cackle_engine::ops::aggregate::hash_aggregate(
+            std::slice::from_ref(&batch),
+            &[Expr::col(0)],
+            &[AggExpr::new(AggFunc::Sum, Expr::col(1))],
+            agg_out.clone(),
+        ))
     });
-}
 
-fn bench_codec_roundtrip(c: &mut Criterion) {
     let schema = Schema::shared(&[
         ("k", DataType::I64),
         ("s", DataType::Str),
@@ -86,36 +72,26 @@ fn bench_codec_roundtrip(c: &mut Criterion) {
             Column::from_date((0..16_384).collect()),
         ],
     );
-    c.bench_function("codec_roundtrip_16k", |b| {
-        b.iter(|| {
-            let bytes = cackle_engine::codec::encode_batch(&batch);
-            black_box(cackle_engine::codec::decode_batch(&bytes, schema.clone()))
-        })
+    bench_wall("codec_roundtrip_16k", 20, || {
+        let bytes = cackle_engine::codec::encode_batch(&batch);
+        black_box(cackle_engine::codec::decode_batch(&bytes, schema.clone()))
     });
-}
 
-fn bench_tpch_queries(c: &mut Criterion) {
     let catalog = Arc::new(generate_catalog(&DbGenConfig {
         scale_factor: 0.002,
         rows_per_partition: 1024,
         seed: 7,
     }));
-    let par = Par { fact: 2, mid: 2, join: 2 };
+    let par = Par {
+        fact: 2,
+        mid: 2,
+        join: 2,
+    };
     for name in ["q01", "q06", "q18"] {
         let dag = plans::plan(name, par);
-        let cat = Arc::clone(&catalog);
-        c.bench_function(&format!("tpch_{name}_sf0.002"), move |b| {
-            b.iter(|| {
-                let shuffle = MemoryShuffle::new();
-                black_box(execute_query(&dag, 1, &cat, &shuffle))
-            })
+        bench_wall(&format!("tpch_{name}_sf0.002"), 20, || {
+            let shuffle = MemoryShuffle::new();
+            black_box(execute_query(&dag, 1, &catalog, &shuffle))
         });
     }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_hash_join, bench_hash_aggregate, bench_codec_roundtrip, bench_tpch_queries
-}
-criterion_main!(benches);

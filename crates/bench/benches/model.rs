@@ -1,49 +1,36 @@
 //! Analytical-model and full-system benchmarks: how fast can the
-//! reproduction evaluate a workload?
+//! reproduction evaluate a workload? Plain wall-clock harness
+//! (`harness = false`) — run with `cargo bench -p cackle-bench`.
 
 use cackle::model::{run_model, workload_curves, ModelOptions};
 use cackle::system::{run_system, SystemConfig};
 use cackle::{make_strategy, Env};
-use cackle_bench::hour_workload;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cackle_bench::{bench_wall, hour_workload};
+use std::hint::black_box;
 
-fn bench_curves(c: &mut Criterion) {
+fn main() {
     let w = hour_workload(1000, 1);
-    c.bench_function("workload_curves_1000q", |b| {
-        b.iter(|| black_box(workload_curves(&w)))
+    bench_wall("workload_curves_1000q", 10, || {
+        black_box(workload_curves(&w))
     });
-}
 
-fn bench_model(c: &mut Criterion) {
     let env = Env::default();
     let w = hour_workload(500, 2);
-    let opts = ModelOptions { record_timeseries: false, compute_only: true };
+    let opts = ModelOptions {
+        record_timeseries: false,
+        compute_only: true,
+    };
     for label in ["fixed_100", "mean_2", "predictive"] {
-        let wl = w.clone();
-        let e = env.clone();
-        c.bench_function(&format!("model_hour_500q_{label}"), move |b| {
-            b.iter(|| {
-                let mut s = make_strategy(label, &e);
-                black_box(run_model(&wl, s.as_mut(), &e, opts).compute.total())
-            })
+        bench_wall(&format!("model_hour_500q_{label}"), 10, || {
+            let mut s = make_strategy(label, &env);
+            black_box(run_model(&w, s.as_mut(), &env, opts).compute.total())
         });
     }
-}
 
-fn bench_full_system(c: &mut Criterion) {
     let cfg = SystemConfig::default();
     let w = hour_workload(250, 3);
-    c.bench_function("full_system_hour_250q_mean2", |b| {
-        b.iter(|| {
-            let mut s = make_strategy("mean_2", &cfg.env);
-            black_box(run_system(&w, s.as_mut(), &cfg).total_cost())
-        })
+    bench_wall("full_system_hour_250q_mean2", 10, || {
+        let mut s = make_strategy("mean_2", &cfg.env);
+        black_box(run_system(&w, s.as_mut(), &cfg).total_cost())
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_curves, bench_model, bench_full_system
-}
-criterion_main!(benches);

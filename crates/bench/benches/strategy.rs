@@ -1,86 +1,65 @@
 //! Strategy-layer benchmarks: meta-strategy tick cost with the full
 //! 800-expert family, the sliding-quantile structure, the allocation
-//! simulation, and the offline oracle.
+//! simulation, and the offline oracle. Plain wall-clock harness
+//! (`harness = false`) — run with `cargo bench -p cackle-bench`.
 
 use cackle::history::{SlidingQuantile, WorkloadHistory};
 use cackle::oracle::oracle_cost;
 use cackle::strategy::ProvisioningStrategy;
 use cackle::{AllocationSim, Env, MetaStrategy};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cackle_bench::bench_wall;
+use cackle_prng::Pcg32;
+use std::hint::black_box;
 
 fn sine_demand(len: usize) -> Vec<u32> {
-    let mut rng = StdRng::seed_from_u64(1);
+    let mut rng = Pcg32::seed_from_u64(1);
     (0..len)
         .map(|t| {
-            let base =
-                60.0 + 50.0 * (t as f64 * std::f64::consts::TAU / 1200.0).sin();
+            let base = 60.0 + 50.0 * (t as f64 * std::f64::consts::TAU / 1200.0).sin();
             (base + rng.gen_range(0.0..20.0)) as u32
         })
         .collect()
 }
 
-fn bench_meta_tick(c: &mut Criterion) {
+fn main() {
+    let env = Env::default();
+
     // One strategy tick with the full paper family over an hour of history.
-    let env = Env::default();
-    c.bench_function("meta_strategy_hour_of_ticks_full_family", |b| {
-        let demand = sine_demand(3600);
-        b.iter(|| {
-            let mut meta = MetaStrategy::new(&env);
-            let mut history = WorkloadHistory::new();
-            let mut total = 0u64;
-            for (t, &d) in demand.iter().enumerate() {
-                history.push(d);
-                if t % 5 == 0 {
-                    total += meta.target(t as u64, &history, &env) as u64;
-                }
+    let demand = sine_demand(3600);
+    bench_wall("meta_strategy_hour_of_ticks_full_family", 10, || {
+        let mut meta = MetaStrategy::new(&env);
+        let mut history = WorkloadHistory::new();
+        let mut total = 0u64;
+        for (t, &d) in demand.iter().enumerate() {
+            history.push(d);
+            if t % 5 == 0 {
+                total += meta.target(t as u64, &history, &env) as u64;
             }
-            black_box(total)
-        })
+        }
+        black_box(total)
     });
-}
 
-fn bench_sliding_quantile(c: &mut Criterion) {
     let demand = sine_demand(10_000);
-    c.bench_function("sliding_quantile_push_and_query_10k", |b| {
-        b.iter(|| {
-            let mut q = SlidingQuantile::new(3600);
-            let mut acc = 0u32;
-            for &d in &demand {
-                q.push(d);
-                acc ^= q.percentile(80);
-            }
-            black_box(acc)
-        })
+    bench_wall("sliding_quantile_push_and_query_10k", 10, || {
+        let mut q = SlidingQuantile::new(3600);
+        let mut acc = 0u32;
+        for &d in &demand {
+            q.push(d);
+            acc ^= q.percentile(80);
+        }
+        black_box(acc)
     });
-}
 
-fn bench_allocation_sim(c: &mut Criterion) {
-    let env = Env::default();
     let demand = sine_demand(43_200);
-    c.bench_function("allocation_sim_12h", |b| {
-        b.iter(|| {
-            let mut sim = AllocationSim::new(&env);
-            for &d in &demand {
-                sim.step(d / 2, d);
-            }
-            black_box(sim.finalize())
-        })
+    bench_wall("allocation_sim_12h", 10, || {
+        let mut sim = AllocationSim::new(&env);
+        for &d in &demand {
+            sim.step(d / 2, d);
+        }
+        black_box(sim.finalize())
+    });
+
+    bench_wall("oracle_12h_sine", 10, || {
+        black_box(oracle_cost(&demand, &env).total())
     });
 }
-
-fn bench_oracle(c: &mut Criterion) {
-    let env = Env::default();
-    let demand = sine_demand(43_200);
-    c.bench_function("oracle_12h_sine", |b| {
-        b.iter(|| black_box(oracle_cost(&demand, &env).total()))
-    });
-}
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_meta_tick, bench_sliding_quantile, bench_allocation_sim, bench_oracle
-}
-criterion_main!(benches);

@@ -9,13 +9,19 @@ use cackle_bench::*;
 fn main() {
     let e = env();
     let w = default_workload(4096);
-    let opts = ModelOptions { record_timeseries: false, compute_only: true };
+    let opts = ModelOptions {
+        record_timeseries: false,
+        compute_only: true,
+    };
     let mut t = ResultTable::new(
         "Ablation: multiplicative-weights epsilon vs cost",
         &["epsilon", "cost_usd", "expert_switches"],
     );
     for eps in [0.01f64, 0.05, 0.1, 0.25, 0.5] {
-        let cfg = FamilyConfig { epsilon: eps, ..FamilyConfig::default() };
+        let cfg = FamilyConfig {
+            epsilon: eps,
+            ..FamilyConfig::default()
+        };
         let mut m = MetaStrategy::with_family(cfg, &e);
         let r = run_model(&w, &mut m, &e, opts);
         t.row_strings(vec![

@@ -9,7 +9,10 @@ use cackle_bench::*;
 fn main() {
     let e = env();
     let w = default_workload(4096);
-    let opts = ModelOptions { record_timeseries: false, compute_only: true };
+    let opts = ModelOptions {
+        record_timeseries: false,
+        compute_only: true,
+    };
     let mut t = ResultTable::new(
         "Ablation: expert family size vs cost (4096-query default workload)",
         &["family", "experts", "cost_usd", "expert_switches"],
@@ -26,7 +29,10 @@ fn main() {
         ),
         (
             "small (2 lookbacks, 5 pcts)",
-            FamilyConfig { seed: 17, ..FamilyConfig::small() },
+            FamilyConfig {
+                seed: 17,
+                ..FamilyConfig::small()
+            },
         ),
         (
             "medium (4 lookbacks, 10 pcts)",

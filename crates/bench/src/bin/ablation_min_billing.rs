@@ -12,7 +12,12 @@ fn main() {
     let curves = workload_curves(&w);
     let mut t = ResultTable::new(
         "Ablation: VM minimum billing time vs oracle cost (with/without pool)",
-        &["min_billing_s", "oracle_with_pool", "oracle_without_pool", "pool_advantage_pct"],
+        &[
+            "min_billing_s",
+            "oracle_with_pool",
+            "oracle_without_pool",
+            "pool_advantage_pct",
+        ],
     );
     for min_s in [0u64, 30, 60, 120, 300, 600] {
         let mut e = env();

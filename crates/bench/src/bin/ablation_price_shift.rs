@@ -13,7 +13,10 @@ fn main() {
     let w = default_workload(8192);
     let curves = workload_curves(&w);
     let demand = &curves.demand.samples;
-    let opts = ModelOptions { record_timeseries: false, compute_only: true };
+    let opts = ModelOptions {
+        record_timeseries: false,
+        compute_only: true,
+    };
     // The VM price doubles 6 hours into the 12-hour workload.
     let spike = PriceTimeline::spot_spike(&e, 6 * 3600, 2.0);
     let flat = PriceTimeline::constant(&e);

@@ -14,7 +14,10 @@ fn main() {
     // fraction of the total (the paper notes the effect is small for long
     // workloads — this isolates it).
     let w = hour_workload(1500, 31);
-    let opts = ModelOptions { record_timeseries: false, compute_only: true };
+    let opts = ModelOptions {
+        record_timeseries: false,
+        compute_only: true,
+    };
     let curves = cackle::model::workload_curves(&w);
     let typical = curves.demand.percentile(60);
 

@@ -14,7 +14,13 @@ fn main() {
     let w = build_workload(&WorkloadSpec::hour_long(60, 21), &profile_set(10.0));
     let mut t = ResultTable::new(
         "Ablation: shuffle-node memory floor vs shuffle-layer cost",
-        &["floor_gib", "node_cost", "s3_put_cost", "s3_get_cost", "shuffle_total"],
+        &[
+            "floor_gib",
+            "node_cost",
+            "s3_put_cost",
+            "s3_get_cost",
+            "shuffle_total",
+        ],
     );
     for floor_gib in [0u64, 8, 16, 32, 64, 128] {
         let mut e = env();

@@ -12,7 +12,13 @@ fn main() {
     let w = hour_workload(750, 41);
     let mut t = ResultTable::new(
         "Extension: spot interruptions per VM-hour vs latency and cost",
-        &["rate_per_vm_hour", "p50_latency_s", "p95_latency_s", "vm_cost", "pool_cost"],
+        &[
+            "rate_per_vm_hour",
+            "p50_latency_s",
+            "p95_latency_s",
+            "vm_cost",
+            "pool_cost",
+        ],
     );
     for rate in [0.0f64, 0.1, 0.5, 2.0, 6.0] {
         let cfg = SystemConfig {

@@ -9,7 +9,10 @@ use cackle_cloud::SimDuration;
 
 fn main() {
     let w = default_workload(4096);
-    let opts = ModelOptions { record_timeseries: false, compute_only: true };
+    let opts = ModelOptions {
+        record_timeseries: false,
+        compute_only: true,
+    };
     let mut t = ResultTable::new(
         "Ablation: strategy tick interval vs cost",
         &["tick_s", "cost_usd"],

@@ -18,9 +18,16 @@ fn main() {
 
     let mut t = ResultTable::new(
         "Fig 1: latency CDF, 1500 TPC-H queries in one hour",
-        &["percentile", "cackle_s", "databricks_small_5clusters_s", "databricks_small_autoscaling_s"],
+        &[
+            "percentile",
+            "cackle_s",
+            "databricks_small_5clusters_s",
+            "databricks_small_autoscaling_s",
+        ],
     );
-    for pct in [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 95.0, 99.0, 100.0] {
+    for pct in [
+        10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 95.0, 99.0, 100.0,
+    ] {
         t.row_strings(vec![
             format!("{pct:.0}"),
             secs(percentile_f64(&cackle_run.latencies, pct)),

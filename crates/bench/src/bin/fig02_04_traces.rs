@@ -16,7 +16,10 @@ fn emit(fig: &str, name: &str, unit: &str, curve: &DemandCurve, window_start_h: 
         curve.percentile(50),
         curve.percentile(99)
     );
-    let mut t = ResultTable::new(format!("{fig} full span (hourly max, {unit})"), &["hour", "demand"]);
+    let mut t = ResultTable::new(
+        format!("{fig} full span (hourly max, {unit})"),
+        &["hour", "demand"],
+    );
     for (h, v) in curve.downsample_max(3600).iter().enumerate() {
         t.row_strings(vec![h.to_string(), v.to_string()]);
     }
@@ -26,7 +29,8 @@ fn emit(fig: &str, name: &str, unit: &str, curve: &DemandCurve, window_start_h: 
         &["minute", "demand"],
     );
     let start = window_start_h * 3600;
-    let window = DemandCurve::from_samples(curve.samples[start..(start + 7200).min(curve.len())].to_vec());
+    let window =
+        DemandCurve::from_samples(curve.samples[start..(start + 7200).min(curve.len())].to_vec());
     for (m, v) in window.downsample_max(60).iter().enumerate() {
         t.row_strings(vec![m.to_string(), v.to_string()]);
     }
@@ -34,7 +38,25 @@ fn emit(fig: &str, name: &str, unit: &str, curve: &DemandCurve, window_start_h: 
 }
 
 fn main() {
-    emit("Fig02", "startup workload", "concurrent queries", &traces::startup_trace(1), 115);
-    emit("Fig03", "Alibaba 2018 workload", "concurrent CPUs (thousands)", &traces::alibaba_trace(1), 72);
-    emit("Fig04", "Azure Synapse workload", "nodes requested", &traces::azure_trace(1), 150);
+    emit(
+        "Fig02",
+        "startup workload",
+        "concurrent queries",
+        &traces::startup_trace(1),
+        115,
+    );
+    emit(
+        "Fig03",
+        "Alibaba 2018 workload",
+        "concurrent CPUs (thousands)",
+        &traces::alibaba_trace(1),
+        72,
+    );
+    emit(
+        "Fig04",
+        "Azure Synapse workload",
+        "nodes requested",
+        &traces::azure_trace(1),
+        150,
+    );
 }

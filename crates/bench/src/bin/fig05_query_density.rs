@@ -6,10 +6,25 @@ use cackle_bench::*;
 
 fn main() {
     let e = env();
-    let labels = ["fixed_0", "fixed_500", "mean_2", "predictive", "oracle", "dynamic"];
+    let labels = [
+        "fixed_0",
+        "fixed_500",
+        "mean_2",
+        "predictive",
+        "oracle",
+        "dynamic",
+    ];
     let mut t = ResultTable::new(
         "Fig 5: cost ($) vs number of queries (12 h window)",
-        &["queries", "fixed_0", "fixed_500", "mean_2", "predictive", "oracle", "dynamic"],
+        &[
+            "queries",
+            "fixed_0",
+            "fixed_500",
+            "mean_2",
+            "predictive",
+            "oracle",
+            "dynamic",
+        ],
     );
     for n in [1000usize, 2000, 4000, 8000, 16384, 32768, 65536, 100_000] {
         let w = default_workload(n);

@@ -8,13 +8,31 @@ use cackle_workload::arrivals::WorkloadSpec;
 fn main() {
     let e = env();
     let mix = model_mix();
-    let labels = ["fixed_0", "fixed_500", "mean_2", "predictive", "oracle", "dynamic"];
+    let labels = [
+        "fixed_0",
+        "fixed_500",
+        "mean_2",
+        "predictive",
+        "oracle",
+        "dynamic",
+    ];
     let mut t = ResultTable::new(
         "Fig 6: cost ($) vs period of arrivals (s)",
-        &["period_s", "fixed_0", "fixed_500", "mean_2", "predictive", "oracle", "dynamic"],
+        &[
+            "period_s",
+            "fixed_0",
+            "fixed_500",
+            "mean_2",
+            "predictive",
+            "oracle",
+            "dynamic",
+        ],
     );
     for period in [100u64, 300, 1000, 3000, 10_800, 30_000] {
-        let spec = WorkloadSpec { period_s: period, ..WorkloadSpec::default() };
+        let spec = WorkloadSpec {
+            period_s: period,
+            ..WorkloadSpec::default()
+        };
         let w = build_workload(&spec, &mix);
         let mut row = vec![period.to_string()];
         for label in labels {

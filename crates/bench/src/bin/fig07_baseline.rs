@@ -8,13 +8,31 @@ use cackle_workload::arrivals::WorkloadSpec;
 fn main() {
     let e = env();
     let mix = model_mix();
-    let labels = ["fixed_0", "fixed_500", "mean_2", "predictive", "oracle", "dynamic"];
+    let labels = [
+        "fixed_0",
+        "fixed_500",
+        "mean_2",
+        "predictive",
+        "oracle",
+        "dynamic",
+    ];
     let mut t = ResultTable::new(
         "Fig 7: cost ($) vs baseline load fraction",
-        &["baseline", "fixed_0", "fixed_500", "mean_2", "predictive", "oracle", "dynamic"],
+        &[
+            "baseline",
+            "fixed_0",
+            "fixed_500",
+            "mean_2",
+            "predictive",
+            "oracle",
+            "dynamic",
+        ],
     );
     for pct in [0.0f64, 0.2, 0.4, 0.6, 0.8, 1.0] {
-        let spec = WorkloadSpec { baseline_load: pct, ..WorkloadSpec::default() };
+        let spec = WorkloadSpec {
+            baseline_load: pct,
+            ..WorkloadSpec::default()
+        };
         let w = build_workload(&spec, &mix);
         let mut row = vec![format!("{pct:.1}")];
         for label in labels {

@@ -4,11 +4,26 @@
 use cackle_bench::*;
 
 fn main() {
-    let labels = ["fixed_0", "fixed_500", "mean_2", "predictive", "oracle", "dynamic"];
+    let labels = [
+        "fixed_0",
+        "fixed_500",
+        "mean_2",
+        "predictive",
+        "oracle",
+        "dynamic",
+    ];
     let w = default_workload(16384);
     let mut t = ResultTable::new(
         "Fig 8: cost ($) vs elastic-pool premium over VM",
-        &["premium", "fixed_0", "fixed_500", "mean_2", "predictive", "oracle", "dynamic"],
+        &[
+            "premium",
+            "fixed_0",
+            "fixed_500",
+            "mean_2",
+            "predictive",
+            "oracle",
+            "dynamic",
+        ],
     );
     for ratio in [1.0f64, 2.0, 3.0, 6.0, 10.0, 20.0, 50.0, 100.0] {
         let e = env().with_pool_premium(ratio);

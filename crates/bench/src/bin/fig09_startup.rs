@@ -5,11 +5,28 @@
 use cackle_bench::*;
 
 fn main() {
-    let labels = ["fixed_0", "fixed_500", "mean_1", "mean_2", "predictive", "oracle", "dynamic"];
+    let labels = [
+        "fixed_0",
+        "fixed_500",
+        "mean_1",
+        "mean_2",
+        "predictive",
+        "oracle",
+        "dynamic",
+    ];
     let w = default_workload(16384);
     let mut t = ResultTable::new(
         "Fig 9: cost ($) vs VM startup time (s)",
-        &["startup_s", "fixed_0", "fixed_500", "mean_1", "mean_2", "predictive", "oracle", "dynamic"],
+        &[
+            "startup_s",
+            "fixed_0",
+            "fixed_500",
+            "mean_1",
+            "mean_2",
+            "predictive",
+            "oracle",
+            "dynamic",
+        ],
     );
     for startup in [0u64, 60, 120, 180, 300, 450, 600, 800] {
         let e = env().with_vm_startup_s(startup);

@@ -17,7 +17,14 @@ fn main() {
     ];
     let mut t = ResultTable::new(
         "Fig 10: cost normalized to fixed_0",
-        &["workload", "fixed_0", "mean_1", "predictive", "dynamic", "oracle"],
+        &[
+            "workload",
+            "fixed_0",
+            "mean_1",
+            "predictive",
+            "dynamic",
+            "oracle",
+        ],
     );
     for (name, demand) in cases {
         let base = trace_cost_for(&demand.samples, "fixed_0", &e);

@@ -21,7 +21,9 @@ fn main() {
     let w = build_workload(&spec, &model_mix());
     let curves = workload_curves(&w);
     let no_delay_p95 = percentile_f64(
-        &w.iter().map(|q| q.profile.critical_path_seconds() as f64).collect::<Vec<_>>(),
+        &w.iter()
+            .map(|q| q.profile.critical_path_seconds() as f64)
+            .collect::<Vec<_>>(),
         95.0,
     );
 
@@ -40,7 +42,12 @@ fn main() {
         eprintln!("  delaying {slots} done");
     }
     let oc = oracle_cost(&curves.demand.samples, &e);
-    t.row_strings(vec!["cackle_oracle".into(), "-".into(), secs(no_delay_p95), usd(oc.total())]);
+    t.row_strings(vec![
+        "cackle_oracle".into(),
+        "-".into(),
+        secs(no_delay_p95),
+        usd(oc.total()),
+    ]);
     let ocn = oracle_cost_without_pool(&curves.demand.samples, &e);
     t.row_strings(vec![
         "cackle_oracle_no_pool".into(),
@@ -49,7 +56,10 @@ fn main() {
         usd(ocn.total()),
     ]);
     let mut dynamic = cackle::make_strategy("dynamic", &e);
-    let opts = ModelOptions { record_timeseries: false, compute_only: true };
+    let opts = ModelOptions {
+        record_timeseries: false,
+        compute_only: true,
+    };
     let r = run_model(&w, dynamic.as_mut(), &e, opts);
     t.row_strings(vec![
         "cackle_dynamic".into(),

@@ -9,7 +9,10 @@ use cackle::{AllocationSim, MetaStrategy};
 use cackle_bench::*;
 
 fn main() {
-    let cfg = SystemConfig { record_timeseries: true, ..Default::default() };
+    let cfg = SystemConfig {
+        record_timeseries: true,
+        ..Default::default()
+    };
     let w = hour_workload(750, 12);
     let mut dynamic = MetaStrategy::new(&cfg.env);
     let r = run_system(&w, &mut dynamic, &cfg);
@@ -26,7 +29,13 @@ fn main() {
 
     let mut t = ResultTable::new(
         "Fig 12: per-minute series over a 750-query hour (dynamic strategy)",
-        &["minute", "demand_max", "vm_target", "active_vms", "model_predicted_active"],
+        &[
+            "minute",
+            "demand_max",
+            "vm_target",
+            "active_vms",
+            "model_predicted_active",
+        ],
     );
     for m in 0..ts.demand.len().div_ceil(60) {
         let lo = m * 60;
@@ -48,8 +57,16 @@ fn main() {
         "Fig 12 validation: model-predicted vs measured compute cost",
         &["quantity", "model_predicted", "measured"],
     );
-    t.row_strings(vec!["vm_cost".into(), usd(predicted.vm_cost), usd(r.compute.vm_cost)]);
-    t.row_strings(vec!["pool_cost".into(), usd(predicted.pool_cost), usd(r.compute.pool_cost)]);
+    t.row_strings(vec![
+        "vm_cost".into(),
+        usd(predicted.vm_cost),
+        usd(r.compute.vm_cost),
+    ]);
+    t.row_strings(vec![
+        "pool_cost".into(),
+        usd(predicted.pool_cost),
+        usd(r.compute.pool_cost),
+    ]);
     t.row_strings(vec![
         "total".into(),
         usd(predicted.total()),

@@ -27,7 +27,10 @@ fn main() {
         let w = hour_workload(n, 13);
         let nf = n as f64;
         let mut model_dyn = MetaStrategy::new(e);
-        let opts = ModelOptions { record_timeseries: false, compute_only: true };
+        let opts = ModelOptions {
+            record_timeseries: false,
+            compute_only: true,
+        };
         let model = run_model(&w, &mut model_dyn, e, opts);
         let mut sys_dyn = MetaStrategy::new(e);
         let real = run_system(&w, &mut sys_dyn, &cfg);

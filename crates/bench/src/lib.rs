@@ -25,7 +25,10 @@ pub fn evaluation_mix() -> Vec<ProfileRef> {
 /// Table 1 default workload (12 h, 16384 queries, 30 % baseline, 3 h
 /// period) with an overridable query count.
 pub fn default_spec(num_queries: usize) -> WorkloadSpec {
-    WorkloadSpec { num_queries, ..WorkloadSpec::default() }
+    WorkloadSpec {
+        num_queries,
+        ..WorkloadSpec::default()
+    }
 }
 
 /// Build the Table 1 default workload with `n` queries over the model mix.
@@ -63,7 +66,8 @@ impl ResultTable {
     /// Append a row of display-able cells.
     pub fn row(&mut self, cells: Vec<Box<dyn Display>>) {
         assert_eq!(cells.len(), self.headers.len(), "row width");
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Append a row of preformatted strings.
@@ -138,8 +142,13 @@ pub fn compute_cost_for(workload: &[QueryArrival], label: &str, env: &Env) -> f6
         return cackle::oracle::oracle_cost(&curves.demand.samples, env).total();
     }
     let mut strategy = cackle::make_strategy(label, env);
-    let opts = ModelOptions { record_timeseries: false, compute_only: true };
-    run_model(workload, strategy.as_mut(), env, opts).compute.total()
+    let opts = ModelOptions {
+        record_timeseries: false,
+        compute_only: true,
+    };
+    run_model(workload, strategy.as_mut(), env, opts)
+        .compute
+        .total()
 }
 
 /// Compute-layer cost of a strategy over a bare demand curve (trace
@@ -150,8 +159,35 @@ pub fn trace_cost_for(demand: &[u32], label: &str, env: &Env) -> f64 {
         return cackle::oracle::oracle_cost(demand, env).total();
     }
     let mut strategy = cackle::make_strategy(label, env);
-    let opts = ModelOptions { record_timeseries: false, compute_only: true };
-    simulate_compute(demand, strategy.as_mut(), env, opts).compute.total()
+    let opts = ModelOptions {
+        record_timeseries: false,
+        compute_only: true,
+    };
+    simulate_compute(demand, strategy.as_mut(), env, opts)
+        .compute
+        .total()
+}
+
+/// A minimal wall-clock micro-benchmark harness for the `benches/`
+/// binaries (`harness = false`): one warmup iteration, then `iters`
+/// timed runs, reporting min / mean / max per iteration.
+///
+/// `cackle-bench` is the one crate allowed to read the host clock (the
+/// lint's L1 rule exempts it): benchmarks measure real elapsed time by
+/// definition and never feed results back into a simulation.
+pub fn bench_wall<R, F: FnMut() -> R>(name: &str, iters: u32, mut f: F) {
+    use std::time::Instant;
+    std::hint::black_box(f()); // warmup, and keep the work observable
+    let mut samples_us: Vec<u128> = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        samples_us.push(t0.elapsed().as_micros());
+    }
+    let min = samples_us.iter().min().copied().unwrap_or(0);
+    let max = samples_us.iter().max().copied().unwrap_or(0);
+    let mean = samples_us.iter().sum::<u128>() / samples_us.len().max(1) as u128;
+    println!("{name:<44} min {min:>9} us  mean {mean:>9} us  max {max:>9} us  ({iters} iters)");
 }
 
 #[cfg(test)]

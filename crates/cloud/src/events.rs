@@ -52,7 +52,11 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Create an empty queue positioned at time zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// The time of the most recently popped event (the simulation clock).
@@ -64,7 +68,10 @@ impl<E> EventQueue<E> {
     /// to the current clock so simulations can never move backwards.
     pub fn schedule(&mut self, at: SimTime, event: E) {
         let at = at.max(self.now);
-        self.heap.push(Entry { key: Reverse((at, self.seq)), event });
+        self.heap.push(Entry {
+            key: Reverse((at, self.seq)),
+            event,
+        });
         self.seq += 1;
     }
 

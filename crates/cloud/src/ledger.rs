@@ -4,11 +4,10 @@
 //! broken down by [`CostCategory`] so experiments can report the VM / pool /
 //! shuffle / S3 split exactly as the paper's Figure 13 does.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Where a charge came from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CostCategory {
     /// Provisioned execution-layer VMs.
     VmCompute,
@@ -50,8 +49,43 @@ impl fmt::Display for CostCategory {
     }
 }
 
+/// A rejected charge (see [`CostLedger::try_charge`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChargeError {
+    /// The amount was NaN or infinite.
+    NotFinite {
+        /// Category the charge targeted.
+        category: CostCategory,
+        /// The offending amount.
+        dollars: f64,
+    },
+    /// The amount was negative (refunds are not a thing the simulated
+    /// providers offer).
+    Negative {
+        /// Category the charge targeted.
+        category: CostCategory,
+        /// The offending amount.
+        dollars: f64,
+    },
+}
+
+impl fmt::Display for ChargeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChargeError::NotFinite { category, dollars } => {
+                write!(f, "non-finite charge {dollars} on {category}")
+            }
+            ChargeError::Negative { category, dollars } => {
+                write!(f, "negative charge {dollars} on {category}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChargeError {}
+
 /// Accumulated dollars and usage counters for one simulation run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CostLedger {
     dollars: [f64; 6],
     /// Billed VM-seconds on the execution layer.
@@ -87,10 +121,35 @@ impl CostLedger {
         Self::default()
     }
 
-    /// Record a charge of `dollars` against `category`.
-    pub fn charge(&mut self, category: CostCategory, dollars: f64) {
-        debug_assert!(dollars >= 0.0, "negative charge {dollars} on {category}");
+    /// Record a charge of `dollars` against `category`, rejecting invalid
+    /// amounts: a NaN, infinite, or negative charge would silently corrupt
+    /// every downstream cost figure, so it never reaches the ledger.
+    pub fn try_charge(&mut self, category: CostCategory, dollars: f64) -> Result<(), ChargeError> {
+        if !dollars.is_finite() {
+            return Err(ChargeError::NotFinite { category, dollars });
+        }
+        if dollars < 0.0 {
+            return Err(ChargeError::Negative { category, dollars });
+        }
         self.dollars[idx(category)] += dollars;
+        Ok(())
+    }
+
+    /// Record a charge of `dollars` against `category`.
+    ///
+    /// Infallible wrapper over [`CostLedger::try_charge`]: an invalid
+    /// amount is dropped (and trips a debug assertion), keeping the ledger
+    /// finite and monotone.
+    pub fn charge(&mut self, category: CostCategory, dollars: f64) {
+        let outcome = self.try_charge(category, dollars);
+        debug_assert!(outcome.is_ok(), "invalid charge: {outcome:?}");
+    }
+
+    /// Record `count` identical per-request charges of `unit_dollars`
+    /// each (object-store request billing). The multiply lives here so
+    /// call sites never do raw dollar arithmetic.
+    pub fn charge_requests(&mut self, category: CostCategory, count: u64, unit_dollars: f64) {
+        self.charge(category, count as f64 * unit_dollars);
     }
 
     /// Dollars accumulated against one category.

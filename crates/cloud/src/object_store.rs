@@ -7,26 +7,45 @@
 //! total query cost.
 //!
 //! The store is internally synchronized so it can be shared (`Arc`) between
-//! the coordinator and concurrently executing tasks.
+//! the coordinator and concurrently executing tasks. Keys live in a
+//! `BTreeMap` so listings and prefix deletes are deterministic (lint L3).
 
 use crate::ledger::{CostCategory, CostLedger};
 use crate::pricing::Pricing;
 use bytes_shim::Bytes;
-use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-// A tiny indirection so the engine crate (which also uses `bytes`) and this
-// crate agree on the payload type without a cross-crate dependency.
+// A tiny indirection so the engine crate and this crate agree on the
+// payload type without a cross-crate dependency.
 mod bytes_shim {
     /// Immutable shared byte payloads stored in the object store.
     pub type Bytes = std::sync::Arc<[u8]>;
+}
+
+/// Poison-forgiving lock accessors: a panicking task must not wedge the
+/// simulated store, so a poisoned lock simply yields its inner guard.
+fn read_objects(
+    l: &RwLock<BTreeMap<String, Bytes>>,
+) -> RwLockReadGuard<'_, BTreeMap<String, Bytes>> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_objects(
+    l: &RwLock<BTreeMap<String, Bytes>>,
+) -> RwLockWriteGuard<'_, BTreeMap<String, Bytes>> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
+
+fn lock_ledger(l: &Mutex<CostLedger>) -> MutexGuard<'_, CostLedger> {
+    l.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// A shared, internally synchronized object store with request billing.
 #[derive(Debug)]
 pub struct ObjectStore {
     pricing: Pricing,
-    objects: RwLock<HashMap<String, Bytes>>,
+    objects: RwLock<BTreeMap<String, Bytes>>,
     ledger: Mutex<CostLedger>,
 }
 
@@ -35,7 +54,7 @@ impl ObjectStore {
     pub fn new(pricing: Pricing) -> Self {
         ObjectStore {
             pricing,
-            objects: RwLock::new(HashMap::new()),
+            objects: RwLock::new(BTreeMap::new()),
             ledger: Mutex::new(CostLedger::new()),
         }
     }
@@ -43,8 +62,8 @@ impl ObjectStore {
     /// PUT an object, billing one request.
     pub fn put(&self, key: &str, data: Vec<u8>) {
         let len = data.len() as u64;
-        self.objects.write().insert(key.to_string(), Bytes::from(data));
-        let mut l = self.ledger.lock();
+        write_objects(&self.objects).insert(key.to_string(), Bytes::from(data));
+        let mut l = lock_ledger(&self.ledger);
         l.charge(CostCategory::S3Put, self.pricing.s3_put);
         l.put_requests += 1;
         l.bytes_put += len;
@@ -53,8 +72,8 @@ impl ObjectStore {
     /// GET an object, billing one request. Returns `None` (still billed,
     /// as S3 bills failed GETs) when the key does not exist.
     pub fn get(&self, key: &str) -> Option<Bytes> {
-        let out = self.objects.read().get(key).cloned();
-        let mut l = self.ledger.lock();
+        let out = read_objects(&self.objects).get(key).cloned();
+        let mut l = lock_ledger(&self.ledger);
         l.charge(CostCategory::S3Get, self.pricing.s3_get);
         l.get_requests += 1;
         if let Some(b) = &out {
@@ -65,15 +84,19 @@ impl ObjectStore {
 
     /// DELETE an object. S3 DELETE requests are free.
     pub fn delete(&self, key: &str) -> bool {
-        self.objects.write().remove(key).is_some()
+        write_objects(&self.objects).remove(key).is_some()
     }
 
     /// Delete every object whose key starts with `prefix` (used to clean up
     /// a query's shuffle outputs). DELETEs are free.
     pub fn delete_prefix(&self, prefix: &str) -> usize {
-        let mut objs = self.objects.write();
-        let keys: Vec<String> =
-            objs.keys().filter(|k| k.starts_with(prefix)).cloned().collect();
+        let mut objs = write_objects(&self.objects);
+        // BTreeMap range scan: only keys at or after the prefix are visited.
+        let keys: Vec<String> = objs
+            .range(prefix.to_string()..)
+            .map(|(k, _)| k.clone())
+            .take_while(|k| k.starts_with(prefix))
+            .collect();
         for k in &keys {
             objs.remove(k);
         }
@@ -82,17 +105,20 @@ impl ObjectStore {
 
     /// Number of stored objects.
     pub fn object_count(&self) -> usize {
-        self.objects.read().len()
+        read_objects(&self.objects).len()
     }
 
     /// Total stored bytes.
     pub fn stored_bytes(&self) -> u64 {
-        self.objects.read().values().map(|b| b.len() as u64).sum()
+        read_objects(&self.objects)
+            .values()
+            .map(|b| b.len() as u64)
+            .sum()
     }
 
     /// Snapshot of the accumulated billing ledger.
     pub fn ledger(&self) -> CostLedger {
-        self.ledger.lock().clone()
+        lock_ledger(&self.ledger).clone()
     }
 }
 

@@ -8,11 +8,10 @@
 use crate::ledger::{CostCategory, CostLedger};
 use crate::pricing::Pricing;
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifier of one elastic-pool invocation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct InvocationId(pub u64);
 
 /// A simulated elastic pool with unbounded capacity.
@@ -20,7 +19,7 @@ pub struct InvocationId(pub u64);
 pub struct ElasticPool {
     pricing: Pricing,
     next_id: u64,
-    active: HashMap<InvocationId, SimTime>,
+    active: BTreeMap<InvocationId, SimTime>,
     ledger: CostLedger,
     invocations_total: u64,
     peak_concurrency: usize,
@@ -32,7 +31,7 @@ impl ElasticPool {
         ElasticPool {
             pricing,
             next_id: 0,
-            active: HashMap::new(),
+            active: BTreeMap::new(),
             ledger: CostLedger::new(),
             invocations_total: 0,
             peak_concurrency: 0,
@@ -52,13 +51,24 @@ impl ElasticPool {
     }
 
     /// Complete an invocation at `now`, billing its actual runtime at
-    /// millisecond granularity. Returns the billed duration.
-    pub fn complete(&mut self, now: SimTime, id: InvocationId) -> SimDuration {
-        let start = self.active.remove(&id).expect("completed unknown invocation");
+    /// millisecond granularity. Returns the billed duration, or `None`
+    /// when the id is unknown or already completed (nothing is billed).
+    pub fn try_complete(&mut self, now: SimTime, id: InvocationId) -> Option<SimDuration> {
+        let start = self.active.remove(&id)?;
         let ran = now - start;
-        self.ledger.charge(CostCategory::ElasticPool, self.pricing.pool_cost(ran));
+        self.ledger
+            .charge(CostCategory::ElasticPool, self.pricing.pool_cost(ran));
         self.ledger.pool_seconds += ran.as_secs_f64();
-        ran
+        Some(ran)
+    }
+
+    /// [`ElasticPool::try_complete`], treating an unknown invocation as a
+    /// zero-duration no-op (it trips a debug assertion: completing an
+    /// invocation twice means the caller lost track of its slots).
+    pub fn complete(&mut self, now: SimTime, id: InvocationId) -> SimDuration {
+        let billed = self.try_complete(now, id);
+        debug_assert!(billed.is_some(), "completed unknown invocation {id:?}");
+        billed.unwrap_or(SimDuration::ZERO)
     }
 
     /// Number of currently active invocations.
@@ -90,7 +100,10 @@ mod tests {
     fn invoke_latency_delays_start() {
         let mut p = ElasticPool::new(Pricing::default());
         let (_, start) = p.invoke(SimTime::from_secs(10));
-        assert_eq!(start, SimTime::from_secs(10) + SimDuration::from_millis(100));
+        assert_eq!(
+            start,
+            SimTime::from_secs(10) + SimDuration::from_millis(100)
+        );
     }
 
     #[test]

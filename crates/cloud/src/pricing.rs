@@ -7,10 +7,9 @@
 //! (Figures 8 and 9) does so by perturbing one field of this struct.
 
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Prices and billing rules for the simulated cloud.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pricing {
     /// Price of one provisioned VM (2 vCPU, 4 GB) in dollars per hour.
     pub vm_per_hour: f64,

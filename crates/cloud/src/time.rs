@@ -5,21 +5,16 @@
 //! wall clock, which keeps every experiment deterministic and lets a
 //! 12-hour workload simulate in milliseconds.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in simulated time, measured in milliseconds since the start of
 /// the simulation.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 /// A span of simulated time in milliseconds.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(pub u64);
 
 impl SimTime {
@@ -154,7 +149,14 @@ impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let secs = self.0 / 1000;
         let ms = self.0 % 1000;
-        write!(f, "{}:{:02}:{:02}.{:03}", secs / 3600, (secs / 60) % 60, secs % 60, ms)
+        write!(
+            f,
+            "{}:{:02}:{:02}.{:03}",
+            secs / 3600,
+            (secs / 60) % 60,
+            secs % 60,
+            ms
+        )
     }
 }
 
@@ -189,7 +191,10 @@ mod tests {
     fn duration_constructors_agree() {
         assert_eq!(SimDuration::from_hours(1), SimDuration::from_mins(60));
         assert_eq!(SimDuration::from_mins(1), SimDuration::from_secs(60));
-        assert_eq!(SimDuration::from_secs_f64(1.5), SimDuration::from_millis(1500));
+        assert_eq!(
+            SimDuration::from_secs_f64(1.5),
+            SimDuration::from_millis(1500)
+        );
         assert_eq!(SimDuration::from_secs_f64(-4.0), SimDuration::ZERO);
     }
 

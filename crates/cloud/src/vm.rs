@@ -18,11 +18,10 @@
 use crate::ledger::{CostCategory, CostLedger};
 use crate::pricing::Pricing;
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Identifier of a provisioned VM, unique within one fleet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VmId(pub u64);
 
 #[derive(Debug, Clone)]
@@ -175,7 +174,13 @@ impl VmFleet {
                 break;
             }
             self.pending.pop_front();
-            self.running.insert(id, RunningVm { started_at: now.max(ready_at), busy: false });
+            self.running.insert(
+                id,
+                RunningVm {
+                    started_at: now.max(ready_at),
+                    busy: false,
+                },
+            );
             self.started_total += 1;
             started.push(id);
         }
@@ -197,14 +202,20 @@ impl VmFleet {
             .filter(|(_, v)| !v.busy)
             .max_by_key(|(id, v)| (v.started_at, **id))
             .map(|(id, _)| *id)?;
-        self.running.get_mut(&id).expect("vm exists").busy = true;
+        if let Some(vm) = self.running.get_mut(&id) {
+            vm.busy = true;
+        }
         Some(id)
     }
 
     /// Return a VM to the idle set after its task completes. If the fleet is
     /// above target, the instance is terminated immediately instead.
+    /// Releasing an unknown id (e.g. a VM reclaimed by the provider while
+    /// its task ran) is a no-op.
     pub fn release(&mut self, now: SimTime, id: VmId) {
-        let vm = self.running.get_mut(&id).expect("released unknown VM");
+        let Some(vm) = self.running.get_mut(&id) else {
+            return;
+        };
         debug_assert!(vm.busy, "released an idle VM");
         vm.busy = false;
         if self.running.len() + self.pending.len() > self.target {
@@ -222,11 +233,37 @@ impl VmFleet {
         }
     }
 
+    /// Spot-interruption sweep (the §7.2 ablation): every running VM is
+    /// independently reclaimed with probability `per_vm_probability`,
+    /// drawn from the caller's seed-threaded generator so the sweep is
+    /// reproducible. Returns the reclaimed ids in deterministic (id)
+    /// order; the caller reschedules their tasks.
+    pub fn reclaim_random(
+        &mut self,
+        now: SimTime,
+        per_vm_probability: f64,
+        rng: &mut cackle_prng::Pcg32,
+    ) -> Vec<VmId> {
+        let ids: Vec<VmId> = self.running.keys().copied().collect();
+        let mut reclaimed = Vec::new();
+        for id in ids {
+            if rng.gen_bool(per_vm_probability) {
+                self.reclaim(now, id);
+                reclaimed.push(id);
+            }
+        }
+        reclaimed
+    }
+
     fn terminate(&mut self, now: SimTime, id: VmId) {
-        let vm = self.running.remove(&id).expect("terminated unknown VM");
+        let Some(vm) = self.running.remove(&id) else {
+            debug_assert!(false, "terminated unknown VM {id:?}");
+            return;
+        };
         debug_assert!(!vm.busy, "terminated a busy VM");
         let billed = (now - vm.started_at).max(self.min_billing());
-        self.ledger.charge(self.category, self.rate_per_hour() * billed.as_hours_f64());
+        self.ledger
+            .charge(self.category, self.rate_per_hour() * billed.as_hours_f64());
         let secs = billed.as_secs_f64();
         match self.category {
             CostCategory::ShuffleNode => self.ledger.shuffle_seconds += secs,

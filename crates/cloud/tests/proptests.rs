@@ -1,18 +1,20 @@
-//! Property-based tests for the cloud substrate: event-queue ordering, VM
-//! fleet billing invariants, and elastic-pool accounting.
+//! Randomized property tests for the cloud substrate: event-queue
+//! ordering, VM fleet billing invariants, and elastic-pool accounting.
+//! Cases are generated from the in-repo deterministic PRNG so every
+//! failure is reproducible.
 
-use cackle_cloud::{
-    CostCategory, ElasticPool, EventQueue, Pricing, SimDuration, SimTime, VmFleet,
-};
-use proptest::prelude::*;
+use cackle_cloud::{CostCategory, ElasticPool, EventQueue, Pricing, SimDuration, SimTime, VmFleet};
+use cackle_prng::Pcg32;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Events pop in non-decreasing time order with FIFO ties, no matter
-    /// the insertion order.
-    #[test]
-    fn event_queue_total_order(times in proptest::collection::vec(0u64..1_000, 1..100)) {
+/// Events pop in non-decreasing time order with FIFO ties, no matter the
+/// insertion order.
+#[test]
+fn event_queue_total_order() {
+    let mut rng = Pcg32::seed_from_u64(0xC10D_01);
+    for _ in 0..64 {
+        let times: Vec<u64> = (0..rng.gen_range(1usize..100))
+            .map(|_| rng.gen_range(0u64..1_000))
+            .collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_secs(t), i);
@@ -20,25 +22,29 @@ proptest! {
         let mut last = (SimTime::ZERO, 0usize);
         let mut popped = 0;
         while let Some((at, idx)) = q.pop() {
-            prop_assert!(at >= last.0, "time went backwards");
+            assert!(at >= last.0, "time went backwards");
             if at == last.0 && popped > 0 {
-                prop_assert!(idx > last.1, "FIFO tie-break violated");
+                assert!(idx > last.1, "FIFO tie-break violated");
             }
-            prop_assert_eq!(SimTime::from_secs(times[idx]), at);
+            assert_eq!(SimTime::from_secs(times[idx]), at);
             last = (at, idx);
             popped += 1;
         }
-        prop_assert_eq!(popped, times.len());
+        assert_eq!(popped, times.len());
     }
+}
 
-    /// Whatever sequence of target changes is applied, the fleet bills at
-    /// least the minimum time per started VM and never bills cancelled
-    /// pending requests.
-    #[test]
-    fn fleet_billing_invariants(
-        targets in proptest::collection::vec(0usize..12, 1..60),
-        step_s in 1u64..240,
-    ) {
+/// Whatever sequence of target changes is applied, the fleet bills at
+/// least the minimum time per started VM and never bills cancelled
+/// pending requests.
+#[test]
+fn fleet_billing_invariants() {
+    let mut rng = Pcg32::seed_from_u64(0xC10D_02);
+    for _ in 0..64 {
+        let targets: Vec<usize> = (0..rng.gen_range(1usize..60))
+            .map(|_| rng.gen_range(0usize..12))
+            .collect();
+        let step_s = rng.gen_range(1u64..240);
         let pricing = Pricing::default();
         let mut fleet = VmFleet::new(pricing.clone());
         let mut now = SimTime::ZERO;
@@ -52,25 +58,32 @@ proptest! {
         fleet.poll(now);
         fleet.finalize(now);
         let started = fleet.started_total();
-        prop_assert_eq!(fleet.terminated_total(), started, "all started VMs terminate");
-        let min_cost =
-            started as f64 * pricing.vm_billed(SimDuration::from_secs(1));
-        prop_assert!(
+        assert_eq!(
+            fleet.terminated_total(),
+            started,
+            "all started VMs terminate"
+        );
+        let min_cost = started as f64 * pricing.vm_billed(SimDuration::from_secs(1));
+        assert!(
             fleet.ledger().category(CostCategory::VmCompute) >= min_cost - 1e-12,
             "billed below the per-VM minimum"
         );
         // Billed seconds consistent with dollars.
         let dollars = fleet.ledger().category(CostCategory::VmCompute);
         let expect = fleet.ledger().vm_seconds / 3600.0 * pricing.vm_per_hour;
-        prop_assert!((dollars - expect).abs() < 1e-9);
+        assert!((dollars - expect).abs() < 1e-9);
     }
+}
 
-    /// Pool dollars equal slot-seconds × rate exactly, for any interleaving
-    /// of invocations and completions.
-    #[test]
-    fn pool_accounting_exact(
-        durations_ms in proptest::collection::vec(1u64..100_000, 1..50),
-    ) {
+/// Pool dollars equal slot-seconds × rate exactly, for any interleaving
+/// of invocations and completions.
+#[test]
+fn pool_accounting_exact() {
+    let mut rng = Pcg32::seed_from_u64(0xC10D_03);
+    for _ in 0..64 {
+        let durations_ms: Vec<u64> = (0..rng.gen_range(1usize..50))
+            .map(|_| rng.gen_range(1u64..100_000))
+            .collect();
         let pricing = Pricing::default();
         let mut pool = ElasticPool::new(pricing.clone());
         let mut handles = Vec::new();
@@ -83,24 +96,28 @@ proptest! {
             let ran = pool.complete(start + SimDuration::from_millis(d), id);
             total_s += ran.as_secs_f64();
         }
-        prop_assert_eq!(pool.active_count(), 0);
+        assert_eq!(pool.active_count(), 0);
         let expect = total_s / 3600.0 * pricing.pool_per_hour;
         let got = pool.ledger().category(CostCategory::ElasticPool);
-        prop_assert!((got - expect).abs() < 1e-9, "{} vs {}", got, expect);
-        prop_assert_eq!(pool.invocations_total(), durations_ms.len() as u64);
+        assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
+        assert_eq!(pool.invocations_total(), durations_ms.len() as u64);
     }
+}
 
-    /// Assign/release cycles never lose VMs: the fleet's running count is
-    /// conserved and a released VM is terminated only when above target.
-    #[test]
-    fn assign_release_conserves_fleet(
-        ops in proptest::collection::vec(any::<bool>(), 1..80),
-    ) {
+/// Assign/release cycles never lose VMs: the fleet's running count is
+/// conserved and a released VM is terminated only when above target.
+#[test]
+fn assign_release_conserves_fleet() {
+    let mut rng = Pcg32::seed_from_u64(0xC10D_04);
+    for _ in 0..64 {
+        let ops: Vec<bool> = (0..rng.gen_range(1usize..80))
+            .map(|_| rng.gen_bool(0.5))
+            .collect();
         let mut fleet = VmFleet::new(Pricing::default());
         let now = SimTime::from_secs(200);
         fleet.set_target(SimTime::ZERO, 6);
         fleet.poll(now);
-        prop_assert_eq!(fleet.running_count(), 6);
+        assert_eq!(fleet.running_count(), 6);
         let mut held = Vec::new();
         for (i, &assign) in ops.iter().enumerate() {
             let t = now + SimDuration::from_secs(i as u64);
@@ -111,8 +128,87 @@ proptest! {
             } else if let Some(id) = held.pop() {
                 fleet.release(t, id);
             }
-            prop_assert_eq!(fleet.running_count(), 6, "target never changed");
-            prop_assert_eq!(fleet.busy_count(), held.len());
+            assert_eq!(fleet.running_count(), 6, "target never changed");
+            assert_eq!(fleet.busy_count(), held.len());
         }
     }
+}
+
+/// Unknown-id completion and release are billed-free no-ops (release
+/// builds only; in debug builds they trip assertions instead).
+#[test]
+fn unknown_ids_never_bill() {
+    let pricing = Pricing::default();
+    let mut pool = ElasticPool::new(pricing.clone());
+    let (id, start) = pool.invoke(SimTime::ZERO);
+    pool.complete(start + SimDuration::from_secs(1), id);
+    let before = pool.ledger().total();
+    assert_eq!(
+        pool.try_complete(start + SimDuration::from_secs(9), id),
+        None
+    );
+    assert_eq!(pool.ledger().total(), before);
+}
+
+/// A random spot-interruption sweep is deterministic per seed and only
+/// ever reclaims running VMs.
+#[test]
+fn reclaim_random_deterministic() {
+    let run = |seed: u64| {
+        let mut fleet = VmFleet::new(Pricing::default());
+        fleet.set_target(SimTime::ZERO, 8);
+        let now = SimTime::from_secs(200);
+        fleet.poll(now);
+        let mut rng = Pcg32::seed_from_u64(seed);
+        fleet.reclaim_random(now, 0.4, &mut rng)
+    };
+    assert_eq!(run(5), run(5));
+    let reclaimed = run(5);
+    assert!(reclaimed.len() <= 8);
+    let mut fleet = VmFleet::new(Pricing::default());
+    fleet.set_target(SimTime::ZERO, 8);
+    fleet.poll(SimTime::from_secs(200));
+    let mut rng = Pcg32::seed_from_u64(5);
+    let swept = fleet.reclaim_random(SimTime::from_secs(200), 0.4, &mut rng);
+    assert_eq!(swept, reclaimed);
+    assert_eq!(fleet.running_count(), 8 - swept.len());
+}
+
+/// Per-category charges always sum to `total()`, for any charge
+/// sequence.
+#[test]
+fn ledger_categories_sum_to_total() {
+    let mut rng = Pcg32::seed_from_u64(0xC10D_05);
+    for _ in 0..64 {
+        let mut ledger = cackle_cloud::CostLedger::new();
+        let mut by_category = [0.0f64; 6];
+        for _ in 0..rng.gen_range(1usize..200) {
+            let ci = rng.gen_range(0usize..6);
+            let dollars = rng.gen_range(0.0..10.0);
+            ledger.charge(CostCategory::ALL[ci], dollars);
+            by_category[ci] += dollars;
+        }
+        for (i, c) in CostCategory::ALL.into_iter().enumerate() {
+            assert_eq!(ledger.category(c), by_category[i], "category {c}");
+        }
+        let expect: f64 = by_category.iter().sum();
+        assert!((ledger.total() - expect).abs() < 1e-12);
+    }
+}
+
+/// Invalid charges (NaN, infinite, negative) are rejected and leave the
+/// ledger untouched.
+#[test]
+fn ledger_rejects_invalid_charges() {
+    let mut ledger = cackle_cloud::CostLedger::new();
+    ledger.charge(CostCategory::VmCompute, 1.25);
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.01] {
+        let out = ledger.try_charge(CostCategory::VmCompute, bad);
+        assert!(out.is_err(), "{bad} accepted");
+    }
+    assert_eq!(ledger.total(), 1.25);
+    assert_eq!(ledger.category(CostCategory::VmCompute), 1.25);
+    // charge_requests with a zero count is a no-op even at weird prices.
+    ledger.charge_requests(CostCategory::S3Put, 0, 5.0e-6);
+    assert_eq!(ledger.total(), 1.25);
 }

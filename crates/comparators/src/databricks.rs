@@ -89,7 +89,11 @@ impl DatabricksConfig {
 
     /// Autoscaling warehouse from 1 to `max` clusters.
     pub fn autoscaling(size: WarehouseSize, max: u32) -> Self {
-        DatabricksConfig { min_clusters: 1, max_clusters: max, ..Self::fixed(size, 1) }
+        DatabricksConfig {
+            min_clusters: 1,
+            max_clusters: max,
+            ..Self::fixed(size, 1)
+        }
     }
 
     fn label(&self) -> String {
@@ -130,8 +134,11 @@ pub fn run_databricks(workload: &[QueryArrival], cfg: &DatabricksConfig) -> RunR
     let mut clusters: Vec<Option<Cluster>> = Vec::new();
     let mut admission_queue: VecDeque<usize> = VecDeque::new();
 
-    let mut arrivals: Vec<(u64, usize)> =
-        workload.iter().enumerate().map(|(i, q)| (q.at_s, i)).collect();
+    let mut arrivals: Vec<(u64, usize)> = workload
+        .iter()
+        .enumerate()
+        .map(|(i, q)| (q.at_s, i))
+        .collect();
     arrivals.sort_unstable();
     let mut next_arrival = 0usize;
 
@@ -164,8 +171,7 @@ pub fn run_databricks(workload: &[QueryArrival], cfg: &DatabricksConfig) -> RunR
     }
 
     let task_secs = |q: usize, s: usize| -> u64 {
-        (workload[q].profile.stages[s].task_seconds as f64 / cfg.warm_speedup).ceil()
-            as u64
+        (workload[q].profile.stages[s].task_seconds as f64 / cfg.warm_speedup).ceil() as u64
     };
 
     loop {
@@ -176,7 +182,10 @@ pub fn run_databricks(workload: &[QueryArrival], cfg: &DatabricksConfig) -> RunR
             admission_queue.push_back(q);
         }
         // --- completions at `now`
-        while completions.peek().is_some_and(|Reverse((t, _, _))| *t <= now) {
+        while completions
+            .peek()
+            .is_some_and(|Reverse((t, _, _))| *t <= now)
+        {
             let Reverse((_, q, s)) = completions.pop().expect("peeked");
             let ci = runs[q].cluster.expect("running query has a cluster");
             if let Some(c) = clusters[ci].as_mut() {
@@ -209,7 +218,10 @@ pub fn run_databricks(workload: &[QueryArrival], cfg: &DatabricksConfig) -> RunR
             }
         }
         // --- cluster starts at `now`
-        while cluster_starts.peek().is_some_and(|Reverse((t, _))| *t <= now) {
+        while cluster_starts
+            .peek()
+            .is_some_and(|Reverse((t, _))| *t <= now)
+        {
             let Reverse((_, ci)) = cluster_starts.pop().expect("peeked");
             if let Some(c) = clusters[ci].as_mut() {
                 c.up_at = now;
@@ -226,9 +238,7 @@ pub fn run_databricks(workload: &[QueryArrival], cfg: &DatabricksConfig) -> RunR
                 .iter()
                 .enumerate()
                 .filter_map(|(i, c)| c.as_ref().map(|c| (i, c)))
-                .filter(|(_, c)| {
-                    c.up_at <= now && (c.admitted.len() as u32) < cfg.max_concurrency
-                })
+                .filter(|(_, c)| c.up_at <= now && (c.admitted.len() as u32) < cfg.max_concurrency)
                 .min_by_key(|(_, c)| c.admitted.len())
                 .map(|(i, _)| i);
             if let Some(ci) = best {
@@ -263,7 +273,9 @@ pub fn run_databricks(workload: &[QueryArrival], cfg: &DatabricksConfig) -> RunR
         // --- launch ready tasks on each query's own cluster
         #[allow(clippy::needless_range_loop)] // clusters is mutated mid-loop
         for ci in 0..clusters.len() {
-            let Some(c) = clusters[ci].as_ref() else { continue };
+            let Some(c) = clusters[ci].as_ref() else {
+                continue;
+            };
             if c.up_at > now || c.free_slots == 0 {
                 continue;
             }
@@ -296,8 +308,7 @@ pub fn run_databricks(workload: &[QueryArrival], cfg: &DatabricksConfig) -> RunR
                         && now.saturating_sub(c.idle_since) >= cfg.idle_release_s
                 });
                 if release
-                    && (clusters.iter().filter(|c| c.is_some()).count() as u32)
-                        > cfg.min_clusters
+                    && (clusters.iter().filter(|c| c.is_some()).count() as u32) > cfg.min_clusters
                 {
                     let c = clusters[ci].take().expect("checked");
                     billed_cluster_seconds += (now - c.up_at) + c.up_seconds_billed;
@@ -333,9 +344,8 @@ pub fn run_databricks(workload: &[QueryArrival], cfg: &DatabricksConfig) -> RunR
             billed_cluster_seconds += makespan - c.up_at;
         }
     }
-    let dollars = billed_cluster_seconds as f64 / 3600.0
-        * cfg.size.dbu_per_hour()
-        * cfg.dollars_per_dbu_hour;
+    let dollars =
+        billed_cluster_seconds as f64 / 3600.0 * cfg.size.dbu_per_hour() * cfg.dollars_per_dbu_hour;
     RunResult {
         compute: ComputeCost {
             vm_cost: dollars,
@@ -372,12 +382,20 @@ mod tests {
     }
 
     fn burst(n: usize, at: u64) -> Vec<QueryArrival> {
-        (0..n).map(|_| QueryArrival { at_s: at, profile: profile(16, 15) }).collect()
+        (0..n)
+            .map(|_| QueryArrival {
+                at_s: at,
+                profile: profile(16, 15),
+            })
+            .collect()
     }
 
     #[test]
     fn single_query_runs_warm() {
-        let w = vec![QueryArrival { at_s: 0, profile: profile(16, 15) }];
+        let w = vec![QueryArrival {
+            at_s: 0,
+            profile: profile(16, 15),
+        }];
         let r = run_databricks(&w, &DatabricksConfig::fixed(WarehouseSize::Small, 1));
         // 16 tasks on 32 slots, ceil(15/8) = 2 s warm.
         assert_eq!(r.latencies[0], 2.0);
@@ -403,19 +421,24 @@ mod tests {
     fn fixed_warehouse_bills_for_idle_time() {
         // One query in an hour: fixed-5 still bills five clusters for the span.
         let mut w = burst(1, 0);
-        w.push(QueryArrival { at_s: 3600, profile: profile(16, 15) });
+        w.push(QueryArrival {
+            at_s: 3600,
+            profile: profile(16, 15),
+        });
         let r = run_databricks(&w, &DatabricksConfig::fixed(WarehouseSize::Small, 5));
         // 5 clusters × ~3610 s ≈ 18050 cluster-seconds.
         assert!(r.compute.vm_seconds > 5.0 * 3500.0);
-        let auto =
-            run_databricks(&w, &DatabricksConfig::autoscaling(WarehouseSize::Small, 8));
+        let auto = run_databricks(&w, &DatabricksConfig::autoscaling(WarehouseSize::Small, 8));
         assert!(auto.compute.total() < r.compute.total());
     }
 
     #[test]
     fn all_queries_finish() {
         let w: Vec<QueryArrival> = (0..200)
-            .map(|i| QueryArrival { at_s: i * 3, profile: profile(8, 10) })
+            .map(|i| QueryArrival {
+                at_s: i * 3,
+                profile: profile(8, 10),
+            })
             .collect();
         let r = run_databricks(&w, &DatabricksConfig::autoscaling(WarehouseSize::Small, 4));
         assert_eq!(r.latencies.len(), 200);

@@ -50,8 +50,11 @@ impl Default for RedshiftConfig {
 pub fn run_redshift(workload: &[QueryArrival], cfg: &RedshiftConfig) -> RunResult {
     let mut completions: BinaryHeap<Reverse<(u64, usize, usize)>> = BinaryHeap::new();
     let mut ready: BinaryHeap<Reverse<(u64, usize, usize, u32)>> = BinaryHeap::new();
-    let mut arrivals: Vec<(u64, usize)> =
-        workload.iter().enumerate().map(|(i, q)| (q.at_s, i)).collect();
+    let mut arrivals: Vec<(u64, usize)> = workload
+        .iter()
+        .enumerate()
+        .map(|(i, q)| (q.at_s, i))
+        .collect();
     arrivals.sort_unstable();
     let mut next_arrival = 0usize;
 
@@ -63,8 +66,7 @@ pub fn run_redshift(workload: &[QueryArrival], cfg: &RedshiftConfig) -> RunResul
         .iter()
         .map(|q| q.profile.stages.iter().map(|s| s.deps.len()).collect())
         .collect();
-    let mut stages_left: Vec<usize> =
-        workload.iter().map(|q| q.profile.stages.len()).collect();
+    let mut stages_left: Vec<usize> = workload.iter().map(|q| q.profile.stages.len()).collect();
     let mut latencies = vec![0.0f64; workload.len()];
     let mut done = 0usize;
 
@@ -81,8 +83,7 @@ pub fn run_redshift(workload: &[QueryArrival], cfg: &RedshiftConfig) -> RunResul
     let mut makespan = 0u64;
 
     let task_secs = |q: usize, s: usize| -> u64 {
-        (workload[q].profile.stages[s].task_seconds as f64 / cfg.warm_speedup).ceil()
-            as u64
+        (workload[q].profile.stages[s].task_seconds as f64 / cfg.warm_speedup).ceil() as u64
     };
 
     loop {
@@ -95,7 +96,10 @@ pub fn run_redshift(workload: &[QueryArrival], cfg: &RedshiftConfig) -> RunResul
                 }
             }
         }
-        while completions.peek().is_some_and(|Reverse((t, _, _))| *t <= now) {
+        while completions
+            .peek()
+            .is_some_and(|Reverse((t, _, _))| *t <= now)
+        {
             let Reverse((_, q, s)) = completions.pop().expect("peeked");
             free_slots += 1;
             running_tasks -= 1;
@@ -130,7 +134,9 @@ pub fn run_redshift(workload: &[QueryArrival], cfg: &RedshiftConfig) -> RunResul
         }
         // Schedule ready tasks.
         while free_slots > 0 {
-            let Some(Reverse((key, q, s, count))) = ready.pop() else { break };
+            let Some(Reverse((key, q, s, count))) = ready.pop() else {
+                break;
+            };
             let launch = count.min(free_slots);
             free_slots -= launch;
             running_tasks += launch as u64;
@@ -229,8 +235,14 @@ mod tests {
         // Two short queries an hour apart: billing covers two active
         // periods (60 s minimum each), not the idle hour.
         let w = vec![
-            QueryArrival { at_s: 0, profile: profile(8, 10) },
-            QueryArrival { at_s: 3600, profile: profile(8, 10) },
+            QueryArrival {
+                at_s: 0,
+                profile: profile(8, 10),
+            },
+            QueryArrival {
+                at_s: 3600,
+                profile: profile(8, 10),
+            },
         ];
         let cfg = RedshiftConfig::default();
         let r = run_redshift(&w, &cfg);
@@ -245,11 +257,18 @@ mod tests {
     #[test]
     fn saturation_queues_and_degrades_latency() {
         // 128 slots at base capacity; 80 queries × 16 tasks at once swamp it.
-        let w: Vec<QueryArrival> =
-            (0..80).map(|_| QueryArrival { at_s: 0, profile: profile(16, 15) }).collect();
+        let w: Vec<QueryArrival> = (0..80)
+            .map(|_| QueryArrival {
+                at_s: 0,
+                profile: profile(16, 15),
+            })
+            .collect();
         let r = run_redshift(&w, &RedshiftConfig::default());
         let solo = run_redshift(
-            &[QueryArrival { at_s: 0, profile: profile(16, 15) }],
+            &[QueryArrival {
+                at_s: 0,
+                profile: profile(16, 15),
+            }],
             &RedshiftConfig::default(),
         );
         assert!(
@@ -263,11 +282,19 @@ mod tests {
     #[test]
     fn capacity_scaling_kicks_in_after_queueing() {
         let w: Vec<QueryArrival> = (0..600)
-            .map(|i| QueryArrival { at_s: i / 8, profile: profile(16, 80) })
+            .map(|i| QueryArrival {
+                at_s: i / 8,
+                profile: profile(16, 80),
+            })
             .collect();
         let scaled = run_redshift(&w, &RedshiftConfig::default());
-        let unscaled =
-            run_redshift(&w, &RedshiftConfig { max_scale: 1, ..Default::default() });
+        let unscaled = run_redshift(
+            &w,
+            &RedshiftConfig {
+                max_scale: 1,
+                ..Default::default()
+            },
+        );
         assert!(
             scaled.latency_percentile(95.0) < unscaled.latency_percentile(95.0),
             "scaling should relieve the queue: {} vs {}",
@@ -279,7 +306,10 @@ mod tests {
     #[test]
     fn all_finish_deterministically() {
         let w: Vec<QueryArrival> = (0..100)
-            .map(|i| QueryArrival { at_s: i * 2, profile: profile(8, 10) })
+            .map(|i| QueryArrival {
+                at_s: i * 2,
+                profile: profile(8, 10),
+            })
             .collect();
         let a = run_redshift(&w, &RedshiftConfig::default());
         let b = run_redshift(&w, &RedshiftConfig::default());

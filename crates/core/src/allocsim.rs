@@ -85,7 +85,10 @@ impl AllocationSim {
     }
 
     fn terminate_oldest(&mut self) {
-        let start = self.active.pop_front().expect("terminate with no active VM");
+        let start = self
+            .active
+            .pop_front()
+            .expect("terminate with no active VM");
         let ran = self.now - start;
         // Runtime seconds were already accrued second-by-second in `step`;
         // terminating early bills the minimum-billing shortfall on top,
@@ -292,7 +295,10 @@ mod tests {
         let demand = vec![20u32; 3600];
         let provisioned = cost_of_target_history(&vec![20; 3600], &demand, &e);
         let pool_only = cost_of_target_history(&vec![0; 3600], &demand, &e);
-        assert!(provisioned < pool_only / 5.0, "{provisioned} vs {pool_only}");
+        assert!(
+            provisioned < pool_only / 5.0,
+            "{provisioned} vs {pool_only}"
+        );
     }
 
     #[test]

@@ -1,13 +1,12 @@
 //! Environment and system configuration (Table 1 defaults).
 
 use cackle_cloud::{Pricing, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// Everything the provisioning strategies may observe about the execution
 /// environment: prices and timing behaviour of the cloud (§3.2 — "the cost
 /// models of both provisioned resources and the elastic pool are known, and
 /// the time to start new provisioned resources is predictable").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Env {
     /// Cloud pricing and timing.
     pub pricing: Pricing,
@@ -71,7 +70,9 @@ mod tests {
 
     #[test]
     fn sweep_builders() {
-        let e = Env::default().with_vm_startup_s(600).with_pool_premium(12.0);
+        let e = Env::default()
+            .with_vm_startup_s(600)
+            .with_pool_premium(12.0);
         assert_eq!(e.vm_startup_s(), 600);
         assert!((e.pricing.pool_premium() - 12.0).abs() < 1e-12);
     }

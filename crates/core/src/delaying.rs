@@ -33,8 +33,11 @@ pub fn run_delaying(workload: &[QueryArrival], slots: u32, env: &Env) -> RunResu
     // Completion events: (finish_s, query, stage).
     let mut completions: BinaryHeap<Reverse<(u64, usize, usize)>> = BinaryHeap::new();
     // Arrival events.
-    let mut arrivals: Vec<(u64, usize)> =
-        workload.iter().enumerate().map(|(i, q)| (q.at_s, i)).collect();
+    let mut arrivals: Vec<(u64, usize)> = workload
+        .iter()
+        .enumerate()
+        .map(|(i, q)| (q.at_s, i))
+        .collect();
     arrivals.sort_unstable();
     let mut next_arrival = 0usize;
 
@@ -46,8 +49,7 @@ pub fn run_delaying(workload: &[QueryArrival], slots: u32, env: &Env) -> RunResu
         .iter()
         .map(|q| q.profile.stages.iter().map(|s| s.deps.len()).collect())
         .collect();
-    let mut stages_left: Vec<usize> =
-        workload.iter().map(|q| q.profile.stages.len()).collect();
+    let mut stages_left: Vec<usize> = workload.iter().map(|q| q.profile.stages.len()).collect();
     let mut latencies = vec![0.0f64; workload.len()];
     let mut free = slots;
     let mut now = 0u64;
@@ -59,7 +61,11 @@ pub fn run_delaying(workload: &[QueryArrival], slots: u32, env: &Env) -> RunResu
                          ready: &mut BinaryHeap<Reverse<(TaskKey, u32)>>| {
         let tasks = workload[q].profile.stages[s].tasks;
         ready.push(Reverse((
-            TaskKey { arrival_s: workload[q].at_s, query: q, stage: s },
+            TaskKey {
+                arrival_s: workload[q].at_s,
+                query: q,
+                stage: s,
+            },
             tasks,
         )));
     };
@@ -113,7 +119,9 @@ pub fn run_delaying(workload: &[QueryArrival], slots: u32, env: &Env) -> RunResu
         }
         // Schedule as many ready tasks as slots allow.
         while free > 0 {
-            let Some(Reverse((key, count))) = ready.pop() else { break };
+            let Some(Reverse((key, count))) = ready.pop() else {
+                break;
+            };
             let launch = count.min(free);
             free -= launch;
             let dur = workload[key.query].profile.stages[key.stage].task_seconds as u64;
@@ -195,7 +203,10 @@ mod tests {
 
     #[test]
     fn unconstrained_slots_give_critical_path_latency() {
-        let w = vec![QueryArrival { at_s: 0, profile: two_stage(4, 10) }];
+        let w = vec![QueryArrival {
+            at_s: 0,
+            profile: two_stage(4, 10),
+        }];
         let r = run_delaying(&w, 100, &Env::default());
         assert_eq!(r.latencies, vec![20.0]);
     }
@@ -203,7 +214,10 @@ mod tests {
     #[test]
     fn one_slot_serializes_tasks() {
         // 4 tasks × 10 s then 1 × 10 s on a single slot: 50 s.
-        let w = vec![QueryArrival { at_s: 0, profile: two_stage(4, 10) }];
+        let w = vec![QueryArrival {
+            at_s: 0,
+            profile: two_stage(4, 10),
+        }];
         let r = run_delaying(&w, 1, &Env::default());
         assert_eq!(r.latencies, vec![50.0]);
         assert_eq!(r.duration_s, 50);
@@ -212,8 +226,14 @@ mod tests {
     #[test]
     fn fifo_prioritizes_earlier_query() {
         let w = vec![
-            QueryArrival { at_s: 0, profile: two_stage(2, 10) },
-            QueryArrival { at_s: 1, profile: two_stage(2, 10) },
+            QueryArrival {
+                at_s: 0,
+                profile: two_stage(2, 10),
+            },
+            QueryArrival {
+                at_s: 1,
+                profile: two_stage(2, 10),
+            },
         ];
         let r = run_delaying(&w, 2, &Env::default());
         // Query 0 takes both slots for 10 s, then its final stage runs with
@@ -224,7 +244,10 @@ mod tests {
     #[test]
     fn fewer_slots_cheaper_but_slower() {
         let w: Vec<QueryArrival> = (0..20)
-            .map(|i| QueryArrival { at_s: i * 5, profile: two_stage(8, 20) })
+            .map(|i| QueryArrival {
+                at_s: i * 5,
+                profile: two_stage(8, 20),
+            })
             .collect();
         let env = Env::default();
         let tight = run_delaying(&w, 4, &env);
@@ -236,7 +259,10 @@ mod tests {
     #[test]
     fn all_queries_eventually_finish() {
         let w: Vec<QueryArrival> = (0..50)
-            .map(|i| QueryArrival { at_s: i, profile: two_stage(3, 7) })
+            .map(|i| QueryArrival {
+                at_s: i,
+                profile: two_stage(3, 7),
+            })
             .collect();
         let r = run_delaying(&w, 2, &Env::default());
         assert_eq!(r.latencies.len(), 50);

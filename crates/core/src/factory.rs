@@ -3,9 +3,7 @@
 
 use crate::config::Env;
 use crate::meta::MetaStrategy;
-use crate::strategy::{
-    FixedStrategy, MeanStrategy, PredictiveStrategy, ProvisioningStrategy,
-};
+use crate::strategy::{FixedStrategy, MeanStrategy, PredictiveStrategy, ProvisioningStrategy};
 
 /// Build a strategy from its label.
 ///
@@ -15,11 +13,15 @@ use crate::strategy::{
 /// * `dynamic` — the multiplicative-weights meta-strategy (paper family)
 pub fn make_strategy(label: &str, env: &Env) -> Box<dyn ProvisioningStrategy> {
     if let Some(n) = label.strip_prefix("fixed_") {
-        let vms: u32 = n.parse().unwrap_or_else(|_| panic!("bad fixed label '{label}'"));
+        let vms: u32 = n
+            .parse()
+            .unwrap_or_else(|_| panic!("bad fixed label '{label}'"));
         return Box::new(FixedStrategy { vms });
     }
     if let Some(m) = label.strip_prefix("mean_") {
-        let mult: f64 = m.parse().unwrap_or_else(|_| panic!("bad mean label '{label}'"));
+        let mult: f64 = m
+            .parse()
+            .unwrap_or_else(|_| panic!("bad mean label '{label}'"));
         return Box::new(MeanStrategy::times(mult));
     }
     match label {
@@ -36,8 +38,14 @@ mod tests {
     #[test]
     fn labels_roundtrip() {
         let env = Env::default();
-        for label in ["fixed_0", "fixed_500", "mean_1", "mean_2", "predictive", "dynamic"]
-        {
+        for label in [
+            "fixed_0",
+            "fixed_500",
+            "mean_1",
+            "mean_2",
+            "predictive",
+            "dynamic",
+        ] {
             let s = make_strategy(label, &env);
             assert_eq!(s.name(), label, "label {label}");
         }

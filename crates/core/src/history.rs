@@ -127,7 +127,11 @@ impl SlidingQuantile {
 
     /// The `k`-th smallest sample (1-based). Panics if `k` is out of range.
     pub fn kth(&self, k: usize) -> u32 {
-        assert!(k >= 1 && k <= self.window.len(), "k={k} of {}", self.window.len());
+        assert!(
+            k >= 1 && k <= self.window.len(),
+            "k={k} of {}",
+            self.window.len()
+        );
         let mut remaining = k as u32;
         let mut pos = 0usize;
         let mut bit = (self.tree.len() - 1).next_power_of_two() / 2;
@@ -156,8 +160,7 @@ impl SlidingQuantile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use cackle_prng::Pcg32;
 
     #[test]
     fn history_window_and_percentile() {
@@ -178,7 +181,7 @@ mod tests {
 
     #[test]
     fn sliding_quantile_matches_sorting() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Pcg32::seed_from_u64(3);
         let mut sq = SlidingQuantile::new(50);
         let mut all: Vec<u32> = Vec::new();
         for i in 0..500 {

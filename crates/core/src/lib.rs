@@ -21,9 +21,9 @@
 //!   noise — the "real execution" side of Figures 12–14.
 
 pub mod allocsim;
-pub mod factory;
 pub mod config;
 pub mod delaying;
+pub mod factory;
 pub mod history;
 pub mod live;
 pub mod meta;
@@ -37,8 +37,8 @@ pub mod system;
 pub mod transport;
 
 pub use allocsim::{cost_of_target_history, AllocationSim};
-pub use factory::make_strategy;
 pub use config::Env;
+pub use factory::make_strategy;
 pub use history::WorkloadHistory;
 pub use live::{run_live, LiveConfig, LiveQuery, LiveResult};
 pub use meta::{FamilyConfig, MetaStrategy};
@@ -46,9 +46,8 @@ pub use model::{build_workload, run_model, ModelOptions, QueryArrival};
 pub use oracle::{oracle_cost, oracle_cost_without_pool, OracleCost};
 pub use prices::PriceTimeline;
 pub use report::{ComputeCost, RunResult, ShuffleCost, Timeseries};
+pub use strategy::{
+    FixedStrategy, MeanStrategy, PercentileStrategy, PredictiveStrategy, ProvisioningStrategy,
+};
 pub use system::{run_system, SystemConfig};
 pub use transport::HybridShuffle;
-pub use strategy::{
-    FixedStrategy, MeanStrategy, PercentileStrategy, PredictiveStrategy,
-    ProvisioningStrategy,
-};

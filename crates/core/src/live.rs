@@ -80,7 +80,11 @@ enum Slot {
 
 enum Ev {
     Arrive(usize),
-    TaskDone { query: usize, stage: usize, slot: Slot },
+    TaskDone {
+        query: usize,
+        stage: usize,
+        slot: Slot,
+    },
     Second,
     Tick,
 }
@@ -112,16 +116,17 @@ pub fn run_live(
     // target on the hybrid's node list — the transport is recreated is
     // avoided by sizing to the floor (nodes beyond it only reduce S3
     // traffic further, which keeps the cost accounting conservative).
-    let floor_nodes =
-        (env.shuffle_min_bytes / pricing.shuffle_node_capacity_bytes).max(1) as usize;
-    let shuffle =
-        HybridShuffle::new(floor_nodes, pricing.shuffle_node_capacity_bytes, store.clone());
+    let floor_nodes = (env.shuffle_min_bytes / pricing.shuffle_node_capacity_bytes).max(1) as usize;
+    let shuffle = HybridShuffle::new(
+        floor_nodes,
+        pricing.shuffle_node_capacity_bytes,
+        store.clone(),
+    );
 
     let mut events: EventQueue<Ev> = EventQueue::new();
     let mut fleet = VmFleet::new(pricing.clone());
     let mut pool = ElasticPool::new(pricing.clone());
-    let mut shuffle_fleet =
-        VmFleet::with_category(pricing.clone(), CostCategory::ShuffleNode);
+    let mut shuffle_fleet = VmFleet::with_category(pricing.clone(), CostCategory::ShuffleNode);
     let mut shuffle_prov = ShuffleProvisioner::new(env);
     let mut history = WorkloadHistory::new();
     let mut ts = Timeseries::default();
@@ -131,7 +136,12 @@ pub fn run_live(
         .map(|q| QueryState {
             arrival: SimTime::from_secs(q.at_s),
             remaining_tasks: q.plan.stages.iter().map(|s| s.tasks).collect(),
-            unfinished_deps: q.plan.stages.iter().map(|s| s.dependencies().len()).collect(),
+            unfinished_deps: q
+                .plan
+                .stages
+                .iter()
+                .map(|s| s.dependencies().len())
+                .collect(),
             stages_left: q.plan.stages.len(),
         })
         .collect();
@@ -172,8 +182,7 @@ pub fn run_live(
                         results[$qi].extend(batches);
                     }
                 }
-                let work_s =
-                    (r.rows_in.max(1) as f64 / cfg.rows_per_task_second).max(0.2);
+                let work_s = (r.rows_in.max(1) as f64 / cfg.rows_per_task_second).max(0.2);
                 let (slot, start, dur) = match fleet.try_assign($now) {
                     Some(id) => (Slot::Vm(id), $now, work_s),
                     None => {
@@ -185,7 +194,11 @@ pub fn run_live(
                 max_since = max_since.max(running);
                 events.schedule(
                     start + SimDuration::from_secs_f64(dur),
-                    Ev::TaskDone { query: $qi, stage: $si, slot },
+                    Ev::TaskDone {
+                        query: $qi,
+                        stage: $si,
+                        slot,
+                    },
                 );
             }
         }};
@@ -305,10 +318,17 @@ mod tests {
     }
 
     fn live_workload(names: &[(&str, u64)]) -> Vec<LiveQuery> {
-        let par = Par { fact: 3, mid: 2, join: 2 };
+        let par = Par {
+            fact: 3,
+            mid: 2,
+            join: 2,
+        };
         names
             .iter()
-            .map(|&(n, at)| LiveQuery { at_s: at, plan: Arc::new(plans::plan(n, par)) })
+            .map(|&(n, at)| LiveQuery {
+                at_s: at,
+                plan: Arc::new(plans::plan(n, par)),
+            })
             .collect()
     }
 
@@ -340,15 +360,21 @@ mod tests {
         use cackle_engine::shuffle::MemoryShuffle;
         use cackle_engine::task::execute_query;
         let catalog = tiny_catalog();
-        let par = Par { fact: 3, mid: 2, join: 2 };
+        let par = Par {
+            fact: 3,
+            mid: 2,
+            join: 2,
+        };
         let w = live_workload(&[("q04", 0)]);
         let mut strategy = FixedStrategy { vms: 2 };
-        let cfg = LiveConfig { keep_results: true, ..Default::default() };
+        let cfg = LiveConfig {
+            keep_results: true,
+            ..Default::default()
+        };
         let live = run_live(&w, &catalog, &mut strategy, &cfg);
         let dag = plans::plan("q04", par);
         let direct = execute_query(&dag, 1, &catalog, &MemoryShuffle::new());
-        let gathered =
-            Batch::concat(dag.final_stage().output_schema.clone(), &live.results[0]);
+        let gathered = Batch::concat(dag.final_stage().output_schema.clone(), &live.results[0]);
         assert_eq!(gathered, direct, "live system must compute the same answer");
     }
 
@@ -360,7 +386,10 @@ mod tests {
             .flat_map(|i| live_workload(&[("q06", i * 30)]))
             .collect();
         let mut strategy = FixedStrategy { vms: 4 };
-        let cfg = LiveConfig { rows_per_task_second: 2_000.0, ..Default::default() };
+        let cfg = LiveConfig {
+            rows_per_task_second: 2_000.0,
+            ..Default::default()
+        };
         let r = run_live(&w, &catalog, &mut strategy, &cfg);
         assert!(r.run.compute.vm_seconds > 0.0, "VMs should run tasks");
         assert!(r.run.compute.pool_seconds > 0.0, "cold start uses the pool");

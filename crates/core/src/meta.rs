@@ -22,8 +22,7 @@ use crate::allocsim::AllocationSim;
 use crate::config::Env;
 use crate::history::{SlidingQuantile, WorkloadHistory};
 use crate::strategy::ProvisioningStrategy;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cackle_prng::Pcg32;
 
 /// One member of the strategy family.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,8 +59,8 @@ impl Default for FamilyConfig {
             lookbacks: vec![10, 30, 60, 300, 900, 1800, 3600],
             unit_percentiles: (1..=100).collect(),
             p80_multipliers: vec![
-                1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8, 1.9, 2.0, 2.5, 3.0, 4.0, 5.0, 6.0,
-                8.0, 10.0, 15.0, 20.0,
+                1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8, 1.9, 2.0, 2.5, 3.0, 4.0, 5.0, 6.0, 8.0,
+                10.0, 15.0, 20.0,
             ],
             epsilon: 0.25,
             seed: 17,
@@ -85,10 +84,18 @@ impl FamilyConfig {
         let mut out = Vec::new();
         for li in 0..self.lookbacks.len() {
             for &p in &self.unit_percentiles {
-                out.push(Expert { lookback_idx: li, percentile: p, multiplier: 1.0 });
+                out.push(Expert {
+                    lookback_idx: li,
+                    percentile: p,
+                    multiplier: 1.0,
+                });
             }
             for &m in &self.p80_multipliers {
-                out.push(Expert { lookback_idx: li, percentile: 80, multiplier: m });
+                out.push(Expert {
+                    lookback_idx: li,
+                    percentile: 80,
+                    multiplier: m,
+                });
             }
         }
         out
@@ -105,7 +112,7 @@ pub struct MetaStrategy {
     expert_targets: Vec<u32>,
     quantiles: Vec<SlidingQuantile>,
     epsilon: f64,
-    rng: StdRng,
+    rng: Pcg32,
     fed: u64,
     current: usize,
     ticks: u64,
@@ -120,12 +127,19 @@ impl MetaStrategy {
 
     /// Build with a custom family.
     pub fn with_family(cfg: FamilyConfig, env: &Env) -> Self {
-        assert!(cfg.epsilon > 0.0 && cfg.epsilon <= 0.5, "ε must be in (0, 1/2]");
+        assert!(
+            cfg.epsilon > 0.0 && cfg.epsilon <= 0.5,
+            "ε must be in (0, 1/2]"
+        );
         let experts = cfg.experts();
         let n = experts.len();
         assert!(n >= 2, "family needs at least two experts");
         MetaStrategy {
-            quantiles: cfg.lookbacks.iter().map(|&l| SlidingQuantile::new(l)).collect(),
+            quantiles: cfg
+                .lookbacks
+                .iter()
+                .map(|&l| SlidingQuantile::new(l))
+                .collect(),
             lookbacks: cfg.lookbacks,
             sims: (0..n).map(|_| AllocationSim::new(env)).collect(),
             weights: vec![1.0; n],
@@ -133,7 +147,7 @@ impl MetaStrategy {
             expert_targets: vec![0; n],
             experts,
             epsilon: cfg.epsilon,
-            rng: StdRng::seed_from_u64(cfg.seed),
+            rng: Pcg32::seed_from_u64(cfg.seed),
             fed: 0,
             current: 0,
             ticks: 0,
@@ -364,7 +378,11 @@ mod tests {
         }
         assert_eq!(m.best_expert().multiplier, 1.0);
         // The over-provisioner's weight collapsed.
-        assert!(m.weights[1] < m.weights[0] * 1e-3, "weights {:?}", m.weights);
+        assert!(
+            m.weights[1] < m.weights[0] * 1e-3,
+            "weights {:?}",
+            m.weights
+        );
     }
 
     #[test]
@@ -401,7 +419,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "ε must be")]
     fn epsilon_bounds_enforced() {
-        let cfg = FamilyConfig { epsilon: 0.9, ..FamilyConfig::small() };
+        let cfg = FamilyConfig {
+            epsilon: 0.9,
+            ..FamilyConfig::small()
+        };
         MetaStrategy::with_family(cfg, &env());
     }
 }

@@ -13,11 +13,10 @@ use crate::history::WorkloadHistory;
 use crate::report::{ComputeCost, RunResult, ShuffleCost, Timeseries};
 use crate::shuffleprov::ShuffleProvisioner;
 use crate::strategy::ProvisioningStrategy;
+use cackle_prng::Pcg32;
 use cackle_workload::arrivals::WorkloadSpec;
 use cackle_workload::demand::DemandCurve;
 use cackle_workload::profile::ProfileRef;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// One query arrival.
 #[derive(Debug, Clone)]
@@ -34,7 +33,7 @@ pub struct QueryArrival {
 pub fn build_workload(spec: &WorkloadSpec, mix: &[ProfileRef]) -> Vec<QueryArrival> {
     assert!(!mix.is_empty(), "empty profile mix");
     let arrivals = spec.generate_arrivals();
-    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x9e37_79b9);
+    let mut rng = Pcg32::seed_from_u64(spec.seed ^ 0x9e37_79b9);
     arrivals
         .into_iter()
         .map(|at_s| QueryArrival {
@@ -63,8 +62,7 @@ pub fn workload_curves(workload: &[QueryArrival]) -> WorkloadCurves {
     let mut c = WorkloadCurves::default();
     for q in workload {
         let starts = q.profile.stage_start_offsets();
-        let query_end =
-            q.at_s as usize + q.profile.critical_path_seconds() as usize;
+        let query_end = q.at_s as usize + q.profile.critical_path_seconds() as usize;
         for (stage, &off) in q.profile.stages.iter().zip(&starts) {
             let s = q.at_s as usize + off as usize;
             let e = s + stage.task_seconds as usize;
@@ -241,11 +239,7 @@ fn simulate_shuffle(curves: &WorkloadCurves, env: &Env) -> ShuffleCost {
 /// Re-run the §4.4.3 cost prediction on an executed history: given the
 /// demand curve a real run recorded and the targets its strategy chose,
 /// predict the cost (the model-validation loop of Figure 12).
-pub fn predict_cost_from_history(
-    demand: &[u32],
-    targets: &[u32],
-    env: &Env,
-) -> ComputeCost {
+pub fn predict_cost_from_history(demand: &[u32], targets: &[u32], env: &Env) -> ComputeCost {
     let mut fleet = AllocationSim::new(env);
     for (&t, &d) in targets.iter().zip(demand) {
         fleet.step(t, d);
@@ -293,8 +287,14 @@ mod tests {
     #[test]
     fn demand_curve_follows_stage_timing() {
         let w = vec![
-            QueryArrival { at_s: 10, profile: profile(4, 3) },
-            QueryArrival { at_s: 11, profile: profile(2, 5) },
+            QueryArrival {
+                at_s: 10,
+                profile: profile(4, 3),
+            },
+            QueryArrival {
+                at_s: 11,
+                profile: profile(2, 5),
+            },
         ];
         let c = workload_curves(&w);
         // Query 1: 4 tasks over [10,13), 1 task over [13,14).
@@ -313,7 +313,10 @@ mod tests {
 
     #[test]
     fn fixed_zero_runs_everything_on_pool() {
-        let w = vec![QueryArrival { at_s: 0, profile: profile(10, 60) }];
+        let w = vec![QueryArrival {
+            at_s: 0,
+            profile: profile(10, 60),
+        }];
         let env = Env::default();
         let mut s = FixedStrategy { vms: 0 };
         let r = run_model(&w, &mut s, &env, ModelOptions::default());
@@ -326,7 +329,10 @@ mod tests {
 
     #[test]
     fn big_fixed_fleet_uses_vms_at_idle_cost() {
-        let w = vec![QueryArrival { at_s: 0, profile: profile(10, 600) }];
+        let w = vec![QueryArrival {
+            at_s: 0,
+            profile: profile(10, 600),
+        }];
         let env = Env::default();
         let mut s = FixedStrategy { vms: 10 };
         let r = run_model(&w, &mut s, &env, ModelOptions::default());
@@ -341,7 +347,10 @@ mod tests {
         // Cackle's cold-start story (§4.4.6): a burst shorter than the VM
         // startup latency is served entirely by the elastic pool, and the
         // pending spot request is cancelled for free at wind-down.
-        let w = vec![QueryArrival { at_s: 0, profile: profile(10, 60) }];
+        let w = vec![QueryArrival {
+            at_s: 0,
+            profile: profile(10, 60),
+        }];
         let env = Env::default();
         let mut s = FixedStrategy { vms: 10 };
         let r = run_model(&w, &mut s, &env, ModelOptions::default());
@@ -351,14 +360,20 @@ mod tests {
 
     #[test]
     fn timeseries_recorded_when_asked() {
-        let w = vec![QueryArrival { at_s: 5, profile: profile(3, 10) }];
+        let w = vec![QueryArrival {
+            at_s: 5,
+            profile: profile(3, 10),
+        }];
         let env = Env::default();
         let mut s = FixedStrategy { vms: 2 };
         let r = run_model(
             &w,
             &mut s,
             &env,
-            ModelOptions { record_timeseries: true, compute_only: true },
+            ModelOptions {
+                record_timeseries: true,
+                compute_only: true,
+            },
         );
         let ts = r.timeseries.expect("requested");
         assert_eq!(ts.demand.len(), ts.target.len());
@@ -371,7 +386,10 @@ mod tests {
         // Long workload: the 16 GB node floor comes online after startup
         // and absorbs the (tiny) intermediate state, so the late-workload
         // requests avoid S3.
-        let w = vec![QueryArrival { at_s: 0, profile: profile(4, 600) }];
+        let w = vec![QueryArrival {
+            at_s: 0,
+            profile: profile(4, 600),
+        }];
         let env = Env::default();
         let mut s = FixedStrategy { vms: 0 };
         let r = run_model(&w, &mut s, &env, ModelOptions::default());
@@ -384,7 +402,10 @@ mod tests {
     fn shuffle_requests_fall_back_to_s3_during_cold_start() {
         // A short workload finishes before shuffle nodes can start: every
         // request goes to the object store (§3's fallback).
-        let w = vec![QueryArrival { at_s: 0, profile: profile(4, 30) }];
+        let w = vec![QueryArrival {
+            at_s: 0,
+            profile: profile(4, 30),
+        }];
         let env = Env::default();
         let mut s = FixedStrategy { vms: 0 };
         let r = run_model(&w, &mut s, &env, ModelOptions::default());
@@ -395,7 +416,10 @@ mod tests {
 
     #[test]
     fn build_workload_is_deterministic_and_sized() {
-        let spec = WorkloadSpec { num_queries: 100, ..WorkloadSpec::hour_long(100, 5) };
+        let spec = WorkloadSpec {
+            num_queries: 100,
+            ..WorkloadSpec::hour_long(100, 5)
+        };
         let mix = vec![profile(2, 5), profile(8, 20)];
         let a = build_workload(&spec, &mix);
         let b = build_workload(&spec, &mix);
@@ -418,10 +442,15 @@ mod tests {
         // at 2x, so cost grows by ~50% vs flat (startup transient aside).
         let env = Env::default();
         let demand = vec![10u32; 2000];
-        let opts = ModelOptions { record_timeseries: false, compute_only: true };
+        let opts = ModelOptions {
+            record_timeseries: false,
+            compute_only: true,
+        };
         let flat = {
             let mut s = FixedStrategy { vms: 10 };
-            simulate_compute(&demand, &mut s, &env, opts).compute.total()
+            simulate_compute(&demand, &mut s, &env, opts)
+                .compute
+                .total()
         };
         let spiked = {
             let mut s = FixedStrategy { vms: 10 };
@@ -443,8 +472,14 @@ mod tests {
         // calculator reproduces its cost exactly (§4.4.3 is exact when the
         // environment doesn't change).
         let w = vec![
-            QueryArrival { at_s: 0, profile: profile(6, 120) },
-            QueryArrival { at_s: 300, profile: profile(3, 60) },
+            QueryArrival {
+                at_s: 0,
+                profile: profile(6, 120),
+            },
+            QueryArrival {
+                at_s: 300,
+                profile: profile(3, 60),
+            },
         ];
         let env = Env::default();
         let mut s = FixedStrategy { vms: 4 };
@@ -452,7 +487,10 @@ mod tests {
             &w,
             &mut s,
             &env,
-            ModelOptions { record_timeseries: true, compute_only: true },
+            ModelOptions {
+                record_timeseries: true,
+                compute_only: true,
+            },
         );
         let ts = r.timeseries.as_ref().expect("ts");
         let predicted = predict_cost_from_history(&ts.demand, &ts.target, &env);

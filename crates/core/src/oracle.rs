@@ -19,10 +19,9 @@
 //! merge on-periods.
 
 use crate::config::Env;
-use serde::{Deserialize, Serialize};
 
 /// Cost split produced by the oracle.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct OracleCost {
     /// Dollars spent on provisioned VMs.
     pub vm_cost: f64,
@@ -237,11 +236,19 @@ mod tests {
         // gap 10, second run 30 s: merge = 160 s vs restart = 120+60 = 180
         // vs pool-second-run = 120·c + 30·6c = 300c. Merge wins.
         let oc = oracle_cost(&mk(10, 30), &e);
-        assert!((oc.vm_seconds - 160.0).abs() < 1e-9, "vm_s {}", oc.vm_seconds);
+        assert!(
+            (oc.vm_seconds - 160.0).abs() < 1e-9,
+            "vm_s {}",
+            oc.vm_seconds
+        );
         // gap 100, second run 30 s: merge = 250 vs restart 180 vs pool for
         // the 30 s burst: 120 + 30×6 = 300 equivalent-seconds. Restart wins.
         let oc = oracle_cost(&mk(100, 30), &e);
-        assert!((oc.vm_seconds - 180.0).abs() < 1e-9, "vm_s {}", oc.vm_seconds);
+        assert!(
+            (oc.vm_seconds - 180.0).abs() < 1e-9,
+            "vm_s {}",
+            oc.vm_seconds
+        );
     }
 
     #[test]
@@ -263,9 +270,8 @@ mod tests {
     fn oracle_never_worse_than_any_online_strategy() {
         // Strong cross-check: the oracle is a lower bound on the simulated
         // cost of arbitrary target histories over random demand curves.
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(11);
+        use cackle_prng::Pcg32;
+        let mut rng = Pcg32::seed_from_u64(11);
         let mut e = env();
         e.pricing.vm_startup = SimDuration::ZERO; // most favourable to online
         for case in 0..30 {
@@ -297,19 +303,8 @@ mod tests {
         // Exhaustive check of the interval DP on small instances: every
         // interval independently pool/VM, every consecutive-VM merge
         // pattern, enumerated recursively.
-        fn brute(
-            intervals: &[(u64, u64)],
-            c_vm: f64,
-            c_pool: f64,
-            min_bill: f64,
-        ) -> f64 {
-            fn rec(
-                ints: &[(u64, u64)],
-                i: usize,
-                c_vm: f64,
-                c_pool: f64,
-                min_bill: f64,
-            ) -> f64 {
+        fn brute(intervals: &[(u64, u64)], c_vm: f64, c_pool: f64, min_bill: f64) -> f64 {
+            fn rec(ints: &[(u64, u64)], i: usize, c_vm: f64, c_pool: f64, min_bill: f64) -> f64 {
                 if i == ints.len() {
                     return 0.0;
                 }
@@ -319,17 +314,15 @@ mod tests {
                 // VM on-period from i through k.
                 for k in i..ints.len() {
                     let span = (ints[k].1 - ints[i].0) as f64;
-                    let c = span.max(min_bill) * c_vm
-                        + rec(ints, k + 1, c_vm, c_pool, min_bill);
+                    let c = span.max(min_bill) * c_vm + rec(ints, k + 1, c_vm, c_pool, min_bill);
                     best = best.min(c);
                 }
                 best
             }
             rec(intervals, 0, c_vm, c_pool, min_bill)
         }
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(5);
+        use cackle_prng::Pcg32;
+        let mut rng = Pcg32::seed_from_u64(5);
         for _ in 0..200 {
             let n = rng.gen_range(1..7);
             let mut t = 0u64;

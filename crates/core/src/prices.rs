@@ -31,7 +31,8 @@ impl PriceTimeline {
     pub fn then(mut self, at_s: u64, vm_per_hour: f64, pool_per_hour: f64) -> Self {
         let last = self.steps.last().expect("non-empty").0;
         assert!(at_s >= last, "price steps must be time-ordered");
-        self.steps.push((at_s, vm_per_hour / 3600.0, pool_per_hour / 3600.0));
+        self.steps
+            .push((at_s, vm_per_hour / 3600.0, pool_per_hour / 3600.0));
         self
     }
 
@@ -71,7 +72,10 @@ mod tests {
     fn constant_timeline_matches_env() {
         let env = Env::default();
         let t = PriceTimeline::constant(&env);
-        assert_eq!(t.rates_at(0), (env.pricing.vm_per_sec(), env.pricing.pool_per_sec()));
+        assert_eq!(
+            t.rates_at(0),
+            (env.pricing.vm_per_sec(), env.pricing.pool_per_sec())
+        );
         assert_eq!(t.rates_at(1_000_000), t.rates_at(0));
         assert!(t.change_points().is_empty());
     }
@@ -102,6 +106,8 @@ mod tests {
     #[should_panic(expected = "time-ordered")]
     fn out_of_order_steps_rejected() {
         let env = Env::default();
-        let _ = PriceTimeline::constant(&env).then(100, 0.06, 0.18).then(50, 0.03, 0.18);
+        let _ = PriceTimeline::constant(&env)
+            .then(100, 0.06, 0.18)
+            .then(50, 0.03, 0.18);
     }
 }

@@ -1,10 +1,9 @@
 //! Result types shared by the analytical model and the full system.
 
 use cackle_workload::demand::percentile_f64;
-use serde::{Deserialize, Serialize};
 
 /// Compute-layer cost split.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ComputeCost {
     /// Dollars on provisioned VMs.
     pub vm_cost: f64,
@@ -24,7 +23,7 @@ impl ComputeCost {
 }
 
 /// Shuffle-layer cost split (§5.6).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ShuffleCost {
     /// Dollars on provisioned shuffle nodes.
     pub node_cost: f64,
@@ -46,7 +45,7 @@ impl ShuffleCost {
 }
 
 /// Per-second series recorded during a run (Figure 12).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Timeseries {
     /// Task demand.
     pub demand: Vec<u32>,
@@ -57,7 +56,7 @@ pub struct Timeseries {
 }
 
 /// Result of one workload run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RunResult {
     /// Compute-layer costs.
     pub compute: ComputeCost,
@@ -108,7 +107,11 @@ mod tests {
     #[test]
     fn totals_and_percentiles() {
         let r = RunResult {
-            compute: ComputeCost { vm_cost: 3.0, pool_cost: 1.0, ..Default::default() },
+            compute: ComputeCost {
+                vm_cost: 3.0,
+                pool_cost: 1.0,
+                ..Default::default()
+            },
             shuffle: ShuffleCost {
                 node_cost: 0.5,
                 s3_put_cost: 0.25,

@@ -21,7 +21,11 @@ pub struct SlidingMax {
 impl SlidingMax {
     /// A window over the last `window_s` seconds.
     pub fn new(window_s: u64) -> Self {
-        SlidingMax { window_s: window_s.max(1), deque: VecDeque::new(), now: 0 }
+        SlidingMax {
+            window_s: window_s.max(1),
+            deque: VecDeque::new(),
+            now: 0,
+        }
     }
 
     /// Push the sample for the next second and return the window maximum.

@@ -50,7 +50,10 @@ pub struct MeanStrategy {
 impl MeanStrategy {
     /// The paper's `mean_y` with a five-minute lookback.
     pub fn times(multiplier: f64) -> Self {
-        MeanStrategy { lookback_s: 300, multiplier }
+        MeanStrategy {
+            lookback_s: 300,
+            multiplier,
+        }
     }
 }
 
@@ -82,7 +85,10 @@ pub struct PercentileStrategy {
 
 impl ProvisioningStrategy for PercentileStrategy {
     fn name(&self) -> String {
-        format!("pct_{}_{}x{:.1}", self.lookback_s, self.percentile, self.multiplier)
+        format!(
+            "pct_{}_{}x{:.1}",
+            self.lookback_s, self.percentile, self.multiplier
+        )
     }
 
     fn target(&mut self, _now: u64, history: &WorkloadHistory, _env: &Env) -> u32 {
@@ -178,11 +184,19 @@ mod tests {
 
     #[test]
     fn percentile_strategy() {
-        let mut s = PercentileStrategy { lookback_s: 100, percentile: 50, multiplier: 1.0 };
+        let mut s = PercentileStrategy {
+            lookback_s: 100,
+            percentile: 50,
+            multiplier: 1.0,
+        };
         let env = Env::default();
         let vals: Vec<u32> = (1..=100).collect();
         assert_eq!(s.target(0, &hist(&vals), &env), 50);
-        let mut s2 = PercentileStrategy { lookback_s: 100, percentile: 80, multiplier: 1.5 };
+        let mut s2 = PercentileStrategy {
+            lookback_s: 100,
+            percentile: 80,
+            multiplier: 1.5,
+        };
         assert_eq!(s2.target(0, &hist(&vals), &env), 120);
     }
 

@@ -18,11 +18,10 @@ use crate::report::{ComputeCost, RunResult, ShuffleCost, Timeseries};
 use crate::shuffleprov::ShuffleProvisioner;
 use crate::strategy::ProvisioningStrategy;
 use cackle_cloud::{
-    CostCategory, ElasticPool, EventQueue, InvocationId, Pricing, SimDuration, SimTime,
+    CostCategory, CostLedger, ElasticPool, EventQueue, InvocationId, Pricing, SimDuration, SimTime,
     VmFleet, VmId,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cackle_prng::Pcg32;
 
 /// Where a task ran.
 #[derive(Debug, Clone, Copy)]
@@ -34,9 +33,17 @@ enum Slot {
 #[derive(Debug)]
 enum Ev {
     Arrive(usize),
-    TaskDone { query: usize, stage: usize, slot: Slot },
+    TaskDone {
+        query: usize,
+        stage: usize,
+        slot: Slot,
+    },
     /// A spot VM is reclaimed mid-task; the task restarts on the pool.
-    Interrupted { query: usize, stage: usize, vm: VmId },
+    Interrupted {
+        query: usize,
+        stage: usize,
+        vm: VmId,
+    },
     Second,
     Tick,
 }
@@ -85,7 +92,7 @@ struct QueryState {
 
 struct SystemState<'a> {
     cfg: &'a SystemConfig,
-    rng: StdRng,
+    rng: Pcg32,
     fleet: VmFleet,
     pool: ElasticPool,
     shuffle_fleet: VmFleet,
@@ -94,6 +101,9 @@ struct SystemState<'a> {
     resident_total: u64,
     puts: u64,
     gets: u64,
+    /// Object-store request charges (puts/gets priced through the ledger
+    /// so no raw dollar arithmetic happens outside the billing layer).
+    s3_ledger: CostLedger,
 }
 
 impl SystemState<'_> {
@@ -119,7 +129,10 @@ impl SystemState<'_> {
         let stage = &workload[qi].profile.stages[si];
         // Reads happen at stage start; the node tier serves what fits.
         let f = self.overflow_fraction();
-        self.gets += (stage.shuffle_reads as f64 * f).round() as u64;
+        let gets = (stage.shuffle_reads as f64 * f).round() as u64;
+        self.gets += gets;
+        self.s3_ledger
+            .charge_requests(CostCategory::S3Get, gets, self.cfg.env.pricing.s3_get);
         for _ in 0..stage.tasks {
             let base = stage.task_seconds as f64;
             let jitter = if self.cfg.duration_jitter > 0.0 {
@@ -132,7 +145,11 @@ impl SystemState<'_> {
                 Some(id) => (Slot::Vm(id), now, base * jitter),
                 None => {
                     let (id, start) = self.pool.invoke(now);
-                    (Slot::Pool(id), start, base * self.cfg.pool_slowdown * jitter)
+                    (
+                        Slot::Pool(id),
+                        start,
+                        base * self.cfg.pool_slowdown * jitter,
+                    )
                 }
             };
             self.running += 1;
@@ -148,7 +165,11 @@ impl SystemState<'_> {
                         let frac: f64 = self.rng.gen_range(0.0..1.0);
                         events.schedule(
                             start + SimDuration::from_secs_f64(dur_s * frac),
-                            Ev::Interrupted { query: qi, stage: si, vm: id },
+                            Ev::Interrupted {
+                                query: qi,
+                                stage: si,
+                                vm: id,
+                            },
                         );
                         continue;
                     }
@@ -156,7 +177,11 @@ impl SystemState<'_> {
             }
             events.schedule(
                 start + SimDuration::from_secs_f64(dur_s),
-                Ev::TaskDone { query: qi, stage: si, slot },
+                Ev::TaskDone {
+                    query: qi,
+                    stage: si,
+                    slot,
+                },
             );
         }
     }
@@ -173,7 +198,7 @@ pub fn run_system(
     let mut events: EventQueue<Ev> = EventQueue::new();
     let mut st = SystemState {
         cfg,
-        rng: StdRng::seed_from_u64(cfg.seed),
+        rng: Pcg32::seed_from_u64(cfg.seed),
         fleet: VmFleet::new(pricing.clone()),
         pool: ElasticPool::new(pricing.clone()),
         shuffle_fleet: VmFleet::with_category(pricing.clone(), CostCategory::ShuffleNode),
@@ -182,6 +207,7 @@ pub fn run_system(
         resident_total: 0,
         puts: 0,
         gets: 0,
+        s3_ledger: CostLedger::new(),
     };
     let mut shuffle_prov = ShuffleProvisioner::new(env);
     let mut history = WorkloadHistory::new();
@@ -237,8 +263,10 @@ pub fn run_system(
                     queries[query].resident_bytes += bytes;
                     st.resident_total += bytes;
                     let f = st.overflow_fraction();
-                    st.puts +=
-                        (profile.stages[stage].shuffle_writes as f64 * f).round() as u64;
+                    let puts = (profile.stages[stage].shuffle_writes as f64 * f).round() as u64;
+                    st.puts += puts;
+                    st.s3_ledger
+                        .charge_requests(CostCategory::S3Put, puts, pricing.s3_put);
                     queries[query].stages_left -= 1;
                     if queries[query].stages_left == 0 {
                         latencies[query] = (now - queries[query].arrival).as_secs_f64();
@@ -266,7 +294,11 @@ pub fn run_system(
                 let (id, start) = st.pool.invoke(now);
                 events.schedule(
                     start + SimDuration::from_secs_f64(base * cfg.pool_slowdown),
-                    Ev::TaskDone { query, stage, slot: Slot::Pool(id) },
+                    Ev::TaskDone {
+                        query,
+                        stage,
+                        slot: Slot::Pool(id),
+                    },
                 );
             }
             Ev::Second => {
@@ -316,8 +348,8 @@ pub fn run_system(
         },
         shuffle: ShuffleCost {
             node_cost: sh_ledger.category(CostCategory::ShuffleNode),
-            s3_put_cost: st.puts as f64 * pricing.s3_put,
-            s3_get_cost: st.gets as f64 * pricing.s3_get,
+            s3_put_cost: st.s3_ledger.category(CostCategory::S3Put),
+            s3_get_cost: st.s3_ledger.category(CostCategory::S3Get),
             puts: st.puts,
             gets: st.gets,
         },
@@ -360,25 +392,40 @@ mod tests {
     }
 
     fn noiseless() -> SystemConfig {
-        SystemConfig { pool_slowdown: 1.0, duration_jitter: 0.0, ..Default::default() }
+        SystemConfig {
+            pool_slowdown: 1.0,
+            duration_jitter: 0.0,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn pool_only_latency_is_critical_path_plus_invoke() {
-        let w = vec![QueryArrival { at_s: 0, profile: profile(8, 10) }];
+        let w = vec![QueryArrival {
+            at_s: 0,
+            profile: profile(8, 10),
+        }];
         let cfg = noiseless();
         let mut s = FixedStrategy { vms: 0 };
         let r = run_system(&w, &mut s, &cfg);
         // 10 s + 2 s + two 100 ms invoke latencies.
-        assert!((r.latencies[0] - 12.2).abs() < 0.01, "latency {}", r.latencies[0]);
+        assert!(
+            (r.latencies[0] - 12.2).abs() < 0.01,
+            "latency {}",
+            r.latencies[0]
+        );
         assert_eq!(r.compute.vm_seconds, 0.0);
         assert!((r.compute.pool_seconds - 82.0).abs() < 0.5);
     }
 
     #[test]
     fn vm_fleet_reduces_latency_once_started() {
-        let w: Vec<QueryArrival> =
-            (0..30).map(|i| QueryArrival { at_s: i * 30, profile: profile(4, 10) }).collect();
+        let w: Vec<QueryArrival> = (0..30)
+            .map(|i| QueryArrival {
+                at_s: i * 30,
+                profile: profile(4, 10),
+            })
+            .collect();
         let base = SystemConfig::default();
         let mut s0 = FixedStrategy { vms: 0 };
         let pool_run = run_system(&w, &mut s0, &base);
@@ -394,21 +441,31 @@ mod tests {
     #[test]
     fn vms_start_after_latency_and_get_used() {
         let w: Vec<QueryArrival> = (0..50)
-            .map(|i| QueryArrival { at_s: i * 12, profile: profile(4, 10) })
+            .map(|i| QueryArrival {
+                at_s: i * 12,
+                profile: profile(4, 10),
+            })
             .collect();
         let cfg = noiseless();
         let mut s = FixedStrategy { vms: 4 };
         let r = run_system(&w, &mut s, &cfg);
         assert!(r.compute.vm_seconds > 0.0, "VMs never used");
-        assert!(r.compute.pool_seconds > 0.0, "early tasks must use the pool");
+        assert!(
+            r.compute.pool_seconds > 0.0,
+            "early tasks must use the pool"
+        );
         // The fixed fleet stays up from ~180 s to the end.
         assert!(r.compute.vm_seconds >= 4.0 * (r.duration_s as f64 - 220.0));
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let w: Vec<QueryArrival> =
-            (0..20).map(|i| QueryArrival { at_s: i * 7, profile: profile(3, 5) }).collect();
+        let w: Vec<QueryArrival> = (0..20)
+            .map(|i| QueryArrival {
+                at_s: i * 7,
+                profile: profile(3, 5),
+            })
+            .collect();
         let cfg = SystemConfig::default();
         let mut s1 = FixedStrategy { vms: 2 };
         let a = run_system(&w, &mut s1, &cfg);
@@ -420,7 +477,10 @@ mod tests {
 
     #[test]
     fn timeseries_tracks_fleet() {
-        let w = vec![QueryArrival { at_s: 0, profile: profile(6, 300) }];
+        let w = vec![QueryArrival {
+            at_s: 0,
+            profile: profile(6, 300),
+        }];
         let mut cfg = noiseless();
         cfg.record_timeseries = true;
         let mut s = FixedStrategy { vms: 3 };
@@ -436,7 +496,10 @@ mod tests {
     fn dynamic_strategy_runs_in_the_loop() {
         use crate::meta::{FamilyConfig, MetaStrategy};
         let w: Vec<QueryArrival> = (0..120)
-            .map(|i| QueryArrival { at_s: i * 10, profile: profile(4, 8) })
+            .map(|i| QueryArrival {
+                at_s: i * 10,
+                profile: profile(4, 8),
+            })
             .collect();
         let cfg = SystemConfig::default();
         let mut dynamic = MetaStrategy::with_family(FamilyConfig::small(), &cfg.env);
@@ -450,7 +513,10 @@ mod tests {
     #[test]
     fn spot_interruptions_restart_tasks_on_the_pool() {
         let w: Vec<QueryArrival> = (0..40)
-            .map(|i| QueryArrival { at_s: i * 20, profile: profile(4, 30) })
+            .map(|i| QueryArrival {
+                at_s: i * 20,
+                profile: profile(4, 30),
+            })
             .collect();
         let mut cfg = noiseless();
         // Absurdly high rate so interruptions certainly occur.
@@ -490,7 +556,10 @@ mod tests {
                 deps: vec![],
             }],
         ));
-        let w = vec![QueryArrival { at_s: 0, profile: big }];
+        let w = vec![QueryArrival {
+            at_s: 0,
+            profile: big,
+        }];
         let cfg = noiseless();
         let mut s = FixedStrategy { vms: 0 };
         let r = run_system(&w, &mut s, &cfg);

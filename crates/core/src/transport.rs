@@ -15,9 +15,8 @@
 
 use cackle_cloud::ObjectStore;
 use cackle_engine::shuffle::{ShuffleKey, ShuffleStats, ShuffleTransport};
-use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// How many nodes a write attempts before falling back to the object
 /// store (the home node plus two alternates, §7.1.3).
@@ -28,12 +27,16 @@ pub const PLACEMENT_ATTEMPTS: usize = 3;
 struct ShuffleNode {
     capacity_bytes: u64,
     used_bytes: u64,
-    data: HashMap<ShuffleKey, Vec<cackle_engine::shuffle::ShuffleChunk>>,
+    data: BTreeMap<ShuffleKey, Vec<cackle_engine::shuffle::ShuffleChunk>>,
 }
 
 impl ShuffleNode {
     fn new(capacity_bytes: u64) -> Self {
-        ShuffleNode { capacity_bytes, used_bytes: 0, data: HashMap::new() }
+        ShuffleNode {
+            capacity_bytes,
+            used_bytes: 0,
+            data: BTreeMap::new(),
+        }
     }
 
     fn try_put(&mut self, key: ShuffleKey, task: u32, bytes: Arc<[u8]>) -> bool {
@@ -53,8 +56,7 @@ impl ShuffleNode {
     fn delete_query(&mut self, query: u64) {
         self.data.retain(|k, chunks| {
             if k.query == query {
-                self.used_bytes -=
-                    chunks.iter().map(|(_, d)| d.len() as u64).sum::<u64>();
+                self.used_bytes -= chunks.iter().map(|(_, d)| d.len() as u64).sum::<u64>();
                 false
             } else {
                 true
@@ -87,15 +89,30 @@ impl HybridShuffle {
     pub fn new(node_count: usize, node_capacity_bytes: u64, store: Arc<ObjectStore>) -> Self {
         HybridShuffle {
             nodes: Mutex::new(
-                (0..node_count).map(|_| ShuffleNode::new(node_capacity_bytes)).collect(),
+                (0..node_count)
+                    .map(|_| ShuffleNode::new(node_capacity_bytes))
+                    .collect(),
             ),
             store,
             stats: Mutex::new(HybridStats::default()),
         }
     }
 
+    // Poison-forgiving lock access: a panicking task must not wedge the
+    // shared transport for the rest of the executor.
+    fn lock_nodes(&self) -> MutexGuard<'_, Vec<ShuffleNode>> {
+        self.nodes.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_stats(&self) -> MutexGuard<'_, HybridStats> {
+        self.stats.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     fn object_key(key: ShuffleKey, task: u32) -> String {
-        format!("shuffle/q{}/s{}/p{}/t{}", key.query, key.stage, key.partition, task)
+        format!(
+            "shuffle/q{}/s{}/p{}/t{}",
+            key.query, key.stage, key.partition, task
+        )
     }
 
     /// The home node for a partition: hash of the destination task.
@@ -118,17 +135,17 @@ impl HybridShuffle {
 
     /// Chunks written past the node tier to the object store.
     pub fn s3_fallback_writes(&self) -> u64 {
-        self.stats.lock().s3_fallback_writes
+        self.lock_stats().s3_fallback_writes
     }
 
     /// Chunks absorbed by shuffle nodes.
     pub fn node_writes(&self) -> u64 {
-        self.stats.lock().node_writes
+        self.lock_stats().node_writes
     }
 
     /// Bytes currently resident on shuffle nodes.
     pub fn node_resident_bytes(&self) -> u64 {
-        self.nodes.lock().iter().map(|n| n.used_bytes).sum()
+        self.lock_nodes().iter().map(|n| n.used_bytes).sum()
     }
 }
 
@@ -136,14 +153,14 @@ impl ShuffleTransport for HybridShuffle {
     fn write(&self, key: ShuffleKey, producer_task: u32, data: Vec<u8>) {
         let bytes: Arc<[u8]> = data.into();
         let len = bytes.len() as u64;
-        let mut nodes = self.nodes.lock();
+        let mut nodes = self.lock_nodes();
         let count = nodes.len();
         if count > 0 {
             let home = self.home_node(key, count);
             for attempt in 0..PLACEMENT_ATTEMPTS.min(count) {
                 let ni = (home + attempt) % count;
                 if nodes[ni].try_put(key, producer_task, bytes.clone()) {
-                    let mut s = self.stats.lock();
+                    let mut s = self.lock_stats();
                     s.node_writes += 1;
                     s.node_bytes += len;
                     return;
@@ -152,8 +169,9 @@ impl ShuffleTransport for HybridShuffle {
         }
         drop(nodes);
         // Fall back to the object store (billed per request).
-        self.store.put(&Self::object_key(key, producer_task), bytes.to_vec());
-        let mut s = self.stats.lock();
+        self.store
+            .put(&Self::object_key(key, producer_task), bytes.to_vec());
+        let mut s = self.lock_stats();
         s.s3_fallback_writes += 1;
         s.s3_bytes += len;
     }
@@ -161,7 +179,7 @@ impl ShuffleTransport for HybridShuffle {
     fn read(&self, key: ShuffleKey) -> Vec<Arc<[u8]>> {
         // Gather node-resident chunks from every node the write path could
         // have used, then object-store chunks for any producer not found.
-        let nodes = self.nodes.lock();
+        let nodes = self.lock_nodes();
         let count = nodes.len();
         let mut chunks: Vec<(u32, Arc<[u8]>)> = Vec::new();
         if count > 0 {
@@ -171,13 +189,12 @@ impl ShuffleTransport for HybridShuffle {
             }
         }
         drop(nodes);
-        let node_tasks: std::collections::HashSet<u32> =
-            chunks.iter().map(|(t, _)| *t).collect();
+        let node_tasks: BTreeSet<u32> = chunks.iter().map(|(t, _)| *t).collect();
         // Probe the object store for fallback chunks: producers are dense
         // task indices, so scan until a run of misses past the known max.
         let mut task = 0u32;
         let mut misses = 0u32;
-        let max_node_task = node_tasks.iter().copied().max().unwrap_or(0);
+        let max_node_task = node_tasks.iter().next_back().copied().unwrap_or(0);
         while misses < 64 {
             if !node_tasks.contains(&task) {
                 match self.store.get(&Self::object_key(key, task)) {
@@ -194,21 +211,21 @@ impl ShuffleTransport for HybridShuffle {
             }
         }
         chunks.sort_by_key(|(t, _)| *t);
-        let mut s = self.stats.lock();
+        let mut s = self.lock_stats();
         s.reads += chunks.len() as u64;
         s.bytes_read += chunks.iter().map(|(_, d)| d.len() as u64).sum::<u64>();
         chunks.into_iter().map(|(_, d)| d).collect()
     }
 
     fn delete_query(&self, query: u64) {
-        for n in self.nodes.lock().iter_mut() {
+        for n in self.lock_nodes().iter_mut() {
             n.delete_query(query);
         }
         self.store.delete_prefix(&format!("shuffle/q{query}/"));
     }
 
     fn stats(&self) -> ShuffleStats {
-        let s = self.stats.lock();
+        let s = self.lock_stats();
         ShuffleStats {
             writes: s.node_writes + s.s3_fallback_writes,
             reads: s.reads,
@@ -228,7 +245,11 @@ mod tests {
     }
 
     fn key(q: u64, p: u32) -> ShuffleKey {
-        ShuffleKey { query: q, stage: 0, partition: p }
+        ShuffleKey {
+            query: q,
+            stage: 0,
+            partition: p,
+        }
     }
 
     #[test]
@@ -300,7 +321,7 @@ mod tests {
         for p in 0..32 {
             h.write(key(1, p), 0, vec![0; 64]);
         }
-        let nodes = h.nodes.lock();
+        let nodes = h.lock_nodes();
         let used: Vec<u64> = nodes.iter().map(|n| n.used_bytes).collect();
         drop(nodes);
         assert!(used.iter().all(|&u| u > 0), "placement skew: {used:?}");
@@ -342,7 +363,10 @@ mod tests {
                         schema: partial.clone(),
                     },
                     tasks: 4,
-                    exchange: ExchangeMode::Hash { keys: vec![Expr::col(0)], partitions: 2 },
+                    exchange: ExchangeMode::Hash {
+                        keys: vec![Expr::col(0)],
+                        partitions: 2,
+                    },
                     output_schema: partial.clone(),
                 },
                 Stage {
@@ -373,6 +397,9 @@ mod tests {
             rows
         };
         assert_eq!(norm(&via_hybrid), norm(&via_memory));
-        assert!(hybrid.s3_fallback_writes() > 0, "test should exercise fallback");
+        assert!(
+            hybrid.s3_fallback_writes() > 0,
+            "test should exercise fallback"
+        );
     }
 }

@@ -1,93 +1,102 @@
-//! Property-based tests on the core provisioning machinery: the oracle's
-//! lower-bound property, allocation-simulation billing invariants, and the
-//! sliding-quantile structure against naive recomputation.
+//! Randomized property tests on the core provisioning machinery: the
+//! oracle's lower-bound property, allocation-simulation billing
+//! invariants, and the sliding-quantile structure against naive
+//! recomputation. Cases come from the in-repo deterministic PRNG so
+//! every failure is reproducible from the seed constant alone.
 
 use cackle::allocsim::{cost_of_target_history, AllocationSim};
 use cackle::history::SlidingQuantile;
 use cackle::oracle::{level_intervals, oracle_cost, oracle_cost_without_pool};
 use cackle::Env;
 use cackle_cloud::SimDuration;
+use cackle_prng::Pcg32;
 use cackle_workload::demand::percentile_of;
-use proptest::prelude::*;
 
-fn random_walk_demand(steps: &[i8], start: u8, cap: u32) -> Vec<u32> {
+fn random_walk_demand(rng: &mut Pcg32, len: usize, max_step: i8, start: u8, cap: u32) -> Vec<u32> {
     let mut d = start as i64;
-    steps
-        .iter()
-        .map(|&s| {
+    (0..len)
+        .map(|_| {
+            let s = rng.gen_range(-max_step..=max_step);
             d = (d + s as i64).clamp(0, cap as i64);
             d as u32
         })
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The oracle never exceeds the simulated cost of ANY target history —
-    /// online strategies included (tested with zero startup latency, the
-    /// most favourable case for the online side).
-    #[test]
-    fn oracle_is_a_lower_bound(
-        steps in proptest::collection::vec(-3i8..=3, 20..200),
-        start in 0u8..20,
-        flat_target in 0u32..25,
-    ) {
-        let demand = random_walk_demand(&steps, start, 40);
+/// The oracle never exceeds the simulated cost of ANY target history —
+/// online strategies included (tested with zero startup latency, the
+/// most favourable case for the online side).
+#[test]
+fn oracle_is_a_lower_bound() {
+    let mut rng = Pcg32::seed_from_u64(0xC04E_01);
+    for _ in 0..48 {
+        let len = rng.gen_range(20usize..200);
+        let start = rng.gen_range(0u8..20);
+        let flat_target = rng.gen_range(0u32..25);
+        let demand = random_walk_demand(&mut rng, len, 3, start, 40);
         let mut env = Env::default();
         env.pricing.vm_startup = SimDuration::ZERO;
         let oracle = oracle_cost(&demand, &env).total();
         let targets = [
             vec![flat_target; demand.len()],
             demand.clone(),
-            demand.iter().map(|&d| d.saturating_sub(2)).collect::<Vec<_>>(),
+            demand
+                .iter()
+                .map(|&d| d.saturating_sub(2))
+                .collect::<Vec<_>>(),
         ];
         for t in targets {
             let online = cost_of_target_history(&t, &demand, &env);
-            prop_assert!(oracle <= online + 1e-6, "oracle {} > online {}", oracle, online);
+            assert!(oracle <= online + 1e-6, "oracle {oracle} > online {online}");
         }
     }
+}
 
-    /// Removing the pool can never reduce the oracle's cost.
-    #[test]
-    fn pool_never_hurts_oracle(
-        steps in proptest::collection::vec(-4i8..=4, 20..150),
-        start in 0u8..10,
-    ) {
-        let demand = random_walk_demand(&steps, start, 30);
+/// Removing the pool can never reduce the oracle's cost.
+#[test]
+fn pool_never_hurts_oracle() {
+    let mut rng = Pcg32::seed_from_u64(0xC04E_02);
+    for _ in 0..48 {
+        let len = rng.gen_range(20usize..150);
+        let start = rng.gen_range(0u8..10);
+        let demand = random_walk_demand(&mut rng, len, 4, start, 30);
         let env = Env::default();
         let with = oracle_cost(&demand, &env).total();
         let without = oracle_cost_without_pool(&demand, &env).total();
-        prop_assert!(without + 1e-9 >= with);
+        assert!(without + 1e-9 >= with);
     }
+}
 
-    /// Level intervals exactly tile the demand: summing interval lengths
-    /// over all levels recovers the total slot-seconds.
-    #[test]
-    fn level_intervals_tile_demand(
-        steps in proptest::collection::vec(-5i8..=5, 10..150),
-        start in 0u8..15,
-    ) {
-        let demand = random_walk_demand(&steps, start, 50);
+/// Level intervals exactly tile the demand: summing interval lengths
+/// over all levels recovers the total slot-seconds.
+#[test]
+fn level_intervals_tile_demand() {
+    let mut rng = Pcg32::seed_from_u64(0xC04E_03);
+    for _ in 0..48 {
+        let len = rng.gen_range(10usize..150);
+        let start = rng.gen_range(0u8..15);
+        let demand = random_walk_demand(&mut rng, len, 5, start, 50);
         let total: u64 = demand.iter().map(|&d| d as u64).sum();
         let tiled: u64 = level_intervals(&demand)
             .iter()
             .flat_map(|lv| lv.iter())
             .map(|&(s, e)| e - s)
             .sum();
-        prop_assert_eq!(total, tiled);
+        assert_eq!(total, tiled);
     }
+}
 
-    /// Billing conservation: every second of demand is served exactly once
-    /// (by a VM slot or the pool), and VM-billed seconds are at least the
-    /// VM-served seconds.
-    #[test]
-    fn allocation_sim_conserves_work(
-        steps in proptest::collection::vec(-3i8..=3, 10..150),
-        start in 0u8..10,
-        targets in proptest::collection::vec(0u32..20, 150),
-    ) {
-        let demand = random_walk_demand(&steps, start, 25);
+/// Billing conservation: every second of demand is served exactly once
+/// (by a VM slot or the pool), and VM-billed seconds are at least the
+/// VM-served seconds.
+#[test]
+fn allocation_sim_conserves_work() {
+    let mut rng = Pcg32::seed_from_u64(0xC04E_04);
+    for _ in 0..48 {
+        let len = rng.gen_range(10usize..150);
+        let start = rng.gen_range(0u8..10);
+        let demand = random_walk_demand(&mut rng, len, 3, start, 25);
+        let targets: Vec<u32> = (0..150).map(|_| rng.gen_range(0u32..20)).collect();
         let mut env = Env::default();
         env.pricing.vm_startup = SimDuration::from_secs(30);
         let mut sim = AllocationSim::new(&env);
@@ -98,49 +107,55 @@ proptest! {
             sim.step(t, d);
             let pool_this = sim.pool_seconds() - before_pool;
             let vm_this = d as f64 - pool_this;
-            prop_assert!(vm_this >= -1e-9, "negative vm work");
-            prop_assert!(vm_this <= sim.active_count() as f64 + 1e-9);
+            assert!(vm_this >= -1e-9, "negative vm work");
+            assert!(vm_this <= sim.active_count() as f64 + 1e-9);
             vm_served += vm_this;
         }
         sim.finalize();
         // Billed at least the served seconds (idle + min billing on top).
-        prop_assert!(sim.vm_billed_seconds() + 1e-9 >= vm_served);
+        assert!(sim.vm_billed_seconds() + 1e-9 >= vm_served);
         // Total service = demand.
         let total: f64 = demand.iter().map(|&d| d as f64).sum();
-        prop_assert!((vm_served + sim.pool_seconds() - total).abs() < 1e-6);
+        assert!((vm_served + sim.pool_seconds() - total).abs() < 1e-6);
     }
+}
 
-    /// Cost is monotone in prices: doubling the pool price can't reduce a
-    /// strategy's cost.
-    #[test]
-    fn cost_monotone_in_pool_price(
-        steps in proptest::collection::vec(-3i8..=3, 20..120),
-        start in 0u8..10,
-        target in 0u32..15,
-    ) {
-        let demand = random_walk_demand(&steps, start, 25);
+/// Cost is monotone in prices: doubling the pool price can't reduce a
+/// strategy's cost.
+#[test]
+fn cost_monotone_in_pool_price() {
+    let mut rng = Pcg32::seed_from_u64(0xC04E_05);
+    for _ in 0..48 {
+        let len = rng.gen_range(20usize..120);
+        let start = rng.gen_range(0u8..10);
+        let target = rng.gen_range(0u32..15);
+        let demand = random_walk_demand(&mut rng, len, 3, start, 25);
         let cheap = Env::default();
         let pricey = Env::default().with_pool_premium(12.0);
         let targets = vec![target; demand.len()];
         let c1 = cost_of_target_history(&targets, &demand, &cheap);
         let c2 = cost_of_target_history(&targets, &demand, &pricey);
-        prop_assert!(c2 + 1e-9 >= c1);
+        assert!(c2 + 1e-9 >= c1);
     }
+}
 
-    /// The Fenwick-backed sliding quantile agrees with naive nearest-rank
-    /// percentile over the trailing window at every step.
-    #[test]
-    fn sliding_quantile_matches_naive(
-        values in proptest::collection::vec(0u32..5_000, 1..120),
-        window in 1usize..40,
-        pct in 1u8..=100,
-    ) {
+/// The Fenwick-backed sliding quantile agrees with naive nearest-rank
+/// percentile over the trailing window at every step.
+#[test]
+fn sliding_quantile_matches_naive() {
+    let mut rng = Pcg32::seed_from_u64(0xC04E_06);
+    for _ in 0..48 {
+        let values: Vec<u32> = (0..rng.gen_range(1usize..120))
+            .map(|_| rng.gen_range(0u32..5_000))
+            .collect();
+        let window = rng.gen_range(1usize..40);
+        let pct = rng.gen_range(1u8..=100);
         let mut q = SlidingQuantile::new(window);
         for (i, &v) in values.iter().enumerate() {
             q.push(v);
             let lo = (i + 1).saturating_sub(window);
             let naive = percentile_of(&values[lo..=i], pct);
-            prop_assert_eq!(q.percentile(pct), naive, "step {}", i);
+            assert_eq!(q.percentile(pct), naive, "step {i}");
         }
     }
 }

@@ -144,7 +144,10 @@ mod tests {
         let schema = Schema::shared(&[("k", DataType::I64), ("v", DataType::F64)]);
         Batch::new(
             schema,
-            vec![Column::from_i64(vec![1, 2, 3]), Column::from_f64(vec![0.5, 1.5, 2.5])],
+            vec![
+                Column::from_i64(vec![1, 2, 3]),
+                Column::from_f64(vec![0.5, 1.5, 2.5]),
+            ],
         )
     }
 
@@ -161,7 +164,10 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn ragged_columns_rejected() {
         let schema = Schema::shared(&[("a", DataType::I64), ("b", DataType::I64)]);
-        Batch::new(schema, vec![Column::from_i64(vec![1]), Column::from_i64(vec![1, 2])]);
+        Batch::new(
+            schema,
+            vec![Column::from_i64(vec![1]), Column::from_i64(vec![1, 2])],
+        );
     }
 
     #[test]

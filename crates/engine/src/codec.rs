@@ -17,7 +17,68 @@ use crate::batch::Batch;
 use crate::column::{Column, ColumnData};
 use crate::schema::SchemaRef;
 use crate::types::DataType;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Little-endian append helpers over a plain byte vector.
+trait PutLe {
+    fn put_u8(&mut self, v: u8);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_i32_le(&mut self, v: i32);
+    fn put_i64_le(&mut self, v: i64);
+    fn put_f64_le(&mut self, v: f64);
+    fn put_slice(&mut self, v: &[u8]);
+}
+
+impl PutLe for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_i32_le(&mut self, v: i32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_i64_le(&mut self, v: i64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_f64_le(&mut self, v: f64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_slice(&mut self, v: &[u8]) {
+        self.extend_from_slice(v);
+    }
+}
+
+/// A bounds-checked little-endian reader over a byte slice. Panics on
+/// truncated input, matching the decoder's corrupt-payload contract.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        assert!(self.pos + n <= self.data.len(), "truncated shuffle payload");
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        out
+    }
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap_or([0; 4]))
+    }
+    fn get_i32_le(&mut self) -> i32 {
+        i32::from_le_bytes(self.take(4).try_into().unwrap_or([0; 4]))
+    }
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take(8).try_into().unwrap_or([0; 8]))
+    }
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take(8).try_into().unwrap_or([0; 8]))
+    }
+}
 
 fn type_tag(dt: DataType) -> u8 {
     match dt {
@@ -32,7 +93,7 @@ fn type_tag(dt: DataType) -> u8 {
 /// Serialize a batch (schema names are not encoded; the receiving stage
 /// knows its input schema from the plan).
 pub fn encode_batch(batch: &Batch) -> Vec<u8> {
-    let mut buf = BytesMut::with_capacity(batch.byte_size() as usize + 64);
+    let mut buf = Vec::with_capacity(batch.byte_size() as usize + 64);
     buf.put_u32_le(batch.num_columns() as u32);
     buf.put_u32_le(batch.num_rows() as u32);
     for col in &batch.columns {
@@ -90,13 +151,13 @@ pub fn encode_batch(batch: &Batch) -> Vec<u8> {
             }
         }
     }
-    buf.to_vec()
+    buf
 }
 
 /// Deserialize a batch against its known schema. Panics on corrupt input or
 /// schema mismatch (shuffle payloads are engine-internal).
 pub fn decode_batch(data: &[u8], schema: SchemaRef) -> Batch {
-    let mut buf = Bytes::copy_from_slice(data);
+    let mut buf = Reader { data, pos: 0 };
     let ncols = buf.get_u32_le() as usize;
     let nrows = buf.get_u32_le() as usize;
     assert_eq!(ncols, schema.len(), "shuffle payload width != schema");
@@ -121,29 +182,16 @@ pub fn decode_batch(data: &[u8], schema: SchemaRef) -> Batch {
             None
         };
         let data = match expected {
-            DataType::I64 => {
-                ColumnData::I64((0..nrows).map(|_| buf.get_i64_le()).collect())
-            }
-            DataType::F64 => {
-                ColumnData::F64((0..nrows).map(|_| buf.get_f64_le()).collect())
-            }
-            DataType::Date => {
-                ColumnData::Date((0..nrows).map(|_| buf.get_i32_le()).collect())
-            }
-            DataType::Bool => {
-                ColumnData::Bool((0..nrows).map(|_| buf.get_u8() != 0).collect())
-            }
+            DataType::I64 => ColumnData::I64((0..nrows).map(|_| buf.get_i64_le()).collect()),
+            DataType::F64 => ColumnData::F64((0..nrows).map(|_| buf.get_f64_le()).collect()),
+            DataType::Date => ColumnData::Date((0..nrows).map(|_| buf.get_i32_le()).collect()),
+            DataType::Bool => ColumnData::Bool((0..nrows).map(|_| buf.get_u8() != 0).collect()),
             DataType::Str => {
                 let _total = buf.get_u32_le();
-                let lens: Vec<usize> =
-                    (0..nrows).map(|_| buf.get_u32_le() as usize).collect();
+                let lens: Vec<usize> = (0..nrows).map(|_| buf.get_u32_le() as usize).collect();
                 let strs = lens
                     .iter()
-                    .map(|&len| {
-                        let mut s = vec![0u8; len];
-                        buf.copy_to_slice(&mut s);
-                        String::from_utf8(s).expect("utf8 shuffle payload")
-                    })
+                    .map(|&len| String::from_utf8_lossy(buf.take(len)).into_owned())
                     .collect();
                 ColumnData::Str(strs)
             }
@@ -228,8 +276,7 @@ mod tests {
     #[test]
     fn encoded_size_tracks_payload() {
         let schema = Schema::shared(&[("a", DataType::I64)]);
-        let small =
-            encode_batch(&Batch::new(schema.clone(), vec![Column::from_i64(vec![1])]));
+        let small = encode_batch(&Batch::new(schema.clone(), vec![Column::from_i64(vec![1])]));
         let big = encode_batch(&Batch::new(
             schema,
             vec![Column::from_i64((0..1000).collect())],

@@ -61,7 +61,10 @@ pub struct Column {
 impl Column {
     /// A fully valid column from raw data.
     pub fn new(data: ColumnData) -> Self {
-        Column { data, validity: None }
+        Column {
+            data,
+            validity: None,
+        }
     }
 
     /// A column with explicit validity. Panics if lengths differ. A mask of
@@ -69,9 +72,15 @@ impl Column {
     pub fn with_validity(data: ColumnData, validity: Vec<bool>) -> Self {
         assert_eq!(data.len(), validity.len(), "validity length mismatch");
         if validity.iter().all(|&v| v) {
-            Column { data, validity: None }
+            Column {
+                data,
+                validity: None,
+            }
         } else {
-            Column { data, validity: Some(validity) }
+            Column {
+                data,
+                validity: Some(validity),
+            }
         }
     }
 
@@ -118,7 +127,9 @@ impl Column {
 
     /// Number of null rows.
     pub fn null_count(&self) -> usize {
-        self.validity.as_ref().map_or(0, |m| m.iter().filter(|&&v| !v).count())
+        self.validity
+            .as_ref()
+            .map_or(0, |m| m.iter().filter(|&&v| !v).count())
     }
 
     /// The value at row `i` as an owned [`Value`] (Null if invalid).
@@ -140,9 +151,7 @@ impl Column {
         let data = match &self.data {
             ColumnData::I64(v) => ColumnData::I64(indices.iter().map(|&i| v[i]).collect()),
             ColumnData::F64(v) => ColumnData::F64(indices.iter().map(|&i| v[i]).collect()),
-            ColumnData::Str(v) => {
-                ColumnData::Str(indices.iter().map(|&i| v[i].clone()).collect())
-            }
+            ColumnData::Str(v) => ColumnData::Str(indices.iter().map(|&i| v[i].clone()).collect()),
             ColumnData::Date(v) => ColumnData::Date(indices.iter().map(|&i| v[i]).collect()),
             ColumnData::Bool(v) => ColumnData::Bool(indices.iter().map(|&i| v[i]).collect()),
         };
@@ -159,8 +168,12 @@ impl Column {
     /// Keep only rows where `mask` is true. Panics if lengths differ.
     pub fn filter(&self, mask: &[bool]) -> Column {
         assert_eq!(mask.len(), self.len(), "filter mask length mismatch");
-        let indices: Vec<usize> =
-            mask.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i).collect();
+        let indices: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| i)
+            .collect();
         self.take(&indices)
     }
 
@@ -170,7 +183,11 @@ impl Column {
         let dt = parts[0].data_type();
         let total: usize = parts.iter().map(|c| c.len()).sum();
         let any_nulls = parts.iter().any(|c| c.validity.is_some());
-        let mut validity = if any_nulls { Some(Vec::with_capacity(total)) } else { None };
+        let mut validity = if any_nulls {
+            Some(Vec::with_capacity(total))
+        } else {
+            None
+        };
         if let Some(v) = validity.as_mut() {
             for p in parts {
                 match &p.validity {
@@ -216,7 +233,10 @@ impl Column {
         if len == 0 {
             Column::new(data)
         } else {
-            Column { data, validity: Some(vec![false; len]) }
+            Column {
+                data,
+                validity: Some(vec![false; len]),
+            }
         }
     }
 
@@ -289,9 +309,10 @@ mod tests {
 
     #[test]
     fn take_preserves_validity() {
-        let c = Column::with_validity(ColumnData::Str(vec!["a".into(), "b".into()]), vec![
-            false, true,
-        ]);
+        let c = Column::with_validity(
+            ColumnData::Str(vec!["a".into(), "b".into()]),
+            vec![false, true],
+        );
         let t = c.take(&[1, 0, 1]);
         assert_eq!(t.value(0), Value::Str("b".into()));
         assert_eq!(t.value(1), Value::Null);

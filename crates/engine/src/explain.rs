@@ -31,11 +31,18 @@ pub fn explain_expr(e: &Expr, schema: &SchemaRef) -> String {
                 BinOp::And => "AND",
                 BinOp::Or => "OR",
             };
-            format!("({} {o} {})", explain_expr(lhs, schema), explain_expr(rhs, schema))
+            format!(
+                "({} {o} {})",
+                explain_expr(lhs, schema),
+                explain_expr(rhs, schema)
+            )
         }
         Expr::Not(x) => format!("NOT {}", explain_expr(x, schema)),
         Expr::IsNull(x) => format!("{} IS NULL", explain_expr(x, schema)),
-        Expr::Case { branches, else_expr } => {
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
             let mut s = String::from("CASE");
             for (c, r) in branches {
                 write!(
@@ -52,7 +59,11 @@ pub fn explain_expr(e: &Expr, schema: &SchemaRef) -> String {
             s.push_str(" END");
             s
         }
-        Expr::Like { input, pattern, negated } => {
+        Expr::Like {
+            input,
+            pattern,
+            negated,
+        } => {
             let p = match pattern {
                 LikePattern::Prefix(x) => format!("'{x}%'"),
                 LikePattern::Suffix(x) => format!("'%{x}'"),
@@ -71,7 +82,10 @@ pub fn explain_expr(e: &Expr, schema: &SchemaRef) -> String {
         }
         Expr::ExtractYear(x) => format!("EXTRACT(YEAR FROM {})", explain_expr(x, schema)),
         Expr::Substr { input, start, len } => {
-            format!("SUBSTRING({} FROM {start} FOR {len})", explain_expr(input, schema))
+            format!(
+                "SUBSTRING({} FROM {start} FOR {len})",
+                explain_expr(input, schema)
+            )
         }
         Expr::Coalesce(xs) => {
             let items: Vec<String> = xs.iter().map(|x| explain_expr(x, schema)).collect();
@@ -96,7 +110,11 @@ fn agg_name(f: AggFunc) -> &'static str {
 fn explain_node(node: &PlanNode, indent: usize, out: &mut String) {
     let pad = "  ".repeat(indent);
     match node {
-        PlanNode::Scan { table, filter, projection } => {
+        PlanNode::Scan {
+            table,
+            filter,
+            projection,
+        } => {
             let _ = write!(out, "{pad}Scan {table}");
             if let Some(p) = projection {
                 let _ = write!(out, " [{} cols]", p.len());
@@ -120,7 +138,12 @@ fn explain_node(node: &PlanNode, indent: usize, out: &mut String) {
             let _ = writeln!(out, "{pad}Project [{} exprs]", exprs.len());
             explain_node(input, indent + 1, out);
         }
-        PlanNode::HashAggregate { input, group_by, aggs, .. } => {
+        PlanNode::HashAggregate {
+            input,
+            group_by,
+            aggs,
+            ..
+        } => {
             let fns: Vec<&str> = aggs.iter().map(|a| agg_name(a.func)).collect();
             let _ = writeln!(
                 out,
@@ -130,7 +153,12 @@ fn explain_node(node: &PlanNode, indent: usize, out: &mut String) {
             );
             explain_node(input, indent + 1, out);
         }
-        PlanNode::HashJoin { build, probe, join_type, .. } => {
+        PlanNode::HashJoin {
+            build,
+            probe,
+            join_type,
+            ..
+        } => {
             let _ = writeln!(out, "{pad}HashJoin {join_type:?}");
             let _ = writeln!(out, "{pad}  build:");
             explain_node(build, indent + 2, out);
@@ -162,7 +190,11 @@ fn explain_stage(stage: &Stage, out: &mut String) {
         ExchangeMode::Broadcast => "broadcast".to_string(),
         ExchangeMode::Gather => "gather".to_string(),
     };
-    let _ = writeln!(out, "Stage {} ({} tasks, exchange: {exch})", stage.id, stage.tasks);
+    let _ = writeln!(
+        out,
+        "Stage {} ({} tasks, exchange: {exch})",
+        stage.id, stage.tasks
+    );
     explain_node(&stage.root, 1, out);
 }
 
@@ -217,7 +249,10 @@ mod tests {
                         projection: None,
                     },
                     tasks: 4,
-                    exchange: ExchangeMode::Hash { keys: vec![Expr::col(0)], partitions: 2 },
+                    exchange: ExchangeMode::Hash {
+                        keys: vec![Expr::col(0)],
+                        partitions: 2,
+                    },
                     output_schema: schema.clone(),
                 },
                 Stage {

@@ -164,7 +164,11 @@ impl Expr {
     }
 
     fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// `self + rhs`
@@ -230,37 +234,57 @@ impl Expr {
             Expr::Not(e) => {
                 let c = e.eval(batch);
                 let vals = c.bools().iter().map(|b| !b).collect();
-                Column { data: ColumnData::Bool(vals), validity: c.validity.clone() }
+                Column {
+                    data: ColumnData::Bool(vals),
+                    validity: c.validity.clone(),
+                }
             }
             Expr::IsNull(e) => {
                 let c = e.eval(batch);
                 let vals = (0..n).map(|i| !c.is_valid(i)).collect();
                 Column::from_bool(vals)
             }
-            Expr::Case { branches, else_expr } => eval_case(batch, branches, else_expr),
-            Expr::Like { input, pattern, negated } => {
+            Expr::Case {
+                branches,
+                else_expr,
+            } => eval_case(batch, branches, else_expr),
+            Expr::Like {
+                input,
+                pattern,
+                negated,
+            } => {
                 let c = input.eval(batch);
                 let strs = c.strs();
-                let vals =
-                    strs.iter().map(|s| pattern.matches(s) != *negated).collect();
-                Column { data: ColumnData::Bool(vals), validity: c.validity.clone() }
+                let vals = strs
+                    .iter()
+                    .map(|s| pattern.matches(s) != *negated)
+                    .collect();
+                Column {
+                    data: ColumnData::Bool(vals),
+                    validity: c.validity.clone(),
+                }
             }
             Expr::InList { input, list } => {
                 let c = input.eval(batch);
                 let vals = (0..n)
                     .map(|i| {
                         let v = c.value(i);
-                        list.iter().any(|item| {
-                            v.sql_cmp(item) == Some(std::cmp::Ordering::Equal)
-                        })
+                        list.iter()
+                            .any(|item| v.sql_cmp(item) == Some(std::cmp::Ordering::Equal))
                     })
                     .collect();
-                Column { data: ColumnData::Bool(vals), validity: c.validity.clone() }
+                Column {
+                    data: ColumnData::Bool(vals),
+                    validity: c.validity.clone(),
+                }
             }
             Expr::ExtractYear(e) => {
                 let c = e.eval(batch);
                 let vals = c.dates().iter().map(|&d| date::year_of(d) as i64).collect();
-                Column { data: ColumnData::I64(vals), validity: c.validity.clone() }
+                Column {
+                    data: ColumnData::I64(vals),
+                    validity: c.validity.clone(),
+                }
             }
             Expr::Substr { input, start, len } => {
                 let c = input.eval(batch);
@@ -273,7 +297,10 @@ impl Expr {
                         s[from..to].to_string()
                     })
                     .collect();
-                Column { data: ColumnData::Str(vals), validity: c.validity.clone() }
+                Column {
+                    data: ColumnData::Str(vals),
+                    validity: c.validity.clone(),
+                }
             }
             Expr::Coalesce(exprs) => {
                 assert!(!exprs.is_empty(), "COALESCE of nothing");
@@ -285,8 +312,7 @@ impl Expr {
                     }
                     let indices: Vec<usize> = (0..n).collect();
                     let mut data = out.data.clone();
-                    let mut validity =
-                        out.validity.clone().unwrap_or_else(|| vec![true; n]);
+                    let mut validity = out.validity.clone().unwrap_or_else(|| vec![true; n]);
                     for &i in &indices {
                         if !validity[i] && alt.is_valid(i) {
                             copy_row(&mut data, alt, i);
@@ -312,7 +338,11 @@ fn copy_row(dst: &mut ColumnData, src: &Column, i: usize) {
         (ColumnData::Str(d), ColumnData::Str(s)) => d[i] = s[i].clone(),
         (ColumnData::Date(d), ColumnData::Date(s)) => d[i] = s[i],
         (ColumnData::Bool(d), ColumnData::Bool(s)) => d[i] = s[i],
-        (d, s) => panic!("COALESCE type mismatch {} vs {}", d.data_type(), s.data_type()),
+        (d, s) => panic!(
+            "COALESCE type mismatch {} vs {}",
+            d.data_type(),
+            s.data_type()
+        ),
     }
 }
 
@@ -387,13 +417,19 @@ fn eval_arith(op: BinOp, l: &Column, r: &Column) -> Column {
     let data = match (&l.data, &r.data, op) {
         // Division always goes to f64, SQL-decimal style.
         (ColumnData::I64(a), ColumnData::I64(b), BinOp::Div) => ColumnData::F64(
-            a.iter().zip(b).map(|(x, y)| *x as f64 / *y as f64).collect(),
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| *x as f64 / *y as f64)
+                .collect(),
         ),
         (ColumnData::I64(a), ColumnData::I64(b), BinOp::Mod) => {
             ColumnData::I64(a.iter().zip(b).map(|(x, y)| x % y).collect())
         }
         (ColumnData::I64(a), ColumnData::I64(b), _) => ColumnData::I64(
-            a.iter().zip(b).map(|(x, y)| apply_i64(op, *x, *y)).collect(),
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| apply_i64(op, *x, *y))
+                .collect(),
         ),
         (ColumnData::Date(a), ColumnData::I64(b), BinOp::Add) => {
             ColumnData::Date(a.iter().zip(b).map(|(x, y)| x + *y as i32).collect())
@@ -406,7 +442,10 @@ fn eval_arith(op: BinOp, l: &Column, r: &Column) -> Column {
             let af = to_f64_vec(a);
             let bf = to_f64_vec(b);
             ColumnData::F64(
-                af.iter().zip(&bf).map(|(x, y)| apply_f64(op, *x, *y)).collect(),
+                af.iter()
+                    .zip(&bf)
+                    .map(|(x, y)| apply_f64(op, *x, *y))
+                    .collect(),
             )
         }
     };
@@ -553,7 +592,10 @@ fn cast_column(c: &Column, to: DataType) -> Column {
         }
         (from, to) => panic!("unsupported cast {} -> {to}", from.data_type()),
     };
-    Column { data, validity: c.validity.clone() }
+    Column {
+        data,
+        validity: c.validity.clone(),
+    }
 }
 
 /// Evaluate a predicate over a batch and return the keep-mask:
@@ -561,7 +603,9 @@ fn cast_column(c: &Column, to: DataType) -> Column {
 pub fn predicate_mask(pred: &Expr, batch: &Batch) -> Vec<bool> {
     let c = pred.eval(batch);
     let bools = c.bools();
-    (0..batch.num_rows()).map(|i| c.is_valid(i) && bools[i]).collect()
+    (0..batch.num_rows())
+        .map(|i| c.is_valid(i) && bools[i])
+        .collect()
 }
 
 #[cfg(test)]
@@ -685,7 +729,7 @@ mod tests {
         assert!(c.is_valid(1) && !c.bools()[1]);
         assert!(c.is_valid(2) && !c.bools()[2]); // null AND false = false
         assert!(!c.is_valid(3)); // null AND true = null
-        // a OR b: null OR true = true; null OR false = null.
+                                 // a OR b: null OR true = true; null OR false = null.
         let c = Expr::col(0).or(Expr::col(1)).eval(&b);
         assert!(c.is_valid(3) && c.bools()[3]);
         assert!(!c.is_valid(2));
@@ -696,14 +740,22 @@ mod tests {
         let b = batch();
         let y = Expr::ExtractYear(Box::new(Expr::col(3))).eval(&b);
         assert_eq!(y.i64s(), &[1994, 1995, 1996, 1997]);
-        let s = Expr::Substr { input: Box::new(Expr::col(2)), start: 1, len: 5 }.eval(&b);
+        let s = Expr::Substr {
+            input: Box::new(Expr::col(2)),
+            start: 1,
+            len: 5,
+        }
+        .eval(&b);
         assert_eq!(s.strs()[0], "PROMO");
         assert_eq!(s.strs()[3], "ECONO");
 
         let schema = Schema::shared(&[("a", DataType::I64)]);
         let nb = Batch::new(
             schema,
-            vec![Column::with_validity(ColumnData::I64(vec![7, 0]), vec![true, false])],
+            vec![Column::with_validity(
+                ColumnData::I64(vec![7, 0]),
+                vec![true, false],
+            )],
         );
         let c = Expr::Coalesce(vec![Expr::col(0), Expr::lit_i64(-1)]).eval(&nb);
         assert_eq!(c.i64s(), &[7, -1]);
@@ -715,7 +767,10 @@ mod tests {
         let schema = Schema::shared(&[("a", DataType::I64)]);
         let b = Batch::new(
             schema,
-            vec![Column::with_validity(ColumnData::I64(vec![1, 2]), vec![false, true])],
+            vec![Column::with_validity(
+                ColumnData::I64(vec![1, 2]),
+                vec![false, true],
+            )],
         );
         let c = Expr::col(0).add(Expr::lit_i64(1)).eval(&b);
         assert!(!c.is_valid(0));
@@ -729,7 +784,11 @@ mod tests {
     #[test]
     fn cast_widening() {
         let b = batch();
-        let c = Expr::Cast { input: Box::new(Expr::col(0)), to: DataType::F64 }.eval(&b);
+        let c = Expr::Cast {
+            input: Box::new(Expr::col(0)),
+            to: DataType::F64,
+        }
+        .eval(&b);
         assert_eq!(c.f64s(), &[1.0, 2.0, 3.0, 4.0]);
     }
 }

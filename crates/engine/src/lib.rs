@@ -36,8 +36,8 @@
 
 pub mod batch;
 pub mod codec;
-pub mod explain;
 pub mod column;
+pub mod explain;
 pub mod expr;
 pub mod ops;
 pub mod plan;

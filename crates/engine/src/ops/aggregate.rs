@@ -69,11 +69,23 @@ impl AggState {
     fn new(func: AggFunc, input_type: DataType) -> AggState {
         match func {
             AggFunc::Sum => match input_type {
-                DataType::I64 => AggState::SumI64 { sum: 0, seen: false },
-                _ => AggState::SumF64 { sum: 0.0, seen: false },
+                DataType::I64 => AggState::SumI64 {
+                    sum: 0,
+                    seen: false,
+                },
+                _ => AggState::SumF64 {
+                    sum: 0.0,
+                    seen: false,
+                },
             },
-            AggFunc::Min => AggState::MinMax { best: None, is_min: true },
-            AggFunc::Max => AggState::MinMax { best: None, is_min: false },
+            AggFunc::Min => AggState::MinMax {
+                best: None,
+                is_min: true,
+            },
+            AggFunc::Max => AggState::MinMax {
+                best: None,
+                is_min: false,
+            },
             AggFunc::Count | AggFunc::CountStar => AggState::Count(0),
             AggFunc::Avg => AggState::Avg { sum: 0.0, count: 0 },
             AggFunc::CountDistinct => AggState::Distinct(HashSet::new()),
@@ -184,7 +196,11 @@ pub fn hash_aggregate(
     aggs: &[AggExpr],
     output: SchemaRef,
 ) -> Batch {
-    assert_eq!(output.len(), group_by.len() + aggs.len(), "aggregate schema width");
+    assert_eq!(
+        output.len(),
+        group_by.len() + aggs.len(),
+        "aggregate schema width"
+    );
     // group key bytes -> (group ordinal)
     let mut groups: HashMap<Vec<u8>, usize> = HashMap::new();
     let mut group_rows: Vec<(usize, usize)> = Vec::new(); // (batch, row) exemplar per group

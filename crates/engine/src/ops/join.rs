@@ -53,7 +53,10 @@ impl JoinHashTable {
                     continue 'rows;
                 }
             }
-            index.entry(encode_row(&key_refs, row)).or_default().push(row as u32);
+            index
+                .entry(encode_row(&key_refs, row))
+                .or_default()
+                .push(row as u32);
         }
         JoinHashTable { index, build }
     }
@@ -82,8 +85,7 @@ impl JoinHashTable {
                 let mask: Vec<bool> = (0..n)
                     .map(|row| {
                         let valid = key_refs.iter().all(|k| k.is_valid(row));
-                        let matched =
-                            valid && self.index.contains_key(&encode_row(&key_refs, row));
+                        let matched = valid && self.index.contains_key(&encode_row(&key_refs, row));
                         matched == want_match
                     })
                     .collect();
@@ -314,8 +316,7 @@ mod tests {
     #[test]
     fn duplicate_build_keys_multiply() {
         let schema = Schema::shared(&[("k", DataType::I64)]);
-        let build =
-            Batch::new(schema.clone(), vec![Column::from_i64(vec![5, 5, 5])]);
+        let build = Batch::new(schema.clone(), vec![Column::from_i64(vec![5, 5, 5])]);
         let probe = Batch::new(schema.clone(), vec![Column::from_i64(vec![5, 6])]);
         let out = Schema::shared(&[("pk", DataType::I64), ("bk", DataType::I64)]);
         let res = hash_join(

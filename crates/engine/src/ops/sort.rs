@@ -18,11 +18,17 @@ pub struct SortKey {
 impl SortKey {
     /// Ascending key.
     pub fn asc(expr: Expr) -> Self {
-        SortKey { expr, descending: false }
+        SortKey {
+            expr,
+            descending: false,
+        }
     }
     /// Descending key.
     pub fn desc(expr: Expr) -> Self {
-        SortKey { expr, descending: true }
+        SortKey {
+            expr,
+            descending: true,
+        }
     }
 }
 
@@ -45,12 +51,7 @@ fn cmp_values(a: &Value, b: &Value, descending: bool) -> Ordering {
 /// Sort the concatenation of `batches` by `keys`, optionally keeping only
 /// the first `limit` rows. The sort is stable, so ties preserve input order
 /// (deterministic output for deterministic input).
-pub fn sort(
-    schema: SchemaRef,
-    batches: &[Batch],
-    keys: &[SortKey],
-    limit: Option<usize>,
-) -> Batch {
+pub fn sort(schema: SchemaRef, batches: &[Batch], keys: &[SortKey], limit: Option<usize>) -> Batch {
     let all = Batch::concat(schema, batches);
     let n = all.num_rows();
     let key_cols: Vec<_> = keys.iter().map(|k| k.expr.eval(&all)).collect();

@@ -206,7 +206,10 @@ impl StageDag {
     /// backwards (topological order), only the last stage gathers, and
     /// hash-exchange partition counts equal their consumers' task counts.
     pub fn new(name: impl Into<String>, stages: Vec<Stage>) -> Self {
-        let dag = StageDag { name: name.into(), stages };
+        let dag = StageDag {
+            name: name.into(),
+            stages,
+        };
         dag.validate();
         dag
     }
@@ -292,9 +295,7 @@ impl StageDag {
             PlanNode::HashJoin { build, probe, .. } => {
                 Self::reads_via_shuffle(build, stage) || Self::reads_via_shuffle(probe, stage)
             }
-            PlanNode::Union { inputs } => {
-                inputs.iter().any(|i| Self::reads_via_shuffle(i, stage))
-            }
+            PlanNode::Union { inputs } => inputs.iter().any(|i| Self::reads_via_shuffle(i, stage)),
         }
     }
 
@@ -327,9 +328,16 @@ mod tests {
     fn scan_stage(id: StageId, tasks: u32, partitions: u32) -> Stage {
         Stage {
             id,
-            root: PlanNode::Scan { table: "t".into(), filter: None, projection: None },
+            root: PlanNode::Scan {
+                table: "t".into(),
+                filter: None,
+                projection: None,
+            },
             tasks,
-            exchange: ExchangeMode::Hash { keys: vec![Expr::col(0)], partitions },
+            exchange: ExchangeMode::Hash {
+                keys: vec![Expr::col(0)],
+                partitions,
+            },
             output_schema: Schema::shared(&[("k", DataType::I64)]),
         }
     }
@@ -366,7 +374,16 @@ mod tests {
         g.exchange = ExchangeMode::Gather;
         let s = scan_stage(1, 4, 2);
         // gather depends on stage 1 which comes later.
-        StageDag::new("t", vec![g, Stage { exchange: ExchangeMode::Gather, ..s }]);
+        StageDag::new(
+            "t",
+            vec![
+                g,
+                Stage {
+                    exchange: ExchangeMode::Gather,
+                    ..s
+                },
+            ],
+        );
     }
 
     #[test]

@@ -119,6 +119,9 @@ mod tests {
             counts[p as usize] += 1;
         }
         // Reasonable spread: no partition takes more than half.
-        assert!(counts.iter().all(|&c| c > 0 && c < 500), "skewed: {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c > 0 && c < 500),
+            "skewed: {counts:?}"
+        );
     }
 }

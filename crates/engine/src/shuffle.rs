@@ -5,12 +5,12 @@
 //! single-process runs; the Cackle core crate provides the hybrid
 //! shuffle-node + object-store transport with capacity fallback (§7.1.3).
 
-use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Identifies one shuffle partition of one producing stage of one query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Ordered so `BTreeMap`-backed transports iterate deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ShuffleKey {
     /// Query id (unique per execution).
     pub query: u64,
@@ -55,7 +55,7 @@ pub type ShuffleChunk = (u32, Arc<[u8]>);
 /// Unbounded in-memory shuffle for tests and engine-only execution.
 #[derive(Debug, Default)]
 pub struct MemoryShuffle {
-    data: RwLock<HashMap<ShuffleKey, Vec<ShuffleChunk>>>,
+    data: RwLock<BTreeMap<ShuffleKey, Vec<ShuffleChunk>>>,
     stats: Mutex<ShuffleStats>,
 }
 
@@ -65,10 +65,25 @@ impl MemoryShuffle {
         Self::default()
     }
 
+    // Poison-forgiving lock access: a panicking task must not wedge the
+    // transport for the other executor threads.
+    fn data_read(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<ShuffleKey, Vec<ShuffleChunk>>> {
+        self.data.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn data_write(
+        &self,
+    ) -> std::sync::RwLockWriteGuard<'_, BTreeMap<ShuffleKey, Vec<ShuffleChunk>>> {
+        self.data.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn stats_lock(&self) -> std::sync::MutexGuard<'_, ShuffleStats> {
+        self.stats.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Bytes currently held.
     pub fn resident_bytes(&self) -> u64 {
-        self.data
-            .read()
+        self.data_read()
             .values()
             .flat_map(|v| v.iter())
             .map(|(_, d)| d.len() as u64)
@@ -79,30 +94,32 @@ impl MemoryShuffle {
 impl ShuffleTransport for MemoryShuffle {
     fn write(&self, key: ShuffleKey, producer_task: u32, data: Vec<u8>) {
         let len = data.len() as u64;
-        self.data.write().entry(key).or_default().push((producer_task, data.into()));
-        let mut s = self.stats.lock();
+        self.data_write()
+            .entry(key)
+            .or_default()
+            .push((producer_task, data.into()));
+        let mut s = self.stats_lock();
         s.writes += 1;
         s.bytes_written += len;
     }
 
     fn read(&self, key: ShuffleKey) -> Vec<Arc<[u8]>> {
-        let guard = self.data.read();
-        let mut chunks: Vec<ShuffleChunk> =
-            guard.get(&key).cloned().unwrap_or_default();
+        let guard = self.data_read();
+        let mut chunks: Vec<ShuffleChunk> = guard.get(&key).cloned().unwrap_or_default();
         drop(guard);
         chunks.sort_by_key(|(t, _)| *t);
-        let mut s = self.stats.lock();
+        let mut s = self.stats_lock();
         s.reads += chunks.len() as u64;
         s.bytes_read += chunks.iter().map(|(_, d)| d.len() as u64).sum::<u64>();
         chunks.into_iter().map(|(_, d)| d).collect()
     }
 
     fn delete_query(&self, query: u64) {
-        self.data.write().retain(|k, _| k.query != query);
+        self.data_write().retain(|k, _| k.query != query);
     }
 
     fn stats(&self) -> ShuffleStats {
-        *self.stats.lock()
+        *self.stats_lock()
     }
 }
 
@@ -113,7 +130,11 @@ mod tests {
     #[test]
     fn chunks_return_in_producer_order() {
         let t = MemoryShuffle::new();
-        let key = ShuffleKey { query: 1, stage: 0, partition: 3 };
+        let key = ShuffleKey {
+            query: 1,
+            stage: 0,
+            partition: 3,
+        };
         t.write(key, 2, vec![2]);
         t.write(key, 0, vec![0]);
         t.write(key, 1, vec![1]);
@@ -127,28 +148,76 @@ mod tests {
     #[test]
     fn reads_of_missing_partitions_are_empty() {
         let t = MemoryShuffle::new();
-        assert!(t.read(ShuffleKey { query: 9, stage: 0, partition: 0 }).is_empty());
+        assert!(t
+            .read(ShuffleKey {
+                query: 9,
+                stage: 0,
+                partition: 0
+            })
+            .is_empty());
     }
 
     #[test]
     fn delete_query_scopes_by_query() {
         let t = MemoryShuffle::new();
-        t.write(ShuffleKey { query: 1, stage: 0, partition: 0 }, 0, vec![1; 10]);
-        t.write(ShuffleKey { query: 2, stage: 0, partition: 0 }, 0, vec![2; 20]);
+        t.write(
+            ShuffleKey {
+                query: 1,
+                stage: 0,
+                partition: 0,
+            },
+            0,
+            vec![1; 10],
+        );
+        t.write(
+            ShuffleKey {
+                query: 2,
+                stage: 0,
+                partition: 0,
+            },
+            0,
+            vec![2; 20],
+        );
         assert_eq!(t.resident_bytes(), 30);
         t.delete_query(1);
         assert_eq!(t.resident_bytes(), 20);
-        assert!(t.read(ShuffleKey { query: 1, stage: 0, partition: 0 }).is_empty());
-        assert_eq!(t.read(ShuffleKey { query: 2, stage: 0, partition: 0 }).len(), 1);
+        assert!(t
+            .read(ShuffleKey {
+                query: 1,
+                stage: 0,
+                partition: 0
+            })
+            .is_empty());
+        assert_eq!(
+            t.read(ShuffleKey {
+                query: 2,
+                stage: 0,
+                partition: 0
+            })
+            .len(),
+            1
+        );
     }
 
     #[test]
     fn stats_track_traffic() {
         let t = MemoryShuffle::new();
-        let key = ShuffleKey { query: 1, stage: 0, partition: 0 };
+        let key = ShuffleKey {
+            query: 1,
+            stage: 0,
+            partition: 0,
+        };
         t.write(key, 0, vec![0; 100]);
         t.read(key);
         let s = t.stats();
-        assert_eq!(s, ShuffleStats { writes: 1, reads: 1, bytes_written: 100, bytes_read: 100 });
+        assert_eq!(
+            s,
+            ShuffleStats {
+                writes: 1,
+                reads: 1,
+                bytes_written: 100,
+                bytes_read: 100
+            }
+        );
     }
 }

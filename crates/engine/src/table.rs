@@ -6,9 +6,8 @@
 
 use crate::batch::Batch;
 use crate::schema::SchemaRef;
-use parking_lot::RwLock;
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// A named, partitioned, immutable table.
 #[derive(Debug, Clone)]
@@ -27,7 +26,11 @@ impl Table {
         for (i, p) in partitions.iter().enumerate() {
             assert_eq!(p.schema, schema, "partition {i} schema mismatch");
         }
-        Table { name: name.into(), schema, partitions }
+        Table {
+            name: name.into(),
+            schema,
+            partitions,
+        }
     }
 
     /// Total row count.
@@ -55,7 +58,7 @@ impl Table {
 /// A shared, thread-safe name → table map.
 #[derive(Debug, Default)]
 pub struct Catalog {
-    tables: RwLock<HashMap<String, Arc<Table>>>,
+    tables: RwLock<BTreeMap<String, Arc<Table>>>,
 }
 
 impl Catalog {
@@ -64,31 +67,39 @@ impl Catalog {
         Self::default()
     }
 
+    fn read(&self) -> RwLockReadGuard<'_, BTreeMap<String, Arc<Table>>> {
+        self.tables.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, BTreeMap<String, Arc<Table>>> {
+        self.tables.write().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Register (or replace) a table.
     pub fn register(&self, table: Table) {
-        self.tables.write().insert(table.name.clone(), Arc::new(table));
+        self.write().insert(table.name.clone(), Arc::new(table));
+    }
+
+    /// Look up a table if it is registered.
+    pub fn try_get(&self, name: &str) -> Option<Arc<Table>> {
+        self.read().get(name).cloned()
     }
 
     /// Look up a table, panicking with a clear message if missing (plans
-    /// reference tables statically).
+    /// reference tables statically, so a miss is a plan-construction bug).
     pub fn get(&self, name: &str) -> Arc<Table> {
-        self.tables
-            .read()
-            .get(name)
-            .cloned()
-            .unwrap_or_else(|| panic!("table '{name}' not registered"))
+        self.try_get(name)
+            .unwrap_or_else(|| panic!("table '{name}' not registered")) // cackle-lint: allow(L5)
     }
 
     /// Does the catalog contain `name`?
     pub fn contains(&self, name: &str) -> bool {
-        self.tables.read().contains_key(name)
+        self.read().contains_key(name)
     }
 
-    /// Registered table names, sorted.
+    /// Registered table names, sorted (`BTreeMap` keys are ordered).
     pub fn table_names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.tables.read().keys().cloned().collect();
-        v.sort();
-        v
+        self.read().keys().cloned().collect()
     }
 }
 
@@ -115,7 +126,7 @@ mod tests {
         let t1 = t.partitions_for_task(1, 2);
         assert_eq!(t0.len(), 3); // partitions 0, 2, 4
         assert_eq!(t1.len(), 2); // partitions 1, 3
-        // More tasks than partitions: extra tasks get nothing.
+                                 // More tasks than partitions: extra tasks get nothing.
         assert!(t.partitions_for_task(7, 8).is_empty());
     }
 

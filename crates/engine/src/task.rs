@@ -68,7 +68,11 @@ pub fn execute_task(ctx: &TaskContext<'_>) -> TaskResult {
             result.shuffle_bytes_written += data.len() as u64;
             result.shuffle_writes += 1;
             ctx.shuffle.write(
-                ShuffleKey { query: ctx.query_id, stage: ctx.stage_id as u32, partition: 0 },
+                ShuffleKey {
+                    query: ctx.query_id,
+                    stage: ctx.stage_id as u32,
+                    partition: 0,
+                },
                 ctx.task,
                 data,
             );
@@ -117,15 +121,19 @@ fn read_stage(
         stage: upstream as u32,
         partition,
     });
-    let batches: Vec<Batch> =
-        chunks.iter().map(|c| decode_batch(c, schema.clone())).collect();
+    let batches: Vec<Batch> = chunks
+        .iter()
+        .map(|c| decode_batch(c, schema.clone()))
+        .collect();
     result.rows_in += batches.iter().map(|b| b.num_rows() as u64).sum::<u64>();
     batches
 }
 
 fn node_schema(ctx: &TaskContext<'_>, node: &PlanNode) -> SchemaRef {
     match node {
-        PlanNode::Scan { table, projection, .. } => {
+        PlanNode::Scan {
+            table, projection, ..
+        } => {
             let t = ctx.catalog.get(table);
             match projection {
                 Some(idx) => Arc::new(t.schema.project(idx)),
@@ -135,9 +143,7 @@ fn node_schema(ctx: &TaskContext<'_>, node: &PlanNode) -> SchemaRef {
         PlanNode::ShuffleRead { stage } | PlanNode::BroadcastRead { stage } => {
             ctx.dag.stages[*stage].output_schema.clone()
         }
-        PlanNode::Filter { input, .. } | PlanNode::Sort { input, .. } => {
-            node_schema(ctx, input)
-        }
+        PlanNode::Filter { input, .. } | PlanNode::Sort { input, .. } => node_schema(ctx, input),
         PlanNode::Project { schema, .. }
         | PlanNode::HashAggregate { schema, .. }
         | PlanNode::HashJoin { schema, .. } => schema.clone(),
@@ -147,7 +153,11 @@ fn node_schema(ctx: &TaskContext<'_>, node: &PlanNode) -> SchemaRef {
 
 fn exec_node(ctx: &TaskContext<'_>, node: &PlanNode, result: &mut TaskResult) -> Vec<Batch> {
     match node {
-        PlanNode::Scan { table, filter, projection } => {
+        PlanNode::Scan {
+            table,
+            filter,
+            projection,
+        } => {
             let t = ctx.catalog.get(table);
             let stage = &ctx.dag.stages[ctx.stage_id];
             let parts = t.partitions_for_task(ctx.task, stage.tasks);
@@ -188,7 +198,11 @@ fn exec_node(ctx: &TaskContext<'_>, node: &PlanNode, result: &mut TaskResult) ->
                 .filter(|b| b.num_rows() > 0)
                 .collect()
         }
-        PlanNode::Project { input, exprs, schema } => {
+        PlanNode::Project {
+            input,
+            exprs,
+            schema,
+        } => {
             let batches = exec_node(ctx, input, result);
             batches
                 .into_iter()
@@ -198,11 +212,23 @@ fn exec_node(ctx: &TaskContext<'_>, node: &PlanNode, result: &mut TaskResult) ->
                 })
                 .collect()
         }
-        PlanNode::HashAggregate { input, group_by, aggs, schema } => {
+        PlanNode::HashAggregate {
+            input,
+            group_by,
+            aggs,
+            schema,
+        } => {
             let batches = exec_node(ctx, input, result);
             vec![hash_aggregate(&batches, group_by, aggs, schema.clone())]
         }
-        PlanNode::HashJoin { build, probe, build_keys, probe_keys, join_type, schema } => {
+        PlanNode::HashJoin {
+            build,
+            probe,
+            build_keys,
+            probe_keys,
+            join_type,
+            schema,
+        } => {
             let build_schema = node_schema(ctx, build);
             let build_batches = exec_node(ctx, build, result);
             let probe_batches = exec_node(ctx, probe, result);
@@ -268,13 +294,15 @@ pub fn execute_query(
 
 /// Pretty-print a result batch as an aligned table (examples + debugging).
 pub fn format_batch(batch: &Batch, max_rows: usize) -> String {
-    let mut widths: Vec<usize> =
-        batch.schema.fields.iter().map(|f| f.name.len()).collect();
+    let mut widths: Vec<usize> = batch.schema.fields.iter().map(|f| f.name.len()).collect();
     let nrows = batch.num_rows().min(max_rows);
     let mut rows: Vec<Vec<String>> = Vec::with_capacity(nrows);
     for i in 0..nrows {
-        let row: Vec<String> =
-            batch.columns.iter().map(|c| c.value(i).to_string()).collect();
+        let row: Vec<String> = batch
+            .columns
+            .iter()
+            .map(|c| c.value(i).to_string())
+            .collect();
         for (w, cell) in widths.iter_mut().zip(&row) {
             *w = (*w).max(cell.len());
         }
@@ -303,8 +331,8 @@ mod tests {
     use crate::expr::Expr;
     use crate::ops::aggregate::{AggExpr, AggFunc};
     use crate::ops::join::JoinType;
-    use crate::schema::Schema;
     use crate::ops::sort::SortKey;
+    use crate::schema::Schema;
     use crate::shuffle::MemoryShuffle;
     use crate::table::Table;
     use crate::types::DataType;
@@ -338,10 +366,8 @@ mod tests {
     /// Two-phase aggregation plan: per-customer SUM(o_total) via partial
     /// aggregation, hash exchange on customer, final aggregation, gather.
     fn agg_plan() -> StageDag {
-        let partial_schema =
-            Schema::shared(&[("o_cust", DataType::I64), ("psum", DataType::F64)]);
-        let final_schema =
-            Schema::shared(&[("o_cust", DataType::I64), ("total", DataType::F64)]);
+        let partial_schema = Schema::shared(&[("o_cust", DataType::I64), ("psum", DataType::F64)]);
+        let final_schema = Schema::shared(&[("o_cust", DataType::I64), ("total", DataType::F64)]);
         StageDag::new(
             "sum_by_customer",
             vec![
@@ -358,7 +384,10 @@ mod tests {
                         schema: partial_schema.clone(),
                     },
                     tasks: 4,
-                    exchange: ExchangeMode::Hash { keys: vec![Expr::col(0)], partitions: 2 },
+                    exchange: ExchangeMode::Hash {
+                        keys: vec![Expr::col(0)],
+                        partitions: 2,
+                    },
                     output_schema: partial_schema,
                 },
                 crate::plan::Stage {
@@ -411,8 +440,7 @@ mod tests {
         // partitioned-join plan must produce identical results.
         let cat = catalog();
         // Small dimension table: 10 customers.
-        let dim_schema =
-            Schema::shared(&[("c_key", DataType::I64), ("c_name", DataType::Str)]);
+        let dim_schema = Schema::shared(&[("c_key", DataType::I64), ("c_name", DataType::Str)]);
         let dim = Batch::new(
             dim_schema.clone(),
             vec![
@@ -485,7 +513,10 @@ mod tests {
                         projection: None,
                     },
                     tasks: 1,
-                    exchange: ExchangeMode::Hash { keys: vec![Expr::col(0)], partitions: 3 },
+                    exchange: ExchangeMode::Hash {
+                        keys: vec![Expr::col(0)],
+                        partitions: 3,
+                    },
                     output_schema: dim_schema,
                 },
                 crate::plan::Stage {
@@ -496,7 +527,10 @@ mod tests {
                         projection: None,
                     },
                     tasks: 2,
-                    exchange: ExchangeMode::Hash { keys: vec![Expr::col(1)], partitions: 3 },
+                    exchange: ExchangeMode::Hash {
+                        keys: vec![Expr::col(1)],
+                        partitions: 3,
+                    },
                     output_schema: orders_schema,
                 },
                 crate::plan::Stage {
@@ -510,7 +544,10 @@ mod tests {
                         schema: join_schema.clone(),
                     },
                     tasks: 3,
-                    exchange: ExchangeMode::Hash { keys: vec![Expr::col(0)], partitions: 1 },
+                    exchange: ExchangeMode::Hash {
+                        keys: vec![Expr::col(0)],
+                        partitions: 1,
+                    },
                     output_schema: join_schema.clone(),
                 },
                 crate::plan::Stage {

@@ -159,7 +159,10 @@ pub mod date {
     /// Convert a calendar date to days since 1970-01-01.
     pub fn from_ymd(year: i32, month: u32, day: u32) -> i32 {
         assert!((1..=12).contains(&month), "bad month {month}");
-        assert!(day >= 1 && (day as i32) <= days_in_month(year, month), "bad day {day}");
+        assert!(
+            day >= 1 && (day as i32) <= days_in_month(year, month),
+            "bad day {day}"
+        );
         let mut days: i32 = 0;
         if year >= 1970 {
             for y in 1970..year {
@@ -278,7 +281,10 @@ mod tests {
             Value::Str("b".into()).sql_cmp(&Value::Str("a".into())),
             Some(Ordering::Greater)
         );
-        assert_eq!(Value::I64(2).sql_cmp(&Value::F64(2.0)), Some(Ordering::Equal));
+        assert_eq!(
+            Value::I64(2).sql_cmp(&Value::F64(2.0)),
+            Some(Ordering::Equal)
+        );
     }
 
     #[test]

@@ -29,7 +29,10 @@ fn two_stage_sum_dag(table: &str, tasks: u32, parts: u32) -> StageDag {
                     schema: out.clone(),
                 },
                 tasks,
-                exchange: ExchangeMode::Hash { keys: vec![Expr::col(0)], partitions: parts },
+                exchange: ExchangeMode::Hash {
+                    keys: vec![Expr::col(0)],
+                    partitions: parts,
+                },
                 output_schema: out.clone(),
             },
             Stage {
@@ -64,7 +67,10 @@ fn all_rows_filtered_is_empty_not_panic() {
     let cat = catalog_with(
         "t",
         schema.clone(),
-        vec![Batch::new(schema.clone(), vec![Column::from_i64(vec![1, 2, 3])])],
+        vec![Batch::new(
+            schema.clone(),
+            vec![Column::from_i64(vec![1, 2, 3])],
+        )],
     );
     let dag = StageDag::new(
         "none",
@@ -167,11 +173,18 @@ fn broadcast_of_empty_build_side_yields_empty_join() {
     let dim_schema = Schema::shared(&[("k", DataType::I64)]);
     let fact_schema = Schema::shared(&[("k", DataType::I64)]);
     let cat = Catalog::new();
-    cat.register(Table::new("dim", dim_schema.clone(), vec![Batch::empty(dim_schema.clone())]));
+    cat.register(Table::new(
+        "dim",
+        dim_schema.clone(),
+        vec![Batch::empty(dim_schema.clone())],
+    ));
     cat.register(Table::new(
         "fact",
         fact_schema.clone(),
-        vec![Batch::new(fact_schema.clone(), vec![Column::from_i64(vec![1, 2, 3])])],
+        vec![Batch::new(
+            fact_schema.clone(),
+            vec![Column::from_i64(vec![1, 2, 3])],
+        )],
     ));
     let out = Schema::shared(&[("fk", DataType::I64), ("dk", DataType::I64)]);
     let dag = StageDag::new(
@@ -179,7 +192,11 @@ fn broadcast_of_empty_build_side_yields_empty_join() {
         vec![
             Stage {
                 id: 0,
-                root: PlanNode::Scan { table: "dim".into(), filter: None, projection: None },
+                root: PlanNode::Scan {
+                    table: "dim".into(),
+                    filter: None,
+                    projection: None,
+                },
                 tasks: 1,
                 exchange: ExchangeMode::Broadcast,
                 output_schema: dim_schema,

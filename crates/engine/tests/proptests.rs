@@ -1,103 +1,133 @@
-//! Property-based tests on the engine's core data structures and
+//! Randomized property tests on the engine's core data structures and
 //! invariants: codec roundtrips, row-key injectivity, filter/take/sort
 //! algebra, and join semantics against a naive reference.
+//!
+//! Cases are generated from the in-repo deterministic PRNG so every
+//! failure is reproducible from the seed constant alone.
 
 use cackle_engine::codec::{decode_batch, encode_batch};
 use cackle_engine::ops::join::{hash_join, JoinType};
 use cackle_engine::ops::sort::{sort, SortKey};
 use cackle_engine::prelude::*;
 use cackle_engine::rowkey::encode_row;
-use proptest::prelude::*;
-use std::collections::HashMap;
+use cackle_prng::Pcg32;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
-/// Strategy: a column of the given length with arbitrary type and values,
+/// A random column of the given length with arbitrary type and values,
 /// possibly with a validity mask.
-fn arb_column(len: usize) -> impl Strategy<Value = Column> {
-    let values = prop_oneof![
-        proptest::collection::vec(any::<i64>(), len).prop_map(ColumnData::I64),
-        proptest::collection::vec(-1.0e12f64..1.0e12, len).prop_map(ColumnData::F64),
-        proptest::collection::vec("[a-z]{0,12}", len).prop_map(ColumnData::Str),
-        proptest::collection::vec(-30_000i32..30_000, len).prop_map(ColumnData::Date),
-        proptest::collection::vec(any::<bool>(), len).prop_map(ColumnData::Bool),
-    ];
-    (values, proptest::collection::vec(any::<bool>(), len), any::<bool>()).prop_map(
-        |(data, mask, use_mask)| {
-            if use_mask {
-                Column::with_validity(data, mask)
-            } else {
-                Column::new(data)
-            }
-        },
-    )
-}
-
-fn arb_batch() -> impl Strategy<Value = Batch> {
-    (1usize..40, 1usize..5).prop_flat_map(|(rows, cols)| {
-        proptest::collection::vec(arb_column(rows), cols).prop_map(move |columns| {
-            let fields = columns
-                .iter()
-                .enumerate()
-                .map(|(i, c)| Field::new(format!("c{i}"), c.data_type()))
-                .collect();
-            Batch::new(Arc::new(Schema::new(fields)), columns)
-        })
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// encode → decode is the identity for every batch.
-    #[test]
-    fn codec_roundtrips(batch in arb_batch()) {
-        let decoded = decode_batch(&encode_batch(&batch), batch.schema.clone());
-        prop_assert_eq!(decoded, batch);
+fn gen_column(rng: &mut Pcg32, len: usize) -> Column {
+    let data = match rng.gen_range(0u32..5) {
+        0 => ColumnData::I64((0..len).map(|_| rng.next_u64() as i64).collect()),
+        1 => ColumnData::F64((0..len).map(|_| rng.gen_range(-1.0e12..1.0e12)).collect()),
+        2 => ColumnData::Str(
+            (0..len)
+                .map(|_| {
+                    let n = rng.gen_range(0usize..13);
+                    (0..n)
+                        .map(|_| (b'a' + rng.gen_range(0u8..26)) as char)
+                        .collect()
+                })
+                .collect(),
+        ),
+        3 => ColumnData::Date(
+            (0..len)
+                .map(|_| rng.gen_range(-30_000i32..30_000))
+                .collect(),
+        ),
+        _ => ColumnData::Bool((0..len).map(|_| rng.gen_bool(0.5)).collect()),
+    };
+    if rng.gen_bool(0.5) {
+        let mask: Vec<bool> = (0..len).map(|_| rng.gen_bool(0.5)).collect();
+        Column::with_validity(data, mask)
+    } else {
+        Column::new(data)
     }
+}
 
-    /// Row-key encoding is injective over rows: two rows encode equal iff
-    /// their values (including null positions) are equal.
-    #[test]
-    fn rowkey_injective(batch in arb_batch()) {
+/// A random batch: 1..40 rows, 1..5 columns named `c{i}`.
+fn gen_batch(rng: &mut Pcg32) -> Batch {
+    let rows = rng.gen_range(1usize..40);
+    let cols = rng.gen_range(1usize..5);
+    let columns: Vec<Column> = (0..cols).map(|_| gen_column(rng, rows)).collect();
+    let fields = columns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| Field::new(format!("c{i}"), c.data_type()))
+        .collect();
+    Batch::new(Arc::new(Schema::new(fields)), columns)
+}
+
+/// encode → decode is the identity for every batch.
+#[test]
+fn codec_roundtrips() {
+    let mut rng = Pcg32::seed_from_u64(0xE061_01);
+    for _ in 0..64 {
+        let batch = gen_batch(&mut rng);
+        let decoded = decode_batch(&encode_batch(&batch), batch.schema.clone());
+        assert_eq!(decoded, batch);
+    }
+}
+
+/// Row-key encoding is injective over rows: two rows encode equal iff
+/// their values (including null positions) are equal.
+#[test]
+fn rowkey_injective() {
+    let mut rng = Pcg32::seed_from_u64(0xE061_02);
+    for _ in 0..64 {
+        let batch = gen_batch(&mut rng);
         let cols: Vec<&Column> = batch.columns.iter().collect();
         let n = batch.num_rows();
         for i in 0..n {
             for j in (i + 1)..n {
                 let same_values = batch.row(i) == batch.row(j);
                 let same_key = encode_row(&cols, i) == encode_row(&cols, j);
-                prop_assert_eq!(same_values, same_key, "rows {} vs {}", i, j);
+                assert_eq!(same_values, same_key, "rows {i} vs {j}");
             }
         }
     }
+}
 
-    /// filter(mask) keeps exactly the masked rows in order.
-    #[test]
-    fn filter_is_selective(batch in arb_batch(), seed in any::<u64>()) {
+/// filter(mask) keeps exactly the masked rows in order.
+#[test]
+fn filter_is_selective() {
+    let mut rng = Pcg32::seed_from_u64(0xE061_03);
+    for _ in 0..64 {
+        let batch = gen_batch(&mut rng);
+        let seed = rng.next_u64();
         let n = batch.num_rows();
         let mask: Vec<bool> = (0..n).map(|i| (seed >> (i % 64)) & 1 == 1).collect();
         let filtered = batch.filter(&mask);
-        let expected: Vec<usize> =
-            (0..n).filter(|&i| mask[i]).collect();
-        prop_assert_eq!(filtered.num_rows(), expected.len());
+        let expected: Vec<usize> = (0..n).filter(|&i| mask[i]).collect();
+        assert_eq!(filtered.num_rows(), expected.len());
         for (out_i, &in_i) in expected.iter().enumerate() {
-            prop_assert_eq!(filtered.row(out_i), batch.row(in_i));
+            assert_eq!(filtered.row(out_i), batch.row(in_i));
         }
     }
+}
 
-    /// take ∘ concat(chunks) reassembles the original batch.
-    #[test]
-    fn chunk_concat_identity(batch in arb_batch(), chunk in 1usize..7) {
+/// concat(chunks) reassembles the original batch.
+#[test]
+fn chunk_concat_identity() {
+    let mut rng = Pcg32::seed_from_u64(0xE061_04);
+    for _ in 0..64 {
+        let batch = gen_batch(&mut rng);
+        let chunk = rng.gen_range(1usize..7);
         let chunks = batch.chunks(chunk);
         let whole = Batch::concat(batch.schema.clone(), &chunks);
-        prop_assert_eq!(whole, batch);
+        assert_eq!(whole, batch);
     }
+}
 
-    /// Sorting produces a permutation of the input in key order.
-    #[test]
-    fn sort_is_ordered_permutation(
-        keys in proptest::collection::vec(any::<i64>(), 1..50),
-        descending in any::<bool>(),
-    ) {
+/// Sorting produces a permutation of the input in key order.
+#[test]
+fn sort_is_ordered_permutation() {
+    let mut rng = Pcg32::seed_from_u64(0xE061_05);
+    for _ in 0..64 {
+        let keys: Vec<i64> = (0..rng.gen_range(1usize..50))
+            .map(|_| rng.next_u64() as i64)
+            .collect();
+        let descending = rng.gen_bool(0.5);
         let schema = Schema::shared(&[("k", DataType::I64)]);
         let batch = Batch::new(schema.clone(), vec![Column::from_i64(keys.clone())]);
         let sk = if descending {
@@ -112,15 +142,21 @@ proptest! {
         if descending {
             expect.reverse();
         }
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
     }
+}
 
-    /// Inner hash join matches a naive nested-loop reference.
-    #[test]
-    fn join_matches_nested_loop(
-        build_keys in proptest::collection::vec(0i64..8, 0..20),
-        probe_keys in proptest::collection::vec(0i64..8, 0..20),
-    ) {
+/// Inner hash join matches a naive nested-loop reference.
+#[test]
+fn join_matches_nested_loop() {
+    let mut rng = Pcg32::seed_from_u64(0xE061_06);
+    for _ in 0..64 {
+        let build_keys: Vec<i64> = (0..rng.gen_range(0usize..20))
+            .map(|_| rng.gen_range(0i64..8))
+            .collect();
+        let probe_keys: Vec<i64> = (0..rng.gen_range(0usize..20))
+            .map(|_| rng.gen_range(0i64..8))
+            .collect();
         let schema = Schema::shared(&[("k", DataType::I64)]);
         let build = Batch::new(schema.clone(), vec![Column::from_i64(build_keys.clone())]);
         let probe = Batch::new(schema.clone(), vec![Column::from_i64(probe_keys.clone())]);
@@ -135,41 +171,52 @@ proptest! {
             out,
         );
         // Count matched pairs per key.
-        let mut got: HashMap<i64, usize> = HashMap::new();
+        let mut got: BTreeMap<i64, usize> = BTreeMap::new();
         for b in &res {
             for i in 0..b.num_rows() {
                 *got.entry(b.columns[0].i64s()[i]).or_default() += 1;
             }
         }
-        let mut expect: HashMap<i64, usize> = HashMap::new();
+        let mut expect: BTreeMap<i64, usize> = BTreeMap::new();
         for &p in &probe_keys {
             let matches = build_keys.iter().filter(|&&b| b == p).count();
             if matches > 0 {
                 *expect.entry(p).or_default() += matches;
             }
         }
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
     }
+}
 
-    /// Semi + anti join partition the probe side.
-    #[test]
-    fn semi_anti_partition_probe(
-        build_keys in proptest::collection::vec(0i64..6, 0..15),
-        probe_keys in proptest::collection::vec(0i64..6, 0..15),
-    ) {
+/// Semi + anti join partition the probe side.
+#[test]
+fn semi_anti_partition_probe() {
+    let mut rng = Pcg32::seed_from_u64(0xE061_07);
+    for _ in 0..64 {
+        let build_keys: Vec<i64> = (0..rng.gen_range(0usize..15))
+            .map(|_| rng.gen_range(0i64..6))
+            .collect();
+        let probe_keys: Vec<i64> = (0..rng.gen_range(0usize..15))
+            .map(|_| rng.gen_range(0i64..6))
+            .collect();
         let schema = Schema::shared(&[("k", DataType::I64)]);
         let out = Schema::shared(&[("k", DataType::I64)]);
         let run = |jt| {
-            let build =
-                Batch::new(schema.clone(), vec![Column::from_i64(build_keys.clone())]);
-            let probe =
-                Batch::new(schema.clone(), vec![Column::from_i64(probe_keys.clone())]);
-            hash_join(schema.clone(), &[build], &[probe], &[Expr::col(0)],
-                      &[Expr::col(0)], jt, out.clone())
-                .iter()
-                .map(|b| b.num_rows())
-                .sum::<usize>()
+            let build = Batch::new(schema.clone(), vec![Column::from_i64(build_keys.clone())]);
+            let probe = Batch::new(schema.clone(), vec![Column::from_i64(probe_keys.clone())]);
+            hash_join(
+                schema.clone(),
+                &[build],
+                &[probe],
+                &[Expr::col(0)],
+                &[Expr::col(0)],
+                jt,
+                out.clone(),
+            )
+            .iter()
+            .map(|b| b.num_rows())
+            .sum::<usize>()
         };
-        prop_assert_eq!(run(JoinType::Semi) + run(JoinType::Anti), probe_keys.len());
+        assert_eq!(run(JoinType::Semi) + run(JoinType::Anti), probe_keys.len());
     }
 }

@@ -1,0 +1,30 @@
+//! Fixture: a clean cloud file — suppressions, test-only panics, and
+//! lookalike identifiers that must NOT be flagged.
+
+fn lookup(table: Option<u32>) -> u32 {
+    table.unwrap_or_else(|| 0) // `unwrap_or_else` is not `unwrap`
+}
+
+fn documented() {
+    // Instant::now and thread_rng in comments are invisible.
+    let message = "never call Instant::now or panic! here";
+    let _ = message;
+}
+
+fn allowed(slot: Option<u32>) -> u32 {
+    slot.unwrap() // cackle-lint: allow(L5)
+}
+
+fn billed(ledger_total: f64) -> f64 {
+    // `ledger_total` is not cost-named; arithmetic is fine.
+    ledger_total * 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        let x: Option<u32> = None;
+        assert!(std::panic::catch_unwind(|| x.unwrap()).is_err());
+    }
+}

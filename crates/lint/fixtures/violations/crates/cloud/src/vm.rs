@@ -1,0 +1,20 @@
+//! Fixture: deliberate L1 / L4 / L5 violations on a cloud hot path.
+
+fn bill(seconds: f64, vm_price: f64) -> f64 {
+    let started = Instant::now(); // L1: host clock
+    let _ = started;
+    let cost = seconds * vm_price; // L4: `vm_price` beside `*`
+    cost * 2.0 // L4: `cost` beside `*`
+}
+
+fn take(slot: Option<u32>) -> u32 {
+    slot.unwrap() // L5: panic path
+}
+
+fn expected(slot: Option<u32>) -> u32 {
+    slot.expect("slot") // L5: panic path
+}
+
+fn boom() {
+    panic!("hot-path panic"); // L5
+}

@@ -1,0 +1,24 @@
+//! Fixture: deliberate L3 violations — order-revealing hash iteration.
+
+use std::collections::{HashMap, HashSet};
+
+struct Registry {
+    entries: HashMap<u64, Vec<u8>>,
+}
+
+fn checksum(r: &Registry) -> u64 {
+    let mut acc = 0;
+    for v in r.entries.values() {
+        // L3: iteration order is nondeterministic
+        acc += v.len() as u64;
+    }
+    acc
+}
+
+fn drain_all(r: &mut Registry) -> usize {
+    let mut seen = HashSet::new();
+    seen.insert(1u64);
+    let n = seen.iter().count(); // L3
+    let _ = r;
+    n
+}

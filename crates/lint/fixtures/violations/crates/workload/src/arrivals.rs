@@ -1,0 +1,12 @@
+//! Fixture: deliberate L2 violations — nondeterministic RNG sources.
+
+fn sample() -> u64 {
+    let mut rng = rand::thread_rng(); // L2 twice: `rand::` and `thread_rng`
+    let _ = &mut rng;
+    0
+}
+
+fn reseed() -> u64 {
+    let from = from_entropy(); // L2
+    from
+}

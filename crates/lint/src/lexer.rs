@@ -1,0 +1,340 @@
+//! A minimal Rust lexer for lexical linting.
+//!
+//! Produces identifier / number / punctuation tokens with 1-based line
+//! numbers. Comments (line and nested block), string literals (plain,
+//! raw, byte), and char literals are stripped entirely — they can never
+//! produce a token, which is what makes the rules immune to matches
+//! inside documentation or message text. Lifetimes (`'a`) are
+//! distinguished from char literals and dropped too.
+//!
+//! This is deliberately NOT a full Rust lexer: anything the rules don't
+//! need (float-suffix edge cases, shebangs, frontmatter) is treated as
+//! opaque punctuation. The only requirements are that identifier
+//! boundaries are exact and that string/comment content is invisible.
+
+/// Token categories the rules distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (value not interpreted).
+    Number,
+    /// Punctuation; multi-char operators (`::`, `==`, `->`, `+=`, ...)
+    /// arrive as a single token.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token text.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: usize,
+    /// Category.
+    pub kind: TokKind,
+}
+
+/// Multi-character operators merged into one token, longest first.
+const MULTI_OPS: [&str; 18] = [
+    "..=", "<<=", ">>=", "::", "==", "!=", "<=", ">=", "->", "=>", "+=", "-=", "*=", "/=", "%=",
+    "&&", "||", "..",
+];
+
+/// Lex `source` into tokens, stripping comments, strings, and chars.
+pub fn lex(source: &str) -> Vec<Token> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    let n = chars.len();
+
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            // Line comment (also doc comments `///`, `//!`).
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            // Nested block comment.
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            // Raw / byte / plain strings starting at r, b, br.
+            'r' | 'b' if starts_string(&chars, i) => {
+                i = skip_string(&chars, i, &mut line);
+            }
+            '"' => {
+                i = skip_plain_string(&chars, i, &mut line);
+            }
+            // Char literal vs lifetime.
+            '\'' => {
+                if is_char_literal(&chars, i) {
+                    i = skip_char_literal(&chars, i, &mut line);
+                } else {
+                    // Lifetime: skip the quote and the identifier.
+                    i += 1;
+                    while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Token {
+                    text: chars[start..i].iter().collect(),
+                    line,
+                    kind: TokKind::Ident,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.') {
+                    // `1..10` — don't swallow a range operator.
+                    if chars[i] == '.' && i + 1 < n && chars[i + 1] == '.' {
+                        break;
+                    }
+                    i += 1;
+                    // Exponent sign: `1e-3`, `2.5E+7`.
+                    if i < n
+                        && (chars[i] == '+' || chars[i] == '-')
+                        && matches!(chars[i - 1], 'e' | 'E')
+                    {
+                        i += 1;
+                    }
+                }
+                toks.push(Token {
+                    text: chars[start..i].iter().collect(),
+                    line,
+                    kind: TokKind::Number,
+                });
+            }
+            _ => {
+                // Punctuation: try multi-char operators longest-first.
+                let mut matched = false;
+                for op in MULTI_OPS {
+                    let len = op.len();
+                    if i + len <= n && chars[i..i + len].iter().collect::<String>() == op {
+                        toks.push(Token {
+                            text: op.to_string(),
+                            line,
+                            kind: TokKind::Punct,
+                        });
+                        i += len;
+                        matched = true;
+                        break;
+                    }
+                }
+                if !matched {
+                    toks.push(Token {
+                        text: c.to_string(),
+                        line,
+                        kind: TokKind::Punct,
+                    });
+                    i += 1;
+                }
+            }
+        }
+    }
+    toks
+}
+
+/// Does a string literal start at `i` (which holds `r` or `b`)?
+/// Covers `r"`, `r#"`, `b"`, `br"`, `br#"`, `rb` is not valid Rust.
+fn starts_string(chars: &[char], i: usize) -> bool {
+    let n = chars.len();
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if j < n && chars[j] == '"' {
+            return true; // b"..."
+        }
+    }
+    if j < n && chars[j] == 'r' {
+        j += 1;
+        while j < n && chars[j] == '#' {
+            j += 1;
+        }
+        return j < n && chars[j] == '"';
+    }
+    false
+}
+
+/// Skip the string literal starting at `i` (`r`, `b`, or `"` form),
+/// returning the index just past it.
+fn skip_string(chars: &[char], i: usize, line: &mut usize) -> usize {
+    let n = chars.len();
+    let mut j = i;
+    let mut raw = false;
+    if j < n && chars[j] == 'b' {
+        j += 1;
+    }
+    if j < n && chars[j] == 'r' {
+        raw = true;
+        j += 1;
+    }
+    let mut hashes = 0;
+    while j < n && chars[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert!(j < n && chars[j] == '"');
+    j += 1; // past the opening quote
+    if raw {
+        // Ends at `"` followed by `hashes` hash marks; no escapes.
+        while j < n {
+            if chars[j] == '\n' {
+                *line += 1;
+                j += 1;
+            } else if chars[j] == '"' && chars[j + 1..].iter().take(hashes).all(|&c| c == '#') {
+                return j + 1 + hashes;
+            } else {
+                j += 1;
+            }
+        }
+        j
+    } else {
+        skip_quoted_body(chars, j, line, '"')
+    }
+}
+
+fn skip_plain_string(chars: &[char], i: usize, line: &mut usize) -> usize {
+    skip_quoted_body(chars, i + 1, line, '"')
+}
+
+/// Skip past the body of an escaped literal, returning the index just
+/// past the closing `quote`.
+fn skip_quoted_body(chars: &[char], mut j: usize, line: &mut usize, quote: char) -> usize {
+    let n = chars.len();
+    while j < n {
+        match chars[j] {
+            '\\' => j += 2,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            c if c == quote => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Distinguish `'a'` / `'\n'` / `b'x'` (char literal) from `'a` (a
+/// lifetime). A char literal has a closing quote after one (possibly
+/// escaped) character.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    let n = chars.len();
+    if i + 1 >= n {
+        return false;
+    }
+    if chars[i + 1] == '\\' {
+        return true; // `'\...` is always a char escape
+    }
+    // `'X'` — exactly one char then a quote.
+    i + 2 < n && chars[i + 2] == '\''
+}
+
+fn skip_char_literal(chars: &[char], i: usize, line: &mut usize) -> usize {
+    skip_quoted_body(chars, i + 1, line, '\'')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn identifiers_and_puncts() {
+        assert_eq!(
+            texts("let x = a::b(1);"),
+            ["let", "x", "=", "a", "::", "b", "(", "1", ")", ";"]
+        );
+    }
+
+    #[test]
+    fn comments_invisible() {
+        assert_eq!(
+            texts("a // Instant::now\nb /* thread_rng /* nested */ */ c"),
+            ["a", "b", "c"]
+        );
+    }
+
+    #[test]
+    fn strings_invisible() {
+        assert_eq!(
+            texts(r#"f("Instant::now", 'x', "esc\"aped")"#),
+            ["f", "(", ",", ",", ")"]
+        );
+        assert_eq!(texts(r##"g(r#"raw "quoted" panic!"#)"##), ["g", "(", ")"]);
+        let byte_and_raw = "h(b\"bytes\", br#\"raw\"#)";
+        assert_eq!(texts(byte_and_raw), ["h", "(", ",", ")"]);
+    }
+
+    #[test]
+    fn lifetimes_not_chars() {
+        assert_eq!(
+            texts("fn f<'a>(x: &'a str) -> char { 'x' }"),
+            ["fn", "f", "<", ">", "(", "x", ":", "&", "str", ")", "->", "char", "{", "}"]
+        );
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        assert_eq!(
+            texts(r"let c = '\n'; let q = '\''; let u = '\u{1F600}';"),
+            ["let", "c", "=", ";", "let", "q", "=", ";", "let", "u", "=", ";"]
+        );
+    }
+
+    #[test]
+    fn multi_char_ops_single_tokens() {
+        assert_eq!(
+            texts("a += b; c == d; e -> f; 0..=9"),
+            ["a", "+=", "b", ";", "c", "==", "d", ";", "e", "->", "f", ";", "0", "..=", "9"]
+        );
+    }
+
+    #[test]
+    fn numbers_with_exponents() {
+        assert_eq!(
+            texts("1.5e-3 + 2E+7 - 0xff_u32"),
+            ["1.5e-3", "+", "2E+7", "-", "0xff_u32"]
+        );
+    }
+
+    #[test]
+    fn line_numbers_tracked_through_multiline_constructs() {
+        let toks = lex("a\n/* c\nc */ b\n\"s\ns\" d");
+        let lines: Vec<(String, usize)> = toks.into_iter().map(|t| (t.text, t.line)).collect();
+        assert_eq!(lines, [("a".into(), 1), ("b".into(), 3), ("d".into(), 5)]);
+    }
+}

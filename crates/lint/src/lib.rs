@@ -1,0 +1,728 @@
+//! `cackle-lint`: a dependency-free determinism & cost-hygiene static
+//! analyzer for this workspace.
+//!
+//! The simulator's headline claims — byte-identical reruns and exact
+//! cost accounting — are invariants no type system enforces, so this
+//! crate enforces them mechanically at the source level. It is a
+//! *lexical* analyzer, not a parser: source is tokenized with comments,
+//! strings, and char literals stripped, and rules match identifier/
+//! punctuation patterns. That keeps the crate at zero external
+//! dependencies (no `syn`, no `regex`) while being immune to the
+//! classic grep failure modes (matches inside strings or comments).
+//!
+//! # Rules
+//!
+//! | id | rule | scope |
+//! |----|------|-------|
+//! | L1 | no `Instant` / `SystemTime` (host clock) | everywhere except `crates/bench` and `crates/cloud/src/time.rs` |
+//! | L2 | no `thread_rng` / `from_entropy` / `rand::` (unseeded RNG) | everywhere |
+//! | L3 | no order-revealing iteration of `HashMap` / `HashSet` | `crates/engine`, `crates/core` |
+//! | L4 | no raw `f64` arithmetic or `==` on cost-named bindings | `crates/cloud` (except `ledger.rs`, `pricing.rs`), `crates/engine`, `examples` |
+//! | L5 | no `unwrap()` / `expect()` / `panic!` on hot paths | `crates/cloud/src`, `core/{system,transport}.rs`, `engine/{task,shuffle,table}.rs` |
+//!
+//! `tests/`, `benches/`, and `#[cfg(test)]` / `#[test]` items are
+//! skipped everywhere: test code may use the host clock, unwraps, and
+//! hash iteration freely.
+//!
+//! # Suppressions
+//!
+//! A finding is suppressed by an inline comment on the offending line:
+//!
+//! ```text
+//! .unwrap_or_else(|| panic!("no such table")) // cackle-lint: allow(L5)
+//! ```
+//!
+//! Multiple ids may be listed: `// cackle-lint: allow(L1,L5)`.
+//!
+//! # Baseline
+//!
+//! Pre-existing debt is carried in `lint-baseline.txt` at the workspace
+//! root as `<lint-id> <path> <count>` lines. The lint fails only on
+//! violations *beyond* the baseline, so new debt cannot land while old
+//! debt is paid down incrementally.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub mod lexer;
+
+use lexer::{lex, TokKind, Token};
+
+/// The rule identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintId {
+    /// Host clock access.
+    L1,
+    /// Nondeterministic RNG source.
+    L2,
+    /// Order-revealing hash-collection iteration.
+    L3,
+    /// Raw dollar arithmetic outside the billing layer.
+    L4,
+    /// Panic paths (`unwrap`/`expect`/`panic!`) on hot paths.
+    L5,
+}
+
+impl LintId {
+    /// All rules, in report order.
+    pub const ALL: [LintId; 5] = [LintId::L1, LintId::L2, LintId::L3, LintId::L4, LintId::L5];
+
+    /// Parse `"L1"`..`"L5"`.
+    pub fn parse(s: &str) -> Option<LintId> {
+        match s.trim() {
+            "L1" => Some(LintId::L1),
+            "L2" => Some(LintId::L2),
+            "L3" => Some(LintId::L3),
+            "L4" => Some(LintId::L4),
+            "L5" => Some(LintId::L5),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for LintId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LintId::L1 => "L1",
+            LintId::L2 => "L2",
+            LintId::L3 => "L3",
+            LintId::L4 => "L4",
+            LintId::L5 => "L5",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One diagnostic: `file:line lint-id message`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Path relative to the linted root, with forward slashes.
+    pub path: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// The violated rule.
+    pub id: LintId,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} {} {}",
+            self.path, self.line, self.id, self.message
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule scoping
+// ---------------------------------------------------------------------------
+
+fn applies(id: LintId, path: &str) -> bool {
+    match id {
+        LintId::L1 => !path.starts_with("crates/bench/") && path != "crates/cloud/src/time.rs",
+        LintId::L2 => true,
+        LintId::L3 => path.starts_with("crates/engine/") || path.starts_with("crates/core/"),
+        LintId::L4 => {
+            (path.starts_with("crates/cloud/")
+                && path != "crates/cloud/src/ledger.rs"
+                && path != "crates/cloud/src/pricing.rs")
+                || path.starts_with("crates/engine/")
+                || path.starts_with("examples/")
+        }
+        LintId::L5 => {
+            path.starts_with("crates/cloud/src/")
+                || matches!(
+                    path,
+                    "crates/core/src/system.rs"
+                        | "crates/core/src/transport.rs"
+                        | "crates/engine/src/task.rs"
+                        | "crates/engine/src/shuffle.rs"
+                        | "crates/engine/src/table.rs"
+                )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+/// Per-line suppressed rule ids, from `// cackle-lint: allow(L1,L5)`
+/// comments. Scans raw source lines (the lexer strips comments).
+fn suppressions(source: &str) -> BTreeMap<usize, BTreeSet<LintId>> {
+    let mut out: BTreeMap<usize, BTreeSet<LintId>> = BTreeMap::new();
+    for (i, raw) in source.lines().enumerate() {
+        let Some(at) = raw.find("cackle-lint: allow(") else {
+            continue;
+        };
+        let rest = &raw[at + "cackle-lint: allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let ids = rest[..close]
+            .split(',')
+            .filter_map(LintId::parse)
+            .collect::<BTreeSet<_>>();
+        if !ids.is_empty() {
+            out.entry(i + 1).or_default().extend(ids);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Test-item exclusion
+// ---------------------------------------------------------------------------
+
+/// Marks token indices covered by `#[test]` / `#[cfg(test)]` items
+/// (the attribute, the item header, and its `{ ... }` body or trailing
+/// `;`). `#[cfg(not(test))]` is conservatively treated the same — that
+/// only risks a missed finding, never a false positive.
+fn test_excluded(toks: &[Token]) -> Vec<bool> {
+    let mut excluded = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text != "#" {
+            i += 1;
+            continue;
+        }
+        // Parse the attribute `#[ ... ]` and look for a `test` token.
+        let attr_start = i;
+        let mut j = i + 1;
+        if j >= toks.len() || toks[j].text != "[" {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut is_test_attr = false;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "test" => is_test_attr = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !is_test_attr {
+            i = j + 1;
+            continue;
+        }
+        // Skip any further attributes, then cover the item to its end:
+        // the matching close of its first `{`, or a `;` that comes first.
+        let mut k = j + 1;
+        while k + 1 < toks.len() && toks[k].text == "#" && toks[k + 1].text == "[" {
+            let mut d = 0usize;
+            while k < toks.len() {
+                match toks[k].text.as_str() {
+                    "[" => d += 1,
+                    "]" => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        let mut end = k;
+        let mut brace = 0usize;
+        while end < toks.len() {
+            match toks[end].text.as_str() {
+                "{" => brace += 1,
+                "}" => {
+                    brace -= 1;
+                    if brace == 0 {
+                        break;
+                    }
+                }
+                ";" if brace == 0 => break,
+                _ => {}
+            }
+            end += 1;
+        }
+        for slot in excluded
+            .iter_mut()
+            .take((end + 1).min(toks.len()))
+            .skip(attr_start)
+        {
+            *slot = true;
+        }
+        i = end + 1;
+    }
+    excluded
+}
+
+// ---------------------------------------------------------------------------
+// The rules
+// ---------------------------------------------------------------------------
+
+const ARITH: [&str; 10] = ["*", "/", "+", "-", "==", "+=", "-=", "*=", "/=", "%"];
+const ORDER_METHODS: [&str; 8] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_iter",
+];
+
+fn is_cost_named(ident: &str) -> bool {
+    let lower = ident.to_ascii_lowercase();
+    ["dollar", "cost", "price", "usd"]
+        .iter()
+        .any(|k| lower.contains(k))
+}
+
+/// Lint one file's source. `rel_path` selects which rules apply.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let toks = lex(source);
+    let excluded = test_excluded(&toks);
+    let suppressed = suppressions(source);
+    let mut findings = Vec::new();
+
+    let mut push = |id: LintId, line: usize, message: String| {
+        if !applies(id, rel_path) {
+            return;
+        }
+        if suppressed.get(&line).is_some_and(|ids| ids.contains(&id)) {
+            return;
+        }
+        findings.push(Finding {
+            path: rel_path.to_string(),
+            line,
+            id,
+            message,
+        });
+    };
+
+    // L3 needs the set of identifiers declared with hash-collection types.
+    let hash_bindings = collect_hash_bindings(&toks, &excluded);
+
+    for i in 0..toks.len() {
+        if excluded[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let t = &toks[i];
+        let next = toks.get(i + 1).map(|t| t.text.as_str()).unwrap_or("");
+        let prev = if i > 0 { toks[i - 1].text.as_str() } else { "" };
+
+        // L1: host clock.
+        if t.text == "Instant" || t.text == "SystemTime" {
+            push(
+                LintId::L1,
+                t.line,
+                format!(
+                    "host clock `{}`: use the simulated clock in cackle-cloud",
+                    t.text
+                ),
+            );
+        }
+
+        // L2: nondeterministic RNG.
+        if matches!(
+            t.text.as_str(),
+            "thread_rng" | "from_entropy" | "ThreadRng" | "OsRng"
+        ) || (t.text == "rand" && next == "::")
+        {
+            push(
+                LintId::L2,
+                t.line,
+                format!(
+                    "unseeded RNG `{}`: use cackle_prng::Pcg32::seed_from_u64",
+                    t.text
+                ),
+            );
+        }
+
+        // L3: order-revealing hash iteration.
+        if hash_bindings.contains(t.text.as_str()) {
+            if next == "." {
+                if let Some(m) = toks.get(i + 2) {
+                    if ORDER_METHODS.contains(&m.text.as_str())
+                        && toks.get(i + 3).map(|t| t.text.as_str()) == Some("(")
+                    {
+                        push(
+                            LintId::L3,
+                            m.line,
+                            format!(
+                                "iteration over hash collection `{}` (`.{}`): order is \
+                                 nondeterministic, use a BTree collection",
+                                t.text, m.text
+                            ),
+                        );
+                    }
+                }
+            }
+            // `for (k, v) in &map {` / `for k in map {`
+            if (prev == "in" || (prev == "&" && i >= 2 && toks[i - 2].text == "in")) && next == "{"
+            {
+                push(
+                    LintId::L3,
+                    t.line,
+                    format!(
+                        "iteration over hash collection `{}`: order is nondeterministic, \
+                         use a BTree collection",
+                        t.text
+                    ),
+                );
+            }
+        }
+
+        // L4: raw dollar arithmetic.
+        if is_cost_named(&t.text) && (ARITH.contains(&next) || ARITH.contains(&prev)) {
+            push(
+                LintId::L4,
+                t.line,
+                format!(
+                    "raw arithmetic on cost-named `{}`: route dollars through CostLedger",
+                    t.text
+                ),
+            );
+        }
+
+        // L5: panic paths.
+        if (t.text == "unwrap" || t.text == "expect") && next == "(" && prev == "." {
+            push(
+                LintId::L5,
+                t.line,
+                format!(
+                    "`.{}()` on a hot path: return a fallible variant or handle the None/Err",
+                    t.text
+                ),
+            );
+        }
+        if matches!(
+            t.text.as_str(),
+            "panic" | "unreachable" | "todo" | "unimplemented"
+        ) && next == "!"
+        {
+            push(
+                LintId::L5,
+                t.line,
+                format!(
+                    "`{}!` on a hot path: handle the case or debug_assert",
+                    t.text
+                ),
+            );
+        }
+    }
+
+    findings
+}
+
+/// Identifiers declared with a `HashMap` / `HashSet` type in this file:
+/// `name: ...HashMap<...>` (fields, params) and
+/// `let [mut] name = ...HashMap::new()`-style initializers.
+fn collect_hash_bindings(toks: &[Token], excluded: &[bool]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for i in 0..toks.len() {
+        if excluded[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        // `name : ... HashMap` within a few tokens, before any delimiter.
+        if toks.get(i + 1).map(|t| t.text.as_str()) == Some(":") {
+            for t in toks.iter().skip(i + 2).take(8) {
+                match t.text.as_str() {
+                    "HashMap" | "HashSet" => {
+                        names.insert(toks[i].text.clone());
+                        break;
+                    }
+                    "," | ";" | ")" | "{" | "}" | "=" => break,
+                    _ => {}
+                }
+            }
+        }
+        // `let [mut] name ... = ... HashMap ... ;`
+        if toks[i].text == "let" {
+            let mut j = i + 1;
+            if toks.get(j).map(|t| t.text.as_str()) == Some("mut") {
+                j += 1;
+            }
+            if let Some(name) = toks.get(j).filter(|t| t.kind == TokKind::Ident) {
+                let mut k = j + 1;
+                while k < toks.len() && toks[k].text != ";" {
+                    if toks[k].text == "HashMap" || toks[k].text == "HashSet" {
+                        names.insert(name.text.clone());
+                        break;
+                    }
+                    k += 1;
+                }
+            }
+        }
+    }
+    names
+}
+
+// ---------------------------------------------------------------------------
+// Workspace walking
+// ---------------------------------------------------------------------------
+
+/// Collect the workspace's lintable `.rs` files (sorted, relative,
+/// forward-slash paths). Skips `target/`, hidden dirs, `tests/` and
+/// `benches/` dirs, and `crates/lint` itself (its fixtures contain
+/// deliberate violations).
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    walk(root, Path::new(""), &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, rel: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(root.join(rel))?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.file_name())
+        .collect();
+    entries.sort();
+    for name in entries {
+        let name_str = name.to_string_lossy().into_owned();
+        let rel_child = rel.join(&name);
+        let abs = root.join(&rel_child);
+        if abs.is_dir() {
+            if name_str.starts_with('.')
+                || matches!(
+                    name_str.as_str(),
+                    "target" | "tests" | "benches" | "results"
+                )
+                || rel_child == Path::new("crates/lint")
+            {
+                continue;
+            }
+            walk(root, &rel_child, out)?;
+        } else if name_str.ends_with(".rs") {
+            out.push(rel_child);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every file under `root`, returning findings sorted by
+/// (path, line, rule).
+pub fn lint_root(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for rel in collect_files(root)? {
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        findings.extend(lint_source(&rel_str, &source));
+    }
+    findings.sort();
+    Ok(findings)
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
+/// Accepted debt: `(rule, path) -> count`.
+pub type Baseline = BTreeMap<(LintId, String), u64>;
+
+/// Parse `lint-baseline.txt` content: `<lint-id> <path> <count>` lines,
+/// `#` comments and blank lines ignored. Malformed lines are errors —
+/// a silently dropped baseline entry would mask real debt.
+pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let mut out = Baseline::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(id), Some(path), Some(count), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "baseline line {}: expected `<lint-id> <path> <count>`",
+                i + 1
+            ));
+        };
+        let id = LintId::parse(id)
+            .ok_or_else(|| format!("baseline line {}: unknown lint id `{id}`", i + 1))?;
+        let count: u64 = count
+            .parse()
+            .map_err(|_| format!("baseline line {}: bad count `{count}`", i + 1))?;
+        out.insert((id, path.to_string()), count);
+    }
+    Ok(out)
+}
+
+/// Findings that exceed the baseline — the ones that fail the build.
+/// Also returns stale baseline entries (debt that has been paid down)
+/// so the file can be trimmed.
+pub fn diff_baseline(findings: &[Finding], baseline: &Baseline) -> (Vec<Finding>, Vec<String>) {
+    let mut counts: BTreeMap<(LintId, String), Vec<&Finding>> = BTreeMap::new();
+    for f in findings {
+        counts.entry((f.id, f.path.clone())).or_default().push(f);
+    }
+    let mut new_violations = Vec::new();
+    for (key, group) in &counts {
+        let allowed = baseline.get(key).copied().unwrap_or(0) as usize;
+        if group.len() > allowed {
+            // Report the trailing findings as new (deterministic choice).
+            new_violations.extend(group[allowed..].iter().map(|f| (*f).clone()));
+        }
+    }
+    let mut stale = Vec::new();
+    for ((id, path), &allowed) in baseline {
+        let current = counts.get(&(*id, path.clone())).map_or(0, |g| g.len()) as u64;
+        if current < allowed {
+            stale.push(format!(
+                "{id} {path}: baseline allows {allowed}, found {current}"
+            ));
+        }
+    }
+    new_violations.sort();
+    (new_violations, stale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_flagged_outside_time_rs() {
+        let src = "fn f() { let t = Instant::now(); }";
+        let f = lint_source("crates/engine/src/task.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].id, LintId::L1);
+        assert_eq!(f[0].line, 1);
+        assert!(lint_source("crates/cloud/src/time.rs", src).is_empty());
+        assert!(lint_source("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn clock_in_comment_or_string_ignored() {
+        let src = "// Instant::now is banned\nfn f() { let s = \"Instant::now\"; }";
+        assert!(lint_source("crates/core/src/model.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rng_sources_flagged_everywhere() {
+        let src = "fn f() { let mut r = rand::thread_rng(); }";
+        let f = lint_source("crates/bench/src/bin/x.rs", src);
+        assert!(f.iter().any(|f| f.id == LintId::L2), "{f:?}");
+    }
+
+    #[test]
+    fn hash_iteration_flagged_in_engine_only() {
+        let src = "struct S { m: HashMap<u32, u32> }\n\
+                   fn f(s: &S) { for v in s.m.values() { let _ = v; } }";
+        let f = lint_source("crates/engine/src/shuffle.rs", src);
+        assert!(f.iter().any(|f| f.id == LintId::L3 && f.line == 2), "{f:?}");
+        assert!(lint_source("crates/workload/src/demand.rs", src)
+            .iter()
+            .all(|f| f.id != LintId::L3));
+    }
+
+    #[test]
+    fn hash_lookup_without_iteration_ok() {
+        let src = "struct S { m: HashMap<u32, u32> }\n\
+                   fn f(s: &S) -> Option<&u32> { s.m.get(&1) }";
+        assert!(lint_source("crates/engine/src/table.rs", src)
+            .iter()
+            .all(|f| f.id != LintId::L3));
+    }
+
+    #[test]
+    fn dollar_arithmetic_flagged() {
+        let src = "fn f(n: u64, s3_put_cost: f64) -> f64 { n as f64 * s3_put_cost }";
+        let f = lint_source("crates/cloud/src/vm.rs", src);
+        assert!(f.iter().any(|f| f.id == LintId::L4), "{f:?}");
+        // The billing layer itself is exempt.
+        assert!(lint_source("crates/cloud/src/ledger.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cost_equality_flagged() {
+        let src = "fn f(cost: f64) -> bool { cost == 1.0 }";
+        let f = lint_source("crates/engine/src/codec.rs", src);
+        assert!(f.iter().any(|f| f.id == LintId::L4));
+    }
+
+    #[test]
+    fn unwrap_flagged_on_hot_paths_only() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert_eq!(lint_source("crates/cloud/src/vm.rs", src).len(), 1);
+        assert!(lint_source("crates/workload/src/traces.rs", src).is_empty());
+        // `unwrap_or_else` is a different identifier, not flagged.
+        let ok = "fn f(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 0) }";
+        assert!(lint_source("crates/cloud/src/vm.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn panic_macros_flagged() {
+        let src = "fn f() { panic!(\"boom\"); }";
+        let f = lint_source("crates/core/src/system.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].id, LintId::L5);
+    }
+
+    #[test]
+    fn cfg_test_items_skipped() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn f() { let t = Instant::now(); }\n}\n\
+                   fn g() { let x: Option<u32> = None; x.unwrap(); }";
+        let f = lint_source("crates/cloud/src/pool.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].id, LintId::L5);
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn test_attribute_skips_one_fn() {
+        let src = "#[test]\nfn t() { Instant::now(); }\nfn g() { Instant::now(); }";
+        let f = lint_source("crates/core/src/oracle.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn inline_allow_suppresses_exact_rule() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // cackle-lint: allow(L5)";
+        assert!(lint_source("crates/cloud/src/vm.rs", src).is_empty());
+        // The wrong id does not suppress.
+        let wrong = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // cackle-lint: allow(L1)";
+        assert_eq!(lint_source("crates/cloud/src/vm.rs", wrong).len(), 1);
+    }
+
+    #[test]
+    fn baseline_roundtrip_and_diff() {
+        let b = parse_baseline("# comment\nL5 crates/cloud/src/vm.rs 2\n").unwrap();
+        assert_eq!(b.len(), 1);
+        let f = |line| Finding {
+            path: "crates/cloud/src/vm.rs".into(),
+            line,
+            id: LintId::L5,
+            message: "m".into(),
+        };
+        let (new, stale) = diff_baseline(&[f(1), f(2)], &b);
+        assert!(new.is_empty() && stale.is_empty());
+        let (new, _) = diff_baseline(&[f(1), f(2), f(3)], &b);
+        assert_eq!(new.len(), 1);
+        assert_eq!(new[0].line, 3);
+        let (new, stale) = diff_baseline(&[f(1)], &b);
+        assert!(new.is_empty());
+        assert_eq!(stale.len(), 1);
+    }
+
+    #[test]
+    fn malformed_baseline_rejected() {
+        assert!(parse_baseline("L9 foo 1").is_err());
+        assert!(parse_baseline("L1 foo").is_err());
+        assert!(parse_baseline("L1 foo one").is_err());
+    }
+}

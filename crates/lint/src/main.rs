@@ -1,0 +1,86 @@
+//! The `cackle-lint` command-line driver.
+//!
+//! ```text
+//! cackle-lint [ROOT] [--baseline FILE]
+//! ```
+//!
+//! Lints the workspace at ROOT (default: the current directory),
+//! compares against the baseline file (default: `ROOT/lint-baseline.txt`;
+//! a missing file means an empty baseline), prints every finding as
+//! `file:line lint-id message`, and exits:
+//!
+//! * `0` — clean, or all findings are covered by the baseline;
+//! * `1` — findings beyond the baseline (new violations);
+//! * `2` — usage or I/O error.
+
+use cackle_lint::{diff_baseline, lint_root, parse_baseline, Baseline};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--baseline" => {
+                let Some(p) = args.next() else {
+                    eprintln!("cackle-lint: --baseline needs a file argument");
+                    return ExitCode::from(2);
+                };
+                baseline_path = Some(PathBuf::from(p));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: cackle-lint [ROOT] [--baseline FILE]");
+                return ExitCode::SUCCESS;
+            }
+            _ => root = PathBuf::from(a),
+        }
+    }
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.txt"));
+
+    let baseline: Baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match parse_baseline(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cackle-lint: {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::new(),
+        Err(e) => {
+            eprintln!("cackle-lint: {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = match lint_root(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cackle-lint: {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let (new_violations, stale) = diff_baseline(&findings, &baseline);
+    for f in &findings {
+        println!("{f}");
+    }
+    for s in &stale {
+        eprintln!("cackle-lint: stale baseline entry: {s}");
+    }
+    if new_violations.is_empty() {
+        eprintln!(
+            "cackle-lint: ok ({} finding(s), {} baselined)",
+            findings.len(),
+            findings.len() - new_violations.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "cackle-lint: {} new violation(s) beyond the baseline",
+            new_violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}

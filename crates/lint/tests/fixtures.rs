@@ -1,0 +1,95 @@
+//! End-to-end lint tests over the checked-in fixture trees, plus exit
+//! code tests driving the real `cackle-lint` binary.
+
+use cackle_lint::{diff_baseline, lint_root, Baseline, LintId};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+#[test]
+fn violations_fixture_trips_every_rule() {
+    let findings = lint_root(&fixture("violations")).unwrap();
+    for id in LintId::ALL {
+        assert!(
+            findings.iter().any(|f| f.id == id),
+            "rule {id} produced no finding: {findings:#?}"
+        );
+    }
+    // Counts are exact so rule changes are reviewed deliberately.
+    let count = |id| findings.iter().filter(|f| f.id == id).count();
+    assert_eq!(count(LintId::L1), 1);
+    assert_eq!(count(LintId::L2), 3);
+    assert_eq!(count(LintId::L3), 2);
+    assert_eq!(count(LintId::L4), 2);
+    assert_eq!(count(LintId::L5), 3);
+    // Findings are sorted and carry 1-based lines.
+    let mut sorted = findings.clone();
+    sorted.sort();
+    assert_eq!(findings, sorted);
+    assert!(findings.iter().all(|f| f.line >= 1));
+}
+
+#[test]
+fn clean_fixture_has_no_findings() {
+    let findings = lint_root(&fixture("clean")).unwrap();
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn baseline_absorbs_known_debt_exactly() {
+    let findings = lint_root(&fixture("violations")).unwrap();
+    // A baseline generated from the current findings absorbs all of them.
+    let mut baseline = Baseline::new();
+    for f in &findings {
+        *baseline.entry((f.id, f.path.clone())).or_insert(0) += 1;
+    }
+    let (new, stale) = diff_baseline(&findings, &baseline);
+    assert!(new.is_empty() && stale.is_empty());
+    // Dropping one entry makes those findings "new" again.
+    let key = (LintId::L1, "crates/cloud/src/vm.rs".to_string());
+    baseline.remove(&key);
+    let (new, _) = diff_baseline(&findings, &baseline);
+    assert_eq!(new.len(), 1);
+    assert_eq!(new[0].id, LintId::L1);
+}
+
+#[test]
+fn binary_exits_nonzero_on_violations() {
+    let out = Command::new(env!("CARGO_BIN_EXE_cackle-lint"))
+        .arg(fixture("violations"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("L5"), "diagnostics on stdout: {stdout}");
+}
+
+#[test]
+fn binary_exits_zero_on_clean_tree() {
+    let out = Command::new(env!("CARGO_BIN_EXE_cackle-lint"))
+        .arg(fixture("clean"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn binary_rejects_malformed_baseline() {
+    let dir = std::env::temp_dir().join(format!("cackle-lint-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad-baseline.txt");
+    std::fs::write(&bad, "L9 nonsense 1\n").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_cackle-lint"))
+        .arg(fixture("clean"))
+        .arg("--baseline")
+        .arg(&bad)
+        .output()
+        .unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}

@@ -15,8 +15,7 @@ use cackle_engine::batch::Batch;
 use cackle_engine::column::Column;
 use cackle_engine::table::{Catalog, Table};
 use cackle_engine::types::date;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cackle_prng::Pcg32;
 
 /// Configuration for one generation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,14 +31,21 @@ pub struct DbGenConfig {
 
 impl Default for DbGenConfig {
     fn default() -> Self {
-        DbGenConfig { scale_factor: 0.01, rows_per_partition: 16384, seed: 7 }
+        DbGenConfig {
+            scale_factor: 0.01,
+            rows_per_partition: 16384,
+            seed: 7,
+        }
     }
 }
 
 impl DbGenConfig {
     /// A config at the given scale factor with defaults otherwise.
     pub fn at_scale(scale_factor: f64) -> Self {
-        DbGenConfig { scale_factor, ..Default::default() }
+        DbGenConfig {
+            scale_factor,
+            ..Default::default()
+        }
     }
 
     fn scaled(&self, base: u64) -> usize {
@@ -112,26 +118,65 @@ pub const NATIONS: [(&str, i64); 25] = [
 /// The 5 standard regions.
 pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 
-const SEGMENTS: [&str; 5] =
-    ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
-const PRIORITIES: [&str; 5] =
-    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
-const INSTRUCTIONS: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const INSTRUCTIONS: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 const TYPE_S1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 const TYPE_S2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
 const TYPE_S3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 const CONTAINER_S1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
 const CONTAINER_S2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
 const COLORS: [&str; 16] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched",
-    "blue", "blush", "brown", "burlywood", "chartreuse", "forest", "green", "ivory",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "chartreuse",
+    "forest",
+    "green",
+    "ivory",
 ];
 const WORDS: [&str; 20] = [
-    "carefully", "quickly", "furiously", "slyly", "blithely", "deposits", "packages",
-    "requests", "accounts", "instructions", "foxes", "theodolites", "pinto", "beans",
-    "ideas", "platelets", "sleep", "haggle", "nag", "dolphins",
+    "carefully",
+    "quickly",
+    "furiously",
+    "slyly",
+    "blithely",
+    "deposits",
+    "packages",
+    "requests",
+    "accounts",
+    "instructions",
+    "foxes",
+    "theodolites",
+    "pinto",
+    "beans",
+    "ideas",
+    "platelets",
+    "sleep",
+    "haggle",
+    "nag",
+    "dolphins",
 ];
 
 const START_DATE: &str = "1992-01-01";
@@ -140,11 +185,11 @@ pub const LAST_ORDER_DATE: &str = "1998-08-02";
 /// The spec's "current date" used by return-flag logic.
 pub const CURRENT_DATE: &str = "1995-06-17";
 
-fn money(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+fn money(rng: &mut Pcg32, lo: f64, hi: f64) -> f64 {
     (rng.gen_range(lo..hi) * 100.0).round() / 100.0
 }
 
-fn comment(rng: &mut StdRng, words: usize) -> String {
+fn comment(rng: &mut Pcg32, words: usize) -> String {
     let mut s = String::new();
     for i in 0..words {
         if i > 0 {
@@ -166,7 +211,7 @@ fn partition(
 
 /// Generate the `region` table.
 pub fn gen_region(cfg: &DbGenConfig) -> Table {
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7265_6769);
+    let mut rng = Pcg32::seed_from_u64(cfg.seed ^ 0x7265_6769);
     let keys: Vec<i64> = (0..5).collect();
     let names: Vec<String> = REGIONS.iter().map(|s| s.to_string()).collect();
     let comments: Vec<String> = (0..5).map(|_| comment(&mut rng, 6)).collect();
@@ -184,7 +229,7 @@ pub fn gen_region(cfg: &DbGenConfig) -> Table {
 
 /// Generate the `nation` table.
 pub fn gen_nation(cfg: &DbGenConfig) -> Table {
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6e61_7469);
+    let mut rng = Pcg32::seed_from_u64(cfg.seed ^ 0x6e61_7469);
     let keys: Vec<i64> = (0..25).collect();
     let names: Vec<String> = NATIONS.iter().map(|(n, _)| n.to_string()).collect();
     let regions: Vec<i64> = NATIONS.iter().map(|(_, r)| *r).collect();
@@ -202,7 +247,7 @@ pub fn gen_nation(cfg: &DbGenConfig) -> Table {
     Table::new("nation", schema::nation(), parts)
 }
 
-fn phone(rng: &mut StdRng, nationkey: i64) -> String {
+fn phone(rng: &mut Pcg32, nationkey: i64) -> String {
     format!(
         "{}-{:03}-{:03}-{:04}",
         10 + nationkey,
@@ -216,7 +261,7 @@ fn phone(rng: &mut StdRng, nationkey: i64) -> String {
 /// "Customer Complaints" phrase Q16 filters on.
 pub fn gen_supplier(cfg: &DbGenConfig) -> Table {
     let n = cfg.row_counts().supplier;
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7375_7070);
+    let mut rng = Pcg32::seed_from_u64(cfg.seed ^ 0x7375_7070);
     let mut keys = Vec::with_capacity(n);
     let mut names = Vec::with_capacity(n);
     let mut addrs = Vec::with_capacity(n);
@@ -261,7 +306,7 @@ pub fn gen_supplier(cfg: &DbGenConfig) -> Table {
 /// "special … requests" phrase Q13 excludes.
 pub fn gen_customer(cfg: &DbGenConfig) -> Table {
     let n = cfg.row_counts().customer;
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6375_7374);
+    let mut rng = Pcg32::seed_from_u64(cfg.seed ^ 0x6375_7374);
     let mut keys = Vec::with_capacity(n);
     let mut names = Vec::with_capacity(n);
     let mut addrs = Vec::with_capacity(n);
@@ -305,7 +350,7 @@ pub fn gen_customer(cfg: &DbGenConfig) -> Table {
 /// Generate the `part` table (spec retail-price formula).
 pub fn gen_part(cfg: &DbGenConfig) -> Table {
     let n = cfg.row_counts().part;
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7061_7274);
+    let mut rng = Pcg32::seed_from_u64(cfg.seed ^ 0x7061_7274);
     let mut keys = Vec::with_capacity(n);
     let mut names = Vec::with_capacity(n);
     let mut mfgrs = Vec::with_capacity(n);
@@ -394,7 +439,7 @@ pub fn gen_partsupp(cfg: &DbGenConfig) -> Table {
     let counts = cfg.row_counts();
     let nparts = counts.part as i64;
     let nsupp = counts.supplier as i64;
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7073_7570);
+    let mut rng = Pcg32::seed_from_u64(cfg.seed ^ 0x7073_7570);
     let n = (nparts * 4) as usize;
     let mut pks = Vec::with_capacity(n);
     let mut sks = Vec::with_capacity(n);
@@ -441,7 +486,7 @@ pub fn gen_orders_lineitem(cfg: &DbGenConfig) -> OrdersAndLineitem {
     let ncust = counts.customer as i64;
     let nparts = counts.part as i64;
     let nsupp = counts.supplier as i64;
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6f72_6465);
+    let mut rng = Pcg32::seed_from_u64(cfg.seed ^ 0x6f72_6465);
 
     let start = date::parse(START_DATE);
     let last = date::parse(LAST_ORDER_DATE);
@@ -621,7 +666,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> DbGenConfig {
-        DbGenConfig { scale_factor: 0.001, rows_per_partition: 1000, seed: 7 }
+        DbGenConfig {
+            scale_factor: 0.001,
+            rows_per_partition: 1000,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -679,7 +728,12 @@ mod tests {
             let pk = p.column_by_name("l_partkey").i64s();
             let sk = p.column_by_name("l_suppkey").i64s();
             for i in 0..p.num_rows() {
-                assert!(pairs.contains(&(pk[i], sk[i])), "dangling ({}, {})", pk[i], sk[i]);
+                assert!(
+                    pairs.contains(&(pk[i], sk[i])),
+                    "dangling ({}, {})",
+                    pk[i],
+                    sk[i]
+                );
             }
         }
     }

@@ -83,10 +83,11 @@ pub fn infer_type(expr: &Expr, schema: &SchemaRef) -> DataType {
                 }
             }
         },
-        Expr::Not(_) | Expr::IsNull(_) | Expr::Like { .. } | Expr::InList { .. } => {
-            DataType::Bool
-        }
-        Expr::Case { branches, else_expr } => branches
+        Expr::Not(_) | Expr::IsNull(_) | Expr::Like { .. } | Expr::InList { .. } => DataType::Bool,
+        Expr::Case {
+            branches,
+            else_expr,
+        } => branches
             .first()
             .map(|(_, r)| infer_type(r, schema))
             .or_else(|| else_expr.as_ref().map(|e| infer_type(e, schema)))
@@ -154,7 +155,10 @@ impl Node {
     /// Filter rows.
     pub fn filter(self, predicate: Expr) -> Node {
         Node {
-            plan: PlanNode::Filter { input: Box::new(self.plan), predicate },
+            plan: PlanNode::Filter {
+                input: Box::new(self.plan),
+                predicate,
+            },
             schema: self.schema,
         }
     }
@@ -178,11 +182,7 @@ impl Node {
 
     /// Hash aggregate. `group` names the key columns (with expressions over
     /// the input schema); `aggs` names the outputs.
-    pub fn aggregate(
-        self,
-        group: Vec<(&str, Expr)>,
-        aggs: Vec<(&str, AggFunc, Expr)>,
-    ) -> Node {
+    pub fn aggregate(self, group: Vec<(&str, Expr)>, aggs: Vec<(&str, AggFunc, Expr)>) -> Node {
         let mut fields: Vec<Field> = group
             .iter()
             .map(|(n, e)| Field::new(*n, infer_type(e, &self.schema)))
@@ -196,7 +196,10 @@ impl Node {
             plan: PlanNode::HashAggregate {
                 input: Box::new(self.plan),
                 group_by: group.into_iter().map(|(_, e)| e).collect(),
-                aggs: aggs.into_iter().map(|(_, f, e)| AggExpr::new(f, e)).collect(),
+                aggs: aggs
+                    .into_iter()
+                    .map(|(_, f, e)| AggExpr::new(f, e))
+                    .collect(),
                 schema: schema.clone(),
             },
             schema,
@@ -240,7 +243,11 @@ impl Node {
     /// Sort (optionally top-k).
     pub fn sort(self, keys: Vec<SortKey>, limit: Option<usize>) -> Node {
         Node {
-            plan: PlanNode::Sort { input: Box::new(self.plan), keys, limit },
+            plan: PlanNode::Sort {
+                input: Box::new(self.plan),
+                keys,
+                limit,
+            },
             schema: self.schema,
         }
     }
@@ -257,7 +264,10 @@ impl Node {
         }
         let mut inputs = vec![self.plan];
         inputs.extend(others.into_iter().map(|o| o.plan));
-        Node { plan: PlanNode::Union { inputs }, schema }
+        Node {
+            plan: PlanNode::Union { inputs },
+            schema,
+        }
     }
 }
 
@@ -277,7 +287,10 @@ pub struct DagBuilder {
 impl DagBuilder {
     /// Start a plan.
     pub fn new(name: impl Into<String>) -> Self {
-        DagBuilder { name: name.into(), stages: Vec::new() }
+        DagBuilder {
+            name: name.into(),
+            stages: Vec::new(),
+        }
     }
 
     /// Add a stage whose output is hash-partitioned on `keys` (names over
@@ -291,7 +304,14 @@ impl DagBuilder {
         partitions: u32,
     ) -> StageHandle {
         let key_exprs: Vec<Expr> = keys.iter().map(|k| node.c(k)).collect();
-        self.push(node, tasks, ExchangeMode::Hash { keys: key_exprs, partitions })
+        self.push(
+            node,
+            tasks,
+            ExchangeMode::Hash {
+                keys: key_exprs,
+                partitions,
+            },
+        )
     }
 
     /// Add a stage whose output is broadcast to every consuming task.
@@ -336,17 +356,28 @@ impl DagBuilder {
 
 /// CASE WHEN `cond` THEN `then` ELSE `otherwise` END.
 pub fn case_when(cond: Expr, then: Expr, otherwise: Expr) -> Expr {
-    Expr::Case { branches: vec![(cond, then)], else_expr: Some(Box::new(otherwise)) }
+    Expr::Case {
+        branches: vec![(cond, then)],
+        else_expr: Some(Box::new(otherwise)),
+    }
 }
 
 /// `input LIKE pattern` with a restricted pattern.
 pub fn like(input: Expr, pattern: cackle_engine::expr::LikePattern) -> Expr {
-    Expr::Like { input: Box::new(input), pattern, negated: false }
+    Expr::Like {
+        input: Box::new(input),
+        pattern,
+        negated: false,
+    }
 }
 
 /// `input NOT LIKE pattern`.
 pub fn not_like(input: Expr, pattern: cackle_engine::expr::LikePattern) -> Expr {
-    Expr::Like { input: Box::new(input), pattern, negated: true }
+    Expr::Like {
+        input: Box::new(input),
+        pattern,
+        negated: true,
+    }
 }
 
 /// `input IN (strings...)`.
@@ -384,7 +415,11 @@ impl Par {
     /// floor of 1.
     pub fn for_scale(sf: f64) -> Par {
         let scale = |base: f64| ((base * sf / 100.0).ceil() as u32).max(1);
-        Par { fact: scale(128.0), mid: scale(32.0), join: scale(64.0) }
+        Par {
+            fact: scale(128.0),
+            mid: scale(32.0),
+            join: scale(64.0),
+        }
     }
 }
 
@@ -402,9 +437,10 @@ mod tests {
     #[test]
     fn project_infers_types() {
         let n = Node::scan("lineitem", &["l_extendedprice", "l_discount"], None);
-        let p = n
-            .clone()
-            .project(vec![("rev", n.c("l_extendedprice").mul(lit(1.0).sub(n.c("l_discount"))))]);
+        let p = n.clone().project(vec![(
+            "rev",
+            n.c("l_extendedprice").mul(lit(1.0).sub(n.c("l_discount"))),
+        )]);
         assert_eq!(p.schema.field(0).dtype, DataType::F64);
         assert_eq!(p.schema.field(0).name, "rev");
     }
@@ -460,9 +496,23 @@ mod tests {
     #[test]
     fn par_scaling() {
         let p100 = Par::for_scale(100.0);
-        assert_eq!(p100, Par { fact: 128, mid: 32, join: 64 });
+        assert_eq!(
+            p100,
+            Par {
+                fact: 128,
+                mid: 32,
+                join: 64
+            }
+        );
         let tiny = Par::for_scale(0.01);
-        assert_eq!(tiny, Par { fact: 1, mid: 1, join: 1 });
+        assert_eq!(
+            tiny,
+            Par {
+                fact: 1,
+                mid: 1,
+                join: 1
+            }
+        );
         let p10 = Par::for_scale(10.0);
         assert_eq!(p10.fact, 13);
     }

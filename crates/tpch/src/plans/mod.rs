@@ -19,9 +19,8 @@ use cackle_engine::plan::StageDag;
 
 /// Names of every query in the evaluation mix.
 pub const QUERY_NAMES: [&str; 25] = [
-    "q01", "q02", "q03", "q04", "q05", "q06", "q07", "q08", "q09", "q10", "q11", "q12",
-    "q13", "q14", "q15", "q16", "q17", "q18", "q19", "q20", "q21", "q22", "ds24", "ds58",
-    "ds81",
+    "q01", "q02", "q03", "q04", "q05", "q06", "q07", "q08", "q09", "q10", "q11", "q12", "q13",
+    "q14", "q15", "q16", "q17", "q18", "q19", "q20", "q21", "q22", "ds24", "ds58", "ds81",
 ];
 
 /// Build the plan for a query by name.
@@ -69,7 +68,11 @@ mod tests {
     fn all_plans_validate_at_multiple_scales() {
         // StageDag::new validates topology, exchange/task consistency, and
         // gather placement; building is the test.
-        for par in [Par::for_scale(0.01), Par::for_scale(10.0), Par::for_scale(100.0)] {
+        for par in [
+            Par::for_scale(0.01),
+            Par::for_scale(10.0),
+            Par::for_scale(100.0),
+        ] {
             let plans = all_plans(par);
             assert_eq!(plans.len(), 25);
             for p in &plans {

@@ -99,12 +99,11 @@ pub fn q02(par: Par) -> StageDag {
         Some(t("region").c("r_name").eq(lits("EUROPE"))),
     );
     let b_region = dag.stage_broadcast(region, 1);
-    let nation = Node::scan("nation", &["n_nationkey", "n_name", "n_regionkey"], None)
-        .join(
-            dag.read_broadcast(b_region),
-            &[("n_regionkey", "r_regionkey")],
-            Semi,
-        );
+    let nation = Node::scan("nation", &["n_nationkey", "n_name", "n_regionkey"], None).join(
+        dag.read_broadcast(b_region),
+        &[("n_regionkey", "r_regionkey")],
+        Semi,
+    );
     let b_nation = dag.stage_broadcast(nation, 1);
     let supplier = Node::scan(
         "supplier",
@@ -138,9 +137,21 @@ pub fn q02(par: Par) -> StageDag {
     );
     let b_part = dag.stage_broadcast(part, 1);
     // Fact side: partsupp joined to part + qualified suppliers.
-    let ps = Node::scan("partsupp", &["ps_partkey", "ps_suppkey", "ps_supplycost"], None)
-        .join(dag.read_broadcast(b_part), &[("ps_partkey", "p_partkey")], Inner)
-        .join(dag.read_broadcast(b_supp), &[("ps_suppkey", "s_suppkey")], Inner);
+    let ps = Node::scan(
+        "partsupp",
+        &["ps_partkey", "ps_suppkey", "ps_supplycost"],
+        None,
+    )
+    .join(
+        dag.read_broadcast(b_part),
+        &[("ps_partkey", "p_partkey")],
+        Inner,
+    )
+    .join(
+        dag.read_broadcast(b_supp),
+        &[("ps_suppkey", "s_suppkey")],
+        Inner,
+    );
     let s_fact = dag.stage_hash(ps, par.mid, &["ps_partkey"], par.join);
     // Per-part minimum cost, joined back within the partition.
     let rows = dag.read(s_fact);
@@ -201,7 +212,11 @@ pub fn q03(par: Par) -> StageDag {
         &["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"],
         Some(t("orders").c("o_orderdate").lt(litd("1995-03-15"))),
     )
-    .join(dag.read_broadcast(b_cust), &[("o_custkey", "c_custkey")], Semi);
+    .join(
+        dag.read_broadcast(b_cust),
+        &[("o_custkey", "c_custkey")],
+        Semi,
+    );
     let s_orders = dag.stage_hash(orders, par.mid, &["o_orderkey"], par.join);
     let li = Node::scan(
         "lineitem",
@@ -209,10 +224,13 @@ pub fn q03(par: Par) -> StageDag {
         Some(t("lineitem").c("l_shipdate").gt(litd("1995-03-15"))),
     );
     let s_li = dag.stage_hash(li, par.fact, &["l_orderkey"], par.join);
-    let joined =
-        dag.read(s_li).join(dag.read(s_orders), &[("l_orderkey", "o_orderkey")], Inner);
+    let joined = dag
+        .read(s_li)
+        .join(dag.read(s_orders), &[("l_orderkey", "o_orderkey")], Inner);
     let jc = joined.cols();
-    let rev = jc.c("l_extendedprice").mul(lit(1.0).sub(jc.c("l_discount")));
+    let rev = jc
+        .c("l_extendedprice")
+        .mul(lit(1.0).sub(jc.c("l_discount")));
     let agg = joined.aggregate(
         vec![
             ("l_orderkey", jc.c("l_orderkey")),
@@ -223,14 +241,20 @@ pub fn q03(par: Par) -> StageDag {
     );
     let ac = agg.cols();
     let top = agg.sort(
-        vec![SortKey::desc(ac.c("revenue")), SortKey::asc(ac.c("o_orderdate"))],
+        vec![
+            SortKey::desc(ac.c("revenue")),
+            SortKey::asc(ac.c("o_orderdate")),
+        ],
         Some(10),
     );
     let s_top = dag.stage_hash(top, par.join, &[], 1);
     let fin = dag.read(s_top);
     let fc = fin.cols();
     let fin = fin.sort(
-        vec![SortKey::desc(fc.c("revenue")), SortKey::asc(fc.c("o_orderdate"))],
+        vec![
+            SortKey::desc(fc.c("revenue")),
+            SortKey::asc(fc.c("o_orderdate")),
+        ],
         Some(10),
     );
     dag.finish(fin, 1)
@@ -258,8 +282,9 @@ pub fn q04(par: Par) -> StageDag {
         ),
     );
     let s_orders = dag.stage_hash(orders, par.mid, &["o_orderkey"], par.join);
-    let joined =
-        dag.read(s_orders).join(dag.read(s_late), &[("o_orderkey", "l_orderkey")], Semi);
+    let joined = dag
+        .read(s_orders)
+        .join(dag.read(s_late), &[("o_orderkey", "l_orderkey")], Semi);
     let jc = joined.cols();
     let agg = joined.aggregate(
         vec![("o_orderpriority", jc.c("o_orderpriority"))],
@@ -288,12 +313,11 @@ pub fn q05(par: Par) -> StageDag {
         Some(t("region").c("r_name").eq(lits("ASIA"))),
     );
     let b_region = dag.stage_broadcast(region, 1);
-    let nation = Node::scan("nation", &["n_nationkey", "n_name", "n_regionkey"], None)
-        .join(
-            dag.read_broadcast(b_region),
-            &[("n_regionkey", "r_regionkey")],
-            Semi,
-        );
+    let nation = Node::scan("nation", &["n_nationkey", "n_name", "n_regionkey"], None).join(
+        dag.read_broadcast(b_region),
+        &[("n_regionkey", "r_regionkey")],
+        Semi,
+    );
     let b_nation = dag.stage_broadcast(nation, 1);
     let supplier = Node::scan("supplier", &["s_suppkey", "s_nationkey"], None);
     let b_supp = dag.stage_broadcast(supplier, par.mid.min(4));
@@ -330,12 +354,21 @@ pub fn q05(par: Par) -> StageDag {
     let joined = dag
         .read(s_li)
         .join(dag.read(s_oc), &[("l_orderkey", "o_orderkey")], Inner)
-        .join(dag.read_broadcast(b_supp), &[("l_suppkey", "s_suppkey")], Inner);
+        .join(
+            dag.read_broadcast(b_supp),
+            &[("l_suppkey", "s_suppkey")],
+            Inner,
+        );
     let jc = joined.cols();
     let local = joined.filter(jc.c("c_nationkey").eq(jc.c("s_nationkey")));
     let lc = local.cols();
-    let rev = lc.c("l_extendedprice").mul(lit(1.0).sub(lc.c("l_discount")));
-    let agg = local.aggregate(vec![("n_name", lc.c("n_name"))], vec![("revenue", Sum, rev)]);
+    let rev = lc
+        .c("l_extendedprice")
+        .mul(lit(1.0).sub(lc.c("l_discount")));
+    let agg = local.aggregate(
+        vec![("n_name", lc.c("n_name"))],
+        vec![("revenue", Sum, rev)],
+    );
     let s_agg = dag.stage_hash(agg, par.join, &["n_name"], 1);
     let fin = dag.read(s_agg);
     let fc = fin.cols();
@@ -364,7 +397,11 @@ pub fn q06(par: Par) -> StageDag {
     let c = scan.cols();
     let partial = scan.aggregate(
         vec![],
-        vec![("revenue", Sum, c.c("l_extendedprice").mul(c.c("l_discount")))],
+        vec![(
+            "revenue",
+            Sum,
+            c.c("l_extendedprice").mul(c.c("l_discount")),
+        )],
     );
     let s0 = dag.stage_hash(partial, par.fact, &[], 1);
     let fin = dag.read(s0);

@@ -50,18 +50,29 @@ pub fn q07(par: Par) -> StageDag {
     let li = t("lineitem");
     let line = Node::scan(
         "lineitem",
-        &["l_orderkey", "l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"],
+        &[
+            "l_orderkey",
+            "l_suppkey",
+            "l_extendedprice",
+            "l_discount",
+            "l_shipdate",
+        ],
         Some(
             li.c("l_shipdate")
                 .gt_eq(litd("1995-01-01"))
                 .and(li.c("l_shipdate").lt_eq(litd("1996-12-31"))),
         ),
     )
-    .join(dag.read_broadcast(b_supp), &[("l_suppkey", "s_suppkey")], Inner);
+    .join(
+        dag.read_broadcast(b_supp),
+        &[("l_suppkey", "s_suppkey")],
+        Inner,
+    );
     let s_li = dag.stage_hash(line, par.fact, &["l_orderkey"], par.join);
 
-    let joined =
-        dag.read(s_li).join(dag.read(s_oc), &[("l_orderkey", "o_orderkey")], Inner);
+    let joined = dag
+        .read(s_li)
+        .join(dag.read(s_oc), &[("l_orderkey", "o_orderkey")], Inner);
     let jc = joined.cols();
     let pairs = joined.filter(
         jc.c("supp_nation")
@@ -73,7 +84,9 @@ pub fn q07(par: Par) -> StageDag {
                 .and(jc.c("cust_nation").eq(lits("FRANCE")))),
     );
     let pc = pairs.cols();
-    let volume = pc.c("l_extendedprice").mul(lit(1.0).sub(pc.c("l_discount")));
+    let volume = pc
+        .c("l_extendedprice")
+        .mul(lit(1.0).sub(pc.c("l_discount")));
     let agg = pairs.aggregate(
         vec![
             ("supp_nation", pc.c("supp_nation")),
@@ -164,21 +177,45 @@ pub fn q08(par: Par) -> StageDag {
 
     let line = Node::scan(
         "lineitem",
-        &["l_orderkey", "l_partkey", "l_suppkey", "l_extendedprice", "l_discount"],
+        &[
+            "l_orderkey",
+            "l_partkey",
+            "l_suppkey",
+            "l_extendedprice",
+            "l_discount",
+        ],
         None,
     )
-    .join(dag.read_broadcast(b_part), &[("l_partkey", "p_partkey")], Semi)
-    .join(dag.read_broadcast(b_supp), &[("l_suppkey", "s_suppkey")], Inner);
+    .join(
+        dag.read_broadcast(b_part),
+        &[("l_partkey", "p_partkey")],
+        Semi,
+    )
+    .join(
+        dag.read_broadcast(b_supp),
+        &[("l_suppkey", "s_suppkey")],
+        Inner,
+    );
     let s_li = dag.stage_hash(line, par.fact, &["l_orderkey"], par.join);
 
-    let joined =
-        dag.read(s_li).join(dag.read(s_oc), &[("l_orderkey", "o_orderkey")], Inner);
+    let joined = dag
+        .read(s_li)
+        .join(dag.read(s_oc), &[("l_orderkey", "o_orderkey")], Inner);
     let jc = joined.cols();
-    let volume = jc.c("l_extendedprice").mul(lit(1.0).sub(jc.c("l_discount")));
-    let brazil = case_when(jc.c("supp_nation").eq(lits("BRAZIL")), volume.clone(), lit(0.0));
+    let volume = jc
+        .c("l_extendedprice")
+        .mul(lit(1.0).sub(jc.c("l_discount")));
+    let brazil = case_when(
+        jc.c("supp_nation").eq(lits("BRAZIL")),
+        volume.clone(),
+        lit(0.0),
+    );
     let agg = joined.aggregate(
         vec![("o_year", Expr::ExtractYear(Box::new(jc.c("o_orderdate"))))],
-        vec![("brazil_volume", Sum, brazil), ("total_volume", Sum, volume)],
+        vec![
+            ("brazil_volume", Sum, brazil),
+            ("total_volume", Sum, volume),
+        ],
     );
     let s_agg = dag.stage_hash(agg, par.join, &["o_year"], 1);
     let fin = dag.read(s_agg);
@@ -207,7 +244,10 @@ pub fn q09(par: Par) -> StageDag {
     let part = Node::scan(
         "part",
         &["p_partkey"],
-        Some(like(t("part").c("p_name"), LikePattern::Contains("green".into()))),
+        Some(like(
+            t("part").c("p_name"),
+            LikePattern::Contains("green".into()),
+        )),
     );
     let b_part = dag.stage_broadcast(part, 1);
     let nation = Node::scan("nation", &["n_nationkey", "n_name"], None);
@@ -218,8 +258,10 @@ pub fn q09(par: Par) -> StageDag {
         Inner,
     );
     let sc = supp.cols();
-    let supp = supp
-        .project(vec![("s_suppkey", sc.c("s_suppkey")), ("nation", sc.c("n_name"))]);
+    let supp = supp.project(vec![
+        ("s_suppkey", sc.c("s_suppkey")),
+        ("nation", sc.c("n_name")),
+    ]);
     let b_supp = dag.stage_broadcast(supp, 1);
 
     let line = Node::scan(
@@ -234,10 +276,22 @@ pub fn q09(par: Par) -> StageDag {
         ],
         None,
     )
-    .join(dag.read_broadcast(b_part), &[("l_partkey", "p_partkey")], Semi);
+    .join(
+        dag.read_broadcast(b_part),
+        &[("l_partkey", "p_partkey")],
+        Semi,
+    );
     let s_li = dag.stage_hash(line, par.fact, &["l_partkey", "l_suppkey"], par.join);
-    let ps = Node::scan("partsupp", &["ps_partkey", "ps_suppkey", "ps_supplycost"], None)
-        .join(dag.read_broadcast(b_part), &[("ps_partkey", "p_partkey")], Semi);
+    let ps = Node::scan(
+        "partsupp",
+        &["ps_partkey", "ps_suppkey", "ps_supplycost"],
+        None,
+    )
+    .join(
+        dag.read_broadcast(b_part),
+        &[("ps_partkey", "p_partkey")],
+        Semi,
+    );
     let s_ps = dag.stage_hash(ps, par.mid, &["ps_partkey", "ps_suppkey"], par.join);
 
     let li_ps = dag.read(s_li).join(
@@ -252,7 +306,11 @@ pub fn q09(par: Par) -> StageDag {
     let joined = dag
         .read(s_lips)
         .join(dag.read(s_orders), &[("l_orderkey", "o_orderkey")], Inner)
-        .join(dag.read_broadcast(b_supp), &[("l_suppkey", "s_suppkey")], Inner);
+        .join(
+            dag.read_broadcast(b_supp),
+            &[("l_suppkey", "s_suppkey")],
+            Inner,
+        );
     let jc = joined.cols();
     let amount = jc
         .c("l_extendedprice")
@@ -273,7 +331,10 @@ pub fn q09(par: Par) -> StageDag {
             vec![("nation", fc.c("nation")), ("o_year", fc.c("o_year"))],
             vec![("sum_profit", Sum, fc.c("sum_profit"))],
         )
-        .sort(vec![SortKey::asc(Expr::Col(0)), SortKey::desc(Expr::Col(1))], None);
+        .sort(
+            vec![SortKey::asc(Expr::Col(0)), SortKey::desc(Expr::Col(1))],
+            None,
+        );
     dag.finish(fin, 1)
 }
 
@@ -303,7 +364,9 @@ pub fn q10(par: Par) -> StageDag {
         .read(s_li)
         .join(dag.read(s_orders), &[("l_orderkey", "o_orderkey")], Inner);
     let lc = li_o.cols();
-    let rev = lc.c("l_extendedprice").mul(lit(1.0).sub(lc.c("l_discount")));
+    let rev = lc
+        .c("l_extendedprice")
+        .mul(lit(1.0).sub(lc.c("l_discount")));
     let partial = li_o.aggregate(
         vec![("o_custkey", lc.c("o_custkey"))],
         vec![("revenue", Sum, rev)],
@@ -323,7 +386,11 @@ pub fn q10(par: Par) -> StageDag {
         ],
         None,
     )
-    .join(dag.read_broadcast(b_nation), &[("c_nationkey", "n_nationkey")], Inner);
+    .join(
+        dag.read_broadcast(b_nation),
+        &[("c_nationkey", "n_nationkey")],
+        Inner,
+    );
     let s_cust = dag.stage_hash(cust, par.mid, &["c_custkey"], par.join);
 
     let joined = dag
@@ -372,7 +439,11 @@ pub fn q11(par: Par) -> StageDag {
         &["ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost"],
         None,
     )
-    .join(dag.read_broadcast(b_supp), &[("ps_suppkey", "s_suppkey")], Semi);
+    .join(
+        dag.read_broadcast(b_supp),
+        &[("ps_suppkey", "s_suppkey")],
+        Semi,
+    );
     let pc = ps.cols();
     let value = pc.c("ps_supplycost").mul(pc.c("ps_availqty"));
     let partial = ps.aggregate(
@@ -408,7 +479,10 @@ pub fn q11(par: Par) -> StageDag {
     let jc = joined.cols();
     let fin = joined
         .filter(jc.c("value").gt(jc.c("total").mul(lit(0.0001))))
-        .project(vec![("ps_partkey", jc.c("ps_partkey")), ("value", jc.c("value"))]);
+        .project(vec![
+            ("ps_partkey", jc.c("ps_partkey")),
+            ("value", jc.c("value")),
+        ]);
     let fc = fin.cols();
     let fin = fin.sort(vec![SortKey::desc(fc.c("value"))], None);
     dag.finish(fin, 1)

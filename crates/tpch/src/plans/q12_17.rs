@@ -34,7 +34,11 @@ pub fn q12(par: Par) -> StageDag {
     let agg = joined.aggregate(
         vec![("l_shipmode", jc.c("l_shipmode"))],
         vec![
-            ("high_line_count", Sum, case_when(is_high.clone(), liti(1), liti(0))),
+            (
+                "high_line_count",
+                Sum,
+                case_when(is_high.clone(), liti(1), liti(0)),
+            ),
             ("low_line_count", Sum, case_when(is_high, liti(0), liti(1))),
         ],
     );
@@ -90,7 +94,10 @@ pub fn q13(par: Par) -> StageDag {
             vec![("c_count", fc.c("c_count"))],
             vec![("custdist", Sum, fc.c("custdist"))],
         )
-        .sort(vec![SortKey::desc(Expr::Col(1)), SortKey::desc(Expr::Col(0))], None);
+        .sort(
+            vec![SortKey::desc(Expr::Col(1)), SortKey::desc(Expr::Col(0))],
+            None,
+        );
     dag.finish(fin, 1)
 }
 
@@ -114,7 +121,9 @@ pub fn q14(par: Par) -> StageDag {
         .read(s_li)
         .join(dag.read(s_part), &[("l_partkey", "p_partkey")], Inner);
     let jc = joined.cols();
-    let rev = jc.c("l_extendedprice").mul(lit(1.0).sub(jc.c("l_discount")));
+    let rev = jc
+        .c("l_extendedprice")
+        .mul(lit(1.0).sub(jc.c("l_discount")));
     let promo = case_when(
         like(jc.c("p_type"), LikePattern::Prefix("PROMO".into())),
         rev.clone(),
@@ -137,7 +146,9 @@ pub fn q14(par: Par) -> StageDag {
     let fc = fin.cols();
     let fin = fin.project(vec![(
         "promo_pct",
-        lit(100.0).mul(fc.c("promo_revenue")).div(fc.c("total_revenue")),
+        lit(100.0)
+            .mul(fc.c("promo_revenue"))
+            .div(fc.c("total_revenue")),
     )]);
     dag.finish(fin, 1)
 }
@@ -157,7 +168,9 @@ pub fn q15(par: Par) -> StageDag {
         ),
     );
     let lc = line.cols();
-    let rev = lc.c("l_extendedprice").mul(lit(1.0).sub(lc.c("l_discount")));
+    let rev = lc
+        .c("l_extendedprice")
+        .mul(lit(1.0).sub(lc.c("l_discount")));
     let partial = line.aggregate(
         vec![("supplier_no", lc.c("l_suppkey"))],
         vec![("total_revenue", Sum, rev)],
@@ -170,7 +183,11 @@ pub fn q15(par: Par) -> StageDag {
         vec![("total_revenue", Sum, rc.c("total_revenue"))],
     );
     let s_rev = dag.stage_hash(revenue, par.join, &[], 1);
-    let supp = Node::scan("supplier", &["s_suppkey", "s_name", "s_address", "s_phone"], None);
+    let supp = Node::scan(
+        "supplier",
+        &["s_suppkey", "s_name", "s_address", "s_phone"],
+        None,
+    );
     let b_supp = dag.stage_broadcast(supp, 1);
     // Final: max via constant-key join, then equality filter.
     let rows = dag.read(s_rev);
@@ -193,7 +210,11 @@ pub fn q15(par: Par) -> StageDag {
     let jc = joined.cols();
     let fin = joined
         .filter(jc.c("total_revenue").eq(jc.c("max_revenue")))
-        .join(dag.read_broadcast(b_supp), &[("supplier_no", "s_suppkey")], Inner);
+        .join(
+            dag.read_broadcast(b_supp),
+            &[("supplier_no", "s_suppkey")],
+            Inner,
+        );
     let fc = fin.cols();
     let fin = fin
         .project(vec![
@@ -227,7 +248,10 @@ pub fn q16(par: Par) -> StageDag {
         Some(
             p.c("p_brand")
                 .neq(lits("Brand#45"))
-                .and(not_like(p.c("p_type"), LikePattern::Prefix("MEDIUM POLISHED".into())))
+                .and(not_like(
+                    p.c("p_type"),
+                    LikePattern::Prefix("MEDIUM POLISHED".into()),
+                ))
                 .and(in_i64s(p.c("p_size"), &[49, 14, 23, 45, 19, 3, 36, 9])),
         ),
     );
@@ -289,8 +313,11 @@ pub fn q17(par: Par) -> StageDag {
         ),
     );
     let s_part = dag.stage_hash(part, par.mid, &["p_partkey"], par.join);
-    let line =
-        Node::scan("lineitem", &["l_partkey", "l_quantity", "l_extendedprice"], None);
+    let line = Node::scan(
+        "lineitem",
+        &["l_partkey", "l_quantity", "l_extendedprice"],
+        None,
+    );
     let s_li = dag.stage_hash(line, par.fact, &["l_partkey"], par.join);
 
     // Per-part average quantity over all lineitems (complete within the
@@ -308,8 +335,7 @@ pub fn q17(par: Par) -> StageDag {
     let jc = joined.cols();
     let small = joined.filter(jc.c("l_quantity").lt(lit(0.2).mul(jc.c("avg_qty"))));
     let sc = small.cols();
-    let partial =
-        small.aggregate(vec![], vec![("sum_price", Sum, sc.c("l_extendedprice"))]);
+    let partial = small.aggregate(vec![], vec![("sum_price", Sum, sc.c("l_extendedprice"))]);
     let s_partial = dag.stage_hash(partial, par.join, &[], 1);
     let fin = dag.read(s_partial);
     let fc = fin.cols();

@@ -7,7 +7,6 @@ use cackle_engine::ops::join::JoinType::*;
 use cackle_engine::ops::sort::SortKey;
 use cackle_engine::plan::StageDag;
 
-
 /// Q18 — large-volume customers (orders with > 300 total quantity).
 pub fn q18(par: Par) -> StageDag {
     let mut dag = DagBuilder::new("q18");
@@ -52,14 +51,20 @@ pub fn q18(par: Par) -> StageDag {
     ]);
     let oc = out.cols();
     let top = out.sort(
-        vec![SortKey::desc(oc.c("o_totalprice")), SortKey::asc(oc.c("o_orderdate"))],
+        vec![
+            SortKey::desc(oc.c("o_totalprice")),
+            SortKey::asc(oc.c("o_orderdate")),
+        ],
         Some(100),
     );
     let s_top = dag.stage_hash(top, par.join, &[], 1);
     let fin = dag.read(s_top);
     let fc = fin.cols();
     let fin = fin.sort(
-        vec![SortKey::desc(fc.c("o_totalprice")), SortKey::asc(fc.c("o_orderdate"))],
+        vec![
+            SortKey::desc(fc.c("o_totalprice")),
+            SortKey::asc(fc.c("o_orderdate")),
+        ],
         Some(100),
     );
     dag.finish(fin, 1)
@@ -79,7 +84,11 @@ pub fn q19(par: Par) -> StageDag {
         ),
     );
     let s_li = dag.stage_hash(line, par.fact, &["l_partkey"], par.join);
-    let part = Node::scan("part", &["p_partkey", "p_brand", "p_size", "p_container"], None);
+    let part = Node::scan(
+        "part",
+        &["p_partkey", "p_brand", "p_size", "p_container"],
+        None,
+    );
     let s_part = dag.stage_hash(part, par.mid, &["p_partkey"], par.join);
     let joined = dag
         .read(s_li)
@@ -94,12 +103,32 @@ pub fn q19(par: Par) -> StageDag {
             .and(jc.c("p_size").gt_eq(liti(1)))
             .and(jc.c("p_size").lt_eq(liti(smax)))
     };
-    let pred = branch("Brand#12", &["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1.0, 11.0, 5)
-        .or(branch("Brand#23", &["MED BAG", "MED BOX", "MED PKG", "MED PACK"], 10.0, 20.0, 10))
-        .or(branch("Brand#34", &["LG CASE", "LG BOX", "LG PACK", "LG PKG"], 20.0, 30.0, 15));
+    let pred = branch(
+        "Brand#12",
+        &["SM CASE", "SM BOX", "SM PACK", "SM PKG"],
+        1.0,
+        11.0,
+        5,
+    )
+    .or(branch(
+        "Brand#23",
+        &["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
+        10.0,
+        20.0,
+        10,
+    ))
+    .or(branch(
+        "Brand#34",
+        &["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
+        20.0,
+        30.0,
+        15,
+    ));
     let filtered = joined.filter(pred);
     let fc = filtered.cols();
-    let rev = fc.c("l_extendedprice").mul(lit(1.0).sub(fc.c("l_discount")));
+    let rev = fc
+        .c("l_extendedprice")
+        .mul(lit(1.0).sub(fc.c("l_discount")));
     let partial = filtered.aggregate(vec![], vec![("revenue", Sum, rev)]);
     let s_partial = dag.stage_hash(partial, par.join, &[], 1);
     let fin = dag.read(s_partial);
@@ -115,7 +144,10 @@ pub fn q20(par: Par) -> StageDag {
     let part = Node::scan(
         "part",
         &["p_partkey"],
-        Some(like(t("part").c("p_name"), LikePattern::Prefix("forest".into()))),
+        Some(like(
+            t("part").c("p_name"),
+            LikePattern::Prefix("forest".into()),
+        )),
     );
     let s_part = dag.stage_hash(part, par.mid, &["p_partkey"], par.join);
     let li = t("lineitem");
@@ -129,7 +161,11 @@ pub fn q20(par: Par) -> StageDag {
         ),
     );
     let s_li = dag.stage_hash(line, par.fact, &["l_partkey"], par.join);
-    let ps = Node::scan("partsupp", &["ps_partkey", "ps_suppkey", "ps_availqty"], None);
+    let ps = Node::scan(
+        "partsupp",
+        &["ps_partkey", "ps_suppkey", "ps_availqty"],
+        None,
+    );
     let s_ps = dag.stage_hash(ps, par.mid, &["ps_partkey"], par.join);
 
     // Within the part-key partition: shipped quantity per (part, supplier),
@@ -137,7 +173,10 @@ pub fn q20(par: Par) -> StageDag {
     let qty = dag.read(s_li);
     let qc = qty.cols();
     let qty = qty.aggregate(
-        vec![("qk_part", qc.c("l_partkey")), ("qk_supp", qc.c("l_suppkey"))],
+        vec![
+            ("qk_part", qc.c("l_partkey")),
+            ("qk_supp", qc.c("l_suppkey")),
+        ],
         vec![("sum_qty", Sum, qc.c("l_quantity"))],
     );
     let forest_ps = dag
@@ -151,10 +190,16 @@ pub fn q20(par: Par) -> StageDag {
     let jc = joined.cols();
     let qualified = joined
         .filter(
-            Expr::Cast { input: Box::new(jc.c("ps_availqty")), to: cackle_engine::types::DataType::F64 }
-                .gt(lit(0.5).mul(jc.c("sum_qty"))),
+            Expr::Cast {
+                input: Box::new(jc.c("ps_availqty")),
+                to: cackle_engine::types::DataType::F64,
+            }
+            .gt(lit(0.5).mul(jc.c("sum_qty"))),
         )
-        .aggregate(vec![("suppkey", jc.c("ps_suppkey"))], vec![("n", CountStar, liti(1))]);
+        .aggregate(
+            vec![("suppkey", jc.c("ps_suppkey"))],
+            vec![("n", CountStar, liti(1))],
+        );
     let s_keys = dag.stage_hash(qualified, par.join, &["suppkey"], par.join);
 
     let nation = Node::scan(
@@ -163,8 +208,16 @@ pub fn q20(par: Par) -> StageDag {
         Some(t("nation").c("n_name").eq(lits("CANADA"))),
     );
     let b_nation = dag.stage_broadcast(nation, 1);
-    let supp = Node::scan("supplier", &["s_suppkey", "s_name", "s_address", "s_nationkey"], None)
-        .join(dag.read_broadcast(b_nation), &[("s_nationkey", "n_nationkey")], Semi);
+    let supp = Node::scan(
+        "supplier",
+        &["s_suppkey", "s_name", "s_address", "s_nationkey"],
+        None,
+    )
+    .join(
+        dag.read_broadcast(b_nation),
+        &[("s_nationkey", "n_nationkey")],
+        Semi,
+    );
     let s_supp = dag.stage_hash(supp, par.mid, &["s_suppkey"], par.join);
 
     let fin = dag
@@ -211,7 +264,11 @@ pub fn q21(par: Par) -> StageDag {
             ("l_suppkey", sc.c("l_suppkey")),
             (
                 "late",
-                case_when(sc.c("l_receiptdate").gt(sc.c("l_commitdate")), liti(1), liti(0)),
+                case_when(
+                    sc.c("l_receiptdate").gt(sc.c("l_commitdate")),
+                    liti(1),
+                    liti(0),
+                ),
             ),
         ])
     };
@@ -242,14 +299,23 @@ pub fn q21(par: Par) -> StageDag {
         )
     };
     let lc = li_f.cols();
-    let candidates = li_f
-        .filter(lc.c("late").eq(liti(1)))
-        .join(dag.read_broadcast(b_supp), &[("l_suppkey", "s_suppkey")], Inner);
+    let candidates = li_f.filter(lc.c("late").eq(liti(1))).join(
+        dag.read_broadcast(b_supp),
+        &[("l_suppkey", "s_suppkey")],
+        Inner,
+    );
     let joined = candidates.join(stats, &[("l_orderkey", "ok")], Inner);
     let jc = joined.cols();
     let waiting = joined
-        .filter(jc.c("n_supp").gt(liti(1)).and(jc.c("n_late_supp").eq(liti(1))))
-        .aggregate(vec![("s_name", jc.c("s_name"))], vec![("numwait", CountStar, liti(1))]);
+        .filter(
+            jc.c("n_supp")
+                .gt(liti(1))
+                .and(jc.c("n_late_supp").eq(liti(1))),
+        )
+        .aggregate(
+            vec![("s_name", jc.c("s_name"))],
+            vec![("numwait", CountStar, liti(1))],
+        );
     let s_agg = dag.stage_hash(waiting, par.join, &["s_name"], 1);
     let fin = dag.read(s_agg);
     let fc = fin.cols();
@@ -270,7 +336,11 @@ pub fn q21(par: Par) -> StageDag {
 pub fn q22(par: Par) -> StageDag {
     const CODES: [&str; 7] = ["13", "31", "23", "29", "30", "18", "17"];
     let mut dag = DagBuilder::new("q22");
-    let code = |e: Expr| Expr::Substr { input: Box::new(e), start: 1, len: 2 };
+    let code = |e: Expr| Expr::Substr {
+        input: Box::new(e),
+        start: 1,
+        len: 2,
+    };
     let c = t("customer");
     // Global average positive balance among the country codes.
     let avg_scan = Node::scan(
@@ -290,16 +360,16 @@ pub fn q22(par: Par) -> StageDag {
     let s_avg = dag.stage_hash(avg_partial, par.mid, &[], 1);
     let avg_total = dag.read(s_avg);
     let tc = avg_total.cols();
-    let avg_total = avg_total.aggregate(
-        vec![],
-        vec![("s", Sum, tc.c("s")), ("n", Sum, tc.c("n"))],
-    );
+    let avg_total = avg_total.aggregate(vec![], vec![("s", Sum, tc.c("s")), ("n", Sum, tc.c("n"))]);
     let tc = avg_total.cols();
     let avg_total = avg_total.project(vec![
-        ("avgbal", tc.c("s").div(Expr::Cast {
-            input: Box::new(tc.c("n")),
-            to: cackle_engine::types::DataType::F64,
-        })),
+        (
+            "avgbal",
+            tc.c("s").div(Expr::Cast {
+                input: Box::new(tc.c("n")),
+                to: cackle_engine::types::DataType::F64,
+            }),
+        ),
         ("k2", liti(1)),
     ]);
     let b_avg = dag.stage_broadcast(avg_total, 1);

@@ -41,14 +41,19 @@ pub fn ds24_iterative(par: Par) -> StageDag {
         .read(s_orders)
         .join(dag.read(s_cust), &[("o_custkey", "c_custkey")], Inner);
     let s_oc = dag.stage_hash(o_c, par.join, &["o_orderkey"], par.join);
-    let line =
-        Node::scan("lineitem", &["l_orderkey", "l_extendedprice", "l_discount"], None);
+    let line = Node::scan(
+        "lineitem",
+        &["l_orderkey", "l_extendedprice", "l_discount"],
+        None,
+    );
     let s_li = dag.stage_hash(line, par.fact, &["l_orderkey"], par.join);
     let joined = dag
         .read(s_li)
         .join(dag.read(s_oc), &[("l_orderkey", "o_orderkey")], Inner);
     let jc = joined.cols();
-    let rev = jc.c("l_extendedprice").mul(lit(1.0).sub(jc.c("l_discount")));
+    let rev = jc
+        .c("l_extendedprice")
+        .mul(lit(1.0).sub(jc.c("l_discount")));
     let per_cust = joined.aggregate(
         vec![("c_custkey", jc.c("o_custkey")), ("n_name", jc.c("n_name"))],
         vec![("revenue", Sum, rev)],
@@ -101,22 +106,31 @@ pub fn ds58_reporting(par: Par) -> StageDag {
     let mut dag = DagBuilder::new("ds58");
     let part = Node::scan("part", &["p_partkey", "p_brand"], None);
     let s_part = dag.stage_hash(part, par.mid, &["p_partkey"], par.join);
-    let windows =
-        [("1995-01-01", "1995-02-01"), ("1995-02-01", "1995-03-01"), ("1995-03-01", "1995-04-01")];
+    let windows = [
+        ("1995-01-01", "1995-02-01"),
+        ("1995-02-01", "1995-03-01"),
+        ("1995-03-01", "1995-04-01"),
+    ];
     let mut monthly = Vec::new();
     for (i, (lo, hi)) in windows.iter().enumerate() {
         let li = t("lineitem");
         let line = Node::scan(
             "lineitem",
             &["l_partkey", "l_extendedprice", "l_discount"],
-            Some(li.c("l_shipdate").gt_eq(litd(lo)).and(li.c("l_shipdate").lt(litd(hi)))),
+            Some(
+                li.c("l_shipdate")
+                    .gt_eq(litd(lo))
+                    .and(li.c("l_shipdate").lt(litd(hi))),
+            ),
         );
         let s_li = dag.stage_hash(line, par.fact, &["l_partkey"], par.join);
         let joined = dag
             .read(s_li)
             .join(dag.read(s_part), &[("l_partkey", "p_partkey")], Inner);
         let jc = joined.cols();
-        let rev = jc.c("l_extendedprice").mul(lit(1.0).sub(jc.c("l_discount")));
+        let rev = jc
+            .c("l_extendedprice")
+            .mul(lit(1.0).sub(jc.c("l_discount")));
         let agg = joined.aggregate(
             vec![("p_brand", jc.c("p_brand")), ("month", liti(i as i64 + 1))],
             vec![("revenue", Sum, rev)],
@@ -147,16 +161,26 @@ pub fn ds58_reporting(par: Par) -> StageDag {
 pub fn ds81_multifact(par: Par) -> StageDag {
     let mut dag = DagBuilder::new("ds81");
     // Fact 1: lineitem revenue per supplier.
-    let line = Node::scan("lineitem", &["l_suppkey", "l_extendedprice", "l_discount"], None);
+    let line = Node::scan(
+        "lineitem",
+        &["l_suppkey", "l_extendedprice", "l_discount"],
+        None,
+    );
     let lc = line.cols();
-    let rev = lc.c("l_extendedprice").mul(lit(1.0).sub(lc.c("l_discount")));
+    let rev = lc
+        .c("l_extendedprice")
+        .mul(lit(1.0).sub(lc.c("l_discount")));
     let sales = line.aggregate(
         vec![("l_suppkey", lc.c("l_suppkey"))],
         vec![("sales", Sum, rev)],
     );
     let s_sales = dag.stage_hash(sales, par.fact, &["l_suppkey"], par.join);
     // Fact 2: partsupp supply value per supplier.
-    let ps = Node::scan("partsupp", &["ps_suppkey", "ps_availqty", "ps_supplycost"], None);
+    let ps = Node::scan(
+        "partsupp",
+        &["ps_suppkey", "ps_availqty", "ps_supplycost"],
+        None,
+    );
     let pc = ps.cols();
     let supply_value = pc.c("ps_supplycost").mul(pc.c("ps_availqty"));
     let supply = ps.aggregate(
@@ -191,12 +215,14 @@ pub fn ds81_multifact(par: Par) -> StageDag {
         .join(sales_f, &[("s_suppkey", "sk")], Inner)
         .join(supply_f, &[("s_suppkey", "vk")], Inner);
     let jc = joined.cols();
-    let out = joined.filter(jc.c("sales").gt(jc.c("supply_value"))).project(vec![
-        ("s_name", jc.c("s_name")),
-        ("n_name", jc.c("n_name")),
-        ("sales", jc.c("sales")),
-        ("supply_value", jc.c("supply_value")),
-    ]);
+    let out = joined
+        .filter(jc.c("sales").gt(jc.c("supply_value")))
+        .project(vec![
+            ("s_name", jc.c("s_name")),
+            ("n_name", jc.c("n_name")),
+            ("sales", jc.c("sales")),
+            ("supply_value", jc.c("supply_value")),
+        ]);
     let oc = out.cols();
     let top = out.sort(vec![SortKey::desc(oc.c("sales"))], Some(100));
     let s_top = dag.stage_hash(top, par.join, &[], 1);

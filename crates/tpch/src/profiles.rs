@@ -106,13 +106,14 @@ fn profile_from_structure(dag: &StageDag, cfg: &DbGenConfig, sf: f64) -> QueryPr
     for (i, stage) in dag.stages.iter().enumerate() {
         let mut tables = Vec::new();
         stage.root.scanned_tables(&mut tables);
-        let scan_bytes: u64 =
-            tables.iter().map(|t| table_rows(t, cfg) * row_width(t)).sum();
+        let scan_bytes: u64 = tables
+            .iter()
+            .map(|t| table_rows(t, cfg) * row_width(t))
+            .sum();
         let deps = stage.dependencies();
         let upstream_bytes: u64 = deps.iter().map(|&d| out_bytes[d]).sum();
         let input_bytes = scan_bytes + upstream_bytes;
-        let stage_out =
-            ((input_bytes as f64) * output_ratio(&stage.root)).round() as u64;
+        let stage_out = ((input_bytes as f64) * output_ratio(&stage.root)).round() as u64;
         // Final gather stages don't shuffle.
         let is_final = i == n - 1;
         out_bytes[i] = if is_final { 0 } else { stage_out };
@@ -151,9 +152,7 @@ fn request_counts(dag: &StageDag, stage: &Stage, deps: &[usize]) -> (u64, u64) {
         .map(|&d| {
             let producer = &dag.stages[d];
             match producer.exchange {
-                ExchangeMode::Hash { .. } => {
-                    stage.tasks as u64 * producer.tasks as u64
-                }
+                ExchangeMode::Hash { .. } => stage.tasks as u64 * producer.tasks as u64,
                 ExchangeMode::Broadcast => stage.tasks as u64,
                 ExchangeMode::Gather => 0,
             }
@@ -173,7 +172,11 @@ pub fn measured_profile(
     let par = Par::for_scale(target_sf);
     // Execute with a small, fixed parallelism to keep measurement cheap;
     // work is then re-divided across the target task counts.
-    let exec_par = Par { fact: 2, mid: 2, join: 2 };
+    let exec_par = Par {
+        fact: 2,
+        mid: 2,
+        join: 2,
+    };
     let dag = plans::plan(name, exec_par);
     let target_dag = plans::plan(name, par);
     let shuffle = MemoryShuffle::new();
@@ -293,13 +296,20 @@ mod tests {
 
     #[test]
     fn measured_profile_runs_engine_and_scales() {
-        let cfg = DbGenConfig { scale_factor: 0.002, rows_per_partition: 512, seed: 7 };
+        let cfg = DbGenConfig {
+            scale_factor: 0.002,
+            rows_per_partition: 512,
+            seed: 7,
+        };
         let catalog = crate::dbgen::generate_catalog(&cfg);
         let m = measured_profile("q06", &catalog, 0.002, 100.0);
         let c = calibrated_profile("q06", 100.0);
         assert_eq!(m.stages.len(), c.stages.len());
         // Same order of magnitude as the calibrated estimate.
         let ratio = m.total_task_seconds() as f64 / c.total_task_seconds() as f64;
-        assert!(ratio > 0.1 && ratio < 10.0, "measured/calibrated ratio {ratio}");
+        assert!(
+            ratio > 0.1 && ratio < 10.0,
+            "measured/calibrated ratio {ratio}"
+        );
     }
 }

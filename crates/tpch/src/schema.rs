@@ -1,15 +1,11 @@
 //! TPC-H table schemas (all eight tables, full standard column sets).
 
 use cackle_engine::schema::{Schema, SchemaRef};
-use cackle_engine::types::DataType::{Date, F64, Str, I64};
+use cackle_engine::types::DataType::{Date, Str, F64, I64};
 
 /// `region` schema.
 pub fn region() -> SchemaRef {
-    Schema::shared(&[
-        ("r_regionkey", I64),
-        ("r_name", Str),
-        ("r_comment", Str),
-    ])
+    Schema::shared(&[("r_regionkey", I64), ("r_name", Str), ("r_comment", Str)])
 }
 
 /// `nation` schema.

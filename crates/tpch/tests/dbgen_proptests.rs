@@ -1,28 +1,31 @@
-//! Property-based tests on the data generator: referential integrity and
-//! spec invariants must hold at any scale factor and seed.
+//! Randomized tests on the data generator: referential integrity and
+//! spec invariants must hold at any scale factor and seed. Cases come
+//! from the in-repo deterministic PRNG so failures reproduce exactly.
 
+use cackle_prng::Pcg32;
 use cackle_tpch::dbgen::{gen_orders_lineitem, gen_partsupp, DbGenConfig};
-use proptest::prelude::*;
-use std::collections::HashSet;
+use std::collections::{BTreeMap, BTreeSet};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Lineitem foreign keys always land inside the generated key spaces,
-    /// dates always satisfy ship < receipt, and o_custkey is never
-    /// divisible by three (the spec rule Q13/Q22 depend on).
-    #[test]
-    fn generator_invariants(
-        sf in 0.0005f64..0.004,
-        seed in any::<u64>(),
-    ) {
-        let cfg = DbGenConfig { scale_factor: sf, rows_per_partition: 512, seed };
+/// Lineitem foreign keys always land inside the generated key spaces,
+/// dates always satisfy ship < receipt, and o_custkey is never
+/// divisible by three (the spec rule Q13/Q22 depend on).
+#[test]
+fn generator_invariants() {
+    let mut rng = Pcg32::seed_from_u64(0x7DC4_01);
+    for _ in 0..12 {
+        let sf = rng.gen_range(0.0005f64..0.004);
+        let seed = rng.next_u64();
+        let cfg = DbGenConfig {
+            scale_factor: sf,
+            rows_per_partition: 512,
+            seed,
+        };
         let counts = cfg.row_counts();
         let ol = gen_orders_lineitem(&cfg);
         for p in &ol.orders.partitions {
             for &c in p.column_by_name("o_custkey").i64s() {
-                prop_assert!(c >= 1 && c <= counts.customer as i64);
-                prop_assert!(c % 3 != 0, "o_custkey divisible by 3");
+                assert!(c >= 1 && c <= counts.customer as i64);
+                assert!(c % 3 != 0, "o_custkey divisible by 3");
             }
         }
         for p in &ol.lineitem.partitions {
@@ -32,28 +35,36 @@ proptest! {
             let receipt = p.column_by_name("l_receiptdate").dates();
             let disc = p.column_by_name("l_discount").f64s();
             for i in 0..p.num_rows() {
-                prop_assert!(pk[i] >= 1 && pk[i] <= counts.part as i64);
-                prop_assert!(sk[i] >= 1 && sk[i] <= counts.supplier as i64);
-                prop_assert!(ship[i] < receipt[i]);
-                prop_assert!((0.0..=0.10001).contains(&disc[i]));
+                assert!(pk[i] >= 1 && pk[i] <= counts.part as i64);
+                assert!(sk[i] >= 1 && sk[i] <= counts.supplier as i64);
+                assert!(ship[i] < receipt[i]);
+                assert!((0.0..=0.10001).contains(&disc[i]));
             }
         }
         // Orderkeys dense 1..=n and unique.
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for p in &ol.orders.partitions {
             for &k in p.column_by_name("o_orderkey").i64s() {
-                prop_assert!(seen.insert(k), "duplicate orderkey {}", k);
+                assert!(seen.insert(k), "duplicate orderkey {k}");
             }
         }
-        prop_assert_eq!(seen.len(), counts.orders);
+        assert_eq!(seen.len(), counts.orders);
     }
+}
 
-    /// Partsupp has exactly four distinct suppliers per part.
-    #[test]
-    fn four_suppliers_per_part(seed in any::<u64>()) {
-        let cfg = DbGenConfig { scale_factor: 0.002, rows_per_partition: 512, seed };
+/// Partsupp has exactly four distinct suppliers per part.
+#[test]
+fn four_suppliers_per_part() {
+    let mut rng = Pcg32::seed_from_u64(0x7DC4_02);
+    for _ in 0..12 {
+        let seed = rng.next_u64();
+        let cfg = DbGenConfig {
+            scale_factor: 0.002,
+            rows_per_partition: 512,
+            seed,
+        };
         let ps = gen_partsupp(&cfg);
-        let mut per_part: std::collections::HashMap<i64, HashSet<i64>> = Default::default();
+        let mut per_part: BTreeMap<i64, BTreeSet<i64>> = BTreeMap::new();
         for p in &ps.partitions {
             let pk = p.column_by_name("ps_partkey").i64s();
             let sk = p.column_by_name("ps_suppkey").i64s();
@@ -61,10 +72,10 @@ proptest! {
                 per_part.entry(pk[i]).or_default().insert(sk[i]);
             }
         }
-        prop_assert_eq!(per_part.len(), cfg.row_counts().part);
+        assert_eq!(per_part.len(), cfg.row_counts().part);
         // The spec assignment yields up to 4 distinct suppliers; at tiny
         // supplier counts collisions are possible but rows are always 4.
         let rows: usize = ps.partitions.iter().map(|p| p.num_rows()).sum();
-        prop_assert_eq!(rows, cfg.row_counts().part * 4);
+        assert_eq!(rows, cfg.row_counts().part * 4);
     }
 }

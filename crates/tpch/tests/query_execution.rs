@@ -23,12 +23,21 @@ fn catalog() -> &'static Catalog {
 
 /// Multi-task parallelism even at tiny scale, to exercise real exchanges.
 fn par() -> Par {
-    Par { fact: 4, mid: 2, join: 3 }
+    Par {
+        fact: 4,
+        mid: 2,
+        join: 3,
+    }
 }
 
 fn run(name: &str) -> Batch {
     let dag = plans::plan(name, par());
-    execute_query(&dag, 0xC0FFEE ^ name.len() as u64, catalog(), &MemoryShuffle::new())
+    execute_query(
+        &dag,
+        0xC0FFEE ^ name.len() as u64,
+        catalog(),
+        &MemoryShuffle::new(),
+    )
 }
 
 #[test]
@@ -70,11 +79,20 @@ fn q01_matches_independent_computation() {
         assert_eq!(&result.columns[0].strs()[i], flag);
         assert_eq!(&result.columns[1].strs()[i], status);
         let close = |a: f64, b: f64| (a - b).abs() < 1e-6 * b.abs().max(1.0);
-        assert!(close(result.columns[2].f64s()[i], e.0), "sum_qty {flag}{status}");
-        assert!(close(result.columns[3].f64s()[i], e.1), "sum_base {flag}{status}");
+        assert!(
+            close(result.columns[2].f64s()[i], e.0),
+            "sum_qty {flag}{status}"
+        );
+        assert!(
+            close(result.columns[3].f64s()[i], e.1),
+            "sum_base {flag}{status}"
+        );
         assert!(close(result.columns[4].f64s()[i], e.2), "sum_disc_price");
         assert!(close(result.columns[5].f64s()[i], e.3), "sum_charge");
-        assert!(close(result.columns[6].f64s()[i], e.0 / e.5 as f64), "avg_qty");
+        assert!(
+            close(result.columns[6].f64s()[i], e.0 / e.5 as f64),
+            "avg_qty"
+        );
         assert_eq!(result.columns[9].i64s()[i], e.5, "count_order");
     }
 }
@@ -104,7 +122,10 @@ fn q06_matches_independent_computation() {
     }
     assert_eq!(result.num_rows(), 1);
     let got = result.columns[0].f64s()[0];
-    assert!((got - expect).abs() < 1e-6 * expect.max(1.0), "{got} vs {expect}");
+    assert!(
+        (got - expect).abs() < 1e-6 * expect.max(1.0),
+        "{got} vs {expect}"
+    );
     assert!(expect > 0.0, "filter should select something at this SF");
 }
 
@@ -161,7 +182,10 @@ fn q22_country_codes_from_filter_list() {
     for c in result.columns[0].strs() {
         assert!(CODES.contains(&c.as_str()), "unexpected code {c}");
     }
-    assert!(result.num_rows() >= 1, "q22 should find opportunity customers");
+    assert!(
+        result.num_rows() >= 1,
+        "q22 should find opportunity customers"
+    );
 }
 
 #[test]
@@ -199,11 +223,25 @@ fn task_parallelism_does_not_change_results() {
     // by summation order only.
     for name in ["q01", "q04", "q12", "q16", "ds81"] {
         let serial = {
-            let dag = plans::plan(name, Par { fact: 1, mid: 1, join: 1 });
+            let dag = plans::plan(
+                name,
+                Par {
+                    fact: 1,
+                    mid: 1,
+                    join: 1,
+                },
+            );
             execute_query(&dag, 1, catalog(), &MemoryShuffle::new())
         };
         let parallel = {
-            let dag = plans::plan(name, Par { fact: 5, mid: 3, join: 4 });
+            let dag = plans::plan(
+                name,
+                Par {
+                    fact: 5,
+                    mid: 3,
+                    join: 4,
+                },
+            );
             execute_query(&dag, 2, catalog(), &MemoryShuffle::new())
         };
         assert_batches_close(&serial, &parallel, name);

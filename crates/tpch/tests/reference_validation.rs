@@ -20,7 +20,14 @@ fn catalog() -> &'static Catalog {
 }
 
 fn run(name: &str) -> Batch {
-    let dag = plans::plan(name, Par { fact: 4, mid: 2, join: 3 });
+    let dag = plans::plan(
+        name,
+        Par {
+            fact: 4,
+            mid: 2,
+            join: 3,
+        },
+    );
     execute_query(&dag, 42, catalog(), &MemoryShuffle::new())
 }
 
@@ -54,8 +61,7 @@ fn q04_order_priority() {
     let mut expect: BTreeMap<String, i64> = BTreeMap::new();
     for_each_row("orders", |b, i| {
         let d = b.column_by_name("o_orderdate").dates()[i];
-        if d >= lo && d < hi && late_orders.contains(&b.column_by_name("o_orderkey").i64s()[i])
-        {
+        if d >= lo && d < hi && late_orders.contains(&b.column_by_name("o_orderkey").i64s()[i]) {
             *expect
                 .entry(b.column_by_name("o_orderpriority").strs()[i].clone())
                 .or_default() += 1;
@@ -146,11 +152,15 @@ fn q14_promo_revenue() {
 fn q18_large_volume_customers() {
     let mut qty_by_order: HashMap<i64, f64> = HashMap::new();
     for_each_row("lineitem", |b, i| {
-        *qty_by_order.entry(b.column_by_name("l_orderkey").i64s()[i]).or_default() +=
-            b.column_by_name("l_quantity").f64s()[i];
+        *qty_by_order
+            .entry(b.column_by_name("l_orderkey").i64s()[i])
+            .or_default() += b.column_by_name("l_quantity").f64s()[i];
     });
-    let big: HashSet<i64> =
-        qty_by_order.iter().filter(|(_, &q)| q > 300.0).map(|(&k, _)| k).collect();
+    let big: HashSet<i64> = qty_by_order
+        .iter()
+        .filter(|(_, &q)| q > 300.0)
+        .map(|(&k, _)| k)
+        .collect();
     let mut expect: Vec<(i64, f64)> = Vec::new(); // (orderkey, totalprice)
     for_each_row("orders", |b, i| {
         let k = b.column_by_name("o_orderkey").i64s()[i];
@@ -166,8 +176,14 @@ fn q18_large_volume_customers() {
     for row in 0..result.num_rows() {
         let k = result.column_by_name("o_orderkey").i64s()[row];
         assert!(expect_map.contains_key(&k), "unexpected order {k}");
-        assert!(close(result.column_by_name("o_totalprice").f64s()[row], expect_map[&k]));
-        assert!(close(result.column_by_name("sum_qty").f64s()[row], qty_by_order[&k]));
+        assert!(close(
+            result.column_by_name("o_totalprice").f64s()[row],
+            expect_map[&k]
+        ));
+        assert!(close(
+            result.column_by_name("sum_qty").f64s()[row],
+            qty_by_order[&k]
+        ));
         assert!(qty_by_order[&k] > 300.0);
     }
     // Sorted by totalprice descending.
@@ -205,9 +221,25 @@ fn q19_discounted_revenue() {
                 && (qlo..=qhi).contains(&qty)
                 && (1..=smax).contains(size)
         };
-        let hit = branch("Brand#12", ["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1.0, 11.0, 5)
-            || branch("Brand#23", ["MED BAG", "MED BOX", "MED PKG", "MED PACK"], 10.0, 20.0, 10)
-            || branch("Brand#34", ["LG CASE", "LG BOX", "LG PACK", "LG PKG"], 20.0, 30.0, 15);
+        let hit = branch(
+            "Brand#12",
+            ["SM CASE", "SM BOX", "SM PACK", "SM PKG"],
+            1.0,
+            11.0,
+            5,
+        ) || branch(
+            "Brand#23",
+            ["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
+            10.0,
+            20.0,
+            10,
+        ) || branch(
+            "Brand#34",
+            ["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
+            20.0,
+            30.0,
+            15,
+        );
         if hit {
             expect += b.column_by_name("l_extendedprice").f64s()[i]
                 * (1.0 - b.column_by_name("l_discount").f64s()[i]);
@@ -284,13 +316,17 @@ fn q11_reference() {
         if german_suppliers.contains(&b.column_by_name("ps_suppkey").i64s()[i]) {
             let v = b.column_by_name("ps_supplycost").f64s()[i]
                 * b.column_by_name("ps_availqty").i64s()[i] as f64;
-            *per_part.entry(b.column_by_name("ps_partkey").i64s()[i]).or_default() += v;
+            *per_part
+                .entry(b.column_by_name("ps_partkey").i64s()[i])
+                .or_default() += v;
             total += v;
         }
     });
     let threshold = total * 0.0001;
-    let mut expect: Vec<(i64, f64)> =
-        per_part.into_iter().filter(|&(_, v)| v > threshold).collect();
+    let mut expect: Vec<(i64, f64)> = per_part
+        .into_iter()
+        .filter(|&(_, v)| v > threshold)
+        .collect();
     expect.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     let result = run("q11");
     assert_eq!(result.num_rows(), expect.len());
@@ -371,10 +407,16 @@ fn q02_minimum_cost_supplier() {
     for row in 0..result.num_rows() {
         let pk = result.column_by_name("p_partkey").i64s()[row];
         let sk = supp_by_name[&result.column_by_name("s_name").strs()[row]];
-        assert!(expect_pairs.contains(&(pk, sk)), "({pk},{sk}) is not a min pair");
+        assert!(
+            expect_pairs.contains(&(pk, sk)),
+            "({pk},{sk}) is not a min pair"
+        );
     }
     let bals = result.column_by_name("s_acctbal").f64s();
-    assert!(bals.windows(2).all(|w| w[0] >= w[1]), "sorted by acctbal desc");
+    assert!(
+        bals.windows(2).all(|w| w[0] >= w[1]),
+        "sorted by acctbal desc"
+    );
 }
 
 #[test]
@@ -445,7 +487,10 @@ fn q09_product_type_profit() {
     // Sorted by nation asc, year desc.
     for w in 0..result.num_rows().saturating_sub(1) {
         let (n1, y1) = (&result.columns[0].strs()[w], result.columns[1].i64s()[w]);
-        let (n2, y2) = (&result.columns[0].strs()[w + 1], result.columns[1].i64s()[w + 1]);
+        let (n2, y2) = (
+            &result.columns[0].strs()[w + 1],
+            result.columns[1].i64s()[w + 1],
+        );
         assert!(n1 < n2 || (n1 == n2 && y1 >= y2), "sort order at row {w}");
     }
 }
@@ -467,8 +512,7 @@ fn q16_supplier_count_reference() {
         let brand = &b.column_by_name("p_brand").strs()[i];
         let ptype = &b.column_by_name("p_type").strs()[i];
         let size = b.column_by_name("p_size").i64s()[i];
-        if brand != "Brand#45" && !ptype.starts_with("MEDIUM POLISHED") && SIZES.contains(&size)
-        {
+        if brand != "Brand#45" && !ptype.starts_with("MEDIUM POLISHED") && SIZES.contains(&size) {
             part_attrs.insert(
                 b.column_by_name("p_partkey").i64s()[i],
                 (brand.clone(), ptype.clone(), size),
@@ -507,16 +551,16 @@ fn ds81_multifact_reference() {
     // Suppliers whose lineitem revenue exceeds their partsupp supply value.
     let mut sales: HashMap<i64, f64> = HashMap::new();
     for_each_row("lineitem", |b, i| {
-        *sales.entry(b.column_by_name("l_suppkey").i64s()[i]).or_default() += b
-            .column_by_name("l_extendedprice")
-            .f64s()[i]
+        *sales
+            .entry(b.column_by_name("l_suppkey").i64s()[i])
+            .or_default() += b.column_by_name("l_extendedprice").f64s()[i]
             * (1.0 - b.column_by_name("l_discount").f64s()[i]);
     });
     let mut supply: HashMap<i64, f64> = HashMap::new();
     for_each_row("partsupp", |b, i| {
-        *supply.entry(b.column_by_name("ps_suppkey").i64s()[i]).or_default() += b
-            .column_by_name("ps_supplycost")
-            .f64s()[i]
+        *supply
+            .entry(b.column_by_name("ps_suppkey").i64s()[i])
+            .or_default() += b.column_by_name("ps_supplycost").f64s()[i]
             * b.column_by_name("ps_availqty").i64s()[i] as f64;
     });
     let expect: usize = sales

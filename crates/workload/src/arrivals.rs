@@ -6,12 +6,10 @@
 //! superimposed randomness, matching the shapes of the real traces in §2.1.
 //! Table 1 defaults: 12 h window, 16384 queries, 30 % baseline, 3 h period.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use cackle_prng::Pcg32;
 
 /// Parameters of one generated workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// Workload window in seconds.
     pub duration_s: u64,
@@ -58,7 +56,7 @@ impl WorkloadSpec {
     /// (peaks mid-period, troughs at period boundaries) via rejection
     /// sampling against the 2× uniform envelope.
     pub fn generate_arrivals(&self) -> Vec<u64> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Pcg32::seed_from_u64(self.seed);
         let n_base = (self.num_queries as f64 * self.baseline_load).round() as usize;
         let n_base = n_base.min(self.num_queries);
         let n_sine = self.num_queries - n_base;
@@ -70,9 +68,8 @@ impl WorkloadSpec {
         for _ in 0..n_sine {
             loop {
                 let t = rng.gen_range(0.0..self.duration_s.max(1) as f64);
-                let density = 1.0 + (2.0 * std::f64::consts::PI * t / period
-                    - std::f64::consts::FRAC_PI_2)
-                    .sin();
+                let density = 1.0
+                    + (2.0 * std::f64::consts::PI * t / period - std::f64::consts::FRAC_PI_2).sin();
                 if rng.gen_range(0.0..2.0) < density {
                     arrivals.push(t as u64);
                     break;
@@ -90,7 +87,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let spec = WorkloadSpec { num_queries: 500, ..WorkloadSpec::default() };
+        let spec = WorkloadSpec {
+            num_queries: 500,
+            ..WorkloadSpec::default()
+        };
         assert_eq!(spec.generate_arrivals(), spec.generate_arrivals());
         let other = WorkloadSpec { seed: 7, ..spec };
         assert_ne!(spec.generate_arrivals(), other.generate_arrivals());

@@ -4,10 +4,8 @@
 //! this: the number of concurrent task-slots requested at a
 //! second-by-second granularity.
 
-use serde::{Deserialize, Serialize};
-
 /// A per-second demand series (index = seconds since workload start).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct DemandCurve {
     /// Demand at each second.
     pub samples: Vec<u32>,
@@ -16,7 +14,9 @@ pub struct DemandCurve {
 impl DemandCurve {
     /// A zero curve of `seconds` length.
     pub fn zeros(seconds: usize) -> Self {
-        DemandCurve { samples: vec![0; seconds] }
+        DemandCurve {
+            samples: vec![0; seconds],
+        }
     }
 
     /// Wrap an existing series.

@@ -7,11 +7,10 @@
 //! [`QueryProfile`] is that record. `cackle-tpch` produces profiles both
 //! from calibrated static tables and by measuring real engine runs.
 
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Profile of one stage of a query.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StageProfile {
     /// Number of parallel tasks.
     pub tasks: u32,
@@ -29,7 +28,7 @@ pub struct StageProfile {
 }
 
 /// Profile of a complete query: stages in topological order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryProfile {
     /// Query name, e.g. `"q01_sf100"`.
     pub name: String,
@@ -43,10 +42,17 @@ pub type ProfileRef = Arc<QueryProfile>;
 impl QueryProfile {
     /// Build and validate (deps must point backwards).
     pub fn new(name: impl Into<String>, stages: Vec<StageProfile>) -> Self {
-        let p = QueryProfile { name: name.into(), stages };
+        let p = QueryProfile {
+            name: name.into(),
+            stages,
+        };
         for (i, s) in p.stages.iter().enumerate() {
             assert!(s.tasks > 0, "{}: stage {i} has zero tasks", p.name);
-            assert!(s.task_seconds > 0, "{}: stage {i} has zero duration", p.name);
+            assert!(
+                s.task_seconds > 0,
+                "{}: stage {i} has zero duration",
+                p.name
+            );
             for &d in &s.deps {
                 assert!(d < i, "{}: stage {i} depends on later stage {d}", p.name);
             }

@@ -9,8 +9,7 @@
 //! only requires demand curves with these shapes.
 
 use crate::demand::DemandCurve;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cackle_prng::Pcg32;
 
 const HOUR: usize = 3600;
 const DAY: usize = 24 * HOUR;
@@ -29,7 +28,7 @@ fn diurnal(second_of_day: usize) -> f64 {
 ///
 /// Units: concurrent queries.
 pub fn startup_trace(seed: u64) -> DemandCurve {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     let span = 7 * DAY;
     let mut curve = DemandCurve::zeros(span);
 
@@ -71,7 +70,7 @@ pub fn startup_trace(seed: u64) -> DemandCurve {
 /// Units: thousands of concurrent CPUs requested, scaled so the curve peaks
 /// near 300 (matching Figure 3's axis).
 pub fn alibaba_trace(seed: u64) -> DemandCurve {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     let span = 7 * DAY;
     let mut samples = Vec::with_capacity(span);
     // A slowly drifting baseline via an AR(1) process on top of the
@@ -105,7 +104,7 @@ pub fn alibaba_trace(seed: u64) -> DemandCurve {
 ///
 /// Units: nodes requested, peaking near 1000 (matching Figure 4's axis).
 pub fn azure_trace(seed: u64) -> DemandCurve {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     let span = 14 * DAY;
     let mut samples = Vec::with_capacity(span);
     let mut spike: f64 = 0.0;
@@ -187,9 +186,18 @@ mod tests {
 
     #[test]
     fn traces_are_deterministic() {
-        assert_eq!(startup_trace(5).samples[..1000], startup_trace(5).samples[..1000]);
-        assert_eq!(alibaba_trace(5).samples[..1000], alibaba_trace(5).samples[..1000]);
-        assert_eq!(azure_trace(5).samples[..1000], azure_trace(5).samples[..1000]);
+        assert_eq!(
+            startup_trace(5).samples[..1000],
+            startup_trace(5).samples[..1000]
+        );
+        assert_eq!(
+            alibaba_trace(5).samples[..1000],
+            alibaba_trace(5).samples[..1000]
+        );
+        assert_eq!(
+            azure_trace(5).samples[..1000],
+            azure_trace(5).samples[..1000]
+        );
     }
 
     #[test]

@@ -18,7 +18,10 @@ fn cost(label: &str, workload: &[cackle::QueryArrival], env: &Env) -> f64 {
         workload,
         s.as_mut(),
         env,
-        ModelOptions { record_timeseries: false, compute_only: true },
+        ModelOptions {
+            record_timeseries: false,
+            compute_only: true,
+        },
     )
     .compute
     .total()
@@ -38,7 +41,10 @@ fn main() {
     println!("of 2023 (§5.3). A sound strategy must adapt; fixed ones cannot.\n");
 
     println!("-- sweep: pool premium (spot-price swings) --");
-    println!("{:>8} {:>12} {:>12} {:>12}", "premium", "fixed_0", "mean_2", "dynamic");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "premium", "fixed_0", "mean_2", "dynamic"
+    );
     for premium in [1.0, 2.0, 4.0, 6.0, 12.0, 24.0] {
         let env = Env::default().with_pool_premium(premium);
         println!(
@@ -51,7 +57,10 @@ fn main() {
     }
 
     println!("\n-- sweep: VM startup time (provider behaviour) --");
-    println!("{:>8} {:>12} {:>12} {:>12}", "startup", "mean_1", "mean_2", "dynamic");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "startup", "mean_1", "mean_2", "dynamic"
+    );
     for startup in [0u64, 120, 300, 600] {
         let env = Env::default().with_vm_startup_s(startup);
         println!(

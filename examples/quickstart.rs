@@ -43,14 +43,20 @@ fn main() {
     );
 
     // 3. Run the analytical model under several provisioning strategies.
-    println!("{:<12} {:>12} {:>12} {:>12}", "strategy", "vm_cost", "pool_cost", "total");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12}",
+        "strategy", "vm_cost", "pool_cost", "total"
+    );
     for label in ["fixed_0", "fixed_200", "mean_2", "predictive", "dynamic"] {
         let mut strategy = make_strategy(label, &env);
         let r = run_model(
             &workload,
             strategy.as_mut(),
             &env,
-            ModelOptions { record_timeseries: false, compute_only: true },
+            ModelOptions {
+                record_timeseries: false,
+                compute_only: true,
+            },
         );
         println!(
             "{:<12} {:>11.2}$ {:>11.2}$ {:>11.2}$",
@@ -63,6 +69,12 @@ fn main() {
 
     // 4. And the unreachable lower bound: the offline oracle.
     let oracle = oracle_cost(&curves.demand.samples, &env);
-    println!("{:<12} {:>11.2}$ {:>11.2}$ {:>11.2}$", "oracle", oracle.vm_cost, oracle.pool_cost, oracle.total());
+    println!(
+        "{:<12} {:>11.2}$ {:>11.2}$ {:>11.2}$",
+        "oracle",
+        oracle.vm_cost,
+        oracle.pool_cost,
+        oracle.total()
+    );
     println!("\nthe dynamic strategy needs no tuning and no workload knowledge a priori.");
 }

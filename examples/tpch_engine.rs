@@ -9,7 +9,6 @@
 use cackle_engine::prelude::*;
 use cackle_tpch::dbgen::{generate_catalog, DbGenConfig};
 use cackle_tpch::plans::{self, Par};
-use std::time::Instant;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -17,26 +16,47 @@ fn main() {
     let queries: Vec<String> = {
         let rest: Vec<String> = args.collect();
         if rest.is_empty() {
-            vec!["q01".into(), "q03".into(), "q06".into(), "q13".into(), "ds81".into()]
+            vec![
+                "q01".into(),
+                "q03".into(),
+                "q06".into(),
+                "q13".into(),
+                "ds81".into(),
+            ]
         } else {
             rest
         }
     };
 
     println!("generating TPC-H data at SF {sf}...");
-    let t0 = Instant::now();
-    let cfg = DbGenConfig { scale_factor: sf, rows_per_partition: 8192, seed: 7 };
+    let cfg = DbGenConfig {
+        scale_factor: sf,
+        rows_per_partition: 8192,
+        seed: 7,
+    };
     let catalog = generate_catalog(&cfg);
     let mut total_rows = 0usize;
+    let mut total_bytes = 0u64;
     for name in cackle_tpch::schema::TABLE_NAMES {
         let t = catalog.get(name);
         total_rows += t.num_rows();
-        println!("  {name:<10} {:>9} rows  {:>8} KiB", t.num_rows(), t.byte_size() / 1024);
+        total_bytes += t.byte_size();
+        println!(
+            "  {name:<10} {:>9} rows  {:>8} KiB",
+            t.num_rows(),
+            t.byte_size() / 1024
+        );
     }
-    println!("generated {total_rows} rows in {:?}\n", t0.elapsed());
+    // No wall-clock timing here: the example's output is byte-identical
+    // across runs (lint L1); use `cargo bench -p cackle-bench` to measure.
+    println!("generated {total_rows} rows ({} KiB)\n", total_bytes / 1024);
 
     // Execute with real multi-task parallelism and a shared shuffle.
-    let par = Par { fact: 4, mid: 2, join: 3 };
+    let par = Par {
+        fact: 4,
+        mid: 2,
+        join: 3,
+    };
     let explain = std::env::var("EXPLAIN").is_ok();
     for name in &queries {
         let dag = plans::plan(name, par);
@@ -44,15 +64,13 @@ fn main() {
             print!("{}", cackle_engine::explain::explain(&dag));
         }
         let shuffle = MemoryShuffle::new();
-        let t0 = Instant::now();
         let result = execute_query(&dag, 1, &catalog, &shuffle);
         let stats = shuffle.stats();
         println!(
-            "-- {name}: {} stages, {} tasks, {} result rows in {:?} ({} shuffle chunks, {} KiB exchanged)",
+            "-- {name}: {} stages, {} tasks, {} result rows ({} shuffle chunks, {} KiB exchanged)",
             dag.stages.len(),
             dag.total_tasks(),
             result.num_rows(),
-            t0.elapsed(),
             stats.writes,
             stats.bytes_written / 1024
         );

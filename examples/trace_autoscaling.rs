@@ -10,16 +10,15 @@
 use cackle::model::QueryArrival;
 use cackle::system::{run_system, SystemConfig};
 use cackle::MetaStrategy;
+use cackle_prng::Pcg32;
 use cackle_tpch::profiles::profile_set;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     // A 40-minute interactive session: a dashboard fires a batch of
     // queries every 5 minutes, analysts trickle in between, and one
     // unpredictable burst of ad-hoc queries lands mid-session.
     let mix = profile_set(10.0);
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = Pcg32::seed_from_u64(5);
     let mut workload = Vec::new();
     for minute in (0..40).step_by(5) {
         for _ in 0..8 {
@@ -44,7 +43,10 @@ fn main() {
     }
     workload.sort_by_key(|q| q.at_s);
 
-    let cfg = SystemConfig { record_timeseries: true, ..Default::default() };
+    let cfg = SystemConfig {
+        record_timeseries: true,
+        ..Default::default()
+    };
     let mut strategy = MetaStrategy::new(&cfg.env);
     let r = run_system(&workload, &mut strategy, &cfg);
     let ts = r.timeseries.as_ref().expect("recorded");
@@ -57,7 +59,10 @@ fn main() {
         let target = ts.target[lo..hi].iter().copied().max().unwrap_or(0);
         let active = ts.active[lo..hi].iter().copied().max().unwrap_or(0);
         let bar: String = std::iter::repeat_n('#', (active / 2) as usize)
-            .chain(std::iter::repeat_n('+', (demand.saturating_sub(active) / 2) as usize))
+            .chain(std::iter::repeat_n(
+                '+',
+                (demand.saturating_sub(active) / 2) as usize,
+            ))
             .take(70)
             .collect();
         println!("{m:>6} | {demand:>6} {target:>6} {active:>6}  {bar}");

@@ -32,7 +32,10 @@ fn paper_claim_dynamic_beats_both_fixed_extremes() {
     // both on a cyclical workload.
     let env = Env::default();
     let w = workload(600, 3);
-    let opts = ModelOptions { record_timeseries: false, compute_only: true };
+    let opts = ModelOptions {
+        record_timeseries: false,
+        compute_only: true,
+    };
 
     let pool_only = {
         let mut s = make_strategy("fixed_0", &env);
@@ -46,7 +49,10 @@ fn paper_claim_dynamic_beats_both_fixed_extremes() {
         let mut s = small_dynamic(&env);
         run_model(&w, &mut s, &env, opts).compute.total()
     };
-    assert!(dynamic < pool_only, "dynamic {dynamic} vs pool-only {pool_only}");
+    assert!(
+        dynamic < pool_only,
+        "dynamic {dynamic} vs pool-only {pool_only}"
+    );
     assert!(dynamic < over, "dynamic {dynamic} vs fixed-500 {over}");
 }
 
@@ -56,7 +62,10 @@ fn paper_claim_oracle_bounds_everything() {
     let w = workload(400, 4);
     let curves = workload_curves(&w);
     let oracle = oracle_cost(&curves.demand.samples, &env).total();
-    let opts = ModelOptions { record_timeseries: false, compute_only: true };
+    let opts = ModelOptions {
+        record_timeseries: false,
+        compute_only: true,
+    };
     for label in ["fixed_0", "fixed_100", "mean_1", "mean_2", "predictive"] {
         let mut s = make_strategy(label, &env);
         let c = run_model(&w, s.as_mut(), &env, opts).compute.total();
@@ -78,7 +87,10 @@ fn paper_claim_latency_stays_stable_while_delaying_systems_cliff() {
         &w,
         &mut s,
         &env,
-        ModelOptions { record_timeseries: false, compute_only: true },
+        ModelOptions {
+            record_timeseries: false,
+            compute_only: true,
+        },
     );
     let starved = cackle::delaying::run_delaying(&w, 8, &env);
     assert!(
@@ -95,7 +107,10 @@ fn model_predicts_real_system_cost_within_reason() {
     // system's measured cost despite runtime noise and feedback.
     let env = Env::default();
     let w = workload(400, 6);
-    let opts = ModelOptions { record_timeseries: false, compute_only: true };
+    let opts = ModelOptions {
+        record_timeseries: false,
+        compute_only: true,
+    };
     let mut ms = small_dynamic(&env);
     let model = run_model(&w, &mut ms, &env, opts).compute.total();
     let cfg = SystemConfig::default();
@@ -112,11 +127,18 @@ fn model_predicts_real_system_cost_within_reason() {
 fn measured_profiles_flow_into_the_model() {
     // Full integration: generate data, execute the real engine to measure
     // a profile, then run that profile through the analytical model.
-    let cfg = DbGenConfig { scale_factor: 0.002, rows_per_partition: 512, seed: 7 };
+    let cfg = DbGenConfig {
+        scale_factor: 0.002,
+        rows_per_partition: 512,
+        seed: 7,
+    };
     let catalog = generate_catalog(&cfg);
     let profile = std::sync::Arc::new(measured_profile("q06", &catalog, 0.002, 10.0));
     let w: Vec<cackle::QueryArrival> = (0..50)
-        .map(|i| cackle::QueryArrival { at_s: i * 20, profile: profile.clone() })
+        .map(|i| cackle::QueryArrival {
+            at_s: i * 20,
+            profile: profile.clone(),
+        })
         .collect();
     let env = Env::default();
     let mut s = make_strategy("mean_1", &env);
@@ -124,7 +146,10 @@ fn measured_profiles_flow_into_the_model() {
         &w,
         s.as_mut(),
         &env,
-        ModelOptions { record_timeseries: false, compute_only: false },
+        ModelOptions {
+            record_timeseries: false,
+            compute_only: false,
+        },
     );
     assert_eq!(r.latencies.len(), 50);
     assert!(r.compute.total() > 0.0);
@@ -175,7 +200,10 @@ fn cost_per_query_stability_band() {
     // Figure 14's headline: Cackle's cost per query stays within a modest
     // band across an order of magnitude of workload sizes.
     let env = Env::default();
-    let opts = ModelOptions { record_timeseries: false, compute_only: true };
+    let opts = ModelOptions {
+        record_timeseries: false,
+        compute_only: true,
+    };
     let mut costs = Vec::new();
     for n in [200usize, 600, 1800] {
         let w = workload(n, 9);

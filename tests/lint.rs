@@ -1,0 +1,39 @@
+//! Tier-1 gate: the workspace must satisfy the determinism &
+//! cost-hygiene lints (see `crates/lint` and DESIGN.md §"Determinism &
+//! cost-hygiene invariants") up to the checked-in baseline.
+
+use cackle_lint::{diff_baseline, lint_root, parse_baseline, Baseline};
+use std::path::Path;
+
+#[test]
+fn workspace_satisfies_determinism_lints() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let baseline: Baseline = match std::fs::read_to_string(root.join("lint-baseline.txt")) {
+        Ok(text) => parse_baseline(&text).expect("lint-baseline.txt must parse"),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::new(),
+        Err(e) => panic!("reading lint-baseline.txt: {e}"),
+    };
+    assert!(
+        baseline.len() <= 5,
+        "lint-baseline.txt carries {} entries; the budget is 5 — fix violations \
+         instead of accumulating debt",
+        baseline.len()
+    );
+
+    let findings = lint_root(root).expect("walking the workspace");
+    let (new_violations, stale) = diff_baseline(&findings, &baseline);
+    assert!(
+        new_violations.is_empty(),
+        "new lint violations beyond lint-baseline.txt:\n{}",
+        new_violations
+            .iter()
+            .map(|f| format!("  {f}\n"))
+            .collect::<String>()
+    );
+    // Stale entries are debt that was paid down: trim the baseline.
+    assert!(
+        stale.is_empty(),
+        "stale lint-baseline.txt entries (remove them):\n{}",
+        stale.iter().map(|s| format!("  {s}\n")).collect::<String>()
+    );
+}
