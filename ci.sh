@@ -16,4 +16,9 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> telemetry dump round-trip"
+cargo run -q --release --example quickstart
+cargo run -q --release -p cackle-telemetry --bin telemetry-check -- \
+    results/quickstart_telemetry.jsonl
+
 echo "CI gate passed."

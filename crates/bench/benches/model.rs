@@ -2,9 +2,9 @@
 //! reproduction evaluate a workload? Plain wall-clock harness
 //! (`harness = false`) — run with `cargo bench -p cackle-bench`.
 
-use cackle::model::{run_model, workload_curves, ModelOptions};
-use cackle::system::{run_system, SystemConfig};
-use cackle::{make_strategy, Env};
+use cackle::model::{run_model, workload_curves};
+use cackle::system::run_system;
+use cackle::{RunSpec, Telemetry};
 use cackle_bench::{bench_wall, hour_workload};
 use std::hint::black_box;
 
@@ -14,23 +14,28 @@ fn main() {
         black_box(workload_curves(&w))
     });
 
-    let env = Env::default();
     let w = hour_workload(500, 2);
-    let opts = ModelOptions {
-        record_timeseries: false,
-        compute_only: true,
-    };
     for label in ["fixed_100", "mean_2", "predictive"] {
+        let spec = RunSpec::new().with_strategy(label).with_compute_only(true);
         bench_wall(&format!("model_hour_500q_{label}"), 10, || {
-            let mut s = make_strategy(label, &env);
-            black_box(run_model(&w, s.as_mut(), &env, opts).compute.total())
+            black_box(run_model(&w, &spec).compute.total())
         });
     }
 
-    let cfg = SystemConfig::default();
     let w = hour_workload(250, 3);
+    let spec = RunSpec::new().with_strategy("mean_2");
     bench_wall("full_system_hour_250q_mean2", 10, || {
-        let mut s = make_strategy("mean_2", &cfg.env);
-        black_box(run_system(&w, s.as_mut(), &cfg).total_cost())
+        black_box(run_system(&w, &spec).total_cost())
     });
+
+    // Telemetry overhead: the same system run with a live sink attached.
+    let instrumented = {
+        let w = hour_workload(250, 3);
+        move || {
+            let t = Telemetry::new();
+            let spec = RunSpec::new().with_strategy("mean_2").with_telemetry(&t);
+            black_box(run_system(&w, &spec).total_cost())
+        }
+    };
+    bench_wall("full_system_hour_250q_mean2_telemetry", 10, instrumented);
 }

@@ -2,17 +2,15 @@
 //! bound needs eps <= 1/2; too small converges slowly (costly exploration),
 //! too large overreacts to noisy intervals.
 
-use cackle::model::{run_model, ModelOptions};
+use cackle::model::run_model_with;
+use cackle::RunSpec;
 use cackle::{FamilyConfig, MetaStrategy};
 use cackle_bench::*;
 
 fn main() {
     let e = env();
     let w = default_workload(4096);
-    let opts = ModelOptions {
-        record_timeseries: false,
-        compute_only: true,
-    };
+    let spec = RunSpec::new().with_env(e.clone()).with_compute_only(true);
     let mut t = ResultTable::new(
         "Ablation: multiplicative-weights epsilon vs cost",
         &["epsilon", "cost_usd", "expert_switches"],
@@ -23,7 +21,7 @@ fn main() {
             ..FamilyConfig::default()
         };
         let mut m = MetaStrategy::with_family(cfg, &e);
-        let r = run_model(&w, &mut m, &e, opts);
+        let r = run_model_with(&w, &mut m, &spec);
         t.row_strings(vec![
             format!("{eps}"),
             usd(r.compute.total()),

@@ -2,17 +2,15 @@
 //! Sweeps the family's granularity (lookback count x percentile density)
 //! and reports workload cost and expert-switch churn.
 
-use cackle::model::{run_model, ModelOptions};
+use cackle::model::run_model_with;
+use cackle::RunSpec;
 use cackle::{FamilyConfig, MetaStrategy};
 use cackle_bench::*;
 
 fn main() {
     let e = env();
     let w = default_workload(4096);
-    let opts = ModelOptions {
-        record_timeseries: false,
-        compute_only: true,
-    };
+    let spec = RunSpec::new().with_env(e.clone()).with_compute_only(true);
     let mut t = ResultTable::new(
         "Ablation: expert family size vs cost (4096-query default workload)",
         &["family", "experts", "cost_usd", "expert_switches"],
@@ -48,7 +46,7 @@ fn main() {
     for (name, cfg) in cases {
         let mut m = MetaStrategy::with_family(cfg, &e);
         let n = m.family_size();
-        let r = run_model(&w, &mut m, &e, opts);
+        let r = run_model_with(&w, &mut m, &spec);
         t.row_strings(vec![
             name.into(),
             n.to_string(),

@@ -4,8 +4,9 @@
 //! strategy re-ranks its expert family from the §4.4.3 cost accounting;
 //! cost-insensitive strategies keep their now-wrong split.
 
-use cackle::model::{simulate_compute_with_timeline, workload_curves, ModelOptions};
+use cackle::model::{simulate_compute_with_timeline, workload_curves};
 use cackle::prices::PriceTimeline;
+use cackle::RunSpec;
 use cackle_bench::*;
 
 fn main() {
@@ -13,10 +14,7 @@ fn main() {
     let w = default_workload(8192);
     let curves = workload_curves(&w);
     let demand = &curves.demand.samples;
-    let opts = ModelOptions {
-        record_timeseries: false,
-        compute_only: true,
-    };
+    let spec = RunSpec::new().with_env(e.clone()).with_compute_only(true);
     // The VM price doubles 6 hours into the 12-hour workload.
     let spike = PriceTimeline::spot_spike(&e, 6 * 3600, 2.0);
     let flat = PriceTimeline::constant(&e);
@@ -28,13 +26,13 @@ fn main() {
     for label in ["fixed_0", "fixed_500", "mean_2", "predictive", "dynamic"] {
         let base = {
             let mut s = cackle::make_strategy(label, &e);
-            simulate_compute_with_timeline(demand, s.as_mut(), &e, opts, &flat)
+            simulate_compute_with_timeline(demand, s.as_mut(), &spec, &flat)
                 .compute
                 .total()
         };
         let spiked = {
             let mut s = cackle::make_strategy(label, &e);
-            simulate_compute_with_timeline(demand, s.as_mut(), &e, opts, &spike)
+            simulate_compute_with_timeline(demand, s.as_mut(), &spec, &spike)
                 .compute
                 .total()
         };

@@ -4,7 +4,8 @@
 //! implement it and measure the saving over the first portion of the
 //! workload, for accurate and inaccurate priors.
 
-use cackle::model::{run_model, ModelOptions};
+use cackle::model::run_model_with;
+use cackle::RunSpec;
 use cackle::{FamilyConfig, MetaStrategy};
 use cackle_bench::*;
 
@@ -14,10 +15,7 @@ fn main() {
     // fraction of the total (the paper notes the effect is small for long
     // workloads — this isolates it).
     let w = hour_workload(1500, 31);
-    let opts = ModelOptions {
-        record_timeseries: false,
-        compute_only: true,
-    };
+    let rspec = RunSpec::new().with_env(e.clone()).with_compute_only(true);
     let curves = cackle::model::workload_curves(&w);
     let typical = curves.demand.percentile(60);
 
@@ -30,7 +28,7 @@ fn main() {
         if let Some(p) = prime {
             m.prime(&p);
         }
-        let r = run_model(&w, &mut m, &e, opts);
+        let r = run_model_with(&w, &mut m, &rspec);
         t.row_strings(vec![name.into(), usd(r.compute.total())]);
         eprintln!("  done {name}");
     };
@@ -58,7 +56,7 @@ fn main() {
         if let Some(p) = prime {
             m.prime(&p);
         }
-        let r = run_model(&w, &mut m, &e, opts);
+        let r = run_model_with(&w, &mut m, &rspec);
         t.row_strings(vec![name.into(), usd(r.compute.total())]);
         eprintln!("  done steady/{name}");
     };

@@ -1,8 +1,9 @@
 //! Ablation: the 16 GB shuffle-node floor (§5.6). Without a floor, cold
 //! starts push every request to S3; with a huge floor, node rent dominates.
 
-use cackle::model::{build_workload, run_model, ModelOptions};
+use cackle::model::{build_workload, run_model_with};
 use cackle::MetaStrategy;
+use cackle::RunSpec;
 use cackle_bench::*;
 use cackle_tpch::profiles::profile_set;
 use cackle_workload::arrivals::WorkloadSpec;
@@ -26,7 +27,8 @@ fn main() {
         let mut e = env();
         e.shuffle_min_bytes = floor_gib << 30;
         let mut m = MetaStrategy::new(&e);
-        let r = run_model(&w, &mut m, &e, ModelOptions::default());
+        let spec = RunSpec::new().with_env(e.clone());
+        let r = run_model_with(&w, &mut m, &spec);
         t.row_strings(vec![
             floor_gib.to_string(),
             usd4(r.shuffle.node_cost),

@@ -4,8 +4,8 @@
 //! pool instead of queueing for replacement hardware. Sweep the
 //! interruption rate and measure the latency and cost impact.
 
-use cackle::system::{run_system, SystemConfig};
-use cackle::MetaStrategy;
+use cackle::system::run_system_with;
+use cackle::{MetaStrategy, RunSpec};
 use cackle_bench::*;
 
 fn main() {
@@ -21,12 +21,9 @@ fn main() {
         ],
     );
     for rate in [0.0f64, 0.1, 0.5, 2.0, 6.0] {
-        let cfg = SystemConfig {
-            spot_interruptions_per_vm_hour: rate,
-            ..Default::default()
-        };
-        let mut s = MetaStrategy::new(&cfg.env);
-        let r = run_system(&w, &mut s, &cfg);
+        let spec = RunSpec::new().with_spot_interruptions(rate);
+        let mut s = MetaStrategy::new(&spec.env);
+        let r = run_system_with(&w, &mut s, &spec);
         t.row_strings(vec![
             format!("{rate}"),
             secs(r.latency_percentile(50.0)),

@@ -2,17 +2,13 @@
 //! meta-strategy every 5 s; slower ticks react late to spikes, faster ones
 //! churn the fleet.
 
-use cackle::model::{run_model, ModelOptions};
-use cackle::MetaStrategy;
+use cackle::model::run_model_with;
+use cackle::{MetaStrategy, RunSpec};
 use cackle_bench::*;
 use cackle_cloud::SimDuration;
 
 fn main() {
     let w = default_workload(4096);
-    let opts = ModelOptions {
-        record_timeseries: false,
-        compute_only: true,
-    };
     let mut t = ResultTable::new(
         "Ablation: strategy tick interval vs cost",
         &["tick_s", "cost_usd"],
@@ -21,7 +17,8 @@ fn main() {
         let mut e = env();
         e.strategy_tick = SimDuration::from_secs(tick);
         let mut m = MetaStrategy::new(&e);
-        let r = run_model(&w, &mut m, &e, opts);
+        let spec = RunSpec::new().with_env(e.clone()).with_compute_only(true);
+        let r = run_model_with(&w, &mut m, &spec);
         t.row_strings(vec![tick.to_string(), usd(r.compute.total())]);
         eprintln!("  done tick={tick}");
     }

@@ -2,17 +2,15 @@
 //! Cackle (starting from zero compute) vs a Databricks SQL small warehouse
 //! with five fixed clusters vs small with autoscaling.
 
-use cackle::system::{run_system, SystemConfig};
-use cackle::MetaStrategy;
+use cackle::system::run_system;
+use cackle::RunSpec;
 use cackle_bench::*;
 use cackle_comparators::{run_databricks, DatabricksConfig, WarehouseSize};
 use cackle_workload::demand::percentile_f64;
 
 fn main() {
-    let cfg = SystemConfig::default();
     let w = hour_workload(1500, 11);
-    let mut dynamic = MetaStrategy::new(&cfg.env);
-    let cackle_run = run_system(&w, &mut dynamic, &cfg);
+    let cackle_run = run_system(&w, &RunSpec::new());
     let fixed5 = run_databricks(&w, &DatabricksConfig::fixed(WarehouseSize::Small, 5));
     let auto = run_databricks(&w, &DatabricksConfig::autoscaling(WarehouseSize::Small, 8));
 

@@ -5,8 +5,9 @@
 //! 12 h, 30 % baseline, 12 h period (§5.5).
 
 use cackle::delaying::run_delaying;
-use cackle::model::{build_workload, run_model, workload_curves, ModelOptions};
+use cackle::model::{build_workload, run_model, workload_curves};
 use cackle::oracle::{oracle_cost, oracle_cost_without_pool};
+use cackle::RunSpec;
 use cackle_bench::*;
 use cackle_workload::arrivals::WorkloadSpec;
 use cackle_workload::demand::percentile_f64;
@@ -32,7 +33,7 @@ fn main() {
         &["series", "vms", "p95_latency_s", "cost_usd"],
     );
     for slots in [60u32, 80, 100, 125, 150, 200, 250, 300, 400, 500] {
-        let r = run_delaying(&w, slots, &e);
+        let r = run_delaying(&w, slots, &RunSpec::new().with_env(e.clone()));
         t.row_strings(vec![
             "work_delaying_fixed".into(),
             slots.to_string(),
@@ -55,12 +56,8 @@ fn main() {
         secs(no_delay_p95),
         usd(ocn.total()),
     ]);
-    let mut dynamic = cackle::make_strategy("dynamic", &e);
-    let opts = ModelOptions {
-        record_timeseries: false,
-        compute_only: true,
-    };
-    let r = run_model(&w, dynamic.as_mut(), &e, opts);
+    let rspec = RunSpec::new().with_env(e.clone()).with_compute_only(true);
+    let r = run_model(&w, &rspec);
     t.row_strings(vec![
         "cackle_dynamic".into(),
         "-".into(),

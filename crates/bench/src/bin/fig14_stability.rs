@@ -3,16 +3,20 @@
 //! small/medium warehouses with fixed and autoscaling provisioning vs
 //! Redshift Serverless. Left panel: p90 query latency; right panel: cost
 //! per query.
+//!
+//! Every run (Cackle and the comparators) records into a telemetry sink;
+//! the cost panel reads total dollars and completed-query counts from the
+//! registries, so all six systems are compared through the same
+//! instrumentation.
 
-use cackle::system::{run_system, SystemConfig};
-use cackle::MetaStrategy;
+use cackle::system::run_system;
+use cackle::{RunSpec, Telemetry};
 use cackle_bench::*;
 use cackle_comparators::{
     run_databricks, run_redshift, DatabricksConfig, RedshiftConfig, WarehouseSize,
 };
 
 fn main() {
-    let cfg = SystemConfig::default();
     let mut latency = ResultTable::new(
         "Fig 14 (left): p90 query latency (s) vs number of queries",
         &[
@@ -39,22 +43,34 @@ fn main() {
     );
     for n in [60usize, 250, 500, 750, 1000, 1500, 2000] {
         let w = hour_workload(n, 14);
-        let nf = n as f64;
-        let mut dynamic = MetaStrategy::new(&cfg.env);
-        let cackle_run = run_system(&w, &mut dynamic, &cfg);
+        let sinks: Vec<Telemetry> = (0..6).map(|_| Telemetry::new()).collect();
         let runs = [
-            cackle_run,
-            run_databricks(&w, &DatabricksConfig::fixed(WarehouseSize::Small, 5)),
-            run_databricks(&w, &DatabricksConfig::autoscaling(WarehouseSize::Small, 8)),
-            run_databricks(&w, &DatabricksConfig::fixed(WarehouseSize::Medium, 3)),
-            run_databricks(&w, &DatabricksConfig::autoscaling(WarehouseSize::Medium, 5)),
-            run_redshift(&w, &RedshiftConfig::default()),
+            run_system(&w, &RunSpec::new().with_telemetry(&sinks[0])),
+            run_databricks(
+                &w,
+                &DatabricksConfig::fixed(WarehouseSize::Small, 5).with_telemetry(&sinks[1]),
+            ),
+            run_databricks(
+                &w,
+                &DatabricksConfig::autoscaling(WarehouseSize::Small, 8).with_telemetry(&sinks[2]),
+            ),
+            run_databricks(
+                &w,
+                &DatabricksConfig::fixed(WarehouseSize::Medium, 3).with_telemetry(&sinks[3]),
+            ),
+            run_databricks(
+                &w,
+                &DatabricksConfig::autoscaling(WarehouseSize::Medium, 5).with_telemetry(&sinks[4]),
+            ),
+            run_redshift(&w, &RedshiftConfig::default().with_telemetry(&sinks[5])),
         ];
         let mut lrow = vec![n.to_string()];
         let mut crow = vec![n.to_string()];
-        for r in &runs {
+        for (r, t) in runs.iter().zip(&sinks) {
             lrow.push(secs(r.latency_percentile(90.0)));
-            crow.push(usd4(r.total_cost() / nf));
+            let queries = t.counter("run.queries_total").max(1) as f64;
+            let dollars = t.snapshot().map(|reg| reg.cost_total()).unwrap_or_default();
+            crow.push(usd4(dollars / queries));
         }
         latency.row_strings(lrow);
         cost.row_strings(crow);

@@ -136,34 +136,33 @@ pub fn secs(v: f64) -> String {
 /// Compute-layer cost of one strategy label over a workload, where the
 /// special label `oracle` means the exact offline optimum.
 pub fn compute_cost_for(workload: &[QueryArrival], label: &str, env: &Env) -> f64 {
-    use cackle::model::{run_model, workload_curves, ModelOptions};
+    use cackle::model::{run_model, workload_curves};
+    use cackle::RunSpec;
     if label == "oracle" {
         let curves = workload_curves(workload);
         return cackle::oracle::oracle_cost(&curves.demand.samples, env).total();
     }
-    let mut strategy = cackle::make_strategy(label, env);
-    let opts = ModelOptions {
-        record_timeseries: false,
-        compute_only: true,
-    };
-    run_model(workload, strategy.as_mut(), env, opts)
-        .compute
-        .total()
+    let spec = RunSpec::new()
+        .with_env(env.clone())
+        .with_strategy(label)
+        .with_compute_only(true);
+    run_model(workload, &spec).compute.total()
 }
 
 /// Compute-layer cost of a strategy over a bare demand curve (trace
 /// experiments), `oracle` handled as above.
 pub fn trace_cost_for(demand: &[u32], label: &str, env: &Env) -> f64 {
-    use cackle::model::{simulate_compute, ModelOptions};
+    use cackle::model::simulate_compute;
+    use cackle::RunSpec;
     if label == "oracle" {
         return cackle::oracle::oracle_cost(demand, env).total();
     }
+    let spec = RunSpec::new()
+        .with_env(env.clone())
+        .with_strategy(label)
+        .with_compute_only(true);
     let mut strategy = cackle::make_strategy(label, env);
-    let opts = ModelOptions {
-        record_timeseries: false,
-        compute_only: true,
-    };
-    simulate_compute(demand, strategy.as_mut(), env, opts)
+    simulate_compute(demand, strategy.as_mut(), &spec)
         .compute
         .total()
 }

@@ -4,6 +4,7 @@
 //! broken down by [`CostCategory`] so experiments can report the VM / pool /
 //! shuffle / S3 split exactly as the paper's Figure 13 does.
 
+use cackle_telemetry::Telemetry;
 use std::fmt;
 
 /// Where a charge came from.
@@ -33,19 +34,23 @@ impl CostCategory {
         CostCategory::ShuffleNode,
         CostCategory::Coordinator,
     ];
-}
 
-impl fmt::Display for CostCategory {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+    /// Stable snake_case name, used as the telemetry cost-attribution key.
+    pub fn as_str(&self) -> &'static str {
+        match self {
             CostCategory::VmCompute => "vm_compute",
             CostCategory::ElasticPool => "elastic_pool",
             CostCategory::S3Put => "s3_put",
             CostCategory::S3Get => "s3_get",
             CostCategory::ShuffleNode => "shuffle_node",
             CostCategory::Coordinator => "coordinator",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for CostCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -85,9 +90,18 @@ impl fmt::Display for ChargeError {
 impl std::error::Error for ChargeError {}
 
 /// Accumulated dollars and usage counters for one simulation run.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// When instrumented (see [`CostLedger::instrument`]) every accepted
+/// charge is mirrored into the telemetry cost-attribution table under the
+/// owning component's name; rejected charges reach neither. Equality
+/// compares accumulated data only, never the telemetry wiring.
+#[derive(Debug, Clone, Default)]
 pub struct CostLedger {
     dollars: [f64; 6],
+    /// Component name this ledger reports costs under (e.g. `fleet`).
+    component: &'static str,
+    /// Telemetry sink mirroring accepted charges (disabled by default).
+    telemetry: Telemetry,
     /// Billed VM-seconds on the execution layer.
     pub vm_seconds: f64,
     /// Billed elastic-pool slot-seconds.
@@ -115,10 +129,30 @@ fn idx(c: CostCategory) -> usize {
     }
 }
 
+impl PartialEq for CostLedger {
+    fn eq(&self, other: &Self) -> bool {
+        self.dollars == other.dollars
+            && self.vm_seconds == other.vm_seconds
+            && self.pool_seconds == other.pool_seconds
+            && self.shuffle_seconds == other.shuffle_seconds
+            && self.put_requests == other.put_requests
+            && self.get_requests == other.get_requests
+            && self.bytes_put == other.bytes_put
+            && self.bytes_get == other.bytes_get
+    }
+}
+
 impl CostLedger {
     /// An empty ledger.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Mirror every subsequent accepted charge into `telemetry`'s
+    /// cost-attribution table under `component`.
+    pub fn instrument(&mut self, component: &'static str, telemetry: &Telemetry) {
+        self.component = component;
+        self.telemetry = telemetry.clone();
     }
 
     /// Record a charge of `dollars` against `category`, rejecting invalid
@@ -132,6 +166,8 @@ impl CostLedger {
             return Err(ChargeError::Negative { category, dollars });
         }
         self.dollars[idx(category)] += dollars;
+        self.telemetry
+            .add_cost(self.component, category.as_str(), dollars);
         Ok(())
     }
 
@@ -243,6 +279,24 @@ mod tests {
         assert_eq!(a.total(), 3.5);
         assert_eq!(a.put_requests, 7);
         assert_eq!(a.vm_seconds, 15.0);
+    }
+
+    #[test]
+    fn instrumented_ledger_mirrors_accepted_charges_only() {
+        let telemetry = Telemetry::new();
+        let mut l = CostLedger::new();
+        l.instrument("fleet", &telemetry);
+        l.charge(CostCategory::VmCompute, 2.0);
+        l.charge_requests(CostCategory::S3Put, 4, 0.25);
+        let _ = l.try_charge(CostCategory::VmCompute, f64::NAN); // rejected
+        assert_eq!(telemetry.cost("fleet", "vm_compute"), 2.0);
+        assert_eq!(telemetry.cost("fleet", "s3_put"), 1.0);
+        // Equality ignores the wiring: an uninstrumented ledger with the
+        // same charges compares equal.
+        let mut bare = CostLedger::new();
+        bare.charge(CostCategory::VmCompute, 2.0);
+        bare.charge_requests(CostCategory::S3Put, 4, 0.25);
+        assert_eq!(l, bare);
     }
 
     #[test]

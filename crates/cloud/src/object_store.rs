@@ -59,6 +59,12 @@ impl ObjectStore {
         }
     }
 
+    /// Report the store's request charges to `telemetry` under the `store`
+    /// component. Instrument before sharing the store with tasks.
+    pub fn instrument(&self, telemetry: &cackle_telemetry::Telemetry) {
+        lock_ledger(&self.ledger).instrument("store", telemetry);
+    }
+
     /// PUT an object, billing one request.
     pub fn put(&self, key: &str, data: Vec<u8>) {
         let len = data.len() as u64;

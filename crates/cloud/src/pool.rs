@@ -8,6 +8,7 @@
 use crate::ledger::{CostCategory, CostLedger};
 use crate::pricing::Pricing;
 use crate::time::{SimDuration, SimTime};
+use cackle_telemetry::Telemetry;
 use std::collections::BTreeMap;
 
 /// Identifier of one elastic-pool invocation.
@@ -23,6 +24,8 @@ pub struct ElasticPool {
     ledger: CostLedger,
     invocations_total: u64,
     peak_concurrency: usize,
+    /// Telemetry sink (disabled by default); see [`ElasticPool::instrument`].
+    telemetry: Telemetry,
 }
 
 impl ElasticPool {
@@ -35,7 +38,15 @@ impl ElasticPool {
             ledger: CostLedger::new(),
             invocations_total: 0,
             peak_concurrency: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Report the pool's charges, invocation counts, and billed-duration
+    /// histogram to `telemetry` under the `pool` component.
+    pub fn instrument(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry.clone();
+        self.ledger.instrument("pool", telemetry);
     }
 
     /// Request a slot at `now`. Returns the invocation id and the time the
@@ -47,6 +58,7 @@ impl ElasticPool {
         self.active.insert(id, start);
         self.invocations_total += 1;
         self.peak_concurrency = self.peak_concurrency.max(self.active.len());
+        self.telemetry.counter_add("pool.invocations_total", 1);
         (id, start)
     }
 
@@ -59,6 +71,8 @@ impl ElasticPool {
         self.ledger
             .charge(CostCategory::ElasticPool, self.pricing.pool_cost(ran));
         self.ledger.pool_seconds += ran.as_secs_f64();
+        self.telemetry
+            .observe("pool.invocation_seconds", ran.as_secs_f64());
         Some(ran)
     }
 

@@ -18,6 +18,7 @@
 use crate::ledger::{CostCategory, CostLedger};
 use crate::pricing::Pricing;
 use crate::time::{SimDuration, SimTime};
+use cackle_telemetry::Telemetry;
 use std::collections::{BTreeMap, VecDeque};
 
 /// Identifier of a provisioned VM, unique within one fleet.
@@ -45,6 +46,10 @@ pub struct VmFleet {
     /// Lifetime counters for reporting.
     started_total: u64,
     terminated_total: u64,
+    /// Telemetry sink (disabled by default); see [`VmFleet::instrument`].
+    telemetry: Telemetry,
+    /// Telemetry component name, e.g. `fleet` or `shuffle_fleet`.
+    component: &'static str,
 }
 
 impl VmFleet {
@@ -66,7 +71,18 @@ impl VmFleet {
             ledger: CostLedger::new(),
             started_total: 0,
             terminated_total: 0,
+            telemetry: Telemetry::disabled(),
+            component: "fleet",
         }
+    }
+
+    /// Report this fleet's charges and lifecycle counters to `telemetry`
+    /// under `component` (the simulator uses `fleet` for the execution
+    /// layer and `shuffle_fleet` for shuffle nodes).
+    pub fn instrument(&mut self, component: &'static str, telemetry: &Telemetry) {
+        self.component = component;
+        self.telemetry = telemetry.clone();
+        self.ledger.instrument(component, telemetry);
     }
 
     fn startup(&self) -> SimDuration {
@@ -184,6 +200,12 @@ impl VmFleet {
             self.started_total += 1;
             started.push(id);
         }
+        if !started.is_empty() && self.telemetry.is_enabled() {
+            self.telemetry.counter_add(
+                &format!("{}.vms_started_total", self.component),
+                started.len() as u64,
+            );
+        }
         started
     }
 
@@ -230,6 +252,12 @@ impl VmFleet {
         if let Some(vm) = self.running.get_mut(&id) {
             vm.busy = false;
             self.terminate(now, id);
+            if self.telemetry.is_enabled() {
+                self.telemetry
+                    .counter_add(&format!("{}.vms_reclaimed_total", self.component), 1);
+                self.telemetry
+                    .event(now.as_millis(), "vm.interrupted", self.component);
+            }
         }
     }
 
@@ -270,6 +298,12 @@ impl VmFleet {
             _ => self.ledger.vm_seconds += secs,
         }
         self.terminated_total += 1;
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter_add(&format!("{}.vms_terminated_total", self.component), 1);
+            self.telemetry
+                .observe(&format!("{}.vm_billed_seconds", self.component), secs);
+        }
     }
 
     /// End of workload: terminate every instance (idle or not) and bill it,

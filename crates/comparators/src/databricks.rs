@@ -17,6 +17,7 @@
 
 use cackle::model::QueryArrival;
 use cackle::report::{ComputeCost, RunResult};
+use cackle::Telemetry;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -70,6 +71,8 @@ pub struct DatabricksConfig {
     /// same queries several times faster per core (§7.1.7 pre-warms all
     /// caches before measuring), so this defaults to 8.
     pub warm_speedup: f64,
+    /// Telemetry sink the run records into (disabled by default).
+    pub telemetry: Telemetry,
 }
 
 impl DatabricksConfig {
@@ -84,6 +87,7 @@ impl DatabricksConfig {
             idle_release_s: 600,
             dollars_per_dbu_hour: 0.70,
             warm_speedup: 8.0,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -94,6 +98,12 @@ impl DatabricksConfig {
             max_clusters: max,
             ..Self::fixed(size, 1)
         }
+    }
+
+    /// Attach a telemetry sink to record query and cost metrics into.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = telemetry.clone();
+        self
     }
 
     fn label(&self) -> String {
@@ -128,6 +138,7 @@ struct QueryRun {
 
 /// Run a workload on the modelled warehouse.
 pub fn run_databricks(workload: &[QueryArrival], cfg: &DatabricksConfig) -> RunResult {
+    let telemetry = cfg.telemetry.clone();
     // Completion events: (t, query, stage). Cluster-start events: (t, cluster).
     let mut completions: BinaryHeap<Reverse<(u64, usize, usize)>> = BinaryHeap::new();
     let mut cluster_starts: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
@@ -195,9 +206,20 @@ pub fn run_databricks(workload: &[QueryArrival], cfg: &DatabricksConfig) -> RunR
             if runs[q].remaining_tasks[s] == 0 {
                 runs[q].stages_left -= 1;
                 if runs[q].stages_left == 0 {
-                    latencies[q] = (now - workload[q].at_s) as f64;
+                    let latency = now.saturating_sub(workload[q].at_s);
+                    latencies[q] = latency as f64;
                     makespan = makespan.max(now);
                     done += 1;
+                    telemetry.counter_add("run.queries_total", 1);
+                    telemetry.observe("run.query_latency_seconds", latency as f64);
+                    telemetry.span_event(
+                        workload[q].at_s.saturating_mul(1000),
+                        latency.saturating_mul(1000),
+                        "query",
+                        Some(q as u64),
+                        None,
+                        &workload[q].profile.name,
+                    );
                     if let Some(c) = clusters[ci].as_mut() {
                         c.admitted.retain(|&x| x != q);
                         if c.admitted.is_empty() {
@@ -346,6 +368,8 @@ pub fn run_databricks(workload: &[QueryArrival], cfg: &DatabricksConfig) -> RunR
     }
     let dollars =
         billed_cluster_seconds as f64 / 3600.0 * cfg.size.dbu_per_hour() * cfg.dollars_per_dbu_hour;
+    telemetry.add_cost("warehouse", "vm_compute", dollars);
+    telemetry.gauge_set("run.duration_seconds", makespan as f64);
     RunResult {
         compute: ComputeCost {
             vm_cost: dollars,
@@ -358,6 +382,7 @@ pub fn run_databricks(workload: &[QueryArrival], cfg: &DatabricksConfig) -> RunR
         timeseries: None,
         duration_s: makespan,
         strategy: cfg.label(),
+        telemetry,
     }
 }
 
@@ -443,6 +468,20 @@ mod tests {
         let r = run_databricks(&w, &DatabricksConfig::autoscaling(WarehouseSize::Small, 4));
         assert_eq!(r.latencies.len(), 200);
         assert!(r.latencies.iter().all(|&l| l > 0.0));
+    }
+
+    #[test]
+    fn telemetry_mirrors_warehouse_billing() {
+        let w = burst(5, 0);
+        let t = Telemetry::new();
+        let cfg = DatabricksConfig::fixed(WarehouseSize::Small, 2).with_telemetry(&t);
+        let r = run_databricks(&w, &cfg);
+        assert_eq!(t.counter("run.queries_total"), 5);
+        assert!((t.cost("warehouse", "vm_compute") - r.compute.vm_cost).abs() < 1e-12);
+        assert_eq!(
+            t.histogram("run.query_latency_seconds").map(|h| h.count),
+            Some(5)
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use cackle::model::QueryArrival;
 use cackle::report::{ComputeCost, RunResult};
+use cackle::Telemetry;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -29,6 +30,8 @@ pub struct RedshiftConfig {
     pub scale_delay_s: u64,
     /// Queries on warm Redshift run this factor faster than the profile.
     pub warm_speedup: f64,
+    /// Telemetry sink the run records into (disabled by default).
+    pub telemetry: Telemetry,
 }
 
 impl Default for RedshiftConfig {
@@ -42,12 +45,22 @@ impl Default for RedshiftConfig {
             scale_trigger_s: 30,
             scale_delay_s: 120,
             warm_speedup: 8.0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+}
+
+impl RedshiftConfig {
+    /// Attach a telemetry sink to record query and cost metrics into.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = telemetry.clone();
+        self
     }
 }
 
 /// Run a workload on the modelled Redshift Serverless endpoint.
 pub fn run_redshift(workload: &[QueryArrival], cfg: &RedshiftConfig) -> RunResult {
+    let telemetry = cfg.telemetry.clone();
     let mut completions: BinaryHeap<Reverse<(u64, usize, usize)>> = BinaryHeap::new();
     let mut ready: BinaryHeap<Reverse<(u64, usize, usize, u32)>> = BinaryHeap::new();
     let mut arrivals: Vec<(u64, usize)> = workload
@@ -107,9 +120,20 @@ pub fn run_redshift(workload: &[QueryArrival], cfg: &RedshiftConfig) -> RunResul
             if remaining[q][s] == 0 {
                 stages_left[q] -= 1;
                 if stages_left[q] == 0 {
-                    latencies[q] = (now - workload[q].at_s) as f64;
+                    let latency = now.saturating_sub(workload[q].at_s);
+                    latencies[q] = latency as f64;
                     makespan = makespan.max(now);
                     done += 1;
+                    telemetry.counter_add("run.queries_total", 1);
+                    telemetry.observe("run.query_latency_seconds", latency as f64);
+                    telemetry.span_event(
+                        workload[q].at_s.saturating_mul(1000),
+                        latency.saturating_mul(1000),
+                        "query",
+                        Some(q as u64),
+                        None,
+                        &workload[q].profile.name,
+                    );
                 } else {
                     #[allow(clippy::needless_range_loop)] // parallel index into dep tables
                     for si in 0..workload[q].profile.stages.len() {
@@ -195,9 +219,12 @@ pub fn run_redshift(workload: &[QueryArrival], cfg: &RedshiftConfig) -> RunResul
         billed_rpu_seconds += period as f64 * rpus as f64;
     }
 
+    let endpoint_cost = billed_rpu_seconds / 3600.0 * cfg.dollars_per_rpu_hour;
+    telemetry.add_cost("endpoint", "vm_compute", endpoint_cost);
+    telemetry.gauge_set("run.duration_seconds", makespan as f64);
     RunResult {
         compute: ComputeCost {
-            vm_cost: billed_rpu_seconds / 3600.0 * cfg.dollars_per_rpu_hour,
+            vm_cost: endpoint_cost,
             pool_cost: 0.0,
             vm_seconds: billed_rpu_seconds,
             pool_seconds: 0.0,
@@ -207,6 +234,7 @@ pub fn run_redshift(workload: &[QueryArrival], cfg: &RedshiftConfig) -> RunResul
         timeseries: None,
         duration_s: makespan,
         strategy: format!("redshift_serverless_{}rpu", cfg.base_rpus),
+        telemetry,
     }
 }
 

@@ -7,9 +7,9 @@
 //! cost/latency frontier that Figure 11 contrasts with Cackle's
 //! elastic-pool points.
 
-use crate::config::Env;
 use crate::model::QueryArrival;
 use crate::report::{ComputeCost, RunResult};
+use crate::spec::{RunError, RunSpec};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -26,8 +26,25 @@ struct TaskKey {
 /// stages finish; ready tasks wait in a FIFO queue keyed by query arrival.
 /// The fleet is provisioned for the whole span, so cost is simply
 /// `slots × makespan` at the VM rate.
-pub fn run_delaying(workload: &[QueryArrival], slots: u32, env: &Env) -> RunResult {
-    assert!(slots > 0, "a delaying system needs at least one slot");
+pub fn run_delaying(workload: &[QueryArrival], slots: u32, spec: &RunSpec) -> RunResult {
+    try_run_delaying(workload, slots, spec).unwrap_or_else(|e| e.raise())
+}
+
+/// [`run_delaying`], reporting malformed inputs instead of panicking.
+pub fn try_run_delaying(
+    workload: &[QueryArrival],
+    slots: u32,
+    spec: &RunSpec,
+) -> Result<RunResult, RunError> {
+    spec.validate()?;
+    if slots == 0 {
+        return Err(RunError::InvalidKnob {
+            name: "slots",
+            value: 0.0,
+        });
+    }
+    let env = &spec.env;
+    let telemetry = spec.effective_telemetry();
     // Ready-task queue: (priority key, remaining duplicate count).
     let mut ready: BinaryHeap<Reverse<(TaskKey, u32)>> = BinaryHeap::new();
     // Completion events: (finish_s, query, stage).
@@ -96,19 +113,32 @@ pub fn run_delaying(workload: &[QueryArrival], slots: u32, env: &Env) -> RunResu
             .peek()
             .is_some_and(|Reverse((t, _, _))| *t <= now)
         {
-            let Reverse((_, q, s)) = completions.pop().expect("peeked");
+            let Some(Reverse((_, q, s))) = completions.pop() else {
+                break;
+            };
             free += 1;
-            remaining_tasks[q][s] -= 1;
+            remaining_tasks[q][s] = remaining_tasks[q][s].saturating_sub(1);
             if remaining_tasks[q][s] == 0 {
-                stages_left[q] -= 1;
+                stages_left[q] = stages_left[q].saturating_sub(1);
                 if stages_left[q] == 0 {
-                    latencies[q] = (now - workload[q].at_s) as f64;
+                    let latency = now.saturating_sub(workload[q].at_s);
+                    latencies[q] = latency as f64;
                     makespan = makespan.max(now);
+                    telemetry.counter_add("run.queries_total", 1);
+                    telemetry.observe("run.query_latency_seconds", latency as f64);
+                    telemetry.span_event(
+                        workload[q].at_s.saturating_mul(1000),
+                        latency.saturating_mul(1000),
+                        "query",
+                        Some(q as u64),
+                        None,
+                        &workload[q].profile.name,
+                    );
                 } else {
                     // Unlock dependents.
                     for (ds, dstage) in workload[q].profile.stages.iter().enumerate() {
                         if dstage.deps.contains(&s) {
-                            unfinished_deps[q][ds] -= 1;
+                            unfinished_deps[q][ds] = unfinished_deps[q][ds].saturating_sub(1);
                             if unfinished_deps[q][ds] == 0 {
                                 release_stage(q, ds, workload, &mut ready);
                             }
@@ -156,9 +186,12 @@ pub fn run_delaying(workload: &[QueryArrival], slots: u32, env: &Env) -> RunResu
     }
 
     let vm_seconds = slots as f64 * makespan as f64;
-    RunResult {
+    let vm_cost = vm_seconds * env.pricing.vm_per_sec();
+    telemetry.add_cost("fleet", "vm_compute", vm_cost);
+    telemetry.gauge_set("run.duration_seconds", makespan as f64);
+    Ok(RunResult {
         compute: ComputeCost {
-            vm_cost: vm_seconds * env.pricing.vm_per_sec(),
+            vm_cost,
             pool_cost: 0.0,
             vm_seconds,
             pool_seconds: 0.0,
@@ -168,7 +201,8 @@ pub fn run_delaying(workload: &[QueryArrival], slots: u32, env: &Env) -> RunResu
         timeseries: None,
         duration_s: makespan,
         strategy: format!("delaying_{slots}"),
-    }
+        telemetry,
+    })
 }
 
 #[cfg(test)]
@@ -207,7 +241,7 @@ mod tests {
             at_s: 0,
             profile: two_stage(4, 10),
         }];
-        let r = run_delaying(&w, 100, &Env::default());
+        let r = run_delaying(&w, 100, &RunSpec::new());
         assert_eq!(r.latencies, vec![20.0]);
     }
 
@@ -218,7 +252,7 @@ mod tests {
             at_s: 0,
             profile: two_stage(4, 10),
         }];
-        let r = run_delaying(&w, 1, &Env::default());
+        let r = run_delaying(&w, 1, &RunSpec::new());
         assert_eq!(r.latencies, vec![50.0]);
         assert_eq!(r.duration_s, 50);
     }
@@ -235,7 +269,7 @@ mod tests {
                 profile: two_stage(2, 10),
             },
         ];
-        let r = run_delaying(&w, 2, &Env::default());
+        let r = run_delaying(&w, 2, &RunSpec::new());
         // Query 0 takes both slots for 10 s, then its final stage runs with
         // query 1's scan; query 1 finishes later.
         assert!(r.latencies[0] < r.latencies[1]);
@@ -249,9 +283,9 @@ mod tests {
                 profile: two_stage(8, 20),
             })
             .collect();
-        let env = Env::default();
-        let tight = run_delaying(&w, 4, &env);
-        let roomy = run_delaying(&w, 64, &env);
+        let spec = RunSpec::new();
+        let tight = run_delaying(&w, 4, &spec);
+        let roomy = run_delaying(&w, 64, &spec);
         assert!(tight.latency_percentile(95.0) > roomy.latency_percentile(95.0));
         assert!(tight.compute.total() < roomy.compute.total());
     }
@@ -264,8 +298,24 @@ mod tests {
                 profile: two_stage(3, 7),
             })
             .collect();
-        let r = run_delaying(&w, 2, &Env::default());
+        let r = run_delaying(&w, 2, &RunSpec::new());
         assert_eq!(r.latencies.len(), 50);
         assert!(r.latencies.iter().all(|&l| l >= 14.0));
+    }
+
+    #[test]
+    fn zero_slots_rejected_and_telemetry_mirrors_costs() {
+        use cackle_telemetry::Telemetry;
+        let w = vec![QueryArrival {
+            at_s: 0,
+            profile: two_stage(4, 10),
+        }];
+        assert!(try_run_delaying(&w, 0, &RunSpec::new()).is_err());
+        let t = Telemetry::new();
+        let spec = RunSpec::new().with_telemetry(&t);
+        let r = run_delaying(&w, 2, &spec);
+        assert_eq!(t.counter("run.queries_total"), 1);
+        assert!((t.cost("fleet", "vm_compute") - r.compute.vm_cost).abs() < 1e-12);
+        assert_eq!(t.gauge("run.duration_seconds"), Some(r.duration_s as f64));
     }
 }

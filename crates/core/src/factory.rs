@@ -3,32 +3,41 @@
 
 use crate::config::Env;
 use crate::meta::MetaStrategy;
+use crate::spec::RunError;
 use crate::strategy::{FixedStrategy, MeanStrategy, PredictiveStrategy, ProvisioningStrategy};
 
-/// Build a strategy from its label.
+/// Build a strategy from its label, rejecting malformed labels.
 ///
 /// * `fixed_N` — fixed N VMs (N ≥ 0)
 /// * `mean_Y` — 5-minute mean × Y (Y may be fractional)
 /// * `predictive` — 5-minute linear regression
 /// * `dynamic` — the multiplicative-weights meta-strategy (paper family)
-pub fn make_strategy(label: &str, env: &Env) -> Box<dyn ProvisioningStrategy> {
+pub fn try_make_strategy(
+    label: &str,
+    env: &Env,
+) -> Result<Box<dyn ProvisioningStrategy>, RunError> {
     if let Some(n) = label.strip_prefix("fixed_") {
         let vms: u32 = n
             .parse()
-            .unwrap_or_else(|_| panic!("bad fixed label '{label}'"));
-        return Box::new(FixedStrategy { vms });
+            .map_err(|_| RunError::UnknownStrategy(label.to_string()))?;
+        return Ok(Box::new(FixedStrategy { vms }));
     }
     if let Some(m) = label.strip_prefix("mean_") {
         let mult: f64 = m
             .parse()
-            .unwrap_or_else(|_| panic!("bad mean label '{label}'"));
-        return Box::new(MeanStrategy::times(mult));
+            .map_err(|_| RunError::UnknownStrategy(label.to_string()))?;
+        return Ok(Box::new(MeanStrategy::times(mult)));
     }
     match label {
-        "predictive" => Box::new(PredictiveStrategy::new()),
-        "dynamic" => Box::new(MetaStrategy::new(env)),
-        other => panic!("unknown strategy label '{other}'"),
+        "predictive" => Ok(Box::new(PredictiveStrategy::new())),
+        "dynamic" => Ok(Box::new(MetaStrategy::new(env))),
+        other => Err(RunError::UnknownStrategy(other.to_string())),
     }
+}
+
+/// [`try_make_strategy`], panicking on a malformed label.
+pub fn make_strategy(label: &str, env: &Env) -> Box<dyn ProvisioningStrategy> {
+    try_make_strategy(label, env).unwrap_or_else(|e| e.raise())
 }
 
 #[cfg(test)]
@@ -61,5 +70,20 @@ mod tests {
     #[should_panic(expected = "unknown strategy")]
     fn unknown_label_panics() {
         make_strategy("nonsense", &Env::default());
+    }
+
+    #[test]
+    fn try_variant_reports_errors() {
+        let env = Env::default();
+        assert!(try_make_strategy("dynamic", &env).is_ok());
+        for bad in ["nonsense", "fixed_x", "mean_", "fixed_-1"] {
+            assert!(
+                matches!(
+                    try_make_strategy(bad, &env),
+                    Err(RunError::UnknownStrategy(_))
+                ),
+                "label {bad}"
+            );
+        }
     }
 }

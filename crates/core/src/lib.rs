@@ -32,22 +32,36 @@ pub mod oracle;
 pub mod prices;
 pub mod report;
 pub mod shuffleprov;
+pub mod spec;
 pub mod strategy;
 pub mod system;
 pub mod transport;
 
 pub use allocsim::{cost_of_target_history, AllocationSim};
 pub use config::Env;
-pub use factory::make_strategy;
+pub use delaying::{run_delaying, try_run_delaying};
+pub use factory::{make_strategy, try_make_strategy};
 pub use history::WorkloadHistory;
-pub use live::{run_live, LiveConfig, LiveQuery, LiveResult};
+pub use live::{run_live, run_live_collect, run_live_with, try_run_live, LiveQuery};
 pub use meta::{FamilyConfig, MetaStrategy};
-pub use model::{build_workload, run_model, ModelOptions, QueryArrival};
+pub use model::{build_workload, run_model, run_model_with, try_run_model, QueryArrival};
 pub use oracle::{oracle_cost, oracle_cost_without_pool, OracleCost};
 pub use prices::PriceTimeline;
 pub use report::{ComputeCost, RunResult, ShuffleCost, Timeseries};
+pub use spec::{RunError, RunSpec};
 pub use strategy::{
     FixedStrategy, MeanStrategy, PercentileStrategy, PredictiveStrategy, ProvisioningStrategy,
 };
-pub use system::{run_system, SystemConfig};
+pub use system::{run_system, run_system_with, try_run_system, try_run_system_with};
 pub use transport::HybridShuffle;
+
+/// Re-export of the observability crate so downstream users can construct
+/// sinks without depending on `cackle-telemetry` directly.
+pub use cackle_telemetry::{Histogram, Registry, Telemetry, TraceEvent};
+
+#[allow(deprecated)]
+pub use live::{run_live_with_config, LiveConfig, LiveResult};
+#[allow(deprecated)]
+pub use model::{run_model_with_options, ModelOptions};
+#[allow(deprecated)]
+pub use system::{run_system_with_config, SystemConfig};

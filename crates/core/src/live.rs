@@ -12,11 +12,17 @@
 //! This is the closest analogue of the paper's §7.1 implementation: the
 //! same coordinator/compute/shuffle split, with the cloud simulated and
 //! the relational work real.
+//!
+//! Entry points mirror the other runners: [`run_live`] takes a
+//! [`RunSpec`] and returns the shared [`RunResult`]; [`run_live_collect`]
+//! additionally gathers each query's output batches.
 
 use crate::config::Env;
+use crate::factory::try_make_strategy;
 use crate::history::WorkloadHistory;
 use crate::report::{ComputeCost, RunResult, ShuffleCost, Timeseries};
 use crate::shuffleprov::ShuffleProvisioner;
+use crate::spec::{RunError, RunSpec};
 use crate::strategy::ProvisioningStrategy;
 use crate::transport::HybridShuffle;
 use cackle_cloud::{
@@ -39,7 +45,8 @@ pub struct LiveQuery {
     pub plan: Arc<StageDag>,
 }
 
-/// Configuration for a live run.
+/// Configuration for a live run, superseded by [`RunSpec`].
+#[deprecated(note = "use RunSpec with run_live / run_live_collect")]
 pub struct LiveConfig {
     /// Cloud environment.
     pub env: Env,
@@ -52,6 +59,7 @@ pub struct LiveConfig {
     pub keep_results: bool,
 }
 
+#[allow(deprecated)]
 impl Default for LiveConfig {
     fn default() -> Self {
         LiveConfig {
@@ -63,8 +71,9 @@ impl Default for LiveConfig {
     }
 }
 
-/// Result of a live run: the usual [`RunResult`] plus gathered query
-/// outputs (when requested).
+/// Result of a live run under the old API, superseded by [`RunResult`]
+/// plus [`run_live_collect`]'s batch vector.
+#[deprecated(note = "run_live returns RunResult; use run_live_collect for batches")]
 pub struct LiveResult {
     /// Costs, latencies, series.
     pub run: RunResult,
@@ -96,20 +105,152 @@ struct QueryState {
     stages_left: usize,
 }
 
-/// Execute a live workload on the full system.
-///
-/// Single-process: engine tasks run inline at event-processing time (their
-/// wall time is irrelevant — simulated durations come from processed
-/// rows), which keeps the run deterministic.
-pub fn run_live(
+/// Check every plan can execute: at least one stage, at least one task per
+/// stage, dependency indices in range, acyclic stage graph.
+fn validate_live_workload(workload: &[LiveQuery]) -> Result<(), RunError> {
+    for (qi, q) in workload.iter().enumerate() {
+        let n = q.plan.stages.len();
+        if n == 0 {
+            return Err(RunError::InvalidWorkload(format!(
+                "query {qi} has no stages"
+            )));
+        }
+        let deps: Vec<Vec<usize>> = q.plan.stages.iter().map(|s| s.dependencies()).collect();
+        for (si, stage) in q.plan.stages.iter().enumerate() {
+            if stage.tasks == 0 {
+                return Err(RunError::InvalidWorkload(format!(
+                    "query {qi} stage {si} has zero tasks"
+                )));
+            }
+            for &d in &deps[si] {
+                if d >= n {
+                    return Err(RunError::InvalidWorkload(format!(
+                        "query {qi} stage {si} depends on missing stage {d}"
+                    )));
+                }
+            }
+        }
+        let mut indegree: Vec<usize> = deps.iter().map(|d| d.len()).collect();
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut processed = 0usize;
+        while let Some(finished) = ready.pop() {
+            processed += 1;
+            for si in 0..n {
+                if deps[si].contains(&finished) {
+                    indegree[si] = indegree[si].saturating_sub(1);
+                    if indegree[si] == 0 {
+                        ready.push(si);
+                    }
+                }
+            }
+        }
+        if processed < n {
+            return Err(RunError::InvalidWorkload(format!(
+                "query {qi} has a stage dependency cycle"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Execute a live workload; the strategy comes from `spec.strategy`.
+/// Panics on a malformed spec or workload — use [`try_run_live`] to handle
+/// those gracefully.
+pub fn run_live(workload: &[LiveQuery], catalog: &Catalog, spec: &RunSpec) -> RunResult {
+    try_run_live(workload, catalog, spec).unwrap_or_else(|e| e.raise())
+}
+
+/// [`run_live`], reporting malformed specs and workloads instead of
+/// panicking.
+pub fn try_run_live(
+    workload: &[LiveQuery],
+    catalog: &Catalog,
+    spec: &RunSpec,
+) -> Result<RunResult, RunError> {
+    spec.validate()?;
+    validate_live_workload(workload)?;
+    let mut strategy = try_make_strategy(&spec.strategy, &spec.env)?;
+    Ok(run_live_inner(workload, catalog, strategy.as_mut(), spec, false).0)
+}
+
+/// Execute a live workload under an explicitly constructed strategy.
+pub fn run_live_with(
+    workload: &[LiveQuery],
+    catalog: &Catalog,
+    strategy: &mut dyn ProvisioningStrategy,
+    spec: &RunSpec,
+) -> RunResult {
+    let outcome = spec
+        .validate()
+        .and_then(|()| validate_live_workload(workload));
+    debug_assert!(outcome.is_ok(), "invalid live run: {outcome:?}");
+    if outcome.is_err() {
+        return RunResult::default();
+    }
+    run_live_inner(workload, catalog, strategy, spec, false).0
+}
+
+/// [`run_live_with`], additionally gathering each query's final output
+/// batches (memory-heavy for big workloads).
+pub fn run_live_collect(
+    workload: &[LiveQuery],
+    catalog: &Catalog,
+    strategy: &mut dyn ProvisioningStrategy,
+    spec: &RunSpec,
+) -> (RunResult, Vec<Vec<Batch>>) {
+    let outcome = spec
+        .validate()
+        .and_then(|()| validate_live_workload(workload));
+    debug_assert!(outcome.is_ok(), "invalid live run: {outcome:?}");
+    if outcome.is_err() {
+        return (RunResult::default(), vec![Vec::new(); workload.len()]);
+    }
+    run_live_inner(workload, catalog, strategy, spec, true)
+}
+
+/// Pre-`RunSpec` entry point, kept for callers still on [`LiveConfig`].
+#[deprecated(note = "use run_live(workload, catalog, &RunSpec) or run_live_collect")]
+#[allow(deprecated)]
+pub fn run_live_with_config(
     workload: &[LiveQuery],
     catalog: &Catalog,
     strategy: &mut dyn ProvisioningStrategy,
     cfg: &LiveConfig,
 ) -> LiveResult {
-    let env = &cfg.env;
+    let spec = RunSpec::new()
+        .with_env(cfg.env.clone())
+        .with_rows_per_task_second(cfg.rows_per_task_second)
+        .with_pool_slowdown(cfg.pool_slowdown)
+        .with_timeseries(true);
+    let (run, results) = if cfg.keep_results {
+        run_live_collect(workload, catalog, strategy, &spec)
+    } else {
+        (
+            run_live_with(workload, catalog, strategy, &spec),
+            vec![Vec::new(); workload.len()],
+        )
+    };
+    LiveResult { run, results }
+}
+
+/// The shared event loop behind every live entry point.
+///
+/// Single-process: engine tasks run inline at event-processing time (their
+/// wall time is irrelevant — simulated durations come from processed
+/// rows), which keeps the run deterministic.
+fn run_live_inner(
+    workload: &[LiveQuery],
+    catalog: &Catalog,
+    strategy: &mut dyn ProvisioningStrategy,
+    spec: &RunSpec,
+    keep_results: bool,
+) -> (RunResult, Vec<Vec<Batch>>) {
+    let env = &spec.env;
     let pricing = env.pricing.clone();
+    let telemetry = spec.effective_telemetry();
+    strategy.set_telemetry(&telemetry);
     let store = Arc::new(ObjectStore::new(pricing.clone()));
+    store.instrument(&telemetry);
     // Shuffle nodes sized by the provisioner's floor; the node count is
     // refreshed each second from the resident-state window like the
     // simulated system. For placement we rebuild capacity by adjusting a
@@ -127,9 +268,11 @@ pub fn run_live(
     let mut fleet = VmFleet::new(pricing.clone());
     let mut pool = ElasticPool::new(pricing.clone());
     let mut shuffle_fleet = VmFleet::with_category(pricing.clone(), CostCategory::ShuffleNode);
+    fleet.instrument("fleet", &telemetry);
+    pool.instrument(&telemetry);
+    shuffle_fleet.instrument("shuffle_fleet", &telemetry);
     let mut shuffle_prov = ShuffleProvisioner::new(env);
     let mut history = WorkloadHistory::new();
-    let mut ts = Timeseries::default();
 
     let mut queries: Vec<QueryState> = workload
         .iter()
@@ -168,26 +311,20 @@ pub fn run_live(
             let plan = &workload[$qi].plan;
             let tasks = plan.stages[$si].tasks;
             for task in 0..tasks {
-                let ctx = TaskContext {
-                    dag: plan,
-                    stage_id: $si,
-                    task,
-                    query_id: $qi as u64,
-                    catalog,
-                    shuffle: &shuffle,
-                };
+                let mut ctx = TaskContext::new(plan, $si, task, $qi as u64, catalog, &shuffle);
+                ctx.telemetry = telemetry.clone();
                 let r = execute_task(&ctx);
                 if let Some(batches) = r.output {
-                    if cfg.keep_results {
+                    if keep_results {
                         results[$qi].extend(batches);
                     }
                 }
-                let work_s = (r.rows_in.max(1) as f64 / cfg.rows_per_task_second).max(0.2);
+                let work_s = (r.rows_in.max(1) as f64 / spec.rows_per_task_second).max(0.2);
                 let (slot, start, dur) = match fleet.try_assign($now) {
                     Some(id) => (Slot::Vm(id), $now, work_s),
                     None => {
                         let (id, start) = pool.invoke($now);
-                        (Slot::Pool(id), start, work_s * cfg.pool_slowdown)
+                        (Slot::Pool(id), start, work_s * spec.pool_slowdown)
                     }
                 };
                 running += 1;
@@ -221,20 +358,33 @@ pub fn run_live(
                         pool.complete(now, id);
                     }
                 }
-                running -= 1;
-                queries[query].remaining_tasks[stage] -= 1;
-                if queries[query].remaining_tasks[stage] == 0 {
-                    queries[query].stages_left -= 1;
-                    if queries[query].stages_left == 0 {
-                        latencies[query] = (now - queries[query].arrival).as_secs_f64();
+                running = running.saturating_sub(1);
+                let q = &mut queries[query];
+                q.remaining_tasks[stage] = q.remaining_tasks[stage].saturating_sub(1);
+                if q.remaining_tasks[stage] == 0 {
+                    q.stages_left = q.stages_left.saturating_sub(1);
+                    if q.stages_left == 0 {
+                        let latency = (now - q.arrival).as_secs_f64();
+                        latencies[query] = latency;
                         shuffle.delete_query(query as u64);
                         done += 1;
+                        telemetry.counter_add("run.queries_total", 1);
+                        telemetry.observe("run.query_latency_seconds", latency);
+                        telemetry.span_event(
+                            q.arrival.as_millis(),
+                            now.as_millis().saturating_sub(q.arrival.as_millis()),
+                            "query",
+                            Some(query as u64),
+                            None,
+                            &workload[query].plan.name,
+                        );
                     } else {
                         let plan = workload[query].plan.clone();
                         for si in 0..plan.stages.len() {
                             if plan.stages[si].dependencies().contains(&stage) {
-                                queries[query].unfinished_deps[si] -= 1;
-                                if queries[query].unfinished_deps[si] == 0 {
+                                let q = &mut queries[query];
+                                q.unfinished_deps[si] = q.unfinished_deps[si].saturating_sub(1);
+                                if q.unfinished_deps[si] == 0 {
                                     launch_stage!(now, query, si);
                                 }
                             }
@@ -251,9 +401,12 @@ pub fn run_live(
                 // by *real* resident bytes on the transport.
                 let st = shuffle_prov.target_nodes(shuffle.node_resident_bytes());
                 shuffle_fleet.set_target(now, st as usize);
-                ts.demand.push(history.latest());
-                ts.target.push(target);
-                ts.active.push(fleet.running_count() as u32);
+                if telemetry.is_enabled() {
+                    let t_ms = now.as_millis();
+                    telemetry.sample("run.demand", t_ms, history.latest() as f64);
+                    telemetry.sample("run.target", t_ms, target as f64);
+                    telemetry.sample("run.active", t_ms, fleet.running_count() as f64);
+                }
                 if done < workload.len() || running > 0 {
                     events.schedule(now + SimDuration::from_secs(1), Ev::Second);
                 } else {
@@ -277,29 +430,33 @@ pub fn run_live(
     fleet.finalize(end);
     shuffle_fleet.finalize(end);
     let store_ledger = store.ledger();
+    telemetry.gauge_set("run.duration_seconds", history.len() as f64);
 
-    LiveResult {
-        run: RunResult {
-            compute: ComputeCost {
-                vm_cost: fleet.ledger().category(CostCategory::VmCompute),
-                pool_cost: pool.ledger().category(CostCategory::ElasticPool),
-                vm_seconds: fleet.ledger().vm_seconds,
-                pool_seconds: pool.ledger().pool_seconds,
-            },
-            shuffle: ShuffleCost {
-                node_cost: shuffle_fleet.ledger().category(CostCategory::ShuffleNode),
-                s3_put_cost: store_ledger.category(CostCategory::S3Put),
-                s3_get_cost: store_ledger.category(CostCategory::S3Get),
-                puts: store_ledger.put_requests,
-                gets: store_ledger.get_requests,
-            },
-            latencies,
-            timeseries: Some(ts),
-            duration_s: history.len() as u64,
-            strategy: strategy.name(),
+    let run = RunResult {
+        compute: ComputeCost {
+            vm_cost: fleet.ledger().category(CostCategory::VmCompute),
+            pool_cost: pool.ledger().category(CostCategory::ElasticPool),
+            vm_seconds: fleet.ledger().vm_seconds,
+            pool_seconds: pool.ledger().pool_seconds,
         },
-        results,
-    }
+        shuffle: ShuffleCost {
+            node_cost: shuffle_fleet.ledger().category(CostCategory::ShuffleNode),
+            s3_put_cost: store_ledger.category(CostCategory::S3Put),
+            s3_get_cost: store_ledger.category(CostCategory::S3Get),
+            puts: store_ledger.put_requests,
+            gets: store_ledger.get_requests,
+        },
+        latencies,
+        timeseries: if spec.record_timeseries {
+            Timeseries::from_telemetry(&telemetry)
+        } else {
+            None
+        },
+        duration_s: history.len() as u64,
+        strategy: strategy.name(),
+        telemetry,
+    };
+    (run, results)
 }
 
 #[cfg(test)]
@@ -337,21 +494,18 @@ mod tests {
         let catalog = tiny_catalog();
         let w = live_workload(&[("q01", 0), ("q06", 5), ("q03", 10), ("q13", 15)]);
         let mut strategy = FixedStrategy { vms: 0 };
-        let cfg = LiveConfig {
-            rows_per_task_second: 5_000.0, // tiny data: stretch durations
-            keep_results: true,
-            ..Default::default()
-        };
-        let r = run_live(&w, &catalog, &mut strategy, &cfg);
-        assert_eq!(r.run.latencies.len(), 4);
-        assert!(r.run.latencies.iter().all(|&l| l > 0.0));
+        // Tiny data: stretch durations with a low task throughput.
+        let spec = RunSpec::new().with_rows_per_task_second(5_000.0);
+        let (run, results) = run_live_collect(&w, &catalog, &mut strategy, &spec);
+        assert_eq!(run.latencies.len(), 4);
+        assert!(run.latencies.iter().all(|&l| l > 0.0));
         // Pool-only: every task billed on the pool.
-        assert_eq!(r.run.compute.vm_seconds, 0.0);
-        assert!(r.run.compute.pool_cost > 0.0);
+        assert_eq!(run.compute.vm_seconds, 0.0);
+        assert!(run.compute.pool_cost > 0.0);
         // Real results were gathered.
-        assert!(r.results.iter().all(|b| !b.is_empty()));
+        assert!(results.iter().all(|b| !b.is_empty()));
         // q01 produced its 3 pricing-summary groups.
-        let q01_rows: usize = r.results[0].iter().map(|b| b.num_rows()).sum();
+        let q01_rows: usize = results[0].iter().map(|b| b.num_rows()).sum();
         assert_eq!(q01_rows, 3);
     }
 
@@ -367,14 +521,10 @@ mod tests {
         };
         let w = live_workload(&[("q04", 0)]);
         let mut strategy = FixedStrategy { vms: 2 };
-        let cfg = LiveConfig {
-            keep_results: true,
-            ..Default::default()
-        };
-        let live = run_live(&w, &catalog, &mut strategy, &cfg);
+        let (_, results) = run_live_collect(&w, &catalog, &mut strategy, &RunSpec::new());
         let dag = plans::plan("q04", par);
         let direct = execute_query(&dag, 1, &catalog, &MemoryShuffle::new());
-        let gathered = Batch::concat(dag.final_stage().output_schema.clone(), &live.results[0]);
+        let gathered = Batch::concat(dag.final_stage().output_schema.clone(), &results[0]);
         assert_eq!(gathered, direct, "live system must compute the same answer");
     }
 
@@ -385,13 +535,31 @@ mod tests {
         let w: Vec<LiveQuery> = (0..20)
             .flat_map(|i| live_workload(&[("q06", i * 30)]))
             .collect();
-        let mut strategy = FixedStrategy { vms: 4 };
-        let cfg = LiveConfig {
-            rows_per_task_second: 2_000.0,
-            ..Default::default()
-        };
-        let r = run_live(&w, &catalog, &mut strategy, &cfg);
-        assert!(r.run.compute.vm_seconds > 0.0, "VMs should run tasks");
-        assert!(r.run.compute.pool_seconds > 0.0, "cold start uses the pool");
+        let spec = RunSpec::new()
+            .with_strategy("fixed_4")
+            .with_rows_per_task_second(2_000.0);
+        let r = run_live(&w, &catalog, &spec);
+        assert!(r.compute.vm_seconds > 0.0, "VMs should run tasks");
+        assert!(r.compute.pool_seconds > 0.0, "cold start uses the pool");
+    }
+
+    #[test]
+    fn live_telemetry_records_engine_and_store_activity() {
+        use cackle_telemetry::Telemetry;
+        let catalog = tiny_catalog();
+        let w = live_workload(&[("q06", 0), ("q01", 3)]);
+        let t = Telemetry::new();
+        let spec = RunSpec::new()
+            .with_strategy("fixed_0")
+            .with_rows_per_task_second(5_000.0)
+            .with_telemetry(&t);
+        let r = run_live(&w, &catalog, &spec);
+        // Engine tasks reported through the threaded TaskContext.
+        assert!(t.counter("engine.tasks_total") > 0);
+        // Store request charges attributed to the store component.
+        assert!((t.cost("store", "s3_put") - r.shuffle.s3_put_cost).abs() < 1e-12);
+        // Pool charges attributed (pool-only run).
+        assert!((t.cost("pool", "elastic_pool") - r.compute.pool_cost).abs() < 1e-12);
+        assert_eq!(t.counter("run.queries_total"), 2);
     }
 }

@@ -23,6 +23,7 @@ use crate::config::Env;
 use crate::history::{SlidingQuantile, WorkloadHistory};
 use crate::strategy::ProvisioningStrategy;
 use cackle_prng::Pcg32;
+use cackle_telemetry::Telemetry;
 
 /// One member of the strategy family.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -117,6 +118,7 @@ pub struct MetaStrategy {
     current: usize,
     ticks: u64,
     switches: u64,
+    telemetry: Telemetry,
 }
 
 impl MetaStrategy {
@@ -152,6 +154,7 @@ impl MetaStrategy {
             current: 0,
             ticks: 0,
             switches: 0,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -280,7 +283,11 @@ impl ProvisioningStrategy for MetaStrategy {
         }
     }
 
-    fn target(&mut self, _now: u64, history: &WorkloadHistory, _env: &Env) -> u32 {
+    fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry.clone();
+    }
+
+    fn target(&mut self, now: u64, history: &WorkloadHistory, _env: &Env) -> u32 {
         // 1. Advance every expert's allocation history over the new seconds.
         self.advance_sims(history);
         // 2. Refresh expert targets from the shared quantile windows.
@@ -291,10 +298,23 @@ impl ProvisioningStrategy for MetaStrategy {
         let choice = self.sample_expert();
         if choice != self.current && self.ticks > 0 {
             self.switches += 1;
+            self.telemetry.counter_add("meta.switches_total", 1);
         }
         self.current = choice;
         self.ticks += 1;
-        self.expert_targets[choice]
+        let target = self.expert_targets[choice];
+        if self.telemetry.is_enabled() {
+            let t_ms = now.saturating_mul(1000);
+            let e = self.experts[choice];
+            self.telemetry.counter_add("meta.ticks_total", 1);
+            self.telemetry
+                .sample("meta.chosen_target", t_ms, target as f64);
+            self.telemetry
+                .sample("meta.expert_percentile", t_ms, e.percentile as f64);
+            self.telemetry
+                .sample("meta.expert_multiplier", t_ms, e.multiplier);
+        }
+        target
     }
 }
 
@@ -414,6 +434,24 @@ mod tests {
         h.push(1);
         m.target(0, &h, &e);
         m.prime(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn telemetry_records_expert_choices() {
+        let e = env();
+        let t = Telemetry::new();
+        let mut m = MetaStrategy::with_family(FamilyConfig::small(), &e);
+        m.set_telemetry(&t);
+        let mut h = WorkloadHistory::new();
+        for s in 0..200u64 {
+            h.push(20);
+            if s % 5 == 0 {
+                m.target(s, &h, &e);
+            }
+        }
+        assert_eq!(t.counter("meta.ticks_total"), 40);
+        assert_eq!(t.series("meta.chosen_target").unwrap().len(), 40);
+        assert_eq!(t.counter("meta.switches_total"), m.switch_count());
     }
 
     #[test]

@@ -9,11 +9,14 @@
 
 use crate::allocsim::AllocationSim;
 use crate::config::Env;
+use crate::factory::try_make_strategy;
 use crate::history::WorkloadHistory;
 use crate::report::{ComputeCost, RunResult, ShuffleCost, Timeseries};
 use crate::shuffleprov::ShuffleProvisioner;
+use crate::spec::{RunError, RunSpec};
 use crate::strategy::ProvisioningStrategy;
 use cackle_prng::Pcg32;
+use cackle_telemetry::Telemetry;
 use cackle_workload::arrivals::WorkloadSpec;
 use cackle_workload::demand::DemandCurve;
 use cackle_workload::profile::ProfileRef;
@@ -89,7 +92,8 @@ pub fn workload_curves(workload: &[QueryArrival]) -> WorkloadCurves {
     c
 }
 
-/// Model knobs.
+/// Model knobs, superseded by [`RunSpec`].
+#[deprecated(note = "use RunSpec with run_model / run_model_with")]
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ModelOptions {
     /// Record per-second demand/target/active series (Figure 12).
@@ -98,23 +102,80 @@ pub struct ModelOptions {
     pub compute_only: bool,
 }
 
-/// Run the analytical model for a workload under a strategy.
-pub fn run_model(
+/// Run the analytical model for a workload; the strategy comes from
+/// `spec.strategy`. Panics on a malformed label — use [`try_run_model`]
+/// to handle that gracefully.
+pub fn run_model(workload: &[QueryArrival], spec: &RunSpec) -> RunResult {
+    try_run_model(workload, spec).unwrap_or_else(|e| e.raise())
+}
+
+/// [`run_model`], reporting malformed specs instead of panicking.
+pub fn try_run_model(workload: &[QueryArrival], spec: &RunSpec) -> Result<RunResult, RunError> {
+    spec.validate()?;
+    let mut strategy = try_make_strategy(&spec.strategy, &spec.env)?;
+    Ok(run_model_with(workload, strategy.as_mut(), spec))
+}
+
+/// Run the analytical model under an explicitly constructed strategy
+/// (experiments that sweep custom [`MetaStrategy`](crate::MetaStrategy)
+/// families pass their own instance).
+pub fn run_model_with(
     workload: &[QueryArrival],
     strategy: &mut dyn ProvisioningStrategy,
-    env: &Env,
-    opts: ModelOptions,
+    spec: &RunSpec,
 ) -> RunResult {
     let curves = workload_curves(workload);
-    let mut result = simulate_compute(&curves.demand.samples, strategy, env, opts);
-    if !opts.compute_only {
-        result.shuffle = simulate_shuffle(&curves, env);
+    let mut result = simulate_compute(&curves.demand.samples, strategy, spec);
+    if !spec.compute_only {
+        result.shuffle = simulate_shuffle(&curves, &spec.env, &result.telemetry);
     }
     result.latencies = workload
         .iter()
         .map(|q| q.profile.critical_path_seconds() as f64)
         .collect();
+    record_query_telemetry(&result.telemetry, workload);
     result
+}
+
+/// Pre-`RunSpec` entry point, kept for callers still on [`ModelOptions`].
+#[deprecated(note = "use run_model(workload, &RunSpec) or run_model_with")]
+#[allow(deprecated)]
+pub fn run_model_with_options(
+    workload: &[QueryArrival],
+    strategy: &mut dyn ProvisioningStrategy,
+    env: &Env,
+    opts: ModelOptions,
+) -> RunResult {
+    run_model_with(workload, strategy, &spec_from_options(env, opts))
+}
+
+#[allow(deprecated)]
+fn spec_from_options(env: &Env, opts: ModelOptions) -> RunSpec {
+    RunSpec::new()
+        .with_env(env.clone())
+        .with_timeseries(opts.record_timeseries)
+        .with_compute_only(opts.compute_only)
+}
+
+/// Record per-query telemetry: arrival→completion spans and the latency
+/// histogram every runner shares.
+fn record_query_telemetry(telemetry: &Telemetry, workload: &[QueryArrival]) {
+    if !telemetry.is_enabled() {
+        return;
+    }
+    for (i, q) in workload.iter().enumerate() {
+        let latency_s = q.profile.critical_path_seconds();
+        telemetry.counter_add("run.queries_total", 1);
+        telemetry.observe("run.query_latency_seconds", latency_s as f64);
+        telemetry.span_event(
+            q.at_s * 1000,
+            latency_s as u64 * 1000,
+            "query",
+            Some(i as u64),
+            None,
+            &q.profile.name,
+        );
+    }
 }
 
 /// Drive a strategy over a bare demand curve (used for the real-trace
@@ -122,15 +183,13 @@ pub fn run_model(
 pub fn simulate_compute(
     demand: &[u32],
     strategy: &mut dyn ProvisioningStrategy,
-    env: &Env,
-    opts: ModelOptions,
+    spec: &RunSpec,
 ) -> RunResult {
     simulate_compute_with_timeline(
         demand,
         strategy,
-        env,
-        opts,
-        &crate::prices::PriceTimeline::constant(env),
+        spec,
+        &crate::prices::PriceTimeline::constant(&spec.env),
     )
 }
 
@@ -140,17 +199,18 @@ pub fn simulate_compute(
 pub fn simulate_compute_with_timeline(
     demand: &[u32],
     strategy: &mut dyn ProvisioningStrategy,
-    env: &Env,
-    opts: ModelOptions,
+    spec: &RunSpec,
     timeline: &crate::prices::PriceTimeline,
 ) -> RunResult {
+    let env = &spec.env;
+    let telemetry = spec.effective_telemetry();
+    strategy.set_telemetry(&telemetry);
     let changes = timeline.change_points();
     let mut next_change = 0usize;
     let tick = env.strategy_tick.as_secs().max(1);
     let mut history = WorkloadHistory::new();
     let mut fleet = AllocationSim::new(env);
     let mut target = 0u32;
-    let mut ts = Timeseries::default();
     // Run past the demand end until the fleet drains.
     let horizon = demand.len() as u64;
     let mut t = 0u64;
@@ -171,10 +231,11 @@ pub fn simulate_compute_with_timeline(
             target = 0;
         }
         fleet.step(target, d);
-        if opts.record_timeseries && t < horizon {
-            ts.demand.push(d);
-            ts.target.push(target);
-            ts.active.push(fleet.active_count() as u32);
+        if telemetry.is_enabled() && t < horizon {
+            let t_ms = t * 1000;
+            telemetry.sample("run.demand", t_ms, d as f64);
+            telemetry.sample("run.target", t_ms, target as f64);
+            telemetry.sample("run.active", t_ms, fleet.active_count() as f64);
         }
         t += 1;
         if t >= horizon && fleet.active_count() == 0 && fleet.pending_count() == 0 {
@@ -182,25 +243,34 @@ pub fn simulate_compute_with_timeline(
         }
     }
     fleet.finalize();
+    let compute = ComputeCost {
+        vm_cost: fleet.vm_dollars(),
+        pool_cost: fleet.pool_dollars(),
+        vm_seconds: fleet.vm_billed_seconds(),
+        pool_seconds: fleet.pool_seconds(),
+    };
+    telemetry.add_cost("fleet", "vm_compute", compute.vm_cost);
+    telemetry.add_cost("pool", "elastic_pool", compute.pool_cost);
+    telemetry.gauge_set("run.duration_seconds", horizon as f64);
     RunResult {
-        compute: ComputeCost {
-            vm_cost: fleet.vm_dollars(),
-            pool_cost: fleet.pool_dollars(),
-            vm_seconds: fleet.vm_billed_seconds(),
-            pool_seconds: fleet.pool_seconds(),
-        },
+        compute,
         shuffle: ShuffleCost::default(),
         latencies: Vec::new(),
-        timeseries: opts.record_timeseries.then_some(ts),
+        timeseries: if spec.record_timeseries {
+            Timeseries::from_telemetry(&telemetry)
+        } else {
+            None
+        },
         duration_s: horizon,
         strategy: strategy.name(),
+        telemetry,
     }
 }
 
 /// The §5.6 shuffle-layer model: provisioned shuffle nodes sized to the
 /// 20-minute maximum of resident intermediate state (≥ 16 GB), with reads
 /// and writes overflowing to the object store when nodes are full.
-fn simulate_shuffle(curves: &WorkloadCurves, env: &Env) -> ShuffleCost {
+fn simulate_shuffle(curves: &WorkloadCurves, env: &Env, telemetry: &Telemetry) -> ShuffleCost {
     let node_capacity_mib = env.pricing.shuffle_node_capacity_bytes >> 20;
     let mut prov = ShuffleProvisioner::new(env);
     let mut fleet = AllocationSim::with_rates(
@@ -227,13 +297,19 @@ fn simulate_shuffle(curves: &WorkloadCurves, env: &Env) -> ShuffleCost {
         gets += (curves.reads[t as usize] as f64 * overflow).round() as u64;
     }
     fleet.finalize();
-    ShuffleCost {
+    let cost = ShuffleCost {
         node_cost: fleet.vm_dollars(),
         s3_put_cost: puts as f64 * env.pricing.s3_put,
         s3_get_cost: gets as f64 * env.pricing.s3_get,
         puts,
         gets,
-    }
+    };
+    telemetry.add_cost("shuffle_fleet", "shuffle_node", cost.node_cost);
+    telemetry.add_cost("store", "s3_put", cost.s3_put_cost);
+    telemetry.add_cost("store", "s3_get", cost.s3_get_cost);
+    telemetry.counter_add("store.put_requests_total", puts);
+    telemetry.counter_add("store.get_requests_total", gets);
+    cost
 }
 
 /// Re-run the §4.4.3 cost prediction on an executed history: given the
@@ -317,9 +393,7 @@ mod tests {
             at_s: 0,
             profile: profile(10, 60),
         }];
-        let env = Env::default();
-        let mut s = FixedStrategy { vms: 0 };
-        let r = run_model(&w, &mut s, &env, ModelOptions::default());
+        let r = run_model(&w, &RunSpec::new().with_strategy("fixed_0"));
         assert_eq!(r.compute.vm_seconds, 0.0);
         // 10 tasks × 60 s + 1 × 1 s.
         assert!((r.compute.pool_seconds - 601.0).abs() < 1e-9);
@@ -333,9 +407,8 @@ mod tests {
             at_s: 0,
             profile: profile(10, 600),
         }];
-        let env = Env::default();
         let mut s = FixedStrategy { vms: 10 };
-        let r = run_model(&w, &mut s, &env, ModelOptions::default());
+        let r = run_model_with(&w, &mut s, &RunSpec::new());
         // VMs take 180 s to start, so the first 180 s of work ran on the
         // pool; the remaining ~420 s ran on the started VMs.
         assert!((r.compute.pool_seconds - 10.0 * 180.0).abs() < 20.0);
@@ -351,9 +424,8 @@ mod tests {
             at_s: 0,
             profile: profile(10, 60),
         }];
-        let env = Env::default();
         let mut s = FixedStrategy { vms: 10 };
-        let r = run_model(&w, &mut s, &env, ModelOptions::default());
+        let r = run_model_with(&w, &mut s, &RunSpec::new());
         assert_eq!(r.compute.vm_seconds, 0.0);
         assert!((r.compute.pool_seconds - 601.0).abs() < 1e-9);
     }
@@ -364,21 +436,19 @@ mod tests {
             at_s: 5,
             profile: profile(3, 10),
         }];
-        let env = Env::default();
         let mut s = FixedStrategy { vms: 2 };
-        let r = run_model(
-            &w,
-            &mut s,
-            &env,
-            ModelOptions {
-                record_timeseries: true,
-                compute_only: true,
-            },
-        );
+        let spec = RunSpec::new().with_timeseries(true).with_compute_only(true);
+        let r = run_model_with(&w, &mut s, &spec);
         let ts = r.timeseries.expect("requested");
         assert_eq!(ts.demand.len(), ts.target.len());
         assert_eq!(ts.demand[6], 3);
         assert!(ts.target.iter().all(|&t| t == 2));
+        // The series behind the timeseries live in the telemetry registry.
+        assert!(r.telemetry.is_enabled());
+        assert_eq!(
+            r.telemetry.series("run.demand").map(|s| s.len()),
+            Some(ts.demand.len())
+        );
     }
 
     #[test]
@@ -390,9 +460,7 @@ mod tests {
             at_s: 0,
             profile: profile(4, 600),
         }];
-        let env = Env::default();
-        let mut s = FixedStrategy { vms: 0 };
-        let r = run_model(&w, &mut s, &env, ModelOptions::default());
+        let r = run_model(&w, &RunSpec::new().with_strategy("fixed_0"));
         assert!(r.shuffle.node_cost > 0.0);
         assert_eq!(r.shuffle.puts, 0);
         assert_eq!(r.shuffle.gets, 0);
@@ -406,9 +474,7 @@ mod tests {
             at_s: 0,
             profile: profile(4, 30),
         }];
-        let env = Env::default();
-        let mut s = FixedStrategy { vms: 0 };
-        let r = run_model(&w, &mut s, &env, ModelOptions::default());
+        let r = run_model(&w, &RunSpec::new().with_strategy("fixed_0"));
         assert_eq!(r.shuffle.puts, 8);
         assert_eq!(r.shuffle.gets, 4);
         assert!(r.shuffle.s3_put_cost > 0.0);
@@ -440,22 +506,16 @@ mod tests {
         // Flat demand of 10 for 2000 s on fixed_10; VM price doubles at
         // t=1000. With instant billing arithmetic: first half at 1x, second
         // at 2x, so cost grows by ~50% vs flat (startup transient aside).
-        let env = Env::default();
+        let spec = RunSpec::new().with_compute_only(true);
         let demand = vec![10u32; 2000];
-        let opts = ModelOptions {
-            record_timeseries: false,
-            compute_only: true,
-        };
         let flat = {
             let mut s = FixedStrategy { vms: 10 };
-            simulate_compute(&demand, &mut s, &env, opts)
-                .compute
-                .total()
+            simulate_compute(&demand, &mut s, &spec).compute.total()
         };
         let spiked = {
             let mut s = FixedStrategy { vms: 10 };
-            let tl = PriceTimeline::spot_spike(&env, 1000, 2.0);
-            simulate_compute_with_timeline(&demand, &mut s, &env, opts, &tl)
+            let tl = PriceTimeline::spot_spike(&spec.env, 1000, 2.0);
+            simulate_compute_with_timeline(&demand, &mut s, &spec, &tl)
                 .compute
                 .total()
         };
@@ -483,15 +543,8 @@ mod tests {
         ];
         let env = Env::default();
         let mut s = FixedStrategy { vms: 4 };
-        let r = run_model(
-            &w,
-            &mut s,
-            &env,
-            ModelOptions {
-                record_timeseries: true,
-                compute_only: true,
-            },
-        );
+        let spec = RunSpec::new().with_timeseries(true).with_compute_only(true);
+        let r = run_model_with(&w, &mut s, &spec);
         let ts = r.timeseries.as_ref().expect("ts");
         let predicted = predict_cost_from_history(&ts.demand, &ts.target, &env);
         // The replay stops at the demand horizon while the run winds down
@@ -500,5 +553,63 @@ mod tests {
         assert!((predicted.pool_seconds - r.compute.pool_seconds).abs() < 1e-9);
         assert!(predicted.vm_cost <= r.compute.vm_cost + 1e-9);
         assert!(predicted.vm_cost > r.compute.vm_cost * 0.5);
+    }
+
+    #[test]
+    fn try_run_model_rejects_bad_specs() {
+        let w = vec![QueryArrival {
+            at_s: 0,
+            profile: profile(2, 5),
+        }];
+        let bad_label = RunSpec::new().with_strategy("bogus");
+        assert!(matches!(
+            try_run_model(&w, &bad_label),
+            Err(RunError::UnknownStrategy(_))
+        ));
+        let bad_knob = RunSpec::new().with_pool_slowdown(f64::INFINITY);
+        assert!(matches!(
+            try_run_model(&w, &bad_knob),
+            Err(RunError::InvalidKnob { .. })
+        ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_options_shim_matches_spec_path() {
+        let w = vec![QueryArrival {
+            at_s: 0,
+            profile: profile(4, 30),
+        }];
+        let env = Env::default();
+        let mut a = FixedStrategy { vms: 2 };
+        let old = run_model_with_options(&w, &mut a, &env, ModelOptions::default());
+        let mut b = FixedStrategy { vms: 2 };
+        let new = run_model_with(&w, &mut b, &RunSpec::new());
+        assert_eq!(old.compute, new.compute);
+        assert_eq!(old.shuffle, new.shuffle);
+        assert_eq!(old.latencies, new.latencies);
+    }
+
+    #[test]
+    fn telemetry_attributes_model_costs() {
+        let w = vec![QueryArrival {
+            at_s: 0,
+            profile: profile(4, 30),
+        }];
+        let t = Telemetry::new();
+        let spec = RunSpec::new().with_strategy("fixed_0").with_telemetry(&t);
+        let r = run_model(&w, &spec);
+        // Compute cost mirrored into the registry, split by component.
+        let pool = t.cost("pool", "elastic_pool");
+        assert!((pool - r.compute.pool_cost).abs() < 1e-12);
+        let put = t.cost("store", "s3_put");
+        assert!((put - r.shuffle.s3_put_cost).abs() < 1e-12);
+        // Query spans and the latency histogram are present.
+        assert_eq!(t.counter("run.queries_total"), 1);
+        let h = t.histogram("run.query_latency_seconds").expect("histogram");
+        assert_eq!(h.count, 1);
+        // The result's handle is the same sink.
+        assert!(r.telemetry.is_enabled());
+        assert_eq!(r.telemetry.counter("run.queries_total"), 1);
     }
 }

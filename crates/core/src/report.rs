@@ -1,5 +1,13 @@
 //! Result types shared by the analytical model and the full system.
+//!
+//! Every runner returns the same [`RunResult`]: cost splits, per-query
+//! latencies, the optional per-second [`Timeseries`], and the telemetry
+//! handle the run recorded into. The timeseries is no longer collected by
+//! ad-hoc vectors inside each runner — it is rebuilt from the telemetry
+//! registry's `run.demand` / `run.target` / `run.active` series via
+//! [`Timeseries::from_telemetry`], so plots and exports read one store.
 
+use cackle_telemetry::Telemetry;
 use cackle_workload::demand::percentile_f64;
 
 /// Compute-layer cost split.
@@ -55,6 +63,34 @@ pub struct Timeseries {
     pub active: Vec<u32>,
 }
 
+impl Timeseries {
+    /// Rebuild the per-second series from a run's telemetry registry.
+    ///
+    /// Runners sample `run.demand`, `run.target` and `run.active` once per
+    /// simulated second; this reads them back as the classic column
+    /// vectors. Returns `None` when the handle is disabled or the run
+    /// recorded no demand samples.
+    pub fn from_telemetry(telemetry: &Telemetry) -> Option<Self> {
+        let col = |name: &str| -> Vec<u32> {
+            telemetry
+                .series(name)
+                .unwrap_or_default()
+                .iter()
+                .map(|&(_, v)| v.round().max(0.0) as u32)
+                .collect()
+        };
+        let demand = col("run.demand");
+        if demand.is_empty() {
+            return None;
+        }
+        Some(Timeseries {
+            demand,
+            target: col("run.target"),
+            active: col("run.active"),
+        })
+    }
+}
+
 /// Result of one workload run.
 #[derive(Debug, Clone, Default)]
 pub struct RunResult {
@@ -70,6 +106,10 @@ pub struct RunResult {
     pub duration_s: u64,
     /// Label of the strategy that produced this run.
     pub strategy: String,
+    /// The telemetry handle the run recorded into (disabled when the spec
+    /// attached no sink and requested no timeseries). Export with
+    /// [`Telemetry::export_jsonl`] / [`Telemetry::export_series_csv`].
+    pub telemetry: Telemetry,
 }
 
 impl RunResult {
@@ -123,6 +163,7 @@ mod tests {
             timeseries: None,
             duration_s: 3600,
             strategy: "test".into(),
+            telemetry: Telemetry::disabled(),
         };
         assert!((r.total_cost() - 5.0).abs() < 1e-12);
         assert!((r.cost_per_query() - 0.05).abs() < 1e-12);
@@ -138,5 +179,22 @@ mod tests {
         assert_eq!(r.cost_per_query(), 0.0);
         assert_eq!(r.latency_percentile(99.0), 0.0);
         assert_eq!(r.mean_latency(), 0.0);
+    }
+
+    #[test]
+    fn timeseries_rebuilds_from_telemetry() {
+        let t = Telemetry::new();
+        for s in 0..3u64 {
+            t.sample("run.demand", s * 1000, (s * 10) as f64);
+            t.sample("run.target", s * 1000, (s * 10 + 1) as f64);
+            t.sample("run.active", s * 1000, (s * 10 + 2) as f64);
+        }
+        let ts = Timeseries::from_telemetry(&t).unwrap();
+        assert_eq!(ts.demand, vec![0, 10, 20]);
+        assert_eq!(ts.target, vec![1, 11, 21]);
+        assert_eq!(ts.active, vec![2, 12, 22]);
+        // Disabled or empty registries yield no timeseries.
+        assert!(Timeseries::from_telemetry(&Telemetry::disabled()).is_none());
+        assert!(Timeseries::from_telemetry(&Telemetry::new()).is_none());
     }
 }

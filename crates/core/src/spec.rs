@@ -1,0 +1,306 @@
+//! The unified run specification shared by every entry point.
+//!
+//! Historically each runner grew its own knob struct (`ModelOptions`,
+//! `SystemConfig`, `LiveConfig`) with overlapping fields and inconsistent
+//! defaults. [`RunSpec`] replaces all three: one builder covering the
+//! environment, the strategy label, the noise knobs, and the telemetry
+//! sink, accepted by [`run_model`](crate::run_model),
+//! [`run_system`](crate::run_system), [`run_live`](crate::run_live) and
+//! [`run_delaying`](crate::delaying::run_delaying) alike. Knobs a given
+//! runner does not use are simply ignored (the analytical model has no
+//! spot interruptions; the live engine has no duration jitter), so one
+//! spec can drive a model/system/live comparison without translation.
+//!
+//! Fallible validation lives in [`RunError`]; the `try_*` runner variants
+//! return it instead of panicking on malformed input.
+
+use crate::config::Env;
+use cackle_telemetry::Telemetry;
+use std::error::Error;
+use std::fmt;
+
+/// One specification for any kind of run (model, system, live, delaying).
+///
+/// Construct with [`RunSpec::new`] and chain `with_*` builders:
+///
+/// ```
+/// use cackle::RunSpec;
+/// let spec = RunSpec::new()
+///     .with_strategy("mean_2")
+///     .with_seed(7)
+///     .with_timeseries(true);
+/// assert_eq!(spec.strategy, "mean_2");
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Cloud prices and timing observable by strategies.
+    pub env: Env,
+    /// Strategy label (`fixed_N`, `mean_Y`, `predictive`, `dynamic`)
+    /// parsed by [`crate::factory::make_strategy`]. Runners with a
+    /// `_with` variant accept an explicit strategy instance instead.
+    pub strategy: String,
+    /// Seed for all run-local randomness (noise, interruptions, tie-breaks).
+    pub seed: u64,
+    /// Elastic-pool slowdown factor versus a VM slot (§7.1: pool tasks run
+    /// this many times longer).
+    pub pool_slowdown: f64,
+    /// Relative task-duration jitter applied by the system runner.
+    pub duration_jitter: f64,
+    /// Spot interruption rate, events per VM-hour (system runner only).
+    pub spot_interruptions_per_vm_hour: f64,
+    /// Record per-second demand/target/active series into the result.
+    pub record_timeseries: bool,
+    /// Model runner only: skip the shuffle model, compute costs only.
+    pub compute_only: bool,
+    /// Live runner only: task throughput used to convert row counts into
+    /// simulated work seconds.
+    pub rows_per_task_second: f64,
+    /// Telemetry sink. Disabled by default; pass an enabled handle with
+    /// [`RunSpec::with_telemetry`] to collect metrics, traces, and cost
+    /// attribution (see `crates/telemetry`).
+    pub telemetry: Telemetry,
+}
+
+impl Default for RunSpec {
+    fn default() -> Self {
+        RunSpec {
+            env: Env::default(),
+            strategy: "dynamic".to_string(),
+            seed: 42,
+            pool_slowdown: 1.25,
+            duration_jitter: 0.08,
+            spot_interruptions_per_vm_hour: 0.0,
+            record_timeseries: false,
+            compute_only: false,
+            rows_per_task_second: 400_000.0,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
+impl RunSpec {
+    /// A spec with the paper's Table 1 defaults and the `dynamic` strategy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the pricing/timing environment.
+    pub fn with_env(mut self, env: Env) -> Self {
+        self.env = env;
+        self
+    }
+
+    /// Set the strategy label.
+    pub fn with_strategy(mut self, label: impl Into<String>) -> Self {
+        self.strategy = label.into();
+        self
+    }
+
+    /// Set the run seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the elastic-pool slowdown factor.
+    pub fn with_pool_slowdown(mut self, factor: f64) -> Self {
+        self.pool_slowdown = factor;
+        self
+    }
+
+    /// Set the relative task-duration jitter.
+    pub fn with_duration_jitter(mut self, jitter: f64) -> Self {
+        self.duration_jitter = jitter;
+        self
+    }
+
+    /// Set the spot interruption rate (events per VM-hour).
+    pub fn with_spot_interruptions(mut self, per_vm_hour: f64) -> Self {
+        self.spot_interruptions_per_vm_hour = per_vm_hour;
+        self
+    }
+
+    /// Record per-second timeseries into the result.
+    pub fn with_timeseries(mut self, record: bool) -> Self {
+        self.record_timeseries = record;
+        self
+    }
+
+    /// Model runner: skip the shuffle model.
+    pub fn with_compute_only(mut self, compute_only: bool) -> Self {
+        self.compute_only = compute_only;
+        self
+    }
+
+    /// Live runner: task throughput (rows per task-second).
+    pub fn with_rows_per_task_second(mut self, rows: f64) -> Self {
+        self.rows_per_task_second = rows;
+        self
+    }
+
+    /// Attach a telemetry sink. The handle is cheap to clone; keep a copy
+    /// to export after the run, or read it back from
+    /// [`RunResult::telemetry`](crate::RunResult).
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = telemetry.clone();
+        self
+    }
+
+    /// The sink runners actually record into: the attached sink when one
+    /// is enabled, a fresh registry when timeseries were requested (the
+    /// series back the rebuilt [`Timeseries`](crate::Timeseries)), and a
+    /// no-op handle otherwise.
+    pub fn effective_telemetry(&self) -> Telemetry {
+        if self.telemetry.is_enabled() {
+            self.telemetry.clone()
+        } else if self.record_timeseries {
+            Telemetry::new()
+        } else {
+            Telemetry::disabled()
+        }
+    }
+
+    /// Check every numeric knob for finiteness and range.
+    pub fn validate(&self) -> Result<(), RunError> {
+        let checks: [(&'static str, f64, f64); 4] = [
+            ("pool_slowdown", self.pool_slowdown, 1.0),
+            ("duration_jitter", self.duration_jitter, 0.0),
+            (
+                "spot_interruptions_per_vm_hour",
+                self.spot_interruptions_per_vm_hour,
+                0.0,
+            ),
+            ("rows_per_task_second", self.rows_per_task_second, 1.0),
+        ];
+        for (name, value, min) in checks {
+            if !value.is_finite() || value < min {
+                return Err(RunError::InvalidKnob { name, value });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a `try_*` runner refused a spec or workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The strategy label did not parse (see [`crate::factory::make_strategy`]).
+    UnknownStrategy(String),
+    /// A numeric knob was non-finite or out of range.
+    InvalidKnob {
+        /// Field name on [`RunSpec`].
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The workload itself is malformed (e.g. a stage depends on a stage
+    /// index that does not exist).
+    InvalidWorkload(String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::UnknownStrategy(label) => {
+                write!(f, "unknown strategy label '{label}'")
+            }
+            RunError::InvalidKnob { name, value } => {
+                write!(f, "invalid value {value} for knob '{name}'")
+            }
+            RunError::InvalidWorkload(why) => write!(f, "invalid workload: {why}"),
+        }
+    }
+}
+
+impl Error for RunError {}
+
+impl RunError {
+    /// Abort with this error. The panicking `run_*` wrappers funnel
+    /// through here so the panic site lives in one place, outside the
+    /// hot-path files the L5 lint guards.
+    pub(crate) fn raise(&self) -> ! {
+        panic!("{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_old_system_config() {
+        let s = RunSpec::new();
+        assert_eq!(s.seed, 42);
+        assert_eq!(s.strategy, "dynamic");
+        assert!((s.pool_slowdown - 1.25).abs() < 1e-12);
+        assert!((s.duration_jitter - 0.08).abs() < 1e-12);
+        assert_eq!(s.spot_interruptions_per_vm_hour, 0.0);
+        assert!(!s.record_timeseries);
+        assert!(!s.compute_only);
+        assert!((s.rows_per_task_second - 400_000.0).abs() < 1e-9);
+        assert!(!s.telemetry.is_enabled());
+    }
+
+    #[test]
+    fn builders_chain() {
+        let t = Telemetry::new();
+        let s = RunSpec::new()
+            .with_strategy("fixed_3")
+            .with_seed(9)
+            .with_pool_slowdown(2.0)
+            .with_duration_jitter(0.0)
+            .with_spot_interruptions(0.5)
+            .with_timeseries(true)
+            .with_compute_only(true)
+            .with_rows_per_task_second(1e6)
+            .with_telemetry(&t);
+        assert_eq!(s.strategy, "fixed_3");
+        assert_eq!(s.seed, 9);
+        assert!(s.telemetry.is_enabled());
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn effective_telemetry_rules() {
+        // Disabled sink, no timeseries: no-op handle.
+        assert!(!RunSpec::new().effective_telemetry().is_enabled());
+        // Timeseries requested: a fresh registry is provisioned.
+        let s = RunSpec::new().with_timeseries(true);
+        assert!(s.effective_telemetry().is_enabled());
+        // An attached sink wins and is shared, not copied.
+        let t = Telemetry::new();
+        let s = RunSpec::new().with_telemetry(&t);
+        s.effective_telemetry().counter_add("x", 1);
+        assert_eq!(t.counter("x"), 1);
+    }
+
+    #[test]
+    fn validation_rejects_bad_knobs() {
+        let bad = RunSpec::new().with_pool_slowdown(f64::NAN);
+        assert!(matches!(
+            bad.validate(),
+            Err(RunError::InvalidKnob {
+                name: "pool_slowdown",
+                ..
+            })
+        ));
+        let bad = RunSpec::new().with_duration_jitter(-0.1);
+        assert!(bad.validate().is_err());
+        let bad = RunSpec::new().with_rows_per_task_second(0.0);
+        assert!(bad.validate().is_err());
+        assert!(RunSpec::new().validate().is_ok());
+    }
+
+    #[test]
+    fn run_error_displays() {
+        let e = RunError::UnknownStrategy("zippy".into());
+        assert!(e.to_string().contains("zippy"));
+        let e = RunError::InvalidKnob {
+            name: "pool_slowdown",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("pool_slowdown"));
+        let e = RunError::InvalidWorkload("stage 3 dep 9".into());
+        assert!(e.to_string().contains("stage 3"));
+    }
+}

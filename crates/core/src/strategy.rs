@@ -3,6 +3,7 @@
 
 use crate::config::Env;
 use crate::history::WorkloadHistory;
+use cackle_telemetry::Telemetry;
 
 /// Anything that can pick a VM provisioning target from the workload
 /// history. Called at every strategy tick (5 s).
@@ -17,6 +18,11 @@ pub trait ProvisioningStrategy: Send {
     /// may shift mid-workload). Cost-insensitive strategies ignore this —
     /// that insensitivity is exactly what §4.3 criticizes.
     fn on_rates_changed(&mut self, _vm_per_sec: f64, _pool_per_sec: f64) {}
+
+    /// Hand the strategy a telemetry sink. Runners call this once before
+    /// the tick loop; stateless strategies ignore it, the meta-strategy
+    /// records its expert choices (`meta.*` metrics).
+    fn set_telemetry(&mut self, _telemetry: &Telemetry) {}
 }
 
 /// §4.2 — a fixed provisioning chosen up front and never changed.

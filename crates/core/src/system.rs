@@ -10,12 +10,21 @@
 //! nodes with object-store fallback, and task runtimes carry noise: pool
 //! tasks run ~25 % slower than VM tasks (§7.1.2) with lognormal jitter.
 //! Figures 12–13 validate the analytical model against exactly this gap.
+//!
+//! Entry points: [`run_system`] builds the strategy from the spec label;
+//! [`run_system_with`] takes an explicit strategy; the `try_` variants
+//! surface [`RunError`] instead of panicking — malformed workloads (deps
+//! pointing at missing stages, dependency cycles, empty or task-less
+//! profiles) are rejected up front rather than hanging or underflowing the
+//! event loop.
 
 use crate::config::Env;
+use crate::factory::try_make_strategy;
 use crate::history::WorkloadHistory;
 use crate::model::QueryArrival;
 use crate::report::{ComputeCost, RunResult, ShuffleCost, Timeseries};
 use crate::shuffleprov::ShuffleProvisioner;
+use crate::spec::{RunError, RunSpec};
 use crate::strategy::ProvisioningStrategy;
 use cackle_cloud::{
     CostCategory, CostLedger, ElasticPool, EventQueue, InvocationId, Pricing, SimDuration, SimTime,
@@ -48,7 +57,8 @@ enum Ev {
     Tick,
 }
 
-/// System knobs beyond the environment.
+/// System knobs beyond the environment, superseded by [`RunSpec`].
+#[deprecated(note = "use RunSpec with run_system / run_system_with")]
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
     /// Cloud environment.
@@ -69,6 +79,7 @@ pub struct SystemConfig {
     pub record_timeseries: bool,
 }
 
+#[allow(deprecated)]
 impl Default for SystemConfig {
     fn default() -> Self {
         SystemConfig {
@@ -82,6 +93,17 @@ impl Default for SystemConfig {
     }
 }
 
+#[allow(deprecated)]
+fn spec_from_config(cfg: &SystemConfig) -> RunSpec {
+    RunSpec::new()
+        .with_env(cfg.env.clone())
+        .with_seed(cfg.seed)
+        .with_pool_slowdown(cfg.pool_slowdown)
+        .with_duration_jitter(cfg.duration_jitter)
+        .with_spot_interruptions(cfg.spot_interruptions_per_vm_hour)
+        .with_timeseries(cfg.record_timeseries)
+}
+
 struct QueryState {
     arrival: SimTime,
     remaining_tasks: Vec<u32>,
@@ -91,7 +113,7 @@ struct QueryState {
 }
 
 struct SystemState<'a> {
-    cfg: &'a SystemConfig,
+    spec: &'a RunSpec,
     rng: Pcg32,
     fleet: VmFleet,
     pool: ElasticPool,
@@ -110,7 +132,7 @@ impl SystemState<'_> {
     /// Fraction of shuffle requests that miss the node tier right now.
     fn overflow_fraction(&self) -> f64 {
         let cap = self.shuffle_fleet.running_count() as u64
-            * self.cfg.env.pricing.shuffle_node_capacity_bytes;
+            * self.spec.env.pricing.shuffle_node_capacity_bytes;
         if self.resident_total > cap && self.resident_total > 0 {
             (self.resident_total - cap) as f64 / self.resident_total as f64
         } else {
@@ -126,18 +148,21 @@ impl SystemState<'_> {
         qi: usize,
         si: usize,
     ) {
-        let stage = &workload[qi].profile.stages[si];
+        let Some(stage) = workload.get(qi).and_then(|q| q.profile.stages.get(si)) else {
+            debug_assert!(false, "launch of missing stage {qi}/{si}");
+            return;
+        };
         // Reads happen at stage start; the node tier serves what fits.
         let f = self.overflow_fraction();
         let gets = (stage.shuffle_reads as f64 * f).round() as u64;
         self.gets += gets;
         self.s3_ledger
-            .charge_requests(CostCategory::S3Get, gets, self.cfg.env.pricing.s3_get);
+            .charge_requests(CostCategory::S3Get, gets, self.spec.env.pricing.s3_get);
         for _ in 0..stage.tasks {
             let base = stage.task_seconds as f64;
-            let jitter = if self.cfg.duration_jitter > 0.0 {
+            let jitter = if self.spec.duration_jitter > 0.0 {
                 let u: f64 = self.rng.gen_range(-1.0..1.0);
-                (u * self.cfg.duration_jitter).exp()
+                (u * self.spec.duration_jitter).exp()
             } else {
                 1.0
             };
@@ -148,7 +173,7 @@ impl SystemState<'_> {
                     (
                         Slot::Pool(id),
                         start,
-                        base * self.cfg.pool_slowdown * jitter,
+                        base * self.spec.pool_slowdown * jitter,
                     )
                 }
             };
@@ -158,7 +183,7 @@ impl SystemState<'_> {
             // probability exp(-rate × duration); otherwise the VM is
             // reclaimed at a uniformly random point through the task.
             if let Slot::Vm(id) = slot {
-                let rate = self.cfg.spot_interruptions_per_vm_hour;
+                let rate = self.spec.spot_interruptions_per_vm_hour;
                 if rate > 0.0 {
                     let p_interrupt = 1.0 - (-rate * dur_s / 3600.0).exp();
                     if self.rng.gen_bool(p_interrupt.clamp(0.0, 1.0)) {
@@ -187,18 +212,111 @@ impl SystemState<'_> {
     }
 }
 
-/// Run the full system over a workload.
-pub fn run_system(
+/// Check that every profile in the workload can actually execute: at least
+/// one stage, at least one task per stage, dependency indices in range,
+/// and an acyclic stage graph (a cycle would deadlock the event loop).
+fn validate_workload(workload: &[QueryArrival]) -> Result<(), RunError> {
+    for (qi, q) in workload.iter().enumerate() {
+        let n = q.profile.stages.len();
+        if n == 0 {
+            return Err(RunError::InvalidWorkload(format!(
+                "query {qi} has no stages"
+            )));
+        }
+        for (si, stage) in q.profile.stages.iter().enumerate() {
+            if stage.tasks == 0 {
+                return Err(RunError::InvalidWorkload(format!(
+                    "query {qi} stage {si} has zero tasks"
+                )));
+            }
+            for &d in &stage.deps {
+                if d >= n {
+                    return Err(RunError::InvalidWorkload(format!(
+                        "query {qi} stage {si} depends on missing stage {d}"
+                    )));
+                }
+            }
+        }
+        // Kahn's algorithm over the stage DAG: anything left unprocessed
+        // sits on a dependency cycle.
+        let mut indegree: Vec<usize> = q.profile.stages.iter().map(|s| s.deps.len()).collect();
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut processed = 0usize;
+        while let Some(done) = ready.pop() {
+            processed += 1;
+            for (si, stage) in q.profile.stages.iter().enumerate() {
+                if stage.deps.contains(&done) {
+                    indegree[si] = indegree[si].saturating_sub(1);
+                    if indegree[si] == 0 {
+                        ready.push(si);
+                    }
+                }
+            }
+        }
+        if processed < n {
+            return Err(RunError::InvalidWorkload(format!(
+                "query {qi} has a stage dependency cycle"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Run the full system over a workload; the strategy comes from
+/// `spec.strategy`. Panics on a malformed spec or workload — use
+/// [`try_run_system`] to handle those gracefully.
+pub fn run_system(workload: &[QueryArrival], spec: &RunSpec) -> RunResult {
+    try_run_system(workload, spec).unwrap_or_else(|e| e.raise())
+}
+
+/// [`run_system`], reporting malformed specs and workloads instead of
+/// panicking.
+pub fn try_run_system(workload: &[QueryArrival], spec: &RunSpec) -> Result<RunResult, RunError> {
+    let mut strategy = try_make_strategy(&spec.strategy, &spec.env)?;
+    try_run_system_with(workload, strategy.as_mut(), spec)
+}
+
+/// Run the full system under an explicitly constructed strategy. A
+/// malformed spec or workload trips a debug assertion and yields an empty
+/// result; use [`try_run_system_with`] to observe the error.
+pub fn run_system_with(
+    workload: &[QueryArrival],
+    strategy: &mut dyn ProvisioningStrategy,
+    spec: &RunSpec,
+) -> RunResult {
+    let outcome = try_run_system_with(workload, strategy, spec);
+    debug_assert!(outcome.is_ok(), "invalid system run: {outcome:?}");
+    outcome.unwrap_or_default()
+}
+
+/// Pre-`RunSpec` entry point, kept for callers still on [`SystemConfig`].
+#[deprecated(note = "use run_system(workload, &RunSpec) or run_system_with")]
+#[allow(deprecated)]
+pub fn run_system_with_config(
     workload: &[QueryArrival],
     strategy: &mut dyn ProvisioningStrategy,
     cfg: &SystemConfig,
 ) -> RunResult {
-    let env = &cfg.env;
+    run_system_with(workload, strategy, &spec_from_config(cfg))
+}
+
+/// [`run_system_with`] as a fallible operation: the spec's knobs and the
+/// workload's stage graphs are validated before any event is scheduled.
+pub fn try_run_system_with(
+    workload: &[QueryArrival],
+    strategy: &mut dyn ProvisioningStrategy,
+    spec: &RunSpec,
+) -> Result<RunResult, RunError> {
+    spec.validate()?;
+    validate_workload(workload)?;
+    let env = &spec.env;
     let pricing: Pricing = env.pricing.clone();
+    let telemetry = spec.effective_telemetry();
+    strategy.set_telemetry(&telemetry);
     let mut events: EventQueue<Ev> = EventQueue::new();
     let mut st = SystemState {
-        cfg,
-        rng: Pcg32::seed_from_u64(cfg.seed),
+        spec,
+        rng: Pcg32::seed_from_u64(spec.seed),
         fleet: VmFleet::new(pricing.clone()),
         pool: ElasticPool::new(pricing.clone()),
         shuffle_fleet: VmFleet::with_category(pricing.clone(), CostCategory::ShuffleNode),
@@ -209,9 +327,12 @@ pub fn run_system(
         gets: 0,
         s3_ledger: CostLedger::new(),
     };
+    st.fleet.instrument("fleet", &telemetry);
+    st.pool.instrument(&telemetry);
+    st.shuffle_fleet.instrument("shuffle_fleet", &telemetry);
+    st.s3_ledger.instrument("store", &telemetry);
     let mut shuffle_prov = ShuffleProvisioner::new(env);
     let mut history = WorkloadHistory::new();
-    let mut ts = Timeseries::default();
 
     let mut queries: Vec<QueryState> = workload
         .iter()
@@ -254,30 +375,44 @@ pub fn run_system(
                         st.pool.complete(now, id);
                     }
                 }
-                st.running -= 1;
-                queries[query].remaining_tasks[stage] -= 1;
-                if queries[query].remaining_tasks[stage] == 0 {
+                st.running = st.running.saturating_sub(1);
+                let q = &mut queries[query];
+                q.remaining_tasks[stage] = q.remaining_tasks[stage].saturating_sub(1);
+                if q.remaining_tasks[stage] == 0 {
                     let profile = workload[query].profile.clone();
                     // Stage output lands in the shuffle tier.
                     let bytes = profile.stages[stage].shuffle_bytes;
-                    queries[query].resident_bytes += bytes;
+                    q.resident_bytes += bytes;
                     st.resident_total += bytes;
                     let f = st.overflow_fraction();
                     let puts = (profile.stages[stage].shuffle_writes as f64 * f).round() as u64;
                     st.puts += puts;
                     st.s3_ledger
                         .charge_requests(CostCategory::S3Put, puts, pricing.s3_put);
-                    queries[query].stages_left -= 1;
-                    if queries[query].stages_left == 0 {
-                        latencies[query] = (now - queries[query].arrival).as_secs_f64();
-                        st.resident_total -= queries[query].resident_bytes;
-                        queries[query].resident_bytes = 0;
+                    let q = &mut queries[query];
+                    q.stages_left = q.stages_left.saturating_sub(1);
+                    if q.stages_left == 0 {
+                        let latency = (now - q.arrival).as_secs_f64();
+                        latencies[query] = latency;
+                        st.resident_total = st.resident_total.saturating_sub(q.resident_bytes);
+                        q.resident_bytes = 0;
                         done += 1;
+                        telemetry.counter_add("run.queries_total", 1);
+                        telemetry.observe("run.query_latency_seconds", latency);
+                        telemetry.span_event(
+                            q.arrival.as_millis(),
+                            now.as_millis().saturating_sub(q.arrival.as_millis()),
+                            "query",
+                            Some(query as u64),
+                            None,
+                            &profile.name,
+                        );
                     } else {
                         for si in 0..profile.stages.len() {
                             if profile.stages[si].deps.contains(&stage) {
-                                queries[query].unfinished_deps[si] -= 1;
-                                if queries[query].unfinished_deps[si] == 0 {
+                                let q = &mut queries[query];
+                                q.unfinished_deps[si] = q.unfinished_deps[si].saturating_sub(1);
+                                if q.unfinished_deps[si] == 0 {
                                     st.launch_stage(&mut events, now, workload, query, si);
                                 }
                             }
@@ -293,7 +428,7 @@ pub fn run_system(
                 let base = workload[query].profile.stages[stage].task_seconds as f64;
                 let (id, start) = st.pool.invoke(now);
                 events.schedule(
-                    start + SimDuration::from_secs_f64(base * cfg.pool_slowdown),
+                    start + SimDuration::from_secs_f64(base * spec.pool_slowdown),
                     Ev::TaskDone {
                         query,
                         stage,
@@ -308,10 +443,11 @@ pub fn run_system(
                 st.max_since_sample = st.running;
                 let shuffle_target = shuffle_prov.target_nodes(st.resident_total);
                 st.shuffle_fleet.set_target(now, shuffle_target as usize);
-                if cfg.record_timeseries {
-                    ts.demand.push(history.latest());
-                    ts.target.push(target);
-                    ts.active.push(st.fleet.running_count() as u32);
+                if telemetry.is_enabled() {
+                    let t_ms = now.as_millis();
+                    telemetry.sample("run.demand", t_ms, history.latest() as f64);
+                    telemetry.sample("run.target", t_ms, target as f64);
+                    telemetry.sample("run.active", t_ms, st.fleet.running_count() as f64);
                 }
                 if done < workload.len() || st.running > 0 {
                     events.schedule(now + SimDuration::from_secs(1), Ev::Second);
@@ -338,8 +474,9 @@ pub fn run_system(
     let vm_ledger = st.fleet.ledger();
     let pool_ledger = st.pool.ledger();
     let sh_ledger = st.shuffle_fleet.ledger();
+    telemetry.gauge_set("run.duration_seconds", history.len() as f64);
 
-    RunResult {
+    Ok(RunResult {
         compute: ComputeCost {
             vm_cost: vm_ledger.category(CostCategory::VmCompute),
             pool_cost: pool_ledger.category(CostCategory::ElasticPool),
@@ -354,16 +491,22 @@ pub fn run_system(
             gets: st.gets,
         },
         latencies,
-        timeseries: cfg.record_timeseries.then_some(ts),
+        timeseries: if spec.record_timeseries {
+            Timeseries::from_telemetry(&telemetry)
+        } else {
+            None
+        },
         duration_s: history.len() as u64,
         strategy: strategy.name(),
-    }
+        telemetry,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::strategy::FixedStrategy;
+    use cackle_telemetry::Telemetry;
     use cackle_workload::profile::{QueryProfile, StageProfile};
     use std::sync::Arc;
 
@@ -391,12 +534,10 @@ mod tests {
         ))
     }
 
-    fn noiseless() -> SystemConfig {
-        SystemConfig {
-            pool_slowdown: 1.0,
-            duration_jitter: 0.0,
-            ..Default::default()
-        }
+    fn noiseless() -> RunSpec {
+        RunSpec::new()
+            .with_pool_slowdown(1.0)
+            .with_duration_jitter(0.0)
     }
 
     #[test]
@@ -405,9 +546,8 @@ mod tests {
             at_s: 0,
             profile: profile(8, 10),
         }];
-        let cfg = noiseless();
         let mut s = FixedStrategy { vms: 0 };
-        let r = run_system(&w, &mut s, &cfg);
+        let r = run_system_with(&w, &mut s, &noiseless());
         // 10 s + 2 s + two 100 ms invoke latencies.
         assert!(
             (r.latencies[0] - 12.2).abs() < 0.01,
@@ -426,11 +566,11 @@ mod tests {
                 profile: profile(4, 10),
             })
             .collect();
-        let base = SystemConfig::default();
+        let base = RunSpec::new();
         let mut s0 = FixedStrategy { vms: 0 };
-        let pool_run = run_system(&w, &mut s0, &base);
+        let pool_run = run_system_with(&w, &mut s0, &base);
         let mut s8 = FixedStrategy { vms: 8 };
-        let vm_run = run_system(&w, &mut s8, &base);
+        let vm_run = run_system_with(&w, &mut s8, &base);
         // Once VMs are up (query 10 onward), latency beats the pool-only
         // run (pool tasks run 1.25× slower).
         let late_vm: f64 = vm_run.latencies[10..].iter().sum::<f64>() / 20.0;
@@ -446,9 +586,7 @@ mod tests {
                 profile: profile(4, 10),
             })
             .collect();
-        let cfg = noiseless();
-        let mut s = FixedStrategy { vms: 4 };
-        let r = run_system(&w, &mut s, &cfg);
+        let r = run_system(&w, &noiseless().with_strategy("fixed_4"));
         assert!(r.compute.vm_seconds > 0.0, "VMs never used");
         assert!(
             r.compute.pool_seconds > 0.0,
@@ -466,11 +604,11 @@ mod tests {
                 profile: profile(3, 5),
             })
             .collect();
-        let cfg = SystemConfig::default();
+        let spec = RunSpec::new();
         let mut s1 = FixedStrategy { vms: 2 };
-        let a = run_system(&w, &mut s1, &cfg);
+        let a = run_system_with(&w, &mut s1, &spec);
         let mut s2 = FixedStrategy { vms: 2 };
-        let b = run_system(&w, &mut s2, &cfg);
+        let b = run_system_with(&w, &mut s2, &spec);
         assert_eq!(a.latencies, b.latencies);
         assert!((a.total_cost() - b.total_cost()).abs() < 1e-12);
     }
@@ -481,10 +619,9 @@ mod tests {
             at_s: 0,
             profile: profile(6, 300),
         }];
-        let mut cfg = noiseless();
-        cfg.record_timeseries = true;
+        let spec = noiseless().with_timeseries(true);
         let mut s = FixedStrategy { vms: 3 };
-        let r = run_system(&w, &mut s, &cfg);
+        let r = run_system_with(&w, &mut s, &spec);
         let ts = r.timeseries.expect("requested");
         assert!(ts.demand.iter().take(100).any(|&d| d == 6));
         // Active VMs reach the target after the 180 s startup.
@@ -501,9 +638,9 @@ mod tests {
                 profile: profile(4, 8),
             })
             .collect();
-        let cfg = SystemConfig::default();
-        let mut dynamic = MetaStrategy::with_family(FamilyConfig::small(), &cfg.env);
-        let r = run_system(&w, &mut dynamic, &cfg);
+        let spec = RunSpec::new();
+        let mut dynamic = MetaStrategy::with_family(FamilyConfig::small(), &spec.env);
+        let r = run_system_with(&w, &mut dynamic, &spec);
         assert_eq!(r.latencies.len(), 120);
         assert!(r.latencies.iter().all(|&l| l > 0.0));
         assert!(r.total_cost() > 0.0);
@@ -518,13 +655,12 @@ mod tests {
                 profile: profile(4, 30),
             })
             .collect();
-        let mut cfg = noiseless();
         // Absurdly high rate so interruptions certainly occur.
-        cfg.spot_interruptions_per_vm_hour = 60.0;
+        let spec = noiseless().with_spot_interruptions(60.0);
         let mut s = FixedStrategy { vms: 6 };
-        let interrupted = run_system(&w, &mut s, &cfg);
+        let interrupted = run_system_with(&w, &mut s, &spec);
         let mut s2 = FixedStrategy { vms: 6 };
-        let calm = run_system(&w, &mut s2, &noiseless());
+        let calm = run_system_with(&w, &mut s2, &noiseless());
         // Every query still completes...
         assert_eq!(interrupted.latencies.len(), 40);
         assert!(interrupted.latencies.iter().all(|&l| l > 0.0));
@@ -560,9 +696,108 @@ mod tests {
             at_s: 0,
             profile: big,
         }];
-        let cfg = noiseless();
         let mut s = FixedStrategy { vms: 0 };
-        let r = run_system(&w, &mut s, &cfg);
+        let r = run_system_with(&w, &mut s, &noiseless());
         assert!(r.shuffle.puts > 0, "expected S3 fallback puts");
+    }
+
+    #[test]
+    fn try_run_rejects_malformed_workloads() {
+        let spec = noiseless();
+        let mut s = FixedStrategy { vms: 0 };
+        // Build profiles directly (QueryProfile::new would assert first) —
+        // these model corrupt profiles arriving from outside the crate.
+        let case = |stages: Vec<StageProfile>| {
+            vec![QueryArrival {
+                at_s: 0,
+                profile: Arc::new(QueryProfile {
+                    name: "bad".to_string(),
+                    stages,
+                }),
+            }]
+        };
+        let stage = |tasks: u32, deps: Vec<usize>| StageProfile {
+            tasks,
+            task_seconds: 1,
+            shuffle_bytes: 0,
+            shuffle_writes: 0,
+            shuffle_reads: 0,
+            deps,
+        };
+        // No stages at all.
+        let empty = case(vec![]);
+        // A dependency on a stage index that does not exist.
+        let dangling = case(vec![stage(1, vec![5])]);
+        // A two-stage dependency cycle.
+        let cyclic = case(vec![stage(1, vec![1]), stage(1, vec![0])]);
+        // A stage that can never complete because it has no tasks.
+        let taskless = case(vec![stage(0, vec![])]);
+        for (name, w) in [
+            ("empty", empty),
+            ("dangling", dangling),
+            ("cyclic", cyclic),
+            ("taskless", taskless),
+        ] {
+            assert!(
+                matches!(
+                    try_run_system_with(&w, &mut s, &spec),
+                    Err(RunError::InvalidWorkload(_))
+                ),
+                "workload {name} should be rejected"
+            );
+        }
+        // A bad knob is caught before the workload is inspected.
+        let bad_spec = noiseless().with_duration_jitter(f64::NAN);
+        let ok = case(vec![stage(1, vec![])]);
+        assert!(matches!(
+            try_run_system_with(&ok, &mut s, &bad_spec),
+            Err(RunError::InvalidKnob { .. })
+        ));
+        // And the valid workload still runs.
+        assert!(try_run_system_with(&ok, &mut s, &spec).is_ok());
+    }
+
+    #[test]
+    fn telemetry_attribution_matches_ledgers() {
+        let w: Vec<QueryArrival> = (0..10)
+            .map(|i| QueryArrival {
+                at_s: i * 15,
+                profile: profile(4, 10),
+            })
+            .collect();
+        let t = Telemetry::new();
+        let spec = noiseless().with_strategy("fixed_2").with_telemetry(&t);
+        let r = run_system(&w, &spec);
+        // Per-component dollars in the registry equal the result's splits.
+        assert!((t.cost("fleet", "vm_compute") - r.compute.vm_cost).abs() < 1e-12);
+        assert!((t.cost("pool", "elastic_pool") - r.compute.pool_cost).abs() < 1e-12);
+        assert!((t.cost("shuffle_fleet", "shuffle_node") - r.shuffle.node_cost).abs() < 1e-12);
+        assert!((t.cost("store", "s3_put") - r.shuffle.s3_put_cost).abs() < 1e-12);
+        // Query accounting and the demand series were recorded.
+        assert_eq!(t.counter("run.queries_total"), 10);
+        let h = t.histogram("run.query_latency_seconds").expect("histogram");
+        assert_eq!(h.count, 10);
+        assert_eq!(
+            t.series("run.demand").map(|s| s.len() as u64),
+            Some(r.duration_s)
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_config_shim_matches_spec_path() {
+        let w: Vec<QueryArrival> = (0..5)
+            .map(|i| QueryArrival {
+                at_s: i * 10,
+                profile: profile(3, 5),
+            })
+            .collect();
+        let mut a = FixedStrategy { vms: 2 };
+        let old = run_system_with_config(&w, &mut a, &SystemConfig::default());
+        let mut b = FixedStrategy { vms: 2 };
+        let new = run_system_with(&w, &mut b, &RunSpec::new());
+        assert_eq!(old.latencies, new.latencies);
+        assert_eq!(old.compute, new.compute);
+        assert_eq!(old.shuffle, new.shuffle);
     }
 }

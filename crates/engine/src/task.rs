@@ -17,7 +17,13 @@ use crate::rowkey::partition_of;
 use crate::schema::SchemaRef;
 use crate::shuffle::{ShuffleKey, ShuffleTransport};
 use crate::table::Catalog;
+use cackle_telemetry::Telemetry;
 use std::sync::Arc;
+
+/// Row-count-flavoured histogram bounds for per-task input sizes.
+const ROW_BUCKETS: [f64; 9] = [
+    100.0, 1_000.0, 10_000.0, 100_000.0, 1e6, 1e7, 1e8, 1e9, 1e10,
+];
 
 /// Everything a task needs to run.
 pub struct TaskContext<'a> {
@@ -33,6 +39,31 @@ pub struct TaskContext<'a> {
     pub catalog: &'a Catalog,
     /// Intermediate-data transport.
     pub shuffle: &'a dyn ShuffleTransport,
+    /// Metrics sink (disabled by default — see [`TaskContext::new`]).
+    pub telemetry: Telemetry,
+}
+
+impl<'a> TaskContext<'a> {
+    /// A context with telemetry disabled; enable it by assigning the
+    /// `telemetry` field (it is plain data, like the rest of the context).
+    pub fn new(
+        dag: &'a StageDag,
+        stage_id: StageId,
+        task: u32,
+        query_id: u64,
+        catalog: &'a Catalog,
+        shuffle: &'a dyn ShuffleTransport,
+    ) -> Self {
+        TaskContext {
+            dag,
+            stage_id,
+            task,
+            query_id,
+            catalog,
+            shuffle,
+            telemetry: Telemetry::disabled(),
+        }
+    }
 }
 
 /// What a task produced.
@@ -105,6 +136,22 @@ pub fn execute_task(ctx: &TaskContext<'_>) -> TaskResult {
                 );
             }
         }
+    }
+    if ctx.telemetry.is_enabled() {
+        ctx.telemetry.counter_add("engine.tasks_total", 1);
+        ctx.telemetry
+            .counter_add("engine.task_rows_out_total", result.rows_out);
+        ctx.telemetry.counter_add(
+            "engine.shuffle_bytes_written_total",
+            result.shuffle_bytes_written,
+        );
+        ctx.telemetry
+            .counter_add("engine.shuffle_writes_total", result.shuffle_writes);
+        ctx.telemetry.observe_with_buckets(
+            "engine.task_rows_in",
+            result.rows_in as f64,
+            &ROW_BUCKETS,
+        );
     }
     result
 }
@@ -273,14 +320,7 @@ pub fn execute_query(
     let mut gathered: Vec<Batch> = Vec::new();
     for stage in &dag.stages {
         for task in 0..stage.tasks {
-            let ctx = TaskContext {
-                dag,
-                stage_id: stage.id,
-                task,
-                query_id,
-                catalog,
-                shuffle,
-            };
+            let ctx = TaskContext::new(dag, stage.id, task, query_id, catalog, shuffle);
             let r = execute_task(&ctx);
             if let Some(batches) = r.output {
                 gathered.extend(batches);

@@ -16,9 +16,9 @@
 //! |----|------|-------|
 //! | L1 | no `Instant` / `SystemTime` (host clock) | everywhere except `crates/bench` and `crates/cloud/src/time.rs` |
 //! | L2 | no `thread_rng` / `from_entropy` / `rand::` (unseeded RNG) | everywhere |
-//! | L3 | no order-revealing iteration of `HashMap` / `HashSet` | `crates/engine`, `crates/core` |
+//! | L3 | no order-revealing iteration of `HashMap` / `HashSet` | `crates/engine`, `crates/core`, `crates/telemetry` |
 //! | L4 | no raw `f64` arithmetic or `==` on cost-named bindings | `crates/cloud` (except `ledger.rs`, `pricing.rs`), `crates/engine`, `examples` |
-//! | L5 | no `unwrap()` / `expect()` / `panic!` on hot paths | `crates/cloud/src`, `core/{system,transport}.rs`, `engine/{task,shuffle,table}.rs` |
+//! | L5 | no `unwrap()` / `expect()` / `panic!` on hot paths | `crates/cloud/src`, `crates/telemetry/src`, `core/{system,transport}.rs`, `engine/{task,shuffle,table}.rs` |
 //!
 //! `tests/`, `benches/`, and `#[cfg(test)]` / `#[test]` items are
 //! skipped everywhere: test code may use the host clock, unwraps, and
@@ -125,7 +125,11 @@ fn applies(id: LintId, path: &str) -> bool {
     match id {
         LintId::L1 => !path.starts_with("crates/bench/") && path != "crates/cloud/src/time.rs",
         LintId::L2 => true,
-        LintId::L3 => path.starts_with("crates/engine/") || path.starts_with("crates/core/"),
+        LintId::L3 => {
+            path.starts_with("crates/engine/")
+                || path.starts_with("crates/core/")
+                || path.starts_with("crates/telemetry/")
+        }
         LintId::L4 => {
             (path.starts_with("crates/cloud/")
                 && path != "crates/cloud/src/ledger.rs"
@@ -135,6 +139,7 @@ fn applies(id: LintId, path: &str) -> bool {
         }
         LintId::L5 => {
             path.starts_with("crates/cloud/src/")
+                || path.starts_with("crates/telemetry/src/")
                 || matches!(
                     path,
                     "crates/core/src/system.rs"
@@ -670,6 +675,19 @@ mod tests {
         let f = lint_source("crates/core/src/system.rs", src);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].id, LintId::L5);
+    }
+
+    #[test]
+    fn telemetry_crate_is_covered() {
+        // The observability layer feeds the golden-dump determinism test,
+        // so it gets the same hash-iteration and panic-path guarantees.
+        let hash = "struct S { m: HashMap<String, u64> }\n\
+                    fn f(s: &S) { for v in s.m.values() { let _ = v; } }";
+        let f = lint_source("crates/telemetry/src/lib.rs", hash);
+        assert!(f.iter().any(|f| f.id == LintId::L3), "{f:?}");
+        let unwrap = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        let f = lint_source("crates/telemetry/src/json.rs", unwrap);
+        assert!(f.iter().any(|f| f.id == LintId::L5), "{f:?}");
     }
 
     #[test]

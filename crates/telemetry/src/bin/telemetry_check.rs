@@ -1,0 +1,38 @@
+//! `telemetry-check`: validate a cackle-telemetry JSONL dump.
+//!
+//! Usage: `telemetry-check <dump.jsonl>...`
+//!
+//! Thin CLI over [`cackle_telemetry::check::check_dump`]; see that module
+//! for the full list of validations. Exits 0 when every file is valid,
+//! 1 otherwise. Used by `ci.sh` to gate the example dump.
+
+use cackle_telemetry::check::check_dump;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: telemetry-check <dump.jsonl>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &args {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let errors = check_dump(&text);
+                if errors.is_empty() {
+                    println!("{path}: ok ({} lines)", text.lines().count());
+                } else {
+                    failed = true;
+                    for e in &errors {
+                        eprintln!("{path}:{e}");
+                    }
+                }
+            }
+            Err(e) => {
+                failed = true;
+                eprintln!("{path}: {e}");
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

@@ -1,0 +1,230 @@
+//! Validation of cackle-telemetry JSONL dumps.
+//!
+//! Shared by the `telemetry-check` binary (which `ci.sh` runs over the
+//! example dump) and by integration tests that assert dumps stay
+//! well-formed. Checks, per dump:
+//!
+//! * every line parses as a JSON object with a string `type`;
+//! * the first line is the `meta` line with `schema == "cackle-telemetry"`;
+//! * each record type carries its required fields with the right JSON
+//!   types (see DESIGN.md §"Telemetry");
+//! * histogram invariants hold (`counts.len() == bounds.len() + 1`,
+//!   bucket counts sum to `count`);
+//! * series points are `[t_ms, value]` pairs with non-decreasing `t_ms`.
+
+use crate::json::{self, Value};
+
+/// Validate a full dump; returns `line: message` strings (1-based lines).
+pub fn check_dump(text: &str) -> Vec<String> {
+    let mut errors = Vec::new();
+    let mut saw_meta = false;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let mut fail = |msg: String| errors.push(format!("{lineno}: {msg}"));
+        let v = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                fail(format!("{e}"));
+                continue;
+            }
+        };
+        if !v.is_object() {
+            fail("line is not a JSON object".to_string());
+            continue;
+        }
+        let Some(ty) = v.get("type").and_then(Value::as_str) else {
+            fail("missing string field `type`".to_string());
+            continue;
+        };
+        if i == 0 {
+            if ty != "meta" {
+                fail(format!("first line must be the meta record, got `{ty}`"));
+            } else if v.get("schema").and_then(Value::as_str) != Some("cackle-telemetry") {
+                fail("meta.schema must be \"cackle-telemetry\"".to_string());
+            } else if v.get("version").and_then(Value::as_u64).is_none() {
+                fail("meta.version must be a non-negative integer".to_string());
+            } else {
+                saw_meta = true;
+            }
+            continue;
+        }
+        match ty {
+            "meta" => fail("duplicate meta record".to_string()),
+            "counter" => {
+                if name_of(&v).is_none() {
+                    fail("counter needs string `name`".to_string());
+                }
+                if v.get("value").and_then(Value::as_u64).is_none() {
+                    fail("counter.value must be a non-negative integer".to_string());
+                }
+            }
+            "gauge" => {
+                if name_of(&v).is_none() {
+                    fail("gauge needs string `name`".to_string());
+                }
+                if !is_num_or_null(v.get("value")) {
+                    fail("gauge.value must be a number or null".to_string());
+                }
+            }
+            "histogram" => {
+                if name_of(&v).is_none() {
+                    fail("histogram needs string `name`".to_string());
+                }
+                check_histogram(&v, &mut fail);
+            }
+            "cost" => {
+                if v.get("component").and_then(Value::as_str).is_none() {
+                    fail("cost needs string `component`".to_string());
+                }
+                if v.get("category").and_then(Value::as_str).is_none() {
+                    fail("cost needs string `category`".to_string());
+                }
+                if v.get("dollars").and_then(Value::as_f64).is_none() {
+                    fail("cost.dollars must be a number".to_string());
+                }
+            }
+            "series" => {
+                if name_of(&v).is_none() {
+                    fail("series needs string `name`".to_string());
+                }
+                check_series(&v, &mut fail);
+            }
+            "event" => {
+                if v.get("kind").and_then(Value::as_str).is_none() {
+                    fail("event needs string `kind`".to_string());
+                }
+                if v.get("t_ms").and_then(Value::as_u64).is_none() {
+                    fail("event.t_ms must be a non-negative integer".to_string());
+                }
+                if v.get("dur_ms").and_then(Value::as_u64).is_none() {
+                    fail("event.dur_ms must be a non-negative integer".to_string());
+                }
+            }
+            other => fail(format!("unknown record type `{other}`")),
+        }
+    }
+    if !saw_meta && !text.trim().is_empty() && errors.is_empty() {
+        errors.push("1: dump has no meta record".to_string());
+    }
+    if text.trim().is_empty() {
+        errors.push("1: dump is empty".to_string());
+    }
+    errors
+}
+
+fn name_of(v: &Value) -> Option<&str> {
+    v.get("name").and_then(Value::as_str)
+}
+
+fn is_num_or_null(v: Option<&Value>) -> bool {
+    matches!(v, Some(Value::Num(_)) | Some(Value::Null))
+}
+
+fn check_histogram(v: &Value, fail: &mut dyn FnMut(String)) {
+    let bounds = v.get("bounds").and_then(Value::as_array);
+    let counts = v.get("counts").and_then(Value::as_array);
+    let (Some(bounds), Some(counts)) = (bounds, counts) else {
+        fail("histogram needs `bounds` and `counts` arrays".to_string());
+        return;
+    };
+    if counts.len() != bounds.len() + 1 {
+        fail(format!(
+            "histogram counts.len() ({}) must be bounds.len() + 1 ({})",
+            counts.len(),
+            bounds.len() + 1
+        ));
+    }
+    let mut sum = 0u64;
+    for c in counts {
+        match c.as_u64() {
+            Some(n) => sum += n,
+            None => {
+                fail("histogram counts must be non-negative integers".to_string());
+                return;
+            }
+        }
+    }
+    match v.get("count").and_then(Value::as_u64) {
+        Some(total) if total == sum => {}
+        Some(total) => fail(format!(
+            "histogram bucket counts sum to {sum} but count is {total}"
+        )),
+        None => fail("histogram.count must be a non-negative integer".to_string()),
+    }
+    for key in ["sum", "min", "max"] {
+        if !is_num_or_null(v.get(key)) {
+            fail(format!("histogram.{key} must be a number or null"));
+        }
+    }
+}
+
+fn check_series(v: &Value, fail: &mut dyn FnMut(String)) {
+    let Some(points) = v.get("points").and_then(Value::as_array) else {
+        fail("series needs a `points` array".to_string());
+        return;
+    };
+    let mut last_t = 0u64;
+    for (i, p) in points.iter().enumerate() {
+        let pair = p.as_array();
+        let (t, val) = match pair {
+            Some([t, val]) => (t, val),
+            _ => {
+                fail(format!("series point {i} must be a [t_ms, value] pair"));
+                return;
+            }
+        };
+        let Some(t) = t.as_u64() else {
+            fail(format!(
+                "series point {i}: t_ms must be a non-negative integer"
+            ));
+            return;
+        };
+        if t < last_t {
+            fail(format!(
+                "series point {i}: t_ms {t} goes backwards (previous {last_t})"
+            ));
+            return;
+        }
+        last_t = t;
+        if !matches!(val, Value::Num(_) | Value::Null) {
+            fail(format!("series point {i}: value must be a number or null"));
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    #[test]
+    fn real_dump_validates_cleanly() {
+        let t = Telemetry::new();
+        t.counter_add("run.queries_total", 5);
+        t.gauge_set("run.duration_seconds", 3600.0);
+        t.observe("run.query_latency_seconds", 12.0);
+        t.sample("run.demand", 0, 4.0);
+        t.sample("run.demand", 1000, 6.0);
+        t.add_cost("fleet", "vm_compute", 1.25);
+        t.span_event(0, 12_000, "query", Some(0), None, "");
+        let errors = check_dump(&t.export_jsonl());
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn rejects_bad_dumps() {
+        assert!(!check_dump("").is_empty());
+        assert!(!check_dump("{\"type\":\"counter\"}\n").is_empty());
+        let no_meta = "{\"type\":\"counter\",\"name\":\"x\",\"value\":1}\n";
+        assert!(!check_dump(no_meta).is_empty());
+        let bad_hist = "{\"type\":\"meta\",\"schema\":\"cackle-telemetry\",\"version\":1}\n\
+             {\"type\":\"histogram\",\"name\":\"h\",\"bounds\":[1.0],\"counts\":[1,2],\
+             \"count\":99,\"sum\":1.0,\"min\":1.0,\"max\":1.0}\n";
+        let errors = check_dump(bad_hist);
+        assert!(errors.iter().any(|e| e.contains("sum to 3")), "{errors:?}");
+        let backwards = "{\"type\":\"meta\",\"schema\":\"cackle-telemetry\",\"version\":1}\n\
+             {\"type\":\"series\",\"name\":\"s\",\"points\":[[5,1.0],[3,2.0]]}\n";
+        assert!(!check_dump(backwards).is_empty());
+    }
+}

@@ -1,0 +1,642 @@
+//! # cackle-telemetry — deterministic observability
+//!
+//! A dependency-free, sim-clock-driven metrics and tracing layer shared by
+//! every Cackle crate. The paper's headline evidence (Figures 12–14,
+//! Table 2) is per-tick observability — cost attribution by component,
+//! demand vs. allocation, queue/tail latency — and this crate is the one
+//! place that data is collected, instead of 20+ bench binaries each
+//! hand-rolling extraction against the run internals.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Deterministic.** Identically-seeded runs must produce byte-identical
+//!    telemetry dumps (`tests/determinism.rs` enforces this). All state
+//!    lives in `BTreeMap`s keyed by static metric names; timestamps come
+//!    from the *simulated* clock (plain `u64` milliseconds) — never the
+//!    host clock; floats are exported with Rust's shortest-round-trip
+//!    formatting.
+//! 2. **Dependency-free.** The workspace is offline; the JSONL/CSV
+//!    exporters and the JSON parser used by the `telemetry-check` schema
+//!    validator are hand-rolled (see [`json`]).
+//! 3. **Free when disabled.** A [`Telemetry`] handle is a cheap
+//!    `Option<Arc<Mutex<Registry>>>`; a disabled handle makes every record
+//!    call a no-op, so hot paths carry the handle unconditionally.
+//!
+//! ## Metric naming convention
+//!
+//! `component.noun[_unit]`, snake_case, static strings:
+//!
+//! * components: `run` (coordinator loop), `fleet`, `shuffle_fleet`,
+//!   `pool`, `store`, `engine`, `meta`, `model`;
+//! * unit suffixes: `_total` (monotone counter), `_dollars`, `_seconds`,
+//!   `_bytes`.
+//!
+//! The full event schema is documented in `DESIGN.md` §"Telemetry".
+
+pub mod check;
+pub mod json;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Default histogram bucket upper bounds (seconds-flavoured, covering
+/// latencies from 100 ms to ~1.5 h; values above the last bound land in the
+/// overflow bucket).
+pub const DEFAULT_BUCKETS: [f64; 12] = [
+    0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 1800.0, 5400.0,
+];
+
+/// A fixed-bucket histogram: `counts[i]` counts observations `v` with
+/// `v <= bounds[i]` (and greater than the previous bound); the final slot
+/// counts overflow beyond the last bound. Tracks count / sum / min / max
+/// exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Ascending bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts; `bounds.len() + 1` slots, the last
+    /// one holding out-of-range (overflow) observations.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observed value (`+inf` until the first observation).
+    pub min: f64,
+    /// Largest observed value (`-inf` until the first observation).
+    pub max: f64,
+}
+
+impl Histogram {
+    /// An empty histogram over the given ascending bucket bounds.
+    pub fn new(bounds: &[f64]) -> Self {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation. Non-finite values are dropped (they would
+    /// poison `sum`); values beyond the last bound count in the overflow
+    /// bucket; negative values land in the first bucket.
+    pub fn observe(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Mean of the observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Observations that exceeded the last bucket bound.
+    pub fn overflow(&self) -> u64 {
+        *self.counts.last().unwrap_or(&0)
+    }
+}
+
+/// One trace event: either an instant (`dur_ms == 0`) or a span covering
+/// `[t_ms, t_ms + dur_ms]` of simulated time. Task/query/strategy activity
+/// is recorded as these rather than ad-hoc prints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated start time in milliseconds.
+    pub t_ms: u64,
+    /// Span length in simulated milliseconds (0 for instant events).
+    pub dur_ms: u64,
+    /// Event kind, e.g. `query`, `strategy.tick`, `vm.interrupted`.
+    pub kind: String,
+    /// Query index, when the event belongs to one.
+    pub query: Option<u64>,
+    /// Stage index, when the event belongs to one.
+    pub stage: Option<u32>,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+/// The collected state behind an enabled [`Telemetry`] handle.
+///
+/// Every map is a `BTreeMap` so iteration (and therefore export) order is
+/// the lexicographic name order, independent of insertion order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    /// Per-metric time series of `(t_ms, value)` points in record order.
+    series: BTreeMap<String, Vec<(u64, f64)>>,
+    /// Accumulated dollars keyed by `(component, category)` — fed by
+    /// `CostLedger` charges in `cackle-cloud`.
+    costs: BTreeMap<(String, String), f64>,
+    events: Vec<TraceEvent>,
+}
+
+impl Registry {
+    /// Counter value (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, when set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram, when observed.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Series points, when sampled.
+    pub fn series(&self, name: &str) -> Option<&[(u64, f64)]> {
+        self.series.get(name).map(|v| v.as_slice())
+    }
+
+    /// Dollars attributed to one `(component, category)` pair.
+    pub fn cost(&self, component: &str, category: &str) -> f64 {
+        self.costs
+            .get(&(component.to_string(), category.to_string()))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Total dollars across all components and categories.
+    pub fn cost_total(&self) -> f64 {
+        self.costs.values().sum()
+    }
+
+    /// All cost cells in deterministic `(component, category)` order.
+    pub fn costs(&self) -> impl Iterator<Item = (&str, &str, f64)> {
+        self.costs
+            .iter()
+            .map(|((comp, cat), &d)| (comp.as_str(), cat.as_str(), d))
+    }
+
+    /// Recorded trace events in record order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Export the registry as JSON Lines: one self-describing object per
+    /// line, sections in a fixed order (meta, counters, gauges, histograms,
+    /// costs, series, events), each section sorted by name. Hand-rolled:
+    /// the workspace is offline and serde-free.
+    pub fn export_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"type\":\"meta\",\"schema\":\"cackle-telemetry\",\"version\":1}\n");
+        for (name, v) in &self.counters {
+            out.push_str(&format!(
+                "{{\"type\":\"counter\",\"name\":{},\"value\":{v}}}\n",
+                json_str(name)
+            ));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!(
+                "{{\"type\":\"gauge\",\"name\":{},\"value\":{}}}\n",
+                json_str(name),
+                json_f64(*v)
+            ));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "{{\"type\":\"histogram\",\"name\":{},\"bounds\":{},\"counts\":{},\
+                 \"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}\n",
+                json_str(name),
+                json_f64_array(&h.bounds),
+                json_u64_array(&h.counts),
+                h.count,
+                json_f64(h.sum),
+                json_f64(if h.count == 0 { 0.0 } else { h.min }),
+                json_f64(if h.count == 0 { 0.0 } else { h.max }),
+            ));
+        }
+        for ((comp, cat), d) in &self.costs {
+            out.push_str(&format!(
+                "{{\"type\":\"cost\",\"component\":{},\"category\":{},\"dollars\":{}}}\n",
+                json_str(comp),
+                json_str(cat),
+                json_f64(*d)
+            ));
+        }
+        for (name, points) in &self.series {
+            out.push_str(&format!(
+                "{{\"type\":\"series\",\"name\":{},\"points\":[",
+                json_str(name)
+            ));
+            for (i, (t, v)) in points.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{t},{}]", json_f64(*v)));
+            }
+            out.push_str("]}\n");
+        }
+        for e in &self.events {
+            out.push_str(&format!(
+                "{{\"type\":\"event\",\"kind\":{},\"t_ms\":{},\"dur_ms\":{}",
+                json_str(&e.kind),
+                e.t_ms,
+                e.dur_ms
+            ));
+            if let Some(q) = e.query {
+                out.push_str(&format!(",\"query\":{q}"));
+            }
+            if let Some(s) = e.stage {
+                out.push_str(&format!(",\"stage\":{s}"));
+            }
+            if !e.detail.is_empty() {
+                out.push_str(&format!(",\"detail\":{}", json_str(&e.detail)));
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Export every time series as long-format CSV
+    /// (`name,t_ms,value` rows, sorted by name then record order) —
+    /// convenient for plotting tools.
+    pub fn export_series_csv(&self) -> String {
+        let mut out = String::from("name,t_ms,value\n");
+        for (name, points) in &self.series {
+            for (t, v) in points {
+                out.push_str(&format!("{name},{t},{}\n", json_f64(*v)));
+            }
+        }
+        out
+    }
+}
+
+/// Format a finite f64 with Rust's shortest exact round-trip decimal
+/// (`{:?}`), which is valid JSON; non-finite values become `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_f64_array(vs: &[f64]) -> String {
+    let cells: Vec<String> = vs.iter().map(|&v| json_f64(v)).collect();
+    format!("[{}]", cells.join(","))
+}
+
+fn json_u64_array(vs: &[u64]) -> String {
+    let cells: Vec<String> = vs.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", cells.join(","))
+}
+
+/// JSON string literal with escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A cheap, cloneable handle to a telemetry registry.
+///
+/// Disabled handles (the default) make every record call a no-op, so
+/// components carry one unconditionally. Enabled handles share one
+/// [`Registry`] behind a poison-forgiving mutex (the engine executes tasks
+/// from multiple threads in some tests; the simulation itself is
+/// single-threaded, so lock order never affects recorded state).
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Mutex<Registry>>>,
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            Some(_) => f.write_str("Telemetry(enabled)"),
+            None => f.write_str("Telemetry(disabled)"),
+        }
+    }
+}
+
+impl Telemetry {
+    /// An enabled handle with a fresh, empty registry. Use one sink per
+    /// run: sharing a sink across runs interleaves their series.
+    pub fn new() -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Mutex::new(Registry::default()))),
+        }
+    }
+
+    /// A disabled handle: every record call is a no-op.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn lock(&self) -> Option<MutexGuard<'_, Registry>> {
+        self.inner
+            .as_ref()
+            .map(|m| m.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Add `delta` to a monotone counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if let Some(mut r) = self.lock() {
+            *r.counters.entry(name.to_string()).or_insert(0) += delta;
+        }
+    }
+
+    /// Set a gauge to `v` (last write wins).
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        if let Some(mut r) = self.lock() {
+            r.gauges.insert(name.to_string(), v);
+        }
+    }
+
+    /// Observe `v` into the named histogram with [`DEFAULT_BUCKETS`].
+    pub fn observe(&self, name: &str, v: f64) {
+        self.observe_with_buckets(name, v, &DEFAULT_BUCKETS);
+    }
+
+    /// Observe `v` into the named histogram, creating it with `bounds` on
+    /// first use (later calls reuse the existing bounds).
+    pub fn observe_with_buckets(&self, name: &str, v: f64, bounds: &[f64]) {
+        if let Some(mut r) = self.lock() {
+            r.histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Histogram::new(bounds))
+                .observe(v);
+        }
+    }
+
+    /// Append a `(t_ms, v)` point to the named time series.
+    pub fn sample(&self, name: &str, t_ms: u64, v: f64) {
+        if let Some(mut r) = self.lock() {
+            r.series
+                .entry(name.to_string())
+                .or_default()
+                .push((t_ms, v));
+        }
+    }
+
+    /// Attribute `dollars` to `(component, category)` — the cost-attribution
+    /// feed called by `CostLedger` on every accepted charge. Rejected
+    /// charges never reach telemetry either.
+    pub fn add_cost(&self, component: &str, category: &str, dollars: f64) {
+        if !dollars.is_finite() {
+            return;
+        }
+        if let Some(mut r) = self.lock() {
+            *r.costs
+                .entry((component.to_string(), category.to_string()))
+                .or_insert(0.0) += dollars;
+        }
+    }
+
+    /// Record an instant event.
+    pub fn event(&self, t_ms: u64, kind: &str, detail: &str) {
+        self.span_event(t_ms, 0, kind, None, None, detail);
+    }
+
+    /// Record a span event covering `[t_ms, t_ms + dur_ms]`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span_event(
+        &self,
+        t_ms: u64,
+        dur_ms: u64,
+        kind: &str,
+        query: Option<u64>,
+        stage: Option<u32>,
+        detail: &str,
+    ) {
+        if let Some(mut r) = self.lock() {
+            r.events.push(TraceEvent {
+                t_ms,
+                dur_ms,
+                kind: kind.to_string(),
+                query,
+                stage,
+                detail: detail.to_string(),
+            });
+        }
+    }
+
+    /// A point-in-time copy of the registry (None when disabled).
+    pub fn snapshot(&self) -> Option<Registry> {
+        self.lock().map(|r| r.clone())
+    }
+
+    /// Counter value (0 when disabled or never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().map(|r| r.counter(name)).unwrap_or(0)
+    }
+
+    /// Gauge value, when enabled and set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.lock().and_then(|r| r.gauge(name))
+    }
+
+    /// Clone of the named series, when enabled and sampled.
+    pub fn series(&self, name: &str) -> Option<Vec<(u64, f64)>> {
+        self.lock().and_then(|r| r.series(name).map(|s| s.to_vec()))
+    }
+
+    /// Clone of the named histogram, when enabled and observed.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.lock().and_then(|r| r.histogram(name).cloned())
+    }
+
+    /// Dollars attributed to `(component, category)` (0 when disabled).
+    pub fn cost(&self, component: &str, category: &str) -> f64 {
+        self.lock()
+            .map(|r| r.cost(component, category))
+            .unwrap_or(0.0)
+    }
+
+    /// JSONL dump of the registry (empty string when disabled).
+    pub fn export_jsonl(&self) -> String {
+        self.lock().map(|r| r.export_jsonl()).unwrap_or_default()
+    }
+
+    /// Long-format CSV dump of all series (empty string when disabled).
+    pub fn export_series_csv(&self) -> String {
+        self.lock()
+            .map(|r| r.export_series_csv())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_a_noop() {
+        let t = Telemetry::disabled();
+        t.counter_add("x.y_total", 3);
+        t.gauge_set("x.g", 1.5);
+        t.observe("x.h", 2.0);
+        t.sample("x.s", 1000, 4.0);
+        t.add_cost("fleet", "vm_compute", 1.0);
+        assert!(!t.is_enabled());
+        assert_eq!(t.counter("x.y_total"), 0);
+        assert_eq!(t.snapshot(), None);
+        assert_eq!(t.export_jsonl(), "");
+    }
+
+    #[test]
+    fn counters_gauges_series_roundtrip() {
+        let t = Telemetry::new();
+        t.counter_add("run.queries_total", 2);
+        t.counter_add("run.queries_total", 1);
+        t.gauge_set("run.duration_seconds", 10.0);
+        t.gauge_set("run.duration_seconds", 12.5);
+        t.sample("run.demand", 0, 4.0);
+        t.sample("run.demand", 1000, 6.0);
+        assert_eq!(t.counter("run.queries_total"), 3);
+        assert_eq!(t.gauge("run.duration_seconds"), Some(12.5));
+        assert_eq!(t.series("run.demand"), Some(vec![(0, 4.0), (1000, 6.0)]));
+    }
+
+    #[test]
+    fn histogram_bucketing_zero_max_and_out_of_range() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        // Zero lands in the first bucket (bounds are upper bounds).
+        h.observe(0.0);
+        assert_eq!(h.counts, vec![1, 0, 0, 0]);
+        // A value exactly on a bound belongs to that bound's bucket.
+        h.observe(2.0);
+        assert_eq!(h.counts, vec![1, 1, 0, 0]);
+        // The maximum representable value overflows to the last slot.
+        h.observe(f64::MAX);
+        assert_eq!(h.counts, vec![1, 1, 0, 1]);
+        assert_eq!(h.overflow(), 1);
+        // Out-of-range on the low side (negative) counts in bucket 0.
+        h.observe(-3.0);
+        assert_eq!(h.counts, vec![2, 1, 0, 1]);
+        // Non-finite observations are dropped entirely.
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.count, 4);
+        assert_eq!(h.min, -3.0);
+        assert_eq!(h.max, f64::MAX);
+        assert!((h.mean() - (0.0 + 2.0 + f64::MAX - 3.0) / 4.0).abs() < 1e292);
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_zero() {
+        let h = Histogram::new(&DEFAULT_BUCKETS);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.count, 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn cost_attribution_accumulates_per_component() {
+        let t = Telemetry::new();
+        t.add_cost("fleet", "vm_compute", 1.5);
+        t.add_cost("fleet", "vm_compute", 0.5);
+        t.add_cost("pool", "elastic_pool", 3.0);
+        t.add_cost("fleet", "vm_compute", f64::NAN); // dropped
+        assert_eq!(t.cost("fleet", "vm_compute"), 2.0);
+        assert_eq!(t.cost("pool", "elastic_pool"), 3.0);
+        let r = t.snapshot().unwrap();
+        assert_eq!(r.cost_total(), 5.0);
+        let cells: Vec<(String, String, f64)> = r
+            .costs()
+            .map(|(a, b, d)| (a.to_string(), b.to_string(), d))
+            .collect();
+        assert_eq!(cells[0].0, "fleet"); // deterministic order
+    }
+
+    #[test]
+    fn export_is_deterministic_and_parseable() {
+        let build = || {
+            let t = Telemetry::new();
+            // Insert in "wrong" order: export must sort by name.
+            t.counter_add("z.last_total", 1);
+            t.counter_add("a.first_total", 2);
+            t.gauge_set("g.value", 0.125);
+            t.observe_with_buckets("h.lat", 3.0, &[1.0, 5.0]);
+            t.sample("s.demand", 0, 1.0);
+            t.sample("s.demand", 1000, 2.0);
+            t.add_cost("fleet", "vm_compute", 0.25);
+            t.span_event(500, 1500, "query", Some(0), None, "q01");
+            t.export_jsonl()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b, "export must be byte-identical");
+        let first_counter = a
+            .lines()
+            .find(|l| l.contains("\"counter\""))
+            .expect("counter line");
+        assert!(first_counter.contains("a.first_total"), "{first_counter}");
+        // Every line parses as a JSON object with a type.
+        for line in a.lines() {
+            let v = json::parse(line).expect("valid JSON line");
+            assert!(v.get("type").and_then(json::Value::as_str).is_some());
+        }
+    }
+
+    #[test]
+    fn jsonl_escapes_strings() {
+        let t = Telemetry::new();
+        t.event(0, "weird\"kind", "line\nbreak\tand \\slash");
+        let dump = t.export_jsonl();
+        let event_line = dump.lines().last().unwrap();
+        let v = json::parse(event_line).expect("escaped JSON parses");
+        assert_eq!(
+            v.get("kind").and_then(json::Value::as_str),
+            Some("weird\"kind")
+        );
+        assert_eq!(
+            v.get("detail").and_then(json::Value::as_str),
+            Some("line\nbreak\tand \\slash")
+        );
+    }
+
+    #[test]
+    fn series_csv_long_format() {
+        let t = Telemetry::new();
+        t.sample("run.demand", 0, 3.0);
+        t.sample("run.active", 1000, 1.0);
+        let csv = t.export_series_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,t_ms,value");
+        assert_eq!(lines[1], "run.active,1000,1.0");
+        assert_eq!(lines[2], "run.demand,0,3.0");
+    }
+}

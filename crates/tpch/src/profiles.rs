@@ -187,14 +187,7 @@ pub fn measured_profile(
     let mut stage_writes = vec![0u64; dag.stages.len()];
     for stage in &dag.stages {
         for task in 0..stage.tasks {
-            let ctx = TaskContext {
-                dag: &dag,
-                stage_id: stage.id,
-                task,
-                query_id: 99,
-                catalog,
-                shuffle: &shuffle,
-            };
+            let ctx = TaskContext::new(&dag, stage.id, task, 99, catalog, &shuffle);
             let r = execute_task(&ctx);
             stage_rows[stage.id] += r.rows_in;
             stage_bytes[stage.id] += r.shuffle_bytes_written;

@@ -7,24 +7,17 @@
 //! cargo run --release --example cost_explorer
 //! ```
 
-use cackle::model::{build_workload, run_model, ModelOptions};
-use cackle::{make_strategy, Env};
+use cackle::model::{build_workload, run_model};
+use cackle::{Env, RunSpec};
 use cackle_tpch::profiles::profile_set;
 use cackle_workload::arrivals::WorkloadSpec;
 
 fn cost(label: &str, workload: &[cackle::QueryArrival], env: &Env) -> f64 {
-    let mut s = make_strategy(label, env);
-    run_model(
-        workload,
-        s.as_mut(),
-        env,
-        ModelOptions {
-            record_timeseries: false,
-            compute_only: true,
-        },
-    )
-    .compute
-    .total()
+    let spec = RunSpec::new()
+        .with_env(env.clone())
+        .with_strategy(label)
+        .with_compute_only(true);
+    run_model(workload, &spec).compute.total()
 }
 
 fn main() {

@@ -1,13 +1,14 @@
 //! Quickstart: run a bursty analytical workload under Cackle's dynamic
-//! cost-based strategy and compare the bill against the naive extremes.
+//! cost-based strategy and compare the bill against the naive extremes,
+//! then dump the dynamic run's telemetry registry as JSON Lines.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use cackle::model::{build_workload, run_model, workload_curves, ModelOptions};
+use cackle::model::{build_workload, run_model, workload_curves};
 use cackle::oracle::oracle_cost;
-use cackle::{make_strategy, Env};
+use cackle::{Env, RunSpec, Telemetry};
 use cackle_tpch::profiles::profile_set;
 use cackle_workload::arrivals::WorkloadSpec;
 
@@ -43,21 +44,22 @@ fn main() {
     );
 
     // 3. Run the analytical model under several provisioning strategies.
+    //    A RunSpec bundles the environment, the strategy label, the noise
+    //    knobs, and (optionally) a telemetry sink.
     println!(
         "{:<12} {:>12} {:>12} {:>12}",
         "strategy", "vm_cost", "pool_cost", "total"
     );
+    let telemetry = Telemetry::new();
     for label in ["fixed_0", "fixed_200", "mean_2", "predictive", "dynamic"] {
-        let mut strategy = make_strategy(label, &env);
-        let r = run_model(
-            &workload,
-            strategy.as_mut(),
-            &env,
-            ModelOptions {
-                record_timeseries: false,
-                compute_only: true,
-            },
-        );
+        let mut run_spec = RunSpec::new()
+            .with_env(env.clone())
+            .with_strategy(label)
+            .with_compute_only(true);
+        if label == "dynamic" {
+            run_spec = run_spec.with_telemetry(&telemetry);
+        }
+        let r = run_model(&workload, &run_spec);
         println!(
             "{:<12} {:>11.2}$ {:>11.2}$ {:>11.2}$",
             label,
@@ -75,6 +77,24 @@ fn main() {
         oracle.vm_cost,
         oracle.pool_cost,
         oracle.total()
+    );
+
+    // 5. The dynamic run recorded everything it did: per-second series
+    //    (run.demand / run.target / run.active), the query-latency
+    //    histogram, and per-component cost attribution. Dump it for
+    //    plotting; `telemetry-check` validates the format.
+    if std::fs::create_dir_all("results").is_ok() {
+        let path = "results/quickstart_telemetry.jsonl";
+        match std::fs::write(path, telemetry.export_jsonl()) {
+            Ok(()) => println!("\nwrote {path} (validate: cargo run -p cackle-telemetry --bin telemetry-check -- {path})"),
+            Err(e) => eprintln!("\nwarning: could not write {path}: {e}"),
+        }
+    }
+    println!(
+        "dynamic ran {} queries; ${:.2} attributed to the VM fleet, ${:.2} to the pool.",
+        telemetry.counter("run.queries_total"),
+        telemetry.cost("fleet", "vm_compute"),
+        telemetry.cost("pool", "elastic_pool"),
     );
     println!("\nthe dynamic strategy needs no tuning and no workload knowledge a priori.");
 }

@@ -8,8 +8,8 @@
 //! ```
 
 use cackle::model::QueryArrival;
-use cackle::system::{run_system, SystemConfig};
-use cackle::MetaStrategy;
+use cackle::system::run_system;
+use cackle::RunSpec;
 use cackle_prng::Pcg32;
 use cackle_tpch::profiles::profile_set;
 
@@ -43,12 +43,8 @@ fn main() {
     }
     workload.sort_by_key(|q| q.at_s);
 
-    let cfg = SystemConfig {
-        record_timeseries: true,
-        ..Default::default()
-    };
-    let mut strategy = MetaStrategy::new(&cfg.env);
-    let r = run_system(&workload, &mut strategy, &cfg);
+    let spec = RunSpec::new().with_timeseries(true);
+    let r = run_system(&workload, &spec);
     let ts = r.timeseries.as_ref().expect("recorded");
 
     println!("minute | demand(max) target active  (# = active VMs, + = pool overflow)");

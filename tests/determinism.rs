@@ -3,11 +3,12 @@
 //! This is the behavioural counterpart of the `cackle-lint` rules — the
 //! lints forbid the *sources* of nondeterminism (host clocks, entropy
 //! seeding, hash-order iteration); this test checks the *outcome*: the
-//! same seed produces the same report, byte for byte, run to run.
+//! same seed produces the same report — and the same telemetry dump —
+//! byte for byte, run to run.
 
-use cackle::model::{build_workload, run_model, ModelOptions};
-use cackle::system::{run_system, SystemConfig};
-use cackle::{Env, FamilyConfig, MetaStrategy, RunResult};
+use cackle::model::{build_workload, run_model_with};
+use cackle::system::{run_system, run_system_with};
+use cackle::{Env, FamilyConfig, MetaStrategy, RunResult, RunSpec, Telemetry};
 use cackle_tpch::profiles::profile_set;
 use cackle_workload::arrivals::WorkloadSpec;
 
@@ -36,15 +37,11 @@ fn workload(seed: u64) -> Vec<cackle::QueryArrival> {
 
 #[test]
 fn model_runs_are_byte_identical_across_repeats() {
-    let env = Env::default();
-    let opts = ModelOptions {
-        record_timeseries: true,
-        compute_only: false,
-    };
+    let spec = RunSpec::new().with_timeseries(true);
     let run = || {
         let w = workload(11);
-        let mut s = strategy(&env);
-        report(&run_model(&w, &mut s, &env, opts))
+        let mut s = strategy(&spec.env);
+        report(&run_model_with(&w, &mut s, &spec))
     };
     let first = run();
     let second = run();
@@ -55,18 +52,18 @@ fn model_runs_are_byte_identical_across_repeats() {
     // A different seed must actually change the report, or the check
     // above is vacuous.
     let w = workload(12);
-    let mut s = strategy(&env);
-    let other = report(&run_model(&w, &mut s, &env, opts));
+    let mut s = strategy(&spec.env);
+    let other = report(&run_model_with(&w, &mut s, &spec));
     assert!(first != other, "seed change did not move the report");
 }
 
 #[test]
 fn system_runs_are_byte_identical_across_repeats() {
-    let cfg = SystemConfig::default();
+    let spec = RunSpec::new();
     let run = || {
         let w = workload(13);
-        let mut s = strategy(&cfg.env);
-        report(&run_system(&w, &mut s, &cfg))
+        let mut s = strategy(&spec.env);
+        report(&run_system_with(&w, &mut s, &spec))
     };
     let first = run();
     let second = run();
@@ -74,4 +71,36 @@ fn system_runs_are_byte_identical_across_repeats() {
         first == second,
         "system reports diverged:\n--- a\n{first}\n--- b\n{second}"
     );
+}
+
+#[test]
+fn golden_telemetry_dumps_are_byte_identical() {
+    // The tentpole guarantee of the telemetry crate: an identically-seeded
+    // run produces a byte-identical JSONL dump — every counter, gauge,
+    // histogram bucket, series point, cost cell, and trace event included.
+    let dump = |seed: u64| {
+        let w = workload(seed);
+        let t = Telemetry::new();
+        let spec = RunSpec::new().with_strategy("dynamic").with_telemetry(&t);
+        run_system(&w, &spec);
+        t.export_jsonl()
+    };
+    let first = dump(17);
+    let second = dump(17);
+    assert!(!first.is_empty());
+    assert!(
+        first == second,
+        "telemetry dumps diverged (lengths {} vs {})",
+        first.len(),
+        second.len()
+    );
+    // A seed change must move the dump, or the comparison is vacuous.
+    let other = dump(18);
+    assert!(
+        first != other,
+        "seed change did not move the telemetry dump"
+    );
+    // And the dump passes the format checker that CI runs on example output.
+    let errors = cackle_telemetry::check::check_dump(&first);
+    assert!(errors.is_empty(), "{errors:?}");
 }

@@ -3,10 +3,10 @@
 //! provisioning strategies, the analytical model, the full system, and the
 //! comparators — the paper's claims checked end-to-end at test scale.
 
-use cackle::model::{build_workload, run_model, workload_curves, ModelOptions};
+use cackle::model::{build_workload, run_model, run_model_with, workload_curves};
 use cackle::oracle::{oracle_cost, oracle_cost_without_pool};
-use cackle::system::{run_system, SystemConfig};
-use cackle::{make_strategy, Env, FamilyConfig, MetaStrategy};
+use cackle::system::run_system_with;
+use cackle::{Env, FamilyConfig, MetaStrategy, RunSpec};
 use cackle_comparators::{run_databricks, DatabricksConfig, WarehouseSize};
 use cackle_tpch::dbgen::{generate_catalog, DbGenConfig};
 use cackle_tpch::profiles::{measured_profile, profile_set};
@@ -25,6 +25,10 @@ fn workload(n: usize, seed: u64) -> Vec<cackle::QueryArrival> {
     build_workload(&WorkloadSpec::hour_long(n, seed), &mix())
 }
 
+fn compute_only(label: &str) -> RunSpec {
+    RunSpec::new().with_strategy(label).with_compute_only(true)
+}
+
 #[test]
 fn paper_claim_dynamic_beats_both_fixed_extremes() {
     // The core pitch (§1): fixed over-provisioning pays for idle VMs,
@@ -32,22 +36,14 @@ fn paper_claim_dynamic_beats_both_fixed_extremes() {
     // both on a cyclical workload.
     let env = Env::default();
     let w = workload(600, 3);
-    let opts = ModelOptions {
-        record_timeseries: false,
-        compute_only: true,
-    };
 
-    let pool_only = {
-        let mut s = make_strategy("fixed_0", &env);
-        run_model(&w, s.as_mut(), &env, opts).compute.total()
-    };
-    let over = {
-        let mut s = make_strategy("fixed_500", &env);
-        run_model(&w, s.as_mut(), &env, opts).compute.total()
-    };
+    let pool_only = run_model(&w, &compute_only("fixed_0")).compute.total();
+    let over = run_model(&w, &compute_only("fixed_500")).compute.total();
     let dynamic = {
         let mut s = small_dynamic(&env);
-        run_model(&w, &mut s, &env, opts).compute.total()
+        run_model_with(&w, &mut s, &compute_only("dynamic"))
+            .compute
+            .total()
     };
     assert!(
         dynamic < pool_only,
@@ -62,13 +58,8 @@ fn paper_claim_oracle_bounds_everything() {
     let w = workload(400, 4);
     let curves = workload_curves(&w);
     let oracle = oracle_cost(&curves.demand.samples, &env).total();
-    let opts = ModelOptions {
-        record_timeseries: false,
-        compute_only: true,
-    };
     for label in ["fixed_0", "fixed_100", "mean_1", "mean_2", "predictive"] {
-        let mut s = make_strategy(label, &env);
-        let c = run_model(&w, s.as_mut(), &env, opts).compute.total();
+        let c = run_model(&w, &compute_only(label)).compute.total();
         assert!(oracle <= c + 1e-9, "{label}: oracle {oracle} > {c}");
     }
     // And removing the pool can only cost more.
@@ -83,16 +74,8 @@ fn paper_claim_latency_stays_stable_while_delaying_systems_cliff() {
     let env = Env::default();
     let w = workload(500, 5);
     let mut s = small_dynamic(&env);
-    let cackle_run = run_model(
-        &w,
-        &mut s,
-        &env,
-        ModelOptions {
-            record_timeseries: false,
-            compute_only: true,
-        },
-    );
-    let starved = cackle::delaying::run_delaying(&w, 8, &env);
+    let cackle_run = run_model_with(&w, &mut s, &compute_only("dynamic"));
+    let starved = cackle::delaying::run_delaying(&w, 8, &RunSpec::new());
     assert!(
         starved.latency_percentile(95.0) > cackle_run.latency_percentile(95.0) * 3.0,
         "delaying p95 {} vs cackle p95 {}",
@@ -107,15 +90,14 @@ fn model_predicts_real_system_cost_within_reason() {
     // system's measured cost despite runtime noise and feedback.
     let env = Env::default();
     let w = workload(400, 6);
-    let opts = ModelOptions {
-        record_timeseries: false,
-        compute_only: true,
-    };
     let mut ms = small_dynamic(&env);
-    let model = run_model(&w, &mut ms, &env, opts).compute.total();
-    let cfg = SystemConfig::default();
+    let model = run_model_with(&w, &mut ms, &compute_only("dynamic"))
+        .compute
+        .total();
     let mut ss = small_dynamic(&env);
-    let real = run_system(&w, &mut ss, &cfg).compute.total();
+    let real = run_system_with(&w, &mut ss, &RunSpec::new())
+        .compute
+        .total();
     let ratio = model / real;
     assert!(
         (0.5..2.0).contains(&ratio),
@@ -140,17 +122,7 @@ fn measured_profiles_flow_into_the_model() {
             profile: profile.clone(),
         })
         .collect();
-    let env = Env::default();
-    let mut s = make_strategy("mean_1", &env);
-    let r = run_model(
-        &w,
-        s.as_mut(),
-        &env,
-        ModelOptions {
-            record_timeseries: false,
-            compute_only: false,
-        },
-    );
+    let r = run_model(&w, &RunSpec::new().with_strategy("mean_1"));
     assert_eq!(r.latencies.len(), 50);
     assert!(r.compute.total() > 0.0);
 }
@@ -182,15 +154,9 @@ fn comparators_run_the_same_workload_shape() {
 fn shuffle_layer_costs_scale_with_query_volume() {
     // §5.6: more queries, more requests; the provisioned node floor keeps
     // the request overflow bounded.
-    let env = Env::default();
-    let small = {
-        let mut s = make_strategy("mean_1", &env);
-        run_model(&workload(100, 8), s.as_mut(), &env, ModelOptions::default())
-    };
-    let large = {
-        let mut s = make_strategy("mean_1", &env);
-        run_model(&workload(800, 8), s.as_mut(), &env, ModelOptions::default())
-    };
+    let spec = RunSpec::new().with_strategy("mean_1");
+    let small = run_model(&workload(100, 8), &spec);
+    let large = run_model(&workload(800, 8), &spec);
     assert!(large.shuffle.total() >= small.shuffle.total());
     assert!(large.shuffle.node_cost > 0.0);
 }
@@ -200,15 +166,11 @@ fn cost_per_query_stability_band() {
     // Figure 14's headline: Cackle's cost per query stays within a modest
     // band across an order of magnitude of workload sizes.
     let env = Env::default();
-    let opts = ModelOptions {
-        record_timeseries: false,
-        compute_only: true,
-    };
     let mut costs = Vec::new();
     for n in [200usize, 600, 1800] {
         let w = workload(n, 9);
         let mut s = small_dynamic(&env);
-        let r = run_model(&w, &mut s, &env, opts);
+        let r = run_model_with(&w, &mut s, &compute_only("dynamic"));
         costs.push(r.compute.total() / n as f64);
     }
     let max = costs.iter().cloned().fold(f64::MIN, f64::max);
