@@ -21,4 +21,9 @@ cargo run -q --release --example quickstart
 cargo run -q --release -p cackle-telemetry --bin telemetry-check -- \
     results/quickstart_telemetry.jsonl
 
+echo "==> chaos smoke (seeded fault plan, bounded recovery)"
+cargo run -q --release --example fault_injection
+cargo run -q --release -p cackle-telemetry --bin telemetry-check -- \
+    results/fault_injection_telemetry.jsonl
+
 echo "CI gate passed."

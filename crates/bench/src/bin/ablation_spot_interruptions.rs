@@ -1,11 +1,12 @@
 //! Extension experiment: spot reclamation resilience. The paper provisions
 //! spot instances (§7.1.2) but never models interruptions; Cackle's elastic
-//! pool gives a natural recovery path — a reclaimed task restarts on the
+//! pool gives a natural recovery path — a reclaimed task re-executes on the
 //! pool instead of queueing for replacement hardware. Sweep the
-//! interruption rate and measure the latency and cost impact.
+//! interruption rate through the fault plan (`crates/faults`) and measure
+//! the latency and cost impact plus the recovery work performed.
 
 use cackle::system::run_system_with;
-use cackle::{MetaStrategy, RunSpec};
+use cackle::{FaultSpec, MetaStrategy, RunSpec, Telemetry};
 use cackle_bench::*;
 
 fn main() {
@@ -18,10 +19,15 @@ fn main() {
             "p95_latency_s",
             "vm_cost",
             "pool_cost",
+            "reclaims",
+            "reexecs",
         ],
     );
     for rate in [0.0f64, 0.1, 0.5, 2.0, 6.0] {
-        let spec = RunSpec::new().with_spot_interruptions(rate);
+        let telemetry = Telemetry::new();
+        let spec = RunSpec::new()
+            .with_faults(FaultSpec::default().with_spot_reclaims(rate))
+            .with_telemetry(&telemetry);
         let mut s = MetaStrategy::new(&spec.env);
         let r = run_system_with(&w, &mut s, &spec);
         t.row_strings(vec![
@@ -30,10 +36,12 @@ fn main() {
             secs(r.latency_percentile(95.0)),
             usd(r.compute.vm_cost),
             usd(r.compute.pool_cost),
+            telemetry.counter("fault.spot_reclaims_total").to_string(),
+            telemetry.counter("recovery.task_reexecs_total").to_string(),
         ]);
         eprintln!("  done rate={rate}");
     }
     t.emit("ablation_spot_interruptions");
     println!("queries never queue for replacement hardware: reclaimed tasks");
-    println!("restart on the pool, so tail latency degrades gracefully.");
+    println!("re-execute on the pool, so tail latency degrades gracefully.");
 }

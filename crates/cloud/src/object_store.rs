@@ -13,6 +13,7 @@
 use crate::ledger::{CostCategory, CostLedger};
 use crate::pricing::Pricing;
 use bytes_shim::Bytes;
+use cackle_faults::{FaultInjector, StoreOp};
 use std::collections::BTreeMap;
 use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -41,12 +42,19 @@ fn lock_ledger(l: &Mutex<CostLedger>) -> MutexGuard<'_, CostLedger> {
     l.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+fn lock_faults(l: &Mutex<FaultInjector>) -> MutexGuard<'_, FaultInjector> {
+    l.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// A shared, internally synchronized object store with request billing.
 #[derive(Debug)]
 pub struct ObjectStore {
     pricing: Pricing,
     objects: RwLock<BTreeMap<String, Bytes>>,
     ledger: Mutex<CostLedger>,
+    /// Fault plan consulted per request (disabled by default); see
+    /// [`ObjectStore::inject_faults`].
+    faults: Mutex<FaultInjector>,
 }
 
 impl ObjectStore {
@@ -56,6 +64,7 @@ impl ObjectStore {
             pricing,
             objects: RwLock::new(BTreeMap::new()),
             ledger: Mutex::new(CostLedger::new()),
+            faults: Mutex::new(FaultInjector::disabled()),
         }
     }
 
@@ -65,23 +74,42 @@ impl ObjectStore {
         lock_ledger(&self.ledger).instrument("store", telemetry);
     }
 
-    /// PUT an object, billing one request.
+    /// Consult `faults` on every subsequent request: an injected
+    /// transient 5xx is recovered in-store by bounded retry (the fault
+    /// plan guarantees transients clear within the policy's retry
+    /// bound), with each failed attempt billed as a real request — S3
+    /// bills errored requests too. Set before sharing the store.
+    pub fn inject_faults(&self, faults: &FaultInjector) {
+        *lock_faults(&self.faults) = faults.clone();
+    }
+
+    /// Attempts (1 + injected transient failures) for one request.
+    fn attempts(&self, op: StoreOp) -> u64 {
+        lock_faults(&self.faults).store_attempts(op)
+    }
+
+    /// PUT an object, billing one request per attempt (injected
+    /// transient errors retry internally and each attempt bills).
     pub fn put(&self, key: &str, data: Vec<u8>) {
+        let attempts = self.attempts(StoreOp::Put);
         let len = data.len() as u64;
         write_objects(&self.objects).insert(key.to_string(), Bytes::from(data));
         let mut l = lock_ledger(&self.ledger);
-        l.charge(CostCategory::S3Put, self.pricing.s3_put);
-        l.put_requests += 1;
+        l.charge_requests(CostCategory::S3Put, attempts, self.pricing.s3_put);
+        l.put_requests += attempts;
         l.bytes_put += len;
     }
 
-    /// GET an object, billing one request. Returns `None` (still billed,
-    /// as S3 bills failed GETs) when the key does not exist.
+    /// GET an object, billing one request per attempt. Returns `None`
+    /// (still billed, as S3 bills failed GETs) when the key does not
+    /// exist; injected transient errors retry internally and each
+    /// attempt bills.
     pub fn get(&self, key: &str) -> Option<Bytes> {
+        let attempts = self.attempts(StoreOp::Get);
         let out = read_objects(&self.objects).get(key).cloned();
         let mut l = lock_ledger(&self.ledger);
-        l.charge(CostCategory::S3Get, self.pricing.s3_get);
-        l.get_requests += 1;
+        l.charge_requests(CostCategory::S3Get, attempts, self.pricing.s3_get);
+        l.get_requests += attempts;
         if let Some(b) = &out {
             l.bytes_get += b.len() as u64;
         }
@@ -170,6 +198,34 @@ mod tests {
         // Deletes added no request charges beyond the 5 PUTs.
         assert_eq!(s.ledger().put_requests, 5);
         assert_eq!(s.ledger().get_requests, 0);
+    }
+
+    #[test]
+    fn injected_transient_errors_bill_extra_requests_and_recover() {
+        use cackle_faults::{FaultPlan, FaultSpec, RecoveryPolicy};
+        let s = ObjectStore::new(Pricing::default());
+        let spec = FaultSpec::default().with_store_errors(0.6, 0.6);
+        let inj = FaultInjector::new(
+            FaultPlan::compile(&spec, 13).unwrap(),
+            RecoveryPolicy::default().with_max_retries(3),
+        );
+        s.inject_faults(&inj);
+        for i in 0..50 {
+            s.put(&format!("k{i}"), vec![7; 4]);
+            assert!(s.get(&format!("k{i}")).is_some(), "every GET recovers");
+        }
+        let l = s.ledger();
+        // Transient errors retried: more billed requests than operations,
+        // bounded by 1 + max_retries attempts each.
+        assert!(l.put_requests > 50 && l.put_requests <= 200, "{}", {
+            l.put_requests
+        });
+        assert!(l.get_requests > 50 && l.get_requests <= 200, "{}", {
+            l.get_requests
+        });
+        // Payload accounting is per-operation, not per-attempt.
+        assert_eq!(l.bytes_put, 200);
+        assert_eq!(l.bytes_get, 200);
     }
 
     #[test]

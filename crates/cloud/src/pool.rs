@@ -8,6 +8,7 @@
 use crate::ledger::{CostCategory, CostLedger};
 use crate::pricing::Pricing;
 use crate::time::{SimDuration, SimTime};
+use cackle_faults::{FaultInjector, PoolDecision};
 use cackle_telemetry::Telemetry;
 use std::collections::BTreeMap;
 
@@ -60,6 +61,29 @@ impl ElasticPool {
         self.peak_concurrency = self.peak_concurrency.max(self.active.len());
         self.telemetry.counter_add("pool.invocations_total", 1);
         (id, start)
+    }
+
+    /// [`ElasticPool::invoke`], consulting a fault plan first. An
+    /// injected throttle delays the slot's start (the provider does not
+    /// bill queue time, so billing begins at the delayed start); an
+    /// injected failure consumes no slot and returns `None`, and the
+    /// caller retries under its recovery policy or surfaces a typed
+    /// error once the retry bound is exhausted.
+    pub fn invoke_faulted(
+        &mut self,
+        now: SimTime,
+        faults: &FaultInjector,
+    ) -> Option<(InvocationId, SimTime)> {
+        match faults.pool_invoke() {
+            PoolDecision::Fail => None,
+            PoolDecision::Throttle { delay_ms } => {
+                let (id, start) = self.invoke(now);
+                let delayed = start + SimDuration::from_millis(delay_ms);
+                self.active.insert(id, delayed);
+                Some((id, delayed))
+            }
+            PoolDecision::Proceed => Some(self.invoke(now)),
+        }
     }
 
     /// Complete an invocation at `now`, billing its actual runtime at
@@ -143,6 +167,52 @@ mod tests {
         p.complete(SimTime::from_secs(5), b);
         assert_eq!(p.peak_concurrency(), 2);
         assert_eq!(p.invocations_total(), 3);
+    }
+
+    #[test]
+    fn faulted_invoke_throttles_and_fails_deterministically() {
+        use cackle_faults::{FaultPlan, FaultSpec, RecoveryPolicy};
+        // Disabled injector: identical to a plain invoke.
+        let mut p = ElasticPool::new(Pricing::default());
+        let (_, start) = p
+            .invoke_faulted(SimTime::from_secs(10), &FaultInjector::disabled())
+            .unwrap();
+        assert_eq!(
+            start,
+            SimTime::from_secs(10) + SimDuration::from_millis(100)
+        );
+        // Throttle-only plan: every invoke starts late and bills from the
+        // delayed start; failure-only plan: invokes fail without billing.
+        let throttled = FaultSpec::default().with_pool_throttles(0.95, 700);
+        let inj = FaultInjector::new(
+            FaultPlan::compile(&throttled, 3).unwrap(),
+            RecoveryPolicy::default(),
+        );
+        let mut p = ElasticPool::new(Pricing::default());
+        let mut saw_throttle = false;
+        for _ in 0..20 {
+            let (id, start) = p.invoke_faulted(SimTime::ZERO, &inj).unwrap();
+            if start == SimTime::from_millis(800) {
+                saw_throttle = true;
+            }
+            // Billing starts at the (possibly delayed) start time.
+            assert_eq!(p.complete(start + SimDuration::from_secs(1), id), {
+                SimDuration::from_secs(1)
+            });
+        }
+        assert!(saw_throttle, "p=0.95 throttles never fired");
+        let failing = FaultSpec::default().with_pool_invoke_failures(0.95);
+        let inj = FaultInjector::new(
+            FaultPlan::compile(&failing, 3).unwrap(),
+            RecoveryPolicy::default(),
+        );
+        let mut p = ElasticPool::new(Pricing::default());
+        let failures = (0..20)
+            .filter(|_| p.invoke_faulted(SimTime::ZERO, &inj).is_none())
+            .count();
+        assert!(failures > 0, "p=0.95 failures never fired");
+        assert_eq!(p.invocations_total(), 20 - failures as u64);
+        assert_eq!(p.ledger().total(), 0.0);
     }
 
     #[test]

@@ -264,10 +264,17 @@ impl VmFleet {
     /// Spot-interruption sweep (the §7.2 ablation): every running VM is
     /// independently reclaimed with probability `per_vm_probability`,
     /// drawn from the caller's seed-threaded generator so the sweep is
-    /// reproducible. Returns the reclaimed ids in deterministic (id)
-    /// order; the caller reschedules their tasks.
+    /// reproducible. The provider reclaims at some instant inside the
+    /// swept window `[window_start, now]`, not at the sweep boundary: a
+    /// reclaimed-while-idle VM stops accruing billing at its drawn
+    /// reclaim time instead of quietly billing until the caller's next
+    /// tick. Busy VMs bill to `now` — their task only reschedules when
+    /// the sweep runs, so the slot genuinely ran that long. Returns the
+    /// reclaimed ids in deterministic (id) order; the caller reschedules
+    /// their tasks.
     pub fn reclaim_random(
         &mut self,
+        window_start: SimTime,
         now: SimTime,
         per_vm_probability: f64,
         rng: &mut cackle_prng::Pcg32,
@@ -275,10 +282,26 @@ impl VmFleet {
         let ids: Vec<VmId> = self.running.keys().copied().collect();
         let mut reclaimed = Vec::new();
         for id in ids {
-            if rng.gen_bool(per_vm_probability) {
-                self.reclaim(now, id);
-                reclaimed.push(id);
+            if !rng.gen_bool(per_vm_probability) {
+                continue;
             }
+            let at = match self.running.get(&id) {
+                Some(vm) if !vm.busy => {
+                    // Draw the exact reclaim instant inside the window,
+                    // clamped so a VM started mid-window never bills a
+                    // negative interval.
+                    let span = (now - window_start).as_millis();
+                    let offset = if span == 0 {
+                        0
+                    } else {
+                        rng.gen_range(0..=span)
+                    };
+                    (window_start + SimDuration::from_millis(offset)).max(vm.started_at)
+                }
+                _ => now,
+            };
+            self.reclaim(at, id);
+            reclaimed.push(id);
         }
         reclaimed
     }
@@ -425,6 +448,43 @@ mod tests {
         // Reclaiming an unknown id is a no-op.
         f.reclaim(SimTime::from_secs(401), vm);
         assert_eq!(f.terminated_total(), 1);
+    }
+
+    #[test]
+    fn idle_reclaim_bills_at_drawn_time_not_sweep_boundary() {
+        let mut f = fleet();
+        f.set_target(SimTime::ZERO, 1);
+        f.poll(SimTime::from_secs(180));
+        // Idle VM swept with p=1 over the window [600, 900]: billing must
+        // stop at the drawn reclaim instant inside the window. Billing at
+        // the sweep boundary instead would charge the full 720 s.
+        let mut rng = cackle_prng::Pcg32::seed_from_u64(42);
+        let reclaimed = f.reclaim_random(
+            SimTime::from_secs(600),
+            SimTime::from_secs(900),
+            1.0,
+            &mut rng,
+        );
+        assert_eq!(reclaimed.len(), 1);
+        let billed = f.ledger().vm_seconds;
+        assert!(
+            (420.0..720.0).contains(&billed),
+            "idle VM billed {billed}s: reclaim must land inside the window"
+        );
+        // A busy VM, by contrast, bills to the sweep boundary: its task
+        // only reschedules once the sweep observes the reclaim.
+        let mut f = fleet();
+        f.set_target(SimTime::ZERO, 1);
+        f.poll(SimTime::from_secs(180));
+        f.try_assign(SimTime::from_secs(180)).unwrap();
+        let mut rng = cackle_prng::Pcg32::seed_from_u64(42);
+        f.reclaim_random(
+            SimTime::from_secs(600),
+            SimTime::from_secs(900),
+            1.0,
+            &mut rng,
+        );
+        assert!((f.ledger().vm_seconds - 720.0).abs() < 1e-9);
     }
 
     #[test]

@@ -160,7 +160,7 @@ fn reclaim_random_deterministic() {
         let now = SimTime::from_secs(200);
         fleet.poll(now);
         let mut rng = Pcg32::seed_from_u64(seed);
-        fleet.reclaim_random(now, 0.4, &mut rng)
+        fleet.reclaim_random(SimTime::from_secs(100), now, 0.4, &mut rng)
     };
     assert_eq!(run(5), run(5));
     let reclaimed = run(5);
@@ -169,7 +169,12 @@ fn reclaim_random_deterministic() {
     fleet.set_target(SimTime::ZERO, 8);
     fleet.poll(SimTime::from_secs(200));
     let mut rng = Pcg32::seed_from_u64(5);
-    let swept = fleet.reclaim_random(SimTime::from_secs(200), 0.4, &mut rng);
+    let swept = fleet.reclaim_random(
+        SimTime::from_secs(100),
+        SimTime::from_secs(200),
+        0.4,
+        &mut rng,
+    );
     assert_eq!(swept, reclaimed);
     assert_eq!(fleet.running_count(), 8 - swept.len());
 }

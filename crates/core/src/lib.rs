@@ -59,9 +59,9 @@ pub use transport::HybridShuffle;
 /// sinks without depending on `cackle-telemetry` directly.
 pub use cackle_telemetry::{Histogram, Registry, Telemetry, TraceEvent};
 
-#[allow(deprecated)]
-pub use live::{run_live_with_config, LiveConfig, LiveResult};
-#[allow(deprecated)]
-pub use model::{run_model_with_options, ModelOptions};
-#[allow(deprecated)]
-pub use system::{run_system_with_config, SystemConfig};
+/// Re-export of the fault-injection crate: plan specs, recovery policy,
+/// and the injector handle runners consult.
+pub use cackle_faults::{
+    FaultError, FaultInjector, FaultPlan, FaultSpec, InjectionPoint, PoolDecision, RecoveryPolicy,
+    StoreOp,
+};

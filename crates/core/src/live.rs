@@ -16,8 +16,17 @@
 //! Entry points mirror the other runners: [`run_live`] takes a
 //! [`RunSpec`] and returns the shared [`RunResult`]; [`run_live_collect`]
 //! additionally gathers each query's output batches.
+//!
+//! Fault injection (`crates/faults`): the spec's plan drives straggler
+//! slowdowns, pool invoke failures/throttles (bounded retry with
+//! deterministic backoff; exhaustion surfaces
+//! [`RunError::FaultUnrecovered`] through [`try_run_live`]), object-store
+//! transient errors (retried and billed inside [`ObjectStore`]), and
+//! transport drops (recovered by S3 fallback on writes and bounded
+//! retries on reads). Spot reclaims and duplicate launches are
+//! system-runner-only: live tasks execute eagerly at launch, so there is
+//! no mid-flight copy to reclaim or duplicate.
 
-use crate::config::Env;
 use crate::factory::try_make_strategy;
 use crate::history::WorkloadHistory;
 use crate::report::{ComputeCost, RunResult, ShuffleCost, Timeseries};
@@ -34,6 +43,7 @@ use cackle_engine::plan::StageDag;
 use cackle_engine::shuffle::ShuffleTransport;
 use cackle_engine::table::Catalog;
 use cackle_engine::task::{execute_task, TaskContext};
+use cackle_faults::InjectionPoint;
 use std::sync::Arc;
 
 /// A query to run live: arrival time plus its physical plan.
@@ -43,42 +53,6 @@ pub struct LiveQuery {
     pub at_s: u64,
     /// The plan to execute.
     pub plan: Arc<StageDag>,
-}
-
-/// Configuration for a live run, superseded by [`RunSpec`].
-#[deprecated(note = "use RunSpec with run_live / run_live_collect")]
-pub struct LiveConfig {
-    /// Cloud environment.
-    pub env: Env,
-    /// Rows one task processes per simulated second (matches
-    /// `cackle_tpch::profiles::ROWS_PER_TASK_SECOND` by default).
-    pub rows_per_task_second: f64,
-    /// Pool tasks run this factor slower than VM tasks (§7.1.2).
-    pub pool_slowdown: f64,
-    /// Keep gathered query results (memory-heavy for big workloads).
-    pub keep_results: bool,
-}
-
-#[allow(deprecated)]
-impl Default for LiveConfig {
-    fn default() -> Self {
-        LiveConfig {
-            env: Env::default(),
-            rows_per_task_second: 400_000.0,
-            pool_slowdown: 1.25,
-            keep_results: false,
-        }
-    }
-}
-
-/// Result of a live run under the old API, superseded by [`RunResult`]
-/// plus [`run_live_collect`]'s batch vector.
-#[deprecated(note = "run_live returns RunResult; use run_live_collect for batches")]
-pub struct LiveResult {
-    /// Costs, latencies, series.
-    pub run: RunResult,
-    /// Final gathered batches per query (empty unless `keep_results`).
-    pub results: Vec<Vec<Batch>>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -93,6 +67,14 @@ enum Ev {
         query: usize,
         stage: usize,
         slot: Slot,
+    },
+    /// Retry a pool launch whose invoke was failed by the fault plan,
+    /// after deterministic backoff.
+    PoolLaunch {
+        query: usize,
+        stage: usize,
+        dur: f64,
+        attempt: u32,
     },
     Second,
     Tick,
@@ -170,10 +152,13 @@ pub fn try_run_live(
     spec.validate()?;
     validate_live_workload(workload)?;
     let mut strategy = try_make_strategy(&spec.strategy, &spec.env)?;
-    Ok(run_live_inner(workload, catalog, strategy.as_mut(), spec, false).0)
+    run_live_inner(workload, catalog, strategy.as_mut(), spec, false).map(|(run, _)| run)
 }
 
 /// Execute a live workload under an explicitly constructed strategy.
+/// Returns the default (empty) result on a malformed spec/workload or an
+/// unrecovered injected fault — use [`try_run_live`] to observe those as
+/// errors.
 pub fn run_live_with(
     workload: &[LiveQuery],
     catalog: &Catalog,
@@ -187,7 +172,9 @@ pub fn run_live_with(
     if outcome.is_err() {
         return RunResult::default();
     }
-    run_live_inner(workload, catalog, strategy, spec, false).0
+    run_live_inner(workload, catalog, strategy, spec, false)
+        .map(|(run, _)| run)
+        .unwrap_or_default()
 }
 
 /// [`run_live_with`], additionally gathering each query's final output
@@ -206,31 +193,7 @@ pub fn run_live_collect(
         return (RunResult::default(), vec![Vec::new(); workload.len()]);
     }
     run_live_inner(workload, catalog, strategy, spec, true)
-}
-
-/// Pre-`RunSpec` entry point, kept for callers still on [`LiveConfig`].
-#[deprecated(note = "use run_live(workload, catalog, &RunSpec) or run_live_collect")]
-#[allow(deprecated)]
-pub fn run_live_with_config(
-    workload: &[LiveQuery],
-    catalog: &Catalog,
-    strategy: &mut dyn ProvisioningStrategy,
-    cfg: &LiveConfig,
-) -> LiveResult {
-    let spec = RunSpec::new()
-        .with_env(cfg.env.clone())
-        .with_rows_per_task_second(cfg.rows_per_task_second)
-        .with_pool_slowdown(cfg.pool_slowdown)
-        .with_timeseries(true);
-    let (run, results) = if cfg.keep_results {
-        run_live_collect(workload, catalog, strategy, &spec)
-    } else {
-        (
-            run_live_with(workload, catalog, strategy, &spec),
-            vec![Vec::new(); workload.len()],
-        )
-    };
-    LiveResult { run, results }
+        .unwrap_or_else(|_| (RunResult::default(), vec![Vec::new(); workload.len()]))
 }
 
 /// The shared event loop behind every live entry point.
@@ -244,13 +207,15 @@ fn run_live_inner(
     strategy: &mut dyn ProvisioningStrategy,
     spec: &RunSpec,
     keep_results: bool,
-) -> (RunResult, Vec<Vec<Batch>>) {
+) -> Result<(RunResult, Vec<Vec<Batch>>), RunError> {
     let env = &spec.env;
     let pricing = env.pricing.clone();
     let telemetry = spec.effective_telemetry();
     strategy.set_telemetry(&telemetry);
+    let faults = spec.fault_injector(&telemetry)?;
     let store = Arc::new(ObjectStore::new(pricing.clone()));
     store.instrument(&telemetry);
+    store.inject_faults(&faults);
     // Shuffle nodes sized by the provisioner's floor; the node count is
     // refreshed each second from the resident-state window like the
     // simulated system. For placement we rebuild capacity by adjusting a
@@ -262,7 +227,8 @@ fn run_live_inner(
         floor_nodes,
         pricing.shuffle_node_capacity_bytes,
         store.clone(),
-    );
+    )
+    .with_faults(&faults);
 
     let mut events: EventQueue<Ev> = EventQueue::new();
     let mut fleet = VmFleet::new(pricing.clone());
@@ -294,6 +260,7 @@ fn run_live_inner(
     let mut running = 0u32;
     let mut max_since = 0u32;
     let mut target = 0u32;
+    let mut fatal: Option<RunError> = None;
 
     for (i, q) in workload.iter().enumerate() {
         events.schedule(SimTime::from_secs(q.at_s), Ev::Arrive(i));
@@ -301,6 +268,48 @@ fn run_live_inner(
     if !workload.is_empty() {
         events.schedule(SimTime::ZERO, Ev::Second);
         events.schedule(SimTime::ZERO, Ev::Tick);
+    }
+
+    // Launch a task's simulated run on the pool; an injected invoke
+    // failure backs off deterministically and retries via Ev::PoolLaunch,
+    // surfacing RunError::FaultUnrecovered once the bound is exhausted.
+    macro_rules! pool_launch {
+        ($now:expr, $qi:expr, $si:expr, $dur:expr, $attempt:expr) => {{
+            match pool.invoke_faulted($now, &faults) {
+                Some((id, start)) => {
+                    events.schedule(
+                        start + SimDuration::from_secs_f64($dur),
+                        Ev::TaskDone {
+                            query: $qi,
+                            stage: $si,
+                            slot: Slot::Pool(id),
+                        },
+                    );
+                }
+                None => {
+                    let policy = faults.policy();
+                    if policy.allows_retry($attempt) {
+                        let backoff = policy.backoff_ms($attempt);
+                        faults.note_retry(backoff);
+                        events.schedule(
+                            $now + SimDuration::from_millis(backoff),
+                            Ev::PoolLaunch {
+                                query: $qi,
+                                stage: $si,
+                                dur: $dur,
+                                attempt: $attempt + 1,
+                            },
+                        );
+                    } else {
+                        faults.note_unrecovered(InjectionPoint::PoolInvoke);
+                        fatal = Some(RunError::FaultUnrecovered {
+                            point: InjectionPoint::PoolInvoke.as_str(),
+                            attempts: $attempt + 1,
+                        });
+                    }
+                }
+            }
+        }};
     }
 
     // Launch every task of a stage: execute the engine task NOW (bytes move
@@ -313,30 +322,35 @@ fn run_live_inner(
             for task in 0..tasks {
                 let mut ctx = TaskContext::new(plan, $si, task, $qi as u64, catalog, &shuffle);
                 ctx.telemetry = telemetry.clone();
+                ctx.faults = faults.clone();
                 let r = execute_task(&ctx);
                 if let Some(batches) = r.output {
                     if keep_results {
                         results[$qi].extend(batches);
                     }
                 }
-                let work_s = (r.rows_in.max(1) as f64 / spec.rows_per_task_second).max(0.2);
-                let (slot, start, dur) = match fleet.try_assign($now) {
-                    Some(id) => (Slot::Vm(id), $now, work_s),
-                    None => {
-                        let (id, start) = pool.invoke($now);
-                        (Slot::Pool(id), start, work_s * spec.pool_slowdown)
-                    }
-                };
+                // Straggler injection stretches the simulated duration
+                // (zero-rate plans make no draw at all).
+                let slowdown = faults.straggler().unwrap_or(1.0);
+                let work_s =
+                    (r.rows_in.max(1) as f64 / spec.rows_per_task_second).max(0.2) * slowdown;
                 running += 1;
                 max_since = max_since.max(running);
-                events.schedule(
-                    start + SimDuration::from_secs_f64(dur),
-                    Ev::TaskDone {
-                        query: $qi,
-                        stage: $si,
-                        slot,
-                    },
-                );
+                match fleet.try_assign($now) {
+                    Some(id) => {
+                        events.schedule(
+                            $now + SimDuration::from_secs_f64(work_s),
+                            Ev::TaskDone {
+                                query: $qi,
+                                stage: $si,
+                                slot: Slot::Vm(id),
+                            },
+                        );
+                    }
+                    None => {
+                        pool_launch!($now, $qi, $si, work_s * spec.pool_slowdown, 0);
+                    }
+                }
             }
         }};
     }
@@ -392,6 +406,14 @@ fn run_live_inner(
                     }
                 }
             }
+            Ev::PoolLaunch {
+                query,
+                stage,
+                dur,
+                attempt,
+            } => {
+                pool_launch!(now, query, stage, dur, attempt);
+            }
             Ev::Second => {
                 fleet.poll(now);
                 shuffle_fleet.poll(now);
@@ -423,6 +445,12 @@ fn run_live_inner(
                 }
             }
         }
+        if fatal.is_some() {
+            break;
+        }
+    }
+    if let Some(e) = fatal.take() {
+        return Err(e);
     }
 
     let end = SimTime::from_secs(history.len() as u64);
@@ -456,7 +484,7 @@ fn run_live_inner(
         strategy: strategy.name(),
         telemetry,
     };
-    (run, results)
+    Ok((run, results))
 }
 
 #[cfg(test)]

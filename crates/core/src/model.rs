@@ -92,16 +92,6 @@ pub fn workload_curves(workload: &[QueryArrival]) -> WorkloadCurves {
     c
 }
 
-/// Model knobs, superseded by [`RunSpec`].
-#[deprecated(note = "use RunSpec with run_model / run_model_with")]
-#[derive(Debug, Clone, Copy, Default)]
-pub struct ModelOptions {
-    /// Record per-second demand/target/active series (Figure 12).
-    pub record_timeseries: bool,
-    /// Skip the shuffle layer (compute-only experiments, Figures 5–10).
-    pub compute_only: bool,
-}
-
 /// Run the analytical model for a workload; the strategy comes from
 /// `spec.strategy`. Panics on a malformed label — use [`try_run_model`]
 /// to handle that gracefully.
@@ -135,26 +125,6 @@ pub fn run_model_with(
         .collect();
     record_query_telemetry(&result.telemetry, workload);
     result
-}
-
-/// Pre-`RunSpec` entry point, kept for callers still on [`ModelOptions`].
-#[deprecated(note = "use run_model(workload, &RunSpec) or run_model_with")]
-#[allow(deprecated)]
-pub fn run_model_with_options(
-    workload: &[QueryArrival],
-    strategy: &mut dyn ProvisioningStrategy,
-    env: &Env,
-    opts: ModelOptions,
-) -> RunResult {
-    run_model_with(workload, strategy, &spec_from_options(env, opts))
-}
-
-#[allow(deprecated)]
-fn spec_from_options(env: &Env, opts: ModelOptions) -> RunSpec {
-    RunSpec::new()
-        .with_env(env.clone())
-        .with_timeseries(opts.record_timeseries)
-        .with_compute_only(opts.compute_only)
 }
 
 /// Record per-query telemetry: arrival→completion spans and the latency
@@ -571,23 +541,6 @@ mod tests {
             try_run_model(&w, &bad_knob),
             Err(RunError::InvalidKnob { .. })
         ));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_options_shim_matches_spec_path() {
-        let w = vec![QueryArrival {
-            at_s: 0,
-            profile: profile(4, 30),
-        }];
-        let env = Env::default();
-        let mut a = FixedStrategy { vms: 2 };
-        let old = run_model_with_options(&w, &mut a, &env, ModelOptions::default());
-        let mut b = FixedStrategy { vms: 2 };
-        let new = run_model_with(&w, &mut b, &RunSpec::new());
-        assert_eq!(old.compute, new.compute);
-        assert_eq!(old.shuffle, new.shuffle);
-        assert_eq!(old.latencies, new.latencies);
     }
 
     #[test]

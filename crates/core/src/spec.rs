@@ -15,6 +15,7 @@
 //! return it instead of panicking on malformed input.
 
 use crate::config::Env;
+use cackle_faults::{FaultError, FaultInjector, FaultPlan, FaultSpec, RecoveryPolicy};
 use cackle_telemetry::Telemetry;
 use std::error::Error;
 use std::fmt;
@@ -55,6 +56,14 @@ pub struct RunSpec {
     /// Live runner only: task throughput used to convert row counts into
     /// simulated work seconds.
     pub rows_per_task_second: f64,
+    /// Fault injection plan spec (see `crates/faults`). All-zero by
+    /// default, which compiles to a guaranteed no-op; the legacy
+    /// [`RunSpec::spot_interruptions_per_vm_hour`] knob folds into it
+    /// (see [`RunSpec::effective_faults`]).
+    pub faults: FaultSpec,
+    /// How runners recover from injected faults: bounded retry with
+    /// deterministic backoff, straggler duplicate-launch.
+    pub recovery: RecoveryPolicy,
     /// Telemetry sink. Disabled by default; pass an enabled handle with
     /// [`RunSpec::with_telemetry`] to collect metrics, traces, and cost
     /// attribution (see `crates/telemetry`).
@@ -73,6 +82,8 @@ impl Default for RunSpec {
             record_timeseries: false,
             compute_only: false,
             rows_per_task_second: 400_000.0,
+            faults: FaultSpec::default(),
+            recovery: RecoveryPolicy::default(),
             telemetry: Telemetry::disabled(),
         }
     }
@@ -138,12 +149,48 @@ impl RunSpec {
         self
     }
 
+    /// Set the fault injection plan spec.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Set the recovery policy for injected faults.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
     /// Attach a telemetry sink. The handle is cheap to clone; keep a copy
     /// to export after the run, or read it back from
     /// [`RunResult::telemetry`](crate::RunResult).
     pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
         self.telemetry = telemetry.clone();
         self
+    }
+
+    /// The fault spec runners actually compile: [`RunSpec::faults`] with
+    /// the legacy spot-interruption knob folded in (the explicit fault
+    /// spec wins when both are set).
+    pub fn effective_faults(&self) -> FaultSpec {
+        let mut f = self.faults.clone();
+        if f.spot_reclaims_per_vm_hour == 0.0 {
+            f.spot_reclaims_per_vm_hour = self.spot_interruptions_per_vm_hour;
+        }
+        f
+    }
+
+    /// Compile the effective fault spec into an injector seeded from
+    /// [`RunSpec::seed`] and instrumented on `telemetry`. An all-zero
+    /// spec yields a disabled handle, keeping the no-fault path
+    /// bit-identical to a run without the subsystem.
+    pub fn fault_injector(&self, telemetry: &Telemetry) -> Result<FaultInjector, RunError> {
+        let faults = self.effective_faults();
+        if faults.is_zero() {
+            return Ok(FaultInjector::disabled());
+        }
+        let plan = FaultPlan::compile(&faults, self.seed)?;
+        Ok(FaultInjector::new(plan, self.recovery).instrumented(telemetry))
     }
 
     /// The sink runners actually record into: the attached sink when one
@@ -177,6 +224,8 @@ impl RunSpec {
                 return Err(RunError::InvalidKnob { name, value });
             }
         }
+        self.effective_faults().validate()?;
+        self.recovery.validate()?;
         Ok(())
     }
 }
@@ -196,6 +245,23 @@ pub enum RunError {
     /// The workload itself is malformed (e.g. a stage depends on a stage
     /// index that does not exist).
     InvalidWorkload(String),
+    /// An injected fault exhausted its recovery bound (e.g. every pool
+    /// invoke retry failed). The run aborts with the injection point and
+    /// the number of attempts made rather than panicking or hanging.
+    FaultUnrecovered {
+        /// Injection point name, e.g. `pool.invoke`.
+        point: &'static str,
+        /// Attempts made before giving up (first try + retries).
+        attempts: u32,
+    },
+}
+
+impl From<FaultError> for RunError {
+    fn from(e: FaultError) -> Self {
+        match e {
+            FaultError::InvalidRate { knob, value } => RunError::InvalidKnob { name: knob, value },
+        }
+    }
 }
 
 impl fmt::Display for RunError {
@@ -208,6 +274,12 @@ impl fmt::Display for RunError {
                 write!(f, "invalid value {value} for knob '{name}'")
             }
             RunError::InvalidWorkload(why) => write!(f, "invalid workload: {why}"),
+            RunError::FaultUnrecovered { point, attempts } => {
+                write!(
+                    f,
+                    "injected fault at '{point}' unrecovered after {attempts} attempts"
+                )
+            }
         }
     }
 }

@@ -17,8 +17,19 @@
 //! pointing at missing stages, dependency cycles, empty or task-less
 //! profiles) are rejected up front rather than hanging or underflowing the
 //! event loop.
+//!
+//! Fault injection: the spec's [`FaultSpec`](cackle_faults::FaultSpec)
+//! compiles into a seeded [`FaultInjector`] whose per-injection-point
+//! streams drive spot reclaims, pool invoke failures/throttles, modeled
+//! object-store transient errors, and straggler slowdowns. Recovery
+//! follows the spec's [`RecoveryPolicy`](cackle_faults::RecoveryPolicy):
+//! pool launches retry with deterministic backoff (exhaustion surfaces
+//! [`RunError::FaultUnrecovered`]), reclaimed tasks re-execute on the
+//! pool, stragglers get a first-wins duplicate, and shuffle writes are
+//! idempotent (only the first completion of a task publishes stage
+//! output). Fault draws never touch the runner's main RNG, so a zero-rate
+//! plan leaves a run bit-identical to one without the subsystem.
 
-use crate::config::Env;
 use crate::factory::try_make_strategy;
 use crate::history::WorkloadHistory;
 use crate::model::QueryArrival;
@@ -30,7 +41,9 @@ use cackle_cloud::{
     CostCategory, CostLedger, ElasticPool, EventQueue, InvocationId, Pricing, SimDuration, SimTime,
     VmFleet, VmId,
 };
+use cackle_faults::{FaultInjector, InjectionPoint, StoreOp};
 use cackle_prng::Pcg32;
+use std::collections::BTreeMap;
 
 /// Where a task ran.
 #[derive(Debug, Clone, Copy)]
@@ -43,65 +56,51 @@ enum Slot {
 enum Ev {
     Arrive(usize),
     TaskDone {
-        query: usize,
-        stage: usize,
+        token: u64,
         slot: Slot,
+        /// This copy is the straggler duplicate, not the primary.
+        dup: bool,
     },
-    /// A spot VM is reclaimed mid-task; the task restarts on the pool.
+    /// A spot VM is reclaimed mid-task; the attempt re-executes on the
+    /// pool (unless a duplicate already finished it).
     Interrupted {
-        query: usize,
-        stage: usize,
+        token: u64,
         vm: VmId,
+    },
+    /// Retry a pool launch whose invoke was failed by the fault plan,
+    /// after deterministic backoff.
+    PoolLaunch {
+        token: u64,
+        dur_s: f64,
+        attempt: u32,
+        dup: bool,
+    },
+    /// Straggler patience elapsed: launch a duplicate if the task is
+    /// still unfinished.
+    DupCheck {
+        token: u64,
     },
     Second,
     Tick,
 }
 
-/// System knobs beyond the environment, superseded by [`RunSpec`].
-#[deprecated(note = "use RunSpec with run_system / run_system_with")]
-#[derive(Debug, Clone)]
-pub struct SystemConfig {
-    /// Cloud environment.
-    pub env: Env,
-    /// Runtime-noise seed.
-    pub seed: u64,
-    /// Pool tasks run this factor slower than the profile duration
-    /// (§7.1.2: VMs execute tasks ~25 % faster than Lambda).
-    pub pool_slowdown: f64,
-    /// Magnitude of per-task duration jitter (0 disables).
-    pub duration_jitter: f64,
-    /// Spot-interruption rate: expected reclamations per VM-hour (0
-    /// disables). An interrupted task restarts from scratch on the elastic
-    /// pool — an extension beyond the paper, which runs on spot instances
-    /// but never models reclamation.
-    pub spot_interruptions_per_vm_hour: f64,
-    /// Record demand/target/active series.
-    pub record_timeseries: bool,
-}
-
-#[allow(deprecated)]
-impl Default for SystemConfig {
-    fn default() -> Self {
-        SystemConfig {
-            env: Env::default(),
-            seed: 42,
-            pool_slowdown: 1.25,
-            duration_jitter: 0.08,
-            spot_interruptions_per_vm_hour: 0.0,
-            record_timeseries: false,
-        }
-    }
-}
-
-#[allow(deprecated)]
-fn spec_from_config(cfg: &SystemConfig) -> RunSpec {
-    RunSpec::new()
-        .with_env(cfg.env.clone())
-        .with_seed(cfg.seed)
-        .with_pool_slowdown(cfg.pool_slowdown)
-        .with_duration_jitter(cfg.duration_jitter)
-        .with_spot_interruptions(cfg.spot_interruptions_per_vm_hour)
-        .with_timeseries(cfg.record_timeseries)
+/// One logical task in flight, possibly backed by several physical
+/// copies over its lifetime (spot re-executions, pool retry chains, a
+/// straggler duplicate). Shuffle writes are idempotent: only the first
+/// completion publishes stage output, so extra copies cost compute but
+/// never double-count work.
+#[derive(Debug)]
+struct TaskAttempt {
+    query: usize,
+    stage: usize,
+    /// Nominal profile seconds before jitter and slowdown.
+    base_secs: f64,
+    /// A copy already completed and was credited to the stage.
+    done: bool,
+    /// Physical copies alive: scheduled completion/interruption events
+    /// plus pool retry chains still backing off.
+    copies: u32,
+    dup_launched: bool,
 }
 
 struct QueryState {
@@ -126,6 +125,21 @@ struct SystemState<'a> {
     /// Object-store request charges (puts/gets priced through the ledger
     /// so no raw dollar arithmetic happens outside the billing layer).
     s3_ledger: CostLedger,
+    /// Seeded fault plan + recovery policy; disabled when the effective
+    /// spec is all-zero (the guaranteed no-op path).
+    faults: FaultInjector,
+    /// Live task attempts keyed by token (BTreeMap for deterministic
+    /// iteration, lint L3).
+    attempts: BTreeMap<u64, TaskAttempt>,
+    next_token: u64,
+    /// Extra spend attributable to fault recovery — duplicate launches,
+    /// spot re-executions, retried store requests. Telemetry attribution
+    /// only; the primary ledgers already bill the real resources, so this
+    /// is never added to the `RunResult` totals.
+    recovery_ledger: CostLedger,
+    /// Set when recovery exhausts its bound; aborts the event loop with a
+    /// typed error instead of panicking or hanging.
+    fatal: Option<RunError>,
 }
 
 impl SystemState<'_> {
@@ -137,6 +151,118 @@ impl SystemState<'_> {
             (self.resident_total - cap) as f64 / self.resident_total as f64
         } else {
             0.0
+        }
+    }
+
+    /// Billed object-store requests for `n` modeled requests: injected
+    /// transient 5xx errors retry internally within the recovery bound,
+    /// and every attempt bills (S3 bills errored requests too). The
+    /// extra attempts are attributed to the recovery ledger.
+    fn billed_store_requests(&mut self, n: u64, op: StoreOp) -> u64 {
+        if !self.faults.is_enabled() {
+            return n;
+        }
+        let mut total = 0u64;
+        for _ in 0..n {
+            total += self.faults.store_attempts(op);
+        }
+        let category = match op {
+            StoreOp::Get => CostCategory::S3Get,
+            StoreOp::Put => CostCategory::S3Put,
+        };
+        let unit = match op {
+            StoreOp::Get => self.spec.env.pricing.s3_get,
+            StoreOp::Put => self.spec.env.pricing.s3_put,
+        };
+        self.recovery_ledger
+            .charge_requests(category, total - n, unit);
+        total
+    }
+
+    /// Register one more physical copy of `token`.
+    fn add_copy(&mut self, token: u64) {
+        if let Some(a) = self.attempts.get_mut(&token) {
+            a.copies += 1;
+        }
+    }
+
+    /// A physical copy ended without completing (abandoned retry chain,
+    /// reclaimed after a duplicate won); drop the attempt record once the
+    /// last copy is gone.
+    fn drop_copy(&mut self, token: u64) {
+        self.running = self.running.saturating_sub(1);
+        if let Some(a) = self.attempts.get_mut(&token) {
+            a.copies = a.copies.saturating_sub(1);
+            if a.copies == 0 && a.done {
+                self.attempts.remove(&token);
+            }
+        }
+    }
+
+    /// Launch (or relaunch) a copy of `token` on the elastic pool. An
+    /// injected invoke failure retries with deterministic backoff via a
+    /// [`Ev::PoolLaunch`] event; once the policy's bound is exhausted the
+    /// run aborts with [`RunError::FaultUnrecovered`].
+    fn launch_on_pool(
+        &mut self,
+        events: &mut EventQueue<Ev>,
+        now: SimTime,
+        token: u64,
+        dur_s: f64,
+        attempt: u32,
+        dup: bool,
+    ) {
+        match self.pool.invoke_faulted(now, &self.faults) {
+            Some((id, start)) => {
+                events.schedule(
+                    start + SimDuration::from_secs_f64(dur_s),
+                    Ev::TaskDone {
+                        token,
+                        slot: Slot::Pool(id),
+                        dup,
+                    },
+                );
+            }
+            None => {
+                let policy = self.faults.policy();
+                if policy.allows_retry(attempt) {
+                    let backoff = policy.backoff_ms(attempt);
+                    self.faults.note_retry(backoff);
+                    events.schedule(
+                        now + SimDuration::from_millis(backoff),
+                        Ev::PoolLaunch {
+                            token,
+                            dur_s,
+                            attempt: attempt + 1,
+                            dup,
+                        },
+                    );
+                } else {
+                    self.faults.note_unrecovered(InjectionPoint::PoolInvoke);
+                    self.fatal = Some(RunError::FaultUnrecovered {
+                        point: InjectionPoint::PoolInvoke.as_str(),
+                        attempts: attempt + 1,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Schedule a straggler duplicate check once the non-straggled
+    /// duration (plus the policy's patience factor) has elapsed.
+    fn schedule_dup_check(
+        &mut self,
+        events: &mut EventQueue<Ev>,
+        now: SimTime,
+        token: u64,
+        nominal_s: f64,
+    ) {
+        let policy = self.faults.policy();
+        if policy.duplicate_stragglers {
+            events.schedule(
+                now + SimDuration::from_secs_f64(nominal_s * policy.straggler_patience),
+                Ev::DupCheck { token },
+            );
         }
     }
 
@@ -155,9 +281,10 @@ impl SystemState<'_> {
         // Reads happen at stage start; the node tier serves what fits.
         let f = self.overflow_fraction();
         let gets = (stage.shuffle_reads as f64 * f).round() as u64;
-        self.gets += gets;
+        let billed = self.billed_store_requests(gets, StoreOp::Get);
+        self.gets += billed;
         self.s3_ledger
-            .charge_requests(CostCategory::S3Get, gets, self.spec.env.pricing.s3_get);
+            .charge_requests(CostCategory::S3Get, billed, self.spec.env.pricing.s3_get);
         for _ in 0..stage.tasks {
             let base = stage.task_seconds as f64;
             let jitter = if self.spec.duration_jitter > 0.0 {
@@ -166,48 +293,62 @@ impl SystemState<'_> {
             } else {
                 1.0
             };
-            let (slot, start, dur_s) = match self.fleet.try_assign(now) {
-                Some(id) => (Slot::Vm(id), now, base * jitter),
-                None => {
-                    let (id, start) = self.pool.invoke(now);
-                    (
-                        Slot::Pool(id),
-                        start,
-                        base * self.spec.pool_slowdown * jitter,
-                    )
-                }
-            };
+            let token = self.next_token;
+            self.next_token += 1;
+            self.attempts.insert(
+                token,
+                TaskAttempt {
+                    query: qi,
+                    stage: si,
+                    base_secs: base,
+                    done: false,
+                    copies: 0,
+                    dup_launched: false,
+                },
+            );
             self.running += 1;
             self.max_since_sample = self.max_since_sample.max(self.running);
-            // Spot interruptions: a VM task survives its duration with
-            // probability exp(-rate × duration); otherwise the VM is
-            // reclaimed at a uniformly random point through the task.
-            if let Slot::Vm(id) = slot {
-                let rate = self.spec.spot_interruptions_per_vm_hour;
-                if rate > 0.0 {
-                    let p_interrupt = 1.0 - (-rate * dur_s / 3600.0).exp();
-                    if self.rng.gen_bool(p_interrupt.clamp(0.0, 1.0)) {
-                        let frac: f64 = self.rng.gen_range(0.0..1.0);
+            // Straggler injection: a slowdown factor from the plan's
+            // dedicated stream (zero-rate plans make no draw at all, so
+            // the main RNG sequence is untouched).
+            let slowdown = self.faults.straggler().unwrap_or(1.0);
+            self.add_copy(token);
+            match self.fleet.try_assign(now) {
+                Some(id) => {
+                    let dur_s = base * jitter * slowdown;
+                    // Spot interruptions: a VM task survives its duration
+                    // with probability exp(-rate × duration); otherwise
+                    // the VM is reclaimed at a uniformly random point
+                    // through the task. Drawn from the plan's spot stream
+                    // (the legacy RunSpec knob folds into the plan).
+                    if let Some(frac) = self.faults.vm_interrupt(dur_s) {
                         events.schedule(
-                            start + SimDuration::from_secs_f64(dur_s * frac),
-                            Ev::Interrupted {
-                                query: qi,
-                                stage: si,
-                                vm: id,
+                            now + SimDuration::from_secs_f64(dur_s * frac),
+                            Ev::Interrupted { token, vm: id },
+                        );
+                    } else {
+                        events.schedule(
+                            now + SimDuration::from_secs_f64(dur_s),
+                            Ev::TaskDone {
+                                token,
+                                slot: Slot::Vm(id),
+                                dup: false,
                             },
                         );
-                        continue;
+                    }
+                    if slowdown > 1.0 {
+                        self.schedule_dup_check(events, now, token, base * jitter);
+                    }
+                }
+                None => {
+                    let dur_s = base * self.spec.pool_slowdown * jitter * slowdown;
+                    self.launch_on_pool(events, now, token, dur_s, 0, false);
+                    if slowdown > 1.0 {
+                        let nominal = base * self.spec.pool_slowdown * jitter;
+                        self.schedule_dup_check(events, now, token, nominal);
                     }
                 }
             }
-            events.schedule(
-                start + SimDuration::from_secs_f64(dur_s),
-                Ev::TaskDone {
-                    query: qi,
-                    stage: si,
-                    slot,
-                },
-            );
         }
     }
 }
@@ -289,17 +430,6 @@ pub fn run_system_with(
     outcome.unwrap_or_default()
 }
 
-/// Pre-`RunSpec` entry point, kept for callers still on [`SystemConfig`].
-#[deprecated(note = "use run_system(workload, &RunSpec) or run_system_with")]
-#[allow(deprecated)]
-pub fn run_system_with_config(
-    workload: &[QueryArrival],
-    strategy: &mut dyn ProvisioningStrategy,
-    cfg: &SystemConfig,
-) -> RunResult {
-    run_system_with(workload, strategy, &spec_from_config(cfg))
-}
-
 /// [`run_system_with`] as a fallible operation: the spec's knobs and the
 /// workload's stage graphs are validated before any event is scheduled.
 pub fn try_run_system_with(
@@ -313,6 +443,7 @@ pub fn try_run_system_with(
     let pricing: Pricing = env.pricing.clone();
     let telemetry = spec.effective_telemetry();
     strategy.set_telemetry(&telemetry);
+    let faults = spec.fault_injector(&telemetry)?;
     let mut events: EventQueue<Ev> = EventQueue::new();
     let mut st = SystemState {
         spec,
@@ -326,11 +457,17 @@ pub fn try_run_system_with(
         puts: 0,
         gets: 0,
         s3_ledger: CostLedger::new(),
+        faults,
+        attempts: BTreeMap::new(),
+        next_token: 0,
+        recovery_ledger: CostLedger::new(),
+        fatal: None,
     };
     st.fleet.instrument("fleet", &telemetry);
     st.pool.instrument(&telemetry);
     st.shuffle_fleet.instrument("shuffle_fleet", &telemetry);
     st.s3_ledger.instrument("store", &telemetry);
+    st.recovery_ledger.instrument("recovery", &telemetry);
     let mut shuffle_prov = ShuffleProvisioner::new(env);
     let mut history = WorkloadHistory::new();
 
@@ -368,7 +505,7 @@ pub fn try_run_system_with(
                     }
                 }
             }
-            Ev::TaskDone { query, stage, slot } => {
+            Ev::TaskDone { token, slot, dup } => {
                 match slot {
                     Slot::Vm(id) => st.fleet.release(now, id),
                     Slot::Pool(id) => {
@@ -376,6 +513,26 @@ pub fn try_run_system_with(
                     }
                 }
                 st.running = st.running.saturating_sub(1);
+                let Some(a) = st.attempts.get_mut(&token) else {
+                    debug_assert!(false, "completion for unknown attempt {token}");
+                    continue;
+                };
+                a.copies = a.copies.saturating_sub(1);
+                let first = !a.done;
+                a.done = true;
+                let (query, stage) = (a.query, a.stage);
+                if a.copies == 0 {
+                    st.attempts.remove(&token);
+                }
+                if !first {
+                    // The losing copy of a duplicate pair: its slot is
+                    // released and its compute was billed, but shuffle
+                    // writes are idempotent — nothing further publishes.
+                    continue;
+                }
+                if dup {
+                    st.faults.note_duplicate_win();
+                }
                 let q = &mut queries[query];
                 q.remaining_tasks[stage] = q.remaining_tasks[stage].saturating_sub(1);
                 if q.remaining_tasks[stage] == 0 {
@@ -386,9 +543,10 @@ pub fn try_run_system_with(
                     st.resident_total += bytes;
                     let f = st.overflow_fraction();
                     let puts = (profile.stages[stage].shuffle_writes as f64 * f).round() as u64;
-                    st.puts += puts;
+                    let billed = st.billed_store_requests(puts, StoreOp::Put);
+                    st.puts += billed;
                     st.s3_ledger
-                        .charge_requests(CostCategory::S3Put, puts, pricing.s3_put);
+                        .charge_requests(CostCategory::S3Put, billed, pricing.s3_put);
                     let q = &mut queries[query];
                     q.stages_left = q.stages_left.saturating_sub(1);
                     if q.stages_left == 0 {
@@ -420,21 +578,66 @@ pub fn try_run_system_with(
                     }
                 }
             }
-            Ev::Interrupted { query, stage, vm } => {
-                // The provider reclaims the VM; the task restarts from
-                // scratch on the elastic pool (run-to-completion tasks
-                // have no partial progress to save).
+            Ev::Interrupted { token, vm } => {
+                // The provider reclaims the VM; the attempt re-executes
+                // from scratch on the elastic pool (run-to-completion
+                // tasks have no partial progress to save).
                 st.fleet.reclaim(now, vm);
-                let base = workload[query].profile.stages[stage].task_seconds as f64;
-                let (id, start) = st.pool.invoke(now);
-                events.schedule(
-                    start + SimDuration::from_secs_f64(base * spec.pool_slowdown),
-                    Ev::TaskDone {
-                        query,
-                        stage,
-                        slot: Slot::Pool(id),
-                    },
-                );
+                let Some(a) = st.attempts.get_mut(&token) else {
+                    debug_assert!(false, "interrupt for unknown attempt {token}");
+                    continue;
+                };
+                if a.done {
+                    // A duplicate already finished this task; the
+                    // reclaimed copy just disappears.
+                    st.drop_copy(token);
+                } else {
+                    let dur_s = a.base_secs * spec.pool_slowdown;
+                    st.faults.note_reexec();
+                    st.recovery_ledger.charge(
+                        CostCategory::ElasticPool,
+                        pricing.pool_cost(SimDuration::from_secs_f64(dur_s)),
+                    );
+                    st.launch_on_pool(&mut events, now, token, dur_s, 0, false);
+                }
+            }
+            Ev::PoolLaunch {
+                token,
+                dur_s,
+                attempt,
+                dup,
+            } => {
+                let alive = st.attempts.get(&token).map(|a| !a.done).unwrap_or(false);
+                if alive {
+                    st.launch_on_pool(&mut events, now, token, dur_s, attempt, dup);
+                } else {
+                    // A duplicate finished the task while this copy was
+                    // backing off; abandon the retry chain.
+                    st.drop_copy(token);
+                }
+            }
+            Ev::DupCheck { token } => {
+                let base = match st.attempts.get_mut(&token) {
+                    Some(a) if !a.done && !a.dup_launched => {
+                        a.dup_launched = true;
+                        a.copies += 1;
+                        Some(a.base_secs)
+                    }
+                    _ => None,
+                };
+                if let Some(base) = base {
+                    // First completed copy wins; the duplicate runs at
+                    // nominal (non-straggled) speed on the pool.
+                    let dur_s = base * spec.pool_slowdown;
+                    st.faults.note_duplicate();
+                    st.running += 1;
+                    st.max_since_sample = st.max_since_sample.max(st.running);
+                    st.recovery_ledger.charge(
+                        CostCategory::ElasticPool,
+                        pricing.pool_cost(SimDuration::from_secs_f64(dur_s)),
+                    );
+                    st.launch_on_pool(&mut events, now, token, dur_s, 0, true);
+                }
             }
             Ev::Second => {
                 st.fleet.poll(now);
@@ -465,6 +668,12 @@ pub fn try_run_system_with(
                 }
             }
         }
+        if st.fatal.is_some() {
+            break;
+        }
+    }
+    if let Some(e) = st.fatal.take() {
+        return Err(e);
     }
 
     let end = SimTime::from_secs(history.len() as u64);
@@ -784,20 +993,108 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_config_shim_matches_spec_path() {
-        let w: Vec<QueryArrival> = (0..5)
+    fn zero_rate_fault_plan_is_a_noop() {
+        use cackle_faults::{FaultSpec, RecoveryPolicy};
+        let w: Vec<QueryArrival> = (0..15)
             .map(|i| QueryArrival {
                 at_s: i * 10,
-                profile: profile(3, 5),
+                profile: profile(3, 8),
             })
             .collect();
         let mut a = FixedStrategy { vms: 2 };
-        let old = run_system_with_config(&w, &mut a, &SystemConfig::default());
+        let plain = run_system_with(&w, &mut a, &RunSpec::new());
+        // An explicitly attached all-zero plan (with a non-default
+        // recovery policy, which must also be inert) changes nothing.
+        let spec = RunSpec::new()
+            .with_faults(FaultSpec::default())
+            .with_recovery(RecoveryPolicy::default().with_max_retries(9));
         let mut b = FixedStrategy { vms: 2 };
-        let new = run_system_with(&w, &mut b, &RunSpec::new());
-        assert_eq!(old.latencies, new.latencies);
-        assert_eq!(old.compute, new.compute);
-        assert_eq!(old.shuffle, new.shuffle);
+        let faulted = run_system_with(&w, &mut b, &spec);
+        assert_eq!(plain.latencies, faulted.latencies);
+        assert_eq!(plain.compute, faulted.compute);
+        assert_eq!(plain.shuffle, faulted.shuffle);
+    }
+
+    #[test]
+    fn injected_faults_recover_and_attribute_cost() {
+        use cackle_faults::FaultSpec;
+        let w: Vec<QueryArrival> = (0..30)
+            .map(|i| QueryArrival {
+                at_s: i * 15,
+                profile: profile(4, 20),
+            })
+            .collect();
+        let t = Telemetry::new();
+        let faults = FaultSpec::default()
+            .with_spot_reclaims(20.0)
+            .with_pool_invoke_failures(0.2)
+            .with_pool_throttles(0.2, 400)
+            .with_stragglers(0.25, 3.0)
+            .with_store_errors(0.3, 0.3);
+        let spec = RunSpec::new()
+            .with_strategy("fixed_4")
+            .with_faults(faults)
+            .with_telemetry(&t);
+        let r = run_system(&w, &spec);
+        // Every fault is recovered: all queries complete, nothing is
+        // surfaced as unrecovered, and no panic occurred.
+        assert_eq!(r.latencies.len(), 30);
+        assert!(r.latencies.iter().all(|&l| l > 0.0));
+        assert_eq!(t.counter("recovery.unrecovered_total"), 0);
+        assert!(t.counter("fault.spot_reclaims_total") > 0);
+        assert!(t.counter("fault.stragglers_total") > 0);
+        assert!(t.counter("fault.pool_invoke_failures_total") > 0);
+        assert!(t.counter("recovery.retries_total") > 0);
+        assert!(t.counter("recovery.task_reexecs_total") > 0);
+        assert!(t.counter("recovery.duplicates_launched_total") > 0);
+        // Retry/duplicate/re-execution spend is attributed under the
+        // recovery component in the cost registry.
+        assert!(t.cost("recovery", "elastic_pool") > 0.0);
+    }
+
+    #[test]
+    fn pool_invoke_exhaustion_surfaces_typed_error() {
+        use cackle_faults::{FaultSpec, RecoveryPolicy};
+        let w = vec![QueryArrival {
+            at_s: 0,
+            profile: profile(8, 10),
+        }];
+        let spec = noiseless()
+            .with_faults(FaultSpec::default().with_pool_invoke_failures(0.95))
+            .with_recovery(RecoveryPolicy::default().with_max_retries(0));
+        let mut s = FixedStrategy { vms: 0 };
+        let out = try_run_system_with(&w, &mut s, &spec);
+        assert!(
+            matches!(
+                out,
+                Err(RunError::FaultUnrecovered {
+                    point: "pool.invoke",
+                    attempts: 1
+                })
+            ),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn legacy_spot_knob_folds_into_the_fault_plan() {
+        // The deprecated-path spot knob and the equivalent FaultSpec
+        // produce the same run: both compile to the same plan.
+        let w: Vec<QueryArrival> = (0..10)
+            .map(|i| QueryArrival {
+                at_s: i * 20,
+                profile: profile(4, 30),
+            })
+            .collect();
+        let mut a = FixedStrategy { vms: 4 };
+        let legacy = run_system_with(&w, &mut a, &noiseless().with_spot_interruptions(30.0));
+        let mut b = FixedStrategy { vms: 4 };
+        let planned = run_system_with(
+            &w,
+            &mut b,
+            &noiseless().with_faults(cackle_faults::FaultSpec::default().with_spot_reclaims(30.0)),
+        );
+        assert_eq!(legacy.latencies, planned.latencies);
+        assert_eq!(legacy.compute, planned.compute);
     }
 }

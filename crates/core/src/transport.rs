@@ -15,6 +15,7 @@
 
 use cackle_cloud::ObjectStore;
 use cackle_engine::shuffle::{ShuffleKey, ShuffleStats, ShuffleTransport};
+use cackle_faults::FaultInjector;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -81,6 +82,11 @@ pub struct HybridShuffle {
     nodes: Mutex<Vec<ShuffleNode>>,
     store: Arc<ObjectStore>,
     stats: Mutex<HybridStats>,
+    /// Fault plan consulted on writes (disabled by default): an injected
+    /// transport drop that exhausts its in-injector retry bound routes
+    /// the chunk to the object store instead of a node — recovery by
+    /// fallback, so no data is ever lost.
+    faults: FaultInjector,
 }
 
 impl HybridShuffle {
@@ -95,7 +101,14 @@ impl HybridShuffle {
             ),
             store,
             stats: Mutex::new(HybridStats::default()),
+            faults: FaultInjector::disabled(),
         }
+    }
+
+    /// Consult `faults` on every subsequent write (see the `faults` field).
+    pub fn with_faults(mut self, faults: &FaultInjector) -> Self {
+        self.faults = faults.clone();
+        self
     }
 
     // Poison-forgiving lock access: a panicking task must not wedge the
@@ -153,9 +166,12 @@ impl ShuffleTransport for HybridShuffle {
     fn write(&self, key: ShuffleKey, producer_task: u32, data: Vec<u8>) {
         let bytes: Arc<[u8]> = data.into();
         let len = bytes.len() as u64;
+        // An injected transport drop that survives the retry bound skips
+        // the node tier entirely; the durable object store absorbs it.
+        let dropped = self.faults.transport_write_fallback();
         let mut nodes = self.lock_nodes();
         let count = nodes.len();
-        if count > 0 {
+        if count > 0 && !dropped {
             let home = self.home_node(key, count);
             for attempt in 0..PLACEMENT_ATTEMPTS.min(count) {
                 let ni = (home + attempt) % count;

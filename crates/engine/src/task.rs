@@ -17,6 +17,7 @@ use crate::rowkey::partition_of;
 use crate::schema::SchemaRef;
 use crate::shuffle::{ShuffleKey, ShuffleTransport};
 use crate::table::Catalog;
+use cackle_faults::FaultInjector;
 use cackle_telemetry::Telemetry;
 use std::sync::Arc;
 
@@ -41,6 +42,10 @@ pub struct TaskContext<'a> {
     pub shuffle: &'a dyn ShuffleTransport,
     /// Metrics sink (disabled by default — see [`TaskContext::new`]).
     pub telemetry: Telemetry,
+    /// Fault plan (disabled by default). Injected transport drops on
+    /// shuffle reads are retried deterministically inside the injector's
+    /// bounded recovery loop; the retries cost counters, never data.
+    pub faults: FaultInjector,
 }
 
 impl<'a> TaskContext<'a> {
@@ -62,6 +67,7 @@ impl<'a> TaskContext<'a> {
             catalog,
             shuffle,
             telemetry: Telemetry::disabled(),
+            faults: FaultInjector::disabled(),
         }
     }
 }
@@ -163,6 +169,10 @@ fn read_stage(
     result: &mut TaskResult,
 ) -> Vec<Batch> {
     let schema = ctx.dag.stages[upstream].output_schema.clone();
+    // Injected transport drops: each dropped fetch is retried within the
+    // recovery bound (transients clear by construction), so the read
+    // below always observes complete data; the retries are counted.
+    ctx.faults.transport_read_retries();
     let chunks = ctx.shuffle.read(ShuffleKey {
         query: ctx.query_id,
         stage: upstream as u32,

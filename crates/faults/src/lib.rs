@@ -1,0 +1,862 @@
+//! # cackle-faults — deterministic fault injection + recovery policy
+//!
+//! Cackle's headline claim is cost *and performance* stability, which is
+//! only credible if the reproduction exercises the failure modes elastic
+//! substrates actually exhibit: spot reclaims, pool invoke failures and
+//! throttles, object-store transient errors (GET/PUT 5xx), transport
+//! drops, and straggler slowdowns. This crate is the one place those
+//! faults are described, scheduled, and recovered from — runners consult
+//! a [`FaultPlan`] + [`RecoveryPolicy`] instead of hand-rolling restart
+//! logic per call site (Starling-style duplicate launches and read
+//! retries are load-bearing for tail latency; see PAPERS.md).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Deterministic.** A plan is compiled from a seeded [`FaultSpec`]
+//!    via `cackle-prng`; every injection point draws from its *own*
+//!    SplitMix64-derived PCG stream, so fault draws never perturb a
+//!    runner's main RNG and identically-seeded faulty runs are
+//!    byte-identical (`tests/determinism.rs` enforces this).
+//! 2. **Zero-rate ⇒ no-op.** An injection point whose rate is `0` makes
+//!    no draw and records no metric, so a default (all-zero) spec is
+//!    bit-for-bit equivalent to running without the subsystem at all.
+//! 3. **Recovered or typed.** Every injected fault is either recovered —
+//!    bounded retry with deterministic backoff, duplicate launch with
+//!    first-wins, task re-execution — or surfaced as a typed error by
+//!    the caller. Never a panic (`cackle-lint` L5 applies here).
+//! 4. **Free when disabled.** A [`FaultInjector`] handle is a cheap
+//!    `Option<Arc<Mutex<..>>>` mirroring `Telemetry`: hot paths carry it
+//!    unconditionally and a disabled handle costs one branch.
+//!
+//! Injected faults and recoveries are counted through `cackle-telemetry`
+//! under the `fault.*` / `recovery.*` prefixes (DESIGN.md §8 tabulates
+//! the full set).
+
+use cackle_prng::{splitmix64, Pcg32};
+use cackle_telemetry::Telemetry;
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Per-attempt fault probabilities are capped below 1 so bounded retries
+/// converge in expectation instead of looping on a certainly-failing op.
+pub const MAX_ATTEMPT_PROBABILITY: f64 = 0.95;
+
+/// Named injection points — the places runners consult the plan. Used in
+/// error messages and telemetry details so an unrecovered fault names
+/// where it was injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectionPoint {
+    /// Spot reclaim of a VM mid-task (`crates/cloud/src/vm.rs`).
+    VmSpot,
+    /// Elastic-pool invoke failure/throttle (`crates/cloud/src/pool.rs`).
+    PoolInvoke,
+    /// Object-store GET transient error (5xx).
+    StoreGet,
+    /// Object-store PUT transient error (5xx).
+    StorePut,
+    /// Shuffle transport drop (node tier write/read).
+    Transport,
+    /// Straggler slowdown of one task.
+    Straggler,
+}
+
+impl InjectionPoint {
+    /// Stable name for errors and telemetry details.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            InjectionPoint::VmSpot => "vm.spot",
+            InjectionPoint::PoolInvoke => "pool.invoke",
+            InjectionPoint::StoreGet => "store.get",
+            InjectionPoint::StorePut => "store.put",
+            InjectionPoint::Transport => "transport",
+            InjectionPoint::Straggler => "straggler",
+        }
+    }
+}
+
+impl fmt::Display for InjectionPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A fault spec knob failed validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// A rate/knob is out of its documented range (NaN, negative, or
+    /// above the per-attempt cap).
+    InvalidRate {
+        /// Knob name, e.g. `faults.pool_invoke_failure_rate`.
+        knob: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::InvalidRate { knob, value } => {
+                write!(f, "invalid fault knob {knob} = {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// Seeded description of which faults to inject and how often. All rates
+/// default to zero (no faults); a zero rate means the corresponding
+/// injection point never draws and never records a metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Spot reclaims per VM-busy-hour (Poisson: a task of duration `d`
+    /// seconds is reclaimed with probability `1 - exp(-rate·d/3600)`).
+    /// Mirrors `RunSpec::spot_interruptions_per_vm_hour`, which folds
+    /// into this knob.
+    pub spot_reclaims_per_vm_hour: f64,
+    /// Probability an elastic-pool invoke attempt fails outright
+    /// (per attempt, `[0, 0.95]`).
+    pub pool_invoke_failure_rate: f64,
+    /// Probability an elastic-pool invoke attempt is throttled — the slot
+    /// starts `pool_throttle_ms` later (per attempt, `[0, 0.95]`).
+    pub pool_throttle_rate: f64,
+    /// Extra start delay applied to a throttled pool invoke.
+    pub pool_throttle_ms: u64,
+    /// Probability an object-store GET request attempt returns a
+    /// transient 5xx (per attempt, `[0, 0.95]`).
+    pub store_get_error_rate: f64,
+    /// Probability an object-store PUT request attempt returns a
+    /// transient 5xx (per attempt, `[0, 0.95]`).
+    pub store_put_error_rate: f64,
+    /// Probability a shuffle-transport operation is dropped in transit
+    /// (per attempt, `[0, 0.95]`).
+    pub transport_drop_rate: f64,
+    /// Probability a task is a straggler (per task, `[0, 1]`).
+    pub straggler_rate: f64,
+    /// Runtime multiplier applied to straggler tasks (`>= 1`).
+    pub straggler_slowdown: f64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            spot_reclaims_per_vm_hour: 0.0,
+            pool_invoke_failure_rate: 0.0,
+            pool_throttle_rate: 0.0,
+            pool_throttle_ms: 500,
+            store_get_error_rate: 0.0,
+            store_put_error_rate: 0.0,
+            transport_drop_rate: 0.0,
+            straggler_rate: 0.0,
+            straggler_slowdown: 4.0,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// Builder: spot reclaims per VM-busy-hour.
+    pub fn with_spot_reclaims(mut self, per_vm_hour: f64) -> Self {
+        self.spot_reclaims_per_vm_hour = per_vm_hour;
+        self
+    }
+
+    /// Builder: pool invoke failure probability per attempt.
+    pub fn with_pool_invoke_failures(mut self, rate: f64) -> Self {
+        self.pool_invoke_failure_rate = rate;
+        self
+    }
+
+    /// Builder: pool throttle probability per attempt and its delay.
+    pub fn with_pool_throttles(mut self, rate: f64, delay_ms: u64) -> Self {
+        self.pool_throttle_rate = rate;
+        self.pool_throttle_ms = delay_ms;
+        self
+    }
+
+    /// Builder: object-store transient error probabilities (GET, PUT).
+    pub fn with_store_errors(mut self, get_rate: f64, put_rate: f64) -> Self {
+        self.store_get_error_rate = get_rate;
+        self.store_put_error_rate = put_rate;
+        self
+    }
+
+    /// Builder: shuffle-transport drop probability per attempt.
+    pub fn with_transport_drops(mut self, rate: f64) -> Self {
+        self.transport_drop_rate = rate;
+        self
+    }
+
+    /// Builder: straggler probability per task and runtime multiplier.
+    pub fn with_stragglers(mut self, rate: f64, slowdown: f64) -> Self {
+        self.straggler_rate = rate;
+        self.straggler_slowdown = slowdown;
+        self
+    }
+
+    /// Whether every injection point is inert (rate zero). A zero spec
+    /// compiles to a plan that never draws — the documented no-op.
+    pub fn is_zero(&self) -> bool {
+        self.spot_reclaims_per_vm_hour == 0.0
+            && self.pool_invoke_failure_rate == 0.0
+            && self.pool_throttle_rate == 0.0
+            && self.store_get_error_rate == 0.0
+            && self.store_put_error_rate == 0.0
+            && self.transport_drop_rate == 0.0
+            && self.straggler_rate == 0.0
+    }
+
+    /// Range-check every knob. Per-attempt probabilities are capped at
+    /// [`MAX_ATTEMPT_PROBABILITY`] so retry loops converge.
+    pub fn validate(&self) -> Result<(), FaultError> {
+        fn rate(knob: &'static str, v: f64, hi: f64) -> Result<(), FaultError> {
+            if v.is_finite() && (0.0..=hi).contains(&v) {
+                Ok(())
+            } else {
+                Err(FaultError::InvalidRate { knob, value: v })
+            }
+        }
+        let p = MAX_ATTEMPT_PROBABILITY;
+        rate(
+            "faults.spot_reclaims_per_vm_hour",
+            self.spot_reclaims_per_vm_hour,
+            f64::MAX,
+        )?;
+        rate(
+            "faults.pool_invoke_failure_rate",
+            self.pool_invoke_failure_rate,
+            p,
+        )?;
+        rate("faults.pool_throttle_rate", self.pool_throttle_rate, p)?;
+        rate("faults.store_get_error_rate", self.store_get_error_rate, p)?;
+        rate("faults.store_put_error_rate", self.store_put_error_rate, p)?;
+        rate("faults.transport_drop_rate", self.transport_drop_rate, p)?;
+        rate("faults.straggler_rate", self.straggler_rate, 1.0)?;
+        if !self.straggler_slowdown.is_finite() || self.straggler_slowdown < 1.0 {
+            return Err(FaultError::InvalidRate {
+                knob: "faults.straggler_slowdown",
+                value: self.straggler_slowdown,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// How runners recover from injected faults: bounded retry with
+/// deterministic exponential backoff, optional straggler duplicate
+/// launch with first-wins.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Maximum retries per operation after the first attempt. Transient
+    /// store/transport faults clear within this bound (that is what
+    /// "transient" means here); pool invoke exhaustion surfaces as a
+    /// typed run error.
+    pub max_retries: u32,
+    /// Backoff before the first retry, in simulated milliseconds.
+    pub backoff_base_ms: u64,
+    /// Multiplier applied per subsequent retry (deterministic, no
+    /// jitter: backoff for retry `n` is `base · multiplier^n`).
+    pub backoff_multiplier: u32,
+    /// Launch a duplicate of a detected straggler on the pool and take
+    /// whichever copy finishes first.
+    pub duplicate_stragglers: bool,
+    /// A task is declared a straggler once it runs past
+    /// `nominal_duration · straggler_patience`.
+    pub straggler_patience: f64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 4,
+            backoff_base_ms: 250,
+            backoff_multiplier: 2,
+            duplicate_stragglers: true,
+            straggler_patience: 1.25,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Builder: retry bound.
+    pub fn with_max_retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    /// Builder: backoff schedule (`base · multiplier^n`).
+    pub fn with_backoff(mut self, base_ms: u64, multiplier: u32) -> Self {
+        self.backoff_base_ms = base_ms;
+        self.backoff_multiplier = multiplier;
+        self
+    }
+
+    /// Builder: straggler duplicate-launch switch and patience factor.
+    pub fn with_duplicates(mut self, enabled: bool, patience: f64) -> Self {
+        self.duplicate_stragglers = enabled;
+        self.straggler_patience = patience;
+        self
+    }
+
+    /// Deterministic backoff before retry number `attempt` (0-based),
+    /// saturating instead of overflowing.
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        let mult = (self.backoff_multiplier.max(1) as u64)
+            .saturating_pow(attempt.min(32))
+            .max(1);
+        self.backoff_base_ms.saturating_mul(mult)
+    }
+
+    /// Whether retry number `attempt` (0-based) is within the bound.
+    pub fn allows_retry(&self, attempt: u32) -> bool {
+        attempt < self.max_retries
+    }
+
+    /// Range-check the policy knobs.
+    pub fn validate(&self) -> Result<(), FaultError> {
+        if !self.straggler_patience.is_finite() || self.straggler_patience < 1.0 {
+            return Err(FaultError::InvalidRate {
+                knob: "recovery.straggler_patience",
+                value: self.straggler_patience,
+            });
+        }
+        if self.backoff_multiplier < 1 {
+            return Err(FaultError::InvalidRate {
+                knob: "recovery.backoff_multiplier",
+                value: self.backoff_multiplier as f64,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// What the plan decided for one elastic-pool invoke attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolDecision {
+    /// Invoke proceeds normally.
+    Proceed,
+    /// Invoke is throttled: the slot starts `delay_ms` later (the
+    /// provider does not bill queue time).
+    Throttle {
+        /// Extra delay before the slot starts.
+        delay_ms: u64,
+    },
+    /// Invoke fails; the caller retries under the [`RecoveryPolicy`] or
+    /// surfaces a typed error once the bound is exhausted.
+    Fail,
+}
+
+/// Which object-store operation a request fault applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOp {
+    /// GET request.
+    Get,
+    /// PUT request.
+    Put,
+}
+
+/// A compiled, seeded fault schedule. Each injection point owns an
+/// independent PCG stream derived from the run seed with SplitMix64, so
+/// draws at one point never shift draws at another (or the runner's own
+/// RNG). Draw methods skip the stream entirely when their rate is zero.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    spec: FaultSpec,
+    spot: Pcg32,
+    pool: Pcg32,
+    store_get: Pcg32,
+    store_put: Pcg32,
+    transport: Pcg32,
+    straggler: Pcg32,
+}
+
+/// Decorrelate the per-point streams from the run seed (and from the
+/// seed itself, which runners feed to their main RNG).
+fn stream(seed: u64, salt: u64) -> Pcg32 {
+    let mut s = seed ^ salt;
+    let expanded = splitmix64(&mut s);
+    Pcg32::seed_from_u64(expanded)
+}
+
+impl FaultPlan {
+    /// Compile a validated spec into a plan seeded for one run.
+    pub fn compile(spec: &FaultSpec, seed: u64) -> Result<Self, FaultError> {
+        spec.validate()?;
+        Ok(FaultPlan {
+            spec: spec.clone(),
+            spot: stream(seed, 0xFA01),
+            pool: stream(seed, 0xFA02),
+            store_get: stream(seed, 0xFA03),
+            store_put: stream(seed, 0xFA04),
+            transport: stream(seed, 0xFA05),
+            straggler: stream(seed, 0xFA06),
+        })
+    }
+
+    /// The spec this plan was compiled from.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Spot-reclaim draw for a task occupying a VM for `task_seconds`:
+    /// `Some(fraction)` means the VM is reclaimed that fraction of the
+    /// way through the task.
+    pub fn vm_interrupt(&mut self, task_seconds: f64) -> Option<f64> {
+        let rate = self.spec.spot_reclaims_per_vm_hour;
+        if rate <= 0.0 || task_seconds <= 0.0 {
+            return None;
+        }
+        let p = 1.0 - (-rate * task_seconds / 3600.0).exp();
+        if self.spot.gen_bool(p) {
+            Some(self.spot.gen_range(0.0..1.0))
+        } else {
+            None
+        }
+    }
+
+    /// Decide one elastic-pool invoke attempt.
+    pub fn pool_invoke(&mut self) -> PoolDecision {
+        let fail = self.spec.pool_invoke_failure_rate;
+        let throttle = self.spec.pool_throttle_rate;
+        if fail > 0.0 && self.pool.gen_bool(fail) {
+            return PoolDecision::Fail;
+        }
+        if throttle > 0.0 && self.pool.gen_bool(throttle) {
+            return PoolDecision::Throttle {
+                delay_ms: self.spec.pool_throttle_ms,
+            };
+        }
+        PoolDecision::Proceed
+    }
+
+    /// Whether one store request attempt hits a transient 5xx.
+    pub fn store_error(&mut self, op: StoreOp) -> bool {
+        let (rate, rng) = match op {
+            StoreOp::Get => (self.spec.store_get_error_rate, &mut self.store_get),
+            StoreOp::Put => (self.spec.store_put_error_rate, &mut self.store_put),
+        };
+        rate > 0.0 && rng.gen_bool(rate)
+    }
+
+    /// Whether one transport operation attempt is dropped in transit.
+    pub fn transport_drop(&mut self) -> bool {
+        let rate = self.spec.transport_drop_rate;
+        rate > 0.0 && self.transport.gen_bool(rate)
+    }
+
+    /// Straggler draw for one task: `Some(slowdown)` multiplies its
+    /// runtime.
+    pub fn straggler(&mut self) -> Option<f64> {
+        let rate = self.spec.straggler_rate;
+        if rate > 0.0 && self.straggler.gen_bool(rate) {
+            Some(self.spec.straggler_slowdown)
+        } else {
+            None
+        }
+    }
+}
+
+struct Shared {
+    plan: FaultPlan,
+    policy: RecoveryPolicy,
+    telemetry: Telemetry,
+}
+
+/// A cheap, cloneable handle to a compiled fault plan plus its recovery
+/// policy, mirroring the `Telemetry` handle design: disabled handles
+/// (the default) make every consultation a no-op, so hot paths carry one
+/// unconditionally. Enabled handles share one plan behind a
+/// poison-forgiving mutex; the simulation is single-threaded, so draw
+/// order is the (deterministic) event order.
+///
+/// Every injected fault and recovery step is counted through the
+/// attached telemetry under `fault.*` / `recovery.*`.
+#[derive(Clone, Default)]
+pub struct FaultInjector {
+    inner: Option<Arc<Mutex<Shared>>>,
+}
+
+impl fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            Some(_) => f.write_str("FaultInjector(enabled)"),
+            None => f.write_str("FaultInjector(disabled)"),
+        }
+    }
+}
+
+impl FaultInjector {
+    /// An enabled handle over a compiled plan and policy.
+    pub fn new(plan: FaultPlan, policy: RecoveryPolicy) -> Self {
+        FaultInjector {
+            inner: Some(Arc::new(Mutex::new(Shared {
+                plan,
+                policy,
+                telemetry: Telemetry::disabled(),
+            }))),
+        }
+    }
+
+    /// A disabled handle: every consultation is a no-op.
+    pub fn disabled() -> Self {
+        FaultInjector { inner: None }
+    }
+
+    /// Attach a telemetry sink for `fault.*` / `recovery.*` counters.
+    /// Call before sharing clones; a disabled handle ignores this.
+    pub fn instrumented(self, telemetry: &Telemetry) -> Self {
+        if let Some(mut s) = self.lock() {
+            s.telemetry = telemetry.clone();
+        }
+        self
+    }
+
+    /// Whether this handle injects anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn lock(&self) -> Option<MutexGuard<'_, Shared>> {
+        self.inner
+            .as_ref()
+            .map(|m| m.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// The recovery policy (defaults when disabled).
+    pub fn policy(&self) -> RecoveryPolicy {
+        self.lock()
+            .map(|s| s.policy)
+            .unwrap_or_else(RecoveryPolicy::default)
+    }
+
+    /// Spot-reclaim draw for a task of `task_seconds` on a VM; counts
+    /// `fault.spot_reclaims_total` on a hit.
+    pub fn vm_interrupt(&self, task_seconds: f64) -> Option<f64> {
+        let mut s = self.lock()?;
+        let frac = s.plan.vm_interrupt(task_seconds)?;
+        s.telemetry.counter_add("fault.spot_reclaims_total", 1);
+        Some(frac)
+    }
+
+    /// Straggler draw for one task; counts `fault.stragglers_total` on a
+    /// hit.
+    pub fn straggler(&self) -> Option<f64> {
+        let mut s = self.lock()?;
+        let slowdown = s.plan.straggler()?;
+        s.telemetry.counter_add("fault.stragglers_total", 1);
+        Some(slowdown)
+    }
+
+    /// Decide one pool invoke attempt; counts
+    /// `fault.pool_invoke_failures_total` / `fault.pool_throttles_total`.
+    pub fn pool_invoke(&self) -> PoolDecision {
+        let Some(mut s) = self.lock() else {
+            return PoolDecision::Proceed;
+        };
+        let decision = s.plan.pool_invoke();
+        match decision {
+            PoolDecision::Fail => s
+                .telemetry
+                .counter_add("fault.pool_invoke_failures_total", 1),
+            PoolDecision::Throttle { .. } => {
+                s.telemetry.counter_add("fault.pool_throttles_total", 1)
+            }
+            PoolDecision::Proceed => {}
+        }
+        decision
+    }
+
+    /// Total attempts needed for one store request under injected
+    /// transient errors: `1` plus up to `max_retries` failed attempts
+    /// (the transient clears within the bound — billing-wise every
+    /// attempt is a billable request). Counts
+    /// `fault.store_{get,put}_errors_total` per injected error and
+    /// `recovery.retries_total` per retry.
+    pub fn store_attempts(&self, op: StoreOp) -> u64 {
+        let Some(mut s) = self.lock() else {
+            return 1;
+        };
+        let max_retries = s.policy.max_retries;
+        let counter = match op {
+            StoreOp::Get => "fault.store_get_errors_total",
+            StoreOp::Put => "fault.store_put_errors_total",
+        };
+        let mut failed = 0u32;
+        while failed < max_retries && s.plan.store_error(op) {
+            failed += 1;
+            s.telemetry.counter_add(counter, 1);
+            s.telemetry.counter_add("recovery.retries_total", 1);
+        }
+        1 + failed as u64
+    }
+
+    /// Decide whether a node-tier transport write falls back to the
+    /// object store: the write is retried up to the policy bound and
+    /// falls back only when every attempt is dropped. Counts
+    /// `fault.transport_drops_total` per drop, `recovery.retries_total`
+    /// per retry, and `recovery.transport_fallbacks_total` on fallback.
+    pub fn transport_write_fallback(&self) -> bool {
+        let Some(mut s) = self.lock() else {
+            return false;
+        };
+        let attempts = s.policy.max_retries.saturating_add(1);
+        for attempt in 0..attempts {
+            if !s.plan.transport_drop() {
+                return false;
+            }
+            s.telemetry.counter_add("fault.transport_drops_total", 1);
+            if attempt + 1 < attempts {
+                s.telemetry.counter_add("recovery.retries_total", 1);
+            }
+        }
+        s.telemetry
+            .counter_add("recovery.transport_fallbacks_total", 1);
+        true
+    }
+
+    /// Number of retries a transport read needed before succeeding
+    /// (bounded by the policy; a read always succeeds within the bound —
+    /// drops are transient). Counts `fault.transport_drops_total` and
+    /// `recovery.retries_total` per retry.
+    pub fn transport_read_retries(&self) -> u32 {
+        let Some(mut s) = self.lock() else {
+            return 0;
+        };
+        let mut retries = 0u32;
+        while retries < s.policy.max_retries && s.plan.transport_drop() {
+            retries += 1;
+            s.telemetry.counter_add("fault.transport_drops_total", 1);
+            s.telemetry.counter_add("recovery.retries_total", 1);
+        }
+        retries
+    }
+
+    /// Record a recovery retry scheduled by a runner (e.g. a pool invoke
+    /// retry after backoff).
+    pub fn note_retry(&self, backoff_ms: u64) {
+        if let Some(s) = self.lock() {
+            s.telemetry.counter_add("recovery.retries_total", 1);
+            s.telemetry
+                .counter_add("recovery.backoff_ms_total", backoff_ms);
+        }
+    }
+
+    /// Record a task re-execution (e.g. after a spot reclaim).
+    pub fn note_reexec(&self) {
+        if let Some(s) = self.lock() {
+            s.telemetry.counter_add("recovery.task_reexecs_total", 1);
+        }
+    }
+
+    /// Record a straggler duplicate launch.
+    pub fn note_duplicate(&self) {
+        if let Some(s) = self.lock() {
+            s.telemetry
+                .counter_add("recovery.duplicates_launched_total", 1);
+        }
+    }
+
+    /// Record a duplicate finishing before its straggling primary.
+    pub fn note_duplicate_win(&self) {
+        if let Some(s) = self.lock() {
+            s.telemetry.counter_add("recovery.duplicate_wins_total", 1);
+        }
+    }
+
+    /// Record a fault that exhausted its recovery bound; the caller
+    /// surfaces a typed error naming the injection point.
+    pub fn note_unrecovered(&self, point: InjectionPoint) {
+        if let Some(s) = self.lock() {
+            s.telemetry.counter_add("recovery.unrecovered_total", 1);
+            s.telemetry.event(0, "fault.unrecovered", point.as_str());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn active_spec() -> FaultSpec {
+        FaultSpec::default()
+            .with_spot_reclaims(30.0)
+            .with_pool_invoke_failures(0.3)
+            .with_pool_throttles(0.3, 250)
+            .with_store_errors(0.4, 0.4)
+            .with_transport_drops(0.4)
+            .with_stragglers(0.5, 3.0)
+    }
+
+    #[test]
+    fn zero_spec_is_inert_and_draw_free() {
+        let mut plan = FaultPlan::compile(&FaultSpec::default(), 7).unwrap();
+        let before = plan.clone();
+        for _ in 0..100 {
+            assert_eq!(plan.vm_interrupt(1000.0), None);
+            assert_eq!(plan.pool_invoke(), PoolDecision::Proceed);
+            assert!(!plan.store_error(StoreOp::Get));
+            assert!(!plan.store_error(StoreOp::Put));
+            assert!(!plan.transport_drop());
+            assert_eq!(plan.straggler(), None);
+        }
+        // No stream advanced: the zero plan made zero draws.
+        assert_eq!(plan.spot, before.spot);
+        assert_eq!(plan.pool, before.pool);
+        assert_eq!(plan.store_get, before.store_get);
+        assert_eq!(plan.transport, before.transport);
+        assert_eq!(plan.straggler, before.straggler);
+    }
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut plan = FaultPlan::compile(&active_spec(), seed).unwrap();
+            let mut log = String::new();
+            for _ in 0..200 {
+                log.push_str(&format!(
+                    "{:?}|{:?}|{}|{}|{:?}\n",
+                    plan.vm_interrupt(120.0),
+                    plan.pool_invoke(),
+                    plan.store_error(StoreOp::Get),
+                    plan.transport_drop(),
+                    plan.straggler(),
+                ));
+            }
+            log
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "seed change did not move the plan");
+    }
+
+    #[test]
+    fn injection_points_draw_from_independent_streams() {
+        // Drawing heavily at one point must not shift another point's
+        // stream: interleaving store draws between pool draws leaves the
+        // pool decision sequence unchanged.
+        let pool_only = |interleave: bool| {
+            let mut plan = FaultPlan::compile(&active_spec(), 5).unwrap();
+            let mut decisions = Vec::new();
+            for _ in 0..100 {
+                if interleave {
+                    let _ = plan.store_error(StoreOp::Get);
+                    let _ = plan.transport_drop();
+                }
+                decisions.push(plan.pool_invoke());
+            }
+            decisions
+        };
+        assert_eq!(pool_only(false), pool_only(true));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_knobs() {
+        let bad = FaultSpec::default().with_pool_invoke_failures(0.99);
+        assert!(matches!(
+            bad.validate(),
+            Err(FaultError::InvalidRate { knob, .. })
+                if knob == "faults.pool_invoke_failure_rate"
+        ));
+        assert!(FaultSpec::default()
+            .with_spot_reclaims(-1.0)
+            .validate()
+            .is_err());
+        assert!(FaultSpec::default()
+            .with_stragglers(0.5, 0.5)
+            .validate()
+            .is_err());
+        assert!(FaultSpec::default()
+            .with_store_errors(f64::NAN, 0.0)
+            .validate()
+            .is_err());
+        assert!(active_spec().validate().is_ok());
+        assert!(FaultPlan::compile(&bad, 1).is_err());
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_saturating() {
+        let p = RecoveryPolicy::default().with_backoff(100, 3);
+        assert_eq!(p.backoff_ms(0), 100);
+        assert_eq!(p.backoff_ms(1), 300);
+        assert_eq!(p.backoff_ms(2), 900);
+        let huge = RecoveryPolicy::default().with_backoff(u64::MAX / 2, 4);
+        assert_eq!(huge.backoff_ms(40), u64::MAX); // saturates, no overflow
+        let flat = RecoveryPolicy::default().with_backoff(50, 1);
+        assert_eq!(flat.backoff_ms(7), 50);
+        assert!(p.allows_retry(0));
+        assert!(!p.allows_retry(p.max_retries));
+        assert!(RecoveryPolicy::default().validate().is_ok());
+        assert!(RecoveryPolicy::default()
+            .with_duplicates(true, 0.5)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn store_attempts_bounded_by_policy() {
+        let spec = FaultSpec::default().with_store_errors(0.95, 0.95);
+        let policy = RecoveryPolicy::default().with_max_retries(3);
+        let inj = FaultInjector::new(FaultPlan::compile(&spec, 9).unwrap(), policy);
+        for _ in 0..500 {
+            let attempts = inj.store_attempts(StoreOp::Get);
+            assert!((1..=4).contains(&attempts), "attempts {attempts}");
+        }
+    }
+
+    #[test]
+    fn transport_recovery_is_bounded() {
+        let spec = FaultSpec::default().with_transport_drops(0.95);
+        let policy = RecoveryPolicy::default().with_max_retries(2);
+        let inj = FaultInjector::new(FaultPlan::compile(&spec, 11).unwrap(), policy);
+        let mut fallbacks = 0;
+        for _ in 0..500 {
+            assert!(inj.transport_read_retries() <= 2);
+            if inj.transport_write_fallback() {
+                fallbacks += 1;
+            }
+        }
+        assert!(fallbacks > 0, "0.95^3 drops should force some fallbacks");
+    }
+
+    #[test]
+    fn disabled_injector_is_a_noop() {
+        let inj = FaultInjector::disabled();
+        assert!(!inj.is_enabled());
+        assert_eq!(inj.vm_interrupt(1000.0), None);
+        assert_eq!(inj.pool_invoke(), PoolDecision::Proceed);
+        assert_eq!(inj.store_attempts(StoreOp::Put), 1);
+        assert!(!inj.transport_write_fallback());
+        assert_eq!(inj.transport_read_retries(), 0);
+        assert_eq!(inj.straggler(), None);
+        assert_eq!(inj.policy(), RecoveryPolicy::default());
+    }
+
+    #[test]
+    fn injector_counts_faults_and_recoveries() {
+        let t = Telemetry::new();
+        let spec = FaultSpec::default()
+            .with_pool_invoke_failures(0.95)
+            .with_store_errors(0.95, 0.0);
+        let inj = FaultInjector::new(
+            FaultPlan::compile(&spec, 21).unwrap(),
+            RecoveryPolicy::default(),
+        )
+        .instrumented(&t);
+        for _ in 0..50 {
+            let _ = inj.pool_invoke();
+            let _ = inj.store_attempts(StoreOp::Get);
+        }
+        inj.note_retry(250);
+        inj.note_duplicate();
+        inj.note_duplicate_win();
+        inj.note_reexec();
+        inj.note_unrecovered(InjectionPoint::PoolInvoke);
+        assert!(t.counter("fault.pool_invoke_failures_total") > 0);
+        assert!(t.counter("fault.store_get_errors_total") > 0);
+        assert!(t.counter("recovery.retries_total") > 0);
+        assert_eq!(t.counter("recovery.backoff_ms_total"), 250);
+        assert_eq!(t.counter("recovery.duplicates_launched_total"), 1);
+        assert_eq!(t.counter("recovery.duplicate_wins_total"), 1);
+        assert_eq!(t.counter("recovery.task_reexecs_total"), 1);
+        assert_eq!(t.counter("recovery.unrecovered_total"), 1);
+    }
+}

@@ -18,7 +18,7 @@
 //! | L2 | no `thread_rng` / `from_entropy` / `rand::` (unseeded RNG) | everywhere |
 //! | L3 | no order-revealing iteration of `HashMap` / `HashSet` | `crates/engine`, `crates/core`, `crates/telemetry` |
 //! | L4 | no raw `f64` arithmetic or `==` on cost-named bindings | `crates/cloud` (except `ledger.rs`, `pricing.rs`), `crates/engine`, `examples` |
-//! | L5 | no `unwrap()` / `expect()` / `panic!` on hot paths | `crates/cloud/src`, `crates/telemetry/src`, `core/{system,transport}.rs`, `engine/{task,shuffle,table}.rs` |
+//! | L5 | no `unwrap()` / `expect()` / `panic!` on hot paths | `crates/cloud/src`, `crates/telemetry/src`, `crates/faults/src`, `core/{system,transport}.rs`, `engine/{task,shuffle,table}.rs` |
 //!
 //! `tests/`, `benches/`, and `#[cfg(test)]` / `#[test]` items are
 //! skipped everywhere: test code may use the host clock, unwraps, and
@@ -140,6 +140,7 @@ fn applies(id: LintId, path: &str) -> bool {
         LintId::L5 => {
             path.starts_with("crates/cloud/src/")
                 || path.starts_with("crates/telemetry/src/")
+                || path.starts_with("crates/faults/src/")
                 || matches!(
                     path,
                     "crates/core/src/system.rs"

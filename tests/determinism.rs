@@ -8,7 +8,7 @@
 
 use cackle::model::{build_workload, run_model_with};
 use cackle::system::{run_system, run_system_with};
-use cackle::{Env, FamilyConfig, MetaStrategy, RunResult, RunSpec, Telemetry};
+use cackle::{Env, FamilyConfig, FaultSpec, MetaStrategy, RunResult, RunSpec, Telemetry};
 use cackle_tpch::profiles::profile_set;
 use cackle_workload::arrivals::WorkloadSpec;
 
@@ -103,4 +103,73 @@ fn golden_telemetry_dumps_are_byte_identical() {
     // And the dump passes the format checker that CI runs on example output.
     let errors = cackle_telemetry::check::check_dump(&first);
     assert!(errors.is_empty(), "{errors:?}");
+}
+
+#[test]
+fn golden_fault_run_dumps_are_byte_identical() {
+    // Same guarantee with an *active* fault plan: the injected reclaims,
+    // invoke failures, throttles, store errors, and stragglers — and all
+    // the recovery work they trigger — replay identically from the seed.
+    let dump = |seed: u64| {
+        let w = workload(seed);
+        let t = Telemetry::new();
+        let spec = RunSpec::new()
+            .with_strategy("dynamic")
+            .with_faults(
+                FaultSpec::default()
+                    .with_spot_reclaims(4.0)
+                    .with_pool_invoke_failures(0.1)
+                    .with_pool_throttles(0.1, 400)
+                    .with_store_errors(0.1, 0.1)
+                    .with_stragglers(0.1, 2.5),
+            )
+            .with_telemetry(&t);
+        run_system(&w, &spec);
+        t.export_jsonl()
+    };
+    let first = dump(19);
+    let second = dump(19);
+    assert!(
+        first.contains("fault.") && first.contains("recovery."),
+        "fault plan was not active"
+    );
+    assert!(
+        first == second,
+        "fault-run telemetry dumps diverged (lengths {} vs {})",
+        first.len(),
+        second.len()
+    );
+    let other = dump(20);
+    assert!(
+        first != other,
+        "seed change did not move the fault-run dump"
+    );
+    let errors = cackle_telemetry::check::check_dump(&first);
+    assert!(errors.is_empty(), "{errors:?}");
+}
+
+#[test]
+fn zero_rate_fault_plan_leaves_the_dump_untouched() {
+    // The no-op guarantee: attaching an all-zero fault plan must not move
+    // a single byte of the telemetry dump relative to no plan at all —
+    // fault draws live on their own PRNG streams and a zero-rate point
+    // makes no draws.
+    let dump = |faulted: bool| {
+        let w = workload(21);
+        let t = Telemetry::new();
+        let mut spec = RunSpec::new().with_strategy("dynamic").with_telemetry(&t);
+        if faulted {
+            spec = spec.with_faults(FaultSpec::default());
+        }
+        run_system(&w, &spec);
+        t.export_jsonl()
+    };
+    let plain = dump(false);
+    let zero_rate = dump(true);
+    assert!(
+        plain == zero_rate,
+        "zero-rate fault plan moved the dump (lengths {} vs {})",
+        plain.len(),
+        zero_rate.len()
+    );
 }
