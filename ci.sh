@@ -16,6 +16,13 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> worker-count determinism (1 and 8 workers, golden dumps)"
+cargo test -q --test determinism golden_dumps_are_byte_identical_across_worker_counts
+cargo test -q --test executor_stress
+
+echo "==> differential quantile sweep (Fenwick vs sorted brute force)"
+cargo test -q -p cackle differential_quantile_fenwick_vs_sorted
+
 echo "==> telemetry dump round-trip"
 cargo run -q --release --example quickstart
 cargo run -q --release -p cackle-telemetry --bin telemetry-check -- \

@@ -13,7 +13,7 @@
 use crate::ledger::{CostCategory, CostLedger};
 use crate::pricing::Pricing;
 use bytes_shim::Bytes;
-use cackle_faults::{FaultInjector, StoreOp};
+use cackle_faults::{op_key, FaultInjector, StoreOp};
 use std::collections::BTreeMap;
 use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -83,15 +83,19 @@ impl ObjectStore {
         *lock_faults(&self.faults) = faults.clone();
     }
 
-    /// Attempts (1 + injected transient failures) for one request.
-    fn attempts(&self, op: StoreOp) -> u64 {
-        lock_faults(&self.faults).store_attempts(op)
+    /// Attempts (1 + injected transient failures) for one request. Draws
+    /// are keyed by the object key: tasks hit the store concurrently, so
+    /// a shared sequential fault stream would make attempt counts depend
+    /// on thread scheduling (requests for the same key draw identically —
+    /// acceptable correlation for a fault model).
+    fn attempts(&self, op: StoreOp, key: &str) -> u64 {
+        lock_faults(&self.faults).store_attempts_keyed(op, op_key(key.as_bytes()))
     }
 
     /// PUT an object, billing one request per attempt (injected
     /// transient errors retry internally and each attempt bills).
     pub fn put(&self, key: &str, data: Vec<u8>) {
-        let attempts = self.attempts(StoreOp::Put);
+        let attempts = self.attempts(StoreOp::Put, key);
         let len = data.len() as u64;
         write_objects(&self.objects).insert(key.to_string(), Bytes::from(data));
         let mut l = lock_ledger(&self.ledger);
@@ -105,7 +109,7 @@ impl ObjectStore {
     /// exist; injected transient errors retry internally and each
     /// attempt bills.
     pub fn get(&self, key: &str) -> Option<Bytes> {
-        let attempts = self.attempts(StoreOp::Get);
+        let attempts = self.attempts(StoreOp::Get, key);
         let out = read_objects(&self.objects).get(key).cloned();
         let mut l = lock_ledger(&self.ledger);
         l.charge_requests(CostCategory::S3Get, attempts, self.pricing.s3_get);

@@ -301,6 +301,62 @@ mod tests {
         );
     }
 
+    /// Demand exceeding `active.len()` mid-startup: pending VMs do no
+    /// work, so the whole demand overflows to the pool until startup
+    /// elapses — and each overflow second is charged exactly once.
+    /// Every quantity is hand-computed and cross-checked against a
+    /// [`CostLedger`] charged with the same arithmetic.
+    #[test]
+    fn mid_startup_overflow_charged_to_pool_exactly_once() {
+        use cackle_cloud::ledger::{CostCategory, CostLedger};
+        let vm_rate = 0.01;
+        let pool_rate = 0.06;
+        let mut sim = AllocationSim::with_rates(3, 5, vm_rate, pool_rate);
+        // t=0..=2: 2 VMs requested (ready at t=3), demand 4 all on pool.
+        for t in 0..3 {
+            sim.step(2, 4);
+            assert_eq!(sim.active_count(), 0, "mid-startup at t={t}");
+            assert_eq!(sim.pending_count(), 2);
+        }
+        // t=3: both come online; 2 slots on VMs, overflow 2 on pool.
+        sim.step(2, 4);
+        assert_eq!(sim.active_count(), 2);
+        // t=4: demand 1 < active 2 — saturating overflow is 0, not huge.
+        sim.step(2, 1);
+        // t=5: target 0, demand 0 — both idle VMs terminate after running
+        // 2 s each, billing the 3 s min-billing shortfall apiece.
+        sim.step(0, 0);
+        assert_eq!(sim.active_count(), 0);
+        let cost = sim.finalize();
+
+        // Hand-computed: pool = 4+4+4+2+0+0 = 14 slot-seconds;
+        // VM = 2 (t=3) + 2 (t=4) + 2×3 shortfall = 10 billed seconds.
+        assert!((sim.pool_seconds() - 14.0).abs() < 1e-12);
+        assert!((sim.vm_billed_seconds() - 10.0).abs() < 1e-12);
+        let mut ledger = CostLedger::new();
+        ledger.charge(CostCategory::VmCompute, 10.0 * vm_rate);
+        ledger.charge(CostCategory::ElasticPool, 14.0 * pool_rate);
+        assert!((sim.vm_dollars() - ledger.category(CostCategory::VmCompute)).abs() < 1e-12);
+        assert!((sim.pool_dollars() - ledger.category(CostCategory::ElasticPool)).abs() < 1e-12);
+        assert!((cost - ledger.total()).abs() < 1e-12);
+    }
+
+    /// The `demand as usize` cast and pool accrual hold at the extreme of
+    /// the domain: one second of `u32::MAX` demand with no VMs lands on
+    /// the pool exactly once.
+    #[test]
+    fn extreme_demand_accrues_pool_seconds_exactly_once() {
+        let mut sim = AllocationSim::with_rates(0, 60, 0.01, 0.06);
+        sim.step(0, u32::MAX);
+        assert!((sim.pool_seconds() - u32::MAX as f64).abs() < 1e-3);
+        assert_eq!(sim.vm_billed_seconds(), 0.0);
+        sim.step(0, 0);
+        assert!(
+            (sim.pool_seconds() - u32::MAX as f64).abs() < 1e-3,
+            "no re-charge"
+        );
+    }
+
     #[test]
     fn double_billing_never_happens() {
         // Billed VM seconds + pool seconds ≈ max(demand, active) integral.

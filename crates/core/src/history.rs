@@ -146,13 +146,17 @@ impl SlidingQuantile {
         pos as u32
     }
 
-    /// Nearest-rank percentile (1–100) of the current window; 0 if empty.
+    /// Nearest-rank percentile (0–100) of the current window; 0 if empty.
+    /// Matches [`percentile_of_sorted`] bit-for-bit on every `(window,
+    /// pct)` pair: `pct` 0 is the minimum, not p1 — clamping 0 up to 1
+    /// diverges from the true minimum once the window exceeds 100
+    /// samples (rank ⌈n/100⌉ instead of rank 1).
     pub fn percentile(&self, pct: u8) -> u32 {
         if self.window.is_empty() {
             return 0;
         }
-        let pct = pct.clamp(1, 100) as usize;
-        let rank = (pct * self.window.len()).div_ceil(100);
+        let pct = pct.min(100) as usize;
+        let rank = (pct * self.window.len()).div_ceil(100).max(1);
         self.kth(rank)
     }
 }
@@ -202,6 +206,90 @@ mod tests {
             }
         }
         assert_eq!(sq.len(), 50);
+    }
+
+    /// Differential sweep between the Fenwick-tree quantile and a sorted
+    /// brute force over every interesting `(window, pct)` edge: empty
+    /// window, partial fill (window shorter than capacity), post-eviction
+    /// steady state, capacities above 100 samples, and pct 0 / 1 / 100.
+    #[test]
+    fn differential_quantile_fenwick_vs_sorted() {
+        let mut rng = Pcg32::seed_from_u64(41);
+        for capacity in [1usize, 2, 3, 7, 50, 128, 250] {
+            let mut sq = SlidingQuantile::new(capacity);
+            let mut all: Vec<u32> = Vec::new();
+            for pct in [0u8, 1, 50, 100] {
+                assert_eq!(sq.percentile(pct), 0, "empty window, pct {pct}");
+            }
+            // Push past 2× capacity so both fill-up and eviction are hit.
+            for step in 0..capacity * 2 + 3 {
+                let v = rng.gen_range(0..300);
+                sq.push(v);
+                all.push(v);
+                let start = all.len().saturating_sub(capacity);
+                let mut w = all[start..].to_vec();
+                w.sort_unstable();
+                for pct in [0u8, 1, 2, 25, 49, 50, 51, 99, 100] {
+                    // Independent nearest-rank reference: rank
+                    // ⌈pct·n/100⌉ floored at 1, so pct 0 is the minimum.
+                    let rank = (pct as usize * w.len()).div_ceil(100).max(1);
+                    let expect = w[rank - 1];
+                    assert_eq!(
+                        sq.percentile(pct),
+                        expect,
+                        "fenwick: cap {capacity} step {step} pct {pct}"
+                    );
+                    assert_eq!(
+                        percentile_of_sorted(&w, pct),
+                        expect,
+                        "sorted: cap {capacity} step {step} pct {pct}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_zero_is_the_window_minimum() {
+        // Regression: pct 0 used to clamp up to p1, which on a window
+        // larger than 100 samples selects rank ⌈n/100⌉ > 1 instead of
+        // the minimum.
+        let mut sq = SlidingQuantile::new(250);
+        let mut h = WorkloadHistory::new();
+        for i in 0..250u32 {
+            sq.push(500 - i);
+            h.push(500 - i);
+        }
+        assert_eq!(sq.percentile(0), 251);
+        assert_eq!(h.percentile(250, 0), 251);
+        // p1 over 250 samples is rank ⌈250/100⌉ = 3 — distinct from min.
+        assert_eq!(sq.percentile(1), 253);
+        assert_eq!(h.percentile(250, 1), 253);
+    }
+
+    #[test]
+    fn warm_up_window_is_never_zero_padded() {
+        // A lookback longer than the recorded history must yield only
+        // real samples (a shorter window), never phantom zeros that drag
+        // warm-up percentiles toward zero while the meta-strategy has
+        // seen little data.
+        let mut h = WorkloadHistory::new();
+        assert_eq!(h.window(10), &[] as &[u32]);
+        assert_eq!(h.percentile(10, 50), 0);
+        h.push(8);
+        h.push(6);
+        assert_eq!(h.window(10), &[8, 6]);
+        assert_eq!(h.window(2), &[8, 6]);
+        assert_eq!(h.window(0), &[] as &[u32]);
+        assert_eq!(h.percentile(10, 0), 6, "min of real samples, not 0");
+        assert_eq!(h.percentile(10, 100), 8);
+        assert!((h.mean(10) - 7.0).abs() < 1e-12);
+        // Absolute reads: in-range exact, unrecorded seconds are 0, and
+        // a huge `t` is out-of-range rather than wrapping.
+        assert_eq!(h.at(0), 8);
+        assert_eq!(h.at(1), 6);
+        assert_eq!(h.at(2), 0);
+        assert_eq!(h.at(u64::MAX), 0);
     }
 
     #[test]

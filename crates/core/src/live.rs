@@ -39,10 +39,10 @@ use cackle_cloud::{
     VmFleet, VmId,
 };
 use cackle_engine::batch::Batch;
+use cackle_engine::executor::Executor;
 use cackle_engine::plan::StageDag;
 use cackle_engine::shuffle::ShuffleTransport;
 use cackle_engine::table::Catalog;
-use cackle_engine::task::{execute_task, TaskContext};
 use cackle_faults::InjectionPoint;
 use std::sync::Arc;
 
@@ -198,9 +198,10 @@ pub fn run_live_collect(
 
 /// The shared event loop behind every live entry point.
 ///
-/// Single-process: engine tasks run inline at event-processing time (their
+/// Single-process: engine tasks run at event-processing time — across
+/// `spec.workers` threads via the deterministic stage executor (their
 /// wall time is irrelevant — simulated durations come from processed
-/// rows), which keeps the run deterministic.
+/// rows) — which keeps the run byte-identical at any worker count.
 fn run_live_inner(
     workload: &[LiveQuery],
     catalog: &Catalog,
@@ -239,6 +240,7 @@ fn run_live_inner(
     shuffle_fleet.instrument("shuffle_fleet", &telemetry);
     let mut shuffle_prov = ShuffleProvisioner::new(env);
     let mut history = WorkloadHistory::new();
+    let executor = Executor::new(spec.workers);
 
     let mut queries: Vec<QueryState> = workload
         .iter()
@@ -312,18 +314,20 @@ fn run_live_inner(
         }};
     }
 
-    // Launch every task of a stage: execute the engine task NOW (bytes move
-    // through the shuffle immediately) but schedule its completion at the
-    // simulated time its row count implies.
+    // Launch every task of a stage: execute the engine tasks NOW across
+    // the worker pool (bytes move through the shuffle at the stage
+    // barrier, in task-index order) and schedule each task's completion
+    // at the simulated time its row count implies. The serial loop below
+    // the executor call draws stragglers and claims fleet/pool slots in
+    // task order, so the sequential fault streams and the scheduler see
+    // the same order at any worker count.
     macro_rules! launch_stage {
         ($now:expr, $qi:expr, $si:expr) => {{
             let plan = &workload[$qi].plan;
-            let tasks = plan.stages[$si].tasks;
-            for task in 0..tasks {
-                let mut ctx = TaskContext::new(plan, $si, task, $qi as u64, catalog, &shuffle);
-                ctx.telemetry = telemetry.clone();
-                ctx.faults = faults.clone();
-                let r = execute_task(&ctx);
+            let task_results = executor.execute_stage(
+                plan, $si, $qi as u64, catalog, &shuffle, &telemetry, &faults,
+            );
+            for r in task_results {
                 if let Some(batches) = r.output {
                     if keep_results {
                         results[$qi].extend(batches);

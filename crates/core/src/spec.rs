@@ -68,6 +68,11 @@ pub struct RunSpec {
     /// [`RunSpec::with_telemetry`] to collect metrics, traces, and cost
     /// attribution (see `crates/telemetry`).
     pub telemetry: Telemetry,
+    /// Worker threads for stage execution (`cackle_engine::executor`).
+    /// Defaults to 1 (serial). A pure throughput knob: changing it must
+    /// not move a single byte of any report or telemetry dump — worker
+    /// count is deliberately not part of the seed (DESIGN.md §9).
+    pub workers: u32,
 }
 
 impl Default for RunSpec {
@@ -85,6 +90,7 @@ impl Default for RunSpec {
             faults: FaultSpec::default(),
             recovery: RecoveryPolicy::default(),
             telemetry: Telemetry::disabled(),
+            workers: 1,
         }
     }
 }
@@ -146,6 +152,14 @@ impl RunSpec {
     /// Live runner: task throughput (rows per task-second).
     pub fn with_rows_per_task_second(mut self, rows: f64) -> Self {
         self.rows_per_task_second = rows;
+        self
+    }
+
+    /// Set the worker-thread count for stage execution (`0` is treated
+    /// as `1`). Workers only change wall-clock time, never results: all
+    /// runs are byte-identical at any worker count.
+    pub fn with_workers(mut self, workers: u32) -> Self {
+        self.workers = workers.max(1);
         self
     }
 

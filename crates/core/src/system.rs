@@ -41,6 +41,7 @@ use cackle_cloud::{
     CostCategory, CostLedger, ElasticPool, EventQueue, InvocationId, Pricing, SimDuration, SimTime,
     VmFleet, VmId,
 };
+use cackle_engine::executor::Executor;
 use cackle_faults::{FaultInjector, InjectionPoint, StoreOp};
 use cackle_prng::Pcg32;
 use std::collections::BTreeMap;
@@ -140,6 +141,11 @@ struct SystemState<'a> {
     /// Set when recovery exhausts its bound; aborts the event loop with a
     /// typed error instead of panicking or hanging.
     fatal: Option<RunError>,
+    /// Worker pool for per-task stage work (`spec.workers` threads). The
+    /// profile replay dispatches its pure duration arithmetic through it
+    /// so the system runner exercises the same worker-count-independent
+    /// path as the live runner.
+    executor: Executor,
 }
 
 impl SystemState<'_> {
@@ -285,14 +291,46 @@ impl SystemState<'_> {
         self.gets += billed;
         self.s3_ledger
             .charge_requests(CostCategory::S3Get, billed, self.spec.env.pricing.s3_get);
-        for _ in 0..stage.tasks {
-            let base = stage.task_seconds as f64;
-            let jitter = if self.spec.duration_jitter > 0.0 {
-                let u: f64 = self.rng.gen_range(-1.0..1.0);
-                (u * self.spec.duration_jitter).exp()
-            } else {
-                1.0
-            };
+        // Phase 1 (serial, task order): every stochastic draw whose stream
+        // position matters. Jitter comes from the main RNG and stragglers
+        // from the plan's dedicated stream, so both sequences stay
+        // byte-identical to the single-threaded runner regardless of
+        // `spec.workers` (zero-rate plans make no straggler draw at all,
+        // so the main RNG sequence is untouched).
+        let base = stage.task_seconds as f64;
+        let draws: Vec<(f64, f64)> = (0..stage.tasks)
+            .map(|_| {
+                let jitter = if self.spec.duration_jitter > 0.0 {
+                    let u: f64 = self.rng.gen_range(-1.0..1.0);
+                    (u * self.spec.duration_jitter).exp()
+                } else {
+                    1.0
+                };
+                let slowdown = self.faults.straggler().unwrap_or(1.0);
+                (jitter, slowdown)
+            })
+            .collect();
+        // Phase 2 (parallel): pure per-task duration arithmetic through
+        // the worker pool. Results land in index-addressed slots, so any
+        // worker count produces the same vector. Tuple layout:
+        // (vm duration, vm nominal, pool duration, pool nominal).
+        let pool_slowdown = self.spec.pool_slowdown;
+        let durations: Vec<(f64, f64, f64, f64)> = self.executor.run_indexed(draws.len(), |i| {
+            let (jitter, slowdown) = draws[i];
+            let nominal = base * jitter;
+            (
+                nominal * slowdown,
+                nominal,
+                nominal * pool_slowdown * slowdown,
+                nominal * pool_slowdown,
+            )
+        });
+        // Phase 3 (serial, task order): token allocation, capacity
+        // bookkeeping, and event scheduling — order-sensitive state that
+        // must advance exactly as in the single-threaded loop.
+        for (task, (jitter, slowdown)) in draws.into_iter().enumerate() {
+            let (vm_dur, vm_nominal, pool_dur, pool_nominal) = durations[task];
+            debug_assert!((vm_dur - base * jitter * slowdown).abs() < 1e-12);
             let token = self.next_token;
             self.next_token += 1;
             self.attempts.insert(
@@ -308,14 +346,10 @@ impl SystemState<'_> {
             );
             self.running += 1;
             self.max_since_sample = self.max_since_sample.max(self.running);
-            // Straggler injection: a slowdown factor from the plan's
-            // dedicated stream (zero-rate plans make no draw at all, so
-            // the main RNG sequence is untouched).
-            let slowdown = self.faults.straggler().unwrap_or(1.0);
             self.add_copy(token);
             match self.fleet.try_assign(now) {
                 Some(id) => {
-                    let dur_s = base * jitter * slowdown;
+                    let dur_s = vm_dur;
                     // Spot interruptions: a VM task survives its duration
                     // with probability exp(-rate × duration); otherwise
                     // the VM is reclaimed at a uniformly random point
@@ -337,15 +371,13 @@ impl SystemState<'_> {
                         );
                     }
                     if slowdown > 1.0 {
-                        self.schedule_dup_check(events, now, token, base * jitter);
+                        self.schedule_dup_check(events, now, token, vm_nominal);
                     }
                 }
                 None => {
-                    let dur_s = base * self.spec.pool_slowdown * jitter * slowdown;
-                    self.launch_on_pool(events, now, token, dur_s, 0, false);
+                    self.launch_on_pool(events, now, token, pool_dur, 0, false);
                     if slowdown > 1.0 {
-                        let nominal = base * self.spec.pool_slowdown * jitter;
-                        self.schedule_dup_check(events, now, token, nominal);
+                        self.schedule_dup_check(events, now, token, pool_nominal);
                     }
                 }
             }
@@ -462,6 +494,7 @@ pub fn try_run_system_with(
         next_token: 0,
         recovery_ledger: CostLedger::new(),
         fatal: None,
+        executor: Executor::new(spec.workers),
     };
     st.fleet.instrument("fleet", &telemetry);
     st.pool.instrument(&telemetry);

@@ -168,7 +168,15 @@ impl ShuffleTransport for HybridShuffle {
         let len = bytes.len() as u64;
         // An injected transport drop that survives the retry bound skips
         // the node tier entirely; the durable object store absorbs it.
-        let dropped = self.faults.transport_write_fallback();
+        // The draw is keyed by the chunk's stable identity — writes are
+        // published from the executor's barrier, but the engine's serial
+        // driver publishes inline from task code, and either way the
+        // outcome must not depend on publication order.
+        let dropped = self
+            .faults
+            .transport_write_fallback_keyed(cackle_faults::op_key(
+                Self::object_key(key, producer_task).as_bytes(),
+            ));
         let mut nodes = self.lock_nodes();
         let count = nodes.len();
         if count > 0 && !dropped {

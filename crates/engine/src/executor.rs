@@ -1,0 +1,276 @@
+//! Deterministic worker-pool stage executor.
+//!
+//! A Cackle stage fans its tasks out across many workers at once (Lambda
+//! invocations in the paper; Starling runs hundreds of cloud-function
+//! tasks concurrently). This module is the one blessed home of threads in
+//! the workspace (`cackle-lint` L6 flags `std::thread` anywhere else):
+//! it runs all ready tasks of a stage on a small `std::thread` pool while
+//! keeping every run byte-identical for *any* worker count, including 1.
+//!
+//! Determinism comes from structure, not luck:
+//!
+//! * **Fixed work-item ordering.** The work list is the stage's task
+//!   indices `0..tasks`; workers claim indices from a shared atomic
+//!   counter, but results land in index-addressed slots, so the output
+//!   vector is always in task order no matter which worker ran what.
+//! * **Buffered publication.** The parallel phase only *computes*: each
+//!   task materializes its operator tree and buffers its exchange chunks
+//!   ([`execute_task_buffered`]). Shuffle writes are published serially
+//!   at the stage barrier in task-index order — node-tier placement is
+//!   first-come-first-served, so publication order must not depend on
+//!   thread scheduling.
+//! * **Sharded telemetry.** Each task records into a private registry
+//!   shard; shards merge into the main sink at the barrier in task order
+//!   ([`Telemetry::merge`]). Every worker count — including 1 — goes
+//!   through the shard path, so the merged registry is identical at
+//!   `workers = 1, 2, 8`.
+//! * **Keyed fault draws.** Injection points reachable from task code
+//!   (transport reads/writes, store GET/PUT) draw from streams keyed by
+//!   the operation's stable identity, never from a shared sequential
+//!   stream (`cackle-faults`), so draws are dispatch-order-independent.
+//!
+//! Worker count is therefore a pure throughput knob — it is deliberately
+//! *not* part of the seed, and changing it must not move a single byte
+//! of any report or telemetry dump (`tests/determinism.rs` enforces
+//! this at workers = 1, 2, 8).
+
+use crate::batch::Batch;
+use crate::plan::{StageDag, StageId};
+use crate::shuffle::ShuffleTransport;
+use crate::table::Catalog;
+use crate::task::{execute_task_buffered, TaskContext, TaskResult};
+use cackle_faults::FaultInjector;
+use cackle_telemetry::Telemetry;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+// Compile-time proof that everything a worker closure captures can cross
+// threads (`dyn ShuffleTransport` is `Send + Sync` by declaration).
+#[allow(dead_code)]
+fn assert_sync<T: ?Sized + Sync>() {}
+const _: () = {
+    let _ = assert_sync::<StageDag>;
+    let _ = assert_sync::<Catalog>;
+    let _ = assert_sync::<dyn ShuffleTransport>;
+    let _ = assert_sync::<Telemetry>;
+    let _ = assert_sync::<FaultInjector>;
+};
+
+/// A deterministic worker pool. Cheap to construct; holds no threads —
+/// each [`Executor::run_indexed`] call spins up scoped workers and joins
+/// them before returning.
+#[derive(Debug, Clone, Copy)]
+pub struct Executor {
+    workers: u32,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::new(1)
+    }
+}
+
+impl Executor {
+    /// An executor with `workers` threads (`0` is treated as `1`).
+    pub fn new(workers: u32) -> Self {
+        Executor {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> u32 {
+        self.workers
+    }
+
+    /// Run `f(0..n)` across the pool and return the results **in index
+    /// order**. Workers claim indices dynamically from an atomic counter
+    /// (load balancing), but each result lands in its index's slot, so
+    /// the returned vector is independent of scheduling. With one worker
+    /// (or one item) this is a plain serial loop on the caller's thread.
+    ///
+    /// `f` must be safe to call from multiple threads at once; any
+    /// cross-index effects it has must be order-independent (commutative
+    /// counters, keyed draws) or buffered for the caller to apply in
+    /// index order after the pool joins.
+    pub fn run_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.workers == 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..(self.workers as usize).min(n) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(i);
+                    if let Ok(mut slot) = slots[i].lock() {
+                        *slot = Some(r);
+                    }
+                });
+            }
+        });
+        // The scope propagates worker panics, so every slot is filled
+        // here; flatten instead of unwrapping keeps this panic-free.
+        slots
+            .into_iter()
+            .filter_map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+            .collect()
+    }
+
+    /// Execute every task of one stage: the parallel phase computes and
+    /// buffers, then the serial barrier phase publishes shuffle writes
+    /// and merges telemetry shards in task-index order. Returns the
+    /// per-task results in task order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_stage(
+        &self,
+        dag: &StageDag,
+        stage_id: StageId,
+        query_id: u64,
+        catalog: &Catalog,
+        shuffle: &dyn ShuffleTransport,
+        telemetry: &Telemetry,
+        faults: &FaultInjector,
+    ) -> Vec<TaskResult> {
+        let tasks = dag.stages[stage_id].tasks as usize;
+        let ran = self.run_indexed(tasks, |i| {
+            // Each task records into a private telemetry shard — merged
+            // below in task order — so the main registry never observes
+            // scheduling order. Worker count 1 takes the same path:
+            // that is what makes all worker counts byte-identical.
+            let shard = if telemetry.is_enabled() {
+                Telemetry::new()
+            } else {
+                Telemetry::disabled()
+            };
+            let mut ctx = TaskContext::new(dag, stage_id, i as u32, query_id, catalog, shuffle);
+            ctx.telemetry = shard.clone();
+            ctx.faults = faults.clone();
+            (execute_task_buffered(&ctx), shard)
+        });
+        let mut results = Vec::with_capacity(ran.len());
+        for (task, (buffered, shard)) in ran.into_iter().enumerate() {
+            for (key, data) in buffered.writes {
+                shuffle.write(key, task as u32, data);
+            }
+            telemetry.merge(&shard);
+            results.push(buffered.result);
+        }
+        results
+    }
+
+    /// Execute every stage of a plan in dependency order (stages are
+    /// barriers), gathering the final stage's output. The parallel
+    /// counterpart of [`crate::task::execute_query`].
+    pub fn execute_query(
+        &self,
+        dag: &StageDag,
+        query_id: u64,
+        catalog: &Catalog,
+        shuffle: &dyn ShuffleTransport,
+    ) -> Batch {
+        let mut gathered: Vec<Batch> = Vec::new();
+        for stage in &dag.stages {
+            let results = self.execute_stage(
+                dag,
+                stage.id,
+                query_id,
+                catalog,
+                shuffle,
+                &Telemetry::disabled(),
+                &FaultInjector::disabled(),
+            );
+            for r in results {
+                if let Some(batches) = r.output {
+                    gathered.extend(batches);
+                }
+            }
+        }
+        shuffle.delete_query(query_id);
+        let schema = dag.final_stage().output_schema.clone();
+        Batch::concat(schema, &gathered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode_batch;
+    use crate::task::execute_query;
+
+    #[test]
+    fn run_indexed_returns_results_in_index_order() {
+        for workers in [1, 2, 3, 8, 16] {
+            let ex = Executor::new(workers);
+            let out = ex.run_indexed(37, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+        // Degenerate sizes.
+        assert_eq!(Executor::new(8).run_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(Executor::new(8).run_indexed(1, |i| i), vec![0]);
+        // Zero workers behaves as one.
+        assert_eq!(Executor::new(0).workers(), 1);
+    }
+
+    #[test]
+    fn parallel_query_matches_serial_query_bytes() {
+        // The tentpole contract at engine level: the executor's gathered
+        // output is byte-identical to the serial driver's, for any
+        // worker count.
+        let cat = crate::task::tests::catalog();
+        let dag = crate::task::tests::agg_plan();
+        let serial = {
+            let shuffle = crate::shuffle::MemoryShuffle::new();
+            execute_query(&dag, 1, &cat, &shuffle)
+        };
+        let serial_bytes = encode_batch(&serial);
+        for workers in [1u32, 2, 8] {
+            let shuffle = crate::shuffle::MemoryShuffle::new();
+            let parallel = Executor::new(workers).execute_query(&dag, 1, &cat, &shuffle);
+            assert_eq!(
+                encode_batch(&parallel),
+                serial_bytes,
+                "workers={workers} diverged from serial execution"
+            );
+            assert_eq!(shuffle.resident_bytes(), 0, "query state cleaned up");
+        }
+    }
+
+    #[test]
+    fn stage_results_and_telemetry_are_worker_count_independent() {
+        let cat = crate::task::tests::catalog();
+        let dag = crate::task::tests::agg_plan();
+        let dump = |workers: u32| {
+            let shuffle = crate::shuffle::MemoryShuffle::new();
+            let t = Telemetry::new();
+            let ex = Executor::new(workers);
+            let mut rows = Vec::new();
+            for stage in &dag.stages {
+                let results = ex.execute_stage(
+                    &dag,
+                    stage.id,
+                    7,
+                    &cat,
+                    &shuffle,
+                    &t,
+                    &FaultInjector::disabled(),
+                );
+                rows.extend(results.iter().map(|r| (r.rows_in, r.rows_out)));
+            }
+            (rows, t.export_jsonl())
+        };
+        let baseline = dump(1);
+        for workers in [2u32, 8] {
+            assert_eq!(dump(workers), baseline, "workers={workers}");
+        }
+        assert!(baseline.1.contains("engine.tasks_total"));
+    }
+}

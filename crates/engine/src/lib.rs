@@ -37,6 +37,7 @@
 pub mod batch;
 pub mod codec;
 pub mod column;
+pub mod executor;
 pub mod explain;
 pub mod expr;
 pub mod ops;
@@ -58,6 +59,7 @@ pub use types::{date, DataType, Value};
 pub mod prelude {
     pub use crate::batch::Batch;
     pub use crate::column::{Column, ColumnData};
+    pub use crate::executor::Executor;
     pub use crate::expr::{BinOp, Expr, LikePattern};
     pub use crate::ops::aggregate::{AggExpr, AggFunc};
     pub use crate::ops::join::JoinType;
@@ -66,6 +68,9 @@ pub mod prelude {
     pub use crate::schema::{Field, Schema, SchemaRef};
     pub use crate::shuffle::{MemoryShuffle, ShuffleKey, ShuffleStats, ShuffleTransport};
     pub use crate::table::{Catalog, Table};
-    pub use crate::task::{execute_query, execute_task, format_batch, TaskContext, TaskResult};
+    pub use crate::task::{
+        execute_query, execute_task, execute_task_buffered, format_batch, BufferedTask,
+        TaskContext, TaskResult,
+    };
     pub use crate::types::{date, DataType, Value};
 }

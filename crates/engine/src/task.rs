@@ -17,7 +17,7 @@ use crate::rowkey::partition_of;
 use crate::schema::SchemaRef;
 use crate::shuffle::{ShuffleKey, ShuffleTransport};
 use crate::table::Catalog;
-use cackle_faults::FaultInjector;
+use cackle_faults::{op_key, FaultInjector};
 use cackle_telemetry::Telemetry;
 use std::sync::Arc;
 
@@ -87,10 +87,37 @@ pub struct TaskResult {
     pub rows_in: u64,
 }
 
-/// Execute one task to completion.
+/// A task's computed result plus the exchange chunks it produced,
+/// buffered for the caller to publish. The parallel executor runs the
+/// compute phase concurrently and publishes the buffered writes serially
+/// at the stage barrier in task-index order — node-tier shuffle placement
+/// is first-come-first-served, so publication order must not depend on
+/// thread scheduling.
+#[derive(Debug, Default)]
+pub struct BufferedTask {
+    /// The task's result (counters already recorded to `ctx.telemetry`).
+    pub result: TaskResult,
+    /// Encoded exchange chunks in partition order, to be written as
+    /// `shuffle.write(key, ctx.task, data)`.
+    pub writes: Vec<(ShuffleKey, Vec<u8>)>,
+}
+
+/// Execute one task to completion, publishing its exchange output
+/// through `ctx.shuffle` immediately (the serial driver's path).
 pub fn execute_task(ctx: &TaskContext<'_>) -> TaskResult {
+    let buffered = execute_task_buffered(ctx);
+    for (key, data) in buffered.writes {
+        ctx.shuffle.write(key, ctx.task, data);
+    }
+    buffered.result
+}
+
+/// Execute one task's compute phase, buffering exchange writes instead
+/// of publishing them (see [`BufferedTask`]).
+pub fn execute_task_buffered(ctx: &TaskContext<'_>) -> BufferedTask {
     let stage = &ctx.dag.stages[ctx.stage_id];
     let mut result = TaskResult::default();
+    let mut writes: Vec<(ShuffleKey, Vec<u8>)> = Vec::new();
     let batches = exec_node(ctx, &stage.root, &mut result);
     let out_rows: u64 = batches.iter().map(|b| b.num_rows() as u64).sum();
     result.rows_out = out_rows;
@@ -104,15 +131,14 @@ pub fn execute_task(ctx: &TaskContext<'_>) -> TaskResult {
             let data = encode_batch(&combined);
             result.shuffle_bytes_written += data.len() as u64;
             result.shuffle_writes += 1;
-            ctx.shuffle.write(
+            writes.push((
                 ShuffleKey {
                     query: ctx.query_id,
                     stage: ctx.stage_id as u32,
                     partition: 0,
                 },
-                ctx.task,
                 data,
-            );
+            ));
         }
         ExchangeMode::Hash { keys, partitions } => {
             let combined = Batch::concat(stage.output_schema.clone(), &batches);
@@ -131,15 +157,14 @@ pub fn execute_task(ctx: &TaskContext<'_>) -> TaskResult {
                 let data = encode_batch(&chunk);
                 result.shuffle_bytes_written += data.len() as u64;
                 result.shuffle_writes += 1;
-                ctx.shuffle.write(
+                writes.push((
                     ShuffleKey {
                         query: ctx.query_id,
                         stage: ctx.stage_id as u32,
                         partition: p as u32,
                     },
-                    ctx.task,
                     data,
-                );
+                ));
             }
         }
     }
@@ -159,7 +184,7 @@ pub fn execute_task(ctx: &TaskContext<'_>) -> TaskResult {
             &ROW_BUCKETS,
         );
     }
-    result
+    BufferedTask { result, writes }
 }
 
 fn read_stage(
@@ -171,8 +196,17 @@ fn read_stage(
     let schema = ctx.dag.stages[upstream].output_schema.clone();
     // Injected transport drops: each dropped fetch is retried within the
     // recovery bound (transients clear by construction), so the read
-    // below always observes complete data; the retries are counted.
-    ctx.faults.transport_read_retries();
+    // below always observes complete data; the retries are counted. The
+    // draw is keyed by the read's stable identity — tasks execute
+    // concurrently, so a shared sequential stream would make the outcome
+    // depend on thread scheduling.
+    ctx.faults.transport_read_retries_keyed(op_key(
+        format!(
+            "read/q{}/s{}/p{}/c{}/t{}",
+            ctx.query_id, upstream, partition, ctx.stage_id, ctx.task
+        )
+        .as_bytes(),
+    ));
     let chunks = ctx.shuffle.read(ShuffleKey {
         query: ctx.query_id,
         stage: upstream as u32,
@@ -376,7 +410,7 @@ pub fn format_batch(batch: &Batch, max_rows: usize) -> String {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::expr::Expr;
     use crate::ops::aggregate::{AggExpr, AggFunc};
@@ -388,7 +422,7 @@ mod tests {
     use crate::types::DataType;
 
     /// Build a catalog with an `orders`-like table spread over partitions.
-    fn catalog() -> Catalog {
+    pub(crate) fn catalog() -> Catalog {
         let schema = Schema::shared(&[
             ("o_key", DataType::I64),
             ("o_cust", DataType::I64),
@@ -415,7 +449,7 @@ mod tests {
 
     /// Two-phase aggregation plan: per-customer SUM(o_total) via partial
     /// aggregation, hash exchange on customer, final aggregation, gather.
-    fn agg_plan() -> StageDag {
+    pub(crate) fn agg_plan() -> StageDag {
         let partial_schema = Schema::shared(&[("o_cust", DataType::I64), ("psum", DataType::F64)]);
         let final_schema = Schema::shared(&[("o_cust", DataType::I64), ("total", DataType::F64)]);
         StageDag::new(

@@ -362,6 +362,7 @@ pub enum StoreOp {
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
     spec: FaultSpec,
+    seed: u64,
     spot: Pcg32,
     pool: Pcg32,
     store_get: Pcg32,
@@ -378,12 +379,33 @@ fn stream(seed: u64, salt: u64) -> Pcg32 {
     Pcg32::seed_from_u64(expanded)
 }
 
+/// Point salts for the *keyed* injection points — the ones consulted from
+/// parallel task code, where a shared sequential stream would make draw
+/// results depend on thread scheduling. Disjoint from the sequential
+/// salts (0xFA01–0xFA06) so keyed and sequential draws never collide.
+const SALT_TRANSPORT_READ: u64 = 0xFA13;
+const SALT_TRANSPORT_WRITE: u64 = 0xFA14;
+const SALT_STORE_GET: u64 = 0xFA15;
+const SALT_STORE_PUT: u64 = 0xFA16;
+
+/// FNV-1a over a byte string — the helper callers use to turn a stable
+/// operation identity (e.g. an object-store key) into a keyed-draw key.
+pub fn op_key(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
 impl FaultPlan {
     /// Compile a validated spec into a plan seeded for one run.
     pub fn compile(spec: &FaultSpec, seed: u64) -> Result<Self, FaultError> {
         spec.validate()?;
         Ok(FaultPlan {
             spec: spec.clone(),
+            seed,
             spot: stream(seed, 0xFA01),
             pool: stream(seed, 0xFA02),
             store_get: stream(seed, 0xFA03),
@@ -391,6 +413,18 @@ impl FaultPlan {
             transport: stream(seed, 0xFA05),
             straggler: stream(seed, 0xFA06),
         })
+    }
+
+    /// A fresh PCG stream keyed by `(run seed, point salt, operation
+    /// key)`. Unlike the sequential per-point streams, a keyed stream
+    /// depends only on the operation's stable identity — never on how
+    /// many draws other operations made first — so draws made from
+    /// concurrently-executing tasks are dispatch-order-independent.
+    fn keyed_stream(&self, salt: u64, key: u64) -> Pcg32 {
+        let mut s = self.seed ^ salt;
+        let point = splitmix64(&mut s);
+        let mut k = point ^ key;
+        Pcg32::seed_from_u64(splitmix64(&mut k))
     }
 
     /// The spec this plan was compiled from.
@@ -631,6 +665,90 @@ impl FaultInjector {
         retries
     }
 
+    /// Keyed variant of [`FaultInjector::store_attempts`] for call sites
+    /// reachable from concurrently-executing tasks: draws come from a
+    /// fresh stream keyed by `(run seed, point, key)` instead of the
+    /// shared sequential stream, so the result depends only on the
+    /// operation's identity, never on dispatch order. Two operations with
+    /// the same `key` (e.g. two consumers GETting the same object) draw
+    /// identically — acceptable correlation for a fault model. Counts the
+    /// same `fault.*` / `recovery.*` metrics as the sequential variant.
+    pub fn store_attempts_keyed(&self, op: StoreOp, key: u64) -> u64 {
+        let Some(s) = self.lock() else {
+            return 1;
+        };
+        let (rate, salt, counter) = match op {
+            StoreOp::Get => (
+                s.plan.spec.store_get_error_rate,
+                SALT_STORE_GET,
+                "fault.store_get_errors_total",
+            ),
+            StoreOp::Put => (
+                s.plan.spec.store_put_error_rate,
+                SALT_STORE_PUT,
+                "fault.store_put_errors_total",
+            ),
+        };
+        if rate <= 0.0 {
+            return 1;
+        }
+        let mut rng = s.plan.keyed_stream(salt, key);
+        let max_retries = s.policy.max_retries;
+        let mut failed = 0u32;
+        while failed < max_retries && rng.gen_bool(rate) {
+            failed += 1;
+            s.telemetry.counter_add(counter, 1);
+            s.telemetry.counter_add("recovery.retries_total", 1);
+        }
+        1 + failed as u64
+    }
+
+    /// Keyed variant of [`FaultInjector::transport_write_fallback`] (see
+    /// [`FaultInjector::store_attempts_keyed`] for the keying contract).
+    pub fn transport_write_fallback_keyed(&self, key: u64) -> bool {
+        let Some(s) = self.lock() else {
+            return false;
+        };
+        let rate = s.plan.spec.transport_drop_rate;
+        if rate <= 0.0 {
+            return false;
+        }
+        let mut rng = s.plan.keyed_stream(SALT_TRANSPORT_WRITE, key);
+        let attempts = s.policy.max_retries.saturating_add(1);
+        for attempt in 0..attempts {
+            if !rng.gen_bool(rate) {
+                return false;
+            }
+            s.telemetry.counter_add("fault.transport_drops_total", 1);
+            if attempt + 1 < attempts {
+                s.telemetry.counter_add("recovery.retries_total", 1);
+            }
+        }
+        s.telemetry
+            .counter_add("recovery.transport_fallbacks_total", 1);
+        true
+    }
+
+    /// Keyed variant of [`FaultInjector::transport_read_retries`] (see
+    /// [`FaultInjector::store_attempts_keyed`] for the keying contract).
+    pub fn transport_read_retries_keyed(&self, key: u64) -> u32 {
+        let Some(s) = self.lock() else {
+            return 0;
+        };
+        let rate = s.plan.spec.transport_drop_rate;
+        if rate <= 0.0 {
+            return 0;
+        }
+        let mut rng = s.plan.keyed_stream(SALT_TRANSPORT_READ, key);
+        let mut retries = 0u32;
+        while retries < s.policy.max_retries && rng.gen_bool(rate) {
+            retries += 1;
+            s.telemetry.counter_add("fault.transport_drops_total", 1);
+            s.telemetry.counter_add("recovery.retries_total", 1);
+        }
+        retries
+    }
+
     /// Record a recovery retry scheduled by a runner (e.g. a pool invoke
     /// retry after backoff).
     pub fn note_retry(&self, backoff_ms: u64) {
@@ -818,6 +936,88 @@ mod tests {
     }
 
     #[test]
+    fn keyed_draws_depend_only_on_the_operation_key() {
+        // The parallel-dispatch contract: a keyed draw's outcome is a pure
+        // function of (seed, point, key). Interleaving draws for other
+        // keys — as concurrent tasks would — must not move it.
+        let inj = || {
+            FaultInjector::new(
+                FaultPlan::compile(&active_spec(), 33).unwrap(),
+                RecoveryPolicy::default(),
+            )
+        };
+        let a = inj();
+        let direct: Vec<u32> = (0..50).map(|k| a.transport_read_retries_keyed(k)).collect();
+        let b = inj();
+        let interleaved: Vec<u32> = (0..50)
+            .rev()
+            .map(|k| {
+                let _ = b.store_attempts_keyed(StoreOp::Get, k * 7 + 1000);
+                let _ = b.transport_write_fallback_keyed(k + 5000);
+                b.transport_read_retries_keyed(k)
+            })
+            .collect();
+        let mut reversed = interleaved.clone();
+        reversed.reverse();
+        assert_eq!(direct, reversed, "keyed draws moved with dispatch order");
+        // Distinct keys must actually vary the outcome somewhere, or the
+        // keying is vacuous.
+        assert!(
+            direct.iter().any(|&r| r > 0),
+            "0.4 drop rate over 50 keys should hit at least once"
+        );
+        // Same key twice: identical result (and the sequential streams
+        // are untouched by keyed draws).
+        assert_eq!(
+            a.store_attempts_keyed(StoreOp::Put, 99),
+            inj().store_attempts_keyed(StoreOp::Put, 99)
+        );
+    }
+
+    #[test]
+    fn keyed_draws_leave_sequential_streams_untouched() {
+        let mut plan = FaultPlan::compile(&active_spec(), 12).unwrap();
+        let before = plan.clone();
+        for k in 0..20 {
+            let mut rng = plan.keyed_stream(SALT_TRANSPORT_READ, k);
+            let _ = rng.gen_bool(0.5);
+        }
+        assert_eq!(plan.transport, before.transport);
+        assert_eq!(plan.store_get, before.store_get);
+        assert_eq!(plan.store_put, before.store_put);
+    }
+
+    #[test]
+    fn keyed_draws_are_zero_rate_noops() {
+        let t = Telemetry::new();
+        let inj = FaultInjector::new(
+            FaultPlan::compile(&FaultSpec::default(), 3).unwrap(),
+            RecoveryPolicy::default(),
+        )
+        .instrumented(&t);
+        for k in 0..50 {
+            assert_eq!(inj.store_attempts_keyed(StoreOp::Get, k), 1);
+            assert_eq!(inj.store_attempts_keyed(StoreOp::Put, k), 1);
+            assert!(!inj.transport_write_fallback_keyed(k));
+            assert_eq!(inj.transport_read_retries_keyed(k), 0);
+        }
+        assert_eq!(t.export_jsonl().lines().count(), 1, "only the meta line");
+    }
+
+    #[test]
+    fn op_key_is_stable_and_spreads() {
+        assert_eq!(op_key(b""), 0xcbf29ce484222325);
+        assert_eq!(
+            op_key(b"shuffle/q1/s2/p3/t4"),
+            op_key(b"shuffle/q1/s2/p3/t4")
+        );
+        assert_ne!(
+            op_key(b"shuffle/q1/s2/p3/t4"),
+            op_key(b"shuffle/q1/s2/p3/t5")
+        );
+    }
+
+    #[test]
     fn disabled_injector_is_a_noop() {
         let inj = FaultInjector::disabled();
         assert!(!inj.is_enabled());
@@ -826,6 +1026,9 @@ mod tests {
         assert_eq!(inj.store_attempts(StoreOp::Put), 1);
         assert!(!inj.transport_write_fallback());
         assert_eq!(inj.transport_read_retries(), 0);
+        assert_eq!(inj.store_attempts_keyed(StoreOp::Get, 7), 1);
+        assert!(!inj.transport_write_fallback_keyed(7));
+        assert_eq!(inj.transport_read_retries_keyed(7), 0);
         assert_eq!(inj.straggler(), None);
         assert_eq!(inj.policy(), RecoveryPolicy::default());
     }

@@ -1,0 +1,19 @@
+//! Fixture: deliberate L6 violations — ad-hoc threading outside the
+//! blessed stage executor.
+
+fn fan_out(work: Vec<u64>) -> Vec<std::thread::JoinHandle<u64>> {
+    work.into_iter()
+        .map(|w| std::thread::spawn(move || w * 2)) // L6: ad-hoc spawn
+        .collect()
+}
+
+fn scoped(work: &[u64]) -> u64 {
+    let mut total = 0;
+    std::thread::scope(|s| {
+        // L6: ad-hoc scope
+        s.spawn(|| {
+            total = work.iter().sum();
+        });
+    });
+    total
+}

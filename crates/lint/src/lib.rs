@@ -18,7 +18,8 @@
 //! | L2 | no `thread_rng` / `from_entropy` / `rand::` (unseeded RNG) | everywhere |
 //! | L3 | no order-revealing iteration of `HashMap` / `HashSet` | `crates/engine`, `crates/core`, `crates/telemetry` |
 //! | L4 | no raw `f64` arithmetic or `==` on cost-named bindings | `crates/cloud` (except `ledger.rs`, `pricing.rs`), `crates/engine`, `examples` |
-//! | L5 | no `unwrap()` / `expect()` / `panic!` on hot paths | `crates/cloud/src`, `crates/telemetry/src`, `crates/faults/src`, `core/{system,transport}.rs`, `engine/{task,shuffle,table}.rs` |
+//! | L5 | no `unwrap()` / `expect()` / `panic!` on hot paths | `crates/cloud/src`, `crates/telemetry/src`, `crates/faults/src`, `core/{system,transport}.rs`, `engine/{task,shuffle,table,executor}.rs` |
+//! | L6 | no `thread::spawn` / `thread::scope` (ad-hoc threading) | everywhere except `crates/engine/src/executor.rs` |
 //!
 //! `tests/`, `benches/`, and `#[cfg(test)]` / `#[test]` items are
 //! skipped everywhere: test code may use the host clock, unwraps, and
@@ -62,13 +63,22 @@ pub enum LintId {
     L4,
     /// Panic paths (`unwrap`/`expect`/`panic!`) on hot paths.
     L5,
+    /// Ad-hoc threading outside the deterministic stage executor.
+    L6,
 }
 
 impl LintId {
     /// All rules, in report order.
-    pub const ALL: [LintId; 5] = [LintId::L1, LintId::L2, LintId::L3, LintId::L4, LintId::L5];
+    pub const ALL: [LintId; 6] = [
+        LintId::L1,
+        LintId::L2,
+        LintId::L3,
+        LintId::L4,
+        LintId::L5,
+        LintId::L6,
+    ];
 
-    /// Parse `"L1"`..`"L5"`.
+    /// Parse `"L1"`..`"L6"`.
     pub fn parse(s: &str) -> Option<LintId> {
         match s.trim() {
             "L1" => Some(LintId::L1),
@@ -76,6 +86,7 @@ impl LintId {
             "L3" => Some(LintId::L3),
             "L4" => Some(LintId::L4),
             "L5" => Some(LintId::L5),
+            "L6" => Some(LintId::L6),
             _ => None,
         }
     }
@@ -89,6 +100,7 @@ impl fmt::Display for LintId {
             LintId::L3 => "L3",
             LintId::L4 => "L4",
             LintId::L5 => "L5",
+            LintId::L6 => "L6",
         };
         f.write_str(s)
     }
@@ -148,8 +160,14 @@ fn applies(id: LintId, path: &str) -> bool {
                         | "crates/engine/src/task.rs"
                         | "crates/engine/src/shuffle.rs"
                         | "crates/engine/src/table.rs"
+                        | "crates/engine/src/executor.rs"
                 )
         }
+        // All threading goes through the deterministic stage executor:
+        // an ad-hoc thread has no index-ordered result slot, no telemetry
+        // shard, and no keyed fault stream, so its effects depend on the
+        // scheduler.
+        LintId::L6 => path != "crates/engine/src/executor.rs",
     }
 }
 
@@ -422,6 +440,23 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
                 t.line,
                 format!(
                     "`{}!` on a hot path: handle the case or debug_assert",
+                    t.text
+                ),
+            );
+        }
+
+        // L6: ad-hoc threading (`thread::spawn` / `thread::scope`).
+        if matches!(t.text.as_str(), "spawn" | "scope")
+            && prev == "::"
+            && i >= 2
+            && toks[i - 2].text == "thread"
+        {
+            push(
+                LintId::L6,
+                t.line,
+                format!(
+                    "`thread::{}` outside the stage executor: route parallel work \
+                     through cackle_engine::executor::Executor",
                     t.text
                 ),
             );
@@ -707,6 +742,29 @@ mod tests {
         let f = lint_source("crates/core/src/oracle.rs", src);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn thread_spawn_flagged_outside_executor() {
+        let src = "fn f() { std::thread::spawn(|| {}); }";
+        let f = lint_source("crates/core/src/live.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].id, LintId::L6);
+        // `thread::scope` is the same hazard.
+        let scope = "fn f() { std::thread::scope(|_| {}); }";
+        assert!(lint_source("crates/cloud/src/vm.rs", scope)
+            .iter()
+            .any(|f| f.id == LintId::L6));
+        // The blessed executor is the one place threads may be made.
+        assert!(lint_source("crates/engine/src/executor.rs", src)
+            .iter()
+            .all(|f| f.id != LintId::L6));
+        // Test items may thread freely (e.g. store sharing tests).
+        let test_src = "#[test]\nfn t() { std::thread::spawn(|| {}); }";
+        assert!(lint_source("crates/cloud/src/object_store.rs", test_src).is_empty());
+        // An unrelated `spawn` method is not flagged.
+        let method = "fn f(p: &Pool) { p.spawn(); }";
+        assert!(lint_source("crates/core/src/live.rs", method).is_empty());
     }
 
     #[test]

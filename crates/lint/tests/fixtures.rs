@@ -27,6 +27,7 @@ fn violations_fixture_trips_every_rule() {
     assert_eq!(count(LintId::L3), 2);
     assert_eq!(count(LintId::L4), 2);
     assert_eq!(count(LintId::L5), 3);
+    assert_eq!(count(LintId::L6), 2);
     // Findings are sorted and carry 1-based lines.
     let mut sorted = findings.clone();
     sorted.sort();

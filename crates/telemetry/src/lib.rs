@@ -272,6 +272,55 @@ impl Registry {
         out
     }
 
+    /// Fold another registry (a per-task telemetry shard) into this one.
+    ///
+    /// This is the merge-ordered contract behind parallel task execution:
+    /// each task records into a private shard, and the executor absorbs the
+    /// shards in task-index order at the stage barrier, so the merged
+    /// registry — and therefore the exported dump — is independent of which
+    /// worker thread ran which task. Merge semantics per section: counters
+    /// add; gauges last-write-wins (the absorbing shard's value replaces
+    /// ours); histograms merge elementwise (bounds must match); series and
+    /// events append in shard order; costs add.
+    pub fn absorb(&mut self, shard: &Registry) {
+        for (name, v) in &shard.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &shard.gauges {
+            self.gauges.insert(name.clone(), *v);
+        }
+        for (name, h) in &shard.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => {
+                    debug_assert_eq!(
+                        mine.bounds, h.bounds,
+                        "histogram {name}: shard bounds differ"
+                    );
+                    for (c, s) in mine.counts.iter_mut().zip(&h.counts) {
+                        *c += s;
+                    }
+                    mine.count += h.count;
+                    mine.sum += h.sum;
+                    mine.min = mine.min.min(h.min);
+                    mine.max = mine.max.max(h.max);
+                }
+                None => {
+                    self.histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
+        for (name, points) in &shard.series {
+            self.series
+                .entry(name.clone())
+                .or_default()
+                .extend_from_slice(points);
+        }
+        for (key, d) in &shard.costs {
+            *self.costs.entry(key.clone()).or_insert(0.0) += d;
+        }
+        self.events.extend_from_slice(&shard.events);
+    }
+
     /// Export every time series as long-format CSV
     /// (`name,t_ms,value` rows, sorted by name then record order) —
     /// convenient for plotting tools.
@@ -453,6 +502,20 @@ impl Telemetry {
         }
     }
 
+    /// Absorb a per-task telemetry shard into this sink (see
+    /// [`Registry::absorb`]). A no-op when either handle is disabled. The
+    /// caller is responsible for absorbing shards in task-index order —
+    /// that ordering, not thread scheduling, is what keeps parallel runs
+    /// byte-identical.
+    pub fn merge(&self, shard: &Telemetry) {
+        let Some(other) = shard.snapshot() else {
+            return;
+        };
+        if let Some(mut r) = self.lock() {
+            r.absorb(&other);
+        }
+    }
+
     /// A point-in-time copy of the registry (None when disabled).
     pub fn snapshot(&self) -> Option<Registry> {
         self.lock().map(|r| r.clone())
@@ -626,6 +689,53 @@ mod tests {
             v.get("detail").and_then(json::Value::as_str),
             Some("line\nbreak\tand \\slash")
         );
+    }
+
+    #[test]
+    fn shard_merge_in_task_order_matches_serial_recording() {
+        // The parallel-execution contract: recording into per-task shards
+        // and absorbing them in task order must reproduce the dump a
+        // single serial registry would have produced.
+        let record = |t: &Telemetry, task: u64| {
+            t.counter_add("engine.tasks_total", 1);
+            t.counter_add("engine.task_rows_out_total", 10 * (task + 1));
+            t.observe_with_buckets("engine.task_rows_in", task as f64, &[1.0, 4.0]);
+            t.sample("engine.rows", task * 100, task as f64);
+            t.add_cost("store", "s3_put", 0.125);
+            t.span_event(task * 10, 5, "task", Some(task), Some(0), "");
+        };
+        let serial = Telemetry::new();
+        for task in 0..4u64 {
+            record(&serial, task);
+        }
+        let main = Telemetry::new();
+        let shards: Vec<Telemetry> = (0..4u64)
+            .map(|task| {
+                let shard = Telemetry::new();
+                record(&shard, task);
+                shard
+            })
+            .collect();
+        for shard in &shards {
+            main.merge(shard);
+        }
+        assert_eq!(serial.export_jsonl(), main.export_jsonl());
+    }
+
+    #[test]
+    fn merge_gauges_last_wins_and_disabled_is_noop() {
+        let main = Telemetry::new();
+        main.gauge_set("run.active", 1.0);
+        let shard = Telemetry::new();
+        shard.gauge_set("run.active", 7.0);
+        main.merge(&shard);
+        assert_eq!(main.gauge("run.active"), Some(7.0));
+        // Disabled shard: nothing happens; disabled main: nothing happens.
+        main.merge(&Telemetry::disabled());
+        assert_eq!(main.gauge("run.active"), Some(7.0));
+        let disabled = Telemetry::disabled();
+        disabled.merge(&shard);
+        assert!(!disabled.is_enabled());
     }
 
     #[test]

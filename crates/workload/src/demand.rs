@@ -96,8 +96,8 @@ impl DemandCurve {
     }
 }
 
-/// Nearest-rank percentile of an unsorted slice (`pct` in 1–100; 0 is
-/// treated as 1). Returns 0 for an empty slice.
+/// Nearest-rank percentile of an unsorted slice (`pct` in 0–100; 0 is
+/// the minimum). Returns 0 for an empty slice.
 pub fn percentile_of(samples: &[u32], pct: u8) -> u32 {
     if samples.is_empty() {
         return 0;
@@ -107,13 +107,15 @@ pub fn percentile_of(samples: &[u32], pct: u8) -> u32 {
     percentile_of_sorted(&sorted, pct)
 }
 
-/// Nearest-rank percentile of an already sorted slice.
+/// Nearest-rank percentile of an already sorted slice. `pct` saturates at
+/// 100; `pct` 0 is the minimum (clamping 0 up to 1 instead would return
+/// the ⌈n/100⌉-th element once the slice outgrows 100 samples).
 pub fn percentile_of_sorted(sorted: &[u32], pct: u8) -> u32 {
     if sorted.is_empty() {
         return 0;
     }
-    let pct = pct.clamp(1, 100) as usize;
-    let rank = (pct * sorted.len()).div_ceil(100);
+    let pct = pct.min(100) as usize;
+    let rank = (pct * sorted.len()).div_ceil(100).max(1);
     sorted[rank - 1]
 }
 
@@ -153,6 +155,20 @@ mod tests {
         assert_eq!(percentile_of(&v, 99), 99);
         assert_eq!(percentile_of(&[], 50), 0);
         assert_eq!(percentile_of(&[7], 80), 7);
+    }
+
+    #[test]
+    fn percentile_zero_is_the_minimum() {
+        // Regression: pct 0 used to clamp up to p1, which on more than
+        // 100 samples selects rank ⌈n/100⌉ > 1 instead of the minimum.
+        let v: Vec<u32> = (1..=250).collect();
+        assert_eq!(percentile_of(&v, 0), 1);
+        assert_eq!(percentile_of(&v, 1), 3); // rank ⌈250/100⌉ = 3 ≠ min
+        assert_eq!(percentile_of(&v, 100), 250);
+        assert_eq!(percentile_of(&[], 0), 0);
+        assert_eq!(percentile_of(&[9], 0), 9);
+        // pct saturates at 100 rather than reading past the end.
+        assert_eq!(percentile_of_sorted(&v, u8::MAX), 250);
     }
 
     #[test]

@@ -149,6 +149,46 @@ fn golden_fault_run_dumps_are_byte_identical() {
 }
 
 #[test]
+fn golden_dumps_are_byte_identical_across_worker_counts() {
+    // The headline guarantee of the stage executor: the worker count is
+    // a pure throughput knob, never an input to the simulation. The
+    // telemetry dump must not move by a byte between 1, 2 and 8 workers,
+    // with and without an active fault plan.
+    let dump = |workers: u32, faulted: bool| {
+        let w = workload(23);
+        let t = Telemetry::new();
+        let mut spec = RunSpec::new()
+            .with_strategy("dynamic")
+            .with_workers(workers)
+            .with_telemetry(&t);
+        if faulted {
+            spec = spec.with_faults(
+                FaultSpec::default()
+                    .with_spot_reclaims(4.0)
+                    .with_pool_invoke_failures(0.1)
+                    .with_store_errors(0.1, 0.1)
+                    .with_stragglers(0.1, 2.5),
+            );
+        }
+        run_system(&w, &spec);
+        t.export_jsonl()
+    };
+    for faulted in [false, true] {
+        let serial = dump(1, faulted);
+        assert!(!serial.is_empty());
+        for workers in [2u32, 8] {
+            let parallel = dump(workers, faulted);
+            assert!(
+                serial == parallel,
+                "dump moved at {workers} workers (faulted {faulted}; lengths {} vs {})",
+                serial.len(),
+                parallel.len()
+            );
+        }
+    }
+}
+
+#[test]
 fn zero_rate_fault_plan_leaves_the_dump_untouched() {
     // The no-op guarantee: attaching an all-zero fault plan must not move
     // a single byte of the telemetry dump relative to no plan at all —
