@@ -7,8 +7,20 @@ cd "$(dirname "$0")"
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> cackle-lint"
-cargo run -q -p cackle-lint -- . --baseline lint-baseline.txt
+echo "==> cackle-lint (tests and examples included)"
+# Exit 1 = new violations, exit 3 = stale baseline entries; both fail
+# the gate under `set -e`.
+cargo run -q -p cackle-lint -- . --baseline lint-baseline.txt --include-tests
+
+echo "==> cackle-lint JSON diagnostics (deterministic artifact)"
+mkdir -p results
+cargo run -q -p cackle-lint -- . --baseline lint-baseline.txt --include-tests \
+    --format json > results/lint-diagnostics.json
+cargo run -q -p cackle-lint -- . --baseline lint-baseline.txt --include-tests \
+    --format json > results/lint-diagnostics.rerun.json
+cmp results/lint-diagnostics.json results/lint-diagnostics.rerun.json \
+    || { echo "cackle-lint: JSON output is not byte-identical across runs" >&2; exit 1; }
+rm -f results/lint-diagnostics.rerun.json
 
 echo "==> cargo build --release"
 cargo build --workspace --release

@@ -6,6 +6,7 @@
 //! $0.08/hour. Every experiment that varies an environmental condition
 //! (Figures 8 and 9) does so by perturbing one field of this struct.
 
+use crate::ledger::CostCategory;
 use crate::time::SimDuration;
 
 /// Prices and billing rules for the simulated cloud.
@@ -81,6 +82,18 @@ impl Pricing {
         self.shuffle_node_per_hour * d.max(self.shuffle_min_billing).as_hours_f64()
     }
 
+    /// Cost of `d` of fleet time billed against `category`: shuffle
+    /// nodes bill at the shuffle-node rate, every other category at the
+    /// VM rate. Minimum-billing adjustment is the fleet's job (it knows
+    /// the actual runtime); this prices the already-rounded duration.
+    pub fn fleet_cost(&self, category: CostCategory, d: SimDuration) -> f64 {
+        let rate = match category {
+            CostCategory::ShuffleNode => self.shuffle_node_per_hour,
+            _ => self.vm_per_hour,
+        };
+        rate * d.as_hours_f64()
+    }
+
     /// The pool-to-VM cost premium (6.0 under defaults).
     pub fn pool_premium(&self) -> f64 {
         self.pool_per_hour / self.vm_per_hour
@@ -139,6 +152,19 @@ mod tests {
         let p = Pricing::default().with_pool_premium(10.0);
         assert!((p.pool_per_hour - 0.30).abs() < 1e-12);
         assert!((p.pool_premium() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fleet_cost_rate_follows_category() {
+        let p = Pricing::default();
+        let hour = SimDuration::from_hours(1);
+        assert!((p.fleet_cost(CostCategory::VmCompute, hour) - p.vm_per_hour).abs() < 1e-12);
+        assert!(
+            (p.fleet_cost(CostCategory::ShuffleNode, hour) - p.shuffle_node_per_hour).abs() < 1e-12
+        );
+        // Matches the per-duration VM price used elsewhere.
+        let d = SimDuration::from_secs(90);
+        assert!((p.fleet_cost(CostCategory::VmCompute, d) - p.vm_cost(d)).abs() < 1e-12);
     }
 
     #[test]

@@ -25,6 +25,45 @@ use std::collections::{BTreeMap, VecDeque};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VmId(pub u64);
 
+/// The fleet's metric names for one telemetry component, as literals:
+/// the DESIGN §7 schema (enforced by lint L10) fixes the set of emitted
+/// series at compile time, so per-component names are selected from
+/// this table rather than formatted at the write site.
+#[derive(Debug)]
+struct FleetMetricNames {
+    vms_started_total: &'static str,
+    vms_reclaimed_total: &'static str,
+    vms_terminated_total: &'static str,
+    vm_billed_seconds: &'static str,
+}
+
+static FLEET_METRICS: FleetMetricNames = FleetMetricNames {
+    vms_started_total: "fleet.vms_started_total",
+    vms_reclaimed_total: "fleet.vms_reclaimed_total",
+    vms_terminated_total: "fleet.vms_terminated_total",
+    vm_billed_seconds: "fleet.vm_billed_seconds",
+};
+
+static SHUFFLE_FLEET_METRICS: FleetMetricNames = FleetMetricNames {
+    vms_started_total: "shuffle_fleet.vms_started_total",
+    vms_reclaimed_total: "shuffle_fleet.vms_reclaimed_total",
+    vms_terminated_total: "shuffle_fleet.vms_terminated_total",
+    vm_billed_seconds: "shuffle_fleet.vm_billed_seconds",
+};
+
+fn metric_names(component: &str) -> &'static FleetMetricNames {
+    match component {
+        "shuffle_fleet" => &SHUFFLE_FLEET_METRICS,
+        other => {
+            debug_assert_eq!(
+                other, "fleet",
+                "unknown fleet component `{other}`: add it to the metric-name table"
+            );
+            &FLEET_METRICS
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct RunningVm {
     started_at: SimTime,
@@ -50,6 +89,8 @@ pub struct VmFleet {
     telemetry: Telemetry,
     /// Telemetry component name, e.g. `fleet` or `shuffle_fleet`.
     component: &'static str,
+    /// Literal metric names for `component` (see [`metric_names`]).
+    metrics: &'static FleetMetricNames,
 }
 
 impl VmFleet {
@@ -73,6 +114,7 @@ impl VmFleet {
             terminated_total: 0,
             telemetry: Telemetry::disabled(),
             component: "fleet",
+            metrics: &FLEET_METRICS,
         }
     }
 
@@ -81,19 +123,13 @@ impl VmFleet {
     /// layer and `shuffle_fleet` for shuffle nodes).
     pub fn instrument(&mut self, component: &'static str, telemetry: &Telemetry) {
         self.component = component;
+        self.metrics = metric_names(component);
         self.telemetry = telemetry.clone();
         self.ledger.instrument(component, telemetry);
     }
 
     fn startup(&self) -> SimDuration {
         self.pricing.vm_startup
-    }
-
-    fn rate_per_hour(&self) -> f64 {
-        match self.category {
-            CostCategory::ShuffleNode => self.pricing.shuffle_node_per_hour,
-            _ => self.pricing.vm_per_hour,
-        }
     }
 
     fn min_billing(&self) -> SimDuration {
@@ -201,10 +237,10 @@ impl VmFleet {
             started.push(id);
         }
         if !started.is_empty() && self.telemetry.is_enabled() {
-            self.telemetry.counter_add(
-                &format!("{}.vms_started_total", self.component),
-                started.len() as u64,
-            );
+            let n = started.len() as u64;
+            // cackle-lint: allow(L10) — selected from the literal FleetMetricNames table
+            self.telemetry
+                .counter_add(self.metrics.vms_started_total, n);
         }
         started
     }
@@ -253,8 +289,9 @@ impl VmFleet {
             vm.busy = false;
             self.terminate(now, id);
             if self.telemetry.is_enabled() {
+                // cackle-lint: allow(L10) — selected from the literal FleetMetricNames table
                 self.telemetry
-                    .counter_add(&format!("{}.vms_reclaimed_total", self.component), 1);
+                    .counter_add(self.metrics.vms_reclaimed_total, 1);
                 self.telemetry
                     .event(now.as_millis(), "vm.interrupted", self.component);
             }
@@ -313,8 +350,10 @@ impl VmFleet {
         };
         debug_assert!(!vm.busy, "terminated a busy VM");
         let billed = (now - vm.started_at).max(self.min_billing());
-        self.ledger
-            .charge(self.category, self.rate_per_hour() * billed.as_hours_f64());
+        self.ledger.charge(
+            self.category,
+            self.pricing.fleet_cost(self.category, billed),
+        );
         let secs = billed.as_secs_f64();
         match self.category {
             CostCategory::ShuffleNode => self.ledger.shuffle_seconds += secs,
@@ -322,10 +361,11 @@ impl VmFleet {
         }
         self.terminated_total += 1;
         if self.telemetry.is_enabled() {
+            // cackle-lint: allow(L10) — selected from the literal FleetMetricNames table
             self.telemetry
-                .counter_add(&format!("{}.vms_terminated_total", self.component), 1);
-            self.telemetry
-                .observe(&format!("{}.vm_billed_seconds", self.component), secs);
+                .counter_add(self.metrics.vms_terminated_total, 1);
+            // cackle-lint: allow(L10) — selected from the literal FleetMetricNames table
+            self.telemetry.observe(self.metrics.vm_billed_seconds, secs);
         }
     }
 

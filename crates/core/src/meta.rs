@@ -245,8 +245,8 @@ impl MetaStrategy {
         // scaling keeps discrimination sharp even when one runaway expert
         // would otherwise compress everyone else's penalty toward zero.
         let range = max_cost - min_cost;
-        for (w, c) in self.weights.iter_mut().zip(&interval) {
-            *w *= 1.0 - self.epsilon * ((c - min_cost) / range);
+        for (w, cost) in self.weights.iter_mut().zip(&interval) {
+            *w *= 1.0 - self.epsilon * ((cost - min_cost) / range);
         }
         // Guard against global underflow.
         let max_w = self.weights.iter().cloned().fold(0.0f64, f64::max);

@@ -1,0 +1,358 @@
+//! Workspace symbol index: per-file parse results, fn items, `use`
+//! edges, lock/atomic bindings, and an approximate call graph.
+//!
+//! The call graph is resolved **by bare name**: a call `foo(...)` or
+//! `.foo(...)` is an edge to every workspace `fn foo`. That is the
+//! honest trade for staying dependency-free (no type information): it
+//! over-approximates — trait-object dispatch like `dyn ShuffleTransport`
+//! is exactly why over-approximation is the *right* direction for the
+//! concurrency rules (a missed edge hides a deadlock; an extra edge at
+//! worst widens a scope). A small stoplist of pure-std utility names
+//! (`new`, `clone`, `push`, ...) keeps ubiquitous std methods from
+//! connecting everything to everything; names that can plausibly host
+//! lock or fault-draw behaviour (`read`, `write`, `get`, `lock`) are
+//! deliberately NOT stoplisted.
+
+use crate::parser::ParsedFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Std-utility method names excluded from call-graph edges. Everything
+/// here is a name no workspace fn should reuse for lock-taking or
+/// fault-drawing behaviour; `tests/fixtures` exercise the consequence.
+const CALL_EDGE_STOPLIST: [&str; 40] = [
+    "new",
+    "default",
+    "clone",
+    "fmt",
+    "len",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "clear",
+    "contains",
+    "contains_key",
+    "entry",
+    "extend",
+    "collect",
+    "map",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "min",
+    "max",
+    "sum",
+    "abs",
+    "to_string",
+    "as_str",
+    "as_ref",
+    "from",
+    "into",
+    "eq",
+    "cmp",
+    "partial_cmp",
+    "sort",
+    "retain",
+    "take",
+    "replace",
+];
+
+/// One source file of the linted tree.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the linted root, forward slashes.
+    pub rel_path: String,
+    /// Raw source (the suppression scanner reads lines).
+    pub source: String,
+    /// Lexed + structured form.
+    pub parsed: ParsedFile,
+    /// File stem (`shuffle` for `crates/engine/src/shuffle.rs`) —
+    /// qualifies lock identities across files.
+    pub stem: String,
+    /// Lives under a `tests/` or `benches/` directory (restricted rule
+    /// set).
+    pub is_test_dir: bool,
+}
+
+/// A call site inside an indexed fn.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Bare callee name.
+    pub name: String,
+    /// Token index of the name.
+    pub name_tok: usize,
+    /// Token index of the opening `(`.
+    pub open: usize,
+}
+
+/// One `fn` of the workspace, addressed as (file, item).
+#[derive(Debug)]
+pub struct IndexedFn {
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    /// Index into that file's `parsed.fns`.
+    pub item: usize,
+    /// Call sites in the body, source order.
+    pub calls: Vec<Call>,
+}
+
+/// The cross-file symbol index.
+#[derive(Debug, Default)]
+pub struct Index {
+    /// Every fn item in the workspace.
+    pub fns: Vec<IndexedFn>,
+    /// Bare fn name → fn ids defining it (any file, any impl).
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// Per file: identifiers bound with `Mutex`/`RwLock` types.
+    pub lock_names: Vec<BTreeSet<String>>,
+    /// Per file: identifiers bound with `Atomic*` types.
+    pub atomic_names: Vec<BTreeSet<String>>,
+}
+
+/// The whole linted tree: parsed files plus the symbol index.
+#[derive(Debug)]
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+    pub index: Index,
+}
+
+impl Workspace {
+    /// Parse and index `(rel_path, source)` pairs.
+    pub fn build(inputs: Vec<(String, String)>) -> Workspace {
+        let files: Vec<SourceFile> = inputs
+            .into_iter()
+            .map(|(rel_path, source)| {
+                let parsed = ParsedFile::parse(&source);
+                let stem = rel_path
+                    .rsplit('/')
+                    .next()
+                    .unwrap_or(&rel_path)
+                    .trim_end_matches(".rs")
+                    .to_string();
+                let is_test_dir = rel_path.split('/').any(|c| c == "tests" || c == "benches");
+                SourceFile {
+                    rel_path,
+                    source,
+                    parsed,
+                    stem,
+                    is_test_dir,
+                }
+            })
+            .collect();
+
+        let mut index = Index::default();
+        for (fi, f) in files.iter().enumerate() {
+            index.lock_names.push(typed_bindings(&f.parsed, &|name| {
+                name == "Mutex" || name == "RwLock"
+            }));
+            index.atomic_names.push(typed_bindings(&f.parsed, &|name| {
+                name.starts_with("Atomic") && name.len() > "Atomic".len()
+            }));
+            for (ii, item) in f.parsed.fns.iter().enumerate() {
+                let calls = match item.body {
+                    Some(body) => f
+                        .parsed
+                        .calls_in(body)
+                        .into_iter()
+                        .map(|(name, name_tok, open)| Call {
+                            name,
+                            name_tok,
+                            open,
+                        })
+                        .collect(),
+                    None => Vec::new(),
+                };
+                let id = index.fns.len();
+                index.fns.push(IndexedFn {
+                    file: fi,
+                    item: ii,
+                    calls,
+                });
+                index
+                    .by_name
+                    .entry(f.parsed.fns[ii].name.clone())
+                    .or_default()
+                    .push(id);
+            }
+        }
+        Workspace { files, index }
+    }
+
+    /// The fn item record for fn id `id`.
+    pub fn fn_item(&self, id: usize) -> &crate::parser::FnItem {
+        let f = &self.index.fns[id];
+        &self.files[f.file].parsed.fns[f.item]
+    }
+
+    /// Call-graph successors of fn `id` (stoplist applied), as fn ids.
+    pub fn callees(&self, id: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        for call in &self.index.fns[id].calls {
+            if CALL_EDGE_STOPLIST.contains(&call.name.as_str()) {
+                continue;
+            }
+            if let Some(ids) = self.index.by_name.get(&call.name) {
+                out.extend(ids.iter().copied());
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Fn ids reachable from every fn named `root` (roots included),
+    /// following name-resolved call edges.
+    pub fn reachable_from(&self, root: &str) -> BTreeSet<usize> {
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        let mut work: Vec<usize> = self
+            .index
+            .by_name
+            .get(root)
+            .map(|ids| ids.clone())
+            .unwrap_or_default();
+        while let Some(id) = work.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            work.extend(self.callees(id));
+        }
+        seen
+    }
+
+    /// Is the call edge through `name` kept in the graph?
+    pub fn edge_name_kept(name: &str) -> bool {
+        !CALL_EDGE_STOPLIST.contains(&name)
+    }
+}
+
+/// Identifiers declared with a type accepted by `is_type`:
+/// `name: ...Type<...>` (fields, params, statics) and
+/// `let [mut] name = ... Type::new(...)`-style initializers.
+fn typed_bindings(parsed: &ParsedFile, is_type: &dyn Fn(&str) -> bool) -> BTreeSet<String> {
+    let toks = &parsed.toks;
+    let mut names = BTreeSet::new();
+    for i in 0..toks.len() {
+        if toks[i].ident().is_empty() {
+            continue;
+        }
+        // `name : ... Type` within a few tokens, before any delimiter.
+        if toks.get(i + 1).map(|t| t.punct()) == Some(":") {
+            for t in toks.iter().skip(i + 2).take(8) {
+                if is_type(t.ident()) {
+                    names.insert(toks[i].text.clone());
+                    break;
+                }
+                if matches!(t.punct(), "," | ";" | ")" | "{" | "}" | "=") {
+                    break;
+                }
+            }
+        }
+        // `let [mut] name ... = ... Type ... ;`
+        if toks[i].ident() == "let" {
+            let mut j = i + 1;
+            if toks.get(j).map(|t| t.ident()) == Some("mut") {
+                j += 1;
+            }
+            if let Some(name) = toks.get(j).filter(|t| !t.ident().is_empty()) {
+                let mut k = j + 1;
+                while k < toks.len() && toks[k].punct() != ";" {
+                    if is_type(toks[k].ident()) {
+                        names.insert(name.text.clone());
+                        break;
+                    }
+                    k += 1;
+                }
+            }
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace::build(
+            files
+                .iter()
+                .map(|(p, s)| (p.to_string(), s.to_string()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn cross_file_reachability_by_name() {
+        let w = ws(&[
+            (
+                "crates/engine/src/task.rs",
+                "pub fn execute_task_buffered() { helper(); }",
+            ),
+            (
+                "crates/core/src/transport.rs",
+                "pub fn helper() { leaf(); }\npub fn leaf() {}",
+            ),
+            ("crates/core/src/other.rs", "pub fn unrelated() {}"),
+        ]);
+        let reach = w.reachable_from("execute_task_buffered");
+        let names: BTreeSet<&str> = reach
+            .iter()
+            .map(|&id| w.fn_item(id).name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            ["execute_task_buffered", "helper", "leaf"]
+                .into_iter()
+                .collect()
+        );
+    }
+
+    #[test]
+    fn stoplisted_names_do_not_create_edges() {
+        let w = ws(&[
+            ("a.rs", "fn root() { x.clone(); target(); }"),
+            (
+                "b.rs",
+                "fn clone() { leak(); }\nfn target() {}\nfn leak() {}",
+            ),
+        ]);
+        let reach = w.reachable_from("root");
+        let names: BTreeSet<&str> = reach
+            .iter()
+            .map(|&id| w.fn_item(id).name.as_str())
+            .collect();
+        assert!(names.contains("target"));
+        assert!(!names.contains("clone"), "{names:?}");
+        assert!(!names.contains("leak"));
+    }
+
+    #[test]
+    fn lock_and_atomic_bindings_collected() {
+        let w = ws(&[(
+            "crates/engine/src/shuffle.rs",
+            "struct S { data: RwLock<u32>, stats: Mutex<u8>, n: AtomicUsize }\n\
+             fn f() { let local = Mutex::new(0); let c = AtomicU64::new(0); }",
+        )]);
+        let locks = &w.index.lock_names[0];
+        assert!(locks.contains("data") && locks.contains("stats") && locks.contains("local"));
+        assert!(!locks.contains("n"));
+        let atomics = &w.index.atomic_names[0];
+        assert!(atomics.contains("n") && atomics.contains("c"));
+        assert!(!atomics.contains("data"));
+    }
+
+    #[test]
+    fn test_dir_files_flagged() {
+        let w = ws(&[
+            ("crates/cloud/tests/proptests.rs", "fn t() {}"),
+            ("crates/cloud/src/vm.rs", "fn f() {}"),
+        ]);
+        assert!(w.files[0].is_test_dir);
+        assert!(!w.files[1].is_test_dir);
+    }
+}

@@ -1,16 +1,22 @@
-//! A minimal Rust lexer for lexical linting.
+//! A minimal Rust lexer for the lint analyzer.
 //!
-//! Produces identifier / number / punctuation tokens with 1-based line
-//! numbers. Comments (line and nested block), string literals (plain,
-//! raw, byte), and char literals are stripped entirely — they can never
-//! produce a token, which is what makes the rules immune to matches
-//! inside documentation or message text. Lifetimes (`'a`) are
-//! distinguished from char literals and dropped too.
+//! Produces identifier / number / punctuation / string tokens with
+//! 1-based line numbers. Comments (line and nested block) and char
+//! literals are stripped entirely — they can never produce a token,
+//! which is what makes the rules immune to matches inside documentation
+//! or message text. String literals (plain, raw, byte, raw-byte) are
+//! preserved as [`TokKind::Str`] tokens whose `text` is the literal's
+//! *content* (no quotes, no `r#` decoration, escapes left as written):
+//! the telemetry-schema rule (L10) has to read metric-name literals.
+//! Rules that compare token text therefore must check `kind` — a string
+//! containing `"+"` is not the `+` operator. Lifetimes (`'a`) are
+//! distinguished from char literals and dropped.
 //!
 //! This is deliberately NOT a full Rust lexer: anything the rules don't
 //! need (float-suffix edge cases, shebangs, frontmatter) is treated as
-//! opaque punctuation. The only requirements are that identifier
-//! boundaries are exact and that string/comment content is invisible.
+//! opaque punctuation. The requirements are that identifier boundaries
+//! are exact, comment content is invisible, and string content is
+//! visible only as an atomic `Str` token.
 
 /// Token categories the rules distinguish.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,17 +28,40 @@ pub enum TokKind {
     /// Punctuation; multi-char operators (`::`, `==`, `->`, `+=`, ...)
     /// arrive as a single token.
     Punct,
+    /// String literal (plain, raw, byte, or raw-byte); `text` holds the
+    /// content between the quotes, escapes unprocessed.
+    Str,
 }
 
 /// One lexed token.
 #[derive(Debug, Clone)]
 pub struct Token {
-    /// The token text.
+    /// The token text (for `Str`, the literal's content).
     pub text: String,
     /// 1-based source line the token starts on.
     pub line: usize,
     /// Category.
     pub kind: TokKind,
+}
+
+impl Token {
+    /// `text` if this token is an identifier, else `""`.
+    pub fn ident(&self) -> &str {
+        if self.kind == TokKind::Ident {
+            &self.text
+        } else {
+            ""
+        }
+    }
+
+    /// `text` if this token is punctuation, else `""`.
+    pub fn punct(&self) -> &str {
+        if self.kind == TokKind::Punct {
+            &self.text
+        } else {
+            ""
+        }
+    }
 }
 
 /// Multi-character operators merged into one token, longest first.
@@ -41,7 +70,8 @@ const MULTI_OPS: [&str; 18] = [
     "&&", "||", "..",
 ];
 
-/// Lex `source` into tokens, stripping comments, strings, and chars.
+/// Lex `source` into tokens, stripping comments and chars, keeping
+/// string literals as atomic [`TokKind::Str`] tokens.
 pub fn lex(source: &str) -> Vec<Token> {
     let chars: Vec<char> = source.chars().collect();
     let mut toks = Vec::new();
@@ -82,12 +112,39 @@ pub fn lex(source: &str) -> Vec<Token> {
                     }
                 }
             }
-            // Raw / byte / plain strings starting at r, b, br.
+            // Byte-char literal `b'x'` / `b'\n'` — without this, the `b`
+            // would leak as a fabricated identifier token.
+            'b' if i + 1 < n && chars[i + 1] == '\'' => {
+                let start_line = line;
+                i = skip_char_literal(&chars, i + 1, &mut line);
+                let _ = start_line;
+            }
+            // Raw / byte / raw-byte / plain strings starting at r, b, br.
             'r' | 'b' if starts_string(&chars, i) => {
-                i = skip_string(&chars, i, &mut line);
+                let start_line = line;
+                let (end, content) = take_string(&chars, i, &mut line);
+                toks.push(Token {
+                    text: content,
+                    line: start_line,
+                    kind: TokKind::Str,
+                });
+                i = end;
             }
             '"' => {
-                i = skip_plain_string(&chars, i, &mut line);
+                let start_line = line;
+                let end = skip_quoted_body(&chars, i + 1, &mut line, '"');
+                // Drop the closing quote if the literal terminated.
+                let content_end = if end > i + 1 && end <= n && chars[end - 1] == '"' {
+                    end - 1
+                } else {
+                    end.min(n)
+                };
+                toks.push(Token {
+                    text: chars[i + 1..content_end].iter().collect(),
+                    line: start_line,
+                    kind: TokKind::Str,
+                });
+                i = end;
             }
             // Char literal vs lifetime.
             '\'' => {
@@ -165,7 +222,8 @@ pub fn lex(source: &str) -> Vec<Token> {
 }
 
 /// Does a string literal start at `i` (which holds `r` or `b`)?
-/// Covers `r"`, `r#"`, `b"`, `br"`, `br#"`, `rb` is not valid Rust.
+/// Covers `r"`, `r#"`, `b"`, `br"`, `br#"`. (`rb` is not valid Rust;
+/// `r#ident` raw identifiers fail the final quote check.)
 fn starts_string(chars: &[char], i: usize) -> bool {
     let n = chars.len();
     let mut j = i;
@@ -185,9 +243,9 @@ fn starts_string(chars: &[char], i: usize) -> bool {
     false
 }
 
-/// Skip the string literal starting at `i` (`r`, `b`, or `"` form),
-/// returning the index just past it.
-fn skip_string(chars: &[char], i: usize, line: &mut usize) -> usize {
+/// Consume the string literal starting at `i` (`r`, `b`, or `br` form),
+/// returning `(index just past it, content between the quotes)`.
+fn take_string(chars: &[char], i: usize, line: &mut usize) -> (usize, String) {
     let n = chars.len();
     let mut j = i;
     let mut raw = false;
@@ -205,35 +263,50 @@ fn skip_string(chars: &[char], i: usize, line: &mut usize) -> usize {
     }
     debug_assert!(j < n && chars[j] == '"');
     j += 1; // past the opening quote
+    let body_start = j;
     if raw {
-        // Ends at `"` followed by `hashes` hash marks; no escapes.
+        // Ends at `"` followed by exactly `hashes` hash marks. The
+        // terminator must be fully present: `r##"x"#` at end of input is
+        // unterminated, not closed by a short hash run.
         while j < n {
             if chars[j] == '\n' {
                 *line += 1;
                 j += 1;
-            } else if chars[j] == '"' && chars[j + 1..].iter().take(hashes).all(|&c| c == '#') {
-                return j + 1 + hashes;
+            } else if chars[j] == '"'
+                && j + hashes < n
+                && chars[j + 1..=j + hashes].iter().all(|&c| c == '#')
+            {
+                let content = chars[body_start..j].iter().collect();
+                return (j + 1 + hashes, content);
             } else {
                 j += 1;
             }
         }
-        j
+        (j, chars[body_start..j.min(n)].iter().collect())
     } else {
-        skip_quoted_body(chars, j, line, '"')
+        let end = skip_quoted_body(chars, j, line, '"');
+        let content_end = if end > body_start && end <= n && chars[end - 1] == '"' {
+            end - 1
+        } else {
+            end.min(n)
+        };
+        (end, chars[body_start..content_end].iter().collect())
     }
 }
 
-fn skip_plain_string(chars: &[char], i: usize, line: &mut usize) -> usize {
-    skip_quoted_body(chars, i + 1, line, '"')
-}
-
 /// Skip past the body of an escaped literal, returning the index just
-/// past the closing `quote`.
+/// past the closing `quote`. Escaped newlines (`\` at end of line) keep
+/// the line counter accurate.
 fn skip_quoted_body(chars: &[char], mut j: usize, line: &mut usize, quote: char) -> usize {
     let n = chars.len();
     while j < n {
         match chars[j] {
-            '\\' => j += 2,
+            '\\' => {
+                if j + 1 < n && chars[j + 1] == '\n' {
+                    *line += 1;
+                }
+                j += 2;
+            }
             '\n' => {
                 *line += 1;
                 j += 1;
@@ -245,9 +318,9 @@ fn skip_quoted_body(chars: &[char], mut j: usize, line: &mut usize, quote: char)
     j
 }
 
-/// Distinguish `'a'` / `'\n'` / `b'x'` (char literal) from `'a` (a
-/// lifetime). A char literal has a closing quote after one (possibly
-/// escaped) character.
+/// Distinguish `'a'` / `'\n'` (char literal) from `'a` (a lifetime). A
+/// char literal has a closing quote after one (possibly escaped)
+/// character.
 fn is_char_literal(chars: &[char], i: usize) -> bool {
     let n = chars.len();
     if i + 1 >= n {
@@ -269,7 +342,19 @@ mod tests {
     use super::*;
 
     fn texts(src: &str) -> Vec<String> {
-        lex(src).into_iter().map(|t| t.text).collect()
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokKind::Str)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    fn strings(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text)
+            .collect()
     }
 
     #[test]
@@ -289,14 +374,42 @@ mod tests {
     }
 
     #[test]
-    fn strings_invisible() {
-        assert_eq!(
-            texts(r#"f("Instant::now", 'x', "esc\"aped")"#),
-            ["f", "(", ",", ",", ")"]
-        );
+    fn nested_block_comments_to_arbitrary_depth() {
+        assert_eq!(texts("a /* 1 /* 2 /* 3 */ 2 */ 1 */ b"), ["a", "b"]);
+        // An unterminated nested comment swallows the rest of the file.
+        assert_eq!(texts("a /* /* */ still-in-comment"), ["a"]);
+        // `*/` sequences inside the nesting arithmetic close one level.
+        assert_eq!(texts("x /*/* inner */*/ y"), ["x", "y"]);
+    }
+
+    #[test]
+    fn strings_are_atomic_tokens_not_identifier_soup() {
+        let src = r#"f("Instant::now", 'x', "esc\"aped")"#;
+        assert_eq!(texts(src), ["f", "(", ",", ",", ")"]);
+        assert_eq!(strings(src), ["Instant::now", "esc\\\"aped"]);
+    }
+
+    #[test]
+    fn raw_strings_capture_content_and_terminate_exactly() {
         assert_eq!(texts(r##"g(r#"raw "quoted" panic!"#)"##), ["g", "(", ")"]);
+        assert_eq!(
+            strings(r##"g(r#"raw "quoted" panic!"#)"##),
+            [r#"raw "quoted" panic!"#]
+        );
+        // A quote followed by too few hashes does not terminate.
+        assert_eq!(strings(r###"h(r##"a"#b"##)"###), [r##"a"#b"##]);
+        // Unterminated raw string at EOF must not panic or loop.
+        assert_eq!(texts("r##\"dangling\"#"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
         let byte_and_raw = "h(b\"bytes\", br#\"raw\"#)";
         assert_eq!(texts(byte_and_raw), ["h", "(", ",", ")"]);
+        assert_eq!(strings(byte_and_raw), ["bytes", "raw"]);
+        // `b'x'` is a byte-char literal, not a `b` identifier + char:
+        // the `b` must not leak as a fabricated identifier token.
+        assert_eq!(texts("m(b'x', b'\\n')"), ["m", "(", ",", ")"]);
     }
 
     #[test]
@@ -332,9 +445,32 @@ mod tests {
     }
 
     #[test]
+    fn string_content_never_matches_as_punct_or_ident() {
+        // `"+"` is a Str token: rules comparing neighbours by kind must
+        // not see it as the `+` operator next to `cost`.
+        let toks = lex(r#"record(cost, "+")"#);
+        let plus = toks.iter().find(|t| t.text == "+").unwrap();
+        assert_eq!(plus.kind, TokKind::Str);
+        assert_eq!(plus.punct(), "");
+        assert_eq!(plus.ident(), "");
+    }
+
+    #[test]
     fn line_numbers_tracked_through_multiline_constructs() {
         let toks = lex("a\n/* c\nc */ b\n\"s\ns\" d");
-        let lines: Vec<(String, usize)> = toks.into_iter().map(|t| (t.text, t.line)).collect();
+        let lines: Vec<(String, usize)> = toks
+            .into_iter()
+            .filter(|t| t.kind != TokKind::Str)
+            .map(|t| (t.text, t.line))
+            .collect();
         assert_eq!(lines, [("a".into(), 1), ("b".into(), 3), ("d".into(), 5)]);
+        // Escaped newline inside a string still advances the counter.
+        let toks = lex("\"a\\\nb\" z");
+        let z = toks.iter().find(|t| t.text == "z").unwrap();
+        assert_eq!(z.line, 2);
+        // Raw strings spanning lines advance it too.
+        let toks = lex("r#\"x\ny\"# w");
+        let w = toks.iter().find(|t| t.text == "w").unwrap();
+        assert_eq!(w.line, 2);
     }
 }

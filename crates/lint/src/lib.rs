@@ -3,12 +3,14 @@
 //!
 //! The simulator's headline claims — byte-identical reruns and exact
 //! cost accounting — are invariants no type system enforces, so this
-//! crate enforces them mechanically at the source level. It is a
-//! *lexical* analyzer, not a parser: source is tokenized with comments,
-//! strings, and char literals stripped, and rules match identifier/
-//! punctuation patterns. That keeps the crate at zero external
-//! dependencies (no `syn`, no `regex`) while being immune to the
-//! classic grep failure modes (matches inside strings or comments).
+//! crate enforces them mechanically at the source level. Since v2 it is
+//! a small *analyzer*, not just a lexer: source is tokenized
+//! ([`lexer`]), brace-matched into items, blocks, statements, and call
+//! sites ([`parser`]), indexed across the workspace into fn items and
+//! an approximate call graph ([`index`]), and the rule families
+//! ([`rules`]) match on whichever layer they need. The crate still has
+//! zero external dependencies (no `syn`, no `regex`) and is immune to
+//! the classic grep failure modes (matches inside strings or comments).
 //!
 //! # Rules
 //!
@@ -17,13 +19,21 @@
 //! | L1 | no `Instant` / `SystemTime` (host clock) | everywhere except `crates/bench` and `crates/cloud/src/time.rs` |
 //! | L2 | no `thread_rng` / `from_entropy` / `rand::` (unseeded RNG) | everywhere |
 //! | L3 | no order-revealing iteration of `HashMap` / `HashSet` | `crates/engine`, `crates/core`, `crates/telemetry` |
-//! | L4 | no raw `f64` arithmetic or `==` on cost-named bindings | `crates/cloud` (except `ledger.rs`, `pricing.rs`), `crates/engine`, `examples` |
+//! | L4 | *(retired — subsumed by L11)* | — |
 //! | L5 | no `unwrap()` / `expect()` / `panic!` on hot paths | `crates/cloud/src`, `crates/telemetry/src`, `crates/faults/src`, `core/{system,transport}.rs`, `engine/{task,shuffle,table,executor}.rs` |
 //! | L6 | no `thread::spawn` / `thread::scope` (ad-hoc threading) | everywhere except `crates/engine/src/executor.rs` |
+//! | L7 | no lock-order cycles (static deadlock detector) | `crates/engine`, `crates/core` |
+//! | L8 | no `Ordering::Relaxed` on atomics shared with worker closures | `crates/engine`, `crates/core` |
+//! | L9 | no sequential fault draws reachable from `execute_task_buffered` | `crates/engine`, `crates/core`, `crates/cloud` |
+//! | L10 | metric names are literals matching the DESIGN §7 grammar | everywhere |
+//! | L11 | no raw money arithmetic / call-site price formulas | everywhere except `cloud/src/{ledger,pricing}.rs`, `core/src/prices.rs`, `crates/bench` |
 //!
 //! `tests/`, `benches/`, and `#[cfg(test)]` / `#[test]` items are
-//! skipped everywhere: test code may use the host clock, unwraps, and
-//! hash iteration freely.
+//! skipped by default: test code may use the host clock, unwraps, and
+//! hash iteration freely. With `--include-tests`, files under `tests/`
+//! and `benches/` are linted against the restricted rule set {L2, L10}
+//! (a test that seeds from entropy or emits an off-schema metric is a
+//! flake factory even though panics there are fine).
 //!
 //! # Suppressions
 //!
@@ -33,22 +43,42 @@
 //! .unwrap_or_else(|| panic!("no such table")) // cackle-lint: allow(L5)
 //! ```
 //!
-//! Multiple ids may be listed: `// cackle-lint: allow(L1,L5)`.
+//! A suppression on its own comment line also covers the statement
+//! beginning on the next line (however the formatter wraps it), so a
+//! longer justification can sit above the flagged code:
+//!
+//! ```text
+//! // cackle-lint: allow(L10) — name comes from the literal table above
+//! telemetry.counter_add(metrics.vms_started_total, n);
+//! ```
+//!
+//! Multiple ids may be listed: `// cackle-lint: allow(L1,L5)`. A
+//! malformed list — unknown id, duplicate id, trailing comma, empty
+//! list, missing `)` — is itself a hard error (reported as `SUP`, which
+//! cannot be suppressed): a typo'd allow that silently does nothing is
+//! worse than no allow at all.
 //!
 //! # Baseline
 //!
 //! Pre-existing debt is carried in `lint-baseline.txt` at the workspace
 //! root as `<lint-id> <path> <count>` lines. The lint fails only on
 //! violations *beyond* the baseline, so new debt cannot land while old
-//! debt is paid down incrementally.
+//! debt is paid down incrementally. A baseline entry larger than the
+//! current finding count is *stale* and is an error in its own right
+//! (exit code 3): the file's header promises entries only ever shrink.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod index;
 pub mod lexer;
+pub mod parser;
+pub mod rules;
 
-use lexer::{lex, TokKind, Token};
+use index::Workspace;
+
+pub use rules::explain;
 
 /// The rule identifiers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -59,26 +89,46 @@ pub enum LintId {
     L2,
     /// Order-revealing hash-collection iteration.
     L3,
-    /// Raw dollar arithmetic outside the billing layer.
+    /// Retired: raw dollar arithmetic, path-scoped (subsumed by L11).
+    /// Still parses in baselines; never fires.
     L4,
     /// Panic paths (`unwrap`/`expect`/`panic!`) on hot paths.
     L5,
     /// Ad-hoc threading outside the deterministic stage executor.
     L6,
+    /// Lock-order cycles (static deadlock detector).
+    L7,
+    /// `Ordering::Relaxed` on atomics shared with worker closures.
+    L8,
+    /// Sequential fault draws reachable from the parallel phase.
+    L9,
+    /// Telemetry metric-name schema violations.
+    L10,
+    /// Ledger hygiene: money arithmetic outside the billing layer.
+    L11,
+    /// Malformed suppression comment (cannot itself be suppressed).
+    Sup,
 }
 
 impl LintId {
     /// All rules, in report order.
-    pub const ALL: [LintId; 6] = [
+    pub const ALL: [LintId; 12] = [
         LintId::L1,
         LintId::L2,
         LintId::L3,
         LintId::L4,
         LintId::L5,
         LintId::L6,
+        LintId::L7,
+        LintId::L8,
+        LintId::L9,
+        LintId::L10,
+        LintId::L11,
+        LintId::Sup,
     ];
 
-    /// Parse `"L1"`..`"L6"`.
+    /// Parse `"L1"`..`"L11"`. `"SUP"` is deliberately not parseable:
+    /// it can appear in neither a baseline nor an allow list.
     pub fn parse(s: &str) -> Option<LintId> {
         match s.trim() {
             "L1" => Some(LintId::L1),
@@ -87,8 +137,21 @@ impl LintId {
             "L4" => Some(LintId::L4),
             "L5" => Some(LintId::L5),
             "L6" => Some(LintId::L6),
+            "L7" => Some(LintId::L7),
+            "L8" => Some(LintId::L8),
+            "L9" => Some(LintId::L9),
+            "L10" => Some(LintId::L10),
+            "L11" => Some(LintId::L11),
             _ => None,
         }
+    }
+
+    /// Diagnostic severity. Every rule guards an invariant whose
+    /// violation breaks reruns or billing, so everything is an error —
+    /// the field exists so the JSON schema has room for advisory rules
+    /// later without a format break.
+    pub fn severity(self) -> &'static str {
+        "error"
     }
 }
 
@@ -101,12 +164,18 @@ impl fmt::Display for LintId {
             LintId::L4 => "L4",
             LintId::L5 => "L5",
             LintId::L6 => "L6",
+            LintId::L7 => "L7",
+            LintId::L8 => "L8",
+            LintId::L9 => "L9",
+            LintId::L10 => "L10",
+            LintId::L11 => "L11",
+            LintId::Sup => "SUP",
         };
         f.write_str(s)
     }
 }
 
-/// One diagnostic: `file:line lint-id message`.
+/// One diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Finding {
     /// Path relative to the linted root, with forward slashes.
@@ -115,8 +184,10 @@ pub struct Finding {
     pub line: usize,
     /// The violated rule.
     pub id: LintId,
-    /// Human-readable explanation.
+    /// What is wrong.
     pub message: String,
+    /// How to fix it.
+    pub suggestion: String,
 }
 
 impl fmt::Display for Finding {
@@ -125,7 +196,11 @@ impl fmt::Display for Finding {
             f,
             "{}:{} {} {}",
             self.path, self.line, self.id, self.message
-        )
+        )?;
+        if !self.suggestion.is_empty() {
+            write!(f, " — {}", self.suggestion)?;
+        }
+        Ok(())
     }
 }
 
@@ -134,21 +209,13 @@ impl fmt::Display for Finding {
 // ---------------------------------------------------------------------------
 
 fn applies(id: LintId, path: &str) -> bool {
+    let engine_or_core = path.starts_with("crates/engine/") || path.starts_with("crates/core/");
     match id {
         LintId::L1 => !path.starts_with("crates/bench/") && path != "crates/cloud/src/time.rs",
         LintId::L2 => true,
-        LintId::L3 => {
-            path.starts_with("crates/engine/")
-                || path.starts_with("crates/core/")
-                || path.starts_with("crates/telemetry/")
-        }
-        LintId::L4 => {
-            (path.starts_with("crates/cloud/")
-                && path != "crates/cloud/src/ledger.rs"
-                && path != "crates/cloud/src/pricing.rs")
-                || path.starts_with("crates/engine/")
-                || path.starts_with("examples/")
-        }
+        LintId::L3 => engine_or_core || path.starts_with("crates/telemetry/"),
+        // Retired: everything L4 flagged is now L11's job.
+        LintId::L4 => false,
         LintId::L5 => {
             path.starts_with("crates/cloud/src/")
                 || path.starts_with("crates/telemetry/src/")
@@ -168,345 +235,172 @@ fn applies(id: LintId, path: &str) -> bool {
         // shard, and no keyed fault stream, so its effects depend on the
         // scheduler.
         LintId::L6 => path != "crates/engine/src/executor.rs",
+        LintId::L7 | LintId::L8 => engine_or_core,
+        // crates/faults is the sequential primitives' home — the draws
+        // defined (and wrapped) there are the API, not misuse of it.
+        LintId::L9 => engine_or_core || path.starts_with("crates/cloud/"),
+        LintId::L10 => true,
+        LintId::L11 => {
+            path != "crates/cloud/src/ledger.rs"
+                && path != "crates/cloud/src/pricing.rs"
+                && path != "crates/core/src/prices.rs"
+                && !path.starts_with("crates/bench/")
+        }
+        LintId::Sup => true,
     }
+}
+
+/// Rules that still apply inside `tests/` / `benches/` files when those
+/// are linted at all (`--include-tests`): entropy-seeded randomness and
+/// off-schema metric names make tests flaky / dumps unstable, while
+/// panics and host clocks are fine there.
+fn applies_in_test_dir(id: LintId) -> bool {
+    matches!(id, LintId::L2 | LintId::L10 | LintId::Sup)
 }
 
 // ---------------------------------------------------------------------------
 // Suppressions
 // ---------------------------------------------------------------------------
 
-/// Per-line suppressed rule ids, from `// cackle-lint: allow(L1,L5)`
-/// comments. Scans raw source lines (the lexer strips comments).
-fn suppressions(source: &str) -> BTreeMap<usize, BTreeSet<LintId>> {
-    let mut out: BTreeMap<usize, BTreeSet<LintId>> = BTreeMap::new();
+/// Parse `// cackle-lint: allow(L1,L5)` comments. Returns per-line
+/// suppressed ids plus a finding for every malformed suppression:
+/// unknown id, duplicate id, trailing comma / empty element, empty
+/// list, or missing `)`.
+fn suppressions(rel_path: &str, source: &str) -> (BTreeMap<usize, BTreeSet<LintId>>, Vec<Finding>) {
+    const MARKER: &str = "cackle-lint:";
+    let mut map: BTreeMap<usize, BTreeSet<LintId>> = BTreeMap::new();
+    let mut bad = Vec::new();
     for (i, raw) in source.lines().enumerate() {
-        let Some(at) = raw.find("cackle-lint: allow(") else {
+        let line = i + 1;
+        let Some(at) = raw.find(MARKER) else {
             continue;
         };
-        let rest = &raw[at + "cackle-lint: allow(".len()..];
-        let Some(close) = rest.find(')') else {
+        let mut err = |what: String| {
+            bad.push(Finding {
+                path: rel_path.to_string(),
+                line,
+                id: LintId::Sup,
+                message: what,
+                suggestion: "write `// cackle-lint: allow(L1,...)` with known, unique rule ids"
+                    .into(),
+            });
+        };
+        let rest = raw[at + MARKER.len()..].trim_start();
+        let Some(list) = rest.strip_prefix("allow(") else {
+            err(format!(
+                "malformed suppression: expected `allow(...)` after `{MARKER}`"
+            ));
             continue;
         };
-        let ids = rest[..close]
-            .split(',')
-            .filter_map(LintId::parse)
-            .collect::<BTreeSet<_>>();
-        if !ids.is_empty() {
-            out.entry(i + 1).or_default().extend(ids);
+        let Some(close) = list.find(')') else {
+            err("malformed suppression: missing `)`".into());
+            continue;
+        };
+        let body = &list[..close];
+        if body.trim().is_empty() {
+            err("malformed suppression: empty allow list".into());
+            continue;
+        }
+        let mut ids = BTreeSet::new();
+        let mut ok = true;
+        for part in body.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                err("malformed suppression: empty element (trailing comma?)".into());
+                ok = false;
+                break;
+            }
+            let Some(id) = LintId::parse(part) else {
+                err(format!("malformed suppression: unknown rule id `{part}`"));
+                ok = false;
+                break;
+            };
+            if !ids.insert(id) {
+                err(format!("malformed suppression: duplicate rule id `{id}`"));
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            map.entry(line).or_default().extend(ids.iter().copied());
+            // A suppression on its own comment line also covers the next
+            // line, so the justification can sit above the flagged code
+            // (a trailing comment covers only its own line).
+            let prefix = raw[..at].trim();
+            if !prefix.is_empty() && prefix.chars().all(|c| c == '/' || c == '!') {
+                map.entry(line + 1).or_default().extend(ids);
+            }
         }
     }
-    out
+    (map, bad)
 }
 
 // ---------------------------------------------------------------------------
-// Test-item exclusion
+// The analyzer pipeline
 // ---------------------------------------------------------------------------
 
-/// Marks token indices covered by `#[test]` / `#[cfg(test)]` items
-/// (the attribute, the item header, and its `{ ... }` body or trailing
-/// `;`). `#[cfg(not(test))]` is conservatively treated the same — that
-/// only risks a missed finding, never a false positive.
-fn test_excluded(toks: &[Token]) -> Vec<bool> {
-    let mut excluded = vec![false; toks.len()];
-    let mut i = 0;
-    while i < toks.len() {
-        if toks[i].text != "#" {
-            i += 1;
-            continue;
-        }
-        // Parse the attribute `#[ ... ]` and look for a `test` token.
-        let attr_start = i;
-        let mut j = i + 1;
-        if j >= toks.len() || toks[j].text != "[" {
-            i += 1;
-            continue;
-        }
-        let mut depth = 0usize;
-        let mut is_test_attr = false;
-        while j < toks.len() {
-            match toks[j].text.as_str() {
-                "[" => depth += 1,
-                "]" => {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
-                }
-                "test" => is_test_attr = true,
-                _ => {}
-            }
-            j += 1;
-        }
-        if !is_test_attr {
-            i = j + 1;
-            continue;
-        }
-        // Skip any further attributes, then cover the item to its end:
-        // the matching close of its first `{`, or a `;` that comes first.
-        let mut k = j + 1;
-        while k + 1 < toks.len() && toks[k].text == "#" && toks[k + 1].text == "[" {
-            let mut d = 0usize;
-            while k < toks.len() {
-                match toks[k].text.as_str() {
-                    "[" => d += 1,
-                    "]" => {
-                        d -= 1;
-                        if d == 0 {
-                            break;
-                        }
-                    }
-                    _ => {}
-                }
-                k += 1;
-            }
-            k += 1;
-        }
-        let mut end = k;
-        let mut brace = 0usize;
-        while end < toks.len() {
-            match toks[end].text.as_str() {
-                "{" => brace += 1,
-                "}" => {
-                    brace -= 1;
-                    if brace == 0 {
-                        break;
-                    }
-                }
-                ";" if brace == 0 => break,
-                _ => {}
-            }
-            end += 1;
-        }
-        for slot in excluded
-            .iter_mut()
-            .take((end + 1).min(toks.len()))
-            .skip(attr_start)
-        {
-            *slot = true;
-        }
-        i = end + 1;
-    }
-    excluded
-}
-
-// ---------------------------------------------------------------------------
-// The rules
-// ---------------------------------------------------------------------------
-
-const ARITH: [&str; 10] = ["*", "/", "+", "-", "==", "+=", "-=", "*=", "/=", "%"];
-const ORDER_METHODS: [&str; 8] = [
-    "iter",
-    "iter_mut",
-    "keys",
-    "values",
-    "values_mut",
-    "drain",
-    "retain",
-    "into_iter",
-];
-
-fn is_cost_named(ident: &str) -> bool {
-    let lower = ident.to_ascii_lowercase();
-    ["dollar", "cost", "price", "usd"]
-        .iter()
-        .any(|k| lower.contains(k))
-}
-
-/// Lint one file's source. `rel_path` selects which rules apply.
-pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
-    let toks = lex(source);
-    let excluded = test_excluded(&toks);
-    let suppressed = suppressions(source);
+/// Lint a set of `(rel_path, source)` files as one workspace: parse and
+/// index everything, run every rule family, then centrally apply rule
+/// scoping, `#[test]`-item exclusion, the tests-dir restricted rule
+/// set, and inline suppressions. Findings come back sorted by
+/// (path, line, rule).
+pub fn lint_files(inputs: Vec<(String, String)>) -> Vec<Finding> {
+    let ws = Workspace::build(inputs);
     let mut findings = Vec::new();
 
-    let mut push = |id: LintId, line: usize, message: String| {
-        if !applies(id, rel_path) {
-            return;
-        }
-        if suppressed.get(&line).is_some_and(|ids| ids.contains(&id)) {
-            return;
-        }
-        findings.push(Finding {
-            path: rel_path.to_string(),
-            line,
-            id,
-            message,
-        });
-    };
-
-    // L3 needs the set of identifiers declared with hash-collection types.
-    let hash_bindings = collect_hash_bindings(&toks, &excluded);
-
-    for i in 0..toks.len() {
-        if excluded[i] || toks[i].kind != TokKind::Ident {
-            continue;
-        }
-        let t = &toks[i];
-        let next = toks.get(i + 1).map(|t| t.text.as_str()).unwrap_or("");
-        let prev = if i > 0 { toks[i - 1].text.as_str() } else { "" };
-
-        // L1: host clock.
-        if t.text == "Instant" || t.text == "SystemTime" {
-            push(
-                LintId::L1,
-                t.line,
-                format!(
-                    "host clock `{}`: use the simulated clock in cackle-cloud",
-                    t.text
-                ),
-            );
-        }
-
-        // L2: nondeterministic RNG.
-        if matches!(
-            t.text.as_str(),
-            "thread_rng" | "from_entropy" | "ThreadRng" | "OsRng"
-        ) || (t.text == "rand" && next == "::")
-        {
-            push(
-                LintId::L2,
-                t.line,
-                format!(
-                    "unseeded RNG `{}`: use cackle_prng::Pcg32::seed_from_u64",
-                    t.text
-                ),
-            );
-        }
-
-        // L3: order-revealing hash iteration.
-        if hash_bindings.contains(t.text.as_str()) {
-            if next == "." {
-                if let Some(m) = toks.get(i + 2) {
-                    if ORDER_METHODS.contains(&m.text.as_str())
-                        && toks.get(i + 3).map(|t| t.text.as_str()) == Some("(")
-                    {
-                        push(
-                            LintId::L3,
-                            m.line,
-                            format!(
-                                "iteration over hash collection `{}` (`.{}`): order is \
-                                 nondeterministic, use a BTree collection",
-                                t.text, m.text
-                            ),
-                        );
-                    }
-                }
-            }
-            // `for (k, v) in &map {` / `for k in map {`
-            if (prev == "in" || (prev == "&" && i >= 2 && toks[i - 2].text == "in")) && next == "{"
-            {
-                push(
-                    LintId::L3,
-                    t.line,
-                    format!(
-                        "iteration over hash collection `{}`: order is nondeterministic, \
-                         use a BTree collection",
-                        t.text
-                    ),
-                );
-            }
-        }
-
-        // L4: raw dollar arithmetic.
-        if is_cost_named(&t.text) && (ARITH.contains(&next) || ARITH.contains(&prev)) {
-            push(
-                LintId::L4,
-                t.line,
-                format!(
-                    "raw arithmetic on cost-named `{}`: route dollars through CostLedger",
-                    t.text
-                ),
-            );
-        }
-
-        // L5: panic paths.
-        if (t.text == "unwrap" || t.text == "expect") && next == "(" && prev == "." {
-            push(
-                LintId::L5,
-                t.line,
-                format!(
-                    "`.{}()` on a hot path: return a fallible variant or handle the None/Err",
-                    t.text
-                ),
-            );
-        }
-        if matches!(
-            t.text.as_str(),
-            "panic" | "unreachable" | "todo" | "unimplemented"
-        ) && next == "!"
-        {
-            push(
-                LintId::L5,
-                t.line,
-                format!(
-                    "`{}!` on a hot path: handle the case or debug_assert",
-                    t.text
-                ),
-            );
-        }
-
-        // L6: ad-hoc threading (`thread::spawn` / `thread::scope`).
-        if matches!(t.text.as_str(), "spawn" | "scope")
-            && prev == "::"
-            && i >= 2
-            && toks[i - 2].text == "thread"
-        {
-            push(
-                LintId::L6,
-                t.line,
-                format!(
-                    "`thread::{}` outside the stage executor: route parallel work \
-                     through cackle_engine::executor::Executor",
-                    t.text
-                ),
-            );
-        }
+    let mut suppressed = Vec::with_capacity(ws.files.len());
+    for file in &ws.files {
+        let (map, bad) = suppressions(&file.rel_path, &file.source);
+        findings.extend(bad);
+        suppressed.push(map);
     }
 
+    for r in rules::run(&ws) {
+        let file = &ws.files[r.file];
+        if file
+            .parsed
+            .test_excluded
+            .get(r.tok)
+            .copied()
+            .unwrap_or(false)
+        {
+            continue;
+        }
+        if file.is_test_dir && !applies_in_test_dir(r.id) {
+            continue;
+        }
+        if !applies(r.id, &file.rel_path) {
+            continue;
+        }
+        let line = file.parsed.toks[r.tok].line;
+        // A suppression counts on the finding's own line or on the first
+        // line of its statement — an own-line allow comment above a
+        // statement covers it however the formatter wraps it.
+        let stmt_line = file.parsed.toks[file.parsed.statement_start(r.tok)].line;
+        if [line, stmt_line].iter().any(|l| {
+            suppressed[r.file]
+                .get(l)
+                .is_some_and(|ids| ids.contains(&r.id))
+        }) {
+            continue;
+        }
+        findings.push(Finding {
+            path: file.rel_path.clone(),
+            line,
+            id: r.id,
+            message: r.message,
+            suggestion: r.suggestion,
+        });
+    }
+    findings.sort();
     findings
 }
 
-/// Identifiers declared with a `HashMap` / `HashSet` type in this file:
-/// `name: ...HashMap<...>` (fields, params) and
-/// `let [mut] name = ...HashMap::new()`-style initializers.
-fn collect_hash_bindings(toks: &[Token], excluded: &[bool]) -> BTreeSet<String> {
-    let mut names = BTreeSet::new();
-    for i in 0..toks.len() {
-        if excluded[i] || toks[i].kind != TokKind::Ident {
-            continue;
-        }
-        // `name : ... HashMap` within a few tokens, before any delimiter.
-        if toks.get(i + 1).map(|t| t.text.as_str()) == Some(":") {
-            for t in toks.iter().skip(i + 2).take(8) {
-                match t.text.as_str() {
-                    "HashMap" | "HashSet" => {
-                        names.insert(toks[i].text.clone());
-                        break;
-                    }
-                    "," | ";" | ")" | "{" | "}" | "=" => break,
-                    _ => {}
-                }
-            }
-        }
-        // `let [mut] name ... = ... HashMap ... ;`
-        if toks[i].text == "let" {
-            let mut j = i + 1;
-            if toks.get(j).map(|t| t.text.as_str()) == Some("mut") {
-                j += 1;
-            }
-            if let Some(name) = toks.get(j).filter(|t| t.kind == TokKind::Ident) {
-                let mut k = j + 1;
-                while k < toks.len() && toks[k].text != ";" {
-                    if toks[k].text == "HashMap" || toks[k].text == "HashSet" {
-                        names.insert(name.text.clone());
-                        break;
-                    }
-                    k += 1;
-                }
-            }
-        }
-    }
-    names
+/// Lint one file's source. `rel_path` selects which rules apply. The
+/// file is its own one-file workspace, so cross-file rules see only
+/// local structure.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    lint_files(vec![(rel_path.to_string(), source.to_string())])
 }
 
 // ---------------------------------------------------------------------------
@@ -514,17 +408,27 @@ fn collect_hash_bindings(toks: &[Token], excluded: &[bool]) -> BTreeSet<String> 
 // ---------------------------------------------------------------------------
 
 /// Collect the workspace's lintable `.rs` files (sorted, relative,
-/// forward-slash paths). Skips `target/`, hidden dirs, `tests/` and
-/// `benches/` dirs, and `crates/lint` itself (its fixtures contain
-/// deliberate violations).
-pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+/// forward-slash paths). Skips `target/`, hidden dirs, and
+/// `crates/lint` itself (its fixtures contain deliberate violations);
+/// skips `tests/` and `benches/` dirs unless `include_tests`.
+pub fn collect_files_with(root: &Path, include_tests: bool) -> std::io::Result<Vec<PathBuf>> {
     let mut out = Vec::new();
-    walk(root, Path::new(""), &mut out)?;
+    walk(root, Path::new(""), include_tests, &mut out)?;
     out.sort();
     Ok(out)
 }
 
-fn walk(root: &Path, rel: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+/// [`collect_files_with`] without test dirs.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    collect_files_with(root, false)
+}
+
+fn walk(
+    root: &Path,
+    rel: &Path,
+    include_tests: bool,
+    out: &mut Vec<PathBuf>,
+) -> std::io::Result<()> {
     let mut entries: Vec<_> = std::fs::read_dir(root.join(rel))?
         .collect::<Result<Vec<_>, _>>()?
         .into_iter()
@@ -537,15 +441,13 @@ fn walk(root: &Path, rel: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> 
         let abs = root.join(&rel_child);
         if abs.is_dir() {
             if name_str.starts_with('.')
-                || matches!(
-                    name_str.as_str(),
-                    "target" | "tests" | "benches" | "results"
-                )
+                || matches!(name_str.as_str(), "target" | "results")
+                || (!include_tests && matches!(name_str.as_str(), "tests" | "benches"))
                 || rel_child == Path::new("crates/lint")
             {
                 continue;
             }
-            walk(root, &rel_child, out)?;
+            walk(root, &rel_child, include_tests, out)?;
         } else if name_str.ends_with(".rs") {
             out.push(rel_child);
         }
@@ -553,17 +455,21 @@ fn walk(root: &Path, rel: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> 
     Ok(())
 }
 
-/// Lint every file under `root`, returning findings sorted by
-/// (path, line, rule).
-pub fn lint_root(root: &Path) -> std::io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
-    for rel in collect_files(root)? {
+/// Lint every file under `root` as one workspace, returning findings
+/// sorted by (path, line, rule).
+pub fn lint_root_with(root: &Path, include_tests: bool) -> std::io::Result<Vec<Finding>> {
+    let mut inputs = Vec::new();
+    for rel in collect_files_with(root, include_tests)? {
         let rel_str = rel.to_string_lossy().replace('\\', "/");
         let source = std::fs::read_to_string(root.join(&rel))?;
-        findings.extend(lint_source(&rel_str, &source));
+        inputs.push((rel_str, source));
     }
-    findings.sort();
-    Ok(findings)
+    Ok(lint_files(inputs))
+}
+
+/// [`lint_root_with`] without test dirs.
+pub fn lint_root(root: &Path) -> std::io::Result<Vec<Finding>> {
+    lint_root_with(root, false)
 }
 
 // ---------------------------------------------------------------------------
@@ -604,7 +510,7 @@ pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
 
 /// Findings that exceed the baseline — the ones that fail the build.
 /// Also returns stale baseline entries (debt that has been paid down)
-/// so the file can be trimmed.
+/// so the file can be trimmed; staleness is itself a CI failure.
 pub fn diff_baseline(findings: &[Finding], baseline: &Baseline) -> (Vec<Finding>, Vec<String>) {
     let mut counts: BTreeMap<(LintId, String), Vec<&Finding>> = BTreeMap::new();
     for f in findings {
@@ -629,6 +535,78 @@ pub fn diff_baseline(findings: &[Finding], baseline: &Baseline) -> (Vec<Finding>
     }
     new_violations.sort();
     (new_violations, stale)
+}
+
+// ---------------------------------------------------------------------------
+// JSON diagnostics
+// ---------------------------------------------------------------------------
+
+/// Render findings as the deterministic machine-readable document
+/// emitted by `--format json`: one finding object per line, keys in
+/// fixed order, `BTreeMap` ordering throughout — byte-identical across
+/// runs on identical input by construction.
+pub fn render_json(findings: &[Finding], new_violations: &[Finding], stale: &[String]) -> String {
+    let is_new: BTreeSet<&Finding> = new_violations.iter().collect();
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    for f in findings {
+        *counts.entry(f.id.to_string()).or_default() += 1;
+    }
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"cackle-lint\",\n  \"version\": 2,\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"file\": ");
+        json_str(&mut out, &f.path);
+        out.push_str(&format!(", \"line\": {}, \"rule\": \"{}\", ", f.line, f.id));
+        out.push_str(&format!(
+            "\"severity\": \"{}\", \"baselined\": {}, \"message\": ",
+            f.id.severity(),
+            !is_new.contains(f)
+        ));
+        json_str(&mut out, &f.message);
+        out.push_str(", \"suggestion\": ");
+        json_str(&mut out, &f.suggestion);
+        out.push('}');
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"stale_baseline\": [");
+    for (i, s) in stale.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        json_str(&mut out, s);
+    }
+    out.push_str("],\n  \"counts\": {");
+    for (i, (id, n)) in counts.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        json_str(&mut out, id);
+        out.push_str(&format!(": {n}"));
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 #[cfg(test)]
@@ -680,19 +658,32 @@ mod tests {
     }
 
     #[test]
-    fn dollar_arithmetic_flagged() {
+    fn dollar_arithmetic_flagged_as_l11() {
         let src = "fn f(n: u64, s3_put_cost: f64) -> f64 { n as f64 * s3_put_cost }";
         let f = lint_source("crates/cloud/src/vm.rs", src);
-        assert!(f.iter().any(|f| f.id == LintId::L4), "{f:?}");
+        assert!(f.iter().any(|f| f.id == LintId::L11), "{f:?}");
         // The billing layer itself is exempt.
         assert!(lint_source("crates/cloud/src/ledger.rs", src).is_empty());
+        // L11 is workspace-wide: the same code in core (outside L4's old
+        // scope) is flagged too.
+        assert!(lint_source("crates/core/src/meta.rs", src)
+            .iter()
+            .any(|f| f.id == LintId::L11));
+        // L4 itself is retired — it never fires.
+        assert!(f.iter().all(|f| f.id != LintId::L4));
     }
 
     #[test]
     fn cost_equality_flagged() {
         let src = "fn f(cost: f64) -> bool { cost == 1.0 }";
         let f = lint_source("crates/engine/src/codec.rs", src);
-        assert!(f.iter().any(|f| f.id == LintId::L4));
+        assert!(f.iter().any(|f| f.id == LintId::L11));
+    }
+
+    #[test]
+    fn cost_sum_of_costs_allowed() {
+        let src = "fn f(&self) -> f64 { self.vm_cost + self.store_cost }";
+        assert!(lint_source("crates/core/src/report.rs", src).is_empty());
     }
 
     #[test]
@@ -777,6 +768,117 @@ mod tests {
     }
 
     #[test]
+    fn own_line_allow_covers_the_next_statement() {
+        // A suppression on a comment-only line covers the statement that
+        // begins on the following line, so the justification can sit
+        // above the flagged code.
+        let src = "fn f(x: Option<u32>) -> u32 {\n    // cackle-lint: allow(L5) — reason\n    x.unwrap()\n}";
+        assert!(lint_source("crates/cloud/src/vm.rs", src).is_empty());
+        // Even when the formatter wraps the statement so the flagged
+        // token is several lines below the comment.
+        let wrapped = "fn f(s: &S) {\n    // cackle-lint: allow(L5) — reason\n    s.telemetry\n        .thing()\n        .unwrap();\n}";
+        assert!(
+            lint_source("crates/cloud/src/vm.rs", wrapped).is_empty(),
+            "{:?}",
+            lint_source("crates/cloud/src/vm.rs", wrapped)
+        );
+        // It does NOT leak into the following statement.
+        let far = "fn f(x: Option<u32>) -> u32 {\n    // cackle-lint: allow(L5)\n    let _y = 1;\n    x.unwrap()\n}";
+        assert_eq!(lint_source("crates/cloud/src/vm.rs", far).len(), 1);
+        // A trailing comment covers only its own line, not the next.
+        let trailing = "fn f(x: Option<u32>) -> u32 { // cackle-lint: allow(L5)\n    x.unwrap()\n}";
+        assert_eq!(lint_source("crates/cloud/src/vm.rs", trailing).len(), 1);
+    }
+
+    #[test]
+    fn malformed_suppressions_are_hard_errors() {
+        // Unknown id.
+        let f = lint_source(
+            "crates/cloud/src/vm.rs",
+            "fn f() {} // cackle-lint: allow(L99)",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].id, LintId::Sup);
+        assert!(f[0].message.contains("unknown rule id `L99`"));
+        // Trailing comma.
+        let f = lint_source(
+            "crates/cloud/src/vm.rs",
+            "fn f() {} // cackle-lint: allow(L5,)",
+        );
+        assert!(f.iter().any(|f| f.id == LintId::Sup), "{f:?}");
+        // Duplicate id.
+        let f = lint_source(
+            "crates/cloud/src/vm.rs",
+            "fn f() {} // cackle-lint: allow(L5,L5)",
+        );
+        assert!(f.iter().any(|f| f.id == LintId::Sup), "{f:?}");
+        // Empty list.
+        let f = lint_source(
+            "crates/cloud/src/vm.rs",
+            "fn f() {} // cackle-lint: allow()",
+        );
+        assert!(f.iter().any(|f| f.id == LintId::Sup), "{f:?}");
+        // Missing close paren.
+        let f = lint_source(
+            "crates/cloud/src/vm.rs",
+            "fn f() {} // cackle-lint: allow(L5",
+        );
+        assert!(f.iter().any(|f| f.id == LintId::Sup), "{f:?}");
+        // Marker without allow() at all.
+        let f = lint_source(
+            "crates/cloud/src/vm.rs",
+            "fn f() {} // cackle-lint: allowed(L5)",
+        );
+        assert!(f.iter().any(|f| f.id == LintId::Sup), "{f:?}");
+        // SUP cannot be suppressed (it is not a parseable id).
+        let f = lint_source(
+            "crates/cloud/src/vm.rs",
+            "fn f() {} // cackle-lint: allow(SUP)",
+        );
+        assert!(f.iter().any(|f| f.id == LintId::Sup), "{f:?}");
+        // A malformed suppression does NOT suppress the finding it rode on.
+        let f = lint_source(
+            "crates/cloud/src/vm.rs",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() } // cackle-lint: allow(L5,)",
+        );
+        assert!(f.iter().any(|f| f.id == LintId::L5), "{f:?}");
+        assert!(f.iter().any(|f| f.id == LintId::Sup), "{f:?}");
+        // Well-formed multi-id lists still work.
+        let ok = "fn f() { Instant::now(); } // cackle-lint: allow(L1,L5)";
+        assert!(lint_source("crates/cloud/src/vm.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn test_dir_files_use_restricted_rule_set() {
+        // Panics / clocks are fine in tests...
+        let src = "fn t() { Instant::now(); let x: Option<u32> = None; x.unwrap(); }";
+        assert!(lint_source("crates/cloud/tests/chaos.rs", src).is_empty());
+        // ...but entropy-seeded RNG and off-schema metric names are not.
+        let rng = "fn t() { let r = rand::thread_rng(); }";
+        let f = lint_source("crates/cloud/tests/chaos.rs", rng);
+        assert!(f.iter().any(|f| f.id == LintId::L2), "{f:?}");
+        let metric = "fn t(reg: &Registry) { reg.counter_add(&format!(\"x.{}\", 1), 1); }";
+        let f = lint_source("crates/cloud/tests/chaos.rs", metric);
+        assert!(f.iter().any(|f| f.id == LintId::L10), "{f:?}");
+    }
+
+    #[test]
+    fn workspace_pass_links_files_for_l9() {
+        let f = lint_files(vec![
+            (
+                "crates/engine/src/task.rs".to_string(),
+                "pub fn execute_task_buffered() { helper(); }".to_string(),
+            ),
+            (
+                "crates/core/src/system.rs".to_string(),
+                "pub fn helper(faults: &FaultInjector) { faults.store_attempts(op); }".to_string(),
+            ),
+        ]);
+        assert!(f.iter().any(|f| f.id == LintId::L9), "{f:?}");
+        assert_eq!(f[0].path, "crates/core/src/system.rs");
+    }
+
+    #[test]
     fn baseline_roundtrip_and_diff() {
         let b = parse_baseline("# comment\nL5 crates/cloud/src/vm.rs 2\n").unwrap();
         assert_eq!(b.len(), 1);
@@ -785,6 +887,7 @@ mod tests {
             line,
             id: LintId::L5,
             message: "m".into(),
+            suggestion: String::new(),
         };
         let (new, stale) = diff_baseline(&[f(1), f(2)], &b);
         assert!(new.is_empty() && stale.is_empty());
@@ -798,8 +901,32 @@ mod tests {
 
     #[test]
     fn malformed_baseline_rejected() {
-        assert!(parse_baseline("L9 foo 1").is_err());
+        assert!(parse_baseline("L99 foo 1").is_err());
+        assert!(parse_baseline("SUP foo 1").is_err());
         assert!(parse_baseline("L1 foo").is_err());
         assert!(parse_baseline("L1 foo one").is_err());
+        // New rule ids parse.
+        assert!(parse_baseline("L11 foo 1\nL7 bar 2").is_ok());
+    }
+
+    #[test]
+    fn json_rendering_is_escaped_and_stable() {
+        let f = vec![Finding {
+            path: "crates/x/src/a.rs".into(),
+            line: 3,
+            id: LintId::L10,
+            message: "metric name \"bad\nname\" rejected".into(),
+            suggestion: "fix \\ it".into(),
+        }];
+        let a = render_json(&f, &f, &[]);
+        let b = render_json(&f, &f, &[]);
+        assert_eq!(a, b);
+        assert!(a.contains("\\\"bad\\nname\\\""), "{a}");
+        assert!(a.contains("fix \\\\ it"), "{a}");
+        assert!(a.contains("\"baselined\": false"));
+        assert!(a.contains("\"counts\": {\"L10\": 1}"));
+        // Empty-findings document is well-formed too.
+        let empty = render_json(&[], &[], &[]);
+        assert!(empty.contains("\"findings\": []"), "{empty}");
     }
 }

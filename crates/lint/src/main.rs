@@ -1,25 +1,49 @@
 //! The `cackle-lint` command-line driver.
 //!
 //! ```text
-//! cackle-lint [ROOT] [--baseline FILE]
+//! cackle-lint [ROOT] [--baseline FILE] [--format text|json]
+//!             [--explain LX] [--include-tests]
 //! ```
 //!
 //! Lints the workspace at ROOT (default: the current directory),
 //! compares against the baseline file (default: `ROOT/lint-baseline.txt`;
-//! a missing file means an empty baseline), prints every finding as
-//! `file:line lint-id message`, and exits:
+//! a missing file means an empty baseline), prints findings in the
+//! chosen format, and exits:
 //!
 //! * `0` — clean, or all findings are covered by the baseline;
 //! * `1` — findings beyond the baseline (new violations);
-//! * `2` — usage or I/O error.
+//! * `2` — usage or I/O error (bad flag, bad `--format`/`--explain`
+//!   argument, unreadable root or baseline);
+//! * `3` — no new violations, but the baseline has stale entries (debt
+//!   that was paid down without trimming the file).
+//!
+//! `--format json` emits one deterministic document (fixed key order,
+//! sorted findings — byte-identical across runs) with file / line /
+//! rule / severity / baselined / message / suggestion per finding plus
+//! stale-baseline entries and per-rule counts. `--explain LX` prints a
+//! rule's long-form description and exits. `--include-tests` also lints
+//! `tests/` and `benches/` directories against the restricted rule set
+//! (L2, L10).
 
-use cackle_lint::{diff_baseline, lint_root, parse_baseline, Baseline};
+use cackle_lint::{
+    diff_baseline, explain, lint_root_with, parse_baseline, render_json, Baseline, LintId,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: cackle-lint [ROOT] [--baseline FILE] [--format text|json] [--explain LX] [--include-tests]";
+
+enum Format {
+    Text,
+    Json,
+}
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut baseline_path: Option<PathBuf> = None;
+    let mut format = Format::Text;
+    let mut include_tests = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -30,9 +54,47 @@ fn main() -> ExitCode {
                 };
                 baseline_path = Some(PathBuf::from(p));
             }
-            "--help" | "-h" => {
-                eprintln!("usage: cackle-lint [ROOT] [--baseline FILE]");
+            "--format" => {
+                let Some(f) = args.next() else {
+                    eprintln!("cackle-lint: --format needs an argument (text|json)");
+                    return ExitCode::from(2);
+                };
+                format = match f.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => {
+                        eprintln!("cackle-lint: unknown format `{other}` (expected text|json)");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            "--explain" => {
+                let Some(id_str) = args.next() else {
+                    eprintln!("cackle-lint: --explain needs a rule id (L1..L11, SUP)");
+                    return ExitCode::from(2);
+                };
+                // SUP is not LintId::parse-able (it may not appear in
+                // baselines or allow lists) but IS explainable.
+                let id = if id_str.eq_ignore_ascii_case("SUP") {
+                    Some(LintId::Sup)
+                } else {
+                    LintId::parse(&id_str)
+                };
+                let Some(id) = id else {
+                    eprintln!("cackle-lint: unknown rule id `{id_str}` (expected L1..L11 or SUP)");
+                    return ExitCode::from(2);
+                };
+                println!("{}", explain(id));
                 return ExitCode::SUCCESS;
+            }
+            "--include-tests" => include_tests = true,
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("cackle-lint: unknown flag `{other}`\n{USAGE}");
+                return ExitCode::from(2);
             }
             _ => root = PathBuf::from(a),
         }
@@ -54,7 +116,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let findings = match lint_root(&root) {
+    let findings = match lint_root_with(&root, include_tests) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("cackle-lint: {}: {e}", root.display());
@@ -63,24 +125,38 @@ fn main() -> ExitCode {
     };
 
     let (new_violations, stale) = diff_baseline(&findings, &baseline);
-    for f in &findings {
-        println!("{f}");
+
+    match format {
+        Format::Json => {
+            print!("{}", render_json(&findings, &new_violations, &stale));
+        }
+        Format::Text => {
+            for f in &findings {
+                println!("{f}");
+            }
+            for s in &stale {
+                eprintln!("cackle-lint: stale baseline entry: {s}");
+            }
+        }
     }
-    for s in &stale {
-        eprintln!("cackle-lint: stale baseline entry: {s}");
-    }
-    if new_violations.is_empty() {
-        eprintln!(
-            "cackle-lint: ok ({} finding(s), {} baselined)",
-            findings.len(),
-            findings.len() - new_violations.len()
-        );
-        ExitCode::SUCCESS
-    } else {
+
+    if !new_violations.is_empty() {
         eprintln!(
             "cackle-lint: {} new violation(s) beyond the baseline",
             new_violations.len()
         );
         ExitCode::FAILURE
+    } else if !stale.is_empty() {
+        eprintln!(
+            "cackle-lint: {} stale baseline entrie(s): trim lint-baseline.txt",
+            stale.len()
+        );
+        ExitCode::from(3)
+    } else {
+        eprintln!(
+            "cackle-lint: ok ({} finding(s), all baselined)",
+            findings.len()
+        );
+        ExitCode::SUCCESS
     }
 }

@@ -1,0 +1,135 @@
+//! L9 · sequential fault draws reachable from the parallel phase.
+//!
+//! `FaultInjector`'s unsuffixed draw methods consume a PRNG stream in
+//! call order; under `execute_task_buffered`'s worker pool, call order
+//! is scheduler-dependent, so every such draw — and every fault outcome
+//! derived from the stream afterwards — varies between runs. This rule
+//! computes the set of fns reachable from any `execute_task_buffered`
+//! over the approximate call graph and flags sequential draw method
+//! calls inside them. The fix is the `*_keyed` twin with
+//! `op_key(...)`, which derives the draw from operation identity.
+
+use super::RawFinding;
+use crate::index::Workspace;
+use crate::LintId;
+
+/// Sequential-stream draw methods and their keyed replacements (empty
+/// when no keyed twin exists yet — then the draw must move out of the
+/// parallel phase).
+const SEQ_DRAWS: [(&str, &str); 8] = [
+    ("store_attempts", "store_attempts_keyed"),
+    ("transport_write_fallback", "transport_write_fallback_keyed"),
+    ("transport_read_retries", "transport_read_retries_keyed"),
+    ("vm_interrupt", ""),
+    ("pool_invoke", ""),
+    ("store_error", ""),
+    ("transport_drop", ""),
+    ("straggler", ""),
+];
+
+pub fn check(ws: &Workspace, out: &mut Vec<RawFinding>) {
+    let reachable = ws.reachable_from("execute_task_buffered");
+    if reachable.is_empty() {
+        return;
+    }
+    for &id in &reachable {
+        let f = &ws.index.fns[id];
+        let p = &ws.files[f.file].parsed;
+        for call in &f.calls {
+            let Some(&(_, keyed)) = SEQ_DRAWS.iter().find(|&&(n, _)| n == call.name) else {
+                continue;
+            };
+            // Method calls only: a free fn of the same name is not an
+            // injector draw.
+            if call.name_tok == 0 || p.toks[call.name_tok - 1].punct() != "." {
+                continue;
+            }
+            let suggestion = if keyed.is_empty() {
+                "hoist the draw out of the parallel phase (or add a keyed variant)".to_string()
+            } else {
+                format!("use `.{keyed}(..., op_key(...))` so the draw is schedule-independent")
+            };
+            out.push(RawFinding {
+                file: f.file,
+                tok: call.name_tok,
+                id: LintId::L9,
+                message: format!(
+                    "sequential fault draw `.{}()` is reachable from `execute_task_buffered`'s \
+                     parallel phase (via fn `{}`)",
+                    call.name,
+                    ws.fn_item(id).qualified
+                ),
+                suggestion,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(files: &[(&str, &str)]) -> Vec<RawFinding> {
+        let ws = Workspace::build(
+            files
+                .iter()
+                .map(|(p, s)| (p.to_string(), s.to_string()))
+                .collect(),
+        );
+        let mut out = Vec::new();
+        check(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn draw_reached_through_helper_flagged() {
+        let f = findings(&[
+            (
+                "crates/engine/src/task.rs",
+                "pub fn execute_task_buffered() { helper(); }",
+            ),
+            (
+                "crates/core/src/system.rs",
+                "pub fn helper(&self) { let n = self.faults.store_attempts(op); }",
+            ),
+        ]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].id, LintId::L9);
+        assert!(f[0].suggestion.contains("store_attempts_keyed"));
+    }
+
+    #[test]
+    fn keyed_draw_and_unreachable_sequential_draw_clean() {
+        let f = findings(&[
+            (
+                "crates/engine/src/task.rs",
+                "pub fn execute_task_buffered() { \
+                 let n = faults.store_attempts_keyed(op, op_key(k)); }",
+            ),
+            (
+                "crates/core/src/system.rs",
+                "pub fn serial_only(&self) { let n = self.faults.store_attempts(op); }",
+            ),
+        ]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn free_fn_of_same_name_not_flagged() {
+        let f = findings(&[(
+            "crates/engine/src/task.rs",
+            "pub fn execute_task_buffered() { let n = store_attempts(); }\n\
+             fn store_attempts() -> u32 { 0 }",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn no_root_no_findings() {
+        let f = findings(&[(
+            "crates/core/src/system.rs",
+            "pub fn f(&self) { self.faults.store_attempts(op); }",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,202 @@
+//! Rule registry: each rule family lives in its own module and emits
+//! [`RawFinding`]s against a [`Workspace`]. Scoping, test-item
+//! exclusion, suppressions, and sorting are applied centrally in
+//! `lib.rs` — rules only decide *what* is wrong, never *whether it
+//! counts here*.
+
+use crate::index::Workspace;
+use crate::LintId;
+
+pub mod atomics;
+pub mod draws;
+pub mod ledger;
+pub mod lexical;
+pub mod locks;
+pub mod telemetry;
+
+/// A finding before central filtering: anchored to a (file, token)
+/// pair so test-item exclusion can be applied by token index.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    /// Anchor token (for `#[test]`-item exclusion).
+    pub tok: usize,
+    /// The violated rule.
+    pub id: LintId,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub suggestion: String,
+}
+
+/// Run every rule family over the workspace.
+pub fn run(ws: &Workspace) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    lexical::check(ws, &mut out);
+    locks::check(ws, &mut out);
+    atomics::check(ws, &mut out);
+    draws::check(ws, &mut out);
+    telemetry::check(ws, &mut out);
+    ledger::check(ws, &mut out);
+    out
+}
+
+/// Long-form `--explain` text for a rule.
+pub fn explain(id: LintId) -> &'static str {
+    match id {
+        LintId::L1 => {
+            "L1 · host clock\n\
+             \n\
+             `Instant` and `SystemTime` read the host's clock, which differs\n\
+             across machines and runs. Every timestamp in a simulation must come\n\
+             from the simulated clock (`cackle_cloud::time`), or reruns stop\n\
+             being byte-identical.\n\
+             \n\
+             Scope: everywhere except crates/bench and crates/cloud/src/time.rs."
+        }
+        LintId::L2 => {
+            "L2 · unseeded RNG\n\
+             \n\
+             `thread_rng`, `from_entropy`, `OsRng`, and anything under `rand::`\n\
+             seed from the OS entropy pool, so two runs of the same RunSpec\n\
+             diverge. All randomness must flow from `cackle_prng::Pcg32::\n\
+             seed_from_u64` with a seed recorded in the RunSpec.\n\
+             \n\
+             Scope: everywhere."
+        }
+        LintId::L3 => {
+            "L3 · hash-order iteration\n\
+             \n\
+             Iterating a `HashMap`/`HashSet` (`.iter()`, `.values()`, `for k in\n\
+             &map`, ...) observes SipHash bucket order, which is randomized per\n\
+             process. Any fold, dump, or schedule built from that order differs\n\
+             between runs. Use `BTreeMap`/`BTreeSet`, or collect-and-sort first.\n\
+             \n\
+             Scope: crates/engine, crates/core, crates/telemetry."
+        }
+        LintId::L4 => {
+            "L4 · raw dollar arithmetic (retired)\n\
+             \n\
+             L4 was the path-scoped predecessor of L11: it flagged arithmetic on\n\
+             cost-named bindings, but only inside crates/cloud, crates/engine,\n\
+             and examples/. L11 now enforces the same rule workspace-wide with\n\
+             an operand-aware refinement (cost+cost sums are allowed), so L4 is\n\
+             retired. Baseline entries for L4 still parse; new findings are\n\
+             reported as L11."
+        }
+        LintId::L5 => {
+            "L5 · panic paths on hot paths\n\
+             \n\
+             `.unwrap()`, `.expect()`, and the panic! macro family abort the\n\
+             whole simulation on inputs the type system already told you were\n\
+             fallible. On the hot paths (cloud primitives, telemetry, fault\n\
+             injection, the engine's task/shuffle/table/executor files) every\n\
+             such site must either handle the case or carry an allow comment\n\
+             justifying why it is unreachable.\n\
+             \n\
+             Scope: crates/cloud/src, crates/telemetry/src, crates/faults/src,\n\
+             core/{system,transport}.rs, engine/{task,shuffle,table,executor}.rs."
+        }
+        LintId::L6 => {
+            "L6 · ad-hoc threading\n\
+             \n\
+             `thread::spawn` / `thread::scope` outside the stage executor\n\
+             creates workers with no index-ordered result slot, no telemetry\n\
+             shard, and no keyed fault stream — their effects depend on the OS\n\
+             scheduler. All parallelism goes through\n\
+             `cackle_engine::executor::Executor`.\n\
+             \n\
+             Scope: everywhere except crates/engine/src/executor.rs."
+        }
+        LintId::L7 => {
+            "L7 · lock-order cycles\n\
+             \n\
+             A static deadlock detector. Per function, the analyzer records\n\
+             which `Mutex`/`RwLock` guards are still live when another lock is\n\
+             acquired (a `let`-bound guard lives to the end of its block, a\n\
+             temporary to the end of its statement), propagates acquisitions\n\
+             through the approximate call graph, and builds a global\n\
+             acquired-before relation. Any cycle in that relation means two\n\
+             call paths can interleave into a deadlock. Fix by acquiring locks\n\
+             in one global order, or by narrowing the first guard's scope so\n\
+             the acquisitions no longer overlap.\n\
+             \n\
+             Lock identity is `file_stem.binding_name` (e.g. `shuffle.stats`);\n\
+             the call graph is name-approximate, so a cycle report names the\n\
+             acquisition sites it was derived from.\n\
+             \n\
+             Scope: crates/engine, crates/core."
+        }
+        LintId::L8 => {
+            "L8 · relaxed atomics across the worker pool\n\
+             \n\
+             `Ordering::Relaxed` provides no happens-before edge. On an atomic\n\
+             that is touched both inside and outside the executor's worker\n\
+             closures (`spawn(...)` argument bodies), Relaxed means the main\n\
+             thread can observe stale values — acceptable only for pure\n\
+             counters whose value is never used to publish data. Use\n\
+             Acquire/Release (or SeqCst) when the atomic synchronizes, or add\n\
+             an allow comment stating why atomicity alone suffices.\n\
+             \n\
+             Scope: crates/engine, crates/core."
+        }
+        LintId::L9 => {
+            "L9 · unkeyed fault draw in the parallel phase\n\
+             \n\
+             FaultInjector's sequential-stream draws (store_attempts,\n\
+             transport_write_fallback, transport_read_retries, and the\n\
+             lifecycle draws) consume a per-point PRNG stream in call order.\n\
+             Reached from `execute_task_buffered`'s parallel phase, call order\n\
+             depends on worker interleaving, so the draw sequence — and every\n\
+             fault outcome after it — differs between runs. Any draw reachable\n\
+             from `execute_task_buffered` (via the approximate call graph) must\n\
+             use the `*_keyed` variant with `op_key(...)`, which derives the\n\
+             draw from the operation's identity instead of arrival order.\n\
+             \n\
+             Scope: crates/engine, crates/core, crates/cloud (crates/faults\n\
+             itself, where the sequential primitives live, is exempt)."
+        }
+        LintId::L10 => {
+            "L10 · telemetry metric-name schema\n\
+             \n\
+             Metric names passed to the registry (counter_add, gauge_set,\n\
+             observe, observe_with_buckets, sample) must be string literals\n\
+             matching the DESIGN §7 grammar: lowercase dot-separated\n\
+             `component.metric_name` with a known component prefix (run, meta,\n\
+             engine, pool, store, fault, recovery, fleet, shuffle_fleet,\n\
+             warehouse, endpoint). format!-built names defeat the golden-dump\n\
+             diff (the set of series becomes data-dependent) and grep-ability.\n\
+             Select from a static table of literals instead.\n\
+             \n\
+             Scope: everywhere."
+        }
+        LintId::L11 => {
+            "L11 · ledger hygiene\n\
+             \n\
+             Dollars are minted in exactly two places: `Pricing` (rates) and\n\
+             `CostLedger` (accumulation). Everywhere else, (a) arithmetic on a\n\
+             cost-named binding (*, /, %, compound assignment, or `==`\n\
+             comparison) is flagged — except `+`/`-` where BOTH operands are\n\
+             cost-named, which is a legitimate sum of already-minted dollars —\n\
+             and (b) a `*` or `/` inside a `.charge(...)`/`.try_charge(...)`/\n\
+             `.charge_requests(...)` argument list computes a price at the call\n\
+             site; move the formula into a Pricing method.\n\
+             \n\
+             Subsumes the retired, path-scoped L4.\n\
+             \n\
+             Scope: everywhere except crates/cloud/src/{ledger,pricing}.rs,\n\
+             crates/core/src/prices.rs, and crates/bench."
+        }
+        LintId::Sup => {
+            "SUP · malformed suppression\n\
+             \n\
+             A `// cackle-lint: allow(...)` comment that fails to parse —\n\
+             unknown rule id, trailing comma, duplicate id, empty list, or\n\
+             missing `)` — used to be silently ignored, leaving the finding it\n\
+             meant to suppress active (or worse, leaving a typo'd allow\n\
+             silently dead). Malformed suppressions are now hard errors.\n\
+             SUP itself cannot be suppressed."
+        }
+    }
+}

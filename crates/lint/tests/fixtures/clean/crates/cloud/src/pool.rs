@@ -20,6 +20,16 @@ fn billed(ledger_total: f64) -> f64 {
     ledger_total * 2.0
 }
 
+fn bookkeeping(vm_cost: f64, pool_cost: f64) -> f64 {
+    // Summing already-minted dollars is movement, not minting.
+    vm_cost + pool_cost
+}
+
+fn settle(led: &Ledger, amount: f64) {
+    // Charging a precomputed amount keeps the formula in Pricing.
+    led.charge(Cat::Vm, amount);
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -1,0 +1,12 @@
+//! Fixture: L10 near-misses — on-grammar literals, and same-named
+//! methods on non-registry types (disambiguated by arity).
+
+fn record(t: &Telemetry, h: &Histogram, dist: &Uniform, rng: &mut Pcg32) {
+    t.counter_add("engine.tasks_total", 1);
+    t.observe("pool.invoke_latency_seconds", 0.5);
+    t.sample("shuffle_fleet.nodes", 1000, 4.0);
+    // 1-arg `observe` is Histogram::observe, not the registry.
+    h.observe(0.5);
+    // 1-arg `sample` is a PRNG draw, not the registry.
+    let _ = dist.sample(rng);
+}

@@ -1,0 +1,13 @@
+//! Fixture: L9 near-misses — keyed draws in the parallel phase, and a
+//! sequential draw that the parallel phase never reaches.
+
+pub fn execute_task_buffered(faults: &FaultInjector, op: StoreOp, k: u64) -> u64 {
+    // Keyed twin: the draw depends on operation identity, not schedule.
+    faults.store_attempts_keyed(op, op_key(k))
+}
+
+// Sequential draws are fine on serial paths: nothing calls this from
+// `execute_task_buffered`.
+pub fn replay_serial(faults: &FaultInjector, op: StoreOp) -> u64 {
+    faults.store_attempts(op)
+}

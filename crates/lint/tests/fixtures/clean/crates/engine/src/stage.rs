@@ -1,0 +1,29 @@
+//! Fixture: L7 near-misses — same two locks, but never a cycle.
+
+struct Stage {
+    queue: Mutex<Vec<u64>>,
+    done: Mutex<Vec<u64>>,
+}
+
+impl Stage {
+    // Both paths acquire in the same global order: no cycle.
+    fn forward(&self) {
+        let q = self.queue.lock();
+        let d = self.done.lock();
+        d.push(q.len() as u64);
+    }
+
+    fn also_forward(&self) {
+        let q = self.queue.lock();
+        let d = self.done.lock();
+        q.push(d.len() as u64);
+    }
+
+    // A statement-scoped temporary is released before the next
+    // acquisition, so the reversed order here overlaps nothing.
+    fn disjoint(&self) {
+        *self.done.lock() += 1;
+        let q = self.queue.lock();
+        q.clear();
+    }
+}

@@ -1,0 +1,20 @@
+//! Fixture: L8 near-misses — Relaxed where it is harmless, and proper
+//! orderings where the atomic really is shared.
+
+// Worker-local counter: only ever touched inside spawn closures, so
+// Relaxed is fine (atomicity is all that is needed).
+fn tally(s: &Scope) {
+    let hits = AtomicUsize::new(0);
+    s.spawn(|| {
+        hits.fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+// Shared flag with a proper release/acquire pair.
+fn publish(s: &Scope) {
+    let done = AtomicBool::new(false);
+    s.spawn(|| {
+        done.store(true, Ordering::Release);
+    });
+    while !done.load(Ordering::Acquire) {}
+}

@@ -1,0 +1,6 @@
+//! Fixture: a malformed suppression (SUP) — the allow list names an
+//! unknown rule, so it is a hard error AND suppresses nothing.
+
+fn take(slot: Option<u32>) -> u32 {
+    slot.unwrap() // cackle-lint: allow(L5,L99) — SUP, and the L5 still fires
+}

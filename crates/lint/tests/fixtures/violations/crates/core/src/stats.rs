@@ -1,0 +1,8 @@
+//! Fixture: deliberate L10 violations — metric names off the DESIGN §7
+//! grammar or not knowable at compile time.
+
+fn record(t: &Telemetry, shard: u32) {
+    t.counter_add(&format!("engine.shard_{shard}.tasks"), 1); // L10: format!-built
+    t.gauge_set("Engine.QueueDepth", 3.0); // L10: not lowercase snake
+    t.observe("latency", 0.5); // L10: no `component.` prefix
+}

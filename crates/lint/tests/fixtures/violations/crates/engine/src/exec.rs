@@ -1,0 +1,10 @@
+//! Fixture: deliberate L9 violations — sequential fault draws inside
+//! the worker-pool phase, where call order is scheduler-dependent.
+
+pub fn execute_task_buffered(faults: &FaultInjector, op: StoreOp) -> u64 {
+    let attempts = faults.store_attempts(op); // L9: keyed twin exists
+    if faults.vm_interrupt() {
+        return 0; // L9 above: no keyed twin — hoist the draw
+    }
+    attempts
+}

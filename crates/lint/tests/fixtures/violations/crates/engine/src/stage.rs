@@ -1,0 +1,20 @@
+//! Fixture: deliberate L7 violation — opposite lock orders on two paths.
+
+struct Stage {
+    queue: Mutex<Vec<u64>>,
+    done: Mutex<Vec<u64>>,
+}
+
+impl Stage {
+    fn forward(&self) {
+        let q = self.queue.lock();
+        let d = self.done.lock(); // L7: queue held while done is acquired
+        d.push(q.len() as u64);
+    }
+
+    fn backward(&self) {
+        let d = self.done.lock();
+        let q = self.queue.lock(); // L7: done held while queue is acquired
+        q.push(d.len() as u64);
+    }
+}

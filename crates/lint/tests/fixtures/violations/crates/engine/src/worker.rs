@@ -1,0 +1,10 @@
+//! Fixture: deliberate L8 violations — `Ordering::Relaxed` on an atomic
+//! shared between worker closures and the coordinating thread.
+
+fn drain(s: &Scope) {
+    let done = AtomicBool::new(false);
+    s.spawn(|| {
+        done.store(true, Ordering::Relaxed); // L8: publish with no release
+    });
+    while !done.load(Ordering::Relaxed) {} // L8: consume with no acquire
+}

@@ -436,6 +436,7 @@ impl Telemetry {
 
     /// Observe `v` into the named histogram with [`DEFAULT_BUCKETS`].
     pub fn observe(&self, name: &str, v: f64) {
+        // cackle-lint: allow(L10) — registry-internal forwarding; callers' names are checked at their sites
         self.observe_with_buckets(name, v, &DEFAULT_BUCKETS);
     }
 
@@ -468,9 +469,9 @@ impl Telemetry {
             return;
         }
         if let Some(mut r) = self.lock() {
-            *r.costs
-                .entry((component.to_string(), category.to_string()))
-                .or_insert(0.0) += dollars;
+            let total = r.costs.entry((component.to_string(), category.to_string()));
+            // cackle-lint: allow(L11) — attribution mirror of dollars already minted by the ledger
+            *total.or_insert(0.0) += dollars;
         }
     }
 
