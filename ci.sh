@@ -14,13 +14,22 @@ cargo run -q -p cackle-lint -- . --baseline lint-baseline.txt --include-tests
 
 echo "==> cackle-lint JSON diagnostics (deterministic artifact)"
 mkdir -p results
+# The meta block's per-phase "ms" timings are the one nondeterministic
+# field; normalize them to 0 before the archived artifact and the
+# byte-identity check.
 cargo run -q -p cackle-lint -- . --baseline lint-baseline.txt --include-tests \
-    --format json > results/lint-diagnostics.json
+    --format json | sed 's/"ms": [0-9]*/"ms": 0/g' > results/lint-diagnostics.json
 cargo run -q -p cackle-lint -- . --baseline lint-baseline.txt --include-tests \
-    --format json > results/lint-diagnostics.rerun.json
+    --format json | sed 's/"ms": [0-9]*/"ms": 0/g' > results/lint-diagnostics.rerun.json
 cmp results/lint-diagnostics.json results/lint-diagnostics.rerun.json \
     || { echo "cackle-lint: JSON output is not byte-identical across runs" >&2; exit 1; }
 rm -f results/lint-diagnostics.rerun.json
+
+echo "==> cackle-lint --explain smoke (every rule id documents itself)"
+for rule in L1 L2 L3 L4 L5 L6 L7 L8 L9 L10 L11 L12 L13 L14 L15 SUP; do
+    cargo run -q -p cackle-lint -- --explain "$rule" > /dev/null \
+        || { echo "cackle-lint: --explain $rule failed" >&2; exit 1; }
+done
 
 echo "==> cargo build --release"
 cargo build --workspace --release

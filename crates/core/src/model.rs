@@ -68,7 +68,9 @@ pub fn workload_curves(workload: &[QueryArrival]) -> WorkloadCurves {
         let query_end = q.at_s as usize + q.profile.critical_path_seconds() as usize;
         for (stage, &off) in q.profile.stages.iter().zip(&starts) {
             let s = q.at_s as usize + off as usize;
-            let e = s + stage.task_seconds as usize;
+            // `e` is a tick *index* into the per-second curve buffers, not
+            // a duration: the ±1 below is bounds arithmetic on indices.
+            let e = s + stage.task_seconds as usize; // cackle-lint: unit(none)
             c.demand.add_interval(s, e, stage.tasks);
             if stage.shuffle_bytes > 0 {
                 // Intermediate state lives from production until the query

@@ -72,6 +72,15 @@ impl Batch {
         }
     }
 
+    /// Copy the contiguous row range `start..end` into a new batch —
+    /// the no-index-vector fast path for `take(&(start..end)...)`.
+    pub fn slice(&self, start: usize, end: usize) -> Batch {
+        Batch {
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.slice(start, end)).collect(),
+        }
+    }
+
     /// Gather rows at `indices`.
     pub fn take(&self, indices: &[usize]) -> Batch {
         Batch {
@@ -126,8 +135,7 @@ impl Batch {
         let mut start = 0;
         while start < n {
             let end = (start + chunk_rows).min(n);
-            let idx: Vec<usize> = (start..end).collect();
-            out.push(self.take(&idx));
+            out.push(self.slice(start, end));
             start = end;
         }
         out
@@ -199,6 +207,54 @@ mod tests {
         assert_eq!(chunks[0].num_rows(), 2);
         assert_eq!(chunks[1].num_rows(), 1);
         assert_eq!(chunks[1].columns[0].i64s(), &[3]);
+    }
+
+    #[test]
+    fn slice_matches_take_of_contiguous_range() {
+        // Every type variant plus a validity mask, so the slice path is
+        // checked against the gather path it replaced in `chunks`.
+        let schema = Schema::shared(&[
+            ("i", DataType::I64),
+            ("f", DataType::F64),
+            ("s", DataType::Str),
+            ("d", DataType::Date),
+            ("b", DataType::Bool),
+        ]);
+        let b = Batch::new(
+            schema,
+            vec![
+                Column::with_validity(
+                    crate::column::ColumnData::I64(vec![1, 2, 3, 4, 5]),
+                    vec![true, false, true, true, false],
+                ),
+                Column::from_f64(vec![0.1, 0.2, 0.3, 0.4, 0.5]),
+                Column::from_str_vec(["a", "b", "c", "d", "e"].map(String::from).to_vec()),
+                Column::new(crate::column::ColumnData::Date(vec![10, 11, 12, 13, 14])),
+                Column::new(crate::column::ColumnData::Bool(vec![
+                    true, true, false, true, false,
+                ])),
+            ],
+        );
+        for (start, end) in [(0, 5), (0, 0), (1, 4), (4, 5), (2, 2)] {
+            let idx: Vec<usize> = (start..end).collect();
+            let via_take = b.take(&idx);
+            let via_slice = b.slice(start, end);
+            assert_eq!(via_slice.num_rows(), end - start);
+            for ci in 0..b.num_columns() {
+                assert_eq!(
+                    via_slice.columns[ci], via_take.columns[ci],
+                    "slice({start},{end}) col {ci}"
+                );
+            }
+        }
+        // An all-valid window of a masked column normalizes, same as take.
+        assert!(b.slice(2, 4).columns[0].validity.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn slice_rejects_out_of_range() {
+        sample().slice(1, 4);
     }
 
     #[test]

@@ -93,8 +93,14 @@ fn type_tag(dt: DataType) -> u8 {
 /// Serialize a batch (schema names are not encoded; the receiving stage
 /// knows its input schema from the plan).
 pub fn encode_batch(batch: &Batch) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(batch.byte_size() as usize + 64);
+    // Headroom beyond the payload estimate for the batch header and
+    // per-column tag/validity/length framing.
+    const FRAMING_SLACK_BYTES: usize = 64;
+    let mut buf = Vec::with_capacity(batch.byte_size() as usize + FRAMING_SLACK_BYTES);
     buf.put_u32_le(batch.num_columns() as u32);
+    // The wire format stores row counts as u32; batches are chunked
+    // far below 2^32 rows.
+    // cackle-lint: allow(L15) — u32 row count is the wire format
     buf.put_u32_le(batch.num_rows() as u32);
     for col in &batch.columns {
         buf.put_u8(type_tag(col.data_type()));
@@ -154,6 +160,27 @@ pub fn encode_batch(batch: &Batch) -> Vec<u8> {
     buf
 }
 
+/// Decode one column's value buffer. Each `collect` pre-sizes from the
+/// range's exact length; this is the column's one-time output
+/// allocation, not a per-row temporary.
+fn decode_column_data(buf: &mut Reader<'_>, expected: DataType, nrows: usize) -> ColumnData {
+    match expected {
+        DataType::I64 => ColumnData::I64((0..nrows).map(|_| buf.get_i64_le()).collect()),
+        DataType::F64 => ColumnData::F64((0..nrows).map(|_| buf.get_f64_le()).collect()),
+        DataType::Date => ColumnData::Date((0..nrows).map(|_| buf.get_i32_le()).collect()),
+        DataType::Bool => ColumnData::Bool((0..nrows).map(|_| buf.get_u8() != 0).collect()),
+        DataType::Str => {
+            let _total = buf.get_u32_le();
+            let lens: Vec<usize> = (0..nrows).map(|_| buf.get_u32_le() as usize).collect();
+            let strs = lens
+                .iter()
+                .map(|&len| String::from_utf8_lossy(buf.take(len)).into_owned())
+                .collect();
+            ColumnData::Str(strs)
+        }
+    }
+}
+
 /// Deserialize a batch against its known schema. Panics on corrupt input or
 /// schema mismatch (shuffle payloads are engine-internal).
 pub fn decode_batch(data: &[u8], schema: SchemaRef) -> Batch {
@@ -181,21 +208,7 @@ pub fn decode_batch(data: &[u8], schema: SchemaRef) -> Batch {
         } else {
             None
         };
-        let data = match expected {
-            DataType::I64 => ColumnData::I64((0..nrows).map(|_| buf.get_i64_le()).collect()),
-            DataType::F64 => ColumnData::F64((0..nrows).map(|_| buf.get_f64_le()).collect()),
-            DataType::Date => ColumnData::Date((0..nrows).map(|_| buf.get_i32_le()).collect()),
-            DataType::Bool => ColumnData::Bool((0..nrows).map(|_| buf.get_u8() != 0).collect()),
-            DataType::Str => {
-                let _total = buf.get_u32_le();
-                let lens: Vec<usize> = (0..nrows).map(|_| buf.get_u32_le() as usize).collect();
-                let strs = lens
-                    .iter()
-                    .map(|&len| String::from_utf8_lossy(buf.take(len)).into_owned())
-                    .collect();
-                ColumnData::Str(strs)
-            }
-        };
+        let data = decode_column_data(&mut buf, expected, nrows);
         columns.push(match validity {
             Some(m) => Column::with_validity(data, m),
             None => Column::new(data),

@@ -165,6 +165,28 @@ impl Column {
         }
     }
 
+    /// Copy the contiguous row range `start..end` into a new column.
+    /// Equivalent to `take(&(start..end).collect::<Vec<_>>())` without
+    /// materializing the index vector: the range maps to one slice copy
+    /// per buffer. Panics if `start > end` or `end > len`.
+    pub fn slice(&self, start: usize, end: usize) -> Column {
+        assert!(start <= end && end <= self.len(), "slice out of bounds");
+        let data = match &self.data {
+            ColumnData::I64(v) => ColumnData::I64(v[start..end].to_vec()),
+            ColumnData::F64(v) => ColumnData::F64(v[start..end].to_vec()),
+            ColumnData::Str(v) => ColumnData::Str(v[start..end].to_vec()),
+            ColumnData::Date(v) => ColumnData::Date(v[start..end].to_vec()),
+            ColumnData::Bool(v) => ColumnData::Bool(v[start..end].to_vec()),
+        };
+        match &self.validity {
+            // with_validity, not a raw construction: an all-valid window
+            // of a masked column must normalize to `validity: None`,
+            // exactly as `take` does.
+            Some(m) => Column::with_validity(data, m[start..end].to_vec()),
+            None => Column::new(data),
+        }
+    }
+
     /// Keep only rows where `mask` is true. Panics if lengths differ.
     pub fn filter(&self, mask: &[bool]) -> Column {
         assert_eq!(mask.len(), self.len(), "filter mask length mismatch");

@@ -303,25 +303,30 @@ impl Expr {
                 }
             }
             Expr::Coalesce(exprs) => {
-                assert!(!exprs.is_empty(), "COALESCE of nothing");
-                let cols: Vec<Column> = exprs.iter().map(|e| e.eval(batch)).collect();
-                let mut out = cols[0].clone();
-                for alt in &cols[1..] {
-                    if out.validity.is_none() {
-                        break;
-                    }
-                    let indices: Vec<usize> = (0..n).collect();
-                    let mut data = out.data.clone();
-                    let mut validity = out.validity.clone().unwrap_or_else(|| vec![true; n]);
-                    for &i in &indices {
-                        if !validity[i] && alt.is_valid(i) {
-                            copy_row(&mut data, alt, i);
-                            validity[i] = true;
+                let mut rest = exprs.iter().map(|e| e.eval(batch));
+                let first = rest.next().expect("COALESCE of nothing");
+                match first.validity {
+                    // Fully valid already: no alternative can contribute.
+                    None => first,
+                    Some(mut validity) => {
+                        // Fill nulls in place; one data/validity pair is
+                        // threaded through every alternative instead of
+                        // being re-cloned per column.
+                        let mut data = first.data;
+                        for alt in rest {
+                            if validity.iter().all(|&v| v) {
+                                break;
+                            }
+                            for i in 0..n {
+                                if !validity[i] && alt.is_valid(i) {
+                                    copy_row(&mut data, &alt, i);
+                                    validity[i] = true;
+                                }
+                            }
                         }
+                        Column::with_validity(data, validity)
                     }
-                    out = Column::with_validity(data, validity);
                 }
-                out
             }
             Expr::Cast { input, to } => {
                 let c = input.eval(batch);

@@ -93,10 +93,17 @@ impl JoinHashTable {
                 Batch::new(output, filtered.columns)
             }
             JoinType::Inner | JoinType::Left => {
-                let mut probe_idx: Vec<usize> = Vec::new();
-                let mut build_idx: Vec<usize> = Vec::new();
-                // For Left, rows with no match pair with a sentinel.
-                let mut unmatched: Vec<usize> = Vec::new();
+                // Pre-size to the probe side: the common join shape is
+                // roughly one match per probe row, and a left join's
+                // unmatched set is bounded by n exactly.
+                let mut probe_idx: Vec<usize> = Vec::with_capacity(n);
+                let mut build_idx: Vec<usize> = Vec::with_capacity(n);
+                // For Left, rows with no match pair with a sentinel; only
+                // that variant ever fills this, so only it pre-sizes.
+                let mut unmatched: Vec<usize> = match join_type {
+                    JoinType::Left => Vec::with_capacity(n),
+                    _ => Vec::new(),
+                };
                 for row in 0..n {
                     let valid = key_refs.iter().all(|k| k.is_valid(row));
                     let hits = if valid {

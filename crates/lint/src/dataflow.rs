@@ -1,0 +1,1019 @@
+//! Intra-procedural value flow with interprocedural summaries — the
+//! analysis layer under L12–L15.
+//!
+//! Per function, the statement/scope extents from [`crate::parser`] are
+//! lifted into an *assignment graph*: parameters, `let` bindings and
+//! re-assignments with their right-hand-side token ranges, loop body
+//! extents, and return-expression ranges. On top of that:
+//!
+//! * a transitive **source closure** maps each local to the set of
+//!   identifiers (and `call:` callee names) its value was derived from
+//!   — the taint machinery behind L13's seed provenance;
+//! * a per-function **unit environment** assigns a [`Unit`] to locals
+//!   from annotations, naming conventions, and right-hand-side
+//!   propagation — the typing machinery behind L12/L15;
+//! * per-function **summaries** (`ret_unit`, `seed_derived`) are
+//!   iterated to fixpoint over the PR 5 call graph so units and taint
+//!   cross function boundaries by bare callee name (the same honest
+//!   over-approximation the call graph itself makes, with the same
+//!   stoplist so `len()` never donates a unit).
+//!
+//! Everything here is conservative in the lint direction: failing to
+//! model a construct loses information (a local has no unit, a source
+//! set is smaller), which can only cost a finding — except for L13,
+//! whose *unproven* verdict is deliberately loud and carries its own
+//! annotation escape hatch.
+
+use crate::index::Workspace;
+use crate::lexer::TokKind;
+use crate::parser::{FnItem, ParsedFile};
+use crate::units::{self, Unit};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Keywords that never name a value.
+const KEYWORDS: [&str; 24] = [
+    "let", "mut", "if", "else", "match", "return", "as", "in", "for", "while", "loop", "move",
+    "ref", "fn", "impl", "mod", "use", "pub", "break", "continue", "where", "struct", "enum",
+    "self",
+];
+
+/// One assignment: `target = <rhs tokens>`.
+#[derive(Debug, Clone)]
+pub struct Assign {
+    /// Bound name (terminal identifier for field chains like
+    /// `self.total = ...`).
+    pub target: String,
+    /// Token index of the target name.
+    pub target_tok: usize,
+    /// Inclusive token range of the right-hand side.
+    pub rhs: (usize, usize),
+}
+
+/// The per-function value-flow facts.
+#[derive(Debug, Default)]
+pub struct FnFlow {
+    /// `(name, name token)` for each signature parameter.
+    pub params: Vec<(String, usize)>,
+    /// `let` bindings and re-assignments, source order.
+    pub assigns: Vec<Assign>,
+    /// Inclusive `{`..`}` token ranges of `for`/`while`/`loop` bodies.
+    pub loops: Vec<(usize, usize)>,
+    /// Inclusive token ranges of `return <expr>` expressions and the
+    /// trailing tail expression (when present).
+    pub returns: Vec<(usize, usize)>,
+}
+
+impl FnFlow {
+    /// Build the flow facts for one fn item.
+    pub fn build(p: &ParsedFile, item: &FnItem) -> FnFlow {
+        let mut flow = FnFlow::default();
+        flow.collect_params(p, item);
+        let Some(body) = item.body else {
+            return flow;
+        };
+        flow.collect_assigns(p, body);
+        flow.collect_loops(p, body);
+        flow.collect_returns(p, body);
+        flow
+    }
+
+    /// Is token `i` inside one of this fn's loop bodies?
+    pub fn in_loop(&self, i: usize) -> bool {
+        self.loops.iter().any(|&(lo, hi)| i > lo && i < hi)
+    }
+
+    fn collect_params(&mut self, p: &ParsedFile, item: &FnItem) {
+        let toks = &p.toks;
+        // Signature: `fn name [<generics>] ( params )`.
+        let mut j = item.kw + 2;
+        if toks.get(j).map(|t| t.punct()) == Some("<") {
+            j = skip_angles(toks, j);
+        }
+        if toks.get(j).map(|t| t.punct()) != Some("(") {
+            return;
+        }
+        let Some(close) = p.close_of(j) else {
+            return;
+        };
+        let mut k = j + 1;
+        while k < close {
+            let t = &toks[k];
+            let pt = t.punct();
+            if matches!(pt, "(" | "[" | "{") {
+                // Pattern or type group: skip wholesale.
+                k = p.close_of(k).filter(|&c| c < close).unwrap_or(close);
+            } else if t.kind == TokKind::Ident
+                && t.text != "self"
+                && t.text != "mut"
+                && toks.get(k + 1).map(|t| t.punct()) == Some(":")
+            {
+                self.params.push((t.text.clone(), k));
+                // Skip the type up to the next top-level comma.
+                let mut d = k + 2;
+                while d < close {
+                    let dp = toks[d].punct();
+                    if dp == "," {
+                        break;
+                    }
+                    if matches!(dp, "(" | "[" | "{") {
+                        d = p.close_of(d).filter(|&c| c < close).unwrap_or(close);
+                    } else if dp == "<" {
+                        d = skip_angles(toks, d);
+                        continue;
+                    }
+                    d += 1;
+                }
+                k = d;
+            }
+            k += 1;
+        }
+    }
+
+    fn collect_assigns(&mut self, p: &ParsedFile, body: (usize, usize)) {
+        let toks = &p.toks;
+        let mut i = body.0 + 1;
+        while i < body.1 {
+            // `let [mut] name [: Ty] = rhs ;` — patterns (`let (a, b)`,
+            // `if let Some(x)`) are skipped: destructured halves simply
+            // have no recorded source, which only loses information.
+            if toks[i].ident() == "let" {
+                let mut j = i + 1;
+                if toks.get(j).map(|t| t.ident()) == Some("mut") {
+                    j += 1;
+                }
+                if let Some(name) = toks.get(j).filter(|t| t.kind == TokKind::Ident) {
+                    let after = toks.get(j + 1).map(|t| t.punct()).unwrap_or("");
+                    if after == "=" || after == ":" {
+                        let end = p.statement_end(i);
+                        // Find the `=` at statement depth (skipping any
+                        // type annotation's groups; `==`/`=>`/`..=` are
+                        // single tokens, so a bare `=` is unambiguous).
+                        let mut e = j + 1;
+                        let mut eq = None;
+                        while e < end {
+                            let ep = toks[e].punct();
+                            if ep == "=" {
+                                eq = Some(e);
+                                break;
+                            }
+                            if matches!(ep, "(" | "[" | "{") {
+                                e = p.close_of(e).filter(|&c| c < end).unwrap_or(end);
+                            }
+                            e += 1;
+                        }
+                        if let Some(eq) = eq {
+                            if eq + 1 < end {
+                                self.assigns.push(Assign {
+                                    target: name.text.clone(),
+                                    target_tok: j,
+                                    rhs: (eq + 1, end - 1),
+                                });
+                            }
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                }
+            }
+            // Re-assignment / compound assignment at statement start:
+            // `name = rhs;`, `x.field += rhs;` (target = terminal ident).
+            if toks[i].kind == TokKind::Ident
+                && !KEYWORDS.contains(&toks[i].text.as_str())
+                && p.statement_start(i) == i
+            {
+                // Walk a field chain `a.b.c`.
+                let mut t = i;
+                while toks.get(t + 1).map(|x| x.punct()) == Some(".")
+                    && toks.get(t + 2).map(|x| x.kind) == Some(TokKind::Ident)
+                {
+                    t += 2;
+                }
+                let op = toks.get(t + 1).map(|x| x.punct()).unwrap_or("");
+                if matches!(op, "=" | "+=" | "-=" | "*=" | "/=") {
+                    let end = p.statement_end(i);
+                    if t + 2 < end {
+                        self.assigns.push(Assign {
+                            target: toks[t].text.clone(),
+                            target_tok: t,
+                            rhs: (t + 2, end - 1),
+                        });
+                    }
+                    i = end;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    fn collect_loops(&mut self, p: &ParsedFile, body: (usize, usize)) {
+        let toks = &p.toks;
+        for i in body.0..=body.1 {
+            let kw = toks[i].ident();
+            if !matches!(kw, "for" | "while" | "loop") {
+                continue;
+            }
+            // Find the loop body `{`, skipping header groups (iterator
+            // expressions, closure arguments). Headers cannot contain a
+            // bare `{` (rustc forbids struct literals there).
+            let mut j = i + 1;
+            let open = loop {
+                match toks.get(j).map(|t| t.punct()) {
+                    Some("{") => break Some(j),
+                    Some("(") | Some("[") => {
+                        j = match p.close_of(j) {
+                            Some(c) if c < body.1 => c + 1,
+                            _ => break None,
+                        };
+                    }
+                    Some(";") | Some("}") | None => break None,
+                    _ => j += 1,
+                }
+            };
+            if let Some(open) = open {
+                if let Some(close) = p.close_of(open) {
+                    self.loops.push((open, close));
+                }
+            }
+        }
+    }
+
+    fn collect_returns(&mut self, p: &ParsedFile, body: (usize, usize)) {
+        let toks = &p.toks;
+        for i in body.0 + 1..body.1 {
+            if toks[i].ident() == "return" {
+                let end = p.statement_end(i);
+                if end > i + 1 {
+                    self.returns.push((i + 1, end - 1));
+                }
+            }
+        }
+        // Tail expression: the final statement when it has no `;`.
+        if body.1 > body.0 + 1 {
+            let last = body.1 - 1;
+            if toks[last].punct() != ";" {
+                let mut start = stmt_start_deep(p, last);
+                // stmt_start_deep walks back over `}`-closed groups so a
+                // tail `match x { ... }` is captured wholesale — but that
+                // also drags in a *preceding* block statement (`for b in
+                // bytes { ... } h`). Such a block is not part of the tail
+                // expression: hop past every leading block construct whose
+                // close lands strictly before `last`.
+                while let Some(after) = skip_leading_block(p, start, last) {
+                    start = after;
+                }
+                if start > body.0 && start <= last && toks[start].ident() != "return" {
+                    self.returns.push((start, last));
+                }
+            }
+        }
+    }
+}
+
+/// First top-level `{` at or after `j` (skipping `(...)`/`[...]`
+/// header groups), or `None` if a `;` or `last` intervenes.
+fn block_open(p: &ParsedFile, mut j: usize, last: usize) -> Option<usize> {
+    while j <= last {
+        match p.toks[j].punct() {
+            "{" => return Some(j),
+            "(" | "[" => j = p.close_of(j)? + 1,
+            ";" => return None,
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+/// When the range `start..=last` begins with a block construct
+/// (`for`/`while`/`loop`/`if`/`match`/`unsafe` or a bare `{ ... }`
+/// block) used as a *statement* — i.e. its block (including any
+/// `else` chain) closes strictly before `last` — return the index just
+/// past it. Returns `None` when the construct is itself the tail.
+fn skip_leading_block(p: &ParsedFile, start: usize, last: usize) -> Option<usize> {
+    let toks = &p.toks;
+    let kw = toks[start].ident();
+    let open = if toks[start].punct() == "{" {
+        start
+    } else if matches!(kw, "for" | "while" | "loop" | "if" | "match" | "unsafe") {
+        block_open(p, start + 1, last)?
+    } else {
+        return None;
+    };
+    let mut close = p.close_of(open)?;
+    // `if ... {} else if ... {} else {}` chains are one construct.
+    while kw == "if" && toks.get(close + 1).map(|t| t.ident()) == Some("else") {
+        let open = block_open(p, close + 2, last)?;
+        close = p.close_of(open)?;
+    }
+    if close < last {
+        Some(close + 1)
+    } else {
+        None
+    }
+}
+
+/// Like [`ParsedFile::statement_start`], but also skips `}`-closed
+/// groups (so a tail `match x { ... }` is captured wholesale).
+fn stmt_start_deep(p: &ParsedFile, i: usize) -> usize {
+    let mut j = i;
+    while j > 0 {
+        let prev = p.toks[j - 1].punct();
+        if prev == ";" {
+            return j;
+        }
+        if prev == ")" || prev == "]" || prev == "}" {
+            match (0..j - 1).rev().find(|&k| p.close_of(k) == Some(j - 1)) {
+                Some(open) => j = open,
+                None => return j,
+            }
+            continue;
+        }
+        if prev == "{" {
+            return j;
+        }
+        j -= 1;
+    }
+    0
+}
+
+/// Skip a `<...>` generic group by depth counting (same contract as the
+/// parser's private helper: bails at `{` / `;`).
+fn skip_angles(toks: &[crate::lexer::Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < toks.len() {
+        match toks[j].punct() {
+            "<" => depth += 1,
+            ">" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            "{" | ";" => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// The value-source identifiers of a token range: plain identifiers
+/// (path prefixes, macro names, struct-literal field labels and
+/// post-`as` type names excluded) plus `call:<name>` entries for call
+/// sites, so callers can consult interprocedural summaries.
+pub fn sources_in(p: &ParsedFile, range: (usize, usize)) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let toks = &p.toks;
+    let hi = range.1.min(toks.len().saturating_sub(1));
+    for i in range.0..=hi {
+        if toks[i].kind != TokKind::Ident || KEYWORDS.contains(&toks[i].text.as_str()) {
+            continue;
+        }
+        let next = toks.get(i + 1).map(|t| t.punct()).unwrap_or("");
+        if next == "!" {
+            continue; // macro name
+        }
+        if i > 0 && toks[i - 1].ident() == "as" {
+            continue; // cast target type
+        }
+        if next == "(" || (next == "::" && toks.get(i + 2).map(|t| t.punct()) == Some("<")) {
+            out.insert(format!("call:{}", toks[i].text));
+            continue;
+        }
+        if next == "::" {
+            continue; // path prefix (`Pcg32::`, `faults::`)
+        }
+        if next == ":" {
+            continue; // struct-literal field label / type ascription
+        }
+        out.insert(toks[i].text.clone());
+    }
+    out
+}
+
+/// Transitive closure of each assigned name's sources within one fn:
+/// `target -> every ident / call its value derives from`, following
+/// chains of local assignments to fixpoint (cycles are fine — the sets
+/// only grow).
+pub fn source_closure(p: &ParsedFile, flow: &FnFlow) -> BTreeMap<String, BTreeSet<String>> {
+    let mut map: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for a in &flow.assigns {
+        map.entry(a.target.clone())
+            .or_default()
+            .extend(sources_in(p, a.rhs));
+    }
+    loop {
+        let mut changed = false;
+        let snapshot = map.clone();
+        for set in map.values_mut() {
+            let expand: Vec<&BTreeSet<String>> =
+                set.iter().filter_map(|s| snapshot.get(s)).collect();
+            let before = set.len();
+            for e in expand {
+                set.extend(e.iter().cloned());
+            }
+            changed |= set.len() > before;
+        }
+        if !changed {
+            return map;
+        }
+    }
+}
+
+/// The workspace-wide dataflow results: one [`FnFlow`] + source closure
+/// + unit environment per indexed fn, per-file unit annotations, and
+/// the interprocedural summaries.
+#[derive(Debug)]
+pub struct Flows {
+    /// Per fn id (parallel to `ws.index.fns`).
+    pub flows: Vec<FnFlow>,
+    /// Per fn id: transitive source sets of its locals.
+    pub closures: Vec<BTreeMap<String, BTreeSet<String>>>,
+    /// Per fn id: unit of each local (params + assign targets).
+    pub env: Vec<BTreeMap<String, Unit>>,
+    /// Per fn id: locals declared `unit(none)` — explicitly
+    /// dimensionless, blocking convention inference at use sites.
+    pub no_unit: Vec<BTreeSet<String>>,
+    /// Per fn id: summary — unit of the return value, if consistently
+    /// inferable.
+    pub ret_unit: Vec<Option<Unit>>,
+    /// Per fn id: summary — does the return value derive from a
+    /// seed/salt-named source?
+    pub seed_derived: Vec<bool>,
+    /// Per file: `unit(...)` annotation lines (errors are surfaced by
+    /// lib.rs, not here).
+    pub annots: Vec<BTreeMap<usize, Option<Unit>>>,
+}
+
+impl Flows {
+    /// Build flows, environments, and summaries for the workspace.
+    /// Summaries iterate a small fixed number of global rounds — enough
+    /// for the call-chain depths in this tree, and convergence beyond
+    /// that only loses findings, never fabricates them.
+    pub fn build(ws: &Workspace) -> Flows {
+        let annots: Vec<BTreeMap<usize, Option<Unit>>> = ws
+            .files
+            .iter()
+            .map(|f| units::annotations(&f.source).by_line)
+            .collect();
+
+        let n = ws.index.fns.len();
+        let mut flows = Vec::with_capacity(n);
+        let mut closures = Vec::with_capacity(n);
+        for id in 0..n {
+            let f = &ws.index.fns[id];
+            let p = &ws.files[f.file].parsed;
+            let flow = FnFlow::build(p, ws.fn_item(id));
+            closures.push(source_closure(p, &flow));
+            flows.push(flow);
+        }
+
+        let mut fl = Flows {
+            flows,
+            closures,
+            env: vec![BTreeMap::new(); n],
+            no_unit: vec![BTreeSet::new(); n],
+            ret_unit: vec![None; n],
+            seed_derived: vec![false; n],
+            annots,
+        };
+
+        // Seed the environments from annotations + naming conventions.
+        // An explicit `unit(none)` blocks convention inference.
+        for id in 0..n {
+            let f = &ws.index.fns[id];
+            let p = &ws.files[f.file].parsed;
+            let ann = &fl.annots[f.file];
+            let bind = |env: &mut BTreeMap<String, Unit>,
+                        blocked: &mut BTreeSet<String>,
+                        name: &str,
+                        tok: usize| {
+                match ann.get(&p.toks[tok].line) {
+                    Some(Some(u)) => {
+                        env.insert(name.to_string(), *u);
+                    }
+                    Some(None) => {
+                        blocked.insert(name.to_string());
+                        env.remove(name);
+                    }
+                    None => {
+                        if !blocked.contains(name) && !env.contains_key(name) {
+                            if let Some(u) = units::of_ident(name) {
+                                env.insert(name.to_string(), u);
+                            }
+                        }
+                    }
+                }
+            };
+            let (env, blocked) = (&mut fl.env[id], &mut fl.no_unit[id]);
+            for (name, tok) in &fl.flows[id].params {
+                bind(env, blocked, name, *tok);
+            }
+            for a in &fl.flows[id].assigns {
+                bind(env, blocked, &a.target, a.target_tok);
+            }
+        }
+
+        // Interleaved rounds: propagate units through assignments using
+        // callee return-unit summaries, then refresh the summaries.
+        for _ in 0..3 {
+            for id in 0..n {
+                let f = &ws.index.fns[id];
+                let p = &ws.files[f.file].parsed;
+                let mut updates = Vec::new();
+                for a in &fl.flows[id].assigns {
+                    if fl.env[id].contains_key(&a.target) || fl.no_unit[id].contains(&a.target) {
+                        continue;
+                    }
+                    if let Some(u) = fl.range_unit(ws, p, id, a.rhs) {
+                        updates.push((a.target.clone(), u));
+                    }
+                }
+                fl.env[id].extend(updates);
+                fl.ret_unit[id] = fl.infer_ret_unit(ws, id);
+            }
+        }
+
+        // Seed-taint summaries to fixpoint (monotone: flags only set).
+        loop {
+            let mut changed = false;
+            for id in 0..n {
+                if fl.seed_derived[id] {
+                    continue;
+                }
+                let f = &ws.index.fns[id];
+                let p = &ws.files[f.file].parsed;
+                let derived = fl.flows[id].returns.iter().any(|&r| {
+                    fl.expr_sources(p, id, r)
+                        .iter()
+                        .any(|s| fl.source_is_seed_derived(ws, s))
+                });
+                if derived {
+                    fl.seed_derived[id] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        fl
+    }
+
+    /// Transitive sources of an expression range in fn `id`: direct
+    /// sources plus the closure of any local among them.
+    pub fn expr_sources(
+        &self,
+        p: &ParsedFile,
+        id: usize,
+        range: (usize, usize),
+    ) -> BTreeSet<String> {
+        let mut out = sources_in(p, range);
+        let expand: Vec<BTreeSet<String>> = out
+            .iter()
+            .filter_map(|s| self.closures[id].get(s).cloned())
+            .collect();
+        for e in expand {
+            out.extend(e);
+        }
+        out
+    }
+
+    /// Is a source entry seed-derived? Plain identifiers by naming
+    /// convention (`seed`, `*_salt`, `op_key`-style keys); `call:`
+    /// entries by callee summary.
+    pub fn source_is_seed_derived(&self, ws: &Workspace, source: &str) -> bool {
+        if let Some(callee) = source.strip_prefix("call:") {
+            if !Workspace::edge_name_kept(callee) {
+                return false;
+            }
+            return ws
+                .index
+                .by_name
+                .get(callee)
+                .is_some_and(|ids| ids.iter().any(|&c| self.seed_derived[c]));
+        }
+        is_seed_named(source)
+    }
+
+    /// Unit of the value produced by a call to `name`, from the API
+    /// table, the callee's name convention, or its return summary.
+    /// Stoplisted names (`len`, `clone`, ...) never donate a unit —
+    /// `ColumnData::len` must not make every `len()` a row count.
+    pub fn call_unit(&self, ws: &Workspace, name: &str) -> Option<Unit> {
+        if let Some(u) = units::return_unit_api(name) {
+            return Some(u);
+        }
+        if !Workspace::edge_name_kept(name) {
+            return None;
+        }
+        if let Some(u) = units::of_ident(name) {
+            return Some(u);
+        }
+        let ids = ws.index.by_name.get(name)?;
+        let mut found: Option<Unit> = None;
+        for &c in ids {
+            match (found, self.ret_unit[c]) {
+                (_, None) => return None,
+                (None, u) => found = u,
+                (Some(a), Some(b)) if a != b => return None,
+                _ => {}
+            }
+        }
+        found
+    }
+
+    /// Unit of local `name` in fn `id` (environment lookup, then naming
+    /// convention for non-locals like struct fields). A `unit(none)`
+    /// declaration blocks the convention fallback.
+    pub fn ident_unit(&self, id: usize, name: &str) -> Option<Unit> {
+        if let Some(u) = self.env[id].get(name) {
+            return Some(*u);
+        }
+        if self.no_unit[id].contains(name) {
+            return None;
+        }
+        units::of_ident(name)
+    }
+
+    /// Unit of an expression range: the consistent unit of its terminal
+    /// identifiers and calls. Ranges containing top-level `*` or `/`
+    /// are rates/products and have no base unit.
+    pub fn range_unit(
+        &self,
+        ws: &Workspace,
+        p: &ParsedFile,
+        id: usize,
+        range: (usize, usize),
+    ) -> Option<Unit> {
+        let toks = &p.toks;
+        let hi = range.1.min(toks.len().saturating_sub(1));
+        let mut j = range.0;
+        let mut found: Option<Unit> = None;
+        while j <= hi {
+            let t = &toks[j];
+            let pt = t.punct();
+            if matches!(pt, "*" | "/") && j > range.0 {
+                let prev = &toks[j - 1];
+                if prev.kind != TokKind::Punct || matches!(prev.punct(), ")" | "]") {
+                    return None; // binary product / quotient: a rate
+                }
+            }
+            if t.kind == TokKind::Ident && !KEYWORDS.contains(&t.text.as_str()) {
+                let next = toks.get(j + 1).map(|t| t.punct()).unwrap_or("");
+                let unit = if next == "("
+                    || (next == "::" && toks.get(j + 2).map(|t| t.punct()) == Some("<"))
+                {
+                    let u = self.call_unit(ws, &t.text);
+                    // Skip the argument list: its idents belong to the
+                    // callee.
+                    let open = if next == "(" {
+                        j + 1
+                    } else {
+                        skip_angles(toks, j + 2)
+                    };
+                    j = p.close_of(open).filter(|&c| c <= hi).unwrap_or(hi);
+                    u
+                } else if next == "::" || next == ":" || next == "!" {
+                    None
+                } else if j > 0 && toks[j - 1].ident() == "as" {
+                    None
+                } else {
+                    self.ident_unit(id, &t.text)
+                };
+                if let Some(u) = unit {
+                    match found {
+                        None => found = Some(u),
+                        Some(f) if f != u => return None,
+                        _ => {}
+                    }
+                }
+            }
+            j += 1;
+        }
+        found
+    }
+
+    /// Resolve the operand ending just before token `op` (so for a
+    /// binary operator, pass the operator's index). Walks back over a
+    /// `x as u64` cast to the cast subject, resolves `f(...)` /
+    /// `x.method(...)` results through call summaries, and field chains
+    /// (`self.a.total_cost`) through their terminal identifier.
+    pub fn operand_left(&self, ws: &Workspace, p: &ParsedFile, id: usize, op: usize) -> Operand {
+        if op == 0 {
+            return Operand::Unknown;
+        }
+        let toks = &p.toks;
+        let mut i = op - 1;
+        // `x as u64 <op>`: the operand is the cast subject.
+        if toks[i].kind == TokKind::Ident && i >= 2 && toks[i - 1].ident() == "as" {
+            if i < 2 {
+                return Operand::Unknown;
+            }
+            i -= 2;
+        }
+        let t = &toks[i];
+        if t.kind == TokKind::Number {
+            return Operand::Scalar;
+        }
+        if matches!(t.punct(), ")" | "]") {
+            // A call result `f(...)` / `x.m(...)`: resolve by summary.
+            if t.punct() == ")" {
+                if let Some(open) = (0..i).rev().find(|&k| p.close_of(k) == Some(i)) {
+                    if open > 0 && toks[open - 1].kind == TokKind::Ident {
+                        return match self.call_unit(ws, &toks[open - 1].text) {
+                            Some(u) => Operand::Unit(u),
+                            None => Operand::Unknown,
+                        };
+                    }
+                }
+            }
+            return Operand::Unknown;
+        }
+        if t.kind == TokKind::Ident && !KEYWORDS.contains(&t.text.as_str()) {
+            return match self.ident_unit(id, &t.text) {
+                Some(u) => Operand::Unit(u),
+                None => Operand::Unknown,
+            };
+        }
+        Operand::Unknown
+    }
+
+    /// Resolve the operand starting just after token `op`.
+    pub fn operand_right(&self, ws: &Workspace, p: &ParsedFile, id: usize, op: usize) -> Operand {
+        let toks = &p.toks;
+        let mut j = op + 1;
+        // Borrows and unary minus are transparent.
+        while toks.get(j).map(|t| t.punct()) == Some("&")
+            || toks.get(j).map(|t| t.punct()) == Some("-")
+        {
+            j += 1;
+        }
+        let Some(t) = toks.get(j) else {
+            return Operand::Unknown;
+        };
+        if t.kind == TokKind::Number {
+            return Operand::Scalar;
+        }
+        if t.kind != TokKind::Ident {
+            return Operand::Unknown;
+        }
+        // `self.field` / `self.method()` chains resolve through their
+        // terminal; a bare keyword is unresolvable.
+        if KEYWORDS.contains(&t.text.as_str())
+            && !(t.text == "self" && toks.get(j + 1).map(|t| t.punct()) == Some("."))
+        {
+            return Operand::Unknown;
+        }
+        // Walk a field / method chain to its terminal.
+        let mut term = j;
+        while toks.get(term + 1).map(|t| t.punct()) == Some(".")
+            && toks.get(term + 2).map(|t| t.kind) == Some(TokKind::Ident)
+        {
+            term += 2;
+        }
+        let name = &toks[term].text;
+        let next = toks.get(term + 1).map(|t| t.punct()).unwrap_or("");
+        if next == "(" || (next == "::" && toks.get(term + 2).map(|t| t.punct()) == Some("<")) {
+            return match self.call_unit(ws, name) {
+                Some(u) => Operand::Unit(u),
+                None => Operand::Unknown,
+            };
+        }
+        if next == "::" || next == "!" {
+            return Operand::Unknown;
+        }
+        match self.ident_unit(id, name) {
+            Some(u) => Operand::Unit(u),
+            None => Operand::Unknown,
+        }
+    }
+
+    fn infer_ret_unit(&self, ws: &Workspace, id: usize) -> Option<Unit> {
+        let item = ws.fn_item(id);
+        if let Some(u) = units::of_ident(&item.name) {
+            return Some(u);
+        }
+        if let Some(u) = units::return_unit_api(&item.name) {
+            return Some(u);
+        }
+        let f = &ws.index.fns[id];
+        let p = &ws.files[f.file].parsed;
+        let mut found: Option<Unit> = None;
+        for &r in &self.flows[id].returns {
+            match (found, self.range_unit(ws, p, id, r)) {
+                (_, None) => return None,
+                (None, u) => found = u,
+                (Some(a), Some(b)) if a != b => return None,
+                _ => {}
+            }
+        }
+        found
+    }
+}
+
+/// A resolved arithmetic operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// Carries a known unit of measure.
+    Unit(Unit),
+    /// A bare numeric literal.
+    Scalar,
+    /// Anything the analysis cannot type.
+    Unknown,
+}
+
+/// Does this identifier name a seed, salt, or derivation key?
+pub fn is_seed_named(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    lower.contains("seed") || lower.contains("salt") || lower == "key" || lower.ends_with("_key")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace::build(
+            files
+                .iter()
+                .map(|(p, s)| (p.to_string(), s.to_string()))
+                .collect(),
+        )
+    }
+
+    fn one(src: &str) -> (Workspace, Flows) {
+        let w = ws(&[("crates/core/src/x.rs", src)]);
+        let f = Flows::build(&w);
+        (w, f)
+    }
+
+    #[test]
+    fn params_assigns_and_loops_collected() {
+        let (w, f) = one("fn f(seed: u64, mut total_cost: f64) -> u64 {\n\
+                 let mut s = seed ^ 1;\n\
+                 for i in 0..4 { s += i; }\n\
+                 while s > 0 { s /= 2; }\n\
+                 total_cost = 0.0;\n\
+                 s\n\
+             }");
+        let flow = &f.flows[0];
+        let names: Vec<&str> = flow.params.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["seed", "total_cost"]);
+        // `let s`, `s +=`, `s /=`, `total_cost =`.
+        assert_eq!(flow.assigns.len(), 4, "{:?}", flow.assigns);
+        assert_eq!(flow.loops.len(), 2);
+        // Tail expression return.
+        assert_eq!(flow.returns.len(), 1);
+        let p = &w.files[0].parsed;
+        let (lo, hi) = flow.returns[0];
+        assert_eq!(lo, hi);
+        assert_eq!(p.toks[lo].text, "s");
+    }
+
+    #[test]
+    fn tail_expression_excludes_preceding_block_statements() {
+        // The fnv1a shape: a fold over a byte buffer, tail `h`. The
+        // loop header's `bytes` ident must not leak into the return
+        // range, or the hash comes out bytes-dimensioned.
+        let (w, f) = one("fn fnv1a(bytes: &[u8]) -> u64 {\n\
+                 let mut h: u64 = 1;\n\
+                 for &b in bytes {\n\
+                     h ^= b as u64;\n\
+                 }\n\
+                 h\n\
+             }");
+        let flow = &f.flows[0];
+        assert_eq!(flow.returns.len(), 1, "{:?}", flow.returns);
+        let (lo, hi) = flow.returns[0];
+        assert_eq!(lo, hi);
+        assert_eq!(w.files[0].parsed.toks[lo].text, "h");
+        assert_eq!(f.ret_unit[0], None);
+
+        // An `if/else if/else` chain *used as the tail* keeps its
+        // (shallow) capture — the range still starts inside the final
+        // block, exactly as before the hop-over fix.
+        let (w, f) = one("fn pick(total_bytes: u64) -> u64 {\n\
+                 let x = total_bytes;\n\
+                 if x > 1 { x } else if x > 0 { 1 } else { 0 }\n\
+             }");
+        let (lo, _) = f.flows[0].returns[0];
+        assert_eq!(w.files[0].parsed.toks[lo].text, "0");
+
+        // ... but the same chain used as a statement before the tail is
+        // hopped over.
+        let (w, f) = one("fn g(total_bytes: u64) -> u64 {\n\
+                 let mut n = 0;\n\
+                 if total_bytes > 1 { n += 1 } else { n += 2 }\n\
+                 n\n\
+             }");
+        let (lo, hi) = f.flows[0].returns[0];
+        assert_eq!(lo, hi);
+        assert_eq!(w.files[0].parsed.toks[lo].text, "n");
+        assert_eq!(f.ret_unit[0], None);
+    }
+
+    #[test]
+    fn source_closure_is_transitive() {
+        let (_, f) = one("fn f(seed: u64, salt: u64) -> u64 {\n\
+                 let mut s = seed ^ salt;\n\
+                 let point = splitmix64(&mut s);\n\
+                 let k = point ^ 7;\n\
+                 k\n\
+             }");
+        let k = &f.closures[0]["k"];
+        assert!(k.contains("seed"), "{k:?}");
+        assert!(k.contains("salt"));
+        assert!(k.contains("call:splitmix64"));
+    }
+
+    #[test]
+    fn unit_env_from_names_annotations_and_propagation() {
+        let (_, f) = one("fn f(elapsed_secs: f64) -> f64 {\n\
+                 // cackle-lint: unit(usd)\n\
+                 let budget = 10.0;\n\
+                 let t = elapsed_secs;\n\
+                 let rate = budget / t;\n\
+                 t\n\
+             }");
+        let env = &f.env[0];
+        assert_eq!(env.get("elapsed_secs"), Some(&Unit::Seconds));
+        assert_eq!(env.get("budget"), Some(&Unit::Usd));
+        // Propagated through the assignment graph.
+        assert_eq!(env.get("t"), Some(&Unit::Seconds));
+        // A quotient is a rate: no base unit.
+        assert_eq!(env.get("rate"), None);
+        // Return summary follows the tail expression.
+        assert_eq!(f.ret_unit[0], Some(Unit::Seconds));
+    }
+
+    #[test]
+    fn unit_none_annotation_blocks_convention() {
+        let (_, f) = one("fn f() -> u64 {\n\
+                 let count = worker_slot(); // cackle-lint: unit(none)\n\
+                 count\n\
+             }");
+        assert_eq!(f.env[0].get("count"), None);
+    }
+
+    #[test]
+    fn ret_unit_summary_crosses_files() {
+        let w = ws(&[
+            (
+                "crates/cloud/src/pricing.rs",
+                "pub fn window_total(&self) -> f64 { self.acc_cost }",
+            ),
+            (
+                "crates/core/src/report.rs",
+                "fn f(p: &Pricing) -> f64 { let x = p.window_total(); x }",
+            ),
+        ]);
+        let f = Flows::build(&w);
+        // window_total returns acc_cost → usd; report's `x` inherits it.
+        let report_id = w
+            .index
+            .by_name
+            .get("f")
+            .and_then(|ids| ids.first())
+            .copied()
+            .unwrap();
+        assert_eq!(f.env[report_id].get("x"), Some(&Unit::Usd));
+    }
+
+    #[test]
+    fn stoplisted_call_never_donates_a_unit() {
+        let w = ws(&[
+            (
+                "crates/engine/src/column.rs",
+                "impl ColumnData { pub fn len(&self) -> usize { self.rows } }",
+            ),
+            (
+                "crates/core/src/other.rs",
+                "fn f(v: &[u8]) -> usize { let n = v.len(); n }",
+            ),
+        ]);
+        let f = Flows::build(&w);
+        let id = w.index.by_name["f"][0];
+        assert_eq!(f.env[id].get("n"), None);
+    }
+
+    #[test]
+    fn seed_taint_summary_through_helpers() {
+        let w = ws(&[(
+            "crates/faults/src/lib.rs",
+            "fn expand(seed: u64, salt: u64) -> u64 {\n\
+                 let mut s = seed ^ salt;\n\
+                 splitmix64(&mut s)\n\
+             }\n\
+             fn splitmix64(state: &mut u64) -> u64 { *state }\n\
+             fn opaque() -> u64 { 4 }",
+        )]);
+        let f = Flows::build(&w);
+        let expand = w.index.by_name["expand"][0];
+        let opaque = w.index.by_name["opaque"][0];
+        assert!(f.seed_derived[expand]);
+        assert!(!f.seed_derived[opaque]);
+    }
+}

@@ -27,6 +27,18 @@
 //! | L9 | no sequential fault draws reachable from `execute_task_buffered` | `crates/engine`, `crates/core`, `crates/cloud` |
 //! | L10 | metric names are literals matching the DESIGN §7 grammar | everywhere |
 //! | L11 | no raw money arithmetic / call-site price formulas | everywhere except `cloud/src/{ledger,pricing}.rs`, `core/src/prices.rs`, `crates/bench` |
+//! | L12 | no mixing of units (usd/seconds/bytes/rows/count) in arithmetic | everywhere except `crates/bench` |
+//! | L13 | every PRNG seed derives from the RunSpec seed / a salt | everywhere except `crates/prng`, `crates/bench` |
+//! | L14 | no per-iteration allocation on engine hot paths | `crates/engine` |
+//! | L15 | no narrowing `as` casts on unit-carrying values | everywhere except `crates/bench` |
+//!
+//! L12–L15 sit on the intra-procedural dataflow layer ([`dataflow`]):
+//! a per-function assignment graph over the parser's statement/scope
+//! extents, with units and seed-taint propagated interprocedurally via
+//! per-function summaries on the call graph. Unit inference can be
+//! overridden per binding with `// cackle-lint: unit(usd|seconds|bytes|\
+//! rows|count|none)` ([`units`]); `unit(none)` marks a binding as
+//! explicitly dimensionless.
 //!
 //! `tests/`, `benches/`, and `#[cfg(test)]` / `#[test]` items are
 //! skipped by default: test code may use the host clock, unwraps, and
@@ -70,11 +82,14 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
+pub mod dataflow;
 pub mod index;
 pub mod lexer;
 pub mod parser;
 pub mod rules;
+pub mod units;
 
 use index::Workspace;
 
@@ -106,13 +121,21 @@ pub enum LintId {
     L10,
     /// Ledger hygiene: money arithmetic outside the billing layer.
     L11,
+    /// Unit-of-measure conformance (usd/seconds/bytes/rows/count).
+    L12,
+    /// Seed provenance: every PRNG stream derives from the RunSpec seed.
+    L13,
+    /// Per-iteration allocation on engine hot paths.
+    L14,
+    /// Narrowing `as` casts on unit-carrying values.
+    L15,
     /// Malformed suppression comment (cannot itself be suppressed).
     Sup,
 }
 
 impl LintId {
     /// All rules, in report order.
-    pub const ALL: [LintId; 12] = [
+    pub const ALL: [LintId; 16] = [
         LintId::L1,
         LintId::L2,
         LintId::L3,
@@ -124,6 +147,10 @@ impl LintId {
         LintId::L9,
         LintId::L10,
         LintId::L11,
+        LintId::L12,
+        LintId::L13,
+        LintId::L14,
+        LintId::L15,
         LintId::Sup,
     ];
 
@@ -142,6 +169,10 @@ impl LintId {
             "L9" => Some(LintId::L9),
             "L10" => Some(LintId::L10),
             "L11" => Some(LintId::L11),
+            "L12" => Some(LintId::L12),
+            "L13" => Some(LintId::L13),
+            "L14" => Some(LintId::L14),
+            "L15" => Some(LintId::L15),
             _ => None,
         }
     }
@@ -169,6 +200,10 @@ impl fmt::Display for LintId {
             LintId::L9 => "L9",
             LintId::L10 => "L10",
             LintId::L11 => "L11",
+            LintId::L12 => "L12",
+            LintId::L13 => "L13",
+            LintId::L14 => "L14",
+            LintId::L15 => "L15",
             LintId::Sup => "SUP",
         };
         f.write_str(s)
@@ -246,6 +281,12 @@ fn applies(id: LintId, path: &str) -> bool {
                 && path != "crates/core/src/prices.rs"
                 && !path.starts_with("crates/bench/")
         }
+        LintId::L12 | LintId::L15 => !path.starts_with("crates/bench/"),
+        // crates/prng defines the primitive: seeding it *is* its job.
+        LintId::L13 => !path.starts_with("crates/prng/") && !path.starts_with("crates/bench/"),
+        // Hot paths are an engine concept; elsewhere a loop allocation
+        // is a style question, not a throughput bug.
+        LintId::L14 => path.starts_with("crates/engine/"),
         LintId::Sup => true,
     }
 }
@@ -286,9 +327,14 @@ fn suppressions(rel_path: &str, source: &str) -> (BTreeMap<usize, BTreeSet<LintI
             });
         };
         let rest = raw[at + MARKER.len()..].trim_start();
+        // `unit(...)` annotations share the marker; they are parsed (and
+        // their malformations reported) by [`units::annotations`].
+        if rest.starts_with("unit(") {
+            continue;
+        }
         let Some(list) = rest.strip_prefix("allow(") else {
             err(format!(
-                "malformed suppression: expected `allow(...)` after `{MARKER}`"
+                "malformed suppression: expected `allow(...)` or `unit(...)` after `{MARKER}`"
             ));
             continue;
         };
@@ -339,13 +385,44 @@ fn suppressions(rel_path: &str, source: &str) -> (BTreeMap<usize, BTreeSet<LintI
 // The analyzer pipeline
 // ---------------------------------------------------------------------------
 
+/// Wall-clock time of one analyzer phase (for the JSON `meta` block).
+#[derive(Debug, Clone)]
+pub struct PhaseTime {
+    /// Phase name: `collect`, `parse`, `dataflow`, `rules`, `filter`.
+    pub name: &'static str,
+    /// Elapsed milliseconds.
+    pub ms: u128,
+}
+
+/// Run metadata accompanying the findings in `--format json`.
+#[derive(Debug, Clone, Default)]
+pub struct LintMeta {
+    /// Number of files linted.
+    pub files: usize,
+    /// Per-phase wall-clock timings, pipeline order.
+    pub phases: Vec<PhaseTime>,
+}
+
 /// Lint a set of `(rel_path, source)` files as one workspace: parse and
-/// index everything, run every rule family, then centrally apply rule
-/// scoping, `#[test]`-item exclusion, the tests-dir restricted rule
-/// set, and inline suppressions. Findings come back sorted by
-/// (path, line, rule).
-pub fn lint_files(inputs: Vec<(String, String)>) -> Vec<Finding> {
+/// index everything, build the dataflow layer, run every rule family,
+/// then centrally apply rule scoping, `#[test]`-item exclusion, the
+/// tests-dir restricted rule set, and inline suppressions. Findings
+/// come back sorted by (path, line, rule), with per-phase timings.
+pub fn lint_files_with_meta(inputs: Vec<(String, String)>) -> (Vec<Finding>, LintMeta) {
+    let files = inputs.len();
+    let t = Instant::now();
     let ws = Workspace::build(inputs);
+    let parse_ms = t.elapsed().as_millis();
+
+    let t = Instant::now();
+    let flows = dataflow::Flows::build(&ws);
+    let dataflow_ms = t.elapsed().as_millis();
+
+    let t = Instant::now();
+    let raw = rules::run(&ws, &flows);
+    let rules_ms = t.elapsed().as_millis();
+
+    let t = Instant::now();
     let mut findings = Vec::new();
 
     let mut suppressed = Vec::with_capacity(ws.files.len());
@@ -353,9 +430,22 @@ pub fn lint_files(inputs: Vec<(String, String)>) -> Vec<Finding> {
         let (map, bad) = suppressions(&file.rel_path, &file.source);
         findings.extend(bad);
         suppressed.push(map);
+        // Malformed `unit(...)` annotations are hard errors too: a typo'd
+        // unit silently falling back to convention inference is exactly
+        // the quiet failure the annotation exists to prevent.
+        for (line, what) in units::annotations(&file.source).errors {
+            findings.push(Finding {
+                path: file.rel_path.clone(),
+                line,
+                id: LintId::Sup,
+                message: what,
+                suggestion: "write `// cackle-lint: unit(usd|seconds|bytes|rows|count|none)`"
+                    .into(),
+            });
+        }
     }
 
-    for r in rules::run(&ws) {
+    for r in raw {
         let file = &ws.files[r.file];
         if file
             .parsed
@@ -393,7 +483,39 @@ pub fn lint_files(inputs: Vec<(String, String)>) -> Vec<Finding> {
         });
     }
     findings.sort();
-    findings
+    // Nested fns are indexed as their own items *and* scanned as part of
+    // their enclosing fn's body, so site-anchored rules can report the
+    // same (path, line, rule, message) twice. One site, one finding.
+    findings.dedup();
+    let filter_ms = t.elapsed().as_millis();
+
+    let meta = LintMeta {
+        files,
+        phases: vec![
+            PhaseTime {
+                name: "parse",
+                ms: parse_ms,
+            },
+            PhaseTime {
+                name: "dataflow",
+                ms: dataflow_ms,
+            },
+            PhaseTime {
+                name: "rules",
+                ms: rules_ms,
+            },
+            PhaseTime {
+                name: "filter",
+                ms: filter_ms,
+            },
+        ],
+    };
+    (findings, meta)
+}
+
+/// [`lint_files_with_meta`] without the metadata.
+pub fn lint_files(inputs: Vec<(String, String)>) -> Vec<Finding> {
+    lint_files_with_meta(inputs).0
 }
 
 /// Lint one file's source. `rel_path` selects which rules apply. The
@@ -456,15 +578,34 @@ fn walk(
 }
 
 /// Lint every file under `root` as one workspace, returning findings
-/// sorted by (path, line, rule).
-pub fn lint_root_with(root: &Path, include_tests: bool) -> std::io::Result<Vec<Finding>> {
+/// sorted by (path, line, rule) plus per-phase timings (including the
+/// file-collection phase).
+pub fn lint_root_with_meta(
+    root: &Path,
+    include_tests: bool,
+) -> std::io::Result<(Vec<Finding>, LintMeta)> {
+    let t = Instant::now();
     let mut inputs = Vec::new();
     for rel in collect_files_with(root, include_tests)? {
         let rel_str = rel.to_string_lossy().replace('\\', "/");
         let source = std::fs::read_to_string(root.join(&rel))?;
         inputs.push((rel_str, source));
     }
-    Ok(lint_files(inputs))
+    let collect_ms = t.elapsed().as_millis();
+    let (findings, mut meta) = lint_files_with_meta(inputs);
+    meta.phases.insert(
+        0,
+        PhaseTime {
+            name: "collect",
+            ms: collect_ms,
+        },
+    );
+    Ok((findings, meta))
+}
+
+/// [`lint_root_with_meta`] without the metadata.
+pub fn lint_root_with(root: &Path, include_tests: bool) -> std::io::Result<Vec<Finding>> {
+    Ok(lint_root_with_meta(root, include_tests)?.0)
 }
 
 /// [`lint_root_with`] without test dirs.
@@ -537,6 +678,33 @@ pub fn diff_baseline(findings: &[Finding], baseline: &Baseline) -> (Vec<Finding>
     (new_violations, stale)
 }
 
+/// Render the canonical `lint-baseline.txt` content for a finding set:
+/// the standard header plus one `<lint-id> <path> <count>` line per
+/// (rule, path) group, sorted — byte-stable for identical findings.
+/// `SUP` findings are never baselinable (they are hard errors) and are
+/// excluded.
+pub fn render_baseline(findings: &[Finding]) -> String {
+    let mut counts: BTreeMap<(LintId, &str), u64> = BTreeMap::new();
+    for f in findings {
+        if f.id == LintId::Sup {
+            continue;
+        }
+        *counts.entry((f.id, f.path.as_str())).or_default() += 1;
+    }
+    let mut out = String::from(
+        "# cackle-lint accepted debt: `<lint-id> <path> <count>` per line.\n\
+         #\n\
+         # The tree currently lints clean — keep it that way. If a rule must be\n\
+         # bent locally, prefer an inline `// cackle-lint: allow(Lx)` with a\n\
+         # justification over adding an entry here; baseline entries are for\n\
+         # pre-existing debt only and should only ever shrink.\n",
+    );
+    for ((id, path), n) in &counts {
+        out.push_str(&format!("{id} {path} {n}\n"));
+    }
+    out
+}
+
 // ---------------------------------------------------------------------------
 // JSON diagnostics
 // ---------------------------------------------------------------------------
@@ -544,15 +712,22 @@ pub fn diff_baseline(findings: &[Finding], baseline: &Baseline) -> (Vec<Finding>
 /// Render findings as the deterministic machine-readable document
 /// emitted by `--format json`: one finding object per line, keys in
 /// fixed order, `BTreeMap` ordering throughout — byte-identical across
-/// runs on identical input by construction.
-pub fn render_json(findings: &[Finding], new_violations: &[Finding], stale: &[String]) -> String {
+/// runs on identical input by construction, except for the `meta`
+/// block's wall-clock `ms` values (CI normalizes those before
+/// comparing).
+pub fn render_json(
+    findings: &[Finding],
+    new_violations: &[Finding],
+    stale: &[String],
+    meta: &LintMeta,
+) -> String {
     let is_new: BTreeSet<&Finding> = new_violations.iter().collect();
     let mut counts: BTreeMap<String, u64> = BTreeMap::new();
     for f in findings {
         *counts.entry(f.id.to_string()).or_default() += 1;
     }
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"cackle-lint\",\n  \"version\": 2,\n  \"findings\": [");
+    out.push_str("{\n  \"schema\": \"cackle-lint\",\n  \"version\": 3,\n  \"findings\": [");
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -588,7 +763,23 @@ pub fn render_json(findings: &[Finding], new_violations: &[Finding], stale: &[St
         json_str(&mut out, id);
         out.push_str(&format!(": {n}"));
     }
-    out.push_str("}\n}\n");
+    out.push_str("},\n  \"meta\": {");
+    out.push_str(&format!("\"files\": {}, \"rules\": {{", meta.files));
+    for (i, (id, n)) in counts.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        json_str(&mut out, id);
+        out.push_str(&format!(": {n}"));
+    }
+    out.push_str("}, \"phases\": [");
+    for (i, p) in meta.phases.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{{\"name\": \"{}\", \"ms\": {}}}", p.name, p.ms));
+    }
+    out.push_str("]}\n}\n");
     out
 }
 
@@ -918,15 +1109,138 @@ mod tests {
             message: "metric name \"bad\nname\" rejected".into(),
             suggestion: "fix \\ it".into(),
         }];
-        let a = render_json(&f, &f, &[]);
-        let b = render_json(&f, &f, &[]);
+        let meta = LintMeta {
+            files: 1,
+            phases: vec![PhaseTime {
+                name: "parse",
+                ms: 7,
+            }],
+        };
+        let a = render_json(&f, &f, &[], &meta);
+        let b = render_json(&f, &f, &[], &meta);
         assert_eq!(a, b);
         assert!(a.contains("\\\"bad\\nname\\\""), "{a}");
         assert!(a.contains("fix \\\\ it"), "{a}");
         assert!(a.contains("\"baselined\": false"));
         assert!(a.contains("\"counts\": {\"L10\": 1}"));
+        assert!(
+            a.contains(
+                "\"meta\": {\"files\": 1, \"rules\": {\"L10\": 1}, \
+                        \"phases\": [{\"name\": \"parse\", \"ms\": 7}]}"
+            ),
+            "{a}"
+        );
         // Empty-findings document is well-formed too.
-        let empty = render_json(&[], &[], &[]);
+        let empty = render_json(&[], &[], &[], &LintMeta::default());
         assert!(empty.contains("\"findings\": []"), "{empty}");
+        assert!(empty.contains("\"phases\": []"), "{empty}");
+    }
+
+    #[test]
+    fn baseline_rendering_is_sorted_and_excludes_sup() {
+        let f = |path: &str, id, line| Finding {
+            path: path.into(),
+            line,
+            id,
+            message: "m".into(),
+            suggestion: String::new(),
+        };
+        let findings = vec![
+            f("crates/cloud/src/vm.rs", LintId::L5, 9),
+            f("crates/cloud/src/vm.rs", LintId::L5, 3),
+            f("crates/core/src/stats.rs", LintId::L12, 1),
+            f("crates/core/src/stats.rs", LintId::Sup, 2),
+        ];
+        let text = render_baseline(&findings);
+        assert!(text.starts_with("# cackle-lint accepted debt"), "{text}");
+        let entries: Vec<&str> = text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .collect();
+        assert_eq!(
+            entries,
+            [
+                "L5 crates/cloud/src/vm.rs 2",
+                "L12 crates/core/src/stats.rs 1"
+            ]
+        );
+        // The rendered content re-parses into the same debt.
+        let parsed = parse_baseline(&text).unwrap();
+        assert_eq!(
+            parsed.get(&(LintId::L5, "crates/cloud/src/vm.rs".into())),
+            Some(&2)
+        );
+        // Byte-stable for identical findings.
+        assert_eq!(text, render_baseline(&findings));
+        // No findings → header only, which parses to an empty baseline.
+        let empty = render_baseline(&[]);
+        assert!(parse_baseline(&empty).unwrap().is_empty());
+    }
+
+    #[test]
+    fn new_rules_scoped_and_suppressible() {
+        // L12 fires in core, not in bench. (Bytes vs seconds, so the
+        // check exercised is L12 alone — money would also trip L11.)
+        let mix =
+            "fn f(payload_bytes: f64, elapsed_secs: f64) -> f64 { payload_bytes + elapsed_secs }";
+        assert!(lint_source("crates/core/src/stats.rs", mix)
+            .iter()
+            .any(|f| f.id == LintId::L12));
+        assert!(lint_source("crates/bench/src/lib.rs", mix).is_empty());
+        // Suppressible like any other rule.
+        let allowed = "fn f(payload_bytes: f64, elapsed_secs: f64) -> f64 { payload_bytes + elapsed_secs } // cackle-lint: allow(L12)";
+        assert!(lint_source("crates/core/src/stats.rs", allowed).is_empty());
+        // L13 fires in core, not in the prng crate or in #[test] items.
+        let seed = "fn f() -> Pcg32 { Pcg32::seed_from_u64(42) }";
+        assert!(lint_source("crates/core/src/model.rs", seed)
+            .iter()
+            .any(|f| f.id == LintId::L13));
+        assert!(lint_source("crates/prng/src/lib.rs", seed).is_empty());
+        let test_seed = "#[test]\nfn t() { let r = Pcg32::seed_from_u64(42); }";
+        assert!(lint_source("crates/core/src/model.rs", test_seed).is_empty());
+        // L14 is engine-only even for reachable code.
+        let hot = "pub fn execute_task_buffered(n: usize) { for i in 0..n { let v: Vec<u32> = (0..i).collect(); } }";
+        assert!(lint_source("crates/engine/src/task.rs", hot)
+            .iter()
+            .any(|f| f.id == LintId::L14));
+        assert!(lint_source("crates/core/src/system.rs", hot)
+            .iter()
+            .all(|f| f.id != LintId::L14));
+        // L15 fires outside bench.
+        let cast = "fn f(total_cost: f64) -> f32 { total_cost as f32 }";
+        assert!(lint_source("crates/core/src/stats.rs", cast)
+            .iter()
+            .any(|f| f.id == LintId::L15));
+        assert!(lint_source("crates/bench/src/lib.rs", cast).is_empty());
+    }
+
+    #[test]
+    fn unit_annotations_coexist_with_allow_and_malformed_units_are_sup() {
+        // A unit annotation is not a malformed suppression.
+        let ok =
+            "fn f() -> f64 {\n    // cackle-lint: unit(usd)\n    let budget = 10.0;\n    budget\n}";
+        assert!(
+            lint_source("crates/core/src/stats.rs", ok).is_empty(),
+            "{:?}",
+            lint_source("crates/core/src/stats.rs", ok)
+        );
+        // A malformed unit annotation is a SUP hard error.
+        let bad = "fn f() -> f64 {\n    let b = 1.0; // cackle-lint: unit(furlongs)\n    b\n}";
+        let f = lint_source("crates/core/src/stats.rs", bad);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].id, LintId::Sup);
+        assert!(f[0].message.contains("furlongs"));
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn meta_reports_files_and_all_phases() {
+        let (_, meta) = lint_files_with_meta(vec![(
+            "crates/core/src/x.rs".to_string(),
+            "fn f() {}".to_string(),
+        )]);
+        assert_eq!(meta.files, 1);
+        let names: Vec<&str> = meta.phases.iter().map(|p| p.name).collect();
+        assert_eq!(names, ["parse", "dataflow", "rules", "filter"]);
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cackle-lint [ROOT] [--baseline FILE] [--format text|json]
-//!             [--explain LX] [--include-tests]
+//!             [--explain LX] [--include-tests] [--update-baseline]
 //! ```
 //!
 //! Lints the workspace at ROOT (default: the current directory),
@@ -18,21 +18,32 @@
 //!   that was paid down without trimming the file).
 //!
 //! `--format json` emits one deterministic document (fixed key order,
-//! sorted findings — byte-identical across runs) with file / line /
-//! rule / severity / baselined / message / suggestion per finding plus
-//! stale-baseline entries and per-rule counts. `--explain LX` prints a
-//! rule's long-form description and exits. `--include-tests` also lints
-//! `tests/` and `benches/` directories against the restricted rule set
-//! (L2, L10).
+//! sorted findings — byte-identical across runs except `meta` phase
+//! timings) with file / line / rule / severity / baselined / message /
+//! suggestion per finding plus stale-baseline entries, per-rule counts,
+//! and a `meta` block (file count, per-rule counts, per-phase wall-clock
+//! timings). `--explain LX` prints a rule's long-form description and
+//! exits. `--include-tests` also lints `tests/` and `benches/`
+//! directories against the restricted rule set (L2, L10).
+//!
+//! `--update-baseline` deterministically rewrites the baseline file
+//! from the current findings (sorted `<lint-id> <path> <count>` lines
+//! under the standard header — byte-stable for identical findings),
+//! then proceeds with the normal diff against the rewritten file. The
+//! exit semantics are unchanged: a fresh baseline covers everything,
+//! so the usual result is 0 — except SUP findings (malformed
+//! suppressions / unit annotations), which are never baselinable and
+//! still exit 1.
 
 use cackle_lint::{
-    diff_baseline, explain, lint_root_with, parse_baseline, render_json, Baseline, LintId,
+    diff_baseline, explain, lint_root_with_meta, parse_baseline, render_baseline, render_json,
+    Baseline, LintId,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str =
-    "usage: cackle-lint [ROOT] [--baseline FILE] [--format text|json] [--explain LX] [--include-tests]";
+const USAGE: &str = "usage: cackle-lint [ROOT] [--baseline FILE] [--format text|json] \
+                     [--explain LX] [--include-tests] [--update-baseline]";
 
 enum Format {
     Text,
@@ -44,6 +55,7 @@ fn main() -> ExitCode {
     let mut baseline_path: Option<PathBuf> = None;
     let mut format = Format::Text;
     let mut include_tests = false;
+    let mut update_baseline = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -70,7 +82,7 @@ fn main() -> ExitCode {
             }
             "--explain" => {
                 let Some(id_str) = args.next() else {
-                    eprintln!("cackle-lint: --explain needs a rule id (L1..L11, SUP)");
+                    eprintln!("cackle-lint: --explain needs a rule id (L1..L15, SUP)");
                     return ExitCode::from(2);
                 };
                 // SUP is not LintId::parse-able (it may not appear in
@@ -81,13 +93,14 @@ fn main() -> ExitCode {
                     LintId::parse(&id_str)
                 };
                 let Some(id) = id else {
-                    eprintln!("cackle-lint: unknown rule id `{id_str}` (expected L1..L11 or SUP)");
+                    eprintln!("cackle-lint: unknown rule id `{id_str}` (expected L1..L15 or SUP)");
                     return ExitCode::from(2);
                 };
                 println!("{}", explain(id));
                 return ExitCode::SUCCESS;
             }
             "--include-tests" => include_tests = true,
+            "--update-baseline" => update_baseline = true,
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -100,6 +113,30 @@ fn main() -> ExitCode {
         }
     }
     let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.txt"));
+
+    let (findings, meta) = match lint_root_with_meta(&root, include_tests) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cackle-lint: {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    // --update-baseline rewrites the file from the findings, then the
+    // normal diff runs against the rewritten content — so the exit code
+    // still reflects reality (SUP findings are not baselinable).
+    if update_baseline {
+        let text = render_baseline(&findings);
+        if let Err(e) = std::fs::write(&baseline_path, &text) {
+            eprintln!("cackle-lint: {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "cackle-lint: wrote {} baseline entrie(s) to {}",
+            text.lines().filter(|l| !l.starts_with('#')).count(),
+            baseline_path.display()
+        );
+    }
 
     let baseline: Baseline = match std::fs::read_to_string(&baseline_path) {
         Ok(text) => match parse_baseline(&text) {
@@ -116,19 +153,11 @@ fn main() -> ExitCode {
         }
     };
 
-    let findings = match lint_root_with(&root, include_tests) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("cackle-lint: {}: {e}", root.display());
-            return ExitCode::from(2);
-        }
-    };
-
     let (new_violations, stale) = diff_baseline(&findings, &baseline);
 
     match format {
         Format::Json => {
-            print!("{}", render_json(&findings, &new_violations, &stale));
+            print!("{}", render_json(&findings, &new_violations, &stale, &meta));
         }
         Format::Text => {
             for f in &findings {

@@ -225,10 +225,15 @@ impl ParsedFile {
             let open = if next == "(" {
                 i + 1
             } else if next == "::" && self.toks.get(i + 2).map(|t| t.punct()) == Some("<") {
-                // Turbofish: the paren follows the closed `<...>` group.
-                match self.close_of(i + 2) {
-                    Some(c) if self.toks.get(c + 1).map(|t| t.punct()) == Some("(") => c + 1,
-                    _ => continue,
+                // Turbofish: the paren follows the `<...>` group, which
+                // is depth-counted (angles are not delimiter-matched —
+                // they are ambiguous with comparisons elsewhere, but
+                // after `::` they are always generics).
+                let after = skip_angles(&self.toks, i + 2);
+                if after > i + 2 && self.toks.get(after).map(|t| t.punct()) == Some("(") {
+                    after
+                } else {
+                    continue;
                 }
             } else {
                 continue;

@@ -1,0 +1,137 @@
+//! L15 · narrowing `as` casts on unit-carrying values.
+//!
+//! `as` is Rust's only silently-lossy conversion: `cost_usd as f32`
+//! rounds money, `total_bytes as u32` wraps at 4 GiB, `rows as i32`
+//! goes negative past 2^31 — and all three compile without a whisper.
+//! For values the dataflow layer types with a money/time/bytes/rows
+//! unit (L12's lattice), that silence is unacceptable: these are
+//! exactly the quantities the paper's cost and stability claims are
+//! computed from.
+//!
+//! The rule flags `expr as <narrow>` where `<narrow>` is one of
+//! u8/u16/u32/i8/i16/i32/f32 and `expr` resolves to a unit for which
+//! [`crate::units::Unit::narrowing_suspicious`] holds (everything but
+//! `count` — casting small cardinalities for indexing is ubiquitous
+//! and harmless). Widening casts (`as u64`, `as f64`) are always fine
+//! and are in fact how measured integers enter float arithmetic.
+
+use super::RawFinding;
+use crate::dataflow::{Flows, Operand};
+use crate::index::Workspace;
+use crate::lexer::TokKind;
+use crate::LintId;
+
+/// Target types that can silently drop range or precision.
+const NARROW: [&str; 7] = ["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+pub fn check(ws: &Workspace, fl: &Flows, out: &mut Vec<RawFinding>) {
+    for id in 0..ws.index.fns.len() {
+        let f = &ws.index.fns[id];
+        let p = &ws.files[f.file].parsed;
+        let toks = &p.toks;
+        let Some(body) = ws.fn_item(id).body else {
+            continue;
+        };
+        for i in body.0 + 1..body.1 {
+            if toks[i].kind != TokKind::Ident || toks[i].text != "as" {
+                continue;
+            }
+            let ty = match toks.get(i + 1) {
+                Some(t) => t.ident(),
+                None => continue,
+            };
+            if !NARROW.contains(&ty) {
+                continue;
+            }
+            // The cast operand is whatever sits to the left of `as`,
+            // resolved exactly like a binary operator's left operand.
+            let Operand::Unit(u) = fl.operand_left(ws, p, id, i) else {
+                continue;
+            };
+            if !u.narrowing_suspicious() {
+                continue;
+            }
+            out.push(RawFinding {
+                file: f.file,
+                tok: i,
+                id: LintId::L15,
+                message: format!(
+                    "narrowing cast `as {ty}` on a {}-carrying value can silently \
+                     truncate",
+                    u.name()
+                ),
+                suggestion: format!(
+                    "keep the value in u64/i64/f64, or use `try_from(...)`/an explicit \
+                     checked conversion if narrowing {} is really intended",
+                    u.name()
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::Flows;
+
+    fn findings(src: &str) -> Vec<RawFinding> {
+        let ws = Workspace::build(vec![("crates/core/src/x.rs".to_string(), src.to_string())]);
+        let fl = Flows::build(&ws);
+        let mut out = Vec::new();
+        check(&ws, &fl, &mut out);
+        out
+    }
+
+    #[test]
+    fn narrowing_unit_casts_flagged() {
+        let f = findings("fn f(total_cost: f64) -> f32 { total_cost as f32 }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("usd"));
+        let f = findings("fn f(payload_bytes: u64) -> u32 { payload_bytes as u32 }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        let f = findings("fn f(rows_out: u64) -> i32 { rows_out as i32 }");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn widening_counts_and_unitless_clean() {
+        // Widening is how measured ints enter float math: always fine.
+        assert!(findings("fn f(payload_bytes: u64) -> f64 { payload_bytes as f64 }").is_empty());
+        // Counts narrow for indexing all the time.
+        assert!(findings("fn f(retry_count: u64) -> u32 { retry_count as u32 }").is_empty());
+        // Unit-less values are not ours to police.
+        assert!(findings("fn f(x: u64) -> u32 { x as u32 }").is_empty());
+    }
+
+    #[test]
+    fn units_flow_through_bindings_and_annotations() {
+        // The unit rides the assignment graph to the cast site.
+        let f = findings(
+            "fn f(elapsed_secs: f64) -> f32 {\n\
+                 let w = elapsed_secs;\n\
+                 w as f32\n\
+             }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("seconds"));
+        // `unit(none)` clears a misleading name, silencing the finding.
+        assert!(findings(
+            "fn f() -> u32 {\n\
+                 let rows_mask = bits(); // cackle-lint: unit(none)\n\
+                 rows_mask as u32\n\
+             }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn call_results_carry_units_into_casts() {
+        let f = findings(
+            "fn total_bytes(&self) -> u64 { self.acc }\n\
+             fn g(&self) -> u32 { self.total_bytes() as u32 }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("bytes"));
+    }
+}

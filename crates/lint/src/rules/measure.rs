@@ -1,0 +1,244 @@
+//! L12 · unit-of-measure conformance.
+//!
+//! Quantities in this workspace carry one of five base units — usd,
+//! seconds, bytes, rows, count — inferred by the dataflow layer from
+//! naming conventions, API signatures, and `unit(...)` annotations.
+//! Three checks:
+//!
+//! (a) additive / comparison operators (`+ - += -= < > <= >= ==`)
+//!     whose operands carry two *different* known units — adding
+//!     dollars to seconds is never bookkeeping;
+//! (b) adding or subtracting a bare numeric literal on a *measured*
+//!     quantity (usd / seconds / bytes): the constant deserves a named,
+//!     unit-carrying binding (cardinalities are exempt — `rows + 1` is
+//!     index arithmetic);
+//! (c) a telemetry value argument whose unit contradicts the metric
+//!     name's unit suffix (`observe("…_seconds", payload_bytes)`).
+//!
+//! Products and quotients are deliberately unchecked: a rate times a
+//! duration is exactly what Pricing does, and this lattice has no rate
+//! algebra. Escape hatches: `// cackle-lint: unit(...)` on the binding
+//! (fixes the inference) or `allow(L12)` (accepts the arithmetic).
+
+use super::RawFinding;
+use crate::dataflow::{Flows, Operand};
+use crate::index::Workspace;
+use crate::lexer::TokKind;
+use crate::units;
+use crate::LintId;
+
+const MIX_OPS: [&str; 9] = ["+", "-", "+=", "-=", "<", ">", "<=", ">=", "=="];
+const ADD_OPS: [&str; 4] = ["+", "-", "+=", "-="];
+
+/// Registry methods and the zero-based index of their value argument.
+const REG_VALUE_ARG: [(&str, usize); 5] = [
+    ("counter_add", 1),
+    ("gauge_set", 1),
+    ("observe", 1),
+    ("observe_with_buckets", 1),
+    ("sample", 2),
+];
+
+pub fn check(ws: &Workspace, fl: &Flows, out: &mut Vec<RawFinding>) {
+    for id in 0..ws.index.fns.len() {
+        let f = &ws.index.fns[id];
+        let p = &ws.files[f.file].parsed;
+        let toks = &p.toks;
+        let Some(body) = ws.fn_item(id).body else {
+            continue;
+        };
+
+        // (a) + (b): operator scan over the body.
+        for i in body.0 + 1..body.1 {
+            let op = toks[i].punct();
+            if !MIX_OPS.contains(&op) {
+                continue;
+            }
+            let left = fl.operand_left(ws, p, id, i);
+            let right = fl.operand_right(ws, p, id, i);
+            match (left, right) {
+                (Operand::Unit(a), Operand::Unit(b)) if a != b => {
+                    out.push(RawFinding {
+                        file: f.file,
+                        tok: i,
+                        id: LintId::L12,
+                        message: format!(
+                            "`{op}` mixes units: left operand is {}, right operand is {}",
+                            a.name(),
+                            b.name()
+                        ),
+                        suggestion: "convert one side explicitly, or fix the inference with \
+                                     `// cackle-lint: unit(...)` on the binding"
+                            .into(),
+                    });
+                }
+                (Operand::Unit(u), Operand::Scalar) | (Operand::Scalar, Operand::Unit(u))
+                    if ADD_OPS.contains(&op) && u.scalar_add_suspicious() =>
+                {
+                    out.push(RawFinding {
+                        file: f.file,
+                        tok: i,
+                        id: LintId::L12,
+                        message: format!(
+                            "`{op}` adds a bare scalar to a {}-carrying quantity",
+                            u.name()
+                        ),
+                        suggestion: format!(
+                            "name the constant with a {}-carrying binding (or annotate it \
+                             `// cackle-lint: unit({})`)",
+                            u.name(),
+                            u.name()
+                        ),
+                    });
+                }
+                _ => {}
+            }
+        }
+
+        // (c): telemetry value arguments vs the metric name's unit.
+        for call in &f.calls {
+            let Some(&(_, vidx)) = REG_VALUE_ARG.iter().find(|&&(n, _)| n == call.name) else {
+                continue;
+            };
+            if call.name_tok == 0 || toks[call.name_tok - 1].punct() != "." {
+                continue;
+            }
+            let Some(args) = p.call_args(call.open) else {
+                continue;
+            };
+            if args.len() <= vidx {
+                continue;
+            }
+            let (nlo, nhi) = args[0];
+            // Only literal metric names carry a schema unit (non-literal
+            // names are L10's finding, not ours).
+            if nlo != nhi || toks[nlo].kind != TokKind::Str {
+                continue;
+            }
+            let Some(metric_u) = units::metric_unit(&toks[nlo].text) else {
+                continue;
+            };
+            let (_, vhi) = args[vidx];
+            // Resolve the value operand as if an operator sat just past
+            // it (this also walks back over a trailing `as f64`).
+            let value = fl.operand_left(ws, p, id, vhi + 1);
+            if let Operand::Unit(vu) = value {
+                if vu != metric_u {
+                    out.push(RawFinding {
+                        file: f.file,
+                        tok: call.name_tok,
+                        id: LintId::L12,
+                        message: format!(
+                            "metric `{}` implies {} but the recorded value carries {}",
+                            toks[nlo].text,
+                            metric_u.name(),
+                            vu.name()
+                        ),
+                        suggestion: "record the quantity the metric name promises, or rename \
+                                     the metric's unit suffix"
+                            .into(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::Flows;
+
+    fn findings(src: &str) -> Vec<RawFinding> {
+        let ws = Workspace::build(vec![("crates/core/src/x.rs".to_string(), src.to_string())]);
+        let fl = Flows::build(&ws);
+        let mut out = Vec::new();
+        check(&ws, &fl, &mut out);
+        out
+    }
+
+    #[test]
+    fn mixed_units_flagged() {
+        let f =
+            findings("fn f(run_cost: f64, elapsed_secs: f64) -> f64 { run_cost + elapsed_secs }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("usd"));
+        assert!(f[0].message.contains("seconds"));
+        // Comparisons mix too.
+        let f = findings(
+            "fn f(payload_bytes: u64, rows_out: u64) -> bool { payload_bytes < rows_out }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn same_unit_and_unknown_clean() {
+        assert!(findings("fn f(a_cost: f64, b_cost: f64) -> f64 { a_cost + b_cost }").is_empty());
+        assert!(findings("fn f(x: u64, rows_out: u64) -> u64 { x + rows_out }").is_empty());
+        // Products are rates: unchecked by design.
+        assert!(findings(
+            "fn f(vm_rate: f64, elapsed_secs: f64) -> f64 { vm_rate * elapsed_secs }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn scalar_add_on_measured_units_flagged() {
+        let f = findings("fn f(total_cost: f64) -> f64 { total_cost + 1.5 }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("bare scalar"));
+        // Cardinalities are exempt.
+        assert!(findings("fn f(rows_out: u64) -> u64 { rows_out + 1 }").is_empty());
+        assert!(findings("fn f(retry_count: u64) -> u64 { retry_count - 1 }").is_empty());
+    }
+
+    #[test]
+    fn units_cross_calls_via_summaries() {
+        let f = findings(
+            "fn window_secs(&self) -> f64 { self.elapsed_secs }\n\
+             fn g(&self, total_cost: f64) -> f64 { total_cost + self.window_secs() }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("seconds"), "{f:?}");
+    }
+
+    #[test]
+    fn annotation_fixes_the_inference() {
+        // `budget` has no conventional unit; the annotation types it.
+        let f = findings(
+            "fn f(elapsed_secs: f64) -> bool {\n\
+                 // cackle-lint: unit(usd)\n\
+                 let budget = 10.0;\n\
+                 budget < elapsed_secs\n\
+             }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        // And `unit(none)` removes a misleading conventional unit.
+        let ok = findings(
+            "fn f(elapsed_secs: f64) -> bool {\n\
+                 let total_cost = slot(); // cackle-lint: unit(none)\n\
+                 total_cost < elapsed_secs\n\
+             }",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn telemetry_value_unit_mismatch_flagged() {
+        let f = findings(
+            "fn f(&self, payload_bytes: u64) {\n\
+                 self.reg.observe(\"pool.queue_wait_seconds\", payload_bytes as f64);\n\
+             }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("queue_wait_seconds"));
+        // Matching unit is clean, `_total` counters stay polymorphic.
+        assert!(findings(
+            "fn f(&self, rows_out: u64) {\n\
+                 self.reg.counter_add(\"engine.task_rows_out_total\", rows_out);\n\
+                 self.reg.counter_add(\"engine.tasks_total\", rows_out);\n\
+             }"
+        )
+        .is_empty());
+    }
+}

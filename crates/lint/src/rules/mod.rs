@@ -4,14 +4,19 @@
 //! `lib.rs` — rules only decide *what* is wrong, never *whether it
 //! counts here*.
 
+use crate::dataflow::Flows;
 use crate::index::Workspace;
 use crate::LintId;
 
+pub mod alloc;
 pub mod atomics;
+pub mod casts;
 pub mod draws;
 pub mod ledger;
 pub mod lexical;
 pub mod locks;
+pub mod measure;
+pub mod seeds;
 pub mod telemetry;
 
 /// A finding before central filtering: anchored to a (file, token)
@@ -30,8 +35,10 @@ pub struct RawFinding {
     pub suggestion: String,
 }
 
-/// Run every rule family over the workspace.
-pub fn run(ws: &Workspace) -> Vec<RawFinding> {
+/// Run every rule family over the workspace. `flows` is the shared
+/// intra-procedural dataflow + interprocedural summary layer the
+/// L12–L15 families consume.
+pub fn run(ws: &Workspace, flows: &Flows) -> Vec<RawFinding> {
     let mut out = Vec::new();
     lexical::check(ws, &mut out);
     locks::check(ws, &mut out);
@@ -39,6 +46,10 @@ pub fn run(ws: &Workspace) -> Vec<RawFinding> {
     draws::check(ws, &mut out);
     telemetry::check(ws, &mut out);
     ledger::check(ws, &mut out);
+    measure::check(ws, flows, &mut out);
+    seeds::check(ws, flows, &mut out);
+    alloc::check(ws, flows, &mut out);
+    casts::check(ws, flows, &mut out);
     out
 }
 
@@ -187,6 +198,65 @@ pub fn explain(id: LintId) -> &'static str {
              \n\
              Scope: everywhere except crates/cloud/src/{ledger,pricing}.rs,\n\
              crates/core/src/prices.rs, and crates/bench."
+        }
+        LintId::L12 => {
+            "L12 · unit-of-measure conformance\n\
+             \n\
+             Quantities carry one of five base units — usd, seconds, bytes,\n\
+             rows, count — inferred from naming conventions (`*_cost`,\n\
+             `*_secs`, `*_bytes`, ...), billing/telemetry API signatures\n\
+             (`charge`'s amount is dollars whatever it is called), and\n\
+             `// cackle-lint: unit(...)` annotations (`unit(none)` =\n\
+             explicitly dimensionless). The dataflow layer propagates units\n\
+             through assignments and per-function return summaries. Flagged:\n\
+             additive/comparison operators mixing two different known units;\n\
+             adding a bare numeric literal to a usd/seconds/bytes quantity;\n\
+             telemetry values contradicting the metric name's unit suffix.\n\
+             Products and quotients are unchecked (rates are Pricing's job).\n\
+             \n\
+             Scope: everywhere except crates/bench."
+        }
+        LintId::L13 => {
+            "L13 · seed provenance\n\
+             \n\
+             Every `Pcg32::seed_from_u64(...)` argument is taint-tracked\n\
+             through the assignment graph and call summaries. It must derive\n\
+             from a seed/salt/`*_key` binding (the RunSpec seed, a registered\n\
+             salt constant, or a seed-derived helper like `splitmix64`).\n\
+             Flagged: literal seeds (not re-derivable from a RunSpec),\n\
+             re-seeding from a stream's own draws (`next_u64` feeding\n\
+             `seed_from_u64` couples the new stream to draw order), and\n\
+             arguments whose provenance cannot be proven.\n\
+             \n\
+             Scope: everywhere except crates/prng (where the primitive\n\
+             lives) and crates/bench; `#[test]` items are exempt."
+        }
+        LintId::L14 => {
+            "L14 · hot-path allocation\n\
+             \n\
+             Inside loops of functions BFS-reachable from\n\
+             `execute_task_buffered` or an operator `next` path (plus the\n\
+             columnar kernels batch.rs/column.rs), per-iteration allocation\n\
+             multiplies by the row count: `Vec::new()`/`vec![...]`,\n\
+             `.collect()`, `.clone()` (Arc/schema handles exempt),\n\
+             `format!`, and `.push` into a vector whose initializer lacked\n\
+             `with_capacity`. Every suggestion starts with `reuse-buffer:`\n\
+             and names the hoisted/pre-sized alternative.\n\
+             \n\
+             Scope: crates/engine."
+        }
+        LintId::L15 => {
+            "L15 · narrowing casts on measured values\n\
+             \n\
+             `as` conversions are silently lossy: `cost as f32` rounds\n\
+             money, `bytes as u32` wraps at 4 GiB. On values the L12 unit\n\
+             lattice types as usd/seconds/bytes/rows, a cast to\n\
+             u8/u16/u32/i8/i16/i32/f32 is flagged; keep u64/i64/f64 or use\n\
+             an explicit checked conversion. `count` values are exempt\n\
+             (narrowing small cardinalities for indexing is ubiquitous),\n\
+             as are widening casts.\n\
+             \n\
+             Scope: everywhere except crates/bench."
         }
         LintId::Sup => {
             "SUP · malformed suppression\n\

@@ -1,0 +1,296 @@
+//! The unit-of-measure lattice behind L12/L15: which physical dimension
+//! an identifier, API argument, or metric name carries.
+//!
+//! Units are inferred from three sources, in priority order:
+//!
+//! 1. an explicit `// cackle-lint: unit(usd|seconds|bytes|rows|count|none)`
+//!    annotation on the binding's line (or, as an own-line comment, on
+//!    the line above it) — `unit(none)` marks a binding as explicitly
+//!    dimensionless, defeating a misleading name;
+//! 2. the billing / telemetry API signature table below (`charge`'s
+//!    amount is dollars whatever the argument is called);
+//! 3. identifier naming conventions (`*_cost` is dollars, `*_secs` is
+//!    seconds, `*_bytes` is bytes, ...), aligned with L11's
+//!    cost-naming so the two rules never disagree about money.
+//!
+//! Rate-shaped names (`vm_per_sec`, `bytes_per_row`) are deliberately
+//! *not* assigned a base unit: a rate times a duration is exactly the
+//! arithmetic Pricing performs, and flagging it would force noise
+//! suppressions inside the billing layer.
+
+use std::collections::BTreeMap;
+
+/// A base unit of measure. There is no algebra here — rates and
+/// products are simply "no unit" — because the rules only need to catch
+/// *mixing* base units, not verify dimensional correctness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Unit {
+    /// Dollars (aligned with L11's cost-naming).
+    Usd,
+    /// Wall-clock / simulated seconds.
+    Seconds,
+    /// Payload or memory sizes.
+    Bytes,
+    /// Row counts flowing through operators.
+    Rows,
+    /// Generic cardinalities (requests, retries, workers).
+    Count,
+}
+
+impl Unit {
+    /// Human name, also the annotation spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Unit::Usd => "usd",
+            Unit::Seconds => "seconds",
+            Unit::Bytes => "bytes",
+            Unit::Rows => "rows",
+            Unit::Count => "count",
+        }
+    }
+
+    /// Parse an annotation spelling. `none` is handled by the caller
+    /// (it is an explicit absence, not a unit).
+    pub fn parse(s: &str) -> Option<Unit> {
+        match s {
+            "usd" => Some(Unit::Usd),
+            "seconds" => Some(Unit::Seconds),
+            "bytes" => Some(Unit::Bytes),
+            "rows" => Some(Unit::Rows),
+            "count" => Some(Unit::Count),
+            _ => None,
+        }
+    }
+
+    /// Units where adding a bare numeric literal is (almost) always a
+    /// bug: `cost + 1.0`, `secs + 5`, `bytes + 100` hide a constant
+    /// that deserves a name and a unit. Cardinalities are exempt —
+    /// `rows + 1` / `count - 1` are ordinary index arithmetic.
+    pub fn scalar_add_suspicious(self) -> bool {
+        matches!(self, Unit::Usd | Unit::Seconds | Unit::Bytes)
+    }
+
+    /// Units where a narrowing cast can silently truncate a quantity
+    /// the paper's claims depend on (L15). `Count` is exempt: casting
+    /// small cardinalities for indexing is ubiquitous and harmless.
+    pub fn narrowing_suspicious(self) -> bool {
+        matches!(self, Unit::Usd | Unit::Seconds | Unit::Bytes | Unit::Rows)
+    }
+}
+
+/// Unit conventionally carried by an identifier, or `None` when the
+/// name is unit-less or rate-shaped.
+pub fn of_ident(name: &str) -> Option<Unit> {
+    let lower = name.to_ascii_lowercase();
+    // Rates carry no base unit (`vm_per_sec`, `bytes_per_row`).
+    if lower.contains("_per_") || lower.contains("per_sec") {
+        return None;
+    }
+    // Std conversion methods are representation changes, not byte
+    // quantities: `x.to_le_bytes()` yields an array, and hashing it
+    // does not make the hash bytes-dimensioned.
+    if matches!(
+        lower.as_str(),
+        "to_le_bytes"
+            | "to_be_bytes"
+            | "to_ne_bytes"
+            | "from_le_bytes"
+            | "from_be_bytes"
+            | "from_ne_bytes"
+            | "as_bytes"
+            | "into_bytes"
+    ) {
+        return None;
+    }
+    // Money first: aligned with L11's `is_cost_named` plus billing
+    // vocabulary (`vm_billed`).
+    if ["dollar", "cost", "price", "usd", "billed"]
+        .iter()
+        .any(|k| lower.contains(k))
+    {
+        return Some(Unit::Usd);
+    }
+    if lower.contains("bytes") || lower.ends_with("byte_size") {
+        return Some(Unit::Bytes);
+    }
+    if lower.contains("rows") || lower == "nrows" || lower.ends_with("row_count") {
+        return Some(Unit::Rows);
+    }
+    if lower.ends_with("_secs")
+        || lower.ends_with("_seconds")
+        || lower.ends_with("_sec")
+        || lower == "secs"
+        || lower == "seconds"
+        || lower.contains("duration")
+        || lower.contains("latency")
+    {
+        return Some(Unit::Seconds);
+    }
+    if lower.ends_with("_count") || lower == "count" {
+        return Some(Unit::Count);
+    }
+    None
+}
+
+/// Unit an API argument must carry: `(callee, zero-based arg index)`.
+/// This is how `charge(category, amount)` assigns dollars to `amount`
+/// even when the caller names it `x`.
+pub fn arg_unit(callee: &str, arg_idx: usize) -> Option<Unit> {
+    match (callee, arg_idx) {
+        ("charge", 1) | ("try_charge", 1) => Some(Unit::Usd),
+        ("charge_requests", 1) => Some(Unit::Count),
+        ("charge_requests", 2) => Some(Unit::Usd),
+        _ => None,
+    }
+}
+
+/// Unit a well-known API call returns, for callees whose *name* does
+/// not already encode it (`Pricing::vm_cost` is covered by
+/// [`of_ident`]).
+pub fn return_unit_api(callee: &str) -> Option<Unit> {
+    match callee {
+        "byte_size" => Some(Unit::Bytes),
+        "num_rows" => Some(Unit::Rows),
+        _ => None,
+    }
+}
+
+/// Unit implied by a telemetry metric name (DESIGN §7 grammar):
+/// inferred from the final dot-segment with the cumulative `_total`
+/// suffix stripped, so `engine.task_rows_out_total` is rows and
+/// `pool.queue_wait_seconds` is seconds.
+pub fn metric_unit(name: &str) -> Option<Unit> {
+    let last = name.rsplit('.').next().unwrap_or(name);
+    let stripped = last.strip_suffix("_total").unwrap_or(last);
+    of_ident(stripped)
+}
+
+/// Parsed `// cackle-lint: unit(...)` annotations for one file.
+#[derive(Debug, Default)]
+pub struct UnitAnnots {
+    /// Line → declared unit (`None` = explicitly dimensionless).
+    /// An own-line annotation comment also covers the next line, the
+    /// same convention `allow(...)` uses.
+    pub by_line: BTreeMap<usize, Option<Unit>>,
+    /// Malformed annotations: `(line, what)` — surfaced as SUP.
+    pub errors: Vec<(usize, String)>,
+}
+
+/// Scan a file's source for unit annotations.
+pub fn annotations(source: &str) -> UnitAnnots {
+    const MARKER: &str = "cackle-lint:";
+    let mut out = UnitAnnots::default();
+    for (i, raw) in source.lines().enumerate() {
+        let line = i + 1;
+        let Some(at) = raw.find(MARKER) else {
+            continue;
+        };
+        let rest = raw[at + MARKER.len()..].trim_start();
+        let Some(list) = rest.strip_prefix("unit(") else {
+            continue; // `allow(...)` and malformed markers are lib.rs's job
+        };
+        let Some(close) = list.find(')') else {
+            out.errors
+                .push((line, "malformed unit annotation: missing `)`".into()));
+            continue;
+        };
+        let body = list[..close].trim();
+        let unit = if body == "none" {
+            None
+        } else {
+            match Unit::parse(body) {
+                Some(u) => Some(u),
+                None => {
+                    out.errors.push((
+                        line,
+                        format!(
+                            "malformed unit annotation: unknown unit `{body}` \
+                             (expected usd|seconds|bytes|rows|count|none)"
+                        ),
+                    ));
+                    continue;
+                }
+            }
+        };
+        out.by_line.insert(line, unit);
+        let prefix = raw[..at].trim();
+        if !prefix.is_empty() && prefix.chars().all(|c| c == '/' || c == '!') {
+            out.by_line.insert(line + 1, unit);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ident_conventions() {
+        assert_eq!(of_ident("vm_cost"), Some(Unit::Usd));
+        assert_eq!(of_ident("total_usd"), Some(Unit::Usd));
+        assert_eq!(of_ident("shuffle_billed"), Some(Unit::Usd));
+        assert_eq!(of_ident("elapsed_secs"), Some(Unit::Seconds));
+        assert_eq!(of_ident("queue_latency"), Some(Unit::Seconds));
+        assert_eq!(of_ident("payload_bytes"), Some(Unit::Bytes));
+        assert_eq!(of_ident("rows_out"), Some(Unit::Rows));
+        assert_eq!(of_ident("num_rows"), Some(Unit::Rows));
+        assert_eq!(of_ident("row_count"), Some(Unit::Rows));
+        assert_eq!(of_ident("retry_count"), Some(Unit::Count));
+        // Rates carry no base unit.
+        assert_eq!(of_ident("vm_per_sec"), None);
+        assert_eq!(of_ident("bytes_per_row"), None);
+        // Near-misses stay unit-less.
+        assert_eq!(of_ident("discount_x"), None);
+        assert_eq!(of_ident("secondary"), None);
+        assert_eq!(of_ident("x"), None);
+        // Representation conversions are not byte quantities: a hash of
+        // `x.to_le_bytes()` must not come out bytes-dimensioned.
+        assert_eq!(of_ident("to_le_bytes"), None);
+        assert_eq!(of_ident("from_be_bytes"), None);
+        assert_eq!(of_ident("as_bytes"), None);
+    }
+
+    #[test]
+    fn api_signature_table() {
+        assert_eq!(arg_unit("charge", 1), Some(Unit::Usd));
+        assert_eq!(arg_unit("charge", 0), None);
+        assert_eq!(arg_unit("charge_requests", 1), Some(Unit::Count));
+        assert_eq!(arg_unit("charge_requests", 2), Some(Unit::Usd));
+        assert_eq!(return_unit_api("byte_size"), Some(Unit::Bytes));
+        assert_eq!(return_unit_api("len"), None);
+    }
+
+    #[test]
+    fn metric_name_units() {
+        assert_eq!(metric_unit("pool.queue_wait_seconds"), Some(Unit::Seconds));
+        assert_eq!(metric_unit("engine.task_rows_out_total"), Some(Unit::Rows));
+        assert_eq!(
+            metric_unit("shuffle_fleet.bytes_written_total"),
+            Some(Unit::Bytes)
+        );
+        assert_eq!(metric_unit("run.cost_usd"), Some(Unit::Usd));
+        assert_eq!(metric_unit("engine.tasks_total"), None);
+    }
+
+    #[test]
+    fn annotation_scanning() {
+        let src = "\
+// cackle-lint: unit(seconds)\n\
+let budget = 5.0;\n\
+let x = 1; // cackle-lint: unit(bytes)\n\
+let count = 3; // cackle-lint: unit(none)\n\
+let bad = 0; // cackle-lint: unit(furlongs)\n\
+let worse = 0; // cackle-lint: unit(usd\n";
+        let a = annotations(src);
+        // Own-line comment covers its own line and the next.
+        assert_eq!(a.by_line.get(&1), Some(&Some(Unit::Seconds)));
+        assert_eq!(a.by_line.get(&2), Some(&Some(Unit::Seconds)));
+        // Trailing comment covers its line only.
+        assert_eq!(a.by_line.get(&3), Some(&Some(Unit::Bytes)));
+        assert_eq!(a.by_line.get(&4), Some(&None));
+        assert_eq!(a.errors.len(), 2, "{:?}", a.errors);
+        assert!(a.errors[0].1.contains("furlongs"));
+        assert!(a.errors[1].1.contains("missing"));
+    }
+}

@@ -1,0 +1,15 @@
+//! Parser fixture: braced match arms. Statement extents inside an arm
+//! must stay inside the arm's braces; the expression arm after a braced
+//! arm must start its statement at the arm's pattern, not leak back
+//! into the previous arm.
+
+fn classify(op: Op) -> u32 {
+    match op {
+        Op::Scan { rows } => {
+            let width = rows + 1;
+            width
+        }
+        Op::Join => 2,
+        _ => 0,
+    }
+}

@@ -1,0 +1,11 @@
+//! Parser fixture: turbofish call syntax. `collect::<Vec<u64>>()` and
+//! `parse::<u64>(...)` must resolve to call sites whose argument list
+//! is the paren group after the closed `<...>`, not the angle brackets.
+
+fn drain(xs: Vec<u64>) -> Vec<u64> {
+    let doubled = xs.iter().map(|x| x * 2).collect::<Vec<u64>>();
+    let empty = Vec::<u64>::new();
+    parse::<u64>(&doubled);
+    let _ = empty;
+    doubled
+}

@@ -1,0 +1,14 @@
+//! Parser fixture: a where-clause between signature and body. The
+//! recorded body extent must start at the brace after the bounds, not
+//! at a brace-free token inside them.
+
+fn reduce<T>(items: &[T]) -> u64
+where
+    T: Into<u64> + Copy,
+{
+    let mut acc = 0;
+    for it in items {
+        acc += into_u64(*it);
+    }
+    acc
+}

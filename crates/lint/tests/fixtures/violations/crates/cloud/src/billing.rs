@@ -1,0 +1,44 @@
+//! Fixture: deliberate L12 / L15 violations — mixed units, bare scalars
+//! on measured quantities, and narrowing casts. The near-misses at the
+//! bottom (rates, cardinalities, widening) must stay silent.
+
+fn drift(payload_bytes: u64, elapsed_secs: u64) -> u64 {
+    payload_bytes + elapsed_secs // L12: bytes + seconds
+}
+
+fn padded_wait(queue_secs: f64) -> f64 {
+    queue_secs + 2.5 // L12: bare scalar added to a seconds quantity
+}
+
+fn overrun(elapsed_secs: f64) -> bool {
+    // cackle-lint: unit(usd)
+    let budget = 10.0;
+    budget < elapsed_secs // L12: usd compared to seconds (annotation-typed)
+}
+
+fn wire_len(total_bytes: u64) -> u32 {
+    total_bytes as u32 // L15: bytes narrowed to u32 wraps at 4 GiB
+}
+
+fn report(run: &Run) -> f32 {
+    let spend = run.total_cost();
+    spend as f32 // L15: usd narrowed to f32 rounds money
+}
+
+// Near-misses: rates carry no base unit, `count + 1` is index
+// arithmetic, and widening is how measured ints enter float math.
+fn throughput(total_bytes: u64, elapsed_secs: u64) -> u64 {
+    total_bytes / elapsed_secs
+}
+
+fn bump(retry_count: u64) -> u64 {
+    retry_count + 1
+}
+
+fn widen(payload_bytes: u64) -> f64 {
+    payload_bytes as f64
+}
+
+fn slot_index(retry_count: u64) -> u32 {
+    retry_count as u32
+}

@@ -1,0 +1,27 @@
+//! Fixture: deliberate L14 violations — per-iteration allocation in a
+//! columnar kernel file (hot by definition, no reachability needed).
+//! `pack` below is the near-miss: pre-sized buffers and shared schema
+//! handles must stay silent.
+
+impl Batch {
+    pub fn explode(&self, groups: &[Group]) -> Vec<Out> {
+        let mut out = Vec::new();
+        for g in groups {
+            let idx: Vec<usize> = g.members().collect(); // L14: collect per group
+            let mut scratch = Vec::new(); // L14: buffer built per group
+            scratch.push(idx.len()); // L14: push into unsized `scratch`
+            let tag = format!("g{}", idx.len()); // L14: String per group
+            let dup = g.clone(); // L14: deep copy per group
+            out.push(emit(&scratch, &tag, dup)); // L14: push into unsized `out`
+        }
+        out
+    }
+
+    pub fn pack(&self, n: usize) -> Vec<SchemaRef> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.schema.clone());
+        }
+        out
+    }
+}

@@ -1,0 +1,23 @@
+//! Fixture: deliberate L13 violations — PRNG streams whose seeds cannot
+//! be re-derived from the RunSpec: a literal, a draw fed back in, and an
+//! argument with no seed-named provenance. The keyed near-miss at the
+//! bottom must stay silent.
+
+fn fixed() -> Pcg32 {
+    Pcg32::seed_from_u64(42) // L13: literal seed
+}
+
+fn chained(rng: &mut Pcg32) -> Pcg32 {
+    let draw = rng.next_u64();
+    Pcg32::seed_from_u64(draw) // L13: re-seeded from a stream's output
+}
+
+fn opaque(slot: u64) -> Pcg32 {
+    Pcg32::seed_from_u64(slot) // L13: provenance unproven
+}
+
+// Near-miss: a salted sub-stream of the RunSpec seed is the blessed
+// pattern and must stay silent.
+fn keyed(spec: &RunSpec) -> Pcg32 {
+    Pcg32::seed_from_u64(spec.seed ^ SALT_ARRIVALS)
+}
