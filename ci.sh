@@ -26,7 +26,7 @@ cmp results/lint-diagnostics.json results/lint-diagnostics.rerun.json \
 rm -f results/lint-diagnostics.rerun.json
 
 echo "==> cackle-lint --explain smoke (every rule id documents itself)"
-for rule in L1 L2 L3 L4 L5 L6 L7 L8 L9 L10 L11 L12 L13 L14 L15 SUP; do
+for rule in L1 L2 L3 L4 L5 L6 L7 L8 L9 L10 L11 L12 L13 L14 L15 L16 SUP; do
     cargo run -q -p cackle-lint -- --explain "$rule" > /dev/null \
         || { echo "cackle-lint: --explain $rule failed" >&2; exit 1; }
 done
@@ -36,6 +36,14 @@ cargo build --workspace --release
 
 echo "==> cargo test"
 cargo test --workspace -q
+
+echo "==> operator-throughput bench smoke (kernel vs reference, CSV archived)"
+# --smoke shrinks the input so this exercises every kernel-vs-reference
+# pair end-to-end in well under a second; the full-size run (no flag)
+# is where the speedup self-checks apply.
+cargo run -q --release -p cackle-bench --bin bench_operator_throughput -- --smoke
+test -s results/operator_throughput.csv \
+    || { echo "bench_operator_throughput: missing results/operator_throughput.csv" >&2; exit 1; }
 
 echo "==> worker-count determinism (1 and 8 workers, golden dumps)"
 cargo test -q --test determinism golden_dumps_are_byte_identical_across_worker_counts

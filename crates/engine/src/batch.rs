@@ -140,6 +140,70 @@ impl Batch {
         }
         out
     }
+
+    /// Borrow the columns at `indices` (which may repeat) under `schema`
+    /// — the non-allocating form of projecting by cloning columns.
+    pub fn project_view(&self, schema: SchemaRef, indices: &[usize]) -> BatchView<'_> {
+        assert_eq!(
+            schema.len(),
+            indices.len(),
+            "projection width != schema width"
+        );
+        BatchView {
+            schema,
+            columns: indices.iter().map(|&i| &self.columns[i]).collect(),
+        }
+    }
+
+    /// Borrow every column (the identity projection).
+    pub fn view(&self) -> BatchView<'_> {
+        BatchView {
+            schema: self.schema.clone(),
+            columns: self.columns.iter().collect(),
+        }
+    }
+}
+
+/// A borrowed projection of a batch: a schema plus references into the
+/// parent's columns, in projection order. Nothing is copied until
+/// [`BatchView::to_batch`] or [`BatchView::gather`] materializes, so
+/// kernels can select and reorder columns for free.
+#[derive(Debug, Clone)]
+pub struct BatchView<'a> {
+    /// Schema of the projected view.
+    pub schema: SchemaRef,
+    /// Borrowed columns in projection order.
+    pub columns: Vec<&'a Column>,
+}
+
+impl BatchView<'_> {
+    /// Number of rows visible through the view.
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, |c| c.len())
+    }
+
+    /// Number of projected columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Materialize the view, cloning each borrowed column exactly once.
+    pub fn to_batch(&self) -> Batch {
+        Batch {
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|&c| c.clone()).collect(),
+        }
+    }
+
+    /// Gather rows at `indices` from only the projected columns — the
+    /// fused filter+project path (gathering through a shared selection
+    /// touches each projected column once and the others never).
+    pub fn gather(&self, indices: &[usize]) -> Batch {
+        Batch {
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.take(indices)).collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -262,5 +326,33 @@ mod tests {
         let b = sample();
         // 3*8 (i64) + 3*8 (f64)
         assert_eq!(b.byte_size(), 48);
+    }
+
+    #[test]
+    fn project_view_borrows_and_materializes() {
+        let b = sample();
+        let schema = Schema::shared(&[("v", DataType::F64), ("k", DataType::I64)]);
+        let view = b.project_view(schema.clone(), &[1, 0]);
+        assert_eq!(view.num_rows(), 3);
+        assert_eq!(view.num_columns(), 2);
+        // Borrowed, not copied: same column allocation.
+        assert!(std::ptr::eq(view.columns[0], &b.columns[1]));
+        let owned = view.to_batch();
+        assert_eq!(owned.columns[0].f64s(), &[0.5, 1.5, 2.5]);
+        assert_eq!(owned.columns[1].i64s(), &[1, 2, 3]);
+        // Gather through the view touches only projected columns.
+        let g = view.gather(&[2, 0]);
+        assert_eq!(g.columns[0].f64s(), &[2.5, 0.5]);
+        assert_eq!(g.columns[1].i64s(), &[3, 1]);
+        let id = b.view();
+        assert_eq!(id.to_batch(), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "projection width")]
+    fn project_view_rejects_width_mismatch() {
+        let b = sample();
+        let schema = Schema::shared(&[("k", DataType::I64)]);
+        b.project_view(schema, &[0, 1]);
     }
 }

@@ -170,20 +170,19 @@ impl Column {
     /// materializing the index vector: the range maps to one slice copy
     /// per buffer. Panics if `start > end` or `end > len`.
     pub fn slice(&self, start: usize, end: usize) -> Column {
+        self.borrowed_slice(start, end).to_column()
+    }
+
+    /// Borrow the contiguous row range `start..end` as a
+    /// [`ColumnSlice`] view — no buffer is copied or allocated. Panics
+    /// if `start > end` or `end > len`.
+    pub fn borrowed_slice(&self, start: usize, end: usize) -> ColumnSlice<'_> {
         assert!(start <= end && end <= self.len(), "slice out of bounds");
-        let data = match &self.data {
-            ColumnData::I64(v) => ColumnData::I64(v[start..end].to_vec()),
-            ColumnData::F64(v) => ColumnData::F64(v[start..end].to_vec()),
-            ColumnData::Str(v) => ColumnData::Str(v[start..end].to_vec()),
-            ColumnData::Date(v) => ColumnData::Date(v[start..end].to_vec()),
-            ColumnData::Bool(v) => ColumnData::Bool(v[start..end].to_vec()),
-        };
-        match &self.validity {
-            // with_validity, not a raw construction: an all-valid window
-            // of a masked column must normalize to `validity: None`,
-            // exactly as `take` does.
-            Some(m) => Column::with_validity(data, m[start..end].to_vec()),
-            None => Column::new(data),
+        ColumnSlice {
+            data: &self.data,
+            validity: self.validity.as_deref(),
+            start,
+            len: end - start,
         }
     }
 
@@ -300,6 +299,102 @@ impl Column {
     }
 }
 
+/// A borrowed window over a column's rows: the non-allocating
+/// counterpart of [`Column::slice`]. Row indices are relative to the
+/// window start; nothing is copied until [`ColumnSlice::to_column`]
+/// materializes the window.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnSlice<'a> {
+    data: &'a ColumnData,
+    validity: Option<&'a [bool]>,
+    start: usize,
+    len: usize,
+}
+
+impl ColumnSlice<'_> {
+    /// Rows in the window.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the window has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Element type of the underlying column.
+    pub fn data_type(&self) -> DataType {
+        self.data.data_type()
+    }
+
+    /// Validity of window row `i`.
+    pub fn is_valid(&self, i: usize) -> bool {
+        debug_assert!(i < self.len, "row {i} out of window of {}", self.len);
+        self.validity.is_none_or(|m| m[self.start + i])
+    }
+
+    /// The value at window row `i` as an owned [`Value`] (Null if invalid).
+    pub fn value(&self, i: usize) -> Value {
+        if !self.is_valid(i) {
+            return Value::Null;
+        }
+        let i = self.start + i;
+        match self.data {
+            ColumnData::I64(v) => Value::I64(v[i]),
+            ColumnData::F64(v) => Value::F64(v[i]),
+            ColumnData::Str(v) => Value::Str(v[i].clone()),
+            ColumnData::Date(v) => Value::Date(v[i]),
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+        }
+    }
+
+    /// Render window row `i` into `out` exactly as [`Value`]'s `Display`
+    /// would, without materializing a `Value` (in particular, no string
+    /// clone per cell).
+    pub fn write_value(&self, out: &mut String, i: usize) {
+        use std::fmt::Write as _;
+        if !self.is_valid(i) {
+            out.push_str("NULL");
+            return;
+        }
+        let i = self.start + i;
+        match self.data {
+            ColumnData::I64(v) => {
+                let _ = write!(out, "{}", v[i]);
+            }
+            ColumnData::F64(v) => {
+                let _ = write!(out, "{:.4}", v[i]);
+            }
+            ColumnData::Str(v) => out.push_str(&v[i]),
+            ColumnData::Date(v) => {
+                let (y, m, d) = crate::types::date::to_ymd(v[i]);
+                let _ = write!(out, "{y:04}-{m:02}-{d:02}");
+            }
+            ColumnData::Bool(v) => {
+                let _ = write!(out, "{}", v[i]);
+            }
+        }
+    }
+
+    /// Materialize the window as an owned [`Column`]: one slice copy per
+    /// buffer. An all-valid window of a masked column normalizes to
+    /// `validity: None`, exactly as [`Column::take`] does.
+    pub fn to_column(&self) -> Column {
+        let (start, end) = (self.start, self.start + self.len);
+        let data = match self.data {
+            ColumnData::I64(v) => ColumnData::I64(v[start..end].to_vec()),
+            ColumnData::F64(v) => ColumnData::F64(v[start..end].to_vec()),
+            ColumnData::Str(v) => ColumnData::Str(v[start..end].to_vec()),
+            ColumnData::Date(v) => ColumnData::Date(v[start..end].to_vec()),
+            ColumnData::Bool(v) => ColumnData::Bool(v[start..end].to_vec()),
+        };
+        match self.validity {
+            Some(m) => Column::with_validity(data, m[start..end].to_vec()),
+            None => Column::new(data),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -364,5 +459,39 @@ mod tests {
     #[should_panic(expected = "expected i64 column")]
     fn wrong_accessor_panics() {
         Column::from_f64(vec![1.0]).i64s();
+    }
+
+    #[test]
+    fn borrowed_slice_windows_without_copying() {
+        let c = Column::with_validity(
+            ColumnData::I64(vec![10, 20, 30, 40]),
+            vec![true, false, true, true],
+        );
+        let s = c.borrowed_slice(1, 4);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_valid(0)); // window row 0 = column row 1
+        assert_eq!(s.value(1), Value::I64(30));
+        assert_eq!(s.to_column(), c.slice(1, 4));
+        // All-valid window normalizes validity away on materialization.
+        assert!(c.borrowed_slice(2, 4).to_column().validity.is_none());
+    }
+
+    #[test]
+    fn write_value_matches_value_display() {
+        let cols = [
+            Column::with_validity(ColumnData::I64(vec![7, 0]), vec![true, false]),
+            Column::from_f64(vec![1.5, 2.0]),
+            Column::from_str_vec(vec!["ab".into(), "cd".into()]),
+            Column::new(ColumnData::Date(vec![0, 10_000])),
+            Column::new(ColumnData::Bool(vec![true, false])),
+        ];
+        for c in &cols {
+            let s = c.borrowed_slice(0, c.len());
+            for i in 0..c.len() {
+                let mut got = String::new();
+                s.write_value(&mut got, i);
+                assert_eq!(got, c.value(i).to_string(), "col {} row {i}", c.data_type());
+            }
+        }
     }
 }

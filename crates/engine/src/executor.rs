@@ -38,7 +38,7 @@ use crate::batch::Batch;
 use crate::plan::{StageDag, StageId};
 use crate::shuffle::ShuffleTransport;
 use crate::table::Catalog;
-use crate::task::{execute_task_buffered, TaskContext, TaskResult};
+use crate::task::{TaskContext, TaskExecution, TaskResult};
 use cackle_faults::FaultInjector;
 use cackle_telemetry::Telemetry;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -154,7 +154,7 @@ impl Executor {
             let mut ctx = TaskContext::new(dag, stage_id, i as u32, query_id, catalog, shuffle);
             ctx.telemetry = shard.clone();
             ctx.faults = faults.clone();
-            (execute_task_buffered(&ctx), shard)
+            (TaskExecution::new(&ctx).run_buffered(), shard)
         });
         let mut results = Vec::with_capacity(ran.len());
         for (task, (buffered, shard)) in ran.into_iter().enumerate() {

@@ -8,6 +8,7 @@
 
 use crate::batch::Batch;
 use crate::column::{Column, ColumnData};
+use crate::kernels::scalar::{binary_col_scalar, cmp_scalar_mask_into, like_mask};
 use crate::types::{date, DataType, Value};
 
 /// Binary operators.
@@ -226,11 +227,14 @@ impl Expr {
         match self {
             Expr::Col(i) => batch.columns[*i].clone(),
             Expr::Lit(v) => broadcast_literal(v, n),
-            Expr::Binary { op, lhs, rhs } => {
-                let l = lhs.eval(batch);
-                let r = rhs.eval(batch);
-                eval_binary(*op, &l, &r)
-            }
+            Expr::Binary { op, lhs, rhs } => match eval_binary_scalar_fast(*op, lhs, rhs, batch) {
+                Some(col) => col,
+                None => {
+                    let l = lhs.eval(batch);
+                    let r = rhs.eval(batch);
+                    eval_binary(*op, &l, &r)
+                }
+            },
             Expr::Not(e) => {
                 let c = e.eval(batch);
                 let vals = c.bools().iter().map(|b| !b).collect();
@@ -254,11 +258,7 @@ impl Expr {
                 negated,
             } => {
                 let c = input.eval(batch);
-                let strs = c.strs();
-                let vals = strs
-                    .iter()
-                    .map(|s| pattern.matches(s) != *negated)
-                    .collect();
+                let vals = like_mask(c.strs(), pattern, *negated);
                 Column {
                     data: ColumnData::Bool(vals),
                     validity: c.validity.clone(),
@@ -336,6 +336,29 @@ impl Expr {
     }
 }
 
+/// The `column ⊕ literal` fast path: evaluate the column side only and
+/// apply the scalar through [`binary_col_scalar`], skipping the literal
+/// broadcast. Returns `None` when the shape doesn't qualify — Kleene
+/// ops (which need both validity masks), literal ⊕ literal, and null
+/// literals (whose null-propagation bytes come from the broadcast
+/// path) — and the caller falls back to full materialization.
+fn eval_binary_scalar_fast(op: BinOp, lhs: &Expr, rhs: &Expr, batch: &Batch) -> Option<Column> {
+    if matches!(op, BinOp::And | BinOp::Or) {
+        return None;
+    }
+    let (col_expr, scalar, scalar_is_lhs) = match (lhs, rhs) {
+        (Expr::Lit(_), Expr::Lit(_)) => return None,
+        (e, Expr::Lit(v)) => (e, v, false),
+        (Expr::Lit(v), e) => (e, v, true),
+        _ => return None,
+    };
+    if matches!(scalar, Value::Null) {
+        return None;
+    }
+    let col = col_expr.eval(batch);
+    Some(binary_col_scalar(op, &col, scalar, scalar_is_lhs))
+}
+
 fn copy_row(dst: &mut ColumnData, src: &Column, i: usize) {
     match (dst, &src.data) {
         (ColumnData::I64(d), ColumnData::I64(s)) => d[i] = s[i],
@@ -351,6 +374,11 @@ fn copy_row(dst: &mut ColumnData, src: &Column, i: usize) {
     }
 }
 
+/// Materialize a literal as a full column. Only top-level literal
+/// projections and the fallback paths above still pay for this —
+/// `column ⊕ literal` goes through [`eval_binary_scalar_fast`] and CASE
+/// literal branches copy the scalar directly, so no per-row `String`
+/// clones happen on the hot paths.
 fn broadcast_literal(v: &Value, n: usize) -> Column {
     match v {
         Value::Null => Column::nulls(DataType::I64, n),
@@ -536,30 +564,80 @@ fn eval_cmp(op: BinOp, l: &Column, r: &Column) -> Column {
     }
 }
 
+/// A CASE branch result (or the ELSE): literal branches stay a single
+/// scalar — the legacy evaluator broadcast `else 0.0` into a fresh
+/// column per batch (a per-row `String` clone for string literals).
+enum CaseSrc {
+    /// A computed result column.
+    Col(Column),
+    /// A literal result, copied directly where its branch wins.
+    Scalar(Value),
+}
+
+impl CaseSrc {
+    fn from_expr(e: &Expr, batch: &Batch) -> CaseSrc {
+        match e {
+            Expr::Lit(v) => CaseSrc::Scalar(v.clone()),
+            other => CaseSrc::Col(other.eval(batch)),
+        }
+    }
+
+    fn row_is_valid(&self, i: usize) -> bool {
+        match self {
+            CaseSrc::Col(c) => c.is_valid(i),
+            CaseSrc::Scalar(v) => !v.is_null(),
+        }
+    }
+
+    /// Placeholder output storage of this source's type (a null literal
+    /// protos as I64, matching `broadcast_literal`).
+    fn proto_data(&self, n: usize) -> ColumnData {
+        let dtype = match self {
+            CaseSrc::Col(c) => c.data_type(),
+            CaseSrc::Scalar(v) => v.data_type().unwrap_or(DataType::I64),
+        };
+        match dtype {
+            DataType::I64 => ColumnData::I64(vec![0; n]),
+            DataType::F64 => ColumnData::F64(vec![0.0; n]),
+            DataType::Str => ColumnData::Str(vec![String::new(); n]),
+            DataType::Date => ColumnData::Date(vec![0; n]),
+            DataType::Bool => ColumnData::Bool(vec![false; n]),
+        }
+    }
+
+    fn copy_into(&self, dst: &mut ColumnData, i: usize) {
+        match self {
+            CaseSrc::Col(c) => copy_row(dst, c, i),
+            CaseSrc::Scalar(v) => match (dst, v) {
+                (ColumnData::I64(d), Value::I64(s)) => d[i] = *s,
+                (ColumnData::F64(d), Value::F64(s)) => d[i] = *s,
+                (ColumnData::Str(d), Value::Str(s)) => d[i].clone_from(s),
+                (ColumnData::Date(d), Value::Date(s)) => d[i] = *s,
+                (ColumnData::Bool(d), Value::Bool(s)) => d[i] = *s,
+                (d, s) => panic!("CASE type mismatch {} vs {s:?}", d.data_type()),
+            },
+        }
+    }
+}
+
 fn eval_case(batch: &Batch, branches: &[(Expr, Expr)], else_expr: &Option<Box<Expr>>) -> Column {
     let n = batch.num_rows();
-    let results: Vec<(Column, Column)> = branches
+    let results: Vec<(Column, CaseSrc)> = branches
         .iter()
-        .map(|(c, r)| (c.eval(batch), r.eval(batch)))
+        .map(|(c, r)| (c.eval(batch), CaseSrc::from_expr(r, batch)))
         .collect();
-    let else_col = else_expr.as_ref().map(|e| e.eval(batch));
-    // Determine output type from the first result column.
+    let else_src = else_expr.as_ref().map(|e| CaseSrc::from_expr(e, batch));
+    // Determine output type from the first result.
     let proto = &results.first().expect("CASE with no branches").1;
-    let mut data = match &proto.data {
-        ColumnData::I64(_) => ColumnData::I64(vec![0; n]),
-        ColumnData::F64(_) => ColumnData::F64(vec![0.0; n]),
-        ColumnData::Str(_) => ColumnData::Str(vec![String::new(); n]),
-        ColumnData::Date(_) => ColumnData::Date(vec![0; n]),
-        ColumnData::Bool(_) => ColumnData::Bool(vec![false; n]),
-    };
+    let mut data = proto.proto_data(n);
     let mut validity = vec![false; n];
     #[allow(clippy::needless_range_loop)] // indexes three parallel structures
     for i in 0..n {
         let mut matched = false;
         for (cond, res) in &results {
             if cond.is_valid(i) && cond.bools()[i] {
-                if res.is_valid(i) {
-                    copy_row(&mut data, res, i);
+                if res.row_is_valid(i) {
+                    res.copy_into(&mut data, i);
                     validity[i] = true;
                 }
                 matched = true;
@@ -567,9 +645,9 @@ fn eval_case(batch: &Batch, branches: &[(Expr, Expr)], else_expr: &Option<Box<Ex
             }
         }
         if !matched {
-            if let Some(e) = &else_col {
-                if e.is_valid(i) {
-                    copy_row(&mut data, e, i);
+            if let Some(e) = &else_src {
+                if e.row_is_valid(i) {
+                    e.copy_into(&mut data, i);
                     validity[i] = true;
                 }
             }
@@ -606,11 +684,64 @@ fn cast_column(c: &Column, to: DataType) -> Column {
 /// Evaluate a predicate over a batch and return the keep-mask:
 /// valid AND true.
 pub fn predicate_mask(pred: &Expr, batch: &Batch) -> Vec<bool> {
+    let mut mask = Vec::with_capacity(batch.num_rows());
+    predicate_mask_into(pred, batch, &mut mask);
+    mask
+}
+
+/// [`predicate_mask`] into a reused buffer (cleared first) — the pooled
+/// twin used by the task executor's scan path.
+pub fn predicate_mask_into(pred: &Expr, batch: &Batch, mask: &mut Vec<bool>) {
+    mask.clear();
+    fill_pred_mask(pred, batch, mask);
+}
+
+/// Append the keep-mask (`valid AND true` per row) of `pred` to `mask`,
+/// which the caller hands in empty.
+///
+/// Conjunctions and disjunctions fold the operand masks elementwise
+/// instead of materializing the Kleene Bool column: under the
+/// null-folds-to-false convention, `mask(a AND b) = mask(a) & mask(b)`
+/// (the result is true-and-valid only when both sides are) and
+/// `mask(a OR b) = mask(a) | mask(b)` (a true side forces true even
+/// against null). Comparison-vs-literal leaves — the typical filter
+/// shape — fill the mask directly through [`cmp_scalar_mask_into`];
+/// everything else evaluates normally and folds.
+fn fill_pred_mask(pred: &Expr, batch: &Batch, mask: &mut Vec<bool>) {
+    if let Expr::Binary { op, lhs, rhs } = pred {
+        if matches!(op, BinOp::And | BinOp::Or) {
+            fill_pred_mask(lhs, batch, mask);
+            let mut rhs_mask = Vec::with_capacity(batch.num_rows());
+            fill_pred_mask(rhs, batch, &mut rhs_mask);
+            match op {
+                BinOp::And => mask.iter_mut().zip(&rhs_mask).for_each(|(m, r)| *m &= r),
+                _ => mask.iter_mut().zip(&rhs_mask).for_each(|(m, r)| *m |= r),
+            }
+            return;
+        }
+        if matches!(
+            op,
+            BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+        ) {
+            let side = match (lhs.as_ref(), rhs.as_ref()) {
+                (Expr::Lit(_), Expr::Lit(_)) => None,
+                (e, Expr::Lit(v)) if !v.is_null() => Some((e, v, false)),
+                (Expr::Lit(v), e) if !v.is_null() => Some((e, v, true)),
+                _ => None,
+            };
+            if let Some((col_expr, scalar, scalar_is_lhs)) = side {
+                let c = col_expr.eval(batch);
+                cmp_scalar_mask_into(*op, &c, scalar, scalar_is_lhs, mask);
+                return;
+            }
+        }
+    }
     let c = pred.eval(batch);
     let bools = c.bools();
-    (0..batch.num_rows())
-        .map(|i| c.is_valid(i) && bools[i])
-        .collect()
+    match &c.validity {
+        None => mask.extend_from_slice(bools),
+        Some(m) => mask.extend(m.iter().zip(bools).map(|(v, b)| *v && *b)),
+    }
 }
 
 #[cfg(test)]

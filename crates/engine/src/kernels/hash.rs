@@ -1,0 +1,126 @@
+//! A fast, non-cryptographic hasher for the engine's hot hash maps.
+//!
+//! `std::collections::HashMap` defaults to SipHash-1-3, whose keyed
+//! DoS resistance costs real throughput on the group-by and join probe
+//! paths where the map lookup *is* the inner loop. The engine's maps
+//! key on its own evaluated columns — adversarial key distributions are
+//! not a concern — so the kernels use a multiply-mix hasher instead:
+//! each written word folds in with an xor + odd-constant multiply, and
+//! [`Hasher::finish`] runs a SplitMix64-style finalizer so all input
+//! bits avalanche into the bucket-index bits.
+//!
+//! Swapping the hasher cannot change engine output: group ids are
+//! assigned in first-encounter order and probe matches are emitted in
+//! build-row insertion order, so map iteration order is never observed.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Odd multiplier (the 64-bit golden-ratio constant).
+const K: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// SplitMix64 finalizer: full-avalanche bit mix.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Multiply-mix [`Hasher`]; see the module docs for the trade-off.
+#[derive(Default)]
+pub struct FastHasher {
+    h: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn fold(&mut self, x: u64) {
+        self.h = (self.h ^ x).wrapping_mul(K).rotate_left(29);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        mix(self.h)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.fold(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.fold(u64::from_le_bytes(buf));
+        }
+        // Fold in the length so `"ab" + "c"` and `"a" + "bc"` differ.
+        self.h ^= bytes.len() as u64;
+    }
+
+    #[inline]
+    fn write_u8(&mut self, x: u8) {
+        self.fold(x as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, x: u32) {
+        self.fold(x as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        self.fold(x);
+    }
+    #[inline]
+    fn write_usize(&mut self, x: usize) {
+        self.fold(x as u64);
+    }
+    #[inline]
+    fn write_i32(&mut self, x: i32) {
+        self.fold(x as u64);
+    }
+    #[inline]
+    fn write_i64(&mut self, x: i64) {
+        self.fold(x as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`]; the state the kernels' maps carry.
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn distributes_sequential_keys() {
+        // Sequential integers (the common group-key shape) must not
+        // collide in the low bits after finalization.
+        let mut low_bits = std::collections::HashSet::new();
+        for k in 0i64..256 {
+            let mut h = FastHasher::default();
+            h.write_i64(k);
+            low_bits.insert(h.finish() & 0xFF);
+        }
+        assert!(low_bits.len() > 128, "only {} distinct", low_bits.len());
+    }
+
+    #[test]
+    fn usable_as_map_hasher() {
+        let mut m: HashMap<Vec<u8>, u32, FastBuildHasher> = HashMap::default();
+        m.insert(b"alpha".to_vec(), 1);
+        m.insert(b"beta".to_vec(), 2);
+        assert_eq!(m.get(b"alpha".as_slice()), Some(&1));
+        assert_eq!(m.get(b"gamma".as_slice()), None);
+        // Length folding: same concatenation, different split points.
+        let mut a = FastHasher::default();
+        a.write(b"ab");
+        let mut b = FastHasher::default();
+        b.write(b"a");
+        b.write(b"b");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

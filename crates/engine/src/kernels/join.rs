@@ -1,0 +1,141 @@
+//! Hash-join build and probe kernels.
+//!
+//! The legacy join encoded an owned byte key per row on both the build
+//! and probe side. The kernel keeps the same canonical encoding but adds
+//! a direct `i64` map for the dominant single-integer-key case and a
+//! reused scratch buffer for the general byte-key probe, so the per-row
+//! probe allocates nothing.
+//!
+//! Output ordering is preserved exactly: build rows enter each key's
+//! bucket in row order, and [`probe_pairs`] emits matches in probe-row
+//! order, so the delegating `JoinHashTable` produces byte-identical
+//! batches.
+
+use crate::column::{Column, ColumnData};
+use crate::kernels::hash::FastBuildHasher;
+use crate::rowkey::{encode_row, encode_row_into};
+use std::collections::HashMap;
+
+/// Typed key → build-row index over the concatenated build side.
+pub enum KeyIndex {
+    /// Single `i64` join key: direct integer map, no byte encoding.
+    I64(HashMap<i64, Vec<u32>, FastBuildHasher>),
+    /// General case: canonical row-key bytes.
+    Bytes(HashMap<Vec<u8>, Vec<u32>, FastBuildHasher>),
+}
+
+impl KeyIndex {
+    /// Index `nrows` build rows by their evaluated key columns. Rows
+    /// with a null key are excluded (SQL join semantics: null keys match
+    /// nothing) — which is what makes the `i64` fast path safe even for
+    /// nullable keys; unlike grouping, joins never need a null-key
+    /// identity.
+    pub fn build(key_cols: &[&Column], nrows: usize) -> KeyIndex {
+        if key_cols.len() == 1 {
+            if let ColumnData::I64(vals) = &key_cols[0].data {
+                let key = key_cols[0];
+                let mut map: HashMap<i64, Vec<u32>, FastBuildHasher> = HashMap::default();
+                for (row, &k) in vals.iter().enumerate().take(nrows) {
+                    if key.is_valid(row) {
+                        map.entry(k).or_default().push(row as u32);
+                    }
+                }
+                return KeyIndex::I64(map);
+            }
+        }
+        let mut map: HashMap<Vec<u8>, Vec<u32>, FastBuildHasher> = HashMap::default();
+        'rows: for row in 0..nrows {
+            for k in key_cols {
+                if !k.is_valid(row) {
+                    continue 'rows;
+                }
+            }
+            map.entry(encode_row(key_cols, row))
+                .or_default()
+                .push(row as u32);
+        }
+        KeyIndex::Bytes(map)
+    }
+
+    /// The build rows matching probe row `row`, or `None` for a null key
+    /// or no match. `scratch` is the reused key-encoding buffer.
+    pub fn hits<'a>(
+        &'a self,
+        key_cols: &[&Column],
+        row: usize,
+        scratch: &mut Vec<u8>,
+    ) -> Option<&'a [u32]> {
+        match self {
+            KeyIndex::I64(map) => {
+                let key = key_cols[0];
+                if !key.is_valid(row) {
+                    return None;
+                }
+                map.get(&key.i64s()[row]).map(Vec::as_slice)
+            }
+            KeyIndex::Bytes(map) => {
+                for k in key_cols {
+                    if !k.is_valid(row) {
+                        return None;
+                    }
+                }
+                encode_row_into(scratch, key_cols, row);
+                map.get(scratch.as_slice()).map(Vec::as_slice)
+            }
+        }
+    }
+
+    /// Number of distinct (non-null) keys indexed.
+    pub fn distinct_keys(&self) -> usize {
+        match self {
+            KeyIndex::I64(map) => map.len(),
+            KeyIndex::Bytes(map) => map.len(),
+        }
+    }
+}
+
+/// Fill `mask` (cleared first) with the Semi/Anti keep decision per
+/// probe row: `true` where the row's match status equals `want_match`.
+pub fn semi_anti_mask(
+    index: &KeyIndex,
+    key_cols: &[&Column],
+    nrows: usize,
+    want_match: bool,
+    mask: &mut Vec<bool>,
+    scratch: &mut Vec<u8>,
+) {
+    mask.clear();
+    for row in 0..nrows {
+        let matched = index.hits(key_cols, row, scratch).is_some();
+        mask.push(matched == want_match);
+    }
+}
+
+/// Collect matched `(probe, build)` row pairs in probe-row order into
+/// `probe_idx`/`build_idx`, and — when `unmatched` is `Some` (Left
+/// join) — the probe rows with no match, in row order.
+pub fn probe_pairs(
+    index: &KeyIndex,
+    key_cols: &[&Column],
+    nrows: usize,
+    probe_idx: &mut Vec<usize>,
+    build_idx: &mut Vec<usize>,
+    mut unmatched: Option<&mut Vec<usize>>,
+    scratch: &mut Vec<u8>,
+) {
+    for row in 0..nrows {
+        match index.hits(key_cols, row, scratch) {
+            Some(rows) => {
+                for &b in rows {
+                    probe_idx.push(row);
+                    build_idx.push(b as usize);
+                }
+            }
+            None => {
+                if let Some(u) = unmatched.as_deref_mut() {
+                    u.push(row);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Typed columnar compute kernels and the per-task scratch-buffer pool.
+//!
+//! This is the engine's vectorized operator API. Operators no longer
+//! interpret expressions row by row or materialize fresh buffers per
+//! batch; they call kernels that work on borrowed typed slices and check
+//! scratch space out of a [`pool::ScratchArena`] owned by the running
+//! task. Every kernel is bit-compatible with the row-at-a-time path it
+//! replaced — golden telemetry dumps stay byte-identical — and the
+//! row-at-a-time originals survive in [`crate::reference`] as the
+//! differential-test oracle.
+//!
+//! Layout:
+//!
+//! * [`pool`] — typed reusable buffers ([`pool::ScratchArena`]) with
+//!   reuse accounting; checkout/recycle pairing is enforced by lint L16.
+//! * [`select`] — selection-bitmap filtering (mask → selection vector →
+//!   gather), including fused filter+project.
+//! * [`scalar`] — column ⊕ literal compute without broadcasting the
+//!   literal into a column.
+//! * [`agg`] — hash group-by: dense group-id assignment plus typed
+//!   per-group accumulators.
+//! * [`join`] — typed build-side key index and allocation-free probe.
+//! * [`sort`] — typed comparators and sort-by-permutation.
+//! * [`hash`] — the multiply-mix hasher behind the agg/join maps.
+
+pub mod agg;
+pub mod hash;
+pub mod join;
+pub mod pool;
+pub mod scalar;
+pub mod select;
+pub mod sort;

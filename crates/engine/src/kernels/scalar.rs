@@ -1,0 +1,269 @@
+//! Column ⊕ scalar compute kernels.
+//!
+//! The expression evaluator used to broadcast every literal operand into
+//! a full column (`vec![lit; n]` — a per-row `String` clone for string
+//! literals) and then run the column ⊕ column path. These kernels apply
+//! the scalar directly against the column's typed slice, producing bytes
+//! identical to the broadcast-then-evaluate path: the type-dispatch arms
+//! below mirror `expr::eval_arith` / `expr::eval_cmp` arm by arm, and the
+//! result validity is the column's validity (a non-null literal
+//! contributes an all-valid side to the merge).
+
+use crate::column::{Column, ColumnData};
+use crate::expr::{BinOp, LikePattern};
+use crate::types::Value;
+use std::cmp::Ordering;
+
+/// Apply `col ⊕ scalar` (or `scalar ⊕ col` when `scalar_is_lhs`) for any
+/// non-Kleene binary operator. `scalar` must not be [`Value::Null`] —
+/// null literals keep the materialized path so null-propagation bytes
+/// stay identical.
+pub fn binary_col_scalar(op: BinOp, col: &Column, scalar: &Value, scalar_is_lhs: bool) -> Column {
+    use BinOp::*;
+    match op {
+        And | Or => panic!("Kleene ops have no scalar kernel"),
+        Add | Sub | Mul | Div | Mod => arith_col_scalar(op, col, scalar, scalar_is_lhs),
+        Eq | Neq | Lt | LtEq | Gt | GtEq => cmp_col_scalar(op, col, scalar, scalar_is_lhs),
+    }
+}
+
+/// Arithmetic against a scalar; arms mirror `expr::eval_arith`.
+pub fn arith_col_scalar(op: BinOp, col: &Column, scalar: &Value, scalar_is_lhs: bool) -> Column {
+    let data = match (&col.data, scalar, op, scalar_is_lhs) {
+        // Division always goes to f64, SQL-decimal style.
+        (ColumnData::I64(a), Value::I64(y), BinOp::Div, false) => {
+            ColumnData::F64(a.iter().map(|x| *x as f64 / *y as f64).collect())
+        }
+        (ColumnData::I64(b), Value::I64(x), BinOp::Div, true) => {
+            ColumnData::F64(b.iter().map(|y| *x as f64 / *y as f64).collect())
+        }
+        (ColumnData::I64(a), Value::I64(y), BinOp::Mod, false) => {
+            ColumnData::I64(a.iter().map(|x| x % y).collect())
+        }
+        (ColumnData::I64(b), Value::I64(x), BinOp::Mod, true) => {
+            ColumnData::I64(b.iter().map(|y| x % y).collect())
+        }
+        (ColumnData::I64(a), Value::I64(y), _, false) => {
+            ColumnData::I64(a.iter().map(|x| apply_i64(op, *x, *y)).collect())
+        }
+        (ColumnData::I64(b), Value::I64(x), _, true) => {
+            ColumnData::I64(b.iter().map(|y| apply_i64(op, *x, *y)).collect())
+        }
+        (ColumnData::Date(a), Value::I64(y), BinOp::Add, false) => {
+            ColumnData::Date(a.iter().map(|x| x + *y as i32).collect())
+        }
+        (ColumnData::Date(a), Value::I64(y), BinOp::Sub, false) => {
+            ColumnData::Date(a.iter().map(|x| x - *y as i32).collect())
+        }
+        (ColumnData::I64(b), Value::Date(x), BinOp::Add, true) => {
+            ColumnData::Date(b.iter().map(|y| x + *y as i32).collect())
+        }
+        (ColumnData::I64(b), Value::Date(x), BinOp::Sub, true) => {
+            ColumnData::Date(b.iter().map(|y| x - *y as i32).collect())
+        }
+        // The dominant float arm gets a direct loop: the boxed-iterator
+        // fallback below costs a virtual call per element.
+        (ColumnData::F64(a), Value::F64(y), _, false) => {
+            ColumnData::F64(a.iter().map(|x| apply_f64(op, *x, *y)).collect())
+        }
+        (ColumnData::F64(b), Value::F64(x), _, true) => {
+            ColumnData::F64(b.iter().map(|y| apply_f64(op, *x, *y)).collect())
+        }
+        (a, s, _, false) => {
+            // Everything else coerces to f64.
+            let y = scalar_to_f64(s);
+            ColumnData::F64(f64_iter(a).map(|x| apply_f64(op, x, y)).collect())
+        }
+        (b, s, _, true) => {
+            let x = scalar_to_f64(s);
+            ColumnData::F64(f64_iter(b).map(|y| apply_f64(op, x, y)).collect())
+        }
+    };
+    match &col.validity {
+        Some(v) => Column::with_validity(data, v.clone()),
+        None => Column::new(data),
+    }
+}
+
+/// Comparison against a scalar; arms mirror `expr::eval_cmp`.
+pub fn cmp_col_scalar(op: BinOp, col: &Column, scalar: &Value, scalar_is_lhs: bool) -> Column {
+    let want = |o: Ordering| match op {
+        BinOp::Eq => o == Ordering::Equal,
+        BinOp::Neq => o != Ordering::Equal,
+        BinOp::Lt => o == Ordering::Less,
+        BinOp::LtEq => o != Ordering::Greater,
+        BinOp::Gt => o == Ordering::Greater,
+        BinOp::GtEq => o != Ordering::Less,
+        _ => unreachable!(),
+    };
+    // `x cmp y` with the scalar on the left is the reverse of the scalar
+    // on the right; flipping the ordering keeps one loop per type arm.
+    let orient = |o: Ordering| if scalar_is_lhs { o.reverse() } else { o };
+    let vals: Vec<bool> = match (&col.data, scalar) {
+        (ColumnData::I64(a), Value::I64(y)) => a.iter().map(|x| want(orient(x.cmp(y)))).collect(),
+        (ColumnData::Date(a), Value::Date(y)) => a.iter().map(|x| want(orient(x.cmp(y)))).collect(),
+        (ColumnData::F64(a), Value::F64(y)) => a
+            .iter()
+            .map(|x| x.partial_cmp(y).map(orient).is_some_and(&want))
+            .collect(),
+        (ColumnData::Str(a), Value::Str(y)) => a
+            .iter()
+            .map(|x| want(orient(x.as_str().cmp(y.as_str()))))
+            .collect(),
+        (ColumnData::Bool(a), Value::Bool(y)) => a.iter().map(|x| want(orient(x.cmp(y)))).collect(),
+        (a, s) => {
+            let y = scalar_to_f64(s);
+            f64_iter(a)
+                .map(|x| x.partial_cmp(&y).map(orient).is_some_and(&want))
+                .collect()
+        }
+    };
+    match &col.validity {
+        Some(v) => Column::with_validity(ColumnData::Bool(vals), v.clone()),
+        None => Column::new(ColumnData::Bool(vals)),
+    }
+}
+
+/// Append the keep-mask of `col ⊕ scalar` (`valid AND true` per row)
+/// directly to `mask`, skipping the intermediate Bool column that
+/// [`cmp_col_scalar`] materializes. This is the inner loop of every
+/// scan filter, so each operator is spelled as a direct comparison
+/// instead of an `Ordering` round-trip; the decisions are exactly those
+/// of [`cmp_col_scalar`] folded with validity — an incomparable pair
+/// (NaN) yields `false` for every operator, including `Neq`.
+pub fn cmp_scalar_mask_into(
+    op: BinOp,
+    col: &Column,
+    scalar: &Value,
+    scalar_is_lhs: bool,
+    mask: &mut Vec<bool>,
+) {
+    // `scalar op col` is `col flip(op) scalar`.
+    let op = if scalar_is_lhs { flip_cmp(op) } else { op };
+    let validity = col.validity.as_deref();
+    match (&col.data, scalar) {
+        (ColumnData::I64(a), Value::I64(y)) => cmp_mask_typed(a, *y, op, validity, mask),
+        (ColumnData::Date(a), Value::Date(y)) => cmp_mask_typed(a, *y, op, validity, mask),
+        (ColumnData::F64(a), Value::F64(y)) => cmp_mask_typed(a, *y, op, validity, mask),
+        (ColumnData::Bool(a), Value::Bool(y)) => cmp_mask_typed(a, *y, op, validity, mask),
+        (ColumnData::Str(a), Value::Str(y)) => {
+            let y = y.as_str();
+            match op {
+                BinOp::Eq => fill_str_mask(a, validity, mask, |x| x == y),
+                BinOp::Neq => fill_str_mask(a, validity, mask, |x| x != y),
+                BinOp::Lt => fill_str_mask(a, validity, mask, |x| x < y),
+                BinOp::LtEq => fill_str_mask(a, validity, mask, |x| x <= y),
+                BinOp::Gt => fill_str_mask(a, validity, mask, |x| x > y),
+                BinOp::GtEq => fill_str_mask(a, validity, mask, |x| x >= y),
+                _ => unreachable!("cmp mask on non-comparison op"),
+            }
+        }
+        (a, s) => {
+            // Mixed numeric types coerce to f64, one side materialized
+            // (still one buffer fewer than the column path).
+            let y = scalar_to_f64(s);
+            let vals: Vec<f64> = f64_iter(a).collect();
+            cmp_mask_typed(&vals, y, op, validity, mask)
+        }
+    }
+}
+
+/// Mirror a comparison around the operands: `s op c` ⇔ `c flip(op) s`.
+fn flip_cmp(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::LtEq => BinOp::GtEq,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::GtEq => BinOp::LtEq,
+        other => other, // Eq / Neq are symmetric
+    }
+}
+
+fn cmp_mask_typed<T: PartialOrd + Copy>(
+    vals: &[T],
+    y: T,
+    op: BinOp,
+    validity: Option<&[bool]>,
+    mask: &mut Vec<bool>,
+) {
+    match op {
+        BinOp::Eq => fill_mask(vals, validity, mask, |x| x == y),
+        // `<`-or-`>` rather than `!=` so NaN comes out false, like the
+        // `partial_cmp` path; identical for totally ordered types.
+        BinOp::Neq => fill_mask(vals, validity, mask, |x| x < y || x > y),
+        BinOp::Lt => fill_mask(vals, validity, mask, |x| x < y),
+        BinOp::LtEq => fill_mask(vals, validity, mask, |x| x <= y),
+        BinOp::Gt => fill_mask(vals, validity, mask, |x| x > y),
+        BinOp::GtEq => fill_mask(vals, validity, mask, |x| x >= y),
+        _ => unreachable!("cmp mask on non-comparison op"),
+    }
+}
+
+fn fill_mask<T: Copy>(
+    vals: &[T],
+    validity: Option<&[bool]>,
+    mask: &mut Vec<bool>,
+    pred: impl Fn(T) -> bool,
+) {
+    match validity {
+        None => mask.extend(vals.iter().map(|&x| pred(x))),
+        Some(m) => mask.extend(vals.iter().zip(m).map(|(&x, &v)| v && pred(x))),
+    }
+}
+
+fn fill_str_mask(
+    vals: &[String],
+    validity: Option<&[bool]>,
+    mask: &mut Vec<bool>,
+    pred: impl Fn(&str) -> bool,
+) {
+    match validity {
+        None => mask.extend(vals.iter().map(|x| pred(x))),
+        Some(m) => mask.extend(vals.iter().zip(m).map(|(x, &v)| v && pred(x.as_str()))),
+    }
+}
+
+/// Columnar LIKE: match every string against the pattern.
+pub fn like_mask(strs: &[String], pattern: &LikePattern, negated: bool) -> Vec<bool> {
+    strs.iter().map(|s| pattern.matches(s) != negated).collect()
+}
+
+fn apply_i64(op: BinOp, x: i64, y: i64) -> i64 {
+    match op {
+        BinOp::Add => x + y,
+        BinOp::Sub => x - y,
+        BinOp::Mul => x * y,
+        _ => unreachable!(),
+    }
+}
+
+fn apply_f64(op: BinOp, x: f64, y: f64) -> f64 {
+    match op {
+        BinOp::Add => x + y,
+        BinOp::Sub => x - y,
+        BinOp::Mul => x * y,
+        BinOp::Div => x / y,
+        BinOp::Mod => x % y,
+        _ => unreachable!(),
+    }
+}
+
+/// Iterate a numeric column as f64 without materializing a coerced
+/// vector (the column ⊕ column path materializes both sides).
+fn f64_iter(d: &ColumnData) -> Box<dyn Iterator<Item = f64> + '_> {
+    match d {
+        ColumnData::I64(v) => Box::new(v.iter().map(|&x| x as f64)),
+        ColumnData::F64(v) => Box::new(v.iter().copied()),
+        ColumnData::Date(v) => Box::new(v.iter().map(|&x| x as f64)),
+        other => panic!("cannot coerce {} to f64", other.data_type()),
+    }
+}
+
+fn scalar_to_f64(v: &Value) -> f64 {
+    match v {
+        Value::I64(x) => *x as f64,
+        Value::F64(x) => *x,
+        Value::Date(x) => *x as f64,
+        other => panic!("cannot coerce {other:?} to f64"),
+    }
+}

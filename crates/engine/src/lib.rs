@@ -40,8 +40,10 @@ pub mod column;
 pub mod executor;
 pub mod explain;
 pub mod expr;
+pub mod kernels;
 pub mod ops;
 pub mod plan;
+pub mod reference;
 pub mod rowkey;
 pub mod schema;
 pub mod shuffle;
@@ -49,9 +51,9 @@ pub mod table;
 pub mod task;
 pub mod types;
 
-pub use batch::{Batch, BATCH_SIZE};
-pub use column::{Column, ColumnData};
-pub use expr::{predicate_mask, BinOp, Expr, LikePattern};
+pub use batch::{Batch, BatchView, BATCH_SIZE};
+pub use column::{Column, ColumnData, ColumnSlice};
+pub use expr::{predicate_mask, predicate_mask_into, BinOp, Expr, LikePattern};
 pub use schema::{Field, Schema, SchemaRef};
 pub use types::{date, DataType, Value};
 
@@ -70,7 +72,23 @@ pub mod prelude {
     pub use crate::table::{Catalog, Table};
     pub use crate::task::{
         execute_query, execute_task, execute_task_buffered, format_batch, BufferedTask,
-        TaskContext, TaskResult,
+        TaskContext, TaskExecution, TaskResult,
     };
     pub use crate::types::{date, DataType, Value};
+}
+
+/// The curated vectorized-kernel surface: typed columnar kernels plus the
+/// scratch-buffer pool they draw from. Import this instead of reaching
+/// into `kernels::*` submodules — it is the stable facade; submodule
+/// layout may shift.
+pub mod kernel_prelude {
+    pub use crate::kernels::agg::{Accumulator, Grouper};
+    pub use crate::kernels::hash::{FastBuildHasher, FastHasher};
+    pub use crate::kernels::join::{probe_pairs, semi_anti_mask, KeyIndex};
+    pub use crate::kernels::pool::{PoolStats, ScratchArena};
+    pub use crate::kernels::scalar::{
+        arith_col_scalar, binary_col_scalar, cmp_col_scalar, cmp_scalar_mask_into, like_mask,
+    };
+    pub use crate::kernels::select::{filter_batch, filter_project, selection_from_mask};
+    pub use crate::kernels::sort::{sort_permutation, SortKeyCol};
 }

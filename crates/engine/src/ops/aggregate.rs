@@ -1,14 +1,18 @@
 //! Hash aggregation: grouped and global, with SQL null semantics
 //! (aggregates skip null inputs; `COUNT(*)` counts rows).
+//!
+//! Grouping and accumulation are delegated to the typed kernels in
+//! [`crate::kernels::agg`]: a [`Grouper`] assigns dense group ids per
+//! batch and each aggregate folds whole batches into typed per-group
+//! vectors. The row-at-a-time original survives as
+//! [`crate::reference::row_hash_aggregate`].
 
 use crate::batch::Batch;
 use crate::column::{Column, ColumnData};
 use crate::expr::Expr;
-use crate::rowkey::encode_row;
+use crate::kernels::agg::{Accumulator, Grouper};
 use crate::schema::SchemaRef;
 use crate::types::{DataType, Value};
-use std::collections::hash_map::Entry;
-use std::collections::{HashMap, HashSet};
 
 /// Aggregate functions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,135 +58,6 @@ impl AggExpr {
     }
 }
 
-/// Accumulator state for one (group, aggregate) pair.
-#[derive(Debug, Clone)]
-enum AggState {
-    SumI64 { sum: i64, seen: bool },
-    SumF64 { sum: f64, seen: bool },
-    MinMax { best: Option<Value>, is_min: bool },
-    Count(i64),
-    Avg { sum: f64, count: i64 },
-    Distinct(HashSet<Vec<u8>>),
-}
-
-impl AggState {
-    fn new(func: AggFunc, input_type: DataType) -> AggState {
-        match func {
-            AggFunc::Sum => match input_type {
-                DataType::I64 => AggState::SumI64 {
-                    sum: 0,
-                    seen: false,
-                },
-                _ => AggState::SumF64 {
-                    sum: 0.0,
-                    seen: false,
-                },
-            },
-            AggFunc::Min => AggState::MinMax {
-                best: None,
-                is_min: true,
-            },
-            AggFunc::Max => AggState::MinMax {
-                best: None,
-                is_min: false,
-            },
-            AggFunc::Count | AggFunc::CountStar => AggState::Count(0),
-            AggFunc::Avg => AggState::Avg { sum: 0.0, count: 0 },
-            AggFunc::CountDistinct => AggState::Distinct(HashSet::new()),
-        }
-    }
-
-    fn update(&mut self, func: AggFunc, col: &Column, row: usize) {
-        let valid = col.is_valid(row);
-        match self {
-            AggState::Count(c) => {
-                if func == AggFunc::CountStar || valid {
-                    *c += 1;
-                }
-            }
-            AggState::SumI64 { sum, seen } => {
-                if valid {
-                    *sum += col.i64s()[row];
-                    *seen = true;
-                }
-            }
-            AggState::SumF64 { sum, seen } => {
-                if valid {
-                    *sum += match &col.data {
-                        ColumnData::F64(v) => v[row],
-                        ColumnData::I64(v) => v[row] as f64,
-                        other => panic!("cannot SUM {}", other.data_type()),
-                    };
-                    *seen = true;
-                }
-            }
-            AggState::MinMax { best, is_min } => {
-                if valid {
-                    let v = col.value(row);
-                    let replace = match best {
-                        None => true,
-                        Some(b) => {
-                            let ord = v.sql_cmp(b).expect("comparable agg inputs");
-                            if *is_min {
-                                ord == std::cmp::Ordering::Less
-                            } else {
-                                ord == std::cmp::Ordering::Greater
-                            }
-                        }
-                    };
-                    if replace {
-                        *best = Some(v);
-                    }
-                }
-            }
-            AggState::Avg { sum, count } => {
-                if valid {
-                    *sum += match &col.data {
-                        ColumnData::F64(v) => v[row],
-                        ColumnData::I64(v) => v[row] as f64,
-                        other => panic!("cannot AVG {}", other.data_type()),
-                    };
-                    *count += 1;
-                }
-            }
-            AggState::Distinct(set) => {
-                if valid {
-                    set.insert(encode_row(&[col], row));
-                }
-            }
-        }
-    }
-
-    fn finish(self) -> Value {
-        match self {
-            AggState::Count(c) => Value::I64(c),
-            AggState::SumI64 { sum, seen } => {
-                if seen {
-                    Value::I64(sum)
-                } else {
-                    Value::Null
-                }
-            }
-            AggState::SumF64 { sum, seen } => {
-                if seen {
-                    Value::F64(sum)
-                } else {
-                    Value::Null
-                }
-            }
-            AggState::MinMax { best, .. } => best.unwrap_or(Value::Null),
-            AggState::Avg { sum, count } => {
-                if count > 0 {
-                    Value::F64(sum / count as f64)
-                } else {
-                    Value::Null
-                }
-            }
-            AggState::Distinct(set) => Value::I64(set.len() as i64),
-        }
-    }
-}
-
 /// Hash-aggregate `batches`, grouping by `group_by` and computing `aggs`.
 ///
 /// The output schema must list the group columns first (in `group_by`
@@ -201,95 +76,78 @@ pub fn hash_aggregate(
         group_by.len() + aggs.len(),
         "aggregate schema width"
     );
-    // group key bytes -> (group ordinal)
-    let mut groups: HashMap<Vec<u8>, usize> = HashMap::new();
-    let mut group_rows: Vec<(usize, usize)> = Vec::new(); // (batch, row) exemplar per group
-    let mut states: Vec<Vec<AggState>> = Vec::new();
     let global = group_by.is_empty();
-    if global {
-        groups.insert(Vec::new(), 0);
-        group_rows.push((usize::MAX, 0));
-        states.push(make_states(aggs, batches, &output));
-    }
 
     let key_cols_per_batch: Vec<Vec<Column>> = batches
         .iter()
         .map(|b| group_by.iter().map(|e| e.eval(b)).collect())
         .collect();
-    let agg_cols_per_batch: Vec<Vec<Column>> = batches
+    // COUNT(*) reads no values, so its input expression (a literal in
+    // every plan builder) is never evaluated — the legacy path broadcast
+    // a constant column per batch just to ignore it.
+    let agg_cols_per_batch: Vec<Vec<Option<Column>>> = batches
         .iter()
-        .map(|b| aggs.iter().map(|a| a.input.eval(b)).collect())
+        .map(|b| {
+            aggs.iter()
+                .map(|a| match a.func {
+                    AggFunc::CountStar => None,
+                    _ => Some(a.input.eval(b)),
+                })
+                .collect()
+        })
         .collect();
 
+    // Infer each aggregate's input type from the output schema (exact
+    // for Sum / Min / Max; the others don't depend on it).
+    let mut accs: Vec<Accumulator> = aggs
+        .iter()
+        .enumerate()
+        .map(|(ai, a)| Accumulator::new(a.func, output.field(group_by.len() + ai).dtype))
+        .collect();
+
+    let mut grouper = Grouper::for_keys(&key_cols_per_batch);
+    let mut n_groups = if global { 1 } else { 0 };
+    let mut ids: Vec<u32> = Vec::new();
     for (bi, b) in batches.iter().enumerate() {
-        // encode_row wants &[&Column]; this ref vec is sized by the key
-        // count per batch — nothing here is allocated per row.
-        // cackle-lint: allow(L14) — key-count-sized ref vec, once per batch
-        let key_cols: Vec<&Column> = key_cols_per_batch[bi].iter().collect();
-        let agg_cols = &agg_cols_per_batch[bi];
-        for row in 0..b.num_rows() {
-            let gi = if global {
-                0
-            } else {
-                let key = encode_row(&key_cols, row);
-                match groups.entry(key) {
-                    Entry::Occupied(o) => *o.get(),
-                    Entry::Vacant(v) => {
-                        let gi = states.len();
-                        v.insert(gi);
-                        // Both vectors grow once per *distinct group*, not
-                        // per row; the group count is data-dependent, so
-                        // there is no loop bound to pre-size from.
-                        // cackle-lint: allow(L14) — grows per distinct group
-                        group_rows.push((bi, row));
-                        // cackle-lint: allow(L14) — grows per distinct group
-                        states.push(make_states(aggs, batches, &output));
-                        gi
-                    }
-                }
-            };
-            for (ai, agg) in aggs.iter().enumerate() {
-                states[gi][ai].update(agg.func, &agg_cols[ai], row);
-            }
+        let nrows = b.num_rows();
+        ids.clear();
+        if global {
+            ids.resize(nrows, 0);
+        } else {
+            // The grouper wants &[&Column]; this ref vec is sized by the
+            // key count per batch — nothing here is allocated per row.
+            // cackle-lint: allow(L14) — key-count-sized ref vec, once per batch
+            let key_refs: Vec<&Column> = key_cols_per_batch[bi].iter().collect();
+            grouper.assign(bi, &key_refs, nrows, &mut ids);
+            n_groups = grouper.n_groups();
+        }
+        for (ai, acc) in accs.iter_mut().enumerate() {
+            acc.grow(n_groups);
+            acc.update(&ids, agg_cols_per_batch[bi][ai].as_ref());
         }
     }
+    // Zero input batches (or zero groups) still need sized accumulators:
+    // a global aggregate produces exactly one row, per SQL.
+    for acc in accs.iter_mut() {
+        acc.grow(n_groups);
+    }
 
-    // Materialize output columns.
-    let ngroups = states.len();
+    // Materialize output columns: group exemplars first, then finished
+    // aggregates, all through `values_to_column`.
     let mut out_cols: Vec<Column> = Vec::with_capacity(output.len());
     for (ci, _) in group_by.iter().enumerate() {
         // cackle-lint: allow(L14) — one-time gather of each group's exemplar
-        let values: Vec<Value> = group_rows
+        let values: Vec<Value> = grouper
+            .exemplars
             .iter()
-            .map(|&(bi, row)| key_cols_per_batch[bi][ci].value(row))
+            .map(|&(bi, row)| key_cols_per_batch[bi as usize][ci].value(row as usize))
             .collect();
         out_cols.push(values_to_column(&values, output.field(ci).dtype));
     }
-    let mut per_agg: Vec<Vec<Value>> = vec![Vec::with_capacity(ngroups); aggs.len()];
-    for group_states in states {
-        for (ai, st) in group_states.into_iter().enumerate() {
-            per_agg[ai].push(st.finish());
-        }
-    }
-    for (ai, values) in per_agg.into_iter().enumerate() {
-        let dtype = output.field(group_by.len() + ai).dtype;
-        out_cols.push(values_to_column(&values, dtype));
+    for (ai, acc) in accs.into_iter().enumerate() {
+        out_cols.push(acc.finish(output.field(group_by.len() + ai).dtype));
     }
     Batch::new(output, out_cols)
-}
-
-fn make_states(aggs: &[AggExpr], batches: &[Batch], output: &SchemaRef) -> Vec<AggState> {
-    let ngroup = output.len() - aggs.len();
-    aggs.iter()
-        .enumerate()
-        .map(|(ai, a)| {
-            // Infer the input type from the output schema (exact for Sum /
-            // Min / Max; the others don't depend on it).
-            let out_t = output.field(ngroup + ai).dtype;
-            let _ = batches;
-            AggState::new(a.func, out_t)
-        })
-        .collect()
 }
 
 /// Build a column of `dtype` from owned values (nulls allowed).

@@ -11,9 +11,8 @@
 use crate::batch::Batch;
 use crate::column::Column;
 use crate::expr::Expr;
-use crate::rowkey::encode_row;
+use crate::kernels::join::{probe_pairs, semi_anti_mask, KeyIndex};
 use crate::schema::SchemaRef;
-use std::collections::HashMap;
 
 /// Supported join types.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,8 +31,9 @@ pub enum JoinType {
 /// A materialized hash table over the build side, reusable across many
 /// probe batches (and across tasks for broadcast joins).
 pub struct JoinHashTable {
-    /// key bytes -> rows (flattened into the concatenated build batch).
-    index: HashMap<Vec<u8>, Vec<u32>>,
+    /// Typed key index into the concatenated build batch (a direct `i64`
+    /// map for single-integer keys, canonical key bytes otherwise).
+    index: KeyIndex,
     /// The concatenated build side.
     build: Batch,
 }
@@ -46,18 +46,7 @@ impl JoinHashTable {
         let build = Batch::concat(build_schema, build);
         let key_cols: Vec<Column> = build_keys.iter().map(|e| e.eval(&build)).collect();
         let key_refs: Vec<&Column> = key_cols.iter().collect();
-        let mut index: HashMap<Vec<u8>, Vec<u32>> = HashMap::new();
-        'rows: for row in 0..build.num_rows() {
-            for k in &key_refs {
-                if !k.is_valid(row) {
-                    continue 'rows;
-                }
-            }
-            index
-                .entry(encode_row(&key_refs, row))
-                .or_default()
-                .push(row as u32);
-        }
+        let index = KeyIndex::build(&key_refs, build.num_rows());
         JoinHashTable { index, build }
     }
 
@@ -78,17 +67,22 @@ impl JoinHashTable {
         let key_cols: Vec<Column> = probe_keys.iter().map(|e| e.eval(probe)).collect();
         let key_refs: Vec<&Column> = key_cols.iter().collect();
         let n = probe.num_rows();
+        // One key-encoding scratch per probe batch, reused across rows
+        // inside the kernels.
+        let mut scratch: Vec<u8> = Vec::new();
 
         match join_type {
             JoinType::Semi | JoinType::Anti => {
                 let want_match = join_type == JoinType::Semi;
-                let mask: Vec<bool> = (0..n)
-                    .map(|row| {
-                        let valid = key_refs.iter().all(|k| k.is_valid(row));
-                        let matched = valid && self.index.contains_key(&encode_row(&key_refs, row));
-                        matched == want_match
-                    })
-                    .collect();
+                let mut mask: Vec<bool> = Vec::with_capacity(n);
+                semi_anti_mask(
+                    &self.index,
+                    &key_refs,
+                    n,
+                    want_match,
+                    &mut mask,
+                    &mut scratch,
+                );
                 let filtered = probe.filter(&mask);
                 Batch::new(output, filtered.columns)
             }
@@ -104,27 +98,15 @@ impl JoinHashTable {
                     JoinType::Left => Vec::with_capacity(n),
                     _ => Vec::new(),
                 };
-                for row in 0..n {
-                    let valid = key_refs.iter().all(|k| k.is_valid(row));
-                    let hits = if valid {
-                        self.index.get(&encode_row(&key_refs, row))
-                    } else {
-                        None
-                    };
-                    match hits {
-                        Some(rows) => {
-                            for &b in rows {
-                                probe_idx.push(row);
-                                build_idx.push(b as usize);
-                            }
-                        }
-                        None => {
-                            if join_type == JoinType::Left {
-                                unmatched.push(row);
-                            }
-                        }
-                    }
-                }
+                probe_pairs(
+                    &self.index,
+                    &key_refs,
+                    n,
+                    &mut probe_idx,
+                    &mut build_idx,
+                    (join_type == JoinType::Left).then_some(&mut unmatched),
+                    &mut scratch,
+                );
                 let matched_probe = probe.take(&probe_idx);
                 let matched_build = self.build.take(&build_idx);
                 let mut columns: Vec<Column> = matched_probe

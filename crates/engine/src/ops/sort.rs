@@ -1,10 +1,14 @@
 //! Sorting and top-k.
+//!
+//! Comparison runs through the typed [`crate::kernels::sort`] kernel —
+//! borrowed slices, no [`crate::types::Value`] materialized per
+//! comparison. The row-at-a-time original survives as
+//! [`crate::reference::row_sort`].
 
 use crate::batch::Batch;
 use crate::expr::Expr;
+use crate::kernels::sort::{sort_permutation, SortKeyCol};
 use crate::schema::SchemaRef;
-use crate::types::Value;
-use std::cmp::Ordering;
 
 /// One sort key: an expression and a direction.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,42 +36,20 @@ impl SortKey {
     }
 }
 
-fn cmp_values(a: &Value, b: &Value, descending: bool) -> Ordering {
-    // SQL default: NULLS LAST in ascending order (and first in descending,
-    // mirroring Postgres).
-    let ord = match (a.is_null(), b.is_null()) {
-        (true, true) => Ordering::Equal,
-        (true, false) => Ordering::Greater,
-        (false, true) => Ordering::Less,
-        (false, false) => a.sql_cmp(b).expect("comparable sort keys"),
-    };
-    if descending {
-        ord.reverse()
-    } else {
-        ord
-    }
-}
-
 /// Sort the concatenation of `batches` by `keys`, optionally keeping only
-/// the first `limit` rows. The sort is stable, so ties preserve input order
-/// (deterministic output for deterministic input).
+/// the first `limit` rows. Ties preserve input order (deterministic
+/// output for deterministic input — the kernel's index tiebreak is
+/// equivalent to a stable sort).
 pub fn sort(schema: SchemaRef, batches: &[Batch], keys: &[SortKey], limit: Option<usize>) -> Batch {
     let all = Batch::concat(schema, batches);
     let n = all.num_rows();
     let key_cols: Vec<_> = keys.iter().map(|k| k.expr.eval(&all)).collect();
-    let mut indices: Vec<usize> = (0..n).collect();
-    indices.sort_by(|&a, &b| {
-        for (k, col) in keys.iter().zip(&key_cols) {
-            let ord = cmp_values(&col.value(a), &col.value(b), k.descending);
-            if ord != Ordering::Equal {
-                return ord;
-            }
-        }
-        a.cmp(&b) // stability
-    });
-    if let Some(l) = limit {
-        indices.truncate(l);
-    }
+    let sort_keys: Vec<SortKeyCol<'_>> = keys
+        .iter()
+        .zip(&key_cols)
+        .map(|(k, c)| SortKeyCol::new(c, k.descending))
+        .collect();
+    let indices = sort_permutation(&sort_keys, n, limit);
     all.take(&indices)
 }
 

@@ -42,6 +42,15 @@ pub fn encode_row(cols: &[&Column], i: usize) -> Vec<u8> {
     buf
 }
 
+/// Encode a full multi-column row key into `buf` (cleared first) — the
+/// reusable-buffer twin of [`encode_row`] for per-row loops.
+pub fn encode_row_into(buf: &mut Vec<u8>, cols: &[&Column], i: usize) {
+    buf.clear();
+    for c in cols {
+        encode_value(buf, c, i);
+    }
+}
+
 /// FNV-1a over a byte slice.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;

@@ -7,8 +7,10 @@
 
 use crate::batch::Batch;
 use crate::codec::{decode_batch, encode_batch};
-use crate::column::Column;
-use crate::expr::predicate_mask;
+use crate::column::{Column, ColumnSlice};
+use crate::expr::predicate_mask_into;
+use crate::kernels::pool::ScratchArena;
+use crate::kernels::select::{filter_batch, filter_project};
 use crate::ops::aggregate::hash_aggregate;
 use crate::ops::join::hash_join;
 use crate::ops::sort::sort;
@@ -19,6 +21,7 @@ use crate::shuffle::{ShuffleKey, ShuffleTransport};
 use crate::table::Catalog;
 use cackle_faults::{op_key, FaultInjector};
 use cackle_telemetry::Telemetry;
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// Row-count-flavoured histogram bounds for per-task input sizes.
@@ -46,6 +49,11 @@ pub struct TaskContext<'a> {
     /// shuffle reads are retried deterministically inside the injector's
     /// bounded recovery loop; the retries cost counters, never data.
     pub faults: FaultInjector,
+    /// Reusable scratch buffers for this task's kernels. A `RefCell`
+    /// rather than `&mut` because the context is otherwise shared
+    /// immutably; tasks never share a context across threads (the
+    /// executor builds one per task), so borrows cannot contend.
+    pub scratch: RefCell<ScratchArena>,
 }
 
 impl<'a> TaskContext<'a> {
@@ -68,6 +76,7 @@ impl<'a> TaskContext<'a> {
             shuffle,
             telemetry: Telemetry::disabled(),
             faults: FaultInjector::disabled(),
+            scratch: RefCell::new(ScratchArena::new()),
         }
     }
 }
@@ -102,272 +111,346 @@ pub struct BufferedTask {
     pub writes: Vec<(ShuffleKey, Vec<u8>)>,
 }
 
+/// One task run bound to its context: the single entry point behind
+/// [`execute_task`] and [`execute_task_buffered`]. Construct with
+/// [`TaskExecution::new`], then either [`run`](TaskExecution::run)
+/// (compute + publish) or [`run_buffered`](TaskExecution::run_buffered)
+/// (compute only, exchange writes buffered for the caller).
+pub struct TaskExecution<'a, 'c> {
+    ctx: &'c TaskContext<'a>,
+}
+
 /// Execute one task to completion, publishing its exchange output
-/// through `ctx.shuffle` immediately (the serial driver's path).
+/// through `ctx.shuffle` immediately (the serial driver's path). Thin
+/// wrapper over [`TaskExecution::run`].
 pub fn execute_task(ctx: &TaskContext<'_>) -> TaskResult {
-    let buffered = execute_task_buffered(ctx);
-    for (key, data) in buffered.writes {
-        ctx.shuffle.write(key, ctx.task, data);
-    }
-    buffered.result
+    TaskExecution::new(ctx).run()
 }
 
 /// Execute one task's compute phase, buffering exchange writes instead
-/// of publishing them (see [`BufferedTask`]).
+/// of publishing them (see [`BufferedTask`]). Thin wrapper over
+/// [`TaskExecution::run_buffered`].
 pub fn execute_task_buffered(ctx: &TaskContext<'_>) -> BufferedTask {
-    let stage = &ctx.dag.stages[ctx.stage_id];
-    let mut result = TaskResult::default();
-    // Exact upper bound on exchange chunks: one per hash partition, one
-    // for a broadcast, none for a gather.
-    let mut writes: Vec<(ShuffleKey, Vec<u8>)> = Vec::with_capacity(match &stage.exchange {
-        ExchangeMode::Gather => 0,
-        ExchangeMode::Broadcast => 1,
-        ExchangeMode::Hash { partitions, .. } => *partitions as usize,
-    });
-    let batches = exec_node(ctx, &stage.root, &mut result);
-    let out_rows: u64 = batches.iter().map(|b| b.num_rows() as u64).sum();
-    result.rows_out = out_rows;
+    TaskExecution::new(ctx).run_buffered()
+}
 
-    match &stage.exchange {
-        ExchangeMode::Gather => {
-            result.output = Some(batches);
+impl<'a, 'c> TaskExecution<'a, 'c> {
+    /// Bind a run to its context.
+    pub fn new(ctx: &'c TaskContext<'a>) -> Self {
+        TaskExecution { ctx }
+    }
+
+    /// Compute the task and publish its exchange output immediately.
+    pub fn run(&self) -> TaskResult {
+        let buffered = self.run_buffered();
+        for (key, data) in buffered.writes {
+            self.ctx.shuffle.write(key, self.ctx.task, data);
         }
-        ExchangeMode::Broadcast => {
-            let combined = Batch::concat(stage.output_schema.clone(), &batches);
-            let data = encode_batch(&combined);
-            result.shuffle_bytes_written += data.len() as u64;
-            result.shuffle_writes += 1;
-            writes.push((
-                ShuffleKey {
-                    query: ctx.query_id,
-                    stage: ctx.stage_id as u32,
-                    partition: 0,
-                },
-                data,
-            ));
-        }
-        ExchangeMode::Hash { keys, partitions } => {
-            let combined = Batch::concat(stage.output_schema.clone(), &batches);
-            let key_cols: Vec<Column> = keys.iter().map(|e| e.eval(&combined)).collect();
-            let key_refs: Vec<&Column> = key_cols.iter().collect();
-            // Two passes: count rows per partition, then fill exactly-sized
-            // row lists — no reallocation however skewed the hash is.
-            let mut assigned: Vec<usize> = Vec::with_capacity(combined.num_rows());
-            let mut counts: Vec<usize> = vec![0; *partitions as usize];
-            for row in 0..combined.num_rows() {
-                let p = partition_of(&key_refs, row, *partitions) as usize;
-                assigned.push(p);
-                counts[p] += 1;
+        buffered.result
+    }
+
+    /// Compute the task, buffering exchange writes for the caller.
+    pub fn run_buffered(&self) -> BufferedTask {
+        let ctx = self.ctx;
+        let stage = &ctx.dag.stages[ctx.stage_id];
+        let scratch_before = ctx.scratch.borrow().stats();
+        let mut result = TaskResult::default();
+        // Exact upper bound on exchange chunks: one per hash partition,
+        // one for a broadcast, none for a gather.
+        let mut writes: Vec<(ShuffleKey, Vec<u8>)> = Vec::with_capacity(match &stage.exchange {
+            ExchangeMode::Gather => 0,
+            ExchangeMode::Broadcast => 1,
+            ExchangeMode::Hash { partitions, .. } => *partitions as usize,
+        });
+        let batches = self.exec_node(&stage.root, &mut result);
+        let out_rows: u64 = batches.iter().map(|b| b.num_rows() as u64).sum();
+        result.rows_out = out_rows;
+
+        match &stage.exchange {
+            ExchangeMode::Gather => {
+                result.output = Some(batches);
             }
-            let mut per_partition: Vec<Vec<usize>> =
-                counts.iter().map(|&c| Vec::with_capacity(c)).collect();
-            for (row, &p) in assigned.iter().enumerate() {
-                per_partition[p].push(row);
-            }
-            for (p, rows) in per_partition.into_iter().enumerate() {
-                if rows.is_empty() {
-                    continue; // no chunk object for empty partitions
-                }
-                let chunk = combined.take(&rows);
-                let data = encode_batch(&chunk);
+            ExchangeMode::Broadcast => {
+                let combined = Batch::concat(stage.output_schema.clone(), &batches);
+                let data = encode_batch(&combined);
                 result.shuffle_bytes_written += data.len() as u64;
                 result.shuffle_writes += 1;
                 writes.push((
                     ShuffleKey {
                         query: ctx.query_id,
                         stage: ctx.stage_id as u32,
-                        partition: p as u32,
+                        partition: 0,
                     },
                     data,
                 ));
             }
-        }
-    }
-    if ctx.telemetry.is_enabled() {
-        ctx.telemetry.counter_add("engine.tasks_total", 1);
-        ctx.telemetry
-            .counter_add("engine.task_rows_out_total", result.rows_out);
-        ctx.telemetry.counter_add(
-            "engine.shuffle_bytes_written_total",
-            result.shuffle_bytes_written,
-        );
-        ctx.telemetry
-            .counter_add("engine.shuffle_writes_total", result.shuffle_writes);
-        ctx.telemetry.observe_with_buckets(
-            "engine.task_rows_in",
-            result.rows_in as f64,
-            &ROW_BUCKETS,
-        );
-    }
-    BufferedTask { result, writes }
-}
-
-fn read_stage(
-    ctx: &TaskContext<'_>,
-    upstream: StageId,
-    partition: u32,
-    result: &mut TaskResult,
-) -> Vec<Batch> {
-    let schema = ctx.dag.stages[upstream].output_schema.clone();
-    // Injected transport drops: each dropped fetch is retried within the
-    // recovery bound (transients clear by construction), so the read
-    // below always observes complete data; the retries are counted. The
-    // draw is keyed by the read's stable identity — tasks execute
-    // concurrently, so a shared sequential stream would make the outcome
-    // depend on thread scheduling.
-    ctx.faults.transport_read_retries_keyed(op_key(
-        format!(
-            "read/q{}/s{}/p{}/c{}/t{}",
-            ctx.query_id, upstream, partition, ctx.stage_id, ctx.task
-        )
-        .as_bytes(),
-    ));
-    let chunks = ctx.shuffle.read(ShuffleKey {
-        query: ctx.query_id,
-        stage: upstream as u32,
-        partition,
-    });
-    let batches: Vec<Batch> = chunks
-        .iter()
-        .map(|c| decode_batch(c, schema.clone()))
-        .collect();
-    result.rows_in += batches.iter().map(|b| b.num_rows() as u64).sum::<u64>();
-    batches
-}
-
-fn node_schema(ctx: &TaskContext<'_>, node: &PlanNode) -> SchemaRef {
-    match node {
-        PlanNode::Scan {
-            table, projection, ..
-        } => {
-            let t = ctx.catalog.get(table);
-            match projection {
-                Some(idx) => Arc::new(t.schema.project(idx)),
-                None => t.schema.clone(),
+            ExchangeMode::Hash { keys, partitions } => {
+                let combined = Batch::concat(stage.output_schema.clone(), &batches);
+                let key_cols: Vec<Column> = keys.iter().map(|e| e.eval(&combined)).collect();
+                let key_refs: Vec<&Column> = key_cols.iter().collect();
+                let nparts = *partitions as usize;
+                let nrows = combined.num_rows();
+                // Counting sort on pooled buffers: assign a partition per
+                // row, prefix-sum the counts into per-partition extents,
+                // then place rows — stable, so rows stay in input order
+                // within each partition (byte-identical chunks to the old
+                // per-partition row lists) and nothing reallocates however
+                // skewed the hash is.
+                let mut arena = ctx.scratch.borrow_mut();
+                let mut assigned = arena.checkout_idx(nrows);
+                let mut counts: Vec<usize> = vec![0; nparts];
+                for row in 0..nrows {
+                    let p = partition_of(&key_refs, row, *partitions) as usize;
+                    assigned.push(p);
+                    counts[p] += 1;
+                }
+                let mut offsets: Vec<usize> = Vec::with_capacity(nparts + 1);
+                let mut total = 0;
+                offsets.push(0);
+                for &c in &counts {
+                    total += c;
+                    offsets.push(total);
+                }
+                let mut cursor = arena.checkout_idx(nparts);
+                cursor.extend_from_slice(&offsets[..nparts]);
+                let mut ordered = arena.checkout_idx(nrows);
+                ordered.resize(nrows, 0);
+                for (row, &p) in assigned.iter().enumerate() {
+                    ordered[cursor[p]] = row;
+                    cursor[p] += 1;
+                }
+                for p in 0..nparts {
+                    let rows = &ordered[offsets[p]..offsets[p + 1]];
+                    if rows.is_empty() {
+                        continue; // no chunk object for empty partitions
+                    }
+                    let chunk = combined.take(rows);
+                    let data = encode_batch(&chunk);
+                    result.shuffle_bytes_written += data.len() as u64;
+                    result.shuffle_writes += 1;
+                    writes.push((
+                        ShuffleKey {
+                            query: ctx.query_id,
+                            stage: ctx.stage_id as u32,
+                            partition: p as u32,
+                        },
+                        data,
+                    ));
+                }
+                arena.recycle_idx(assigned);
+                arena.recycle_idx(cursor);
+                arena.recycle_idx(ordered);
             }
         }
-        PlanNode::ShuffleRead { stage } | PlanNode::BroadcastRead { stage } => {
-            ctx.dag.stages[*stage].output_schema.clone()
+        if ctx.telemetry.is_enabled() {
+            ctx.telemetry.counter_add("engine.tasks_total", 1);
+            ctx.telemetry
+                .counter_add("engine.task_rows_out_total", result.rows_out);
+            ctx.telemetry.counter_add(
+                "engine.shuffle_bytes_written_total",
+                result.shuffle_bytes_written,
+            );
+            ctx.telemetry
+                .counter_add("engine.shuffle_writes_total", result.shuffle_writes);
+            ctx.telemetry.observe_with_buckets(
+                "engine.task_rows_in",
+                result.rows_in as f64,
+                &ROW_BUCKETS,
+            );
+            // Per-run deltas: the arena's counters are cumulative across
+            // a context's lifetime, but a context may run many probes in
+            // tests; report only what this run consumed.
+            let s = ctx.scratch.borrow().stats();
+            ctx.telemetry.counter_add(
+                "engine.scratch_checkouts_total",
+                s.checkouts - scratch_before.checkouts,
+            );
+            ctx.telemetry.counter_add(
+                "engine.scratch_reuses_total",
+                s.reuses - scratch_before.reuses,
+            );
         }
-        PlanNode::Filter { input, .. } | PlanNode::Sort { input, .. } => node_schema(ctx, input),
-        PlanNode::Project { schema, .. }
-        | PlanNode::HashAggregate { schema, .. }
-        | PlanNode::HashJoin { schema, .. } => schema.clone(),
-        PlanNode::Union { inputs } => node_schema(ctx, &inputs[0]),
+        BufferedTask { result, writes }
     }
-}
 
-fn exec_node(ctx: &TaskContext<'_>, node: &PlanNode, result: &mut TaskResult) -> Vec<Batch> {
-    match node {
-        PlanNode::Scan {
-            table,
-            filter,
-            projection,
-        } => {
-            let t = ctx.catalog.get(table);
-            let stage = &ctx.dag.stages[ctx.stage_id];
-            let parts = t.partitions_for_task(ctx.task, stage.tasks);
-            let out_schema = node_schema(ctx, node);
-            let mut out = Vec::with_capacity(parts.len());
-            for p in parts {
-                result.rows_in += p.num_rows() as u64;
-                let filtered = match filter {
-                    Some(pred) => {
-                        let mask = predicate_mask(pred, p);
-                        p.filter(&mask)
-                    }
-                    // The catalog's partitions are borrowed; an unfiltered
-                    // scan materializes each input part exactly once.
-                    // cackle-lint: allow(L14) — one-time copy of a borrowed part
-                    None => p.clone(),
-                };
-                let projected = match projection {
-                    Some(idx) => Batch::new(
-                        out_schema.clone(),
-                        // Projection indices may repeat a column, so the
-                        // selected columns cannot be moved out of `filtered`.
-                        // cackle-lint: allow(L14) — per selected column, not per row
-                        idx.iter().map(|&i| filtered.columns[i].clone()).collect(),
-                    ),
-                    None => filtered,
-                };
-                if projected.num_rows() > 0 {
-                    out.push(projected);
+    fn read_stage(&self, upstream: StageId, partition: u32, result: &mut TaskResult) -> Vec<Batch> {
+        let ctx = self.ctx;
+        let schema = ctx.dag.stages[upstream].output_schema.clone();
+        // Injected transport drops: each dropped fetch is retried within the
+        // recovery bound (transients clear by construction), so the read
+        // below always observes complete data; the retries are counted. The
+        // draw is keyed by the read's stable identity — tasks execute
+        // concurrently, so a shared sequential stream would make the outcome
+        // depend on thread scheduling.
+        ctx.faults.transport_read_retries_keyed(op_key(
+            format!(
+                "read/q{}/s{}/p{}/c{}/t{}",
+                ctx.query_id, upstream, partition, ctx.stage_id, ctx.task
+            )
+            .as_bytes(),
+        ));
+        let chunks = ctx.shuffle.read(ShuffleKey {
+            query: ctx.query_id,
+            stage: upstream as u32,
+            partition,
+        });
+        let batches: Vec<Batch> = chunks
+            .iter()
+            .map(|c| decode_batch(c, schema.clone()))
+            .collect();
+        result.rows_in += batches.iter().map(|b| b.num_rows() as u64).sum::<u64>();
+        batches
+    }
+
+    fn node_schema(&self, node: &PlanNode) -> SchemaRef {
+        let ctx = self.ctx;
+        match node {
+            PlanNode::Scan {
+                table, projection, ..
+            } => {
+                let t = ctx.catalog.get(table);
+                match projection {
+                    Some(idx) => Arc::new(t.schema.project(idx)),
+                    None => t.schema.clone(),
                 }
             }
-            out
+            PlanNode::ShuffleRead { stage } | PlanNode::BroadcastRead { stage } => {
+                ctx.dag.stages[*stage].output_schema.clone()
+            }
+            PlanNode::Filter { input, .. } | PlanNode::Sort { input, .. } => {
+                self.node_schema(input)
+            }
+            PlanNode::Project { schema, .. }
+            | PlanNode::HashAggregate { schema, .. }
+            | PlanNode::HashJoin { schema, .. } => schema.clone(),
+            PlanNode::Union { inputs } => self.node_schema(&inputs[0]),
         }
-        PlanNode::ShuffleRead { stage } => read_stage(ctx, *stage, ctx.task, result),
-        PlanNode::BroadcastRead { stage } => read_stage(ctx, *stage, 0, result),
-        PlanNode::Filter { input, predicate } => {
-            let batches = exec_node(ctx, input, result);
-            batches
-                .into_iter()
-                .map(|b| {
-                    let mask = predicate_mask(predicate, &b);
-                    b.filter(&mask)
-                })
-                .filter(|b| b.num_rows() > 0)
-                .collect()
-        }
-        PlanNode::Project {
-            input,
-            exprs,
-            schema,
-        } => {
-            let batches = exec_node(ctx, input, result);
-            batches
-                .into_iter()
-                .map(|b| {
-                    let cols = exprs.iter().map(|e| e.eval(&b)).collect();
-                    Batch::new(schema.clone(), cols)
-                })
-                .collect()
-        }
-        PlanNode::HashAggregate {
-            input,
-            group_by,
-            aggs,
-            schema,
-        } => {
-            let batches = exec_node(ctx, input, result);
-            vec![hash_aggregate(&batches, group_by, aggs, schema.clone())]
-        }
-        PlanNode::HashJoin {
-            build,
-            probe,
-            build_keys,
-            probe_keys,
-            join_type,
-            schema,
-        } => {
-            let build_schema = node_schema(ctx, build);
-            let build_batches = exec_node(ctx, build, result);
-            let probe_batches = exec_node(ctx, probe, result);
-            hash_join(
-                build_schema,
-                &build_batches,
-                &probe_batches,
+    }
+
+    fn exec_node(&self, node: &PlanNode, result: &mut TaskResult) -> Vec<Batch> {
+        let ctx = self.ctx;
+        match node {
+            PlanNode::Scan {
+                table,
+                filter,
+                projection,
+            } => {
+                let t = ctx.catalog.get(table);
+                let stage = &ctx.dag.stages[ctx.stage_id];
+                let parts = t.partitions_for_task(ctx.task, stage.tasks);
+                let out_schema = self.node_schema(node);
+                let mut arena = ctx.scratch.borrow_mut();
+                let mut out = Vec::with_capacity(parts.len());
+                for p in parts {
+                    result.rows_in += p.num_rows() as u64;
+                    let projected = match (filter, projection) {
+                        // Fused filter+project: one pooled mask and one
+                        // shared selection; unprojected columns are never
+                        // gathered.
+                        (Some(pred), Some(idx)) => {
+                            let mut mask = arena.checkout_mask(p.num_rows());
+                            predicate_mask_into(pred, p, &mut mask);
+                            let b = filter_project(p, &mask, idx, out_schema.clone(), &mut arena);
+                            arena.recycle_mask(mask);
+                            b
+                        }
+                        (Some(pred), None) => {
+                            let mut mask = arena.checkout_mask(p.num_rows());
+                            predicate_mask_into(pred, p, &mut mask);
+                            let b = filter_batch(p, &mask, &mut arena);
+                            arena.recycle_mask(mask);
+                            b
+                        }
+                        // Projection indices may repeat a column; the
+                        // borrowed view clones each selected column once.
+                        (None, Some(idx)) => p.project_view(out_schema.clone(), idx).to_batch(),
+                        // The catalog's partitions are borrowed; an
+                        // unfiltered scan materializes each part once.
+                        // cackle-lint: allow(L14) — one-time copy of a borrowed part
+                        (None, None) => p.clone(),
+                    };
+                    if projected.num_rows() > 0 {
+                        out.push(projected);
+                    }
+                }
+                out
+            }
+            PlanNode::ShuffleRead { stage } => self.read_stage(*stage, ctx.task, result),
+            PlanNode::BroadcastRead { stage } => self.read_stage(*stage, 0, result),
+            PlanNode::Filter { input, predicate } => {
+                let batches = self.exec_node(input, result);
+                let mut arena = ctx.scratch.borrow_mut();
+                let mut out = Vec::with_capacity(batches.len());
+                let mut mask = arena.checkout_mask(0);
+                for b in &batches {
+                    predicate_mask_into(predicate, b, &mut mask);
+                    let f = filter_batch(b, &mask, &mut arena);
+                    if f.num_rows() > 0 {
+                        out.push(f);
+                    }
+                }
+                arena.recycle_mask(mask);
+                out
+            }
+            PlanNode::Project {
+                input,
+                exprs,
+                schema,
+            } => {
+                let batches = self.exec_node(input, result);
+                batches
+                    .into_iter()
+                    .map(|b| {
+                        let cols = exprs.iter().map(|e| e.eval(&b)).collect();
+                        Batch::new(schema.clone(), cols)
+                    })
+                    .collect()
+            }
+            PlanNode::HashAggregate {
+                input,
+                group_by,
+                aggs,
+                schema,
+            } => {
+                let batches = self.exec_node(input, result);
+                vec![hash_aggregate(&batches, group_by, aggs, schema.clone())]
+            }
+            PlanNode::HashJoin {
+                build,
+                probe,
                 build_keys,
                 probe_keys,
-                *join_type,
-                schema.clone(),
-            )
-            .into_iter()
-            .filter(|b| b.num_rows() > 0)
-            .collect()
-        }
-        PlanNode::Sort { input, keys, limit } => {
-            let schema = node_schema(ctx, input);
-            let batches = exec_node(ctx, input, result);
-            vec![sort(schema, &batches, keys, *limit)]
-        }
-        PlanNode::Union { inputs } => {
-            let mut out = Vec::new();
-            for i in inputs {
-                out.extend(exec_node(ctx, i, result));
+                join_type,
+                schema,
+            } => {
+                let build_schema = self.node_schema(build);
+                let build_batches = self.exec_node(build, result);
+                let probe_batches = self.exec_node(probe, result);
+                hash_join(
+                    build_schema,
+                    &build_batches,
+                    &probe_batches,
+                    build_keys,
+                    probe_keys,
+                    *join_type,
+                    schema.clone(),
+                )
+                .into_iter()
+                .filter(|b| b.num_rows() > 0)
+                .collect()
             }
-            out
+            PlanNode::Sort { input, keys, limit } => {
+                let schema = self.node_schema(input);
+                let batches = self.exec_node(input, result);
+                vec![sort(schema, &batches, keys, *limit)]
+            }
+            PlanNode::Union { inputs } => {
+                let mut out = Vec::new();
+                for i in inputs {
+                    out.extend(self.exec_node(i, result));
+                }
+                out
+            }
         }
     }
 }
@@ -398,15 +481,25 @@ pub fn execute_query(
 }
 
 /// Pretty-print a result batch as an aligned table (examples + debugging).
+/// Cells render through borrowed [`ColumnSlice`] views — no `Value` (and
+/// in particular no string clone) is materialized per cell.
 pub fn format_batch(batch: &Batch, max_rows: usize) -> String {
     let mut widths: Vec<usize> = batch.schema.fields.iter().map(|f| f.name.len()).collect();
     let nrows = batch.num_rows().min(max_rows);
+    let views: Vec<ColumnSlice<'_>> = batch
+        .columns
+        .iter()
+        .map(|c| c.borrowed_slice(0, nrows))
+        .collect();
     let mut rows: Vec<Vec<String>> = Vec::with_capacity(nrows);
     for i in 0..nrows {
-        let row: Vec<String> = batch
-            .columns
+        let row: Vec<String> = views
             .iter()
-            .map(|c| c.value(i).to_string())
+            .map(|v| {
+                let mut cell = String::new();
+                v.write_value(&mut cell, i);
+                cell
+            })
             .collect();
         for (w, cell) in widths.iter_mut().zip(&row) {
             *w = (*w).max(cell.len());

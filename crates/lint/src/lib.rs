@@ -31,6 +31,7 @@
 //! | L13 | every PRNG seed derives from the RunSpec seed / a salt | everywhere except `crates/prng`, `crates/bench` |
 //! | L14 | no per-iteration allocation on engine hot paths | `crates/engine` |
 //! | L15 | no narrowing `as` casts on unit-carrying values | everywhere except `crates/bench` |
+//! | L16 | pooled scratch checkouts balance with recycles per fn | `crates/engine` except `kernels/pool.rs` |
 //!
 //! L12–L15 sit on the intra-procedural dataflow layer ([`dataflow`]):
 //! a per-function assignment graph over the parser's statement/scope
@@ -129,13 +130,15 @@ pub enum LintId {
     L14,
     /// Narrowing `as` casts on unit-carrying values.
     L15,
+    /// Pooled scratch buffers checked out but never recycled.
+    L16,
     /// Malformed suppression comment (cannot itself be suppressed).
     Sup,
 }
 
 impl LintId {
     /// All rules, in report order.
-    pub const ALL: [LintId; 16] = [
+    pub const ALL: [LintId; 17] = [
         LintId::L1,
         LintId::L2,
         LintId::L3,
@@ -151,6 +154,7 @@ impl LintId {
         LintId::L13,
         LintId::L14,
         LintId::L15,
+        LintId::L16,
         LintId::Sup,
     ];
 
@@ -173,6 +177,7 @@ impl LintId {
             "L13" => Some(LintId::L13),
             "L14" => Some(LintId::L14),
             "L15" => Some(LintId::L15),
+            "L16" => Some(LintId::L16),
             _ => None,
         }
     }
@@ -204,6 +209,7 @@ impl fmt::Display for LintId {
             LintId::L13 => "L13",
             LintId::L14 => "L14",
             LintId::L15 => "L15",
+            LintId::L16 => "L16",
             LintId::Sup => "SUP",
         };
         f.write_str(s)
@@ -287,6 +293,11 @@ fn applies(id: LintId, path: &str) -> bool {
         // Hot paths are an engine concept; elsewhere a loop allocation
         // is a style question, not a throughput bug.
         LintId::L14 => path.starts_with("crates/engine/"),
+        // The pool lives in kernels/pool.rs: its own internals move
+        // buffers in and out by definition, everywhere else pairs them.
+        LintId::L16 => {
+            path.starts_with("crates/engine/") && path != "crates/engine/src/kernels/pool.rs"
+        }
         LintId::Sup => true,
     }
 }

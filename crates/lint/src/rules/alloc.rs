@@ -18,7 +18,8 @@
 //!
 //! Hot-path = BFS-reachable from `execute_task_buffered` or from any
 //! operator `next` fn, plus everything defined in the columnar kernel
-//! files `crates/engine/src/{batch,column}.rs` — the kernels every
+//! files `crates/engine/src/{batch,column}.rs` and the vectorized
+//! kernel tree `crates/engine/src/kernels/` — the kernels every
 //! operator bottoms out in, which reachability alone misses because
 //! ubiquitous method names (`take`, `len`) are call-graph stoplisted.
 //!
@@ -35,11 +36,15 @@ use std::collections::BTreeSet;
 /// Kernel files whose fns are hot by definition.
 const KERNEL_FILES: [&str; 2] = ["crates/engine/src/batch.rs", "crates/engine/src/column.rs"];
 
+/// Every fn under the vectorized kernel tree is hot by definition too.
+const KERNEL_DIR: &str = "crates/engine/src/kernels/";
+
 pub fn check(ws: &Workspace, fl: &Flows, out: &mut Vec<RawFinding>) {
     let mut domain: BTreeSet<usize> = ws.reachable_from("execute_task_buffered");
     domain.extend(ws.reachable_from("next"));
     for (id, f) in ws.index.fns.iter().enumerate() {
-        if KERNEL_FILES.contains(&ws.files[f.file].rel_path.as_str()) {
+        let rel = ws.files[f.file].rel_path.as_str();
+        if KERNEL_FILES.contains(&rel) || rel.starts_with(KERNEL_DIR) {
             domain.insert(id);
         }
     }
@@ -258,6 +263,18 @@ mod tests {
                      start += n;\n\
                  }\n\
              } }",
+        )]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("collect"));
+    }
+
+    #[test]
+    fn kernels_dir_is_hot_without_reachability() {
+        let f = findings(&[(
+            "crates/engine/src/kernels/select.rs",
+            "pub fn gather_all(masks: &[Mask]) {\n\
+                 for m in masks { let v: Vec<usize> = m.ones().collect(); v.len(); }\n\
+             }",
         )]);
         assert_eq!(f.len(), 1, "{f:?}");
         assert!(f[0].message.contains("collect"));

@@ -16,6 +16,7 @@ pub mod ledger;
 pub mod lexical;
 pub mod locks;
 pub mod measure;
+pub mod pool;
 pub mod seeds;
 pub mod telemetry;
 
@@ -50,6 +51,7 @@ pub fn run(ws: &Workspace, flows: &Flows) -> Vec<RawFinding> {
     seeds::check(ws, flows, &mut out);
     alloc::check(ws, flows, &mut out);
     casts::check(ws, flows, &mut out);
+    pool::check(ws, &mut out);
     out
 }
 
@@ -257,6 +259,22 @@ pub fn explain(id: LintId) -> &'static str {
              as are widening casts.\n\
              \n\
              Scope: everywhere except crates/bench."
+        }
+        LintId::L16 => {
+            "L16 · pooled buffers must be recycled\n\
+             \n\
+             The kernels draw scratch space from `ScratchArena` in\n\
+             checkout/recycle pairs (checkout_idx/recycle_idx,\n\
+             checkout_mask/recycle_mask, checkout_bytes/recycle_bytes). A\n\
+             checkout without a matching recycle in the same function drops\n\
+             the buffer instead of returning it: the pool degrades to a\n\
+             plain allocator and the engine.scratch_reuses_total counter\n\
+             goes flat. Checkout and recycle call sites must balance per\n\
+             buffer type within each function; a genuine ownership transfer\n\
+             carries an allow comment naming where the recycle happens.\n\
+             \n\
+             Scope: crates/engine, except kernels/pool.rs (the pool's own\n\
+             internals)."
         }
         LintId::Sup => {
             "SUP · malformed suppression\n\

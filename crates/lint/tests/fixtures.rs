@@ -64,8 +64,9 @@ fn violations_fixture_trips_every_live_rule() {
     assert_eq!(count(LintId::L13), 3);
     assert_eq!(count(LintId::L14), 6);
     assert_eq!(count(LintId::L15), 2);
+    assert_eq!(count(LintId::L16), 1);
     assert_eq!(count(LintId::Sup), 1);
-    assert_eq!(findings.len(), 39);
+    assert_eq!(findings.len(), 40);
     // Findings are sorted and carry 1-based lines.
     let mut sorted = findings.clone();
     sorted.sort();
@@ -234,7 +235,7 @@ fn binary_update_baseline_writes_sorted_stable_file() {
         .iter()
         .map(|l| l.rsplit(' ').next().unwrap().parse::<usize>().unwrap())
         .sum();
-    assert_eq!(total, 38, "all findings except the one SUP:\n{written}");
+    assert_eq!(total, 39, "all findings except the one SUP:\n{written}");
     // A second update run is byte-stable and, with the debt absorbed,
     // only the un-baselineable SUP remains.
     let again = run(&[

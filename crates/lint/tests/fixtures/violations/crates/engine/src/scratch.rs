@@ -1,0 +1,8 @@
+//! L16: a checked-out scratch buffer that never goes back to the pool.
+
+pub fn leak_scratch(arena: &mut ScratchArena, n: usize) -> Vec<bool> {
+    let sel = arena.checkout_idx(n);
+    let mask = arena.checkout_mask(n);
+    arena.recycle_idx(sel);
+    mask
+}

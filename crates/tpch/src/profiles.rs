@@ -27,7 +27,7 @@ use crate::plans::{self, Par};
 use cackle_engine::plan::{ExchangeMode, PlanNode, Stage, StageDag};
 use cackle_engine::shuffle::{MemoryShuffle, ShuffleTransport};
 use cackle_engine::table::Catalog;
-use cackle_engine::task::{execute_task, TaskContext};
+use cackle_engine::task::{TaskContext, TaskExecution};
 use cackle_workload::profile::{ProfileRef, QueryProfile, StageProfile};
 use std::sync::Arc;
 
@@ -191,7 +191,7 @@ pub fn measured_profile(
     for stage in &dag.stages {
         for task in 0..stage.tasks {
             let ctx = TaskContext::new(&dag, stage.id, task, 99, catalog, &shuffle);
-            let r = execute_task(&ctx);
+            let r = TaskExecution::new(&ctx).run();
             stage_rows[stage.id] += r.rows_in;
             stage_bytes[stage.id] += r.shuffle_bytes_written;
             stage_writes[stage.id] += r.shuffle_writes;
