@@ -57,6 +57,19 @@ cargo run -q --release --example quickstart
 cargo run -q --release -p cackle-telemetry --bin telemetry-check -- \
     results/quickstart_telemetry.jsonl
 
+echo "==> tenant-sweep smoke (exact attribution, stable p99, CSV archived)"
+# --smoke shrinks the sweep to 1/10/100 tenants; the bench itself
+# asserts exact micro-dollar attribution and p99-vs-single-tenant at
+# every row, so a serving-layer regression fails this step.
+cargo run -q --release -p cackle-bench --bin bench_tenant_sweep -- --smoke
+test -s results/tenant_sweep.csv \
+    || { echo "bench_tenant_sweep: missing results/tenant_sweep.csv" >&2; exit 1; }
+
+echo "==> multi-tenant serving smoke (per-tenant ledger + serve.* telemetry)"
+cargo run -q --release --example multi_tenant
+cargo run -q --release -p cackle-telemetry --bin telemetry-check -- \
+    results/multi_tenant_telemetry.jsonl
+
 echo "==> chaos smoke (seeded fault plan, bounded recovery)"
 cargo run -q --release --example fault_injection
 cargo run -q --release -p cackle-telemetry --bin telemetry-check -- \

@@ -7,6 +7,64 @@
 use cackle_telemetry::Telemetry;
 use std::fmt;
 
+/// Convert dollars to exact integer micro-dollars (round-to-nearest,
+/// ties away from zero — `f64::round` semantics). Integer micro-dollars
+/// are the currency of per-tenant cost attribution: integer sums are
+/// associative, so "tenant shares sum to the aggregate" can be asserted
+/// with `==` rather than a float tolerance.
+pub fn micro_dollars(dollars: f64) -> i64 {
+    if !dollars.is_finite() {
+        return 0;
+    }
+    (dollars * 1e6).round() as i64 // cackle-lint: allow(L15) — micro-dollar totals sit far below 2^63
+}
+
+/// Split a non-negative micro-dollar `total` across weighted recipients
+/// so the shares sum to *exactly* `total` (largest-remainder method).
+///
+/// Each recipient's ideal share is `total * weight / weight_sum`; floors
+/// are handed out first, then the remaining micro-dollars go one each to
+/// the largest fractional remainders (ties broken toward the lower
+/// index). All-zero weights fall back to an even split. This is the
+/// ledger-side hook `cackle-serve` uses for per-tenant attribution: the
+/// arithmetic lives here, next to the ledger, so call sites never touch
+/// raw money math.
+pub fn split_micro_dollars(total: i64, weights: &[u64]) -> Vec<i64> {
+    if weights.is_empty() {
+        return Vec::new();
+    }
+    let t = total.max(0) as u128;
+    let even = vec![1u64; weights.len()];
+    let weight_sum: u128 = weights.iter().map(|&w| w as u128).sum();
+    let (weights, weight_sum) = if weight_sum == 0 {
+        (&even[..], even.len() as u128)
+    } else {
+        (weights, weight_sum)
+    };
+    let mut shares = Vec::with_capacity(weights.len());
+    let mut remainders: Vec<(u128, usize)> = Vec::with_capacity(weights.len());
+    let mut assigned: u128 = 0;
+    for (i, &w) in weights.iter().enumerate() {
+        let exact = t * w as u128;
+        let floor = exact / weight_sum;
+        assigned += floor;
+        shares.push(floor as i64);
+        remainders.push((exact % weight_sum, i));
+    }
+    // Hand the leftover micro-dollars to the largest remainders;
+    // `(remainder DESC, index ASC)` keeps the distribution canonical.
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut leftover = t - assigned;
+    for &(_, i) in &remainders {
+        if leftover == 0 {
+            break;
+        }
+        shares[i] += 1;
+        leftover -= 1;
+    }
+    shares
+}
+
 /// Where a charge came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CostCategory {
@@ -211,6 +269,12 @@ impl CostLedger {
             + self.category(CostCategory::S3Get)
     }
 
+    /// Total dollars as exact integer micro-dollars (see
+    /// [`micro_dollars`]) — the aggregate side of per-tenant attribution.
+    pub fn total_micros(&self) -> i64 {
+        micro_dollars(self.total())
+    }
+
     /// Merge another ledger into this one.
     pub fn merge(&mut self, other: &CostLedger) {
         for (a, b) in self.dollars.iter_mut().zip(other.dollars.iter()) {
@@ -297,6 +361,58 @@ mod tests {
         bare.charge(CostCategory::VmCompute, 2.0);
         bare.charge_requests(CostCategory::S3Put, 4, 0.25);
         assert_eq!(l, bare);
+    }
+
+    #[test]
+    fn micro_dollars_rounds_to_nearest() {
+        assert_eq!(micro_dollars(0.0), 0);
+        assert_eq!(micro_dollars(1.0), 1_000_000);
+        assert_eq!(micro_dollars(0.123_456_4), 123_456);
+        assert_eq!(micro_dollars(0.123_456_6), 123_457);
+        assert_eq!(micro_dollars(f64::NAN), 0);
+        assert_eq!(micro_dollars(f64::INFINITY), 0);
+        let mut l = CostLedger::new();
+        l.charge(CostCategory::VmCompute, 2.5);
+        assert_eq!(l.total_micros(), 2_500_000);
+    }
+
+    #[test]
+    fn split_micro_dollars_conserves_every_total() {
+        // Exactness under awkward weights, including zero weights and a
+        // total smaller than the recipient count.
+        let cases: [(i64, &[u64]); 6] = [
+            (1_000_000, &[1, 1, 1]),
+            (10, &[3, 3, 3, 3]),
+            (2, &[5, 1, 1, 1, 1]),
+            (999_999_999_999, &[7, 0, 13, 1_000_000]),
+            (5, &[0, 0, 0]),
+            (0, &[2, 3]),
+        ];
+        for (total, weights) in cases {
+            let shares = split_micro_dollars(total, weights);
+            assert_eq!(shares.len(), weights.len());
+            assert_eq!(
+                shares.iter().sum::<i64>(),
+                total,
+                "total {total} weights {weights:?} shares {shares:?}"
+            );
+            assert!(shares.iter().all(|&s| s >= 0));
+        }
+        assert!(split_micro_dollars(7, &[]).is_empty());
+    }
+
+    #[test]
+    fn split_micro_dollars_is_proportional_and_canonical() {
+        let shares = split_micro_dollars(100, &[3, 1]);
+        assert_eq!(shares, vec![75, 25]);
+        // Remainder goes to the largest fractional part; ties to the
+        // lower index.
+        assert_eq!(split_micro_dollars(10, &[1, 1, 1]), vec![4, 3, 3]);
+        assert_eq!(split_micro_dollars(11, &[1, 1, 1]), vec![4, 4, 3]);
+        // Zero-weight recipients get nothing when others carry weight.
+        assert_eq!(split_micro_dollars(9, &[0, 3]), vec![0, 9]);
+        // All-zero weights fall back to an even split.
+        assert_eq!(split_micro_dollars(9, &[0, 0, 0]), vec![3, 3, 3]);
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod time;
 pub mod vm;
 
 pub use events::EventQueue;
-pub use ledger::{CostCategory, CostLedger};
+pub use ledger::{micro_dollars, split_micro_dollars, CostCategory, CostLedger};
 pub use object_store::ObjectStore;
 pub use pool::{ElasticPool, InvocationId};
 pub use pricing::Pricing;

@@ -118,6 +118,25 @@ impl RunResult {
         self.compute.total() + self.shuffle.total()
     }
 
+    /// Compute-layer cost as exact integer micro-dollars.
+    pub fn compute_cost_micros(&self) -> i64 {
+        cackle_cloud::micro_dollars(self.compute.total())
+    }
+
+    /// Shuffle-layer cost as exact integer micro-dollars.
+    pub fn shuffle_cost_micros(&self) -> i64 {
+        cackle_cloud::micro_dollars(self.shuffle.total())
+    }
+
+    /// Total cost as exact integer micro-dollars, defined as the sum of
+    /// the per-layer micro totals. Per-tenant attribution splits each
+    /// layer separately, so this — not a re-rounding of
+    /// [`RunResult::total_cost`] — is the aggregate that tenant shares
+    /// must sum to byte-identically (`cackle-serve`).
+    pub fn total_cost_micros(&self) -> i64 {
+        self.compute_cost_micros() + self.shuffle_cost_micros()
+    }
+
     /// Cost per query in dollars.
     pub fn cost_per_query(&self) -> f64 {
         if self.latencies.is_empty() {
@@ -166,6 +185,9 @@ mod tests {
             telemetry: Telemetry::disabled(),
         };
         assert!((r.total_cost() - 5.0).abs() < 1e-12);
+        assert_eq!(r.compute_cost_micros(), 4_000_000);
+        assert_eq!(r.shuffle_cost_micros(), 1_000_000);
+        assert_eq!(r.total_cost_micros(), 5_000_000);
         assert!((r.cost_per_query() - 0.05).abs() < 1e-12);
         assert_eq!(r.latency_percentile(95.0), 95.0);
         assert_eq!(r.latency_percentile(50.0), 50.0);

@@ -20,7 +20,7 @@
 //! | L2 | no `thread_rng` / `from_entropy` / `rand::` (unseeded RNG) | everywhere |
 //! | L3 | no order-revealing iteration of `HashMap` / `HashSet` | `crates/engine`, `crates/core`, `crates/telemetry` |
 //! | L4 | *(retired — subsumed by L11)* | — |
-//! | L5 | no `unwrap()` / `expect()` / `panic!` on hot paths | `crates/cloud/src`, `crates/telemetry/src`, `crates/faults/src`, `core/{system,transport}.rs`, `engine/{task,shuffle,table,executor}.rs` |
+//! | L5 | no `unwrap()` / `expect()` / `panic!` on hot paths | `crates/cloud/src`, `crates/telemetry/src`, `crates/faults/src`, `crates/serve/src`, `core/{system,transport}.rs`, `engine/{task,shuffle,table,executor}.rs` |
 //! | L6 | no `thread::spawn` / `thread::scope` (ad-hoc threading) | everywhere except `crates/engine/src/executor.rs` |
 //! | L7 | no lock-order cycles (static deadlock detector) | `crates/engine`, `crates/core` |
 //! | L8 | no `Ordering::Relaxed` on atomics shared with worker closures | `crates/engine`, `crates/core` |
@@ -29,7 +29,7 @@
 //! | L11 | no raw money arithmetic / call-site price formulas | everywhere except `cloud/src/{ledger,pricing}.rs`, `core/src/prices.rs`, `crates/bench` |
 //! | L12 | no mixing of units (usd/seconds/bytes/rows/count) in arithmetic | everywhere except `crates/bench` |
 //! | L13 | every PRNG seed derives from the RunSpec seed / a salt | everywhere except `crates/prng`, `crates/bench` |
-//! | L14 | no per-iteration allocation on engine hot paths | `crates/engine` |
+//! | L14 | no per-iteration allocation on engine hot paths | `crates/engine`, `crates/serve` |
 //! | L15 | no narrowing `as` casts on unit-carrying values | everywhere except `crates/bench` |
 //! | L16 | pooled scratch checkouts balance with recycles per fn | `crates/engine` except `kernels/pool.rs` |
 //!
@@ -261,6 +261,7 @@ fn applies(id: LintId, path: &str) -> bool {
             path.starts_with("crates/cloud/src/")
                 || path.starts_with("crates/telemetry/src/")
                 || path.starts_with("crates/faults/src/")
+                || path.starts_with("crates/serve/src/")
                 || matches!(
                     path,
                     "crates/core/src/system.rs"
@@ -290,9 +291,11 @@ fn applies(id: LintId, path: &str) -> bool {
         LintId::L12 | LintId::L15 => !path.starts_with("crates/bench/"),
         // crates/prng defines the primitive: seeding it *is* its job.
         LintId::L13 => !path.starts_with("crates/prng/") && !path.starts_with("crates/bench/"),
-        // Hot paths are an engine concept; elsewhere a loop allocation
-        // is a style question, not a throughput bug.
-        LintId::L14 => path.starts_with("crates/engine/"),
+        // Hot paths are an engine concept — plus the serving layer's
+        // per-second admission/dispatch loops, which run once per
+        // simulated second per tenant; elsewhere a loop allocation is a
+        // style question, not a throughput bug.
+        LintId::L14 => path.starts_with("crates/engine/") || path.starts_with("crates/serve/"),
         // The pool lives in kernels/pool.rs: its own internals move
         // buffers in and out by definition, everywhere else pairs them.
         LintId::L16 => {

@@ -39,12 +39,23 @@ const KERNEL_FILES: [&str; 2] = ["crates/engine/src/batch.rs", "crates/engine/sr
 /// Every fn under the vectorized kernel tree is hot by definition too.
 const KERNEL_DIR: &str = "crates/engine/src/kernels/";
 
+/// Serving-layer files whose loops run once per simulated second per
+/// tenant (admission gating, WDRR dispatch) — hot by definition, since
+/// reachability from the engine roots cannot see them.
+const SERVE_HOT_FILES: [&str; 2] = [
+    "crates/serve/src/admission.rs",
+    "crates/serve/src/scheduler.rs",
+];
+
 pub fn check(ws: &Workspace, fl: &Flows, out: &mut Vec<RawFinding>) {
     let mut domain: BTreeSet<usize> = ws.reachable_from("execute_task_buffered");
     domain.extend(ws.reachable_from("next"));
     for (id, f) in ws.index.fns.iter().enumerate() {
         let rel = ws.files[f.file].rel_path.as_str();
-        if KERNEL_FILES.contains(&rel) || rel.starts_with(KERNEL_DIR) {
+        if KERNEL_FILES.contains(&rel)
+            || rel.starts_with(KERNEL_DIR)
+            || SERVE_HOT_FILES.contains(&rel)
+        {
             domain.insert(id);
         }
     }
@@ -278,6 +289,24 @@ mod tests {
         )]);
         assert_eq!(f.len(), 1, "{f:?}");
         assert!(f[0].message.contains("collect"));
+    }
+
+    #[test]
+    fn serve_hot_files_are_hot_without_reachability() {
+        let f = findings(&[(
+            "crates/serve/src/scheduler.rs",
+            "pub fn drain_round(classes: &[Class]) {\n\
+                 for c in classes { let names: Vec<u32> = c.ids().collect(); names.len(); }\n\
+             }",
+        )]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("collect"));
+        // Other serve files still need reachability to join the domain.
+        assert!(findings(&[(
+            "crates/serve/src/run.rs",
+            "pub fn assemble(n: usize) { for i in 0..n { let v = Vec::new(); v.len(); } }",
+        )])
+        .is_empty());
     }
 
     #[test]

@@ -24,7 +24,7 @@ const METHODS: [(&str, usize); 5] = [
 ];
 
 /// Component prefixes blessed by the DESIGN §7 table.
-const PREFIXES: [&str; 11] = [
+const PREFIXES: [&str; 13] = [
     "run",
     "meta",
     "engine",
@@ -36,6 +36,8 @@ const PREFIXES: [&str; 11] = [
     "shuffle_fleet",
     "warehouse",
     "endpoint",
+    "serve",
+    "tenant",
 ];
 
 pub fn check(ws: &Workspace, out: &mut Vec<RawFinding>) {
@@ -177,6 +179,20 @@ mod tests {
             findings("fn f(t: &T) { t.counter_add(\"mystery.thing_total\", 1); }").len(),
             1
         );
+    }
+
+    #[test]
+    fn serving_layer_prefixes_blessed() {
+        let f = findings(
+            "fn f(t: &Registry) { t.counter_add(\"serve.admitted_total\", 1);\n\
+             t.gauge_set(\"tenant.active\", 3.0);\n\
+             t.sample(\"serve.queue_depth\", 1000, 2.0); }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+        // Near-miss prefixes still fail the table lookup.
+        let near = findings("fn f(t: &T) { t.counter_add(\"serv.admitted_total\", 1); }");
+        assert_eq!(near.len(), 1, "{near:?}");
+        assert!(near[0].message.contains("`serv`"), "{near:?}");
     }
 
     #[test]

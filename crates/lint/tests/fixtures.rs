@@ -53,20 +53,20 @@ fn violations_fixture_trips_every_live_rule() {
     assert_eq!(count(LintId::L1), 1);
     assert_eq!(count(LintId::L2), 3);
     assert_eq!(count(LintId::L3), 2);
-    assert_eq!(count(LintId::L5), 4);
+    assert_eq!(count(LintId::L5), 5);
     assert_eq!(count(LintId::L6), 2);
     assert_eq!(count(LintId::L7), 2);
     assert_eq!(count(LintId::L8), 2);
     assert_eq!(count(LintId::L9), 2);
-    assert_eq!(count(LintId::L10), 3);
+    assert_eq!(count(LintId::L10), 5);
     assert_eq!(count(LintId::L11), 3);
     assert_eq!(count(LintId::L12), 3);
     assert_eq!(count(LintId::L13), 3);
-    assert_eq!(count(LintId::L14), 6);
+    assert_eq!(count(LintId::L14), 7);
     assert_eq!(count(LintId::L15), 2);
     assert_eq!(count(LintId::L16), 1);
     assert_eq!(count(LintId::Sup), 1);
-    assert_eq!(findings.len(), 40);
+    assert_eq!(findings.len(), 44);
     // Findings are sorted and carry 1-based lines.
     let mut sorted = findings.clone();
     sorted.sort();
@@ -235,7 +235,7 @@ fn binary_update_baseline_writes_sorted_stable_file() {
         .iter()
         .map(|l| l.rsplit(' ').next().unwrap().parse::<usize>().unwrap())
         .sum();
-    assert_eq!(total, 39, "all findings except the one SUP:\n{written}");
+    assert_eq!(total, 43, "all findings except the one SUP:\n{written}");
     // A second update run is byte-stable and, with the debt absorbed,
     // only the un-baselineable SUP remains.
     let again = run(&[

@@ -1,0 +1,9 @@
+//! Conforming serving-layer telemetry: blessed `serve.` / `tenant.`
+//! prefixes, literal names only.
+
+fn record(t: &Registry) {
+    t.counter_add("serve.admitted_total", 1);
+    t.counter_add("serve.rejected_total", 1);
+    t.gauge_set("tenant.active", 2.0);
+    t.sample("serve.queue_depth", 1000, 4.0);
+}

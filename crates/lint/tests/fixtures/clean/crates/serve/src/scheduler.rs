@@ -1,0 +1,11 @@
+//! Allocation-free serve dispatch loop: buffers sized before the loop.
+
+fn drain(n: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(n);
+    let mut i = 0;
+    while i < n {
+        out.push(i);
+        i += 1;
+    }
+    out
+}

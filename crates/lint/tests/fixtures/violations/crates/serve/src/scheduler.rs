@@ -1,0 +1,10 @@
+//! WDRR dispatch-loop allocation: serve scheduler files are hot by
+//! definition for L14 (their loops run once per simulated second).
+
+fn dispatch_round(queues: &mut [Queue], budget: usize) {
+    let mut picked = 0;
+    while picked < budget {
+        let order: Vec<usize> = (0..queues.len()).collect(); // L14: per-iteration materialization
+        picked += order.len();
+    }
+}

@@ -1,0 +1,127 @@
+//! Exact per-tenant cost attribution.
+//!
+//! Each cost layer of a [`cackle::RunResult`] is converted to integer
+//! micro-dollars once (`cackle_cloud::micro_dollars`) and then split
+//! across tenants with the largest-remainder method
+//! (`cackle_cloud::split_micro_dollars`), which conserves every total
+//! by construction. The compute layer splits by metered task-seconds,
+//! the shuffle layer by metered shuffle requests, so a tenant that ran
+//! nothing pays nothing and the per-tenant shares always sum — as exact
+//! integers, not within a float tolerance — to
+//! [`cackle::RunResult::total_cost_micros`].
+
+use cackle::RunResult;
+use cackle_cloud::split_micro_dollars;
+
+/// Per-tenant metering totals accumulated while dispatching.
+#[derive(Debug, Clone, Default)]
+pub struct Meter {
+    /// Task-seconds each tenant's dispatched queries demanded.
+    pub task_seconds: Vec<u64>,
+    /// Shuffle requests (writes + reads) each tenant's queries issued.
+    pub shuffle_requests: Vec<u64>,
+}
+
+impl Meter {
+    /// A zeroed meter for `n` tenants.
+    pub fn new(n: usize) -> Self {
+        Meter {
+            task_seconds: vec![0; n],
+            shuffle_requests: vec![0; n],
+        }
+    }
+}
+
+/// Per-tenant micro-dollar shares of one run.
+#[derive(Debug, Clone, Default)]
+pub struct Attribution {
+    /// Compute-layer share per tenant.
+    pub compute_micros: Vec<i64>,
+    /// Shuffle-layer share per tenant.
+    pub shuffle_micros: Vec<i64>,
+}
+
+impl Attribution {
+    /// Tenant `i`'s total share.
+    pub fn total_micros(&self, i: usize) -> i64 {
+        self.compute_micros.get(i).copied().unwrap_or(0)
+            + self.shuffle_micros.get(i).copied().unwrap_or(0)
+    }
+
+    /// Sum of every tenant's share — equals the run's
+    /// `total_cost_micros()` exactly.
+    pub fn grand_total_micros(&self) -> i64 {
+        let c: i64 = self.compute_micros.iter().sum();
+        let s: i64 = self.shuffle_micros.iter().sum();
+        c + s
+    }
+}
+
+/// Split `result`'s cost layers across tenants by the meter's weights.
+pub fn attribute(result: &RunResult, meter: &Meter) -> Attribution {
+    Attribution {
+        compute_micros: split_micro_dollars(result.compute_cost_micros(), &meter.task_seconds),
+        shuffle_micros: split_micro_dollars(result.shuffle_cost_micros(), &meter.shuffle_requests),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cackle::{ComputeCost, ShuffleCost};
+
+    fn result(vm: f64, pool: f64, node: f64) -> RunResult {
+        RunResult {
+            compute: ComputeCost {
+                vm_cost: vm,
+                pool_cost: pool,
+                ..Default::default()
+            },
+            shuffle: ShuffleCost {
+                node_cost: node,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn shares_sum_exactly_to_the_aggregate() {
+        // 1/3 dollars per layer: no exact decimal split exists, so the
+        // largest-remainder distribution must absorb the odd micros.
+        let r = result(1.0 / 3.0, 0.0, 1.0 / 3.0);
+        let mut m = Meter::new(3);
+        m.task_seconds = vec![1, 1, 1];
+        m.shuffle_requests = vec![1, 1, 1];
+        let a = attribute(&r, &m);
+        assert_eq!(a.grand_total_micros(), r.total_cost_micros());
+        let spread =
+            a.compute_micros.iter().max().unwrap() - a.compute_micros.iter().min().unwrap();
+        assert!(spread <= 1, "{a:?}");
+    }
+
+    #[test]
+    fn idle_tenants_pay_nothing() {
+        let r = result(2.0, 1.0, 0.5);
+        let mut m = Meter::new(3);
+        m.task_seconds = vec![10, 0, 30];
+        m.shuffle_requests = vec![5, 0, 5];
+        let a = attribute(&r, &m);
+        assert_eq!(a.compute_micros[1], 0);
+        assert_eq!(a.shuffle_micros[1], 0);
+        assert_eq!(a.total_micros(1), 0);
+        assert_eq!(a.grand_total_micros(), r.total_cost_micros());
+    }
+
+    #[test]
+    fn proportional_when_exact() {
+        let r = result(3.0, 1.0, 0.0);
+        let mut m = Meter::new(2);
+        m.task_seconds = vec![3, 1];
+        m.shuffle_requests = vec![0, 0];
+        let a = attribute(&r, &m);
+        assert_eq!(a.compute_micros, vec![3_000_000, 1_000_000]);
+        assert_eq!(a.shuffle_micros, vec![0, 0]);
+        assert_eq!(a.total_micros(0), 3_000_000);
+    }
+}

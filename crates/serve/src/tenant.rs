@@ -1,0 +1,224 @@
+//! Tenants, priority classes, and the tenant registry.
+//!
+//! A tenant is one customer of the shared fleet: a named query stream
+//! with a priority class (which sets its weight in the fair scheduler)
+//! and an optional admission quota. The registry is the serving layer's
+//! input: either an explicit list of heterogeneous tenants or a
+//! [`TenantRegistry::homogeneous`] decomposition of one aggregate trace
+//! into `n` statistically identical per-tenant streams (built on
+//! `cackle_workload::superpose`, so the superposition of the streams
+//! reproduces the aggregate's shape at the same total demand).
+
+use crate::admission::QuotaSpec;
+use cackle_workload::arrivals::WorkloadSpec;
+use cackle_workload::superpose::split_spec;
+
+/// Priority class of a tenant's queries. Classes map to weights in the
+/// weighted deficit round-robin scheduler: an `Interactive` tenant gets
+/// four dispatch shares for every one a `Batch` tenant gets when both
+/// have backlog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PriorityClass {
+    /// Latency-sensitive, highest scheduler weight.
+    Interactive,
+    /// The default class.
+    Standard,
+    /// Throughput-oriented, lowest scheduler weight.
+    Batch,
+}
+
+impl PriorityClass {
+    /// Every class, in scheduler visit order (highest weight first).
+    pub const ALL: [PriorityClass; 3] = [
+        PriorityClass::Interactive,
+        PriorityClass::Standard,
+        PriorityClass::Batch,
+    ];
+
+    /// Scheduler weight (dispatch shares per round-robin round).
+    pub fn weight(self) -> u64 {
+        match self {
+            PriorityClass::Interactive => 4,
+            PriorityClass::Standard => 2,
+            PriorityClass::Batch => 1,
+        }
+    }
+
+    /// Dense index into per-class arrays.
+    pub fn index(self) -> usize {
+        match self {
+            PriorityClass::Interactive => 0,
+            PriorityClass::Standard => 1,
+            PriorityClass::Batch => 2,
+        }
+    }
+
+    /// Stable lowercase label (used in reports and CSV columns).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PriorityClass::Interactive => "interactive",
+            PriorityClass::Standard => "standard",
+            PriorityClass::Batch => "batch",
+        }
+    }
+}
+
+/// One tenant of the serving layer.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Stable tenant identifier; must be unique within a registry.
+    pub id: u32,
+    /// Human-readable name (reports and CSV only, never metric names).
+    pub name: String,
+    /// Priority class, which sets the scheduler weight.
+    pub class: PriorityClass,
+    /// Admission quota; `None` means unlimited.
+    pub quota: Option<QuotaSpec>,
+    /// The tenant's own seeded trace stream.
+    pub workload: WorkloadSpec,
+}
+
+impl TenantSpec {
+    /// A `Standard`-class tenant with no quota over `workload`.
+    pub fn new(id: u32, name: impl Into<String>, workload: WorkloadSpec) -> Self {
+        TenantSpec {
+            id,
+            name: name.into(),
+            class: PriorityClass::Standard,
+            quota: None,
+            workload,
+        }
+    }
+
+    /// Set the priority class.
+    pub fn with_class(mut self, class: PriorityClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Set an admission quota.
+    pub fn with_quota(mut self, quota: QuotaSpec) -> Self {
+        self.quota = Some(quota);
+        self
+    }
+}
+
+/// The set of tenants sharing one fleet.
+#[derive(Debug, Clone, Default)]
+pub struct TenantRegistry {
+    tenants: Vec<TenantSpec>,
+}
+
+impl TenantRegistry {
+    /// A registry over an explicit tenant list.
+    pub fn new(tenants: Vec<TenantSpec>) -> Self {
+        TenantRegistry { tenants }
+    }
+
+    /// Decompose one aggregate trace into `n` statistically identical
+    /// `Standard`-class tenants with no quotas. Query counts and seeds
+    /// follow `cackle_workload::superpose::split_spec`, so the tenants'
+    /// streams superpose back into the aggregate's shape at the same
+    /// total demand — the fixed-aggregate-demand sweep the tenant-count
+    /// bench runs.
+    pub fn homogeneous(n: usize, aggregate: &WorkloadSpec) -> Self {
+        let tenants = split_spec(aggregate, n)
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| TenantSpec::new(i as u32, format!("tenant-{i}"), w))
+            .collect();
+        TenantRegistry { tenants }
+    }
+
+    /// Add one tenant.
+    pub fn push(&mut self, tenant: TenantSpec) {
+        self.tenants.push(tenant);
+    }
+
+    /// The tenants, in registration order.
+    pub fn tenants(&self) -> &[TenantSpec] {
+        &self.tenants
+    }
+
+    /// Number of tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// Why the registry is unusable, if it is: empty, or duplicate ids.
+    pub fn problem(&self) -> Option<String> {
+        if self.tenants.is_empty() {
+            return Some("tenant registry is empty".into());
+        }
+        let mut ids: Vec<u32> = self.tenants.iter().map(|t| t.id).collect();
+        ids.sort_unstable();
+        for w in ids.windows(2) {
+            if w[0] == w[1] {
+                return Some(format!("duplicate tenant id {}", w[0]));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_weights_and_labels() {
+        assert_eq!(PriorityClass::Interactive.weight(), 4);
+        assert_eq!(PriorityClass::Standard.weight(), 2);
+        assert_eq!(PriorityClass::Batch.weight(), 1);
+        for (i, c) in PriorityClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        assert_eq!(PriorityClass::Batch.as_str(), "batch");
+    }
+
+    #[test]
+    fn homogeneous_registry_conserves_queries() {
+        let agg = WorkloadSpec::hour_long(1000, 7);
+        let reg = TenantRegistry::homogeneous(7, &agg);
+        assert_eq!(reg.len(), 7);
+        assert!(reg.problem().is_none());
+        let total: usize = reg.tenants().iter().map(|t| t.workload.num_queries).sum();
+        assert_eq!(total, 1000);
+        // Seeds decorrelated, classes default to Standard.
+        let seeds: Vec<u64> = reg.tenants().iter().map(|t| t.workload.seed).collect();
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seeds.len());
+        assert!(reg
+            .tenants()
+            .iter()
+            .all(|t| t.class == PriorityClass::Standard && t.quota.is_none()));
+    }
+
+    #[test]
+    fn registry_problems_detected() {
+        assert!(TenantRegistry::default().problem().is_some());
+        let w = WorkloadSpec::hour_long(10, 1);
+        let mut reg = TenantRegistry::new(vec![TenantSpec::new(3, "a", w.clone())]);
+        assert!(reg.problem().is_none());
+        reg.push(TenantSpec::new(3, "b", w));
+        let p = reg.problem().expect("duplicate id must be rejected");
+        assert!(p.contains("duplicate tenant id 3"), "{p}");
+    }
+
+    #[test]
+    fn builders_chain() {
+        let w = WorkloadSpec::hour_long(10, 1);
+        let t = TenantSpec::new(1, "gold", w)
+            .with_class(PriorityClass::Interactive)
+            .with_quota(QuotaSpec::per_second(2.0));
+        assert_eq!(t.class, PriorityClass::Interactive);
+        assert!(t.quota.is_some());
+    }
+}

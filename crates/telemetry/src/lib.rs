@@ -27,7 +27,9 @@
 //! `component.noun[_unit]`, snake_case, static strings:
 //!
 //! * components: `run` (coordinator loop), `fleet`, `shuffle_fleet`,
-//!   `pool`, `store`, `engine`, `meta`, `model`;
+//!   `pool`, `store`, `engine`, `meta`, `model`, `serve` (the
+//!   multi-tenant admission/scheduling front-end), `tenant` (tenant
+//!   registry bookkeeping);
 //! * unit suffixes: `_total` (monotone counter), `_dollars`, `_seconds`,
 //!   `_bytes`.
 //!

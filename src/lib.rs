@@ -4,5 +4,6 @@ pub use cackle;
 pub use cackle_cloud as cloud;
 pub use cackle_comparators as comparators;
 pub use cackle_engine as engine;
+pub use cackle_serve as serve;
 pub use cackle_tpch as tpch;
 pub use cackle_workload as workload;
