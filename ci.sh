@@ -75,4 +75,14 @@ cargo run -q --release --example fault_injection
 cargo run -q --release -p cackle-telemetry --bin telemetry-check -- \
     results/fault_injection_telemetry.jsonl
 
+echo "==> environment-grid smoke (scenario pack, exact ledger conservation)"
+# --smoke shrinks the workload; the bench asserts per-cell micro-dollar
+# conservation and writes a multi-region cell's dump for the env.*
+# schema check. The CSV still covers all 4 environments x 3 strategies.
+cargo run -q --release -p cackle-bench --bin bench_env_grid -- --smoke
+test -s results/env_grid.csv \
+    || { echo "bench_env_grid: missing results/env_grid.csv" >&2; exit 1; }
+cargo run -q --release -p cackle-telemetry --bin telemetry-check -- \
+    results/env_grid_telemetry.jsonl
+
 echo "CI gate passed."

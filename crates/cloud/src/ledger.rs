@@ -80,17 +80,21 @@ pub enum CostCategory {
     ShuffleNode,
     /// The always-on coordinator instance.
     Coordinator,
+    /// Cross-region shuffle egress (bytes produced on remote-region
+    /// VMs and shipped home; the environment model's second region).
+    Egress,
 }
 
 impl CostCategory {
     /// All categories, in report order.
-    pub const ALL: [CostCategory; 6] = [
+    pub const ALL: [CostCategory; 7] = [
         CostCategory::VmCompute,
         CostCategory::ElasticPool,
         CostCategory::S3Put,
         CostCategory::S3Get,
         CostCategory::ShuffleNode,
         CostCategory::Coordinator,
+        CostCategory::Egress,
     ];
 
     /// Stable snake_case name, used as the telemetry cost-attribution key.
@@ -102,6 +106,7 @@ impl CostCategory {
             CostCategory::S3Get => "s3_get",
             CostCategory::ShuffleNode => "shuffle_node",
             CostCategory::Coordinator => "coordinator",
+            CostCategory::Egress => "egress",
         }
     }
 }
@@ -155,7 +160,7 @@ impl std::error::Error for ChargeError {}
 /// compares accumulated data only, never the telemetry wiring.
 #[derive(Debug, Clone, Default)]
 pub struct CostLedger {
-    dollars: [f64; 6],
+    dollars: [f64; 7],
     /// Component name this ledger reports costs under (e.g. `fleet`).
     component: &'static str,
     /// Telemetry sink mirroring accepted charges (disabled by default).
@@ -184,6 +189,7 @@ fn idx(c: CostCategory) -> usize {
         CostCategory::S3Get => 3,
         CostCategory::ShuffleNode => 4,
         CostCategory::Coordinator => 5,
+        CostCategory::Egress => 6,
     }
 }
 
@@ -244,6 +250,16 @@ impl CostLedger {
     /// call sites never do raw dollar arithmetic.
     pub fn charge_requests(&mut self, category: CostCategory, count: u64, unit_dollars: f64) {
         self.charge(category, count as f64 * unit_dollars);
+    }
+
+    /// Record a charge expressed in exact integer micro-dollars — the
+    /// entry point for billing paths that do their arithmetic in
+    /// integers (price-timeline VM billing, cross-region egress). The
+    /// micros→dollars conversion lives inside the ledger so call sites
+    /// never touch f64 money (lint L11); negative amounts are dropped
+    /// like any other invalid charge.
+    pub fn charge_micros(&mut self, category: CostCategory, micros: i64) {
+        self.charge(category, micros.max(0) as f64 / 1e6);
     }
 
     /// Dollars accumulated against one category.
@@ -413,6 +429,24 @@ mod tests {
         assert_eq!(split_micro_dollars(9, &[0, 3]), vec![0, 9]);
         // All-zero weights fall back to an even split.
         assert_eq!(split_micro_dollars(9, &[0, 0, 0]), vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn charge_micros_is_exact_and_guards_negatives() {
+        let mut l = CostLedger::new();
+        l.charge_micros(CostCategory::Egress, 123_456);
+        l.charge_micros(CostCategory::Egress, 1);
+        assert_eq!(micro_dollars(l.category(CostCategory::Egress)), 123_457);
+        // Egress participates in the grand total but not the
+        // compute/shuffle layer subtotals (it bills through its own
+        // component ledger).
+        assert_eq!(l.total_micros(), 123_457);
+        assert_eq!(l.compute_total(), 0.0);
+        assert_eq!(l.shuffle_total(), 0.0);
+        // Negative micro amounts are dropped, same as negative dollars.
+        let mut neg = CostLedger::new();
+        neg.charge_micros(CostCategory::VmCompute, -5);
+        assert_eq!(neg.total(), 0.0);
     }
 
     #[test]

@@ -27,6 +27,6 @@ pub use events::EventQueue;
 pub use ledger::{micro_dollars, split_micro_dollars, CostCategory, CostLedger};
 pub use object_store::ObjectStore;
 pub use pool::{ElasticPool, InvocationId};
-pub use pricing::Pricing;
+pub use pricing::{egress_micros, Pricing, EGRESS_MICROS_PER_GIB, REMOTE_REGION_RATE_MILLI};
 pub use time::{SimDuration, SimTime};
 pub use vm::{VmFleet, VmId};

@@ -6,8 +6,28 @@
 //! $0.08/hour. Every experiment that varies an environmental condition
 //! (Figures 8 and 9) does so by perturbing one field of this struct.
 
-use crate::ledger::CostCategory;
+use crate::ledger::{micro_dollars, CostCategory};
 use crate::time::SimDuration;
+
+/// Remote-region hourly rate as per-mille of the home region: the
+/// environment model's second region bills compute and shuffle nodes
+/// at 70% of the home price (a cheaper but farther region, matching
+/// `EnvironmentSpec::remote_rate_milli`'s default).
+pub const REMOTE_REGION_RATE_MILLI: u32 = 700;
+
+/// Cross-region shuffle-egress price in micro-dollars per GiB
+/// ($0.02/GiB — the discounted inter-region transfer tier). Matches
+/// `EnvironmentSpec::egress_micros_per_gib`'s default.
+pub const EGRESS_MICROS_PER_GIB: u64 = 20_000;
+
+/// Exact integer egress charge for `bytes` at `micros_per_gib`,
+/// rounded to the nearest micro-dollar. Integer throughout so egress
+/// billing never accumulates f64 drift (lint L11).
+pub fn egress_micros(bytes: u64, micros_per_gib: u64) -> i64 {
+    const GIB: u128 = 1 << 30;
+    let num = bytes as u128 * micros_per_gib as u128;
+    ((num + GIB / 2) / GIB) as i64 // cackle-lint: allow(L15) — micro-dollar totals sit far below 2^63
+}
 
 /// Prices and billing rules for the simulated cloud.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,10 +120,32 @@ impl Pricing {
     }
 
     /// Scale the elastic-pool price so the premium becomes `ratio`
-    /// (used by the Figure 8 sweep).
+    /// (used by the Figure 8 sweep). The scaled price is computed in
+    /// integer micro-dollars and rounded once, so sweeping premiums
+    /// (or compounding with a price timeline) never accumulates f64
+    /// representation drift into the billing rate.
     pub fn with_pool_premium(mut self, ratio: f64) -> Self {
-        self.pool_per_hour = self.vm_per_hour * ratio;
+        let scaled = (micro_dollars(self.vm_per_hour) as f64 * ratio).round();
+        self.pool_per_hour = scaled / 1e6;
         self
+    }
+
+    /// The second region's price table: compute, pool, and shuffle
+    /// nodes bill at [`REMOTE_REGION_RATE_MILLI`]/1000 of this table's
+    /// rates, scaled in integer micro-dollars (request pricing and
+    /// billing rules are identical across regions). This is the table
+    /// the environment model's `remote_rate_milli` default reproduces
+    /// per-VM.
+    pub fn second_region(&self) -> Self {
+        fn scale(per_hour: f64) -> f64 {
+            let micros = micro_dollars(per_hour) as i128 * REMOTE_REGION_RATE_MILLI as i128 / 1000;
+            micros as f64 / 1e6
+        }
+        let mut p = self.clone();
+        p.vm_per_hour = scale(self.vm_per_hour);
+        p.pool_per_hour = scale(self.pool_per_hour);
+        p.shuffle_node_per_hour = scale(self.shuffle_node_per_hour);
+        p
     }
 
     /// Replace the VM startup latency (used by the Figure 9 sweep).
@@ -165,6 +207,47 @@ mod tests {
         // Matches the per-duration VM price used elsewhere.
         let d = SimDuration::from_secs(90);
         assert!((p.fleet_cost(CostCategory::VmCompute, d) - p.vm_cost(d)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn premium_scaling_is_micro_exact() {
+        // The Figure 8 sweep applies with_pool_premium across a ratio
+        // grid; each scaled rate must land on an exact micro-dollar so
+        // a price timeline compounding on top never amplifies f64
+        // representation error.
+        for ratio in [0.5, 1.0, 1.5, 2.0, 4.0, 6.0, 10.0, 24.0] {
+            let p = Pricing::default().with_pool_premium(ratio);
+            let expected = (30_000.0 * ratio).round() as i64;
+            assert_eq!(
+                micro_dollars(p.pool_per_hour),
+                expected,
+                "ratio {ratio} drifted off the micro grid"
+            );
+        }
+    }
+
+    #[test]
+    fn second_region_scales_rates_in_micros() {
+        let p = Pricing::default();
+        let r = p.second_region();
+        assert_eq!(micro_dollars(r.vm_per_hour), 21_000); // 0.03 × 0.7
+        assert_eq!(micro_dollars(r.pool_per_hour), 126_000); // 0.18 × 0.7
+        assert_eq!(micro_dollars(r.shuffle_node_per_hour), 56_000); // 0.08 × 0.7
+                                                                    // Billing rules and request prices are unchanged.
+        assert_eq!(r.vm_min_billing, p.vm_min_billing);
+        assert_eq!(r.s3_put, p.s3_put);
+        assert_eq!(r.s3_get, p.s3_get);
+    }
+
+    #[test]
+    fn egress_micros_rounds_to_nearest() {
+        assert_eq!(egress_micros(1 << 30, EGRESS_MICROS_PER_GIB), 20_000);
+        assert_eq!(egress_micros(1 << 29, EGRESS_MICROS_PER_GIB), 10_000);
+        assert_eq!(egress_micros(0, EGRESS_MICROS_PER_GIB), 0);
+        // 100 MiB × $0.02/GiB = $0.001953125 → 1953 micros (rounded).
+        assert_eq!(egress_micros(100 << 20, 20_000), 1953);
+        // Half-GiB boundary rounds up.
+        assert_eq!(egress_micros((1 << 30) + (1 << 29), 1), 2);
     }
 
     #[test]

@@ -15,9 +15,10 @@
 //! Each VM executes one task at a time (demand and allocation are both
 //! measured in task-sized slots throughout the paper).
 
-use crate::ledger::{CostCategory, CostLedger};
+use crate::ledger::{micro_dollars, CostCategory, CostLedger};
 use crate::pricing::Pricing;
 use crate::time::{SimDuration, SimTime};
+use cackle_faults::PriceTimeline;
 use cackle_telemetry::Telemetry;
 use std::collections::{BTreeMap, VecDeque};
 
@@ -68,6 +69,9 @@ fn metric_names(component: &str) -> &'static FleetMetricNames {
 struct RunningVm {
     started_at: SimTime,
     busy: bool,
+    /// Hourly-rate multiplier in per-mille (1000 = home-region rate);
+    /// remote-region VMs carry their discounted rate here.
+    rate_milli: u32,
 }
 
 /// A simulated fleet of provisioned VMs.
@@ -91,6 +95,10 @@ pub struct VmFleet {
     component: &'static str,
     /// Literal metric names for `component` (see [`metric_names`]).
     metrics: &'static FleetMetricNames,
+    /// Spot-market schedule modulating the hourly rate over time. Flat
+    /// by default; when flat *and* the VM bills at the home rate,
+    /// termination takes the legacy f64 path bit-for-bit.
+    timeline: PriceTimeline,
 }
 
 impl VmFleet {
@@ -115,6 +123,23 @@ impl VmFleet {
             telemetry: Telemetry::disabled(),
             component: "fleet",
             metrics: &FLEET_METRICS,
+            timeline: PriceTimeline::flat(),
+        }
+    }
+
+    /// Install a spot-market schedule: every subsequent termination
+    /// bills by integrating the hourly rate over the instance's billed
+    /// lifetime, in exact integer micro-dollars.
+    pub fn set_price_timeline(&mut self, timeline: PriceTimeline) {
+        self.timeline = timeline;
+    }
+
+    /// Tag a running VM with a per-mille hourly-rate multiplier (the
+    /// environment model tags remote-region VMs as they start). Unknown
+    /// ids are ignored.
+    pub fn set_vm_rate_milli(&mut self, id: VmId, rate_milli: u32) {
+        if let Some(vm) = self.running.get_mut(&id) {
+            vm.rate_milli = rate_milli.max(1);
         }
     }
 
@@ -231,6 +256,7 @@ impl VmFleet {
                 RunningVm {
                     started_at: now.max(ready_at),
                     busy: false,
+                    rate_milli: 1000,
                 },
             );
             self.started_total += 1;
@@ -350,10 +376,33 @@ impl VmFleet {
         };
         debug_assert!(!vm.busy, "terminated a busy VM");
         let billed = (now - vm.started_at).max(self.min_billing());
-        self.ledger.charge(
-            self.category,
-            self.pricing.fleet_cost(self.category, billed),
-        );
+        if self.timeline.is_flat() && vm.rate_milli == 1000 {
+            // Static home-region pricing: the legacy f64 path, kept
+            // bit-for-bit so environment-free golden dumps never move.
+            self.ledger.charge(
+                self.category,
+                self.pricing.fleet_cost(self.category, billed),
+            );
+        } else {
+            // Environment-modulated pricing: integrate the market
+            // multiplier over the billed window and apply the VM's
+            // regional rate, all in integer arithmetic — one rounding,
+            // straight into the ledger as micro-dollars (lint L11).
+            let hourly_micros = micro_dollars(match self.category {
+                CostCategory::ShuffleNode => self.pricing.shuffle_node_per_hour,
+                _ => self.pricing.vm_per_hour,
+            })
+            .max(0) as u128;
+            let start_ms = vm.started_at.as_millis();
+            let integral = self
+                .timeline
+                .integral_milli_ms(start_ms, start_ms + billed.as_millis());
+            // per-mille·ms × µ$/h × per-mille ÷ (1000 · ms/h · 1000)
+            const DEN: u128 = 1000 * 3_600_000 * 1000;
+            let num = integral * hourly_micros * vm.rate_milli as u128;
+            let micros = ((num + DEN / 2) / DEN) as i64; // cackle-lint: allow(L15) — micro-dollar totals sit far below 2^63
+            self.ledger.charge_micros(self.category, micros);
+        }
         let secs = billed.as_secs_f64();
         match self.category {
             CostCategory::ShuffleNode => self.ledger.shuffle_seconds += secs,
@@ -525,6 +574,62 @@ mod tests {
             &mut rng,
         );
         assert!((f.ledger().vm_seconds - 720.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remote_rate_bills_in_exact_micros() {
+        // One VM tagged at 700 per-mille, run exactly one hour: the
+        // hand-computed charge is 30 000 µ$ × 0.7 = 21 000 µ$.
+        let mut f = fleet();
+        f.set_target(SimTime::ZERO, 1);
+        let started = f.poll(SimTime::from_secs(180));
+        f.set_vm_rate_milli(started[0], 700);
+        f.finalize(SimTime::from_secs(180 + 3600));
+        assert_eq!(
+            crate::ledger::micro_dollars(f.ledger().total()),
+            21_000,
+            "remote VM must bill at exactly 70% of the home rate"
+        );
+        // Tagging an unknown id is a no-op.
+        f.set_vm_rate_milli(VmId(99), 500);
+    }
+
+    #[test]
+    fn flat_timeline_matches_the_legacy_billing_path() {
+        let run = |with_timeline: bool| {
+            let mut f = fleet();
+            if with_timeline {
+                f.set_price_timeline(cackle_faults::PriceTimeline::flat());
+            }
+            f.set_target(SimTime::ZERO, 2);
+            f.poll(SimTime::from_secs(180));
+            f.finalize(SimTime::from_secs(180 + 5417));
+            f.ledger().total()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn timeline_billing_integrates_the_market_steps() {
+        use cackle_faults::EnvironmentSpec;
+        let env = EnvironmentSpec::default().with_market_motion(0.3, 900);
+        let tl = cackle_faults::PriceTimeline::compile(&env, 77);
+        let mut f = fleet();
+        f.set_price_timeline(tl.clone());
+        f.set_target(SimTime::ZERO, 1);
+        f.poll(SimTime::from_secs(180));
+        f.finalize(SimTime::from_secs(180 + 7200));
+        // Hand-integrate: 30 000 µ$/h over [180 s, 7380 s) under the
+        // per-interval multipliers, one rounding at the end.
+        let integral = tl.integral_milli_ms(180_000, 7_380_000);
+        let den: u128 = 1000 * 3_600_000;
+        let expected = ((integral * 30_000 + den / 2) / den) as i64;
+        assert_eq!(crate::ledger::micro_dollars(f.ledger().total()), expected);
+        // The multipliers actually moved the price off the flat value.
+        assert_ne!(
+            expected, 60_000,
+            "volatility 0.3 over 2 h must move billing"
+        );
     }
 
     #[test]

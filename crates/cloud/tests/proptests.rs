@@ -186,9 +186,9 @@ fn ledger_categories_sum_to_total() {
     let mut rng = Pcg32::seed_from_u64(0xC10D_05);
     for _ in 0..64 {
         let mut ledger = cackle_cloud::CostLedger::new();
-        let mut by_category = [0.0f64; 6];
+        let mut by_category = [0.0f64; CostCategory::ALL.len()];
         for _ in 0..rng.gen_range(1usize..200) {
-            let ci = rng.gen_range(0usize..6);
+            let ci = rng.gen_range(0usize..CostCategory::ALL.len());
             let dollars = rng.gen_range(0.0..10.0);
             ledger.charge(CostCategory::ALL[ci], dollars);
             by_category[ci] += dollars;

@@ -62,6 +62,6 @@ pub use cackle_telemetry::{Histogram, Registry, Telemetry, TraceEvent};
 /// Re-export of the fault-injection crate: plan specs, recovery policy,
 /// and the injector handle runners consult.
 pub use cackle_faults::{
-    FaultError, FaultInjector, FaultPlan, FaultSpec, InjectionPoint, PoolDecision, RecoveryPolicy,
-    StoreOp,
+    EnvironmentSpec, FaultError, FaultInjector, FaultPlan, FaultSpec, InjectionPoint, PoolDecision,
+    RecoveryPolicy, StoreOp,
 };

@@ -214,6 +214,7 @@ fn run_live_inner(
     let telemetry = spec.effective_telemetry();
     strategy.set_telemetry(&telemetry);
     let faults = spec.fault_injector(&telemetry)?;
+    let market = faults.price_timeline();
     let store = Arc::new(ObjectStore::new(pricing.clone()));
     store.instrument(&telemetry);
     store.inject_faults(&faults);
@@ -238,6 +239,12 @@ fn run_live_inner(
     fleet.instrument("fleet", &telemetry);
     pool.instrument(&telemetry);
     shuffle_fleet.instrument("shuffle_fleet", &telemetry);
+    if !market.is_flat() {
+        // Spot-market motion from the environment model: both fleets
+        // integrate the compiled schedule at termination time.
+        fleet.set_price_timeline(market.clone());
+        shuffle_fleet.set_price_timeline(market);
+    }
     let mut shuffle_prov = ShuffleProvisioner::new(env);
     let mut history = WorkloadHistory::new();
     let executor = Executor::new(spec.workers);
@@ -270,6 +277,20 @@ fn run_live_inner(
     if !workload.is_empty() {
         events.schedule(SimTime::ZERO, Ev::Second);
         events.schedule(SimTime::ZERO, Ev::Tick);
+    }
+
+    // Poll the execution fleet and tag every newly started VM with its
+    // persistent environment traits (env.* telemetry + remote-region
+    // billing rate; a zero environment records and tags nothing).
+    macro_rules! poll_fleet {
+        ($now:expr) => {{
+            for id in fleet.poll($now) {
+                let traits = faults.vm_started(id.0);
+                if traits.rate_milli != 1000 {
+                    fleet.set_vm_rate_milli(id, traits.rate_milli);
+                }
+            }
+        }};
     }
 
     // Launch a task's simulated run on the pool; an injected invoke
@@ -342,8 +363,12 @@ fn run_live_inner(
                 max_since = max_since.max(running);
                 match fleet.try_assign($now) {
                     Some(id) => {
+                        // Persistent per-VM heterogeneity: the seed-keyed
+                        // slowdown stretches every task this VM runs
+                        // (exactly 1.0 when the environment is inert).
+                        let dur_s = work_s * faults.vm_traits(id.0).slowdown;
                         events.schedule(
-                            $now + SimDuration::from_secs_f64(work_s),
+                            $now + SimDuration::from_secs_f64(dur_s),
                             Ev::TaskDone {
                                 query: $qi,
                                 stage: $si,
@@ -419,7 +444,7 @@ fn run_live_inner(
                 pool_launch!(now, query, stage, dur, attempt);
             }
             Ev::Second => {
-                fleet.poll(now);
+                poll_fleet!(now);
                 shuffle_fleet.poll(now);
                 history.push(max_since.max(running));
                 max_since = running;
@@ -443,7 +468,7 @@ fn run_live_inner(
             Ev::Tick => {
                 target = strategy.target(now.as_secs(), &history, env);
                 fleet.set_target(now, target as usize);
-                fleet.poll(now);
+                poll_fleet!(now);
                 if done < workload.len() || running > 0 {
                     events.schedule(now + env.strategy_tick, Ev::Tick);
                 }
@@ -475,6 +500,10 @@ fn run_live_inner(
             node_cost: shuffle_fleet.ledger().category(CostCategory::ShuffleNode),
             s3_put_cost: store_ledger.category(CostCategory::S3Put),
             s3_get_cost: store_ledger.category(CostCategory::S3Get),
+            // Regions (and their egress) are modeled by the system
+            // runner and the analytical model; live tasks all execute
+            // in-process, like spot reclaims are system-runner-only.
+            egress_cost: 0.0,
             puts: store_ledger.put_requests,
             gets: store_ledger.get_requests,
         },

@@ -117,9 +117,42 @@ pub fn run_model_with(
     spec: &RunSpec,
 ) -> RunResult {
     let curves = workload_curves(workload);
-    let mut result = simulate_compute(&curves.demand.samples, strategy, spec);
+    let environment = spec.effective_faults().environment;
+    let mut result = if environment.market_volatility > 0.0 {
+        // Market motion: price compute under the same compiled schedule
+        // the system runner bills through, translated into model-layer
+        // rate steps (VM rides the spot market, the pool price holds).
+        // Heterogeneity and reclaim storms are execution-layer effects
+        // the analytical model deliberately does not see (DESIGN §14).
+        let market = cackle_faults::PriceTimeline::compile(&environment, spec.seed);
+        let horizon = curves.demand.len() as u64 + 7200;
+        let timeline = crate::prices::PriceTimeline::from_market(&spec.env, &market, horizon);
+        simulate_compute_with_timeline(&curves.demand.samples, strategy, spec, &timeline)
+    } else {
+        simulate_compute(&curves.demand.samples, strategy, spec)
+    };
     if !spec.compute_only {
         result.shuffle = simulate_shuffle(&curves, &spec.env, &result.telemetry);
+        if environment.remote_vm_fraction > 0.0 {
+            // Expected cross-region egress: each task publishes from a
+            // remote VM with probability `remote_vm_fraction`, so the
+            // model ships that fraction of all shuffle bytes out of
+            // region, charged in exact micro-dollars.
+            let total: u64 = workload
+                .iter()
+                .flat_map(|q| q.profile.stages.iter())
+                .map(|s| s.shuffle_bytes)
+                .sum();
+            let bytes = (total as f64 * environment.remote_vm_fraction).round() as u64;
+            let micros = cackle_cloud::egress_micros(bytes, environment.egress_micros_per_gib);
+            result.shuffle.egress_cost = micros as f64 / 1e6;
+            result
+                .telemetry
+                .counter_add("env.egress_bytes_total", bytes);
+            result
+                .telemetry
+                .add_cost("env", "egress", result.shuffle.egress_cost);
+        }
     }
     result.latencies = workload
         .iter()
@@ -273,6 +306,7 @@ fn simulate_shuffle(curves: &WorkloadCurves, env: &Env, telemetry: &Telemetry) -
         node_cost: fleet.vm_dollars(),
         s3_put_cost: puts as f64 * env.pricing.s3_put,
         s3_get_cost: gets as f64 * env.pricing.s3_get,
+        egress_cost: 0.0,
         puts,
         gets,
     };

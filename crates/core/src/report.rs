@@ -39,6 +39,9 @@ pub struct ShuffleCost {
     pub s3_put_cost: f64,
     /// Dollars on object-store GETs.
     pub s3_get_cost: f64,
+    /// Dollars on cross-region shuffle egress (zero unless the
+    /// environment model places VMs in a second region).
+    pub egress_cost: f64,
     /// PUT request count.
     pub puts: u64,
     /// GET request count.
@@ -48,7 +51,7 @@ pub struct ShuffleCost {
 impl ShuffleCost {
     /// Total shuffle dollars.
     pub fn total(&self) -> f64 {
-        self.node_cost + self.s3_put_cost + self.s3_get_cost
+        self.node_cost + self.s3_put_cost + self.s3_get_cost + self.egress_cost
     }
 }
 
@@ -118,14 +121,23 @@ impl RunResult {
         self.compute.total() + self.shuffle.total()
     }
 
-    /// Compute-layer cost as exact integer micro-dollars.
+    /// Compute-layer cost as exact integer micro-dollars, summed
+    /// per component (VM + pool) so component shares conserve exactly:
+    /// `micro(vm) + micro(pool)` equals this by construction, with no
+    /// ±1 re-rounding slack.
     pub fn compute_cost_micros(&self) -> i64 {
-        cackle_cloud::micro_dollars(self.compute.total())
+        cackle_cloud::micro_dollars(self.compute.vm_cost)
+            + cackle_cloud::micro_dollars(self.compute.pool_cost)
     }
 
-    /// Shuffle-layer cost as exact integer micro-dollars.
+    /// Shuffle-layer cost as exact integer micro-dollars, summed per
+    /// component (nodes + PUTs + GETs + egress) for the same exact-
+    /// conservation guarantee as [`RunResult::compute_cost_micros`].
     pub fn shuffle_cost_micros(&self) -> i64 {
-        cackle_cloud::micro_dollars(self.shuffle.total())
+        cackle_cloud::micro_dollars(self.shuffle.node_cost)
+            + cackle_cloud::micro_dollars(self.shuffle.s3_put_cost)
+            + cackle_cloud::micro_dollars(self.shuffle.s3_get_cost)
+            + cackle_cloud::micro_dollars(self.shuffle.egress_cost)
     }
 
     /// Total cost as exact integer micro-dollars, defined as the sum of
@@ -174,7 +186,8 @@ mod tests {
             shuffle: ShuffleCost {
                 node_cost: 0.5,
                 s3_put_cost: 0.25,
-                s3_get_cost: 0.25,
+                s3_get_cost: 0.2,
+                egress_cost: 0.05,
                 puts: 10,
                 gets: 20,
             },

@@ -15,7 +15,9 @@
 //! return it instead of panicking on malformed input.
 
 use crate::config::Env;
-use cackle_faults::{FaultError, FaultInjector, FaultPlan, FaultSpec, RecoveryPolicy};
+use cackle_faults::{
+    EnvironmentSpec, FaultError, FaultInjector, FaultPlan, FaultSpec, RecoveryPolicy,
+};
 use cackle_telemetry::Telemetry;
 use std::error::Error;
 use std::fmt;
@@ -61,6 +63,12 @@ pub struct RunSpec {
     /// [`RunSpec::spot_interruptions_per_vm_hour`] knob folds into it
     /// (see [`RunSpec::effective_faults`]).
     pub faults: FaultSpec,
+    /// Environmental diversity: per-VM performance heterogeneity,
+    /// spot-market motion, reclaim storms, and a second region (see
+    /// `cackle_faults::EnvironmentSpec`). Zero intensity by default —
+    /// inert. Folds into [`RunSpec::effective_faults`] the same way the
+    /// legacy spot knob does (an explicit `faults.environment` wins).
+    pub environment: EnvironmentSpec,
     /// How runners recover from injected faults: bounded retry with
     /// deterministic backoff, straggler duplicate-launch.
     pub recovery: RecoveryPolicy,
@@ -88,6 +96,7 @@ impl Default for RunSpec {
             compute_only: false,
             rows_per_task_second: 400_000.0,
             faults: FaultSpec::default(),
+            environment: EnvironmentSpec::default(),
             recovery: RecoveryPolicy::default(),
             telemetry: Telemetry::disabled(),
             workers: 1,
@@ -169,6 +178,13 @@ impl RunSpec {
         self
     }
 
+    /// Set the environment spec (heterogeneity, market motion, reclaim
+    /// storms, second region).
+    pub fn with_environment(mut self, environment: EnvironmentSpec) -> Self {
+        self.environment = environment;
+        self
+    }
+
     /// Set the recovery policy for injected faults.
     pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
         self.recovery = recovery;
@@ -184,12 +200,15 @@ impl RunSpec {
     }
 
     /// The fault spec runners actually compile: [`RunSpec::faults`] with
-    /// the legacy spot-interruption knob folded in (the explicit fault
-    /// spec wins when both are set).
+    /// the legacy spot-interruption knob and [`RunSpec::environment`]
+    /// folded in (the explicit fault spec wins when both are set).
     pub fn effective_faults(&self) -> FaultSpec {
         let mut f = self.faults.clone();
         if f.spot_reclaims_per_vm_hour == 0.0 {
             f.spot_reclaims_per_vm_hour = self.spot_interruptions_per_vm_hour;
+        }
+        if f.environment.is_zero() && !self.environment.is_zero() {
+            f.environment = self.environment.clone();
         }
         f
     }
@@ -238,6 +257,10 @@ impl RunSpec {
                 return Err(RunError::InvalidKnob { name, value });
             }
         }
+        // Validate the spec's own environment knob even when an
+        // explicit `faults.environment` wins the fold — a malformed
+        // knob should never validate merely because it is shadowed.
+        self.environment.validate()?;
         self.effective_faults().validate()?;
         self.recovery.validate()?;
         Ok(())
@@ -375,6 +398,36 @@ mod tests {
         let bad = RunSpec::new().with_rows_per_task_second(0.0);
         assert!(bad.validate().is_err());
         assert!(RunSpec::new().validate().is_ok());
+    }
+
+    #[test]
+    fn environment_folds_into_the_fault_spec() {
+        // Zero environment: injector stays disabled (no-op contract).
+        let t = Telemetry::disabled();
+        let plain = RunSpec::new();
+        assert!(!plain.fault_injector(&t).unwrap().is_enabled());
+        // An active environment alone enables the injector.
+        let env = EnvironmentSpec::default().with_vm_heterogeneity(0.25, 2.0, 0.5);
+        let s = RunSpec::new().with_environment(env.clone());
+        assert_eq!(s.effective_faults().environment, env);
+        assert!(!s.effective_faults().is_noop());
+        assert!(s.fault_injector(&t).unwrap().is_enabled());
+        // An explicit faults.environment wins over the spec-level knob.
+        let other = EnvironmentSpec::default().with_market_motion(0.2, 600);
+        let s = RunSpec::new()
+            .with_faults(cackle_faults::FaultSpec::default().with_environment(other.clone()))
+            .with_environment(env);
+        assert_eq!(s.effective_faults().environment, other);
+        // Invalid environment knobs surface as typed run errors.
+        let bad = RunSpec::new()
+            .with_environment(EnvironmentSpec::default().with_vm_heterogeneity(0.5, 0.25, 0.0));
+        assert!(matches!(
+            bad.validate(),
+            Err(RunError::InvalidKnob {
+                name: "env.vm_slowdown",
+                ..
+            })
+        ));
     }
 
     #[test]

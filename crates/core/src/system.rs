@@ -38,11 +38,11 @@ use crate::shuffleprov::ShuffleProvisioner;
 use crate::spec::{RunError, RunSpec};
 use crate::strategy::ProvisioningStrategy;
 use cackle_cloud::{
-    CostCategory, CostLedger, ElasticPool, EventQueue, InvocationId, Pricing, SimDuration, SimTime,
-    VmFleet, VmId,
+    egress_micros, CostCategory, CostLedger, ElasticPool, EventQueue, InvocationId, Pricing,
+    SimDuration, SimTime, VmFleet, VmId,
 };
 use cackle_engine::executor::Executor;
-use cackle_faults::{FaultInjector, InjectionPoint, StoreOp};
+use cackle_faults::{EnvironmentSpec, FaultInjector, InjectionPoint, StoreOp};
 use cackle_prng::Pcg32;
 use std::collections::BTreeMap;
 
@@ -138,6 +138,14 @@ struct SystemState<'a> {
     /// only; the primary ledgers already bill the real resources, so this
     /// is never added to the `RunResult` totals.
     recovery_ledger: CostLedger,
+    /// Cross-region shuffle-egress charges from the environment model's
+    /// second region, instrumented as component `env`. Its `Egress`
+    /// category becomes [`ShuffleCost::egress_cost`] in the result.
+    env_ledger: CostLedger,
+    /// The effective environment spec (zero when the run carries none),
+    /// cached so the hot completion path never locks the injector just
+    /// to learn the environment is inert.
+    environment: EnvironmentSpec,
     /// Set when recovery exhausts its bound; aborts the event loop with a
     /// typed error instead of panicking or hanging.
     fatal: Option<RunError>,
@@ -149,6 +157,20 @@ struct SystemState<'a> {
 }
 
 impl SystemState<'_> {
+    /// Poll the execution fleet and tag every newly started VM with its
+    /// persistent environment traits: records the `env.vm_slowdown`
+    /// histogram and regional counters, and installs the remote-region
+    /// billing rate on the fleet. A zero environment records and tags
+    /// nothing, so the poll stays a bit-identical no-op.
+    fn poll_fleet(&mut self, now: SimTime) {
+        for id in self.fleet.poll(now) {
+            let traits = self.faults.vm_started(id.0);
+            if traits.rate_milli != 1000 {
+                self.fleet.set_vm_rate_milli(id, traits.rate_milli);
+            }
+        }
+    }
+
     /// Fraction of shuffle requests that miss the node tier right now.
     fn overflow_fraction(&self) -> f64 {
         let cap = self.shuffle_fleet.running_count() as u64
@@ -349,13 +371,18 @@ impl SystemState<'_> {
             self.add_copy(token);
             match self.fleet.try_assign(now) {
                 Some(id) => {
-                    let dur_s = vm_dur;
+                    // Persistent per-VM heterogeneity: the environment's
+                    // seed-keyed slowdown stretches every task this VM
+                    // runs. An inert environment yields exactly 1.0, a
+                    // bit-identical no-op multiply.
+                    let dur_s = vm_dur * self.faults.vm_traits(id.0).slowdown;
                     // Spot interruptions: a VM task survives its duration
                     // with probability exp(-rate × duration); otherwise
                     // the VM is reclaimed at a uniformly random point
                     // through the task. Drawn from the plan's spot stream
-                    // (the legacy RunSpec knob folds into the plan).
-                    if let Some(frac) = self.faults.vm_interrupt(dur_s) {
+                    // (the legacy RunSpec knob folds into the plan); the
+                    // hazard rises inside compiled reclaim-storm windows.
+                    if let Some(frac) = self.faults.vm_interrupt_at(now.as_secs(), dur_s) {
                         events.schedule(
                             now + SimDuration::from_secs_f64(dur_s * frac),
                             Ev::Interrupted { token, vm: id },
@@ -476,6 +503,8 @@ pub fn try_run_system_with(
     let telemetry = spec.effective_telemetry();
     strategy.set_telemetry(&telemetry);
     let faults = spec.fault_injector(&telemetry)?;
+    let environment = faults.environment();
+    let market = faults.price_timeline();
     let mut events: EventQueue<Ev> = EventQueue::new();
     let mut st = SystemState {
         spec,
@@ -493,6 +522,8 @@ pub fn try_run_system_with(
         attempts: BTreeMap::new(),
         next_token: 0,
         recovery_ledger: CostLedger::new(),
+        env_ledger: CostLedger::new(),
+        environment,
         fatal: None,
         executor: Executor::new(spec.workers),
     };
@@ -501,6 +532,14 @@ pub fn try_run_system_with(
     st.shuffle_fleet.instrument("shuffle_fleet", &telemetry);
     st.s3_ledger.instrument("store", &telemetry);
     st.recovery_ledger.instrument("recovery", &telemetry);
+    st.env_ledger.instrument("env", &telemetry);
+    if !market.is_flat() {
+        // Spot-market motion: both fleets integrate the compiled
+        // schedule at termination time (a flat timeline keeps the
+        // legacy f64 billing path bit-for-bit).
+        st.fleet.set_price_timeline(market.clone());
+        st.shuffle_fleet.set_price_timeline(market);
+    }
     let mut shuffle_prov = ShuffleProvisioner::new(env);
     let mut history = WorkloadHistory::new();
 
@@ -565,6 +604,27 @@ pub fn try_run_system_with(
                 }
                 if dup {
                     st.faults.note_duplicate_win();
+                }
+                // Cross-region egress: a remote VM publishing its shuffle
+                // output ships this task's share of the stage's bytes out
+                // of region, billed in exact micro-dollars through the
+                // env ledger (only the winning copy publishes, so egress
+                // is never double-charged).
+                if st.environment.remote_vm_fraction > 0.0 {
+                    if let Slot::Vm(id) = slot {
+                        if st.faults.vm_traits(id.0).remote {
+                            let sp = &workload[query].profile.stages[stage];
+                            let tasks = u64::from(sp.tasks.max(1));
+                            let bytes = (sp.shuffle_bytes + tasks / 2) / tasks;
+                            if bytes > 0 {
+                                telemetry.counter_add("env.egress_bytes_total", bytes);
+                                st.env_ledger.charge_micros(
+                                    CostCategory::Egress,
+                                    egress_micros(bytes, st.environment.egress_micros_per_gib),
+                                );
+                            }
+                        }
+                    }
                 }
                 let q = &mut queries[query];
                 q.remaining_tasks[stage] = q.remaining_tasks[stage].saturating_sub(1);
@@ -673,7 +733,7 @@ pub fn try_run_system_with(
                 }
             }
             Ev::Second => {
-                st.fleet.poll(now);
+                st.poll_fleet(now);
                 st.shuffle_fleet.poll(now);
                 history.push(st.max_since_sample.max(st.running));
                 st.max_since_sample = st.running;
@@ -695,7 +755,7 @@ pub fn try_run_system_with(
             Ev::Tick => {
                 target = strategy.target(now.as_secs(), &history, env);
                 st.fleet.set_target(now, target as usize);
-                st.fleet.poll(now);
+                st.poll_fleet(now);
                 if done < workload.len() || st.running > 0 {
                     events.schedule(now + tick, Ev::Tick);
                 }
@@ -729,6 +789,7 @@ pub fn try_run_system_with(
             node_cost: sh_ledger.category(CostCategory::ShuffleNode),
             s3_put_cost: st.s3_ledger.category(CostCategory::S3Put),
             s3_get_cost: st.s3_ledger.category(CostCategory::S3Get),
+            egress_cost: st.env_ledger.category(CostCategory::Egress),
             puts: st.puts,
             gets: st.gets,
         },

@@ -37,6 +37,12 @@ use cackle_telemetry::Telemetry;
 use std::fmt;
 use std::sync::{Arc, Mutex, MutexGuard};
 
+mod env;
+pub use env::{
+    EnvironmentSpec, PriceTimeline, ReclaimStorm, VmTraits, SALT_ENV_MARKET, SALT_ENV_STORM,
+    SALT_ENV_VM,
+};
+
 /// Per-attempt fault probabilities are capped below 1 so bounded retries
 /// converge in expectation instead of looping on a certainly-failing op.
 pub const MAX_ATTEMPT_PROBABILITY: f64 = 0.95;
@@ -136,6 +142,10 @@ pub struct FaultSpec {
     pub straggler_rate: f64,
     /// Runtime multiplier applied to straggler tasks (`>= 1`).
     pub straggler_slowdown: f64,
+    /// Persistent environmental diversity: per-VM heterogeneity,
+    /// spot-market motion, reclaim storms, and a second region (see
+    /// [`EnvironmentSpec`]). Defaults to zero intensity (inert).
+    pub environment: EnvironmentSpec,
 }
 
 impl Default for FaultSpec {
@@ -150,6 +160,7 @@ impl Default for FaultSpec {
             transport_drop_rate: 0.0,
             straggler_rate: 0.0,
             straggler_slowdown: 4.0,
+            environment: EnvironmentSpec::default(),
         }
     }
 }
@@ -194,8 +205,16 @@ impl FaultSpec {
         self
     }
 
-    /// Whether every injection point is inert (rate zero). A zero spec
-    /// compiles to a plan that never draws — the documented no-op.
+    /// Builder: environmental diversity (heterogeneity, market motion,
+    /// storms, second region).
+    pub fn with_environment(mut self, environment: EnvironmentSpec) -> Self {
+        self.environment = environment;
+        self
+    }
+
+    /// Whether every injection point is inert (rate zero) *and* the
+    /// environment has zero intensity. A zero spec compiles to a plan
+    /// that never draws — the documented no-op.
     pub fn is_zero(&self) -> bool {
         self.spot_reclaims_per_vm_hour == 0.0
             && self.pool_invoke_failure_rate == 0.0
@@ -204,6 +223,13 @@ impl FaultSpec {
             && self.store_put_error_rate == 0.0
             && self.transport_drop_rate == 0.0
             && self.straggler_rate == 0.0
+            && self.environment.is_zero()
+    }
+
+    /// Alias for [`FaultSpec::is_zero`]: a spec is a no-op exactly when
+    /// every fault rate *and* every environment intensity is zero.
+    pub fn is_noop(&self) -> bool {
+        self.is_zero()
     }
 
     /// Range-check every knob. Per-attempt probabilities are capped at
@@ -238,6 +264,7 @@ impl FaultSpec {
                 value: self.straggler_slowdown,
             });
         }
+        self.environment.validate()?;
         Ok(())
     }
 }
@@ -369,6 +396,12 @@ pub struct FaultPlan {
     store_put: Pcg32,
     transport: Pcg32,
     straggler: Pcg32,
+    /// Seed-compiled market schedule (flat when the environment has no
+    /// market motion).
+    timeline: PriceTimeline,
+    /// Seed-compiled reclaim-storm schedule (`None` when storms are
+    /// off).
+    storm: Option<ReclaimStorm>,
 }
 
 /// Decorrelate the per-point streams from the run seed (and from the
@@ -412,6 +445,8 @@ impl FaultPlan {
             store_put: stream(seed, 0xFA04),
             transport: stream(seed, 0xFA05),
             straggler: stream(seed, 0xFA06),
+            timeline: PriceTimeline::compile(&spec.environment, seed),
+            storm: ReclaimStorm::compile(&spec.environment, seed),
         })
     }
 
@@ -436,7 +471,19 @@ impl FaultPlan {
     /// `Some(fraction)` means the VM is reclaimed that fraction of the
     /// way through the task.
     pub fn vm_interrupt(&mut self, task_seconds: f64) -> Option<f64> {
-        let rate = self.spec.spot_reclaims_per_vm_hour;
+        self.vm_interrupt_at(0, task_seconds)
+    }
+
+    /// Storm-aware variant of [`FaultPlan::vm_interrupt`]: the hazard
+    /// at `now_s` is `max(base, storm)` inside a reclaim-storm window.
+    /// With storms off this draws identically to the base method, so
+    /// existing golden dumps are unchanged.
+    pub fn vm_interrupt_at(&mut self, now_s: u64, task_seconds: f64) -> Option<f64> {
+        let base = self.spec.spot_reclaims_per_vm_hour;
+        let rate = match &self.storm {
+            Some(storm) => storm.rate_at(now_s, base),
+            None => base,
+        };
         if rate <= 0.0 || task_seconds <= 0.0 {
             return None;
         }
@@ -446,6 +493,22 @@ impl FaultPlan {
         } else {
             None
         }
+    }
+
+    /// Persistent traits of VM `vm` — a pure keyed draw on the
+    /// environment spec (see [`EnvironmentSpec::vm_traits`]).
+    pub fn vm_traits(&self, vm: u64) -> VmTraits {
+        self.spec.environment.vm_traits(self.seed, vm)
+    }
+
+    /// The compiled market schedule for this run.
+    pub fn price_timeline(&self) -> &PriceTimeline {
+        &self.timeline
+    }
+
+    /// Whether `now_s` falls inside a compiled reclaim storm.
+    pub fn in_storm(&self, now_s: u64) -> bool {
+        self.storm.as_ref().is_some_and(|s| s.in_storm(now_s))
     }
 
     /// Decide one elastic-pool invoke attempt.
@@ -570,6 +633,72 @@ impl FaultInjector {
         let frac = s.plan.vm_interrupt(task_seconds)?;
         s.telemetry.counter_add("fault.spot_reclaims_total", 1);
         Some(frac)
+    }
+
+    /// Storm-aware spot-reclaim draw: the hazard at `now_s` rises to
+    /// the storm rate inside a compiled reclaim-storm window. Counts
+    /// `fault.spot_reclaims_total` on any hit and additionally
+    /// `env.storm_reclaims_total` when the hit lands inside a storm.
+    /// With storms off this is draw-identical to
+    /// [`FaultInjector::vm_interrupt`].
+    pub fn vm_interrupt_at(&self, now_s: u64, task_seconds: f64) -> Option<f64> {
+        let mut s = self.lock()?;
+        let frac = s.plan.vm_interrupt_at(now_s, task_seconds)?;
+        s.telemetry.counter_add("fault.spot_reclaims_total", 1);
+        if s.plan.in_storm(now_s) {
+            s.telemetry.counter_add("env.storm_reclaims_total", 1);
+        }
+        Some(frac)
+    }
+
+    /// Persistent traits of VM `vm` — a pure keyed recompute, no
+    /// telemetry, callable from any phase (default traits when
+    /// disabled).
+    pub fn vm_traits(&self, vm: u64) -> VmTraits {
+        self.lock()
+            .map(|s| s.plan.vm_traits(vm))
+            .unwrap_or_default()
+    }
+
+    /// Record that VM `vm` started and return its persistent traits.
+    /// With a zero-intensity environment this records nothing and
+    /// returns default traits (the no-op contract); otherwise it
+    /// observes the draw in the `env.vm_slowdown` histogram and counts
+    /// `env.vms_total` / `env.remote_vms_total`.
+    pub fn vm_started(&self, vm: u64) -> VmTraits {
+        let Some(s) = self.lock() else {
+            return VmTraits::default();
+        };
+        if s.plan.spec.environment.is_zero() {
+            return VmTraits::default();
+        }
+        let traits = s.plan.vm_traits(vm);
+        s.telemetry.observe_with_buckets(
+            "env.vm_slowdown",
+            traits.slowdown,
+            &[1.0, 1.25, 1.5, 2.0, 3.0, 4.0, 6.0],
+        );
+        s.telemetry.counter_add("env.vms_total", 1);
+        if traits.remote {
+            s.telemetry.counter_add("env.remote_vms_total", 1);
+        }
+        traits
+    }
+
+    /// The compiled market schedule (flat when disabled or when the
+    /// environment has no market motion).
+    pub fn price_timeline(&self) -> PriceTimeline {
+        self.lock()
+            .map(|s| s.plan.price_timeline().clone())
+            .unwrap_or_else(PriceTimeline::flat)
+    }
+
+    /// The environment spec this injector was compiled from (zero when
+    /// disabled).
+    pub fn environment(&self) -> EnvironmentSpec {
+        self.lock()
+            .map(|s| s.plan.spec.environment.clone())
+            .unwrap_or_default()
     }
 
     /// Straggler draw for one task; counts `fault.stragglers_total` on a
@@ -1020,6 +1149,85 @@ mod tests {
     }
 
     #[test]
+    fn environment_only_spec_is_not_a_noop() {
+        // The environment knobs participate in is_zero/is_noop: a spec
+        // with only heterogeneity set must not be treated as inert.
+        let spec = FaultSpec::default()
+            .with_environment(EnvironmentSpec::default().with_vm_heterogeneity(0.3, 2.0, 0.5));
+        assert!(!spec.is_zero());
+        assert!(!spec.is_noop());
+        assert!(FaultSpec::default().is_noop());
+        // Environment knobs are validated through the fault spec:
+        // compile rejects a negative spread with a typed error.
+        let bad = FaultSpec::default()
+            .with_environment(EnvironmentSpec::default().with_vm_heterogeneity(0.3, 2.0, -1.0));
+        assert!(matches!(
+            FaultPlan::compile(&bad, 1),
+            Err(FaultError::InvalidRate { knob, .. }) if knob == "env.vm_slowdown_spread"
+        ));
+    }
+
+    #[test]
+    fn storm_free_interrupt_draws_match_the_legacy_path() {
+        // vm_interrupt_at must be draw-identical to vm_interrupt when
+        // storms are off, so switching call sites over cannot move
+        // existing golden dumps.
+        let spec = FaultSpec::default().with_spot_reclaims(30.0);
+        let mut a = FaultPlan::compile(&spec, 17).unwrap();
+        let mut b = FaultPlan::compile(&spec, 17).unwrap();
+        for i in 0..200 {
+            assert_eq!(a.vm_interrupt(120.0), b.vm_interrupt_at(i * 60, 120.0));
+        }
+    }
+
+    #[test]
+    fn storms_raise_the_reclaim_hazard_and_count_in_telemetry() {
+        let t = Telemetry::new();
+        let spec = FaultSpec::default()
+            .with_environment(EnvironmentSpec::default().with_reclaim_storms(24.0, 1800, 240.0));
+        let inj = FaultInjector::new(
+            FaultPlan::compile(&spec, 23).unwrap(),
+            RecoveryPolicy::default(),
+        )
+        .instrumented(&t);
+        // Base rate is zero, so every reclaim comes from a storm.
+        let mut hits = 0;
+        for s in 0..3600 {
+            if inj.vm_interrupt_at(s, 60.0).is_some() {
+                hits += 1;
+            }
+        }
+        assert!(hits > 0, "240/vm-hour inside 1800 s storms must fire");
+        assert_eq!(t.counter("env.storm_reclaims_total"), hits);
+        assert_eq!(t.counter("fault.spot_reclaims_total"), hits);
+    }
+
+    #[test]
+    fn vm_started_is_silent_for_zero_environments() {
+        let t = Telemetry::new();
+        let inj = FaultInjector::new(
+            FaultPlan::compile(&FaultSpec::default().with_spot_reclaims(5.0), 3).unwrap(),
+            RecoveryPolicy::default(),
+        )
+        .instrumented(&t);
+        // Zero environment: default traits, nothing recorded.
+        assert_eq!(inj.vm_started(7), VmTraits::default());
+        assert_eq!(t.export_jsonl().lines().count(), 1, "only the meta line");
+        // Active environment: traits recorded and pure.
+        let t2 = Telemetry::new();
+        let env = EnvironmentSpec::default().with_vm_heterogeneity(1.0, 3.0, 0.0);
+        let inj2 = FaultInjector::new(
+            FaultPlan::compile(&FaultSpec::default().with_environment(env), 3).unwrap(),
+            RecoveryPolicy::default(),
+        )
+        .instrumented(&t2);
+        let traits = inj2.vm_started(7);
+        assert_eq!(traits.slowdown, 3.0);
+        assert_eq!(inj2.vm_traits(7), traits);
+        assert_eq!(t2.counter("env.vms_total"), 1);
+    }
+
+    #[test]
     fn disabled_injector_is_a_noop() {
         let inj = FaultInjector::disabled();
         assert!(!inj.is_enabled());
@@ -1033,6 +1241,11 @@ mod tests {
         assert_eq!(inj.transport_read_retries_keyed(7), 0);
         assert_eq!(inj.straggler(), None);
         assert_eq!(inj.policy(), RecoveryPolicy::default());
+        assert_eq!(inj.vm_interrupt_at(100, 1000.0), None);
+        assert_eq!(inj.vm_traits(3), VmTraits::default());
+        assert_eq!(inj.vm_started(3), VmTraits::default());
+        assert!(inj.price_timeline().is_flat());
+        assert!(inj.environment().is_zero());
     }
 
     #[test]

@@ -24,7 +24,7 @@ const METHODS: [(&str, usize); 5] = [
 ];
 
 /// Component prefixes blessed by the DESIGN §7 table.
-const PREFIXES: [&str; 13] = [
+const PREFIXES: [&str; 14] = [
     "run",
     "meta",
     "engine",
@@ -38,6 +38,7 @@ const PREFIXES: [&str; 13] = [
     "endpoint",
     "serve",
     "tenant",
+    "env",
 ];
 
 pub fn check(ws: &Workspace, out: &mut Vec<RawFinding>) {
@@ -193,6 +194,26 @@ mod tests {
         let near = findings("fn f(t: &T) { t.counter_add(\"serv.admitted_total\", 1); }");
         assert_eq!(near.len(), 1, "{near:?}");
         assert!(near[0].message.contains("`serv`"), "{near:?}");
+    }
+
+    #[test]
+    fn environment_prefix_blessed() {
+        let f = findings(
+            "fn f(t: &Registry) { t.counter_add(\"env.storm_reclaims_total\", 1);\n\
+             t.counter_add(\"env.egress_bytes_total\", 512);\n\
+             t.observe_with_buckets(\"env.vm_slowdown\", 2.0, &[1.0, 2.0, 4.0]); }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+        // Near-miss prefixes still fail the table lookup.
+        let near = findings("fn f(t: &T) { t.counter_add(\"en.vms_total\", 1); }");
+        assert_eq!(near.len(), 1, "{near:?}");
+        assert!(near[0].message.contains("`en`"), "{near:?}");
+        // format!-building an env name is flagged like any other.
+        let built = findings(
+            "fn f(t: &T, region: &str) { t.counter_add(&format!(\"env.{}_vms_total\", region), 1); }",
+        );
+        assert_eq!(built.len(), 1, "{built:?}");
+        assert!(built[0].message.contains("format!-built"));
     }
 
     #[test]

@@ -18,11 +18,18 @@
 //! worker counts.
 
 /// Per-tenant admission quota: a token bucket in integer milli-tokens.
+///
+/// The rate is held per *minute* rather than per second: dividing a
+/// per-minute rate down to milli-tokens per second truncates for any
+/// rate not divisible by 60 (50 qpm became 833 milli/s — forever
+/// admitting ~49.98 queries per minute). [`TokenBucket`] carries the
+/// division remainder across refills instead, so the long-run admitted
+/// rate is exact.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QuotaSpec {
-    /// Refill rate in milli-tokens per simulated second (1000 = one
+    /// Refill rate in milli-tokens per simulated minute (60 000 = one
     /// query per second).
-    pub rate_milli_per_s: u64,
+    pub rate_milli_per_min: u64,
     /// Bucket capacity in milli-tokens (the burst allowance).
     pub burst_milli: u64,
 }
@@ -31,10 +38,10 @@ impl QuotaSpec {
     /// A quota of `qps` queries per second with a default burst of one
     /// second's worth of tokens (at least one query).
     pub fn per_second(qps: f64) -> Self {
-        let rate = (qps.max(0.0) * 1000.0).round() as u64;
+        let qps = qps.max(0.0);
         QuotaSpec {
-            rate_milli_per_s: rate,
-            burst_milli: rate.max(1000),
+            rate_milli_per_min: (qps * 60_000.0).round() as u64,
+            burst_milli: ((qps * 1000.0).round() as u64).max(1000),
         }
     }
 
@@ -42,7 +49,7 @@ impl QuotaSpec {
     /// whole queries.
     pub fn per_minute(qpm: u64, burst: u64) -> Self {
         QuotaSpec {
-            rate_milli_per_s: qpm.saturating_mul(1000) / 60,
+            rate_milli_per_min: qpm.saturating_mul(1000),
             burst_milli: burst.max(1).saturating_mul(1000),
         }
     }
@@ -62,6 +69,10 @@ const TOKEN_MILLI: u64 = 1000;
 pub struct TokenBucket {
     spec: QuotaSpec,
     level_milli: u64,
+    /// Sub-milli refill remainder in 1/60ths of a milli-token, carried
+    /// across refills so non-divisible per-minute rates admit exactly
+    /// `qpm` queries per minute in the long run.
+    carry: u64,
     last_s: u64,
 }
 
@@ -71,6 +82,7 @@ impl TokenBucket {
         TokenBucket {
             spec,
             level_milli: spec.burst_milli,
+            carry: 0,
             last_s: 0,
         }
     }
@@ -80,11 +92,24 @@ impl TokenBucket {
     pub fn try_take(&mut self, now_s: u64) -> bool {
         let elapsed = now_s.saturating_sub(self.last_s);
         self.last_s = now_s;
-        let refill = self.spec.rate_milli_per_s.saturating_mul(elapsed);
-        self.level_milli = self
-            .level_milli
-            .saturating_add(refill)
-            .min(self.spec.burst_milli);
+        // Exact lazy refill: `num` counts 1/60ths of a milli-token, so
+        // the division remainder survives to the next call instead of
+        // being dropped every second.
+        let num = self
+            .spec
+            .rate_milli_per_min
+            .saturating_mul(elapsed)
+            .saturating_add(self.carry);
+        let level = self.level_milli.saturating_add(num / 60);
+        if level >= self.spec.burst_milli {
+            // A full bucket is genuinely full: the remainder must not
+            // smuggle tokens past the burst cap after a long idle gap.
+            self.level_milli = self.spec.burst_milli;
+            self.carry = 0;
+        } else {
+            self.level_milli = level;
+            self.carry = num % 60;
+        }
         if self.level_milli >= TOKEN_MILLI {
             self.level_milli -= TOKEN_MILLI;
             true
@@ -162,14 +187,54 @@ mod tests {
     #[test]
     fn per_second_constructor_rounds_to_milli() {
         let q = QuotaSpec::per_second(2.5);
-        assert_eq!(q.rate_milli_per_s, 2500);
+        assert_eq!(q.rate_milli_per_min, 150_000);
         assert_eq!(q.burst_milli, 2500);
         // Sub-query rates keep a one-query burst floor.
         let slow = QuotaSpec::per_second(0.25);
-        assert_eq!(slow.rate_milli_per_s, 250);
+        assert_eq!(slow.rate_milli_per_min, 15_000);
         assert_eq!(slow.burst_milli, 1000);
         let b = QuotaSpec::per_second(1.0).with_burst(5);
         assert_eq!(b.burst_milli, 5000);
+    }
+
+    #[test]
+    fn non_divisible_rates_admit_exactly_qpm_long_run() {
+        // 50 qpm does not divide 60: the old per-second representation
+        // truncated to 833 milli/s and admitted ~49.98 queries/minute
+        // forever. With the carried remainder the long-horizon count is
+        // exact: burst + qpm × minutes, polled every simulated second.
+        let mut b = TokenBucket::new(QuotaSpec::per_minute(50, 2));
+        let mut admitted = 0u64;
+        while b.try_take(0) {
+            admitted += 1;
+        }
+        assert_eq!(admitted, 2, "burst drains first");
+        let minutes = 1000u64;
+        for s in 1..=minutes * 60 {
+            if b.try_take(s) {
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, 2 + 50 * minutes, "long-run rate must be exact");
+        assert_eq!(b.level_milli(), 0, "50 000 × 60 000 / 60 leaves no residue");
+        // The truncating arithmetic would have lost 20 queries here:
+        // 833 milli/s × 60 000 s admits only 49 980.
+        assert_ne!(833 * 60_000 / 1000, 50 * minutes);
+    }
+
+    #[test]
+    fn carry_resets_when_the_bucket_tops_out() {
+        // 7 qpm, burst 1. After a week-long idle gap the bucket is full
+        // — exactly one query — and the remainder is discarded rather
+        // than banked as a head start on the next refill.
+        let mut b = TokenBucket::new(QuotaSpec::per_minute(7, 1));
+        assert!(b.try_take(0));
+        assert!(b.try_take(7 * 86_400), "full after the gap");
+        assert!(!b.try_take(7 * 86_400), "but only burst-deep");
+        // Next token needs the full 1000/7000-per-min wait (~8.6 s), not
+        // less: a banked carry would shave the first interval.
+        assert!(!b.try_take(7 * 86_400 + 8));
+        assert!(b.try_take(7 * 86_400 + 9));
     }
 
     #[test]

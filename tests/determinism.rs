@@ -189,6 +189,73 @@ fn golden_dumps_are_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn golden_env_run_dumps_are_byte_identical_across_worker_counts() {
+    // Same worker-count guarantee with the full environment model active:
+    // per-VM heterogeneity, a moving spot market with reclaim storms, and
+    // a remote region billing egress. Every environmental draw is a pure
+    // keyed function of (seed, entity), never a stream consumption, so
+    // the dump must not move by a byte between 1, 2 and 8 workers.
+    let env = cackle::EnvironmentSpec::default()
+        .with_vm_heterogeneity(0.25, 2.0, 0.5)
+        .with_market_motion(0.3, 900)
+        .with_reclaim_storms(24.0, 600, 12.0)
+        .with_remote_region(0.5, 700, 20_000);
+    let dump = |workers: u32| {
+        let w = workload(29);
+        let t = Telemetry::new();
+        let spec = RunSpec::new()
+            .with_strategy("dynamic")
+            .with_environment(env.clone())
+            .with_workers(workers)
+            .with_telemetry(&t);
+        run_system(&w, &spec);
+        t.export_jsonl()
+    };
+    let serial = dump(1);
+    assert!(
+        serial.contains("env.vm_slowdown") && serial.contains("env.egress_bytes_total"),
+        "environment model was not active"
+    );
+    for workers in [2u32, 8] {
+        let parallel = dump(workers);
+        assert!(
+            serial == parallel,
+            "env dump moved at {workers} workers (lengths {} vs {})",
+            serial.len(),
+            parallel.len()
+        );
+    }
+    let errors = cackle_telemetry::check::check_dump(&serial);
+    assert!(errors.is_empty(), "{errors:?}");
+}
+
+#[test]
+fn zero_intensity_environment_leaves_the_dump_untouched() {
+    // The environment counterpart of the zero-rate fault guarantee: a
+    // default (all-zero) environment spec compiles to artifacts that
+    // record nothing and multiply by exactly 1.0, so attaching one must
+    // not move a single byte relative to no environment at all.
+    let dump = |attached: bool| {
+        let w = workload(31);
+        let t = Telemetry::new();
+        let mut spec = RunSpec::new().with_strategy("dynamic").with_telemetry(&t);
+        if attached {
+            spec = spec.with_environment(cackle::EnvironmentSpec::default());
+        }
+        run_system(&w, &spec);
+        t.export_jsonl()
+    };
+    let plain = dump(false);
+    let zero = dump(true);
+    assert!(
+        plain == zero,
+        "zero-intensity environment moved the dump (lengths {} vs {})",
+        plain.len(),
+        zero.len()
+    );
+}
+
+#[test]
 fn zero_rate_fault_plan_leaves_the_dump_untouched() {
     // The no-op guarantee: attaching an all-zero fault plan must not move
     // a single byte of the telemetry dump relative to no plan at all —
