@@ -14,22 +14,39 @@ cargo run -q -p cackle-lint -- . --baseline lint-baseline.txt --include-tests
 
 echo "==> cackle-lint JSON diagnostics (deterministic artifact)"
 mkdir -p results
-# The meta block's per-phase "ms" timings are the one nondeterministic
-# field; normalize them to 0 before the archived artifact and the
-# byte-identity check.
+# --timings none zeroes the meta block's wall-clock fields — the one
+# nondeterministic part of the output — so the archived artifact is
+# byte-identical across runs, checked below.
 cargo run -q -p cackle-lint -- . --baseline lint-baseline.txt --include-tests \
-    --format json | sed 's/"ms": [0-9]*/"ms": 0/g' > results/lint-diagnostics.json
+    --format json --timings none > results/lint-diagnostics.json
 cargo run -q -p cackle-lint -- . --baseline lint-baseline.txt --include-tests \
-    --format json | sed 's/"ms": [0-9]*/"ms": 0/g' > results/lint-diagnostics.rerun.json
+    --format json --timings none > results/lint-diagnostics.rerun.json
 cmp results/lint-diagnostics.json results/lint-diagnostics.rerun.json \
     || { echo "cackle-lint: JSON output is not byte-identical across runs" >&2; exit 1; }
 rm -f results/lint-diagnostics.rerun.json
 
-echo "==> cackle-lint --explain smoke (every rule id documents itself)"
-for rule in L1 L2 L3 L4 L5 L6 L7 L8 L9 L10 L11 L12 L13 L14 L15 L16 SUP; do
+echo "==> cackle-lint --explain smoke (every registered rule documents itself)"
+# --list-rules is the registry of record: the loop below can never go
+# stale when a rule is added or retired.
+for rule in $(cargo run -q -p cackle-lint -- --list-rules | cut -f1); do
     cargo run -q -p cackle-lint -- --explain "$rule" > /dev/null \
         || { echo "cackle-lint: --explain $rule failed" >&2; exit 1; }
 done
+
+echo "==> cackle-lint fix --dry-run (deterministic and idempotent)"
+# The tree lints clean, so the planned diff must be empty — and a
+# second plan over the unchanged tree must be byte-identical.
+cargo run -q -p cackle-lint -- fix . --dry-run --include-tests \
+    > results/lint-fix-plan.diff
+cargo run -q -p cackle-lint -- fix . --dry-run --include-tests \
+    > results/lint-fix-plan.rerun.diff
+cmp results/lint-fix-plan.diff results/lint-fix-plan.rerun.diff \
+    || { echo "cackle-lint: fix --dry-run is not deterministic across runs" >&2; exit 1; }
+rm -f results/lint-fix-plan.rerun.diff
+if test -s results/lint-fix-plan.diff; then
+    echo "cackle-lint: fix --dry-run planned edits on a clean tree" >&2
+    exit 1
+fi
 
 echo "==> cargo build --release"
 cargo build --workspace --release

@@ -112,6 +112,11 @@ impl ObjectStore {
         let attempts = self.attempts(StoreOp::Get, key);
         let out = read_objects(&self.objects).get(key).cloned();
         let mut l = lock_ledger(&self.ledger);
+        // Request billing is deliberately immediate, not barrier-buffered:
+        // the store ledger is lock-guarded, bills exactly once per attempt,
+        // and attempt counts come from keyed draws, so totals are
+        // order-independent (only dollar sums, never sequences, publish).
+        // cackle-lint: allow(L17)
         l.charge_requests(CostCategory::S3Get, attempts, self.pricing.s3_get);
         l.get_requests += attempts;
         if let Some(b) = &out {

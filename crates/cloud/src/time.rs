@@ -52,6 +52,7 @@ impl SimTime {
     }
 
     /// Saturating subtraction of a duration.
+    // cackle-lint: pure(self, d)
     pub fn saturating_sub(self, d: SimDuration) -> SimTime {
         SimTime(self.0.saturating_sub(d.0))
     }

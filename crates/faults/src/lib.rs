@@ -507,6 +507,7 @@ impl FaultPlan {
     }
 
     /// Whether `now_s` falls inside a compiled reclaim storm.
+    // cackle-lint: pure(self, now_s)
     pub fn in_storm(&self, now_s: u64) -> bool {
         self.storm.as_ref().is_some_and(|s| s.in_storm(now_s))
     }

@@ -15,6 +15,8 @@
 
 use crate::parser::ParsedFile;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Std-utility method names excluded from call-graph edges. Everything
 /// here is a name no workspace fn should reuse for lock-taking or
@@ -121,29 +123,125 @@ pub struct Workspace {
     pub index: Index,
 }
 
+/// Wall-clock accounting for the parallel lex+parse stage: `task_ms`
+/// is the sum of per-worker busy time, `wall_ms` the elapsed time of
+/// the whole stage, so `task_ms / wall_ms` is the realized speedup.
+/// All three zero out under `--timings none` (worker count is
+/// machine-dependent, so determinism requires hiding it too).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParallelStats {
+    /// Worker threads used (1 = serial path).
+    pub workers: usize,
+    /// Sum of per-worker busy milliseconds.
+    pub task_ms: u128,
+    /// Elapsed milliseconds of the parse stage.
+    pub wall_ms: u128,
+}
+
+impl ParallelStats {
+    /// Realized parse-stage speedup ×1000 (`2500` = 2.5×), `0` when
+    /// the stage was too fast to measure.
+    pub fn speedup_milli(&self) -> u128 {
+        if self.wall_ms == 0 {
+            0
+        } else {
+            self.task_ms * 1000 / self.wall_ms
+        }
+    }
+}
+
+fn parse_one(rel_path: String, source: String) -> SourceFile {
+    let parsed = ParsedFile::parse(&source);
+    let stem = rel_path
+        .rsplit('/')
+        .next()
+        .unwrap_or(&rel_path)
+        .trim_end_matches(".rs")
+        .to_string();
+    let is_test_dir = rel_path.split('/').any(|c| c == "tests" || c == "benches");
+    SourceFile {
+        rel_path,
+        source,
+        parsed,
+        stem,
+        is_test_dir,
+    }
+}
+
 impl Workspace {
     /// Parse and index `(rel_path, source)` pairs.
     pub fn build(inputs: Vec<(String, String)>) -> Workspace {
-        let files: Vec<SourceFile> = inputs
-            .into_iter()
-            .map(|(rel_path, source)| {
-                let parsed = ParsedFile::parse(&source);
-                let stem = rel_path
-                    .rsplit('/')
-                    .next()
-                    .unwrap_or(&rel_path)
-                    .trim_end_matches(".rs")
-                    .to_string();
-                let is_test_dir = rel_path.split('/').any(|c| c == "tests" || c == "benches");
-                SourceFile {
-                    rel_path,
-                    source,
-                    parsed,
-                    stem,
-                    is_test_dir,
-                }
-            })
-            .collect();
+        Workspace::build_with_stats(inputs).0
+    }
+
+    /// [`Workspace::build`] plus parse-stage parallelism accounting.
+    ///
+    /// Lex+parse is embarrassingly parallel (per-file, no shared
+    /// state), so files are claimed by index from a
+    /// `std::thread::scope` pool — the same claim-by-index pattern as
+    /// the engine executor, and the second blessed L6 site. Results
+    /// land in index-ordered slots and the symbol index is built
+    /// serially afterwards, so the workspace — and every finding and
+    /// byte of output derived from it — is identical at any worker
+    /// count.
+    pub fn build_with_stats(inputs: Vec<(String, String)>) -> (Workspace, ParallelStats) {
+        let wall = Instant::now();
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+            .min(inputs.len().max(1));
+        let (files, task_ms) = if workers < 2 {
+            let t = Instant::now();
+            let files = inputs
+                .into_iter()
+                .map(|(p, s)| parse_one(p, s))
+                .collect::<Vec<_>>();
+            (files, t.elapsed().as_millis())
+        } else {
+            let n = inputs.len();
+            let next = AtomicUsize::new(0);
+            let busy_ms = AtomicU64::new(0);
+            let mut slots: Vec<Option<SourceFile>> = Vec::new();
+            slots.resize_with(n, || None);
+            let parsed: Vec<(usize, SourceFile)> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let t = Instant::now();
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::SeqCst);
+                                if i >= n {
+                                    break;
+                                }
+                                let (p, src) = &inputs[i];
+                                local.push((i, parse_one(p.clone(), src.clone())));
+                            }
+                            busy_ms.fetch_add(t.elapsed().as_millis() as u64, Ordering::SeqCst);
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("parser worker panicked"))
+                    .collect()
+            });
+            for (i, file) in parsed {
+                slots[i] = Some(file);
+            }
+            let files = slots
+                .into_iter()
+                .map(|f| f.expect("every input index claimed exactly once"))
+                .collect();
+            (files, busy_ms.load(Ordering::SeqCst) as u128)
+        };
+        let stats = ParallelStats {
+            workers,
+            task_ms,
+            wall_ms: wall.elapsed().as_millis(),
+        };
 
         let mut index = Index::default();
         for (fi, f) in files.iter().enumerate() {
@@ -180,7 +278,7 @@ impl Workspace {
                     .push(id);
             }
         }
-        Workspace { files, index }
+        (Workspace { files, index }, stats)
     }
 
     /// The fn item record for fn id `id`.
@@ -344,6 +442,31 @@ mod tests {
         let atomics = &w.index.atomic_names[0];
         assert!(atomics.contains("n") && atomics.contains("c"));
         assert!(!atomics.contains("data"));
+    }
+
+    #[test]
+    fn parallel_parse_preserves_input_order_and_index() {
+        // Enough files that a multi-core machine takes the pooled path;
+        // the workspace must come out in input order regardless, with
+        // fn ids assigned file-major exactly as the serial path would.
+        let inputs: Vec<(String, String)> = (0..40)
+            .map(|i| {
+                (
+                    format!("crates/core/src/f{i:02}.rs"),
+                    format!("pub fn f{i:02}() {{ helper(); }}"),
+                )
+            })
+            .collect();
+        let (w, stats) = Workspace::build_with_stats(inputs.clone());
+        assert!(stats.workers >= 1);
+        assert_eq!(w.files.len(), 40);
+        for (i, f) in w.files.iter().enumerate() {
+            assert_eq!(f.rel_path, inputs[i].0);
+        }
+        for (id, f) in w.index.fns.iter().enumerate() {
+            assert_eq!(f.file, id, "fn ids must be file-major in input order");
+        }
+        assert_eq!(w.index.by_name.len(), 40);
     }
 
     #[test]

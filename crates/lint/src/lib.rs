@@ -21,7 +21,7 @@
 //! | L3 | no order-revealing iteration of `HashMap` / `HashSet` | `crates/engine`, `crates/core`, `crates/telemetry` |
 //! | L4 | *(retired — subsumed by L11)* | — |
 //! | L5 | no `unwrap()` / `expect()` / `panic!` on hot paths | `crates/cloud/src`, `crates/telemetry/src`, `crates/faults/src`, `crates/serve/src`, `core/{system,transport}.rs`, `engine/{task,shuffle,table,executor}.rs` |
-//! | L6 | no `thread::spawn` / `thread::scope` (ad-hoc threading) | everywhere except `crates/engine/src/executor.rs` |
+//! | L6 | no `thread::spawn` / `thread::scope` (ad-hoc threading) | everywhere except `engine/src/executor.rs`, `lint/src/index.rs` |
 //! | L7 | no lock-order cycles (static deadlock detector) | `crates/engine`, `crates/core` |
 //! | L8 | no `Ordering::Relaxed` on atomics shared with worker closures | `crates/engine`, `crates/core` |
 //! | L9 | no sequential fault draws reachable from `execute_task_buffered` | `crates/engine`, `crates/core`, `crates/cloud` |
@@ -32,6 +32,9 @@
 //! | L14 | no per-iteration allocation on engine hot paths | `crates/engine`, `crates/serve` |
 //! | L15 | no narrowing `as` casts on unit-carrying values | everywhere except `crates/bench` |
 //! | L16 | pooled scratch checkouts balance with recycles per fn | `crates/engine` except `kernels/pool.rs` |
+//! | L17 | no parallel-phase writes to shared registries (telemetry / shuffle / ledger) | `crates/engine`, `crates/core`, `crates/cloud` |
+//! | L18 | draws with a `_keyed` twin must use it in parallel-phase code | `crates/engine`, `crates/core`, `crates/cloud` |
+//! | L19 | `pure(...)`-annotated fns uphold their purity contract | everywhere except `crates/bench` |
 //!
 //! L12–L15 sit on the intra-procedural dataflow layer ([`dataflow`]):
 //! a per-function assignment graph over the parser's statement/scope
@@ -40,6 +43,15 @@
 //! overridden per binding with `// cackle-lint: unit(usd|seconds|bytes|\
 //! rows|count|none)` ([`units`]); `unit(none)` marks a binding as
 //! explicitly dimensionless.
+//!
+//! L17–L19 sit on the interprocedural layer: every fn BFS-reachable
+//! from `execute_task_buffered` is classified *parallel-phase*, and
+//! such code may neither write shared registries directly (L17) nor
+//! call a draw whose `_keyed` twin exists (L18). `// cackle-lint:
+//! pure(param, ...)` on the line above a fn declares a purity contract
+//! — no mutable statics, no interior mutability, no unannotated
+//! workspace callees, draw keys derived only from the declared
+//! parameters — that L19 verifies (see [`rules::purity`]).
 //!
 //! `tests/`, `benches/`, and `#[cfg(test)]` / `#[test]` items are
 //! skipped by default: test code may use the host clock, unwraps, and
@@ -86,6 +98,7 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 pub mod dataflow;
+pub mod fix;
 pub mod index;
 pub mod lexer;
 pub mod parser;
@@ -132,13 +145,19 @@ pub enum LintId {
     L15,
     /// Pooled scratch buffers checked out but never recycled.
     L16,
+    /// Phase discipline: parallel-phase writes to shared registries.
+    L17,
+    /// Keyed-draw completeness: a `_keyed` twin exists but is unused.
+    L18,
+    /// Purity contracts: `pure(...)`-annotated fns must stay pure.
+    L19,
     /// Malformed suppression comment (cannot itself be suppressed).
     Sup,
 }
 
 impl LintId {
     /// All rules, in report order.
-    pub const ALL: [LintId; 17] = [
+    pub const ALL: [LintId; 20] = [
         LintId::L1,
         LintId::L2,
         LintId::L3,
@@ -155,6 +174,9 @@ impl LintId {
         LintId::L14,
         LintId::L15,
         LintId::L16,
+        LintId::L17,
+        LintId::L18,
+        LintId::L19,
         LintId::Sup,
     ];
 
@@ -178,6 +200,9 @@ impl LintId {
             "L14" => Some(LintId::L14),
             "L15" => Some(LintId::L15),
             "L16" => Some(LintId::L16),
+            "L17" => Some(LintId::L17),
+            "L18" => Some(LintId::L18),
+            "L19" => Some(LintId::L19),
             _ => None,
         }
     }
@@ -210,6 +235,9 @@ impl fmt::Display for LintId {
             LintId::L14 => "L14",
             LintId::L15 => "L15",
             LintId::L16 => "L16",
+            LintId::L17 => "L17",
+            LintId::L18 => "L18",
+            LintId::L19 => "L19",
             LintId::Sup => "SUP",
         };
         f.write_str(s)
@@ -229,6 +257,17 @@ pub struct Finding {
     pub message: String,
     /// How to fix it.
     pub suggestion: String,
+    /// Machine-applicable byte-span edits realizing the suggestion —
+    /// empty when the rule has no mechanical rewrite for this site.
+    /// Sorts/compares last, so diagnostics order is unchanged.
+    pub fix: Vec<fix::Edit>,
+}
+
+impl Finding {
+    /// Does `cackle-lint fix` have a mechanical rewrite for this site?
+    pub fn fixable(&self) -> bool {
+        !self.fix.is_empty()
+    }
 }
 
 impl fmt::Display for Finding {
@@ -272,11 +311,13 @@ fn applies(id: LintId, path: &str) -> bool {
                         | "crates/engine/src/executor.rs"
                 )
         }
-        // All threading goes through the deterministic stage executor:
+        // All threading goes through the deterministic stage executor —
         // an ad-hoc thread has no index-ordered result slot, no telemetry
         // shard, and no keyed fault stream, so its effects depend on the
-        // scheduler.
-        LintId::L6 => path != "crates/engine/src/executor.rs",
+        // scheduler. The lint driver's own parser pool is the second
+        // blessed site: it copies the executor's claim-by-index pattern
+        // and merges results in input order.
+        LintId::L6 => path != "crates/engine/src/executor.rs" && path != "crates/lint/src/index.rs",
         LintId::L7 | LintId::L8 => engine_or_core,
         // crates/faults is the sequential primitives' home — the draws
         // defined (and wrapped) there are the API, not misuse of it.
@@ -301,6 +342,15 @@ fn applies(id: LintId, path: &str) -> bool {
         LintId::L16 => {
             path.starts_with("crates/engine/") && path != "crates/engine/src/kernels/pool.rs"
         }
+        // Phase discipline and keyed-draw completeness share L9's scope:
+        // the parallel phase is an engine concept, and the registries it
+        // must not touch live in core/cloud. crates/faults and
+        // crates/telemetry define the shard/merge and keyed primitives —
+        // their internals are the API, not misuse of it.
+        LintId::L17 | LintId::L18 => engine_or_core || path.starts_with("crates/cloud/"),
+        // Purity contracts are opt-in annotations; wherever one is
+        // written it must hold (bench code never annotates).
+        LintId::L19 => !path.starts_with("crates/bench/"),
         LintId::Sup => true,
     }
 }
@@ -332,6 +382,7 @@ fn suppressions(rel_path: &str, source: &str) -> (BTreeMap<usize, BTreeSet<LintI
         };
         let mut err = |what: String| {
             bad.push(Finding {
+                fix: Vec::new(),
                 path: rel_path.to_string(),
                 line,
                 id: LintId::Sup,
@@ -341,14 +392,15 @@ fn suppressions(rel_path: &str, source: &str) -> (BTreeMap<usize, BTreeSet<LintI
             });
         };
         let rest = raw[at + MARKER.len()..].trim_start();
-        // `unit(...)` annotations share the marker; they are parsed (and
-        // their malformations reported) by [`units::annotations`].
-        if rest.starts_with("unit(") {
+        // `unit(...)` / `pure(...)` annotations share the marker; they
+        // are parsed (and their malformations reported) by
+        // [`units::annotations`] / [`rules::purity::annotations`].
+        if rest.starts_with("unit(") || rest.starts_with("pure(") {
             continue;
         }
         let Some(list) = rest.strip_prefix("allow(") else {
             err(format!(
-                "malformed suppression: expected `allow(...)` or `unit(...)` after `{MARKER}`"
+                "malformed suppression: expected `allow(...)`, `unit(...)`, or `pure(...)` after `{MARKER}`"
             ));
             continue;
         };
@@ -415,6 +467,20 @@ pub struct LintMeta {
     pub files: usize,
     /// Per-phase wall-clock timings, pipeline order.
     pub phases: Vec<PhaseTime>,
+    /// Parse-stage parallelism accounting (workers, busy vs wall time).
+    pub parallel: index::ParallelStats,
+}
+
+impl LintMeta {
+    /// Zero every machine-dependent field — wall-clock timings *and*
+    /// the worker count — so `--timings none` output is byte-identical
+    /// across runs and machines.
+    pub fn zero_timings(&mut self) {
+        for p in &mut self.phases {
+            p.ms = 0;
+        }
+        self.parallel = index::ParallelStats::default();
+    }
 }
 
 /// Lint a set of `(rel_path, source)` files as one workspace: parse and
@@ -425,7 +491,7 @@ pub struct LintMeta {
 pub fn lint_files_with_meta(inputs: Vec<(String, String)>) -> (Vec<Finding>, LintMeta) {
     let files = inputs.len();
     let t = Instant::now();
-    let ws = Workspace::build(inputs);
+    let (ws, parallel) = Workspace::build_with_stats(inputs);
     let parse_ms = t.elapsed().as_millis();
 
     let t = Instant::now();
@@ -449,12 +515,24 @@ pub fn lint_files_with_meta(inputs: Vec<(String, String)>) -> (Vec<Finding>, Lin
         // the quiet failure the annotation exists to prevent.
         for (line, what) in units::annotations(&file.source).errors {
             findings.push(Finding {
+                fix: Vec::new(),
                 path: file.rel_path.clone(),
                 line,
                 id: LintId::Sup,
                 message: what,
                 suggestion: "write `// cackle-lint: unit(usd|seconds|bytes|rows|count|none)`"
                     .into(),
+            });
+        }
+        // Same treatment for `pure(...)`: a typo'd purity annotation
+        // that silently verifies nothing defeats the contract.
+        for (line, what) in rules::purity::annotations(&file.source).errors {
+            findings.push(Finding { fix: Vec::new(),
+                path: file.rel_path.clone(),
+                line,
+                id: LintId::Sup,
+                message: what,
+                suggestion: "write `// cackle-lint: pure(param, ...)` listing unique declared parameter names".into(),
             });
         }
     }
@@ -489,6 +567,7 @@ pub fn lint_files_with_meta(inputs: Vec<(String, String)>) -> (Vec<Finding>, Lin
             continue;
         }
         findings.push(Finding {
+            fix: r.fix,
             path: file.rel_path.clone(),
             line,
             id: r.id,
@@ -523,6 +602,7 @@ pub fn lint_files_with_meta(inputs: Vec<(String, String)>) -> (Vec<Finding>, Lin
                 ms: filter_ms,
             },
         ],
+        parallel,
     };
     (findings, meta)
 }
@@ -741,7 +821,7 @@ pub fn render_json(
         *counts.entry(f.id.to_string()).or_default() += 1;
     }
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"cackle-lint\",\n  \"version\": 3,\n  \"findings\": [");
+    out.push_str("{\n  \"schema\": \"cackle-lint\",\n  \"version\": 4,\n  \"findings\": [");
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -757,6 +837,7 @@ pub fn render_json(
         json_str(&mut out, &f.message);
         out.push_str(", \"suggestion\": ");
         json_str(&mut out, &f.suggestion);
+        out.push_str(&format!(", \"fixable\": {}", f.fixable()));
         out.push('}');
     }
     if !findings.is_empty() {
@@ -793,7 +874,15 @@ pub fn render_json(
         }
         out.push_str(&format!("{{\"name\": \"{}\", \"ms\": {}}}", p.name, p.ms));
     }
-    out.push_str("]}\n}\n");
+    out.push_str(&format!(
+        "], \"parallel\": {{\"workers\": {}, \"task_ms\": {}, \"wall_ms\": {}, \
+         \"speedup_milli\": {}}}",
+        meta.parallel.workers,
+        meta.parallel.task_ms,
+        meta.parallel.wall_ms,
+        meta.parallel.speedup_milli()
+    ));
+    out.push_str("}\n}\n");
     out
 }
 
@@ -1068,7 +1157,9 @@ mod tests {
     }
 
     #[test]
-    fn workspace_pass_links_files_for_l9() {
+    fn workspace_pass_links_files_for_reachability_rules() {
+        // `store_error` has no keyed twin → L9; `store_attempts` has
+        // one → L18. Both draw on the cross-file call graph.
         let f = lint_files(vec![
             (
                 "crates/engine/src/task.rs".to_string(),
@@ -1076,10 +1167,15 @@ mod tests {
             ),
             (
                 "crates/core/src/system.rs".to_string(),
-                "pub fn helper(faults: &FaultInjector) { faults.store_attempts(op); }".to_string(),
+                "pub fn helper(faults: &FaultInjector) {\n\
+                 faults.store_error(op);\n\
+                 faults.store_attempts(op);\n\
+                 }"
+                .to_string(),
             ),
         ]);
         assert!(f.iter().any(|f| f.id == LintId::L9), "{f:?}");
+        assert!(f.iter().any(|f| f.id == LintId::L18), "{f:?}");
         assert_eq!(f[0].path, "crates/core/src/system.rs");
     }
 
@@ -1093,6 +1189,7 @@ mod tests {
             id: LintId::L5,
             message: "m".into(),
             suggestion: String::new(),
+            fix: Vec::new(),
         };
         let (new, stale) = diff_baseline(&[f(1), f(2)], &b);
         assert!(new.is_empty() && stale.is_empty());
@@ -1122,6 +1219,7 @@ mod tests {
             id: LintId::L10,
             message: "metric name \"bad\nname\" rejected".into(),
             suggestion: "fix \\ it".into(),
+            fix: vec![fix::Edit::insert(0, "x".to_string())],
         }];
         let meta = LintMeta {
             files: 1,
@@ -1129,6 +1227,11 @@ mod tests {
                 name: "parse",
                 ms: 7,
             }],
+            parallel: index::ParallelStats {
+                workers: 4,
+                task_ms: 10,
+                wall_ms: 4,
+            },
         };
         let a = render_json(&f, &f, &[], &meta);
         let b = render_json(&f, &f, &[], &meta);
@@ -1136,18 +1239,29 @@ mod tests {
         assert!(a.contains("\\\"bad\\nname\\\""), "{a}");
         assert!(a.contains("fix \\\\ it"), "{a}");
         assert!(a.contains("\"baselined\": false"));
+        assert!(a.contains("\"fixable\": true"), "{a}");
         assert!(a.contains("\"counts\": {\"L10\": 1}"));
         assert!(
             a.contains(
                 "\"meta\": {\"files\": 1, \"rules\": {\"L10\": 1}, \
-                        \"phases\": [{\"name\": \"parse\", \"ms\": 7}]}"
+                        \"phases\": [{\"name\": \"parse\", \"ms\": 7}], \
+                        \"parallel\": {\"workers\": 4, \"task_ms\": 10, \"wall_ms\": 4, \
+                        \"speedup_milli\": 2500}}"
             ),
             "{a}"
         );
-        // Empty-findings document is well-formed too.
+        // Empty-findings document is well-formed too; zeroed timings
+        // (the `--timings none` shape) render all-zero parallel stats.
         let empty = render_json(&[], &[], &[], &LintMeta::default());
         assert!(empty.contains("\"findings\": []"), "{empty}");
         assert!(empty.contains("\"phases\": []"), "{empty}");
+        assert!(
+            empty.contains(
+                "\"parallel\": {\"workers\": 0, \"task_ms\": 0, \"wall_ms\": 0, \
+                 \"speedup_milli\": 0}"
+            ),
+            "{empty}"
+        );
     }
 
     #[test]
@@ -1158,6 +1272,7 @@ mod tests {
             id,
             message: "m".into(),
             suggestion: String::new(),
+            fix: Vec::new(),
         };
         let findings = vec![
             f("crates/cloud/src/vm.rs", LintId::L5, 9),

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! cackle-lint [ROOT] [--baseline FILE] [--format text|json]
-//!             [--explain LX] [--include-tests] [--update-baseline]
+//!             [--timings real|none] [--explain LX] [--list-rules]
+//!             [--include-tests] [--update-baseline]
+//! cackle-lint fix [ROOT] [--dry-run] [--include-tests]
 //! ```
 //!
 //! Lints the workspace at ROOT (default: the current directory),
@@ -13,18 +15,24 @@
 //! * `0` — clean, or all findings are covered by the baseline;
 //! * `1` — findings beyond the baseline (new violations);
 //! * `2` — usage or I/O error (bad flag, bad `--format`/`--explain`
-//!   argument, unreadable root or baseline);
+//!   argument, unreadable root or baseline, conflicting fixes);
 //! * `3` — no new violations, but the baseline has stale entries (debt
 //!   that was paid down without trimming the file).
 //!
 //! `--format json` emits one deterministic document (fixed key order,
-//! sorted findings — byte-identical across runs except `meta` phase
-//! timings) with file / line / rule / severity / baselined / message /
-//! suggestion per finding plus stale-baseline entries, per-rule counts,
-//! and a `meta` block (file count, per-rule counts, per-phase wall-clock
-//! timings). `--explain LX` prints a rule's long-form description and
-//! exits. `--include-tests` also lints `tests/` and `benches/`
-//! directories against the restricted rule set (L2, L10).
+//! sorted findings) with file / line / rule / severity / baselined /
+//! message / suggestion / fixable per finding plus stale-baseline
+//! entries, per-rule counts, and a `meta` block (file count, per-rule
+//! counts, per-phase wall-clock timings, parse-pool parallelism).
+//! `--timings none` zeroes every machine-dependent meta field — phase
+//! `ms` values and the parallel block, worker count included — so the
+//! document is byte-identical across runs and machines at the source
+//! (CI used to normalize with `sed`). `--explain LX` prints a rule's
+//! long-form description and exits; `--list-rules` prints one
+//! `id<TAB>summary` line per registered rule (machine-readable — CI
+//! drives its `--explain` smoke loop from it). `--include-tests` also
+//! lints `tests/` and `benches/` directories against the restricted
+//! rule set (L2, L10).
 //!
 //! `--update-baseline` deterministically rewrites the baseline file
 //! from the current findings (sorted `<lint-id> <path> <count>` lines
@@ -32,18 +40,32 @@
 //! then proceeds with the normal diff against the rewritten file. The
 //! exit semantics are unchanged: a fresh baseline covers everything,
 //! so the usual result is 0 — except SUP findings (malformed
-//! suppressions / unit annotations), which are never baselinable and
-//! still exit 1.
+//! suppressions / annotations), which are never baselinable and still
+//! exit 1.
+//!
+//! `cackle-lint fix` applies the machine-readable edits attached to
+//! fixable findings (L14 capacity hints, L15 cast widening, L18
+//! keyed-twin substitution). Edits are byte spans into the original
+//! source; overlapping spans within a file are a conflict — nothing in
+//! that file is rewritten, and the exit code is 2. `--dry-run` prints
+//! a unified diff per file (path-sorted, deterministic) instead of
+//! writing. Applying fixes is idempotent by construction: an applied
+//! fix removes the finding that produced it, so a second run finds
+//! nothing fixable and `--dry-run` prints nothing — ci.sh verifies
+//! exactly that.
 
 use cackle_lint::{
-    diff_baseline, explain, lint_root_with_meta, parse_baseline, render_baseline, render_json,
-    Baseline, LintId,
+    diff_baseline, explain, fix, lint_root_with_meta, parse_baseline, render_baseline, render_json,
+    rules, Baseline, LintId,
 };
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: cackle-lint [ROOT] [--baseline FILE] [--format text|json] \
-                     [--explain LX] [--include-tests] [--update-baseline]";
+                     [--timings real|none] [--explain LX] [--list-rules] \
+                     [--include-tests] [--update-baseline]\n\
+                     \x20      cackle-lint fix [ROOT] [--dry-run] [--include-tests]";
 
 enum Format {
     Text,
@@ -51,12 +73,19 @@ enum Format {
 }
 
 fn main() -> ExitCode {
-    let mut root = PathBuf::from(".");
+    let mut root: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
     let mut format = Format::Text;
     let mut include_tests = false;
     let mut update_baseline = false;
-    let mut args = std::env::args().skip(1);
+    let mut zero_timings = false;
+    let mut fix_mode = false;
+    let mut dry_run = false;
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("fix") {
+        args.next();
+        fix_mode = true;
+    }
     while let Some(a) = args.next() {
         match a.as_str() {
             "--baseline" => {
@@ -80,9 +109,23 @@ fn main() -> ExitCode {
                     }
                 };
             }
+            "--timings" => {
+                let Some(t) = args.next() else {
+                    eprintln!("cackle-lint: --timings needs an argument (real|none)");
+                    return ExitCode::from(2);
+                };
+                zero_timings = match t.as_str() {
+                    "real" => false,
+                    "none" => true,
+                    other => {
+                        eprintln!("cackle-lint: unknown timings `{other}` (expected real|none)");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
             "--explain" => {
                 let Some(id_str) = args.next() else {
-                    eprintln!("cackle-lint: --explain needs a rule id (L1..L15, SUP)");
+                    eprintln!("cackle-lint: --explain needs a rule id (L1..L19, SUP)");
                     return ExitCode::from(2);
                 };
                 // SUP is not LintId::parse-able (it may not appear in
@@ -93,14 +136,23 @@ fn main() -> ExitCode {
                     LintId::parse(&id_str)
                 };
                 let Some(id) = id else {
-                    eprintln!("cackle-lint: unknown rule id `{id_str}` (expected L1..L15 or SUP)");
+                    eprintln!("cackle-lint: unknown rule id `{id_str}` (expected L1..L19 or SUP)");
                     return ExitCode::from(2);
                 };
                 println!("{}", explain(id));
                 return ExitCode::SUCCESS;
             }
+            "--list-rules" => {
+                for id in LintId::ALL {
+                    if let Some(s) = rules::summary(id) {
+                        println!("{id}\t{s}");
+                    }
+                }
+                return ExitCode::SUCCESS;
+            }
             "--include-tests" => include_tests = true,
             "--update-baseline" => update_baseline = true,
+            "--dry-run" if fix_mode => dry_run = true,
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -109,18 +161,26 @@ fn main() -> ExitCode {
                 eprintln!("cackle-lint: unknown flag `{other}`\n{USAGE}");
                 return ExitCode::from(2);
             }
-            _ => root = PathBuf::from(a),
+            _ => root = Some(PathBuf::from(a)),
         }
     }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
     let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.txt"));
 
-    let (findings, meta) = match lint_root_with_meta(&root, include_tests) {
+    let (findings, mut meta) = match lint_root_with_meta(&root, include_tests) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("cackle-lint: {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+    if zero_timings {
+        meta.zero_timings();
+    }
+
+    if fix_mode {
+        return run_fix(&root, &findings, dry_run);
+    }
 
     // --update-baseline rewrites the file from the findings, then the
     // normal diff runs against the rewritten content — so the exit code
@@ -188,4 +248,58 @@ fn main() -> ExitCode {
         );
         ExitCode::SUCCESS
     }
+}
+
+/// Apply (or preview) every fixable finding's edits, grouped per file.
+/// A conflict in any file rewrites nothing and exits 2 — a half-fixed
+/// tree is worse than a diagnosed one.
+fn run_fix(root: &std::path::Path, findings: &[cackle_lint::Finding], dry_run: bool) -> ExitCode {
+    let mut by_file: BTreeMap<&str, Vec<fix::Edit>> = BTreeMap::new();
+    let mut fixable = 0usize;
+    for f in findings {
+        if f.fixable() {
+            fixable += 1;
+            by_file
+                .entry(f.path.as_str())
+                .or_default()
+                .extend(f.fix.iter().cloned());
+        }
+    }
+
+    // Plan everything before writing anything: conflicts abort whole.
+    let mut planned: Vec<(&str, PathBuf, String, String)> = Vec::new();
+    for (path, edits) in &by_file {
+        let abs = root.join(path);
+        let before = match std::fs::read_to_string(&abs) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cackle-lint: {}: {e}", abs.display());
+                return ExitCode::from(2);
+            }
+        };
+        let after = match fix::apply(&before, edits) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cackle-lint: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        planned.push((path, abs, before, after));
+    }
+
+    for (path, abs, before, after) in &planned {
+        if dry_run {
+            print!("{}", fix::unified_diff(path, before, after));
+        } else if let Err(e) = std::fs::write(abs, after) {
+            eprintln!("cackle-lint: {}: {e}", abs.display());
+            return ExitCode::from(2);
+        }
+    }
+    eprintln!(
+        "cackle-lint: {} fixable finding(s) in {} file(s){}",
+        fixable,
+        planned.len(),
+        if dry_run { " (dry run)" } else { "" }
+    );
+    ExitCode::SUCCESS
 }

@@ -14,9 +14,15 @@
 //! `count` — casting small cardinalities for indexing is ubiquitous
 //! and harmless). Widening casts (`as u64`, `as f64`) are always fine
 //! and are in fact how measured integers enter float arithmetic.
+//!
+//! Each finding carries a machine-applicable fix (`cackle-lint fix`):
+//! widen the cast target in place (`as u32` → `as u64`, `as f32` →
+//! `as f64`) — the checked-conversion alternative changes the
+//! expression's error surface and stays a human decision.
 
 use super::RawFinding;
 use crate::dataflow::{Flows, Operand};
+use crate::fix::Edit;
 use crate::index::Workspace;
 use crate::lexer::TokKind;
 use crate::LintId;
@@ -51,7 +57,14 @@ pub fn check(ws: &Workspace, fl: &Flows, out: &mut Vec<RawFinding>) {
             if !u.narrowing_suspicious() {
                 continue;
             }
+            let wide = match ty {
+                "u8" | "u16" | "u32" => "u64",
+                "i8" | "i16" | "i32" => "i64",
+                _ => "f64",
+            };
+            let ty_span = toks[i + 1].span;
             out.push(RawFinding {
+                fix: vec![Edit::replace(ty_span.0, ty_span.1, wide)],
                 file: f.file,
                 tok: i,
                 id: LintId::L15,
@@ -85,9 +98,15 @@ mod tests {
 
     #[test]
     fn narrowing_unit_casts_flagged() {
-        let f = findings("fn f(total_cost: f64) -> f32 { total_cost as f32 }");
+        let src = "fn f(total_cost: f64) -> f32 { total_cost as f32 }";
+        let f = findings(src);
         assert_eq!(f.len(), 1, "{f:?}");
         assert!(f[0].message.contains("usd"));
+        // The attached fix widens the cast target in place.
+        assert_eq!(
+            crate::fix::apply(src, &f[0].fix).unwrap(),
+            "fn f(total_cost: f64) -> f32 { total_cost as f64 }"
+        );
         let f = findings("fn f(payload_bytes: u64) -> u32 { payload_bytes as u32 }");
         assert_eq!(f.len(), 1, "{f:?}");
         let f = findings("fn f(rows_out: u64) -> i32 { rows_out as i32 }");

@@ -1,4 +1,5 @@
-//! L9 · sequential fault draws reachable from the parallel phase.
+//! L9 · twinless sequential fault draws reachable from the parallel
+//! phase.
 //!
 //! `FaultInjector`'s unsuffixed draw methods consume a PRNG stream in
 //! call order; under `execute_task_buffered`'s worker pool, call order
@@ -6,25 +7,24 @@
 //! derived from the stream afterwards — varies between runs. This rule
 //! computes the set of fns reachable from any `execute_task_buffered`
 //! over the approximate call graph and flags sequential draw method
-//! calls inside them. The fix is the `*_keyed` twin with
-//! `op_key(...)`, which derives the draw from operation identity.
+//! calls inside them *for draws with no keyed twin* — the only fix is
+//! to hoist the draw out of the parallel phase. Draws that do have a
+//! `_keyed` twin are [`super::keyed`]'s job (L18), which discovers
+//! twins from the workspace index instead of this hardcoded list.
 
 use super::RawFinding;
 use crate::index::Workspace;
 use crate::LintId;
 
-/// Sequential-stream draw methods and their keyed replacements (empty
-/// when no keyed twin exists yet — then the draw must move out of the
-/// parallel phase).
-const SEQ_DRAWS: [(&str, &str); 8] = [
-    ("store_attempts", "store_attempts_keyed"),
-    ("transport_write_fallback", "transport_write_fallback_keyed"),
-    ("transport_read_retries", "transport_read_retries_keyed"),
-    ("vm_interrupt", ""),
-    ("pool_invoke", ""),
-    ("store_error", ""),
-    ("transport_drop", ""),
-    ("straggler", ""),
+/// Sequential-stream lifecycle draws with no keyed replacement: inside
+/// the parallel phase there is nothing to substitute, the call has to
+/// move.
+const SEQ_DRAWS: [&str; 5] = [
+    "vm_interrupt",
+    "pool_invoke",
+    "store_error",
+    "transport_drop",
+    "straggler",
 ];
 
 pub fn check(ws: &Workspace, out: &mut Vec<RawFinding>) {
@@ -36,19 +36,14 @@ pub fn check(ws: &Workspace, out: &mut Vec<RawFinding>) {
         let f = &ws.index.fns[id];
         let p = &ws.files[f.file].parsed;
         for call in &f.calls {
-            let Some(&(_, keyed)) = SEQ_DRAWS.iter().find(|&&(n, _)| n == call.name) else {
+            if !SEQ_DRAWS.contains(&call.name.as_str()) {
                 continue;
-            };
+            }
             // Method calls only: a free fn of the same name is not an
             // injector draw.
             if call.name_tok == 0 || p.toks[call.name_tok - 1].punct() != "." {
                 continue;
             }
-            let suggestion = if keyed.is_empty() {
-                "hoist the draw out of the parallel phase (or add a keyed variant)".to_string()
-            } else {
-                format!("use `.{keyed}(..., op_key(...))` so the draw is schedule-independent")
-            };
             out.push(RawFinding {
                 file: f.file,
                 tok: call.name_tok,
@@ -59,7 +54,9 @@ pub fn check(ws: &Workspace, out: &mut Vec<RawFinding>) {
                     call.name,
                     ws.fn_item(id).qualified
                 ),
-                suggestion,
+                suggestion: "hoist the draw out of the parallel phase (or add a keyed variant)"
+                    .to_string(),
+                fix: Vec::new(),
             });
         }
     }
@@ -82,7 +79,7 @@ mod tests {
     }
 
     #[test]
-    fn draw_reached_through_helper_flagged() {
+    fn twinless_draw_reached_through_helper_flagged() {
         let f = findings(&[
             (
                 "crates/engine/src/task.rs",
@@ -90,25 +87,28 @@ mod tests {
             ),
             (
                 "crates/core/src/system.rs",
-                "pub fn helper(&self) { let n = self.faults.store_attempts(op); }",
+                "pub fn helper(&self) { let e = self.faults.store_error(op); }",
             ),
         ]);
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].id, LintId::L9);
-        assert!(f[0].suggestion.contains("store_attempts_keyed"));
+        assert!(f[0].message.contains("via fn `helper`"));
+        assert!(f[0].suggestion.contains("hoist"));
     }
 
     #[test]
-    fn keyed_draw_and_unreachable_sequential_draw_clean() {
+    fn twinned_draw_and_unreachable_sequential_draw_clean() {
+        // `store_attempts` has a keyed twin, so it belongs to L18, not L9;
+        // `store_error` outside the reachable set is fine too.
         let f = findings(&[
             (
                 "crates/engine/src/task.rs",
                 "pub fn execute_task_buffered() { \
-                 let n = faults.store_attempts_keyed(op, op_key(k)); }",
+                 let n = faults.store_attempts(op); }",
             ),
             (
                 "crates/core/src/system.rs",
-                "pub fn serial_only(&self) { let n = self.faults.store_attempts(op); }",
+                "pub fn serial_only(&self) { let e = self.faults.store_error(op); }",
             ),
         ]);
         assert!(f.is_empty(), "{f:?}");
@@ -118,8 +118,8 @@ mod tests {
     fn free_fn_of_same_name_not_flagged() {
         let f = findings(&[(
             "crates/engine/src/task.rs",
-            "pub fn execute_task_buffered() { let n = store_attempts(); }\n\
-             fn store_attempts() -> u32 { 0 }",
+            "pub fn execute_task_buffered() { let e = store_error(); }\n\
+             fn store_error() -> u32 { 0 }",
         )]);
         assert!(f.is_empty(), "{f:?}");
     }
@@ -128,7 +128,7 @@ mod tests {
     fn no_root_no_findings() {
         let f = findings(&[(
             "crates/core/src/system.rs",
-            "pub fn f(&self) { self.faults.store_attempts(op); }",
+            "pub fn f(&self) { self.faults.transport_drop(op); }",
         )]);
         assert!(f.is_empty(), "{f:?}");
     }

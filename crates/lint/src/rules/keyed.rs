@@ -1,0 +1,184 @@
+//! L18 · keyed-draw completeness: parallel-phase draws with a
+//! `_keyed` twin must use it.
+//!
+//! A draw method grows a `_keyed` twin precisely because its
+//! sequential form is unsafe under `execute_task_buffered`'s worker
+//! pool — the twin derives the draw from the operation's identity
+//! (`op_key(...)`) instead of arrival order. This rule closes the
+//! loop: any method call `.m(...)` inside the BFS-reachable parallel
+//! phase where an `m_keyed` fn exists — anywhere in the workspace
+//! index, or among the `FaultInjector` builtins — is flagged.
+//! Subsumes L9's hardcoded entry-point list: add a keyed twin and its
+//! base draw is enforced automatically, no lint change needed.
+//!
+//! The finding carries a machine-applicable fix (`cackle-lint fix`):
+//! rename the call to the twin and append an
+//! `op_key(b"TODO: ...")` key argument. The placeholder key is
+//! deliberate — a stable operation identity is a human decision — but
+//! the mechanical part (twin name, argument plumbing) is exact.
+
+use super::RawFinding;
+use crate::fix::Edit;
+use crate::index::Workspace;
+use crate::LintId;
+
+/// Draws whose keyed twins live on `FaultInjector` in crates/faults —
+/// listed here because fixture workspaces (and the scope-exempt
+/// faults crate itself) do not re-declare them, yet calls against the
+/// real injector must still be enforced.
+const KNOWN_TWINS: [&str; 3] = [
+    "store_attempts",
+    "transport_write_fallback",
+    "transport_read_retries",
+];
+
+/// The placeholder key argument the fix inserts.
+const KEY_PLACEHOLDER: &str = "op_key(b\"TODO: stable operation identity\")";
+
+pub fn check(ws: &Workspace, out: &mut Vec<RawFinding>) {
+    let reachable = ws.reachable_from("execute_task_buffered");
+    if reachable.is_empty() {
+        return;
+    }
+    for &id in &reachable {
+        let f = &ws.index.fns[id];
+        let p = &ws.files[f.file].parsed;
+        for call in &f.calls {
+            if call.name.ends_with("_keyed") {
+                continue;
+            }
+            // Method calls only: the draw APIs are `&self` methods.
+            if call.name_tok == 0 || p.toks[call.name_tok - 1].punct() != "." {
+                continue;
+            }
+            let twin = format!("{}_keyed", call.name);
+            let has_twin =
+                KNOWN_TWINS.contains(&call.name.as_str()) || ws.index.by_name.contains_key(&twin);
+            if !has_twin {
+                continue;
+            }
+            // Mechanical rewrite: substitute the twin name and append
+            // the key argument before the closing paren.
+            let mut fix = vec![Edit::replace(
+                p.toks[call.name_tok].span.0,
+                p.toks[call.name_tok].span.1,
+                twin.clone(),
+            )];
+            if let Some(close) = p.close_of(call.open) {
+                let has_args = p.call_args(call.open).is_some_and(|a| !a.is_empty());
+                let arg = if has_args {
+                    format!(", {KEY_PLACEHOLDER}")
+                } else {
+                    KEY_PLACEHOLDER.to_string()
+                };
+                fix.push(Edit::insert(p.toks[close].span.0, arg));
+            }
+            out.push(RawFinding {
+                file: f.file,
+                tok: call.name_tok,
+                id: LintId::L18,
+                message: format!(
+                    "sequential draw `.{}(...)` has a keyed twin `{}` and is reachable \
+                     from `execute_task_buffered`'s parallel phase (via fn `{}`)",
+                    call.name,
+                    twin,
+                    ws.fn_item(id).qualified
+                ),
+                suggestion: format!(
+                    "call `.{twin}(...)` keyed by `op_key(...)` over the operation's \
+                     stable identity"
+                ),
+                fix,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fix;
+
+    fn findings(files: &[(&str, &str)]) -> Vec<RawFinding> {
+        let ws = Workspace::build(
+            files
+                .iter()
+                .map(|(p, s)| (p.to_string(), s.to_string()))
+                .collect(),
+        );
+        let mut out = Vec::new();
+        check(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn builtin_twin_draw_reached_through_helper_flagged_with_fix() {
+        let helper = "pub fn helper(&self) { let n = self.faults.store_attempts(op); }";
+        let f = findings(&[
+            (
+                "crates/engine/src/task.rs",
+                "pub fn execute_task_buffered() { helper(); }",
+            ),
+            ("crates/core/src/system.rs", helper),
+        ]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].id, LintId::L18);
+        assert!(f[0].message.contains("store_attempts_keyed"));
+        assert!(f[0].message.contains("via fn `helper`"));
+        // The attached fix rewrites the call mechanically.
+        let fixed = fix::apply(helper, &f[0].fix).unwrap();
+        assert_eq!(
+            fixed,
+            "pub fn helper(&self) { let n = self.faults.store_attempts_keyed(op, \
+             op_key(b\"TODO: stable operation identity\")); }"
+        );
+    }
+
+    #[test]
+    fn twin_discovered_from_workspace_index() {
+        let f = findings(&[
+            (
+                "crates/engine/src/task.rs",
+                "pub fn execute_task_buffered(&self) { self.env.custom_draw(x); }",
+            ),
+            (
+                "crates/faults/src/env.rs",
+                "pub fn custom_draw_keyed(&self, x: u64, key: u64) -> u64 { key }",
+            ),
+        ]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("custom_draw_keyed"));
+    }
+
+    #[test]
+    fn zero_arg_base_gets_key_without_leading_comma() {
+        let src = "pub fn execute_task_buffered(&self) { self.faults.transport_write_fallback(); }";
+        let f = findings(&[("crates/engine/src/task.rs", src)]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        let fixed = fix::apply(src, &f[0].fix).unwrap();
+        assert_eq!(
+            fixed,
+            "pub fn execute_task_buffered(&self) { \
+             self.faults.transport_write_fallback_keyed(\
+             op_key(b\"TODO: stable operation identity\")); }"
+        );
+    }
+
+    #[test]
+    fn keyed_call_twinless_draw_and_unreachable_code_clean() {
+        let f = findings(&[
+            (
+                "crates/engine/src/task.rs",
+                "pub fn execute_task_buffered(&self) {\n\
+                 self.faults.store_attempts_keyed(op, op_key(k));\n\
+                 self.faults.store_error(op);\n\
+                 }",
+            ),
+            (
+                "crates/core/src/system.rs",
+                "pub fn serial_only(&self) { self.faults.store_attempts(op); }",
+            ),
+        ]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

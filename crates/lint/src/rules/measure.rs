@@ -59,6 +59,7 @@ pub fn check(ws: &Workspace, fl: &Flows, out: &mut Vec<RawFinding>) {
             match (left, right) {
                 (Operand::Unit(a), Operand::Unit(b)) if a != b => {
                     out.push(RawFinding {
+                        fix: Vec::new(),
                         file: f.file,
                         tok: i,
                         id: LintId::L12,
@@ -76,6 +77,7 @@ pub fn check(ws: &Workspace, fl: &Flows, out: &mut Vec<RawFinding>) {
                     if ADD_OPS.contains(&op) && u.scalar_add_suspicious() =>
                 {
                     out.push(RawFinding {
+                        fix: Vec::new(),
                         file: f.file,
                         tok: i,
                         id: LintId::L12,
@@ -125,6 +127,7 @@ pub fn check(ws: &Workspace, fl: &Flows, out: &mut Vec<RawFinding>) {
             if let Operand::Unit(vu) = value {
                 if vu != metric_u {
                     out.push(RawFinding {
+                        fix: Vec::new(),
                         file: f.file,
                         tok: call.name_tok,
                         id: LintId::L12,

@@ -5,6 +5,7 @@
 //! counts here*.
 
 use crate::dataflow::Flows;
+use crate::fix::Edit;
 use crate::index::Workspace;
 use crate::LintId;
 
@@ -12,11 +13,14 @@ pub mod alloc;
 pub mod atomics;
 pub mod casts;
 pub mod draws;
+pub mod keyed;
 pub mod ledger;
 pub mod lexical;
 pub mod locks;
 pub mod measure;
+pub mod phase;
 pub mod pool;
+pub mod purity;
 pub mod seeds;
 pub mod telemetry;
 
@@ -34,11 +38,14 @@ pub struct RawFinding {
     pub message: String,
     /// How to fix it.
     pub suggestion: String,
+    /// Machine-applicable byte-span edits realizing the suggestion
+    /// (empty when the rule has no mechanical rewrite for this site).
+    pub fix: Vec<Edit>,
 }
 
 /// Run every rule family over the workspace. `flows` is the shared
 /// intra-procedural dataflow + interprocedural summary layer the
-/// L12–L15 families consume.
+/// L12–L15 and L19 families consume.
 pub fn run(ws: &Workspace, flows: &Flows) -> Vec<RawFinding> {
     let mut out = Vec::new();
     lexical::check(ws, &mut out);
@@ -52,7 +59,38 @@ pub fn run(ws: &Workspace, flows: &Flows) -> Vec<RawFinding> {
     alloc::check(ws, flows, &mut out);
     casts::check(ws, flows, &mut out);
     pool::check(ws, &mut out);
+    phase::check(ws, &mut out);
+    keyed::check(ws, &mut out);
+    purity::check(ws, flows, &mut out);
     out
+}
+
+/// One-line machine-readable summary per rule, for `--list-rules`.
+/// Retired rules (L4) are excluded — they are not registered, cannot
+/// fire, and need no fixture coverage.
+pub fn summary(id: LintId) -> Option<&'static str> {
+    Some(match id {
+        LintId::L1 => "no host clock (Instant/SystemTime) outside the simulated clock",
+        LintId::L2 => "no entropy-seeded RNG (thread_rng/from_entropy/rand::)",
+        LintId::L3 => "no order-revealing HashMap/HashSet iteration",
+        LintId::L4 => return None,
+        LintId::L5 => "no unwrap/expect/panic! on hot paths",
+        LintId::L6 => "no ad-hoc threading outside the stage executor",
+        LintId::L7 => "no lock-order cycles (static deadlock detector)",
+        LintId::L8 => "no Ordering::Relaxed on atomics shared with worker closures",
+        LintId::L9 => "no twinless sequential fault draws in the parallel phase",
+        LintId::L10 => "telemetry metric names are literals on the DESIGN §7 grammar",
+        LintId::L11 => "no money arithmetic outside the billing layer",
+        LintId::L12 => "no mixing of units (usd/seconds/bytes/rows/count)",
+        LintId::L13 => "every PRNG seed derives from the RunSpec seed",
+        LintId::L14 => "no per-iteration allocation on engine hot paths",
+        LintId::L15 => "no narrowing casts on unit-carrying values",
+        LintId::L16 => "pooled scratch checkouts balance with recycles",
+        LintId::L17 => "no parallel-phase writes to shared registries",
+        LintId::L18 => "parallel-phase draws with a _keyed twin must use it",
+        LintId::L19 => "pure(...)-annotated fns uphold their purity contract",
+        LintId::Sup => "malformed cackle-lint comment (hard error)",
+    })
 }
 
 /// Long-form `--explain` text for a rule.
@@ -118,9 +156,13 @@ pub fn explain(id: LintId) -> &'static str {
              creates workers with no index-ordered result slot, no telemetry\n\
              shard, and no keyed fault stream — their effects depend on the OS\n\
              scheduler. All parallelism goes through\n\
-             `cackle_engine::executor::Executor`.\n\
+             `cackle_engine::executor::Executor`. (The lint driver's own\n\
+             parser pool in crates/lint/src/index.rs is the second blessed\n\
+             site: it copies the executor's claim-by-index pattern and merges\n\
+             results in input order.)\n\
              \n\
-             Scope: everywhere except crates/engine/src/executor.rs."
+             Scope: everywhere except engine/src/executor.rs and\n\
+             lint/src/index.rs."
         }
         LintId::L7 => {
             "L7 · lock-order cycles\n\
@@ -155,17 +197,18 @@ pub fn explain(id: LintId) -> &'static str {
              Scope: crates/engine, crates/core."
         }
         LintId::L9 => {
-            "L9 · unkeyed fault draw in the parallel phase\n\
+            "L9 · twinless sequential fault draw in the parallel phase\n\
              \n\
-             FaultInjector's sequential-stream draws (store_attempts,\n\
-             transport_write_fallback, transport_read_retries, and the\n\
-             lifecycle draws) consume a per-point PRNG stream in call order.\n\
-             Reached from `execute_task_buffered`'s parallel phase, call order\n\
-             depends on worker interleaving, so the draw sequence — and every\n\
-             fault outcome after it — differs between runs. Any draw reachable\n\
-             from `execute_task_buffered` (via the approximate call graph) must\n\
-             use the `*_keyed` variant with `op_key(...)`, which derives the\n\
-             draw from the operation's identity instead of arrival order.\n\
+             FaultInjector's sequential lifecycle draws (vm_interrupt,\n\
+             pool_invoke, store_error, transport_drop, straggler) consume a\n\
+             per-point PRNG stream in call order. Reached from\n\
+             `execute_task_buffered`'s parallel phase, call order depends on\n\
+             worker interleaving, so the draw sequence — and every fault\n\
+             outcome after it — differs between runs. These draws have no\n\
+             `_keyed` twin, so the only fix is hoisting the call out of the\n\
+             parallel phase (or adding a keyed variant first). Draws that DO\n\
+             have a keyed twin are L18's job: it discovers twins from the\n\
+             workspace index instead of a hardcoded list.\n\
              \n\
              Scope: crates/engine, crates/core, crates/cloud (crates/faults\n\
              itself, where the sequential primitives live, is exempt)."
@@ -276,15 +319,74 @@ pub fn explain(id: LintId) -> &'static str {
              Scope: crates/engine, except kernels/pool.rs (the pool's own\n\
              internals)."
         }
-        LintId::Sup => {
-            "SUP · malformed suppression\n\
+        LintId::L17 => {
+            "L17 · phase discipline\n\
              \n\
-             A `// cackle-lint: allow(...)` comment that fails to parse —\n\
-             unknown rule id, trailing comma, duplicate id, empty list, or\n\
-             missing `)` — used to be silently ignored, leaving the finding it\n\
-             meant to suppress active (or worse, leaving a typo'd allow\n\
-             silently dead). Malformed suppressions are now hard errors.\n\
-             SUP itself cannot be suppressed."
+             The byte-identical-at-any-worker-count guarantee (DESIGN §9)\n\
+             rests on a two-phase protocol: tasks compute concurrently into\n\
+             private buffers/shards, and the executor publishes them serially\n\
+             at the stage barrier in task-index order. Every fn BFS-reachable\n\
+             from `execute_task_buffered` is parallel-phase code; a direct\n\
+             write to a shared registry there — `telemetry.merge(&shard)`,\n\
+             `registry.absorb(...)`, a `CostLedger` `.charge(...)` /\n\
+             `.try_charge(...)` / `.charge_requests(...)`, or a shuffle\n\
+             `.write(...)` publication — commits in thread-scheduling order\n\
+             and breaks the guarantee. Buffer into the per-task shard (or the\n\
+             BufferedTask write list) and let the serial barrier publish.\n\
+             \n\
+             Scope: crates/engine, crates/core, crates/cloud\n\
+             (crates/telemetry and crates/faults define the shard/merge\n\
+             APIs and are exempt)."
+        }
+        LintId::L18 => {
+            "L18 · keyed-draw completeness\n\
+             \n\
+             A draw method with a `_keyed` twin exists precisely because the\n\
+             sequential form is unsafe in the parallel phase. This rule scans\n\
+             every fn BFS-reachable from `execute_task_buffered` for method\n\
+             calls `.m(...)` where a fn `m_keyed` exists anywhere in the\n\
+             workspace index (plus the FaultInjector builtins), and flags the\n\
+             unkeyed call. Subsumes the old L9 hardcoded entry-point list:\n\
+             adding a keyed twin automatically extends enforcement to its\n\
+             base draw. The fix — substituting the twin and keying by\n\
+             `op_key(...)` over the operation's stable identity — is\n\
+             machine-applicable via `cackle-lint fix`.\n\
+             \n\
+             Scope: crates/engine, crates/core, crates/cloud (crates/faults\n\
+             is exempt)."
+        }
+        LintId::L19 => {
+            "L19 · purity contracts\n\
+             \n\
+             `// cackle-lint: pure(param, ...)` on the line above a fn\n\
+             declares that the fn is a pure function of the listed\n\
+             parameters (`self` may be listed to permit reads of own\n\
+             fields). The env pack's keyed-draw artifacts (DESIGN §14) rely\n\
+             on this: `vm_traits(seed, vm)` must depend on nothing else, or\n\
+             worker count leaks into the draw. The dataflow layer verifies\n\
+             four clauses: (a) no reads of `static mut` items; (b) no\n\
+             interior-mutability calls (lock, borrow_mut, atomic store/\n\
+             fetch_*/compare_exchange); (c) every workspace callee is itself\n\
+             `pure(...)`-annotated (PRNG intrinsics like gen_range /\n\
+             splitmix64 / seed_from_u64 are the trusted leaves); (d) every\n\
+             argument of a `keyed` / `keyed_stream` call derives only from\n\
+             declared parameters, seed/salt-named constants, or own fields\n\
+             when `self` is declared. Annotations naming a parameter the fn\n\
+             does not have are flagged too; syntactically malformed\n\
+             annotations are SUP hard errors.\n\
+             \n\
+             Scope: everywhere except crates/bench."
+        }
+        LintId::Sup => {
+            "SUP · malformed suppression or annotation\n\
+             \n\
+             A `// cackle-lint: allow(...)` / `unit(...)` / `pure(...)`\n\
+             comment that fails to parse — unknown rule id, trailing comma,\n\
+             duplicate entry, empty list, or missing `)` — used to be\n\
+             silently ignored, leaving the finding it meant to suppress\n\
+             active (or worse, leaving a typo'd annotation silently dead).\n\
+             Malformed cackle-lint comments are hard errors. SUP itself\n\
+             cannot be suppressed."
         }
     }
 }

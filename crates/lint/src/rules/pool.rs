@@ -44,6 +44,7 @@ pub fn check(ws: &Workspace, out: &mut Vec<RawFinding>) {
             let Some(tok) = anchor else { continue };
             let fn_name = &ws.fn_item(id).name;
             out.push(RawFinding {
+                fix: Vec::new(),
                 file: f.file,
                 tok,
                 id: LintId::L16,

@@ -57,7 +57,7 @@ fn violations_fixture_trips_every_live_rule() {
     assert_eq!(count(LintId::L6), 2);
     assert_eq!(count(LintId::L7), 2);
     assert_eq!(count(LintId::L8), 2);
-    assert_eq!(count(LintId::L9), 2);
+    assert_eq!(count(LintId::L9), 1);
     assert_eq!(count(LintId::L10), 5);
     assert_eq!(count(LintId::L11), 3);
     assert_eq!(count(LintId::L12), 3);
@@ -65,8 +65,11 @@ fn violations_fixture_trips_every_live_rule() {
     assert_eq!(count(LintId::L14), 7);
     assert_eq!(count(LintId::L15), 2);
     assert_eq!(count(LintId::L16), 1);
-    assert_eq!(count(LintId::Sup), 1);
-    assert_eq!(findings.len(), 44);
+    assert_eq!(count(LintId::L17), 3);
+    assert_eq!(count(LintId::L18), 1);
+    assert_eq!(count(LintId::L19), 6);
+    assert_eq!(count(LintId::Sup), 2);
+    assert_eq!(findings.len(), 54);
     // Findings are sorted and carry 1-based lines.
     let mut sorted = findings.clone();
     sorted.sort();
@@ -105,8 +108,8 @@ fn baseline_absorbs_known_debt_exactly() {
         }
     }
     let (new, stale) = diff_baseline(&findings, &baseline);
-    assert_eq!(new.len(), 1, "{new:#?}");
-    assert_eq!(new[0].id, LintId::Sup);
+    assert_eq!(new.len(), 2, "{new:#?}");
+    assert!(new.iter().all(|f| f.id == LintId::Sup));
     assert!(stale.is_empty());
     // Dropping one entry makes those findings "new" again.
     let key = (LintId::L1, "crates/cloud/src/vm.rs".to_string());
@@ -173,34 +176,151 @@ fn binary_explains_rules() {
     assert_eq!(out.status.code(), Some(0), "{out:?}");
 }
 
-/// Zero out the `"ms": N` phase timings in the JSON meta block — the
-/// only nondeterministic bytes in the output.
-fn normalize_ms(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    let mut rest = s;
-    while let Some(at) = rest.find("\"ms\": ") {
-        let after = at + "\"ms\": ".len();
-        out.push_str(&rest[..after]);
-        out.push('0');
-        rest = rest[after..].trim_start_matches(|c: char| c.is_ascii_digit());
+#[test]
+fn json_output_matches_golden_snapshot_and_is_byte_identical() {
+    // `--timings none` zeroes every machine-dependent meta field at the
+    // source (phase ms and the parse-pool block), so two runs are
+    // byte-identical with no postprocessing — this is what ci.sh relies
+    // on instead of its old `sed` normalization.
+    let args: &[&dyn AsRef<OsStr>] = &[
+        &fixture("violations"),
+        &"--format",
+        &"json",
+        &"--timings",
+        &"none",
+    ];
+    let a = run(args);
+    let b = run(args);
+    assert_eq!(a.status.code(), Some(1), "{a:?}");
+    assert_eq!(a.stdout, b.stdout);
+    // And exactly the checked-in snapshot, so any diagnostic change is
+    // reviewed in the diff.
+    let golden = include_str!("fixtures/violations.json");
+    assert_eq!(String::from_utf8_lossy(&a.stdout), golden);
+}
+
+#[test]
+fn every_listed_rule_has_a_violation_and_a_near_miss_fixture() {
+    // `--list-rules` is the machine-readable registry: one `id\tsummary`
+    // line per live rule. Every listed rule must trip at least once in
+    // the violations tree AND appear as an explicit `near-miss(ID)`
+    // marker in the clean tree, so rule growth always ships both sides.
+    let out = run(&[&"--list-rules"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let listing = String::from_utf8_lossy(&out.stdout).into_owned();
+    let ids: Vec<&str> = listing
+        .lines()
+        .map(|l| l.split('\t').next().unwrap())
+        .collect();
+    assert!(ids.contains(&"L1") && ids.contains(&"L19") && ids.contains(&"SUP"));
+    assert!(!ids.contains(&"L4"), "retired L4 must not be listed");
+    assert!(listing.lines().all(|l| l.split('\t').count() == 2));
+
+    let findings = lint_root(&fixture("violations")).unwrap();
+    let mut clean_sources = String::new();
+    let mut stack = vec![fixture("clean")];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                clean_sources.push_str(&std::fs::read_to_string(path).unwrap());
+            }
+        }
     }
-    out.push_str(rest);
+    for id in &ids {
+        assert!(
+            findings.iter().any(|f| f.id.to_string() == *id),
+            "rule {id} has no violation fixture"
+        );
+        assert!(
+            clean_sources.contains(&format!("near-miss({id})")),
+            "rule {id} has no near-miss({id}) marker in the clean tree"
+        );
+    }
+}
+
+/// Copy a fixture tree into a scratch dir (lint fixtures are flat
+/// `crates/<c>/src/<f>.rs` trees).
+fn copy_tree(from: &Path, to: &Path) {
+    for entry in std::fs::read_dir(from).unwrap() {
+        let path = entry.unwrap().path();
+        let dst = to.join(path.file_name().unwrap());
+        if path.is_dir() {
+            std::fs::create_dir_all(&dst).unwrap();
+            copy_tree(&path, &dst);
+        } else {
+            std::fs::copy(&path, &dst).unwrap();
+        }
+    }
+}
+
+/// All `.rs` files under `root` as sorted `(rel_path, contents)`.
+fn tree_contents(root: &Path) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let rel = path.strip_prefix(root).unwrap().display().to_string();
+                out.push((rel, std::fs::read_to_string(path).unwrap()));
+            }
+        }
+    }
+    out.sort();
     out
 }
 
 #[test]
-fn json_output_matches_golden_snapshot_and_is_byte_identical() {
-    let a = run(&[&fixture("violations"), &"--format", &"json"]);
-    let b = run(&[&fixture("violations"), &"--format", &"json"]);
-    assert_eq!(a.status.code(), Some(1), "{a:?}");
-    // Deterministic up to phase timings: byte-identical across runs.
-    let a_norm = normalize_ms(&String::from_utf8_lossy(&a.stdout));
-    let b_norm = normalize_ms(&String::from_utf8_lossy(&b.stdout));
-    assert_eq!(a_norm, b_norm);
-    // And exactly the checked-in snapshot (timings zeroed), so any
-    // diagnostic change is reviewed in the diff.
-    let golden = include_str!("fixtures/violations.json");
-    assert_eq!(a_norm, golden);
+fn fix_applies_golden_pairs_and_is_idempotent() {
+    for rule in ["l14", "l15", "l18"] {
+        let dir = Scratch::new(&format!("fix-{rule}"));
+        copy_tree(&fixture(&format!("fix/{rule}/tree")), &dir.0);
+
+        // Dry run: deterministic diff on stdout, files untouched.
+        let dry = |p: &Path| run(&[&"fix", &p, &"--dry-run"]);
+        let a = dry(&dir.0);
+        let b = dry(&dir.0);
+        assert_eq!(a.status.code(), Some(0), "{rule}: {a:?}");
+        assert_eq!(a.stdout, b.stdout, "{rule}: dry-run not deterministic");
+        let diff = String::from_utf8_lossy(&a.stdout);
+        assert!(diff.contains("+++"), "{rule}: no diff emitted:\n{diff}");
+        assert_eq!(
+            tree_contents(&dir.0),
+            tree_contents(&fixture(&format!("fix/{rule}/tree"))),
+            "{rule}: --dry-run must not write"
+        );
+
+        // Apply: the tree becomes the golden `expected/` tree.
+        let applied = run(&[&"fix", &dir.0]);
+        assert_eq!(applied.status.code(), Some(0), "{rule}: {applied:?}");
+        assert_eq!(
+            tree_contents(&dir.0),
+            tree_contents(&fixture(&format!("fix/{rule}/expected"))),
+            "{rule}: applied tree differs from golden"
+        );
+
+        // Idempotence: the applied fix removed its finding, so a second
+        // dry run prints nothing and a second apply changes nothing.
+        let again = dry(&dir.0);
+        assert_eq!(again.status.code(), Some(0), "{rule}: {again:?}");
+        assert!(
+            again.stdout.is_empty(),
+            "{rule}: second dry run not empty: {:?}",
+            String::from_utf8_lossy(&again.stdout)
+        );
+        let reapplied = run(&[&"fix", &dir.0]);
+        assert_eq!(reapplied.status.code(), Some(0), "{rule}: {reapplied:?}");
+        assert_eq!(
+            tree_contents(&dir.0),
+            tree_contents(&fixture(&format!("fix/{rule}/expected"))),
+            "{rule}: reapply must be a no-op"
+        );
+    }
 }
 
 #[test]
@@ -235,7 +355,7 @@ fn binary_update_baseline_writes_sorted_stable_file() {
         .iter()
         .map(|l| l.rsplit(' ').next().unwrap().parse::<usize>().unwrap())
         .sum();
-    assert_eq!(total, 43, "all findings except the one SUP:\n{written}");
+    assert_eq!(total, 52, "all findings except the two SUPs:\n{written}");
     // A second update run is byte-stable and, with the debt absorbed,
     // only the un-baselineable SUP remains.
     let again = run(&[

@@ -1,6 +1,7 @@
-//! Fixture: unit-of-measure near-misses that must stay silent — rates,
-//! same-unit sums, cardinality arithmetic, widening casts, and an
-//! annotation clearing a misleading name.
+//! Fixture: unit-of-measure near-misses that must stay silent — rates
+//! (near-miss(L12)), same-unit sums (near-miss(L11)), cardinality
+//! arithmetic, widening casts (near-miss(L15)), and an annotation
+//! clearing a misleading name.
 
 fn throughput(total_bytes: u64, elapsed_secs: u64) -> u64 {
     total_bytes / elapsed_secs

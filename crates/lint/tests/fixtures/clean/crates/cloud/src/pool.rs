@@ -1,5 +1,6 @@
-//! Fixture: a clean cloud file — suppressions, test-only panics, and
-//! lookalike identifiers that must NOT be flagged.
+//! Fixture: a clean cloud file — well-formed suppressions
+//! (near-miss(SUP)), test-only panics, and lookalike identifiers that
+//! must NOT be flagged (near-miss(L5)).
 
 fn lookup(table: Option<u32>) -> u32 {
     table.unwrap_or_else(|| 0) // `unwrap_or_else` is not `unwrap`

@@ -1,0 +1,19 @@
+//! Fixture: host-clock / entropy / iteration-order near-misses.
+//! near-miss(L1) — readings come from the simulated clock, and host
+//! clock names inside strings or comments are invisible.
+//! near-miss(L2) — the PRNG is seeded from the RunSpec, never entropy.
+//! near-miss(L3) — BTreeMap iteration is deterministic, so it may
+//! drive telemetry and output.
+
+fn tick(clock: &SimClock) -> u64 {
+    clock.now_ms()
+}
+
+fn draw(spec: &RunSpec) -> u32 {
+    let mut rng = Pcg32::seed_from_u64(spec.seed);
+    rng.next_u32()
+}
+
+fn totals(by_vm: &BTreeMap<String, u64>) -> u64 {
+    by_vm.values().sum()
+}

@@ -1,5 +1,6 @@
 //! Fixture: L10 near-misses — on-grammar literals, and same-named
 //! methods on non-registry types (disambiguated by arity).
+//! near-miss(L10)
 
 fn record(t: &Telemetry, h: &Histogram, dist: &Uniform, rng: &mut Pcg32) {
     t.counter_add("engine.tasks_total", 1);

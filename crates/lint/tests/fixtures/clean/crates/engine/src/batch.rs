@@ -1,6 +1,6 @@
 //! Fixture: hot-loop near-misses in a kernel file — pre-sized buffers,
 //! shared schema handles, and collects that sit outside any explicit
-//! loop all stay silent under L14.
+//! loop all stay silent under L14. near-miss(L14)
 
 impl Batch {
     pub fn rechunk(&self, counts: &[usize]) -> Vec<Vec<u64>> {
@@ -19,5 +19,13 @@ impl Batch {
 
     pub fn widths(&self) -> Vec<usize> {
         self.columns.iter().map(|c| c.len()).collect()
+    }
+
+    // near-miss(L16): the checkout and its recycle balance in-fn.
+    pub fn masked_total(&self, arena: &mut ScratchArena, n: usize) -> u64 {
+        let mask = arena.checkout_mask(n);
+        let total = mask.len() as u64;
+        arena.recycle_mask(mask);
+        total
     }
 }

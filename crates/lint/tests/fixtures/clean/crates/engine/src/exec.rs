@@ -1,9 +1,13 @@
-//! Fixture: L9 near-misses — keyed draws in the parallel phase, and a
-//! sequential draw that the parallel phase never reaches.
+//! Fixture: parallel-phase near-misses. near-miss(L9) — keyed draws in
+//! the parallel phase, and a sequential draw that the parallel phase
+//! never reaches. near-miss(L18) — the `_keyed` twin is exactly what
+//! the rule asks for, so calling it stays silent.
 
 pub fn execute_task_buffered(faults: &FaultInjector, op: StoreOp, k: u64) -> u64 {
     // Keyed twin: the draw depends on operation identity, not schedule.
-    faults.store_attempts_keyed(op, op_key(k))
+    let n = faults.store_attempts_keyed(op, op_key(k));
+    combine_runs(left, right);
+    n
 }
 
 // Sequential draws are fine on serial paths: nothing calls this from

@@ -1,4 +1,5 @@
 //! Fixture: L7 near-misses — same two locks, but never a cycle.
+//! near-miss(L7)
 
 struct Stage {
     queue: Mutex<Vec<u64>>,

@@ -1,5 +1,7 @@
 //! Fixture: L8 near-misses — Relaxed where it is harmless, and proper
-//! orderings where the atomic really is shared.
+//! orderings where the atomic really is shared. near-miss(L8)
+//! near-miss(L6) — spawns go through the scope handle the blessed
+//! executor passed in, never `std::thread` directly.
 
 // Worker-local counter: only ever touched inside spawn closures, so
 // Relaxed is fine (atomicity is all that is needed).

@@ -1,0 +1,18 @@
+//! Fixture: L19 near-misses — a `pure(...)` contract that verifies:
+//! keys derive from declared parameters, salt-named constants,
+//! declared-`self` fields, and locals built from those; callees are
+//! annotated or trusted intrinsics. near-miss(L19)
+
+const SALT_DEMO: u64 = 0x517c_c1b7;
+
+// cackle-lint: pure(seed, salt, key)
+pub fn keyed(seed: u64, salt: u64, key: u64) -> u64 {
+    let mut s = seed ^ salt ^ key;
+    splitmix64(&mut s)
+}
+
+// cackle-lint: pure(self, seed, vm)
+pub fn vm_traits(&self, seed: u64, vm: u64) -> u64 {
+    let k = vm ^ self.generation;
+    keyed(seed, SALT_DEMO, k)
+}

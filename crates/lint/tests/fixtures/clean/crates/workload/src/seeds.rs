@@ -1,10 +1,10 @@
 //! Fixture: seed-provenance near-misses — every stream derives from the
 //! RunSpec seed through salts and `splitmix64` expansion, so L13 has
-//! nothing to say.
+//! nothing to say. near-miss(L13) near-miss(L2)
 
 const SALT_ARRIVALS: u64 = 0x9e37_79b9;
 
-fn keyed(spec: &RunSpec) -> Pcg32 {
+fn arrival_stream(spec: &RunSpec) -> Pcg32 {
     Pcg32::seed_from_u64(spec.seed ^ SALT_ARRIVALS)
 }
 

@@ -1,0 +1,12 @@
+//! Fix fixture: L14 reuse-buffer — the unsized initializer feeding a
+//! hot-loop `.push` gains a `with_capacity` shape (capacity TODO).
+
+pub fn gather(n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < n {
+        out.push(i);
+        i += 1;
+    }
+    out
+}

@@ -1,0 +1,6 @@
+//! Fix fixture: L15 cast widening — the narrowing target type widens
+//! in place; everything else is untouched.
+
+fn total(cost_usd: f64) -> f32 {
+    cost_usd as f32
+}

@@ -1,0 +1,6 @@
+//! Fix fixture: L18 keyed-twin substitution — the sequential draw is
+//! renamed to its `_keyed` twin and gains a placeholder key argument.
+
+pub fn execute_task_buffered(faults: &FaultInjector, op: StoreOp) -> u64 {
+    faults.store_attempts(op)
+}

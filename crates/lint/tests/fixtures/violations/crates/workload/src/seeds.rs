@@ -18,6 +18,6 @@ fn opaque(slot: u64) -> Pcg32 {
 
 // Near-miss: a salted sub-stream of the RunSpec seed is the blessed
 // pattern and must stay silent.
-fn keyed(spec: &RunSpec) -> Pcg32 {
+fn arrival_stream(spec: &RunSpec) -> Pcg32 {
     Pcg32::seed_from_u64(spec.seed ^ SALT_ARRIVALS)
 }
